@@ -1,0 +1,218 @@
+//! Criterion benchmarks backing the paper's running-time tables: the
+//! selectors of Chapter 3, the exact vs ε-approximate Pareto generation of
+//! Table 4.2, the MLGP generator of Chapter 5, the partitioners of
+//! Table 6.1, and the DP-vs-ILP pair of Table 7.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtise::ise::configs::ConfigCurve;
+use rtise::select::pareto::{eps_pareto_groups, exact_pareto_groups, ParetoPoint};
+use rtise::select::task::TaskSpec;
+
+/// Synthetic task specs sized like the paper's task sets, built without the
+/// kernel front-end so the benchmarks measure the algorithms alone.
+fn synthetic_specs(n: usize, configs: usize, seed: u64) -> Vec<TaskSpec> {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    (0..n)
+        .map(|i| {
+            let base = 10_000 + next() % 90_000;
+            let mut pts = Vec::new();
+            let mut area = 0;
+            let mut cyc = base;
+            for _ in 0..configs {
+                area += 100 + next() % 2_000;
+                cyc = cyc.saturating_sub(base / (configs as u64 + 2)).max(1);
+                pts.push((area, cyc));
+            }
+            TaskSpec::new(
+                ConfigCurve::from_points(format!("t{i}"), base, &pts),
+                base * (2 + next() % 4),
+            )
+        })
+        .collect()
+}
+
+fn groups_of(specs: &[TaskSpec]) -> Vec<Vec<ParetoPoint>> {
+    let h = rtise::select::task::spec_hyperperiod(specs).unwrap_or(u64::MAX / 4);
+    specs
+        .iter()
+        .map(|s| {
+            s.curve
+                .points()
+                .iter()
+                .map(|p| ParetoPoint {
+                    cost: p.area,
+                    value: p.cycles.saturating_mul(h / s.period),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Chapter 3 selectors (Fig. 3.3's workload).
+fn bench_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("select");
+    g.sample_size(20);
+    for n in [4usize, 8] {
+        let specs = synthetic_specs(n, 6, 0x3e1ec7 + n as u64);
+        let budget: u64 = specs.iter().map(|s| s.curve.max_area()).sum::<u64>() / 2;
+        g.bench_with_input(BenchmarkId::new("edf_dp", n), &specs, |b, specs| {
+            b.iter(|| rtise::select::select_edf(specs, budget).expect("edf"))
+        });
+        g.bench_with_input(BenchmarkId::new("rms_bnb", n), &specs, |b, specs| {
+            b.iter(|| {
+                let _ = rtise::select::rms::select_rms(specs, budget);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 4.2: exact vs ε-approximate utilization–area Pareto curves.
+fn bench_pareto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pareto");
+    g.sample_size(10);
+    let specs = synthetic_specs(7, 5, 0x9a9e70);
+    let groups = groups_of(&specs);
+    g.bench_function("exact", |b| b.iter(|| exact_pareto_groups(&groups)));
+    for eps in [0.21, 0.69, 3.0] {
+        g.bench_with_input(BenchmarkId::new("eps", eps), &groups, |b, groups| {
+            b.iter(|| eps_pareto_groups(groups, eps))
+        });
+    }
+    g.finish();
+}
+
+/// Chapter 5: the MLGP generator on real kernel regions vs the IS baseline
+/// (selection over a pre-harvested library).
+fn bench_mlgp(c: &mut Criterion) {
+    use rtise::ir::hw::HwModel;
+    use rtise::ir::region::regions;
+    let mut g = c.benchmark_group("mlgp");
+    g.sample_size(10);
+    let hw = HwModel::default();
+    for name in ["jfdctint", "des3"] {
+        let kernel = rtise::kernels::by_name(name).expect("kernel");
+        let run = kernel.run().expect("profile");
+        g.bench_function(BenchmarkId::new("mlgp_partition", name), |b| {
+            b.iter(|| {
+                for blk in kernel.program.block_ids() {
+                    if run.block_counts[blk.0] == 0 {
+                        continue;
+                    }
+                    let dfg = &kernel.program.block(blk).dfg;
+                    for region in regions(dfg) {
+                        let _ = rtise::mlgp::mlgp_partition(
+                            dfg,
+                            &region.nodes,
+                            &hw,
+                            rtise::mlgp::MlgpOptions::default(),
+                        );
+                    }
+                }
+            })
+        });
+        g.bench_function(BenchmarkId::new("is_full_flow", name), |b| {
+            // Bounded enumeration keeps one IS iteration at benchmarkable
+            // cost on the huge des3 block; the relative MLGP-vs-IS gap is
+            // what Table/Fig 5.5 needs.
+            let opts = rtise::ise::HarvestOptions {
+                enumerate: rtise::ise::EnumerateOptions {
+                    max_candidates: 600,
+                    max_nodes: 12,
+                    ..rtise::ise::EnumerateOptions::default()
+                },
+                ..rtise::ise::HarvestOptions::default()
+            };
+            b.iter(|| {
+                let cands =
+                    rtise::ise::harvest(&kernel.program, &run.block_counts, &hw, opts);
+                rtise::ise::select::iterative_selection(&cands, u64::MAX)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 6.1: the three partitioners on synthetic hot-loop sets.
+fn bench_reconfig(c: &mut Criterion) {
+    use rtise::reconfig::partition::synthetic_problem;
+    let mut g = c.benchmark_group("reconfig");
+    g.sample_size(10);
+    for n in [8usize, 40] {
+        let p = synthetic_problem(n, 0xbe11 + n as u64);
+        g.bench_with_input(BenchmarkId::new("iterative", n), &p, |b, p| {
+            b.iter(|| rtise::reconfig::iterative_partition(p, 1))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
+            b.iter(|| rtise::reconfig::greedy_partition(p))
+        });
+        if n <= 8 {
+            g.bench_with_input(BenchmarkId::new("exhaustive", n), &p, |b, p| {
+                b.iter(|| rtise::reconfig::exhaustive_partition(p))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Table 7.2: the Chapter 7 DP versus the exact ILP.
+fn bench_rt_reconfig(c: &mut Criterion) {
+    use rtise::reconfig::rt::{solve_dp, solve_ilp, RtProblem, RtTask};
+    use rtise::reconfig::CisVersion;
+    let mut g = c.benchmark_group("rt_reconfig");
+    g.sample_size(10);
+    let mut state = 0x7007u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    // Harmonic-friendly periods: the EDF job sequence is materialized over
+    // one hyperperiod, so wild LCMs are out of bounds for a benchmark.
+    const PERIOD_BASE: u64 = 4_096;
+    let tasks: Vec<RtTask> = (0..4)
+        .map(|i| {
+            let base = 1_000 + next() % 2_000;
+            let vs: Vec<CisVersion> = (1..=3)
+                .map(|k| CisVersion {
+                    area: k * (50 + next() % 100),
+                    gain: (base / 8) * k,
+                })
+                .collect();
+            RtTask::new(
+                format!("t{i}"),
+                base,
+                PERIOD_BASE * [3, 4, 6, 8][i % 4],
+                &vs,
+            )
+        })
+        .collect();
+    let p = RtProblem {
+        tasks,
+        max_area: 400,
+        reconfig_cost: 20,
+        max_configs: 2,
+    };
+    g.bench_function("dp", |b| b.iter(|| solve_dp(&p, 5)));
+    g.bench_function("ilp_optimal", |b| {
+        b.iter(|| solve_ilp(&p, u64::MAX).expect("ilp"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select,
+    bench_pareto,
+    bench_mlgp,
+    bench_reconfig,
+    bench_rt_reconfig
+);
+criterion_main!(benches);

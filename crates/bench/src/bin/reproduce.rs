@@ -1,0 +1,30 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce                # run every experiment in paper order
+//! reproduce fig3_3 tab6_1  # run the named ones
+//! reproduce --list         # list experiment ids
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in rtise_bench::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() {
+        rtise_bench::ALL.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        if let Err(e) = rtise_bench::run(id) {
+            eprintln!("{e} (use --list to see available experiments)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Chapter 3 experiments — the DATE 2007 paper's evaluation.
+
+use crate::util::{cached_curve, set_max_area, specs_for};
+use rtise::fixtures::{TABLE_3_1, UTILIZATION_FACTORS_CH3};
+use rtise::ir::hw::HwModel;
+use rtise::ise::configs::ConfigCurve;
+use rtise::rt::dvfs::{Policy, VoltageScaler};
+use rtise::select::heuristics;
+use rtise::select::rms::select_rms;
+use rtise::select::select_edf;
+use rtise::select::task::TaskSpec;
+use rtise::select::Assignment;
+
+/// Fig. 3.1 — application performance versus hardware area for the g721
+/// decoding task's processor configurations.
+pub fn fig3_1() {
+    let curve = cached_curve("g721_decode");
+    println!("{:>18} {:>16}", "area (adders)", "processor cycles");
+    for p in curve.points() {
+        println!(
+            "{:>18} {:>16}",
+            p.area.div_ceil(HwModel::CELLS_PER_ADDER),
+            p.cycles
+        );
+    }
+    println!(
+        "-- {} configurations; max speedup {:.2}%",
+        curve.len(),
+        (curve.base_cycles - curve.best_within(u64::MAX).cycles) as f64 * 100.0
+            / curve.base_cycles as f64
+    );
+}
+
+/// Fig. 3.2 — the motivating example: four per-task heuristics versus the
+/// optimal inter-task selection at area budget 10.
+pub fn fig3_2() {
+    let specs = vec![
+        TaskSpec::new(ConfigCurve::from_points("T1", 2, &[(7, 1)]), 6),
+        TaskSpec::new(ConfigCurve::from_points("T2", 3, &[(6, 2)]), 8),
+        TaskSpec::new(ConfigCurve::from_points("T3", 6, &[(4, 5)]), 12),
+    ];
+    let show = |label: &str, a: &Assignment| {
+        println!(
+            "  ({label}) configs {:?}  U' = {:>6.4}  area {:>2}  {}",
+            a.config,
+            a.utilization(&specs),
+            a.total_area(&specs),
+            if a.utilization(&specs) <= 1.0 {
+                "schedulable"
+            } else {
+                "NOT schedulable"
+            }
+        );
+    };
+    println!(
+        "initial U = {:.4} (> 1, unschedulable); area budget 10",
+        Assignment::software(3).utilization(&specs)
+    );
+    show("a", &heuristics::equal_area_split(&specs, 10));
+    show("b", &heuristics::smallest_deadline_first(&specs, 10));
+    show("c", &heuristics::highest_reduction_first(&specs, 10));
+    show("d", &heuristics::highest_ratio_first(&specs, 10));
+    let opt = select_edf(&specs, 10).expect("optimal");
+    show("e*", &opt.assignment);
+}
+
+/// Table 3.1 + Fig. 3.3 — utilization versus area for the six task sets
+/// under EDF and RMS across initial utilizations.
+pub fn fig3_3() {
+    for (set_idx, names) in TABLE_3_1.iter().enumerate() {
+        println!("task set {}: {names:?}", set_idx + 1);
+        for &u0 in &UTILIZATION_FACTORS_CH3 {
+            let specs = specs_for(names, u0);
+            let max_area = set_max_area(&specs);
+            print!("  U0={u0:<5}");
+            for pct in [0u64, 25, 50, 75, 100] {
+                let budget = max_area * pct / 100;
+                let edf = select_edf(&specs, budget).expect("edf");
+                let rms = select_rms(&specs, budget);
+                let rms_txt = match rms {
+                    Ok(s) => format!("{:.3}", s.utilization),
+                    Err(_) => "  -  ".into(),
+                };
+                print!(
+                    "  {pct:>3}%: E={:.3}{} R={rms_txt}",
+                    edf.utilization,
+                    if edf.schedulable { "" } else { "!" },
+                );
+            }
+            println!();
+        }
+    }
+    println!("(E = EDF utilization, ! = unschedulable, R = RMS, '-' = no RMS solution)");
+}
+
+/// Fig. 3.4 — area versus energy for task set 3 under EDF and RMS with
+/// TM5400-style static voltage scaling.
+pub fn fig3_4() {
+    let names = TABLE_3_1[2];
+    let scaler = VoltageScaler::tm5400();
+    println!("task set 3: {names:?}");
+    for &u0 in &[0.8, 1.0] {
+        let specs = specs_for(&names, u0);
+        let n = specs.len();
+        let max_area = set_max_area(&specs);
+        // Baseline: first schedulable solution without customization (or
+        // the first schedulable customized one, per §3.2.2).
+        let sw_u: f64 = specs.iter().map(|s| s.base_utilization()).sum();
+        let sw_tasks = Assignment::software(n).to_tasks(&specs);
+        let baseline = scaler
+            .lowest_feasible(sw_u, Policy::Edf, n)
+            .map(|lvl| scaler.energy(&sw_tasks, lvl));
+        println!("  U0 = {u0}");
+        println!(
+            "  {:>6} {:>12} {:>14} {:>14}",
+            "area%", "U(EDF)", "E-save EDF %", "E-save RMS %"
+        );
+        for pct in [0u64, 25, 50, 75, 100] {
+            let budget = max_area * pct / 100;
+            let edf = select_edf(&specs, budget).expect("edf");
+            let tasks = edf.assignment.to_tasks(&specs);
+            let edf_save = baseline
+                .and_then(|base| {
+                    scaler
+                        .lowest_feasible(edf.utilization, Policy::Edf, n)
+                        .map(|lvl| (1.0 - scaler.energy(&tasks, lvl) / base) * 100.0)
+                })
+                .map_or("-".into(), |s| format!("{s:.1}"));
+            let rms_save = select_rms(&specs, budget)
+                .ok()
+                .and_then(|sel| {
+                    let tasks = sel.assignment.to_tasks(&specs);
+                    baseline.and_then(|base| {
+                        scaler
+                            .lowest_feasible(sel.utilization, Policy::Rms, n)
+                            .map(|lvl| (1.0 - scaler.energy(&tasks, lvl) / base) * 100.0)
+                    })
+                })
+                .map_or("-".into(), |s| format!("{s:.1}"));
+            println!(
+                "  {pct:>5}% {:>12.4} {edf_save:>14} {rms_save:>14}",
+                edf.utilization
+            );
+        }
+    }
+    println!("(EDF scales deeper than RMS: exact vs Liu-Layland test, as in the paper)");
+}

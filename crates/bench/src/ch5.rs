@@ -1,0 +1,211 @@
+//! Chapter 5 experiments — iterative customization and MLGP versus IS.
+
+use rtise::fixtures::{TABLE_5_2, UTILIZATION_FACTORS_CH5};
+use rtise::ir::hw::HwModel;
+use rtise::ir::region::regions;
+use rtise::ise::select::iterative_selection;
+use rtise::ise::{harvest, HarvestOptions};
+use rtise::kernels::{by_name, suite, Kernel};
+use rtise::mlgp::iterative::IterTask;
+use rtise::mlgp::{customize_task_set, mlgp_partition, IterativeOptions, MlgpOptions};
+use rtise::select::task::periods_for_utilization;
+use std::time::Instant;
+
+/// Table 5.1 — benchmark characteristics: WCET cycles, maximum and average
+/// basic-block size in primitive instructions.
+pub fn tab5_1() {
+    println!(
+        "{:<16} {:>14} {:>8} {:>8}",
+        "benchmark", "WCET cycles", "max BB", "avg BB"
+    );
+    for k in suite() {
+        let wcet = rtise::ir::wcet::analyze(&k.program).expect("wcet").wcet;
+        println!(
+            "{:<16} {:>14} {:>8} {:>8.0}",
+            k.name,
+            wcet,
+            k.program.max_block_ops(),
+            k.program.avg_block_ops()
+        );
+    }
+}
+
+fn table_5_2_tasks(set: usize, u0: f64) -> (Vec<Kernel>, Vec<u64>) {
+    let kernels: Vec<Kernel> = TABLE_5_2[set]
+        .iter()
+        .map(|n| by_name(n).expect("kernel"))
+        .collect();
+    let wcets: Vec<u64> = kernels
+        .iter()
+        .map(|k| rtise::ir::wcet::analyze(&k.program).expect("wcet").wcet)
+        .collect();
+    let periods = periods_for_utilization(&wcets, u0);
+    (kernels, periods)
+}
+
+/// Fig. 5.3 — reduction in processor utilization with increasing iteration
+/// count, for the five task sets and U₀ ∈ {1.1 … 1.5}.
+pub fn fig5_3() {
+    for (set, names) in TABLE_5_2.iter().enumerate() {
+        println!("task set {} ({names:?}):", set + 1);
+        for &u0 in &UTILIZATION_FACTORS_CH5 {
+            let (kernels, periods) = table_5_2_tasks(set, u0);
+            let tasks: Vec<IterTask<'_>> = kernels
+                .iter()
+                .zip(&periods)
+                .map(|(k, &p)| IterTask {
+                    program: &k.program,
+                    period: p,
+                })
+                .collect();
+            let hw = HwModel::default();
+            let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default())
+                .expect("iterative flow");
+            let series: Vec<String> = res
+                .history
+                .iter()
+                .map(|r| format!("{:.3}", r.utilization))
+                .collect();
+            println!(
+                "  U0={u0}: {} -> [{}] {}",
+                u0,
+                series.join(", "),
+                if res.met_target { "schedulable" } else { "infeasible" }
+            );
+        }
+    }
+}
+
+/// Fig. 5.4 — analysis time and custom-instruction area versus input
+/// utilization for all five task sets.
+pub fn fig5_4() {
+    println!(
+        "{:<9} {:>5} {:>12} {:>14} {:>6}",
+        "task set", "U0", "time (ms)", "area (adders)", "iters"
+    );
+    for set in 0..TABLE_5_2.len() {
+        for &u0 in &UTILIZATION_FACTORS_CH5 {
+            let (kernels, periods) = table_5_2_tasks(set, u0);
+            let tasks: Vec<IterTask<'_>> = kernels
+                .iter()
+                .zip(&periods)
+                .map(|(k, &p)| IterTask {
+                    program: &k.program,
+                    period: p,
+                })
+                .collect();
+            let hw = HwModel::default();
+            let t0 = Instant::now();
+            let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default())
+                .expect("iterative flow");
+            println!(
+                "{:<9} {u0:>5} {:>12.1} {:>14} {:>6}",
+                set + 1,
+                t0.elapsed().as_secs_f64() * 1e3,
+                res.total_area.div_ceil(HwModel::CELLS_PER_ADDER),
+                res.history.len()
+            );
+        }
+    }
+}
+
+/// Benchmarks compared in Figs. 5.5/5.6 (the paper's g721decode, jfdctint,
+/// blowfish, md5, sha, 3des→des3).
+const MLGP_VS_IS: [&str; 6] = ["g721_decode", "jfdctint", "blowfish", "md5", "sha", "des3"];
+
+/// (analysis-time ms, cumulative speedup) checkpoints for MLGP and IS on
+/// one benchmark.
+#[allow(clippy::type_complexity)]
+fn speedup_traces(name: &str) -> (Vec<(f64, f64, u64)>, Vec<(f64, f64, u64)>) {
+    let k = by_name(name).expect("kernel");
+    let run = k.run().expect("profile run");
+    let hw = HwModel::default();
+    let sw = run.cycles as f64;
+
+    // MLGP: hottest blocks first, one region at a time.
+    let t0 = Instant::now();
+    let mut blocks: Vec<usize> = (0..k.program.blocks.len()).collect();
+    blocks.sort_by_key(|&b| {
+        std::cmp::Reverse(run.block_counts[b] * k.program.block(rtise::ir::BlockId(b)).cost())
+    });
+    let mut mlgp_points = Vec::new();
+    let mut gain_total = 0u64;
+    let mut area_total = 0u64;
+    for &b in &blocks {
+        if run.block_counts[b] == 0 {
+            continue;
+        }
+        let dfg = &k.program.block(rtise::ir::BlockId(b)).dfg;
+        for region in regions(dfg) {
+            let parts = mlgp_partition(dfg, &region.nodes, &hw, MlgpOptions::default());
+            for p in parts {
+                gain_total += hw.ci_gain(dfg, &p) * run.block_counts[b];
+                area_total += hw.ci_area(dfg, &p);
+            }
+            mlgp_points.push((
+                t0.elapsed().as_secs_f64() * 1e3,
+                sw / (sw - gain_total as f64).max(1.0),
+                area_total,
+            ));
+        }
+    }
+
+    // IS: enumerate the full candidate library first (the expensive step),
+    // then one candidate per iteration.
+    let t1 = Instant::now();
+    let cands = harvest(&k.program, &run.block_counts, &hw, HarvestOptions::default());
+    let (sel, prefix_gains) = iterative_selection(&cands, u64::MAX);
+    let harvest_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let mut is_points = Vec::new();
+    let mut area = 0u64;
+    for (rank, &g) in prefix_gains.iter().enumerate() {
+        area += cands[sel.chosen[rank.min(sel.chosen.len() - 1)]].area;
+        is_points.push((
+            harvest_ms * (1.0 + rank as f64 / prefix_gains.len().max(1) as f64),
+            sw / (sw - g as f64).max(1.0),
+            area,
+        ));
+    }
+    (mlgp_points, is_points)
+}
+
+/// Fig. 5.5 — speedup versus analysis time, MLGP versus IS, per benchmark.
+pub fn fig5_5() {
+    for name in MLGP_VS_IS {
+        let (mlgp, is) = speedup_traces(name);
+        println!("{name}:");
+        let fmt = |pts: &[(f64, f64, u64)]| -> String {
+            pts.iter()
+                .map(|(t, s, _)| format!("({t:.1}ms, {s:.2}x)"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("  MLGP: {}", fmt(&mlgp));
+        println!("  IS:   {}", fmt(&is));
+        let best = |pts: &[(f64, f64, u64)]| pts.last().map(|p| (p.0, p.1)).unwrap_or((0.0, 1.0));
+        let (mt, ms) = best(&mlgp);
+        let (it, is_s) = best(&is);
+        println!(
+            "  final: MLGP {ms:.2}x in {mt:.1} ms vs IS {is_s:.2}x in {it:.1} ms"
+        );
+    }
+}
+
+/// Fig. 5.6 — hardware-area versus speedup trade-off clouds for MLGP and
+/// IS.
+pub fn fig5_6() {
+    for name in MLGP_VS_IS {
+        let (mlgp, is) = speedup_traces(name);
+        let fmt = |pts: &[(f64, f64, u64)]| -> String {
+            pts.iter()
+                .map(|(_, s, a)| {
+                    format!("({}, {s:.2}x)", a.div_ceil(HwModel::CELLS_PER_ADDER))
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("{name}:");
+        println!("  MLGP (adders, speedup): {}", fmt(&mlgp));
+        println!("  IS   (adders, speedup): {}", fmt(&is));
+    }
+}

@@ -1,0 +1,113 @@
+//! Chapter 6 experiments — runtime reconfiguration for a sequential
+//! application.
+
+use rtise::reconfig::partition::synthetic_problem;
+use rtise::reconfig::{
+    exhaustive_partition, greedy_partition, iterative_partition, HotLoop, Solution,
+};
+use rtise::workbench::{reconfig_problem, CurveOptions};
+use std::time::Instant;
+
+/// Table 6.1 — running time of the three algorithms on synthetic input
+/// with 5–100 hot loops (exhaustive capped at 10, as its Bell-number cost
+/// explodes exactly as the paper reports past ~12).
+pub fn tab6_1() {
+    println!(
+        "{:>6} {:>16} {:>12} {:>12}",
+        "loops", "exhaustive (s)", "greedy (s)", "iterative (s)"
+    );
+    for &n in &[5usize, 6, 7, 8, 9, 10, 12, 20, 40, 60, 80, 100] {
+        let p = synthetic_problem(n, 0xbe11 + n as u64);
+        let ex = if n <= 10 {
+            let t = Instant::now();
+            let _ = exhaustive_partition(&p);
+            format!("{:.3}", t.elapsed().as_secs_f64())
+        } else {
+            "N.A.".into()
+        };
+        let t = Instant::now();
+        let _ = greedy_partition(&p);
+        let gr = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = iterative_partition(&p, 1);
+        let it = t.elapsed().as_secs_f64();
+        println!("{n:>6} {ex:>16} {gr:>12.3} {it:>12.3}");
+    }
+}
+
+/// Fig. 6.8 — solution quality of the algorithms on synthetic input
+/// (normalized to the exhaustive optimum where available, to the best
+/// found otherwise).
+pub fn fig6_8() {
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>10}",
+        "loops", "exhaustive", "iterative", "greedy", "iter/opt"
+    );
+    for &n in &[4usize, 6, 8, 10, 12, 16, 24] {
+        let p = synthetic_problem(n, 0x6fae + n as u64);
+        let it = iterative_partition(&p, 2).net_gain(&p);
+        let gr = greedy_partition(&p).net_gain(&p);
+        if n <= 10 {
+            let ex = exhaustive_partition(&p).net_gain(&p);
+            println!(
+                "{n:>6} {ex:>14} {it:>12} {gr:>12} {:>9.1}%",
+                it as f64 * 100.0 / ex.max(1) as f64
+            );
+        } else {
+            println!("{n:>6} {:>14} {it:>12} {gr:>12} {:>10}", "N.A.", "-");
+        }
+    }
+}
+
+/// Table 6.2 — CIS versions derived for the JPEG application's hot loops.
+pub fn tab6_2() {
+    let p = jpeg_problem();
+    println!("{:<22} {:>8} {:>12}", "loop / version", "area", "gain (cycles)");
+    for l in &p.loops {
+        for (j, v) in l.versions().iter().enumerate() {
+            println!("{:<22} {:>8} {:>12}", format!("{} v{j}", l.name), v.area, v.gain);
+        }
+    }
+    println!("loop-entry trace: {} events", p.trace.len());
+}
+
+/// Fig. 6.10 — solution quality for the JPEG case study across fabric
+/// sizes and reconfiguration costs.
+pub fn fig6_10() {
+    let base = jpeg_problem();
+    let full_area: u64 = base.loops.iter().map(HotLoop::best).map(|v| v.area).sum();
+    println!(
+        "{:>8} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "fabric", "rho", "static", "iterative", "greedy", "exhaustive"
+    );
+    for fabric_pct in [25u64, 50, 75, 100] {
+        for rho in [100u64, 1_000, 10_000] {
+            let mut p = base.clone();
+            p.max_area = (full_area * fabric_pct / 100).max(1);
+            p.reconfig_cost = rho;
+            let static_sol = {
+                let refs: Vec<&HotLoop> = p.loops.iter().collect();
+                let (version, _, _) = rtise::reconfig::spatial_select(&refs, p.max_area);
+                Solution {
+                    version,
+                    config: vec![0; p.loops.len()],
+                }
+            };
+            let st = static_sol.net_gain(&p);
+            let it = iterative_partition(&p, 9).net_gain(&p);
+            let gr = greedy_partition(&p).net_gain(&p);
+            let ex = exhaustive_partition(&p).net_gain(&p);
+            println!("{fabric_pct:>7}% {rho:>9} {st:>12} {it:>12} {gr:>12} {ex:>12}");
+        }
+    }
+    println!("(reconfiguration wins on small fabrics with cheap reloads; all converge to static as rho grows)");
+}
+
+fn jpeg_problem() -> rtise::reconfig::ReconfigProblem {
+    let base = reconfig_problem("jpeg", 4, 0, 0, CurveOptions::thorough()).expect("jpeg problem");
+    let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
+    let mut p = base;
+    p.max_area = (full / 2).max(1);
+    p.reconfig_cost = 1_000;
+    p
+}

@@ -1,0 +1,150 @@
+//! Extension experiments beyond the paper's tables: the §2.1 architecture
+//! taxonomy quantified, and ablations of the design choices the
+//! implementation makes.
+
+use crate::util::cached_curve;
+use rtise::ir::hw::HwModel;
+use rtise::ir::region::regions;
+use rtise::ise::{
+    branch_and_bound, genetic_select, greedy_by_ratio, harvest, simulated_annealing_select,
+    GaOptions, HarvestOptions, SaOptions,
+};
+use rtise::kernels::by_name;
+use rtise::mlgp::{mlgp_partition, MlgpOptions};
+use rtise::reconfig::{
+    iterative_partition, net_gain_with, spatial_select, temporal_only_partition, CostModel,
+    HotLoop, Solution,
+};
+use rtise::workbench::{reconfig_problem, CurveOptions};
+
+/// The four extensible-processor architectures of Fig. 2.2, quantified on
+/// the JPEG pipeline: static, temporal-only, temporal+spatial, and partial
+/// reconfiguration.
+pub fn ext_arch() {
+    let base = reconfig_problem("jpeg", 4, 0, 0, CurveOptions::thorough()).expect("problem");
+    let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
+    println!(
+        "{:>8} {:>9} {:>10} {:>14} {:>18} {:>14}",
+        "fabric", "rho", "static", "temporal-only", "temporal+spatial", "partial"
+    );
+    for fabric_pct in [35u64, 70] {
+        for rho in [200u64, 2_000, 20_000] {
+            let mut p = base.clone();
+            p.max_area = (full * fabric_pct / 100).max(1);
+            p.reconfig_cost = rho;
+
+            let static_sol = {
+                let refs: Vec<&HotLoop> = p.loops.iter().collect();
+                let (version, _, _) = spatial_select(&refs, p.max_area);
+                Solution {
+                    version,
+                    config: vec![0; p.loops.len()],
+                }
+            };
+            let st = static_sol.net_gain(&p);
+            let temporal = temporal_only_partition(&p, CostModel::FullReload);
+            let to = net_gain_with(&p, &temporal, CostModel::FullReload);
+            let ts = iterative_partition(&p, 5).net_gain(&p);
+            // Partial reconfiguration: same per-switch budget spread over
+            // the fabric area, so small configurations reload cheaply.
+            let per_area = (rho / p.max_area.max(1)).max(1);
+            let partial_sol = iterative_partition(&p, 5);
+            let pr = net_gain_with(&p, &partial_sol, CostModel::Partial {
+                per_area_unit: per_area,
+            });
+            println!(
+                "{fabric_pct:>7}% {rho:>9} {st:>10} {to:>14} {ts:>18} {pr:>14}"
+            );
+        }
+    }
+    println!(
+        "(temporal-only pays a reload on every loop switch; spatial sharing \
+         amortizes it; partial reconfiguration helps most when \
+         configurations are small relative to the fabric)"
+    );
+}
+
+/// Ablations: MLGP refinement on/off, enumeration caps, and the selection
+/// algorithm ladder (greedy → SA → GA → exact) on a fixed library.
+pub fn ext_ablation() {
+    let hw = HwModel::default();
+
+    // --- MLGP refinement passes. ---
+    println!("MLGP refinement ablation (total gain over hot regions):");
+    for name in ["jfdctint", "blowfish", "des3"] {
+        let k = by_name(name).expect("kernel");
+        let run = k.run().expect("profile");
+        let mut gains = Vec::new();
+        for passes in [0usize, 4] {
+            let opts = MlgpOptions {
+                refine_passes: passes,
+                ..MlgpOptions::default()
+            };
+            let mut total = 0u64;
+            for b in k.program.block_ids() {
+                if run.block_counts[b.0] == 0 {
+                    continue;
+                }
+                let dfg = &k.program.block(b).dfg;
+                for region in regions(dfg) {
+                    for p in mlgp_partition(dfg, &region.nodes, &hw, opts) {
+                        total += hw.ci_gain(dfg, &p) * run.block_counts[b.0];
+                    }
+                }
+            }
+            gains.push(total);
+        }
+        println!(
+            "  {name:<12} no-refine {:>12}  refined {:>12}  ({:+.1}%)",
+            gains[0],
+            gains[1],
+            (gains[1] as f64 / gains[0].max(1) as f64 - 1.0) * 100.0
+        );
+    }
+
+    // --- Enumeration caps vs curve quality. ---
+    println!("\nenumeration-cap ablation (best gain on crc32 at full budget):");
+    let k = by_name("crc32").expect("kernel");
+    let run = k.run().expect("profile");
+    for (cap, nodes) in [(200usize, 8usize), (1_000, 16), (5_000, 24)] {
+        let opts = HarvestOptions {
+            enumerate: rtise::ise::EnumerateOptions {
+                max_candidates: cap,
+                max_nodes: nodes,
+                ..rtise::ise::EnumerateOptions::default()
+            },
+            ..HarvestOptions::default()
+        };
+        let cands = harvest(&k.program, &run.block_counts, &hw, opts);
+        let sel = greedy_by_ratio(&cands, u64::MAX);
+        println!(
+            "  cap {cap:>5} / {nodes:>2} nodes: {:>4} candidates, gain {:>9}",
+            cands.len(),
+            sel.total_gain
+        );
+    }
+
+    // --- Selection-algorithm ladder. ---
+    println!("\nselection ladder on the g721_decode library (tight budget):");
+    let curve = cached_curve("g721_decode");
+    let _ = curve;
+    let k = by_name("g721_decode").expect("kernel");
+    let run = k.run().expect("profile");
+    let cands = harvest(&k.program, &run.block_counts, &hw, HarvestOptions::default());
+    let budget: u64 = cands.iter().map(|c| c.area).sum::<u64>() / 3;
+    let greedy = greedy_by_ratio(&cands, budget);
+    let sa = simulated_annealing_select(&cands, budget, SaOptions::default());
+    let ga = genetic_select(&cands, budget, GaOptions::default());
+    let exact = if cands.len() <= 28 {
+        Some(branch_and_bound(&cands, budget))
+    } else {
+        None
+    };
+    println!("  greedy gain {:>9}", greedy.total_gain);
+    println!("  SA     gain {:>9}", sa.total_gain);
+    println!("  GA     gain {:>9}", ga.total_gain);
+    match exact {
+        Some(e) => println!("  exact  gain {:>9}", e.total_gain),
+        None => println!("  exact  gain        NA ({} candidates)", cands.len()),
+    }
+}

@@ -1,0 +1,62 @@
+//! # rtise-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation, each printing the same rows/series the paper reports (shape
+//! reproduction — absolute numbers differ because the substrate is our
+//! simulator, not the authors' Tensilica/Trimaran testbed).
+//!
+//! Run everything with `cargo run --release -p rtise-bench --bin reproduce`,
+//! or name experiments: `reproduce fig3_3 tab6_1`.
+
+pub mod ch3;
+pub mod ch4;
+pub mod ch5;
+pub mod ch6;
+pub mod ch7;
+pub mod ch8;
+pub mod ext;
+mod util;
+
+pub use util::cached_curve;
+
+/// All experiment ids in paper order.
+pub const ALL: &[(&str, fn())] = &[
+    ("fig3_1", ch3::fig3_1),
+    ("fig3_2", ch3::fig3_2),
+    ("fig3_3", ch3::fig3_3),
+    ("fig3_4", ch3::fig3_4),
+    ("fig4_1", ch4::fig4_1),
+    ("tab4_2", ch4::tab4_2),
+    ("fig4_4", ch4::fig4_4),
+    ("tab5_1", ch5::tab5_1),
+    ("fig5_3", ch5::fig5_3),
+    ("fig5_4", ch5::fig5_4),
+    ("fig5_5", ch5::fig5_5),
+    ("fig5_6", ch5::fig5_6),
+    ("tab6_1", ch6::tab6_1),
+    ("fig6_8", ch6::fig6_8),
+    ("tab6_2", ch6::tab6_2),
+    ("fig6_10", ch6::fig6_10),
+    ("tab7_1", ch7::tab7_1),
+    ("fig7_4", ch7::fig7_4),
+    ("tab7_2", ch7::tab7_2),
+    ("fig8_4", ch8::fig8_4),
+    ("ext_arch", ext::ext_arch),
+    ("ext_ablation", ext::ext_ablation),
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns the unknown id back to the caller.
+pub fn run(id: &str) -> Result<(), String> {
+    match ALL.iter().find(|(name, _)| *name == id) {
+        Some((_, f)) => {
+            println!("\n=== {id} ===");
+            f();
+            Ok(())
+        }
+        None => Err(format!("unknown experiment {id:?}")),
+    }
+}

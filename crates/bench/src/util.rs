@@ -1,0 +1,45 @@
+//! Shared plumbing: configuration-curve caching (curve generation is the
+//! expensive front-end step every experiment reuses).
+
+use rtise::ise::configs::ConfigCurve;
+use rtise::select::task::{periods_for_utilization, TaskSpec};
+use rtise::workbench::{task_curve, CurveOptions};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+static CURVES: OnceLock<Mutex<HashMap<String, ConfigCurve>>> = OnceLock::new();
+
+/// Returns the (memoized) configuration curve of a benchmark kernel.
+///
+/// # Panics
+///
+/// Panics if the kernel is unknown or fails validation — experiment inputs
+/// are fixed, so this indicates a build problem, not a runtime condition.
+pub fn cached_curve(name: &str) -> ConfigCurve {
+    let cache = CURVES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("curve cache poisoned");
+    map.entry(name.to_string())
+        .or_insert_with(|| {
+            task_curve(name, CurveOptions::thorough())
+                .unwrap_or_else(|e| panic!("curve for {name}: {e}"))
+        })
+        .clone()
+}
+
+/// Task specs for a named set at initial utilization `u0`, using cached
+/// curves.
+pub fn specs_for(names: &[&str], u0: f64) -> Vec<TaskSpec> {
+    let curves: Vec<ConfigCurve> = names.iter().map(|n| cached_curve(n)).collect();
+    let bases: Vec<u64> = curves.iter().map(|c| c.base_cycles).collect();
+    let periods = periods_for_utilization(&bases, u0);
+    curves
+        .into_iter()
+        .zip(periods)
+        .map(|(c, p)| TaskSpec::new(c, p))
+        .collect()
+}
+
+/// `Max_Area` of a set of specs.
+pub fn set_max_area(specs: &[TaskSpec]) -> u64 {
+    specs.iter().map(|s| s.curve.max_area()).sum()
+}

@@ -1,0 +1,45 @@
+//! # rtise
+//!
+//! Instruction-set customization for real-time embedded systems — a full
+//! reproduction of *Huynh & Mitra, "Instruction-Set Customization for
+//! Real-Time Embedded Systems", DATE 2007* and the extensions built on it
+//! (approximate Pareto fronts, iterative MLGP generation, runtime
+//! reconfiguration for sequential and multi-tasking systems).
+//!
+//! This facade crate re-exports the workspace and adds:
+//!
+//! * [`fixtures`] — the paper's task-set compositions (Tables 3.1, 4.1,
+//!   5.2) mapped onto the in-repo benchmark suite;
+//! * [`workbench`] — the end-to-end pipeline: execute a kernel, profile it,
+//!   identify custom-instruction candidates, and produce the configuration
+//!   curve the multi-task selectors consume.
+//!
+//! # Quickstart
+//!
+//! Make an unschedulable two-task system schedulable with custom
+//! instructions:
+//!
+//! ```
+//! use rtise::workbench::{task_specs, CurveOptions};
+//! use rtise::select::select_edf;
+//!
+//! let specs = task_specs(&["crc32", "ndes"], 1.1, CurveOptions::fast())?;
+//! let max_area: u64 = specs.iter().map(|s| s.curve.max_area()).sum();
+//! let sel = select_edf(&specs, max_area)?;
+//! assert!(sel.schedulable, "customization rescued the task set");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use rtise_graphpart as graphpart;
+pub use rtise_ilp as ilp;
+pub use rtise_ir as ir;
+pub use rtise_ise as ise;
+pub use rtise_kernels as kernels;
+pub use rtise_mlgp as mlgp;
+pub use rtise_reconfig as reconfig;
+pub use rtise_rt as rt;
+pub use rtise_select as select;
+pub use rtise_sim as sim;
+
+pub mod fixtures;
+pub mod workbench;

@@ -1,0 +1,457 @@
+//! # rtise-graphpart
+//!
+//! Multilevel k-way partitioning of weighted undirected graphs, after the
+//! Karypis–Kumar scheme the paper uses for temporal partitioning of custom
+//! instructions (§6.3.3): configurations should have roughly equal area
+//! (vertex weight) while the reconfiguration cost crossing between them
+//! (edge cut) is minimized.
+//!
+//! The implementation follows the three classic phases:
+//!
+//! 1. **Coarsening** — heavy-edge matching collapses vertex pairs until the
+//!    graph is small;
+//! 2. **Initial partitioning** — balanced greedy growing on the coarsest
+//!    graph;
+//! 3. **Uncoarsening** — the partition is projected back level by level and
+//!    improved with Kernighan–Lin-style boundary refinement under a balance
+//!    constraint.
+//!
+//! # Example
+//!
+//! Two triangles joined by one light edge split along the bridge:
+//!
+//! ```
+//! use rtise_graphpart::{Graph, partition};
+//!
+//! let mut g = Graph::new(vec![1; 6]);
+//! for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+//!     g.add_edge(u, v, 10);
+//! }
+//! g.add_edge(2, 3, 1);
+//! let p = partition(&g, 2, 42);
+//! assert_eq!(p.edge_cut(&g), 1);
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A weighted undirected graph with integer vertex and edge weights.
+///
+/// Parallel edges are merged by accumulating their weights; self-loops are
+/// ignored (they can never be cut).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    vweights: Vec<u64>,
+    adj: Vec<Vec<(usize, u64)>>,
+}
+
+impl Graph {
+    /// Creates a graph with one vertex per entry of `vertex_weights`.
+    pub fn new(vertex_weights: Vec<u64>) -> Self {
+        let n = vertex_weights.len();
+        Graph {
+            vweights: vertex_weights,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vweights.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vweights.is_empty()
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_weight(&self, v: usize) -> u64 {
+        self.vweights[v]
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vweights.iter().sum()
+    }
+
+    /// Adds (or strengthens) the undirected edge `u — v` by `w`.
+    ///
+    /// Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: u64) {
+        assert!(u < self.len() && v < self.len(), "vertex out of range");
+        if u == v || w == 0 {
+            return;
+        }
+        for &mut (ref t, ref mut ew) in &mut self.adj[u] {
+            if *t == v {
+                *ew += w;
+                self.adj[v]
+                    .iter_mut()
+                    .find(|(t2, _)| *t2 == u)
+                    .expect("symmetric adjacency")
+                    .1 += w;
+                return;
+            }
+        }
+        self.adj[u].push((v, w));
+        self.adj[v].push((u, w));
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: usize) -> &[(usize, u64)] {
+        &self.adj[v]
+    }
+}
+
+/// A k-way assignment of vertices to parts `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// `assignment[v]` is the part of vertex `v`.
+    pub assignment: Vec<usize>,
+    /// Number of parts.
+    pub k: usize,
+}
+
+impl Partitioning {
+    /// Sum of weights of edges whose endpoints lie in different parts.
+    pub fn edge_cut(&self, g: &Graph) -> u64 {
+        let mut cut = 0;
+        for u in 0..g.len() {
+            for &(v, w) in g.neighbors(u) {
+                if u < v && self.assignment[u] != self.assignment[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Total vertex weight per part.
+    pub fn part_weights(&self, g: &Graph) -> Vec<u64> {
+        let mut w = vec![0u64; self.k];
+        for v in 0..g.len() {
+            w[self.assignment[v]] += g.vertex_weight(v);
+        }
+        w
+    }
+
+    /// Ratio of the heaviest part to the ideal `total/k` (1.0 = perfectly
+    /// balanced).
+    pub fn imbalance(&self, g: &Graph) -> f64 {
+        let w = self.part_weights(g);
+        let total: u64 = w.iter().sum();
+        if total == 0 || self.k == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.k as f64;
+        w.iter().copied().max().unwrap_or(0) as f64 / ideal
+    }
+}
+
+/// Maximum allowed part weight as a multiple of the ideal average.
+const BALANCE_FACTOR: f64 = 1.25;
+
+/// Partitions `g` into `k` parts of roughly equal vertex weight while
+/// minimizing edge cut, using the multilevel scheme.
+///
+/// `seed` makes the randomized matching and tie-breaking deterministic.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn partition(g: &Graph, k: usize, seed: u64) -> Partitioning {
+    assert!(k > 0, "k must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if k == 1 || g.len() <= 1 {
+        return Partitioning {
+            assignment: vec![0; g.len()],
+            k,
+        };
+    }
+
+    // Coarsening.
+    let mut levels: Vec<(Graph, Vec<usize>)> = Vec::new(); // (finer graph, map fine->coarse)
+    let mut cur = g.clone();
+    let target = (k * 8).max(24);
+    while cur.len() > target {
+        let (coarse, map) = coarsen(&cur, &mut rng);
+        if coarse.len() as f64 > cur.len() as f64 * 0.95 {
+            break; // diminishing returns
+        }
+        levels.push((cur, map));
+        cur = coarse;
+    }
+
+    // Initial partitioning on the coarsest graph.
+    let mut assignment = initial_partition(&cur, k, &mut rng);
+    refine(&cur, k, &mut assignment, &mut rng);
+
+    // Uncoarsening with refinement at every level.
+    while let Some((finer, map)) = levels.pop() {
+        let mut fine_assign = vec![0usize; finer.len()];
+        for v in 0..finer.len() {
+            fine_assign[v] = assignment[map[v]];
+        }
+        assignment = fine_assign;
+        refine(&finer, k, &mut assignment, &mut rng);
+        cur = finer;
+    }
+    debug_assert_eq!(cur.len(), g.len());
+    Partitioning { assignment, k }
+}
+
+/// One level of heavy-edge matching. Returns the coarse graph and the
+/// fine-to-coarse vertex map.
+fn coarsen(g: &Graph, rng: &mut SmallRng) -> (Graph, Vec<usize>) {
+    let n = g.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut matched = vec![usize::MAX; n];
+    let mut coarse_count = 0usize;
+    let mut map = vec![usize::MAX; n];
+    for &u in &order {
+        if map[u] != usize::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let partner = g
+            .neighbors(u)
+            .iter()
+            .filter(|(v, _)| map[*v] == usize::MAX && *v != u)
+            .max_by_key(|(_, w)| *w)
+            .map(|&(v, _)| v);
+        map[u] = coarse_count;
+        if let Some(v) = partner {
+            map[v] = coarse_count;
+            matched[u] = v;
+        }
+        coarse_count += 1;
+    }
+    let mut vweights = vec![0u64; coarse_count];
+    for v in 0..n {
+        vweights[map[v]] += g.vertex_weight(v);
+    }
+    let mut coarse = Graph::new(vweights);
+    for u in 0..n {
+        for &(v, w) in g.neighbors(u) {
+            if u < v && map[u] != map[v] {
+                coarse.add_edge(map[u], map[v], w);
+            }
+        }
+    }
+    (coarse, map)
+}
+
+/// Balanced greedy-growing initial partition.
+fn initial_partition(g: &Graph, k: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let n = g.len();
+    let mut assignment = vec![usize::MAX; n];
+    let mut part_w = vec![0u64; k];
+    let limit = (g.total_weight() as f64 / k as f64 * BALANCE_FACTOR).ceil() as u64;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    // BFS-grow from random seeds, always extending the lightest part with its
+    // most-connected frontier vertex.
+    for &v in &order {
+        if assignment[v] != usize::MAX {
+            continue;
+        }
+        // Prefer the part with most connectivity to v that still has room;
+        // fall back to the lightest part.
+        let mut conn = vec![0u64; k];
+        for &(u, w) in g.neighbors(v) {
+            if assignment[u] != usize::MAX {
+                conn[assignment[u]] += w;
+            }
+        }
+        let best = (0..k)
+            .filter(|&p| part_w[p] + g.vertex_weight(v) <= limit)
+            .max_by_key(|&p| (conn[p], std::cmp::Reverse(part_w[p])))
+            .unwrap_or_else(|| {
+                (0..k)
+                    .min_by_key(|&p| part_w[p])
+                    .expect("k > 0")
+            });
+        assignment[v] = best;
+        part_w[best] += g.vertex_weight(v);
+    }
+    assignment
+}
+
+/// Greedy boundary refinement: repeatedly move vertices whose cut gain is
+/// positive (or balance-improving at zero gain) until a pass makes no move.
+fn refine(g: &Graph, k: usize, assignment: &mut [usize], rng: &mut SmallRng) {
+    let n = g.len();
+    let mut part_w = vec![0u64; k];
+    for v in 0..n {
+        part_w[assignment[v]] += g.vertex_weight(v);
+    }
+    let limit = (g.total_weight() as f64 / k as f64 * BALANCE_FACTOR).ceil() as u64;
+    let mut order: Vec<usize> = (0..n).collect();
+    for _pass in 0..8 {
+        order.shuffle(rng);
+        let mut moved = false;
+        for &v in &order {
+            let from = assignment[v];
+            let mut conn = vec![0i64; k];
+            let mut boundary = false;
+            for &(u, w) in g.neighbors(v) {
+                conn[assignment[u]] += w as i64;
+                if assignment[u] != from {
+                    boundary = true;
+                }
+            }
+            if !boundary {
+                continue;
+            }
+            let internal = conn[from];
+            let vw = g.vertex_weight(v);
+            let mut best: Option<(i64, usize)> = None;
+            for to in 0..k {
+                if to == from || part_w[to] + vw > limit {
+                    continue;
+                }
+                let gain = conn[to] - internal;
+                let better_balance = part_w[to] + vw < part_w[from];
+                if (gain > 0 || (gain == 0 && better_balance))
+                    && best.is_none_or(|(bg, _)| gain > bg) {
+                        best = Some((gain, to));
+                    }
+            }
+            if let Some((_, to)) = best {
+                part_w[from] -= vw;
+                part_w[to] += vw;
+                assignment[v] = to;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    fn clique_pair(bridge_w: u64) -> Graph {
+        let mut g = Graph::new(vec![1; 8]);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v, 100);
+                g.add_edge(u + 4, v + 4, 100);
+            }
+        }
+        g.add_edge(3, 4, bridge_w);
+        g
+    }
+
+    #[test]
+    fn splits_cliques_along_bridge() {
+        let g = clique_pair(1);
+        let p = partition(&g, 2, 7);
+        assert_eq!(p.edge_cut(&g), 1);
+        assert_eq!(p.part_weights(&g), vec![4, 4]);
+    }
+
+    #[test]
+    fn k_equals_one_is_trivial() {
+        let g = clique_pair(1);
+        let p = partition(&g, 1, 0);
+        assert_eq!(p.edge_cut(&g), 0);
+        assert!(p.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut g = Graph::new(vec![1, 1]);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 1, 4);
+        assert_eq!(g.neighbors(0), &[(1, 7)]);
+        assert_eq!(g.neighbors(1), &[(0, 7)]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::new(vec![1]);
+        g.add_edge(0, 0, 9);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn respects_vertex_weights_for_balance() {
+        // One huge vertex and six small ones: the huge vertex should sit
+        // alone (or nearly) in its part.
+        let mut g = Graph::new(vec![60, 10, 10, 10, 10, 10, 10]);
+        for v in 1..7 {
+            g.add_edge(0, v, 1);
+        }
+        let p = partition(&g, 2, 3);
+        assert!(p.imbalance(&g) <= BALANCE_FACTOR + 1e-9);
+    }
+
+    #[test]
+    fn larger_random_graph_is_balanced_and_cut_bounded() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let n = 200;
+        let mut g = Graph::new(vec![1; n]);
+        // Ring of cliques: 10 clusters of 20.
+        for c in 0..10 {
+            let base = c * 20;
+            for u in 0..20 {
+                for v in (u + 1)..20 {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge(base + u, base + v, 10);
+                    }
+                }
+            }
+            g.add_edge(base + 19, (base + 20) % n, 1);
+        }
+        let p = partition(&g, 5, 11);
+        // Cutting only inter-cluster bridges costs at most 10.
+        assert!(p.edge_cut(&g) <= 30, "cut {} too high", p.edge_cut(&g));
+        assert!(p.imbalance(&g) <= BALANCE_FACTOR + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = clique_pair(2);
+        let a = partition(&g, 2, 5);
+        let b = partition(&g, 2, 5);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn assignment_always_valid(n in 1usize..40, k in 1usize..6, seed in 0u64..50) {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mut g = Graph::new((0..n).map(|_| rng.gen_range(1..5)).collect());
+            for u in 0..n {
+                for v in (u+1)..n {
+                    if rng.gen_bool(0.2) {
+                        g.add_edge(u, v, rng.gen_range(1..10));
+                    }
+                }
+            }
+            let p = partition(&g, k, seed);
+            prop_assert_eq!(p.assignment.len(), n);
+            prop_assert!(p.assignment.iter().all(|&a| a < k));
+            // edge_cut is symmetric and bounded by total edge weight.
+            let total_w: u64 = (0..n).map(|u| g.neighbors(u).iter().map(|(_, w)| w).sum::<u64>()).sum::<u64>() / 2;
+            prop_assert!(p.edge_cut(&g) <= total_w);
+        }
+    }
+}

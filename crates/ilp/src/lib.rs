@@ -1,0 +1,536 @@
+//! # rtise-ilp
+//!
+//! An exact solver for 0–1 integer linear programs, built as the "optimal"
+//! baseline the paper obtains from a commercial ILP solver (§7.3.1).
+//!
+//! The solver is a depth-first branch-and-bound over binary variables with
+//! two prunings:
+//!
+//! * **feasibility** — for every constraint it tracks the best-case
+//!   contribution still achievable from unassigned variables and abandons a
+//!   branch as soon as a row can no longer be satisfied;
+//! * **bounding** — the objective of any completion is bounded below by the
+//!   current value plus the sum of all still-selectable negative
+//!   coefficients; branches that cannot beat the incumbent are cut.
+//!
+//! All coefficients are `i64`; callers with rational data (e.g. processor
+//! utilization) scale to a common denominator first, keeping arithmetic
+//! exact. Problem sizes in this workspace are a few hundred binaries, well
+//! within reach of an exact search.
+//!
+//! # Example
+//!
+//! A 0–1 knapsack: maximize value under a weight budget.
+//!
+//! ```
+//! use rtise_ilp::{Model, Sense};
+//!
+//! let mut m = Model::new(3);
+//! m.set_objective(Sense::Maximize, &[60, 100, 120]);
+//! m.add_le(&[(0, 10), (1, 20), (2, 30)], 50);
+//! let sol = m.solve()?;
+//! assert_eq!(sol.objective, 220);
+//! assert_eq!(sol.values, vec![false, true, true]);
+//! # Ok::<(), rtise_ilp::SolveError>(())
+//! ```
+
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    terms: Vec<(usize, i64)>,
+    cmp: Cmp,
+    rhs: i64,
+}
+
+/// Errors from [`Model::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// No assignment satisfies all constraints.
+    Infeasible,
+    /// A constraint or objective referenced a variable outside the model.
+    VarOutOfRange {
+        /// The offending variable index.
+        var: usize,
+    },
+    /// The node budget was exhausted before proving optimality.
+    NodeLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::VarOutOfRange { var } => write!(f, "variable {var} out of range"),
+            SolveError::NodeLimit { limit } => {
+                write!(f, "exceeded branch-and-bound node limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Objective value in the model's original sense.
+    pub objective: i64,
+    /// Assignment of each binary variable.
+    pub values: Vec<bool>,
+    /// Branch-and-bound nodes explored (for running-time tables).
+    pub nodes: u64,
+}
+
+/// A 0–1 integer linear program.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Model {
+    n: usize,
+    objective: Vec<i64>,
+    sense: Sense,
+    rows: Vec<Row>,
+    node_limit: u64,
+}
+
+impl Model {
+    /// Creates a model with `n` binary variables, objective 0, sense
+    /// minimize.
+    pub fn new(n: usize) -> Self {
+        Model {
+            n,
+            objective: vec![0; n],
+            sense: Sense::Minimize,
+            rows: Vec::new(),
+            node_limit: u64::MAX,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective `sense (coeffs · x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars()`.
+    pub fn set_objective(&mut self, sense: Sense, coeffs: &[i64]) {
+        assert_eq!(coeffs.len(), self.n, "objective length mismatch");
+        self.sense = sense;
+        self.objective = coeffs.to_vec();
+    }
+
+    /// Adds `terms · x <= rhs`.
+    pub fn add_le(&mut self, terms: &[(usize, i64)], rhs: i64) {
+        self.rows.push(Row {
+            terms: terms.to_vec(),
+            cmp: Cmp::Le,
+            rhs,
+        });
+    }
+
+    /// Adds `terms · x >= rhs`.
+    pub fn add_ge(&mut self, terms: &[(usize, i64)], rhs: i64) {
+        self.rows.push(Row {
+            terms: terms.to_vec(),
+            cmp: Cmp::Ge,
+            rhs,
+        });
+    }
+
+    /// Adds `terms · x == rhs`.
+    pub fn add_eq(&mut self, terms: &[(usize, i64)], rhs: i64) {
+        self.rows.push(Row {
+            terms: terms.to_vec(),
+            cmp: Cmp::Eq,
+            rhs,
+        });
+    }
+
+    /// Caps the number of branch-and-bound nodes before
+    /// [`SolveError::NodeLimit`] is returned.
+    pub fn set_node_limit(&mut self, limit: u64) {
+        self.node_limit = limit;
+    }
+
+    /// Solves the model to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when no assignment satisfies all rows,
+    /// [`SolveError::VarOutOfRange`] on malformed input, or
+    /// [`SolveError::NodeLimit`] if a limit was set and exhausted.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        for (v, _) in self.rows.iter().flat_map(|r| r.terms.iter()) {
+            if *v >= self.n {
+                return Err(SolveError::VarOutOfRange { var: *v });
+            }
+        }
+
+        // Normalize to minimize, all rows as `<=`.
+        let obj: Vec<i64> = match self.sense {
+            Sense::Minimize => self.objective.clone(),
+            Sense::Maximize => self.objective.iter().map(|c| -c).collect(),
+        };
+        let mut le_rows: Vec<(Vec<(usize, i64)>, i64)> = Vec::new();
+        for r in &self.rows {
+            match r.cmp {
+                Cmp::Le => le_rows.push((r.terms.clone(), r.rhs)),
+                Cmp::Ge => {
+                    le_rows.push((r.terms.iter().map(|&(v, c)| (v, -c)).collect(), -r.rhs))
+                }
+                Cmp::Eq => {
+                    le_rows.push((r.terms.clone(), r.rhs));
+                    le_rows.push((r.terms.iter().map(|&(v, c)| (v, -c)).collect(), -r.rhs));
+                }
+            }
+        }
+
+        // Variable order: largest |objective| first to find good incumbents
+        // early.
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(obj[v].abs()));
+        let mut pos = vec![0usize; self.n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+
+        // Dense coefficient matrix per row (problems here are small), and
+        // suffix-minimum achievable contribution per (row, depth).
+        let m = le_rows.len();
+        let mut coeff = vec![vec![0i64; self.n]; m];
+        for (ri, (terms, _)) in le_rows.iter().enumerate() {
+            for &(v, c) in terms {
+                coeff[ri][pos[v]] += c;
+            }
+        }
+        let mut min_rem = vec![vec![0i64; self.n + 1]; m];
+        for (ri, row) in coeff.iter().enumerate() {
+            for d in (0..self.n).rev() {
+                min_rem[ri][d] = min_rem[ri][d + 1] + row[d].min(0);
+            }
+        }
+        let obj_ordered: Vec<i64> = order.iter().map(|&v| obj[v]).collect();
+        let mut obj_min_rem = vec![0i64; self.n + 1];
+        for d in (0..self.n).rev() {
+            obj_min_rem[d] = obj_min_rem[d + 1] + obj_ordered[d].min(0);
+        }
+        let rhs: Vec<i64> = le_rows.iter().map(|(_, r)| *r).collect();
+
+        let mut search = Search {
+            n: self.n,
+            m,
+            coeff: &coeff,
+            min_rem: &min_rem,
+            obj: &obj_ordered,
+            obj_min_rem: &obj_min_rem,
+            rhs: &rhs,
+            lhs: vec![0; m],
+            assign: vec![false; self.n],
+            best: None,
+            nodes: 0,
+            node_limit: self.node_limit,
+        };
+        search.dfs(0, 0)?;
+        let nodes = search.nodes;
+        let (obj_val, ordered_assign) = search.best.ok_or(SolveError::Infeasible)?;
+
+        let mut values = vec![false; self.n];
+        for (d, &v) in order.iter().enumerate() {
+            values[v] = ordered_assign[d];
+        }
+        let objective = match self.sense {
+            Sense::Minimize => obj_val,
+            Sense::Maximize => -obj_val,
+        };
+        Ok(Solution {
+            objective,
+            values,
+            nodes,
+        })
+    }
+}
+
+struct Search<'a> {
+    n: usize,
+    m: usize,
+    coeff: &'a [Vec<i64>],
+    min_rem: &'a [Vec<i64>],
+    obj: &'a [i64],
+    obj_min_rem: &'a [i64],
+    rhs: &'a [i64],
+    lhs: Vec<i64>,
+    assign: Vec<bool>,
+    best: Option<(i64, Vec<bool>)>,
+    nodes: u64,
+    node_limit: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize, cur_obj: i64) -> Result<(), SolveError> {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            return Err(SolveError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        // Feasibility pruning.
+        for ri in 0..self.m {
+            if self.lhs[ri] + self.min_rem[ri][depth] > self.rhs[ri] {
+                return Ok(());
+            }
+        }
+        // Objective bound.
+        if let Some((best, _)) = &self.best {
+            if cur_obj + self.obj_min_rem[depth] >= *best {
+                return Ok(());
+            }
+        }
+        if depth == self.n {
+            if self.best.as_ref().is_none_or(|(b, _)| cur_obj < *b) {
+                self.best = Some((cur_obj, self.assign.clone()));
+            }
+            return Ok(());
+        }
+        // Branch on the objective-improving value first.
+        let branch_order: [bool; 2] = if self.obj[depth] < 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for val in branch_order {
+            self.assign[depth] = val;
+            if val {
+                for ri in 0..self.m {
+                    self.lhs[ri] += self.coeff[ri][depth];
+                }
+            }
+            let next_obj = cur_obj + if val { self.obj[depth] } else { 0 };
+            self.dfs(depth + 1, next_obj)?;
+            if val {
+                for ri in 0..self.m {
+                    self.lhs[ri] -= self.coeff[ri][depth];
+                }
+            }
+        }
+        self.assign[depth] = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exhaustive reference solver for small models.
+    fn brute(m: &Model) -> Option<(i64, Vec<bool>)> {
+        let n = m.n;
+        let mut best: Option<(i64, Vec<bool>)> = None;
+        for mask in 0u64..(1 << n) {
+            let x: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            let ok = m.rows.iter().all(|r| {
+                let lhs: i64 = r
+                    .terms
+                    .iter()
+                    .map(|&(v, c)| if x[v] { c } else { 0 })
+                    .sum();
+                match r.cmp {
+                    Cmp::Le => lhs <= r.rhs,
+                    Cmp::Ge => lhs >= r.rhs,
+                    Cmp::Eq => lhs == r.rhs,
+                }
+            });
+            if !ok {
+                continue;
+            }
+            let obj: i64 = (0..n).map(|i| if x[i] { m.objective[i] } else { 0 }).sum();
+            let better = match (&best, m.sense) {
+                (None, _) => true,
+                (Some((b, _)), Sense::Minimize) => obj < *b,
+                (Some((b, _)), Sense::Maximize) => obj > *b,
+            };
+            if better {
+                best = Some((obj, x));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_maximize() {
+        let mut m = Model::new(4);
+        m.set_objective(Sense::Maximize, &[10, 40, 30, 50]);
+        m.add_le(&[(0, 5), (1, 4), (2, 6), (3, 3)], 10);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective, 90);
+        assert_eq!(s.values, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // Exactly one of x0..x2, minimize cost.
+        let mut m = Model::new(3);
+        m.set_objective(Sense::Minimize, &[5, 3, 9]);
+        m.add_eq(&[(0, 1), (1, 1), (2, 1)], 1);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective, 3);
+        assert_eq!(s.values, vec![false, true, false]);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        let mut m = Model::new(3);
+        m.set_objective(Sense::Minimize, &[4, 7, 2]);
+        m.add_ge(&[(0, 1), (1, 1), (2, 1)], 2);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective, 6); // x0 + x2
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(2);
+        m.add_ge(&[(0, 1), (1, 1)], 3);
+        assert_eq!(m.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn empty_model_is_trivially_optimal() {
+        let m = Model::new(0);
+        let s = m.solve().expect("trivial");
+        assert_eq!(s.objective, 0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn negative_objective_prefers_ones() {
+        let mut m = Model::new(2);
+        m.set_objective(Sense::Minimize, &[-5, -3]);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective, -8);
+        assert_eq!(s.values, vec![true, true]);
+    }
+
+    #[test]
+    fn var_out_of_range_reported() {
+        let mut m = Model::new(2);
+        m.add_le(&[(5, 1)], 1);
+        assert_eq!(m.solve(), Err(SolveError::VarOutOfRange { var: 5 }));
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut m = Model::new(20);
+        let obj: Vec<i64> = (0..20).map(|i| -(i as i64)).collect();
+        m.set_objective(Sense::Minimize, &obj);
+        // Awkward parity constraint forces exploration.
+        let terms: Vec<(usize, i64)> = (0..20).map(|i| (i, 1)).collect();
+        m.add_eq(&terms, 10);
+        m.set_node_limit(5);
+        assert_eq!(m.solve(), Err(SolveError::NodeLimit { limit: 5 }));
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        // x0 + x0 <= 1 forbids x0 = 1.
+        let mut m = Model::new(1);
+        m.set_objective(Sense::Maximize, &[1]);
+        m.add_le(&[(0, 1), (0, 1)], 1);
+        let s = m.solve().expect("feasible");
+        assert_eq!(s.objective, 0);
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for case in 0..60 {
+            let n = rng.gen_range(1..=10);
+            let mut m = Model::new(n);
+            let sense = if rng.gen_bool(0.5) {
+                Sense::Minimize
+            } else {
+                Sense::Maximize
+            };
+            let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..=20)).collect();
+            m.set_objective(sense, &obj);
+            for _ in 0..rng.gen_range(0..4) {
+                let mut terms: Vec<(usize, i64)> = Vec::new();
+                for v in 0..n {
+                    if rng.gen_bool(0.7) {
+                        terms.push((v, rng.gen_range(-10..=10)));
+                    }
+                }
+                let rhs = rng.gen_range(-10..=15);
+                match rng.gen_range(0..3) {
+                    0 => m.add_le(&terms, rhs),
+                    1 => m.add_ge(&terms, rhs),
+                    _ => m.add_eq(&terms, rhs),
+                }
+            }
+            let want = brute(&m);
+            match (m.solve(), want) {
+                (Ok(s), Some((obj, _))) => {
+                    assert_eq!(s.objective, obj, "case {case}: objective mismatch")
+                }
+                (Err(SolveError::Infeasible), None) => {}
+                (got, want) => panic!("case {case}: got {got:?}, brute {want:?}"),
+            }
+        }
+    }
+
+    proptest! {
+        /// Any returned solution satisfies all constraints.
+        #[test]
+        fn solutions_are_feasible(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..=8usize);
+            let mut m = Model::new(n);
+            let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-9..=9)).collect();
+            m.set_objective(Sense::Minimize, &obj);
+            let terms: Vec<(usize, i64)> =
+                (0..n).map(|v| (v, rng.gen_range(-5..=5))).collect();
+            m.add_le(&terms, rng.gen_range(0..=10));
+            if let Ok(s) = m.solve() {
+                for r in &m.rows {
+                    let lhs: i64 = r.terms.iter()
+                        .map(|&(v, c)| if s.values[v] { c } else { 0 })
+                        .sum();
+                    prop_assert!(lhs <= r.rhs);
+                }
+            }
+        }
+    }
+}

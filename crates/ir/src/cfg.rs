@@ -1,0 +1,623 @@
+//! Basic blocks, programs, and control-flow analysis.
+//!
+//! A [`Program`] is an executable control-flow graph: each [`BasicBlock`]
+//! holds a [`Dfg`] (straight-line data flow over variable slots and memory)
+//! and a [`Terminator`]. [`Cfg`] derives the structural facts the analyses
+//! need — predecessors/successors, dominators and natural loops — and is the
+//! substrate for both the WCET timing schema ([`crate::wcet`]) and hot-loop
+//! detection in the reconfiguration flow.
+
+use crate::dfg::Dfg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a basic block within its [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on variable slot `cond`: non-zero takes `then_block`.
+    Branch {
+        /// Variable slot holding the branch condition.
+        cond: usize,
+        /// Successor when the condition is non-zero.
+        then_block: BlockId,
+        /// Successor when the condition is zero.
+        else_block: BlockId,
+    },
+    /// Function return; ends execution of the program.
+    Return,
+}
+
+impl Terminator {
+    /// Control-transfer cost on the base core, in cycles.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Terminator::Return => 1,
+            Terminator::Jump(_) => 1,
+            Terminator::Branch { .. } => 1,
+        }
+    }
+
+    /// Successor blocks (empty for [`Terminator::Return`]).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(b) => vec![b],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![then_block, else_block],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+/// One basic block: a name (for reports), its data-flow graph, and its
+/// terminator.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Human-readable label, used in experiment reports.
+    pub name: String,
+    /// Straight-line data flow of the block.
+    pub dfg: Dfg,
+    /// Control transfer out of the block.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Total base-core cycles to execute the block once: data-flow software
+    /// latency plus the control-transfer cost.
+    pub fn cost(&self) -> u64 {
+        self.dfg.sw_latency_total() + self.terminator.cost()
+    }
+}
+
+/// An error found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// A terminator targets a block id outside the program.
+    DanglingTarget {
+        /// Block whose terminator is invalid.
+        from: BlockId,
+        /// The out-of-range target.
+        to: BlockId,
+    },
+    /// A branch condition or DFG slot exceeds the declared variable count.
+    SlotOutOfRange {
+        /// Block containing the reference.
+        block: BlockId,
+        /// The offending slot.
+        slot: usize,
+    },
+    /// The program has no blocks.
+    Empty,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::DanglingTarget { from, to } => {
+                write!(f, "block {} jumps to missing block {}", from.0, to.0)
+            }
+            ValidateProgramError::SlotOutOfRange { block, slot } => {
+                write!(f, "block {} uses out-of-range slot {}", block.0, slot)
+            }
+            ValidateProgramError::Empty => write!(f, "program has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+/// An executable program: blocks, an entry point, a variable file, a flat
+/// data memory, and per-loop iteration bounds for WCET analysis.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name, used in benchmark tables.
+    pub name: String,
+    /// The basic blocks; [`BlockId`] indexes into this.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Number of `i64` variable slots.
+    pub n_vars: usize,
+    /// Number of `i64` memory words.
+    pub mem_size: usize,
+    /// Maximum iteration count per loop header, required by WCET analysis.
+    pub loop_bounds: HashMap<BlockId, u64>,
+}
+
+impl Program {
+    /// Creates an empty program shell.
+    pub fn new(name: impl Into<String>, n_vars: usize, mem_size: usize) -> Self {
+        Program {
+            name: name.into(),
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            n_vars,
+            mem_size,
+            loop_bounds: HashMap::new(),
+        }
+    }
+
+    /// Appends a block and returns its id.
+    pub fn add_block(&mut self, block: BasicBlock) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// Declares the iteration bound of the loop headed at `header`.
+    pub fn set_loop_bound(&mut self, header: BlockId, bound: u64) {
+        self.loop_bounds.insert(header, bound);
+    }
+
+    /// Borrow a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.0]
+    }
+
+    /// Iterates all block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId)
+    }
+
+    /// Checks structural sanity (targets in range, slots within the variable
+    /// file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateProgramError`] encountered.
+    pub fn validate(&self) -> Result<(), ValidateProgramError> {
+        if self.blocks.is_empty() {
+            return Err(ValidateProgramError::Empty);
+        }
+        for id in self.block_ids() {
+            let bb = self.block(id);
+            for t in bb.terminator.successors() {
+                if t.0 >= self.blocks.len() {
+                    return Err(ValidateProgramError::DanglingTarget { from: id, to: t });
+                }
+            }
+            if let Terminator::Branch { cond, .. } = bb.terminator {
+                if cond >= self.n_vars {
+                    return Err(ValidateProgramError::SlotOutOfRange {
+                        block: id,
+                        slot: cond,
+                    });
+                }
+            }
+            for n in bb.dfg.ids() {
+                let node = bb.dfg.node_ref(n);
+                if matches!(node.kind(), crate::op::OpKind::Input | crate::op::OpKind::Output)
+                    && node.slot() >= self.n_vars
+                {
+                    return Err(ValidateProgramError::SlotOutOfRange {
+                        block: id,
+                        slot: node.slot(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum basic-block size in primitive instructions (Table 5.1).
+    pub fn max_block_ops(&self) -> usize {
+        self.blocks.iter().map(|b| b.dfg.op_count()).max().unwrap_or(0)
+    }
+
+    /// Average basic-block size in primitive instructions (Table 5.1).
+    pub fn avg_block_ops(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().map(|b| b.dfg.op_count()).sum::<usize>() as f64
+            / self.blocks.len() as f64
+    }
+}
+
+/// A natural loop discovered by [`Cfg::analyze`].
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop body, header included.
+    pub blocks: Vec<BlockId>,
+    /// Sources of back edges (`latch -> header`).
+    pub latches: Vec<BlockId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: usize,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to the loop body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// Derived control-flow facts for a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    idom: Vec<Option<BlockId>>,
+    loops: Vec<NaturalLoop>,
+}
+
+impl Cfg {
+    /// Computes predecessors/successors, dominators (iterative
+    /// Cooper–Harvey–Kennedy on reverse postorder) and natural loops.
+    ///
+    /// Unreachable blocks are ignored by the dominator and loop analyses.
+    pub fn analyze(program: &Program) -> Self {
+        let n = program.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for id in program.block_ids() {
+            for t in program.block(id).terminator.successors() {
+                succs[id.0].push(t);
+                preds[t.0].push(id);
+            }
+        }
+
+        // Reverse postorder from entry.
+        let mut rpo = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack = vec![(program.entry, 0usize)];
+        state[program.entry.0] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.0].len() {
+                let s = succs[b.0][*i];
+                *i += 1;
+                if state[s.0] == 0 {
+                    state[s.0] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.0] = 2;
+                rpo.push(b);
+                stack.pop();
+            }
+        }
+        rpo.reverse();
+
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+
+        // Iterative dominators.
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[program.entry.0] = Some(program.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                if b == program.entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0] {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0] != Some(ni) {
+                        idom[b.0] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Natural loops: back edge t -> h where h dominates t.
+        let dominates = |a: BlockId, mut b: BlockId| -> bool {
+            loop {
+                if a == b {
+                    return true;
+                }
+                match idom[b.0] {
+                    Some(d) if d != b => b = d,
+                    _ => return false,
+                }
+            }
+        };
+        let mut loops_by_header: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &t in &rpo {
+            for &h in &succs[t.0] {
+                if dominates(h, t) {
+                    loops_by_header.entry(h).or_default().push(t);
+                }
+            }
+        }
+        // Body = header plus everything that reaches a latch backwards
+        // without passing through the header.
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (&h, latches) in &loops_by_header {
+            let mut body = vec![h];
+            let mut work: Vec<BlockId> = latches.clone();
+            while let Some(b) = work.pop() {
+                if !body.contains(&b) {
+                    body.push(b);
+                    for &p in &preds[b.0] {
+                        work.push(p);
+                    }
+                }
+            }
+            body.sort_by_key(|b| b.0);
+            loops.push(NaturalLoop {
+                header: h,
+                blocks: body,
+                latches: latches.clone(),
+                depth: 0,
+            });
+        }
+        // Nesting depth: loop A contains loop B if B.header ∈ A.blocks, A ≠ B.
+        let containment: Vec<usize> = loops
+            .iter()
+            .map(|b| {
+                loops
+                    .iter()
+                    .filter(|a| a.header != b.header && a.blocks.contains(&b.header))
+                    .count()
+            })
+            .collect();
+        for (l, c) in loops.iter_mut().zip(containment) {
+            l.depth = c + 1;
+        }
+        loops.sort_by_key(|l| (l.depth, l.header.0));
+
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            idom,
+            loops,
+        }
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0]
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0]
+    }
+
+    /// Reachable blocks in reverse postorder.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Immediate dominator (the entry dominates itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0]
+    }
+
+    /// Natural loops, outermost first.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Natural loops, innermost first (deepest nesting first).
+    pub fn loops_innermost_first(&self) -> Vec<&NaturalLoop> {
+        let mut v: Vec<&NaturalLoop> = self.loops.iter().collect();
+        v.sort_by(|a, b| b.depth.cmp(&a.depth).then(a.header.0.cmp(&b.header.0)));
+        v
+    }
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0] > rpo_index[b.0] {
+            a = idom[a.0].expect("dominator chain broken");
+        }
+        while rpo_index[b.0] > rpo_index[a.0] {
+            b = idom[b.0].expect("dominator chain broken");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn empty_block(name: &str, term: Terminator) -> BasicBlock {
+        BasicBlock {
+            name: name.into(),
+            dfg: Dfg::new(),
+            terminator: term,
+        }
+    }
+
+    /// entry -> header; header -> {body, exit}; body -> header (loop).
+    fn while_loop_program() -> Program {
+        let mut p = Program::new("while", 2, 0);
+        let mut hdr_dfg = Dfg::new();
+        let i = hdr_dfg.input(0);
+        let c = hdr_dfg.bin_imm(OpKind::Lt, i, 10);
+        hdr_dfg.output(1, c);
+        p.add_block(empty_block("entry", Terminator::Jump(BlockId(1))));
+        p.add_block(BasicBlock {
+            name: "header".into(),
+            dfg: hdr_dfg,
+            terminator: Terminator::Branch {
+                cond: 1,
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+        });
+        let mut body_dfg = Dfg::new();
+        let i = body_dfg.input(0);
+        let i1 = body_dfg.bin_imm(OpKind::Add, i, 1);
+        body_dfg.output(0, i1);
+        p.add_block(BasicBlock {
+            name: "body".into(),
+            dfg: body_dfg,
+            terminator: Terminator::Jump(BlockId(1)),
+        });
+        p.add_block(empty_block("exit", Terminator::Return));
+        p.set_loop_bound(BlockId(1), 10);
+        p
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(while_loop_program().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_target() {
+        let mut p = Program::new("bad", 1, 0);
+        p.add_block(empty_block("b", Terminator::Jump(BlockId(7))));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::DanglingTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_slot() {
+        let mut p = Program::new("bad", 1, 0);
+        p.add_block(empty_block(
+            "b",
+            Terminator::Branch {
+                cond: 5,
+                then_block: BlockId(0),
+                else_block: BlockId(0),
+            },
+        ));
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::SlotOutOfRange { slot: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(
+            Program::new("e", 0, 0).validate(),
+            Err(ValidateProgramError::Empty)
+        );
+    }
+
+    #[test]
+    fn loop_detection_finds_while_loop() {
+        let p = while_loop_program();
+        let cfg = Cfg::analyze(&p);
+        assert_eq!(cfg.loops().len(), 1);
+        let l = &cfg.loops()[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)) && !l.contains(BlockId(3)));
+        assert_eq!(l.depth, 1);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // 0 -> {1,2} -> 3
+        let mut p = Program::new("diamond", 1, 0);
+        p.add_block(empty_block(
+            "a",
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        ));
+        p.add_block(empty_block("b", Terminator::Jump(BlockId(3))));
+        p.add_block(empty_block("c", Terminator::Jump(BlockId(3))));
+        p.add_block(empty_block("d", Terminator::Return));
+        let cfg = Cfg::analyze(&p);
+        assert_eq!(cfg.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(cfg.idom(BlockId(1)), Some(BlockId(0)));
+        assert!(cfg.loops().is_empty());
+    }
+
+    #[test]
+    fn nested_loops_get_depths() {
+        // 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner body) -> 2; 2 -> 4 -> 1; 1 -> 5.
+        let mut p = Program::new("nested", 1, 0);
+        p.add_block(empty_block("e", Terminator::Jump(BlockId(1))));
+        p.add_block(empty_block(
+            "outer",
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(2),
+                else_block: BlockId(5),
+            },
+        ));
+        p.add_block(empty_block(
+            "inner",
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(3),
+                else_block: BlockId(4),
+            },
+        ));
+        p.add_block(empty_block("ibody", Terminator::Jump(BlockId(2))));
+        p.add_block(empty_block("latch", Terminator::Jump(BlockId(1))));
+        p.add_block(empty_block("exit", Terminator::Return));
+        let cfg = Cfg::analyze(&p);
+        assert_eq!(cfg.loops().len(), 2);
+        let inner = cfg
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(2))
+            .expect("inner loop");
+        let outer = cfg
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .expect("outer loop");
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.depth, 1);
+        assert!(outer.contains(BlockId(2)) && outer.contains(BlockId(4)));
+        let innermost = cfg.loops_innermost_first();
+        assert_eq!(innermost[0].header, BlockId(2));
+    }
+
+    #[test]
+    fn block_cost_includes_terminator() {
+        let p = while_loop_program();
+        // header: lt (1 cycle) + branch (1 cycle); inputs/outputs free.
+        assert_eq!(p.block(BlockId(1)).cost(), 2);
+        assert_eq!(p.max_block_ops(), 1);
+    }
+}

@@ -1,0 +1,504 @@
+//! Data-flow graphs and custom-instruction feasibility checks.
+//!
+//! A [`Dfg`] models one basic block: a directed acyclic graph whose nodes are
+//! primitive operations ([`crate::op::OpKind`]) and whose edges are data
+//! dependencies. Custom-instruction candidates are node subsets
+//! ([`crate::nodeset::NodeSet`]) that must satisfy the three architectural
+//! constraints of §2.3.1 / §5.2.1 of the paper:
+//!
+//! 1. every member operation is hardware-implementable
+//!    ([`OpKind::is_ci_valid`]),
+//! 2. the subgraph is **convex** — no data path leaves and re-enters it
+//!    ([`Dfg::is_convex`]), so it can execute atomically,
+//! 3. its distinct input/output operand counts fit the register-file port
+//!    budget ([`Dfg::io_counts`], [`IoCounts::fits`]).
+
+use crate::nodeset::NodeSet;
+use crate::op::OpKind;
+use std::collections::HashMap;
+
+/// Index of a node within its owning [`Dfg`].
+///
+/// Ids are assigned in construction order, which the builder guarantees to be
+/// a topological order (operands always precede their consumers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// An operand given to [`Dfg::node`]: either an existing node or an
+/// immediate, which is interned as a [`OpKind::Const`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// The value produced by an existing node.
+    Node(NodeId),
+    /// An immediate constant (interned and deduplicated).
+    Imm(i64),
+}
+
+/// One operation in a [`Dfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    kind: OpKind,
+    args: Vec<NodeId>,
+    /// Constant value for [`OpKind::Const`], variable slot for
+    /// [`OpKind::Input`] / [`OpKind::Output`]; unused otherwise.
+    payload: i64,
+}
+
+impl Node {
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Ordered operand nodes.
+    pub fn args(&self) -> &[NodeId] {
+        &self.args
+    }
+
+    /// The constant value of a [`OpKind::Const`] node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a constant.
+    pub fn const_value(&self) -> i64 {
+        assert_eq!(self.kind, OpKind::Const, "not a const node");
+        self.payload
+    }
+
+    /// The variable slot of an [`OpKind::Input`] or [`OpKind::Output`] node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is neither input nor output.
+    pub fn slot(&self) -> usize {
+        assert!(
+            matches!(self.kind, OpKind::Input | OpKind::Output),
+            "not an input/output node"
+        );
+        self.payload as usize
+    }
+}
+
+/// Distinct input/output operand counts of a candidate subgraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoCounts {
+    /// Distinct external value producers feeding the subgraph
+    /// (constants are hardwired and do not count).
+    pub inputs: usize,
+    /// Member nodes whose value is consumed outside the subgraph.
+    pub outputs: usize,
+}
+
+impl IoCounts {
+    /// Whether the counts fit a register-port budget of `max_in` inputs and
+    /// `max_out` outputs.
+    pub fn fits(self, max_in: usize, max_out: usize) -> bool {
+        self.inputs <= max_in && self.outputs <= max_out
+    }
+}
+
+/// A data-flow graph for one basic block.
+///
+/// Construction is append-only and topologically ordered; see the
+/// [crate-level example](crate).
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+    succs: Vec<Vec<NodeId>>,
+    consts: HashMap<i64, NodeId>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dfg::default()
+    }
+
+    /// Number of nodes (including pseudo-ops and constants).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns an immediate constant, returning its node.
+    pub fn imm(&mut self, value: i64) -> NodeId {
+        if let Some(&id) = self.consts.get(&value) {
+            return id;
+        }
+        let id = self.push(Node {
+            kind: OpKind::Const,
+            args: vec![],
+            payload: value,
+        });
+        self.consts.insert(value, id);
+        id
+    }
+
+    /// Adds an [`OpKind::Input`] node reading variable slot `slot`.
+    pub fn input(&mut self, slot: usize) -> NodeId {
+        self.push(Node {
+            kind: OpKind::Input,
+            args: vec![],
+            payload: slot as i64,
+        })
+    }
+
+    /// Adds an [`OpKind::Output`] node writing `value` to variable `slot` at
+    /// block exit.
+    pub fn output(&mut self, slot: usize, value: NodeId) -> NodeId {
+        self.push(Node {
+            kind: OpKind::Output,
+            args: vec![value],
+            payload: slot as i64,
+        })
+    }
+
+    /// Adds a compute / memory node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match [`OpKind::arity`], if an
+    /// operand refers to a not-yet-created node (which would break the
+    /// topological-order invariant), or if `kind` is a pseudo-op (use
+    /// [`Dfg::imm`], [`Dfg::input`], [`Dfg::output`] for those).
+    pub fn node(&mut self, kind: OpKind, operands: &[Operand]) -> NodeId {
+        assert!(
+            !kind.is_pseudo(),
+            "use imm/input/output for pseudo-op {kind}"
+        );
+        assert_eq!(operands.len(), kind.arity(), "arity mismatch for {kind}");
+        let args: Vec<NodeId> = operands
+            .iter()
+            .map(|&o| match o {
+                Operand::Node(n) => {
+                    assert!(n.0 < self.nodes.len(), "operand {n:?} not yet defined");
+                    n
+                }
+                Operand::Imm(v) => self.imm(v),
+            })
+            .collect();
+        self.push(Node {
+            kind,
+            args,
+            payload: 0,
+        })
+    }
+
+    /// Convenience: binary node over two existing nodes.
+    pub fn bin(&mut self, kind: OpKind, a: NodeId, b: NodeId) -> NodeId {
+        self.node(kind, &[Operand::Node(a), Operand::Node(b)])
+    }
+
+    /// Convenience: binary node with an immediate right operand.
+    pub fn bin_imm(&mut self, kind: OpKind, a: NodeId, imm: i64) -> NodeId {
+        self.node(kind, &[Operand::Node(a), Operand::Imm(imm)])
+    }
+
+    /// Convenience: unary node.
+    pub fn un(&mut self, kind: OpKind, a: NodeId) -> NodeId {
+        self.node(kind, &[Operand::Node(a)])
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for &a in &node.args {
+            self.succs[a.0].push(id);
+        }
+        self.nodes.push(node);
+        self.succs.push(vec![]);
+        id
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node_ref(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The operation kind of `id`.
+    pub fn kind(&self, id: NodeId) -> OpKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Ordered operand nodes of `id`.
+    pub fn args(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].args
+    }
+
+    /// Consumers of the value produced by `id`.
+    pub fn consumers(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.0]
+    }
+
+    /// Iterates all node ids in topological (construction) order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// An empty [`NodeSet`] sized for this graph.
+    pub fn empty_set(&self) -> NodeSet {
+        NodeSet::with_capacity(self.nodes.len())
+    }
+
+    /// The set of all CI-valid nodes (compute ops and constants).
+    pub fn full_valid_set(&self) -> NodeSet {
+        let mut s = self.empty_set();
+        for id in self.ids() {
+            if self.kind(id).is_ci_valid() {
+                s.insert(id);
+            }
+        }
+        s
+    }
+
+    /// Number of real (non-pseudo) operations — the "primitive instruction"
+    /// size of the block used in Table 5.1.
+    pub fn op_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.kind.is_pseudo()).count()
+    }
+
+    /// Total software latency of the whole block on the base core.
+    pub fn sw_latency_total(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kind.sw_latency()).sum()
+    }
+
+    /// Software latency of a node subset.
+    pub fn sw_latency(&self, set: &NodeSet) -> u64 {
+        set.iter().map(|id| self.kind(id).sw_latency()).sum()
+    }
+
+    /// Checks the convexity constraint: there is no data path from a member
+    /// node through a non-member back into the set.
+    ///
+    /// A non-convex candidate cannot execute atomically because it would need
+    /// an intermediate result produced outside the custom functional unit
+    /// mid-execution.
+    pub fn is_convex(&self, set: &NodeSet) -> bool {
+        // descendants-of-set ∩ ancestors-of-set \ set must be empty.
+        let n = self.nodes.len();
+        let mut desc = vec![false; n]; // strictly-outside nodes reachable from set
+        for id in self.ids() {
+            let via_member_pred = self.args(id).iter().any(|a| set.contains(*a));
+            let via_outside_desc = self.args(id).iter().any(|a| desc[a.0]);
+            if !set.contains(id) && (via_member_pred || via_outside_desc) {
+                desc[id.0] = true;
+            }
+        }
+        // Walk again: does any `desc` node feed (directly or transitively
+        // through other desc nodes) back into the set? Direct check suffices:
+        // a desc node with a member consumer closes the non-convex path.
+        for id in self.ids() {
+            if desc[id.0] && self.succs[id.0].iter().any(|s| set.contains(*s)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Distinct input/output operand counts of a candidate subgraph.
+    ///
+    /// Inputs are distinct external producers feeding the set; constants are
+    /// hardwired into the datapath and excluded, matching common practice in
+    /// the identification literature. Outputs are member nodes consumed
+    /// outside the set (including by [`OpKind::Output`] pseudo-ops).
+    pub fn io_counts(&self, set: &NodeSet) -> IoCounts {
+        let mut inputs = self.empty_set();
+        let mut outputs = 0usize;
+        for id in set.iter() {
+            for &a in self.args(id) {
+                if !set.contains(a) && self.kind(a) != OpKind::Const {
+                    inputs.insert(a);
+                }
+            }
+            if self.succs[id.0].iter().any(|s| !set.contains(*s)) {
+                outputs += 1;
+            }
+        }
+        IoCounts {
+            inputs: inputs.len(),
+            outputs,
+        }
+    }
+
+    /// Whether `set` is a legal custom-instruction candidate: all members
+    /// valid, convex, and within the `(max_in, max_out)` port budget.
+    pub fn is_feasible_ci(&self, set: &NodeSet, max_in: usize, max_out: usize) -> bool {
+        !set.is_empty()
+            && set.iter().all(|id| self.kind(id).is_ci_valid())
+            && self.io_counts(set).fits(max_in, max_out)
+            && self.is_convex(set)
+    }
+
+    /// Ancestors of `id` (transitive operands), excluding `id` itself.
+    pub fn ancestors(&self, id: NodeId) -> NodeSet {
+        let mut anc = self.empty_set();
+        let mut stack = vec![id];
+        while let Some(v) = stack.pop() {
+            for &a in self.args(v) {
+                if anc.insert(a) {
+                    stack.push(a);
+                }
+            }
+        }
+        anc
+    }
+
+    /// Descendants of `id` (transitive consumers), excluding `id` itself.
+    pub fn descendants(&self, id: NodeId) -> NodeSet {
+        let mut desc = self.empty_set();
+        let mut stack = vec![id];
+        while let Some(v) = stack.pop() {
+            for &s in &self.succs[v.0] {
+                if desc.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        desc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Fig. 5.1: a diamond with a tail.
+    ///
+    /// ```text
+    ///   i0   i1
+    ///    \   /
+    ///     add(2)
+    ///    /     \
+    ///  mul(3)  sub(4)
+    ///    \     /
+    ///     xor(5)
+    /// ```
+    fn diamond() -> (Dfg, [NodeId; 6]) {
+        let mut g = Dfg::new();
+        let i0 = g.input(0);
+        let i1 = g.input(1);
+        let add = g.bin(OpKind::Add, i0, i1);
+        let mul = g.bin_imm(OpKind::Mul, add, 3);
+        let sub = g.bin_imm(OpKind::Sub, add, 1);
+        let xor = g.bin(OpKind::Xor, mul, sub);
+        g.output(0, xor);
+        (g, [i0, i1, add, mul, sub, xor])
+    }
+
+    #[test]
+    fn construction_orders_topologically() {
+        let (g, n) = diamond();
+        for id in g.ids() {
+            for &a in g.args(id) {
+                assert!(a.0 < id.0, "operand after consumer");
+            }
+        }
+        assert_eq!(g.consumers(n[2]).len(), 2);
+    }
+
+    #[test]
+    fn const_interning_deduplicates() {
+        let mut g = Dfg::new();
+        let a = g.imm(7);
+        let b = g.imm(7);
+        let c = g.imm(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(g.node_ref(a).const_value(), 7);
+    }
+
+    #[test]
+    fn convexity_detects_escaping_path() {
+        let (g, n) = diamond();
+        // {add, mul, xor} is non-convex: add -> sub (outside) -> xor.
+        let mut bad = g.empty_set();
+        for id in [n[2], n[3], n[5]] {
+            bad.insert(id);
+        }
+        assert!(!g.is_convex(&bad));
+        // {add, mul, sub, xor} is convex.
+        let mut good = g.empty_set();
+        for id in [n[2], n[3], n[4], n[5]] {
+            good.insert(id);
+        }
+        assert!(g.is_convex(&good));
+        // Singletons are always convex.
+        for id in g.ids() {
+            let mut s = g.empty_set();
+            s.insert(id);
+            assert!(g.is_convex(&s), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn io_counts_ignore_constants() {
+        let (g, n) = diamond();
+        let mut s = g.empty_set();
+        for id in [n[2], n[3], n[4], n[5]] {
+            s.insert(id);
+        }
+        let io = g.io_counts(&s);
+        // Inputs: i0, i1 (the two const operands of mul/sub are hardwired).
+        assert_eq!(io.inputs, 2);
+        // Outputs: only xor feeds the Output pseudo-op.
+        assert_eq!(io.outputs, 1);
+        assert!(io.fits(4, 2));
+        assert!(!io.fits(1, 2));
+    }
+
+    #[test]
+    fn internal_values_are_not_outputs() {
+        let (g, n) = diamond();
+        let mut s = g.empty_set();
+        s.insert(n[2]);
+        let io = g.io_counts(&s);
+        // add feeds mul and sub, both outside -> it is one output producer.
+        assert_eq!(io.outputs, 1);
+        assert_eq!(io.inputs, 2);
+    }
+
+    #[test]
+    fn feasibility_combines_all_constraints() {
+        let (g, n) = diamond();
+        let mut s = g.empty_set();
+        for id in [n[2], n[3], n[4], n[5]] {
+            s.insert(id);
+        }
+        assert!(g.is_feasible_ci(&s, 2, 1));
+        assert!(!g.is_feasible_ci(&s, 1, 1));
+        let mut with_input = s.clone();
+        with_input.insert(n[0]);
+        assert!(!g.is_feasible_ci(&with_input, 4, 4), "inputs are invalid ops");
+        assert!(!g.is_feasible_ci(&g.empty_set(), 4, 2), "empty set infeasible");
+    }
+
+    #[test]
+    fn ancestors_descendants() {
+        let (g, n) = diamond();
+        let anc = g.ancestors(n[5]);
+        assert!(anc.contains(n[2]) && anc.contains(n[0]) && anc.contains(n[1]));
+        assert!(!anc.contains(n[5]));
+        let desc = g.descendants(n[2]);
+        assert!(desc.contains(n[3]) && desc.contains(n[4]) && desc.contains(n[5]));
+    }
+
+    #[test]
+    fn sw_latency_sums_members_only() {
+        let (g, n) = diamond();
+        let mut s = g.empty_set();
+        s.insert(n[3]); // mul = 3 cycles
+        s.insert(n[2]); // add = 1 cycle
+        assert_eq!(g.sw_latency(&s), 4);
+        assert_eq!(
+            g.sw_latency_total(),
+            3 + 1 + 1 + 1 // mul + add + sub + xor (inputs/outputs/consts free)
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Graphviz (DOT) export for data-flow and control-flow graphs.
+//!
+//! Customization work is graph surgery; being able to *look* at a block's
+//! DFG with a candidate subgraph highlighted, or at a program's CFG with
+//! loop structure, is the difference between debugging blind and seeing the
+//! cut. Render with e.g. `dot -Tsvg block.dot -o block.svg`.
+
+use crate::cfg::{Cfg, Program, Terminator};
+use crate::dfg::Dfg;
+use crate::nodeset::NodeSet;
+use crate::op::OpKind;
+use std::fmt::Write as _;
+
+/// Renders a DFG as DOT. Nodes in `highlight` (e.g. a custom-instruction
+/// candidate) are filled; memory/pseudo operations get distinct shapes so
+/// region boundaries are visible at a glance.
+pub fn dfg_to_dot(dfg: &Dfg, name: &str, highlight: Option<&NodeSet>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=TB; node [fontsize=10];");
+    for id in dfg.ids() {
+        let kind = dfg.kind(id);
+        let label = match kind {
+            OpKind::Const => format!("#{}", dfg.node_ref(id).const_value()),
+            OpKind::Input => format!("in v{}", dfg.node_ref(id).slot()),
+            OpKind::Output => format!("out v{}", dfg.node_ref(id).slot()),
+            k => k.to_string(),
+        };
+        let shape = match kind {
+            OpKind::Load | OpKind::Store => "box3d",
+            OpKind::Input | OpKind::Output => "invhouse",
+            OpKind::Const => "plaintext",
+            _ => "ellipse",
+        };
+        let fill = if highlight.is_some_and(|h| h.contains(id)) {
+            ", style=filled, fillcolor=lightgoldenrod"
+        } else if !kind.is_ci_valid() {
+            ", style=filled, fillcolor=lightgray"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}:{}\", shape={}{}];",
+            id.0, id.0, label, shape, fill
+        );
+    }
+    for id in dfg.ids() {
+        for &a in dfg.args(id) {
+            let _ = writeln!(out, "  n{} -> n{};", a.0, id.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a program's CFG as DOT: one node per basic block (labelled with
+/// its name and operation count), branch edges labelled T/F, back edges
+/// dashed, and loop headers double-circled.
+pub fn cfg_to_dot(program: &Program) -> String {
+    let cfg = Cfg::analyze(program);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(&program.name));
+    let _ = writeln!(out, "  node [fontsize=10, shape=box];");
+    for b in program.block_ids() {
+        let bb = program.block(b);
+        let is_header = cfg.loops().iter().any(|l| l.header == b);
+        let peripheries = if is_header { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  b{} [label=\"{}\\n{} ops\", peripheries={}];",
+            b.0,
+            sanitize(&bb.name),
+            bb.dfg.op_count(),
+            peripheries
+        );
+    }
+    for b in program.block_ids() {
+        let back = |to: crate::cfg::BlockId| {
+            cfg.loops()
+                .iter()
+                .any(|l| l.header == to && l.latches.contains(&b))
+        };
+        match program.block(b).terminator {
+            Terminator::Jump(t) => {
+                let style = if back(t) { " [style=dashed]" } else { "" };
+                let _ = writeln!(out, "  b{} -> b{}{};", b.0, t.0, style);
+            }
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
+                for (t, lbl) in [(then_block, "T"), (else_block, "F")] {
+                    let style = if back(t) { ", style=dashed" } else { "" };
+                    let _ = writeln!(out, "  b{} -> b{} [label=\"{lbl}\"{style}];", b.0, t.0);
+                }
+            }
+            Terminator::Return => {
+                let _ = writeln!(out, "  b{} -> exit;", b.0);
+            }
+        }
+    }
+    let _ = writeln!(out, "  exit [shape=doublecircle, label=\"ret\"];");
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{BasicBlock, BlockId};
+
+    fn sample() -> (Program, NodeSet) {
+        let mut dfg = Dfg::new();
+        let a = dfg.input(0);
+        let m = dfg.bin_imm(OpKind::Mul, a, 3);
+        let s = dfg.bin_imm(OpKind::Add, m, 1);
+        let ld = dfg.un(OpKind::Load, s);
+        dfg.output(0, ld);
+        let mut hl = dfg.empty_set();
+        hl.insert(m);
+        hl.insert(s);
+        let mut p = Program::new("sample", 1, 16);
+        p.add_block(BasicBlock {
+            name: "entry".into(),
+            dfg,
+            terminator: Terminator::Jump(BlockId(1)),
+        });
+        p.add_block(BasicBlock {
+            name: "body".into(),
+            dfg: Dfg::new(),
+            terminator: Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        });
+        p.add_block(BasicBlock {
+            name: "done".into(),
+            dfg: Dfg::new(),
+            terminator: Terminator::Return,
+        });
+        p.set_loop_bound(BlockId(1), 4);
+        (p, hl)
+    }
+
+    #[test]
+    fn dfg_dot_contains_nodes_edges_and_highlight() {
+        let (p, hl) = sample();
+        let dot = dfg_to_dot(&p.block(BlockId(0)).dfg, "entry", Some(&hl));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("mul"));
+        assert!(dot.contains("lightgoldenrod"), "highlight rendered");
+        assert!(dot.contains("box3d"), "load gets the memory shape");
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cfg_dot_marks_loops_and_branches() {
+        let (p, _) = sample();
+        let dot = cfg_to_dot(&p);
+        assert!(dot.contains("peripheries=2"), "loop header double-circled");
+        assert!(dot.contains("style=dashed"), "back edge dashed");
+        assert!(dot.contains("label=\"T\""));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_sanitized() {
+        let mut dfg = Dfg::new();
+        let a = dfg.input(0);
+        dfg.output(0, a);
+        let dot = dfg_to_dot(&dfg, "we\"ird", None);
+        assert!(!dot.contains("we\"ird"));
+    }
+
+    #[test]
+    fn whole_kernel_cfgs_render() {
+        // Smoke-render a nontrivial program from the sample above repeated;
+        // real kernels are covered by the kernels crate's dev-dependency
+        // cycle being unavailable here.
+        let (p, _) = sample();
+        let dot = cfg_to_dot(&p);
+        assert!(dot.lines().count() > 8);
+    }
+}

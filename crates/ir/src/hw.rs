@@ -1,0 +1,207 @@
+//! Hardware cost model for custom functional units.
+//!
+//! The paper estimates custom-instruction latency and area by synthesizing
+//! primitive operators with Synopsys tools on a 0.18 µm library (§5.3.1) and
+//! normalizes: area is reported in *adder equivalents* and latency in cycles
+//! of a 120 MHz base core where one multiply–accumulate (MAC) takes exactly
+//! one cycle. [`HwModel`] reproduces that normalization with a static
+//! per-operator table:
+//!
+//! * `area(op)` — silicon cost in *cells*; 1 adder = [`HwModel::CELLS_PER_ADDER`]
+//!   cells, so logic ops can cost fractions of an adder;
+//! * `latency_ps(op)` — combinational delay;
+//! * a custom instruction's hardware latency is the critical path through its
+//!   subgraph, its cycle count is that delay divided by the clock period
+//!   (rounded up), and its area is the sum over member operators.
+
+use crate::dfg::Dfg;
+use crate::nodeset::NodeSet;
+use crate::op::OpKind;
+
+/// Per-operator hardware latency/area table and clock normalization.
+///
+/// The default model corresponds to the paper's 120 MHz, MAC-normalized
+/// setup. All methods are pure; the struct exists so alternative technology
+/// points can be swapted in (e.g. for ablation benches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwModel {
+    /// Clock period of the customized core, in picoseconds.
+    pub cycle_ps: u64,
+}
+
+impl HwModel {
+    /// Area cells per adder equivalent; used when reporting area "in number
+    /// of adders" as Figures 3.1/5.4 do.
+    pub const CELLS_PER_ADDER: u64 = 4;
+
+    /// The paper's operating point: 120 MHz (period ≈ 8333 ps), at which a
+    /// 32-bit MAC has single-cycle latency.
+    pub fn new() -> Self {
+        HwModel { cycle_ps: 8333 }
+    }
+
+    /// A model with an explicit clock period, for technology ablations.
+    pub fn with_cycle_ps(cycle_ps: u64) -> Self {
+        assert!(cycle_ps > 0, "cycle period must be positive");
+        HwModel { cycle_ps }
+    }
+
+    /// Combinational delay of one operator, in picoseconds.
+    ///
+    /// Pseudo-ops and constants are free (constants are hardwired).
+    pub fn latency_ps(&self, op: OpKind) -> u64 {
+        match op {
+            OpKind::Const | OpKind::Input | OpKind::Output => 0,
+            OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not => 150,
+            OpKind::Add | OpKind::Sub => 550,
+            OpKind::Eq | OpKind::Ne | OpKind::Lt | OpKind::Le => 600,
+            OpKind::Shl | OpKind::Shr | OpKind::Sar => 400,
+            OpKind::Select => 200,
+            OpKind::Min | OpKind::Max => 700,
+            OpKind::Abs => 650,
+            OpKind::Mul => 2200,
+            OpKind::Div | OpKind::Rem => 9000,
+            // Memory ops never appear inside a CFU; cost mirrors an SRAM port
+            // so that accidental inclusion is visibly expensive.
+            OpKind::Load | OpKind::Store => 4000,
+        }
+    }
+
+    /// Silicon area of one operator, in cells (see
+    /// [`HwModel::CELLS_PER_ADDER`]).
+    pub fn area(&self, op: OpKind) -> u64 {
+        match op {
+            OpKind::Const | OpKind::Input | OpKind::Output => 0,
+            OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not => 1,
+            OpKind::Add | OpKind::Sub => 4,
+            OpKind::Eq | OpKind::Ne | OpKind::Lt | OpKind::Le => 4,
+            OpKind::Shl | OpKind::Shr | OpKind::Sar => 6,
+            OpKind::Select => 2,
+            OpKind::Min | OpKind::Max => 6,
+            OpKind::Abs => 5,
+            OpKind::Mul => 70,
+            OpKind::Div | OpKind::Rem => 160,
+            OpKind::Load | OpKind::Store => 40,
+        }
+    }
+
+    /// Total area of a candidate subgraph, in cells.
+    pub fn ci_area(&self, dfg: &Dfg, set: &NodeSet) -> u64 {
+        set.iter().map(|id| self.area(dfg.kind(id))).sum()
+    }
+
+    /// Critical-path combinational delay of a candidate subgraph, in
+    /// picoseconds (operator chaining inside the CFU, §5.2.3 `hw_ltc`).
+    pub fn ci_latency_ps(&self, dfg: &Dfg, set: &NodeSet) -> u64 {
+        let mut depth: Vec<u64> = vec![0; dfg.len()];
+        let mut max = 0;
+        for id in set.iter() {
+            let arrive = dfg
+                .args(id)
+                .iter()
+                .filter(|a| set.contains(**a))
+                .map(|a| depth[a.0])
+                .max()
+                .unwrap_or(0);
+            depth[id.0] = arrive + self.latency_ps(dfg.kind(id));
+            max = max.max(depth[id.0]);
+        }
+        max
+    }
+
+    /// Execution cycles of the candidate as a custom instruction: the
+    /// critical-path delay normalized to the clock period, at least one
+    /// cycle for any non-empty candidate.
+    pub fn ci_cycles(&self, dfg: &Dfg, set: &NodeSet) -> u64 {
+        if set.is_empty() {
+            return 0;
+        }
+        self.ci_latency_ps(dfg, set).div_ceil(self.cycle_ps).max(1)
+    }
+
+    /// Per-execution cycle gain of the candidate: software latency of the
+    /// covered operations minus the custom-instruction cycles (never
+    /// negative).
+    pub fn ci_gain(&self, dfg: &Dfg, set: &NodeSet) -> u64 {
+        let sw = dfg.sw_latency(set);
+        let hw = self.ci_cycles(dfg, set);
+        sw.saturating_sub(hw)
+    }
+
+    /// Area of a subgraph in whole adder equivalents (rounded up), the unit
+    /// used for reporting in Figures 3.1 and 5.4.
+    pub fn ci_area_adders(&self, dfg: &Dfg, set: &NodeSet) -> u64 {
+        self.ci_area(dfg, set).div_ceil(Self::CELLS_PER_ADDER)
+    }
+}
+
+impl Default for HwModel {
+    fn default() -> Self {
+        HwModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::Dfg;
+
+    fn chain(kinds: &[OpKind]) -> (Dfg, NodeSet) {
+        let mut g = Dfg::new();
+        let mut prev = g.input(0);
+        let other = g.input(1);
+        for &k in kinds {
+            prev = g.bin(k, prev, other);
+        }
+        g.output(0, prev);
+        let set = g.full_valid_set();
+        (g, set)
+    }
+
+    #[test]
+    fn mac_is_single_cycle() {
+        let hw = HwModel::default();
+        let (g, set) = chain(&[OpKind::Mul, OpKind::Add]);
+        assert_eq!(hw.ci_latency_ps(&g, &set), 2750);
+        assert_eq!(hw.ci_cycles(&g, &set), 1);
+    }
+
+    #[test]
+    fn long_chain_spills_into_more_cycles() {
+        let hw = HwModel::default();
+        let (g, set) = chain(&[OpKind::Mul; 5]);
+        // 5 * 2200 = 11000 ps > one 8333 ps cycle.
+        assert_eq!(hw.ci_cycles(&g, &set), 2);
+    }
+
+    #[test]
+    fn gain_is_sw_minus_hw() {
+        let hw = HwModel::default();
+        let (g, set) = chain(&[OpKind::Mul, OpKind::Add, OpKind::Xor]);
+        // sw: 3 + 1 + 1 = 5; hw: 1 cycle.
+        assert_eq!(hw.ci_gain(&g, &set), 4);
+    }
+
+    #[test]
+    fn area_sums_and_normalizes() {
+        let hw = HwModel::default();
+        let (g, set) = chain(&[OpKind::Add, OpKind::Add]);
+        assert_eq!(hw.ci_area(&g, &set), 8);
+        assert_eq!(hw.ci_area_adders(&g, &set), 2);
+    }
+
+    #[test]
+    fn empty_set_costs_nothing() {
+        let hw = HwModel::default();
+        let g = Dfg::new();
+        let s = g.empty_set();
+        assert_eq!(hw.ci_cycles(&g, &s), 0);
+        assert_eq!(hw.ci_area(&g, &s), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = HwModel::with_cycle_ps(0);
+    }
+}

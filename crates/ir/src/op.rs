@@ -1,0 +1,307 @@
+//! The primitive operation set of the base processor.
+//!
+//! Every data-flow node carries an [`OpKind`]. The kind determines
+//!
+//! * how many operands the operation takes ([`OpKind::arity`]),
+//! * whether it may be absorbed into a custom instruction
+//!   ([`OpKind::is_ci_valid`] — memory and control operations may not, per the
+//!   convexity/atomicity discussion in §5.2.1 of the paper),
+//! * its software cost on the single-issue base core and its hardware
+//!   latency/area (see [`crate::hw::HwModel`]).
+
+use std::fmt;
+
+/// A primitive operation of the base instruction set.
+///
+/// The set mirrors the integer subset of a Trimaran/Xtensa-class embedded
+/// core: ALU ops, multiplier, divider, shifts, comparisons, predicated
+/// select, and the memory/pseudo operations that delimit custom-instruction
+/// regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Integer constant (immediate). Hardwired in hardware: zero area, zero
+    /// latency, and it does not count as a custom-instruction input operand.
+    Const,
+    /// Block input: reads variable slot `k` at block entry (pseudo-op).
+    Input,
+    /// Block output: writes variable slot `k` at block exit (pseudo-op).
+    Output,
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Signed multiplication (low 64 bits).
+    Mul,
+    /// Signed division (quotient); traps avoided by defining `x / 0 = 0`.
+    Div,
+    /// Signed remainder; `x % 0 = x` by convention.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT.
+    Not,
+    /// Logical shift left (shift amount masked to 0..63).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Equality comparison producing 0/1.
+    Eq,
+    /// Inequality comparison producing 0/1.
+    Ne,
+    /// Signed less-than producing 0/1.
+    Lt,
+    /// Signed less-or-equal producing 0/1.
+    Le,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Predicated select: `select(c, t, f) = if c != 0 { t } else { f }`.
+    Select,
+    /// Memory load; operand is the address. Invalid inside custom
+    /// instructions (limited memory ports, §5.2.1).
+    Load,
+    /// Memory store; operands are address and value. Invalid inside custom
+    /// instructions.
+    Store,
+}
+
+impl OpKind {
+    /// Number of operands the operation consumes.
+    ///
+    /// `Const` and `Input` are sources (0 operands); `Output` consumes one
+    /// value; `Select` is the only ternary operation.
+    pub const fn arity(self) -> usize {
+        match self {
+            OpKind::Const | OpKind::Input => 0,
+            OpKind::Not | OpKind::Abs | OpKind::Load | OpKind::Output => 1,
+            OpKind::Select => 3,
+            OpKind::Store => 2,
+            _ => 2,
+        }
+    }
+
+    /// Whether the operation may be included in a custom instruction.
+    ///
+    /// Memory operations are excluded because the custom functional unit has
+    /// no direct memory port; `Input`/`Output` are pseudo-operations that
+    /// represent register traffic and live outside any candidate subgraph.
+    pub const fn is_ci_valid(self) -> bool {
+        !matches!(
+            self,
+            OpKind::Load | OpKind::Store | OpKind::Input | OpKind::Output
+        )
+    }
+
+    /// Whether the operation is a pseudo-op (register traffic, immediates)
+    /// rather than real computation.
+    pub const fn is_pseudo(self) -> bool {
+        matches!(self, OpKind::Const | OpKind::Input | OpKind::Output)
+    }
+
+    /// Software latency in base-processor cycles (single-issue, in-order,
+    /// perfect cache — the evaluation model of §4.3/§5.3.1).
+    pub const fn sw_latency(self) -> u64 {
+        match self {
+            OpKind::Const | OpKind::Input | OpKind::Output => 0,
+            OpKind::Mul => 3,
+            OpKind::Div | OpKind::Rem => 35,
+            OpKind::Load => 2,
+            OpKind::Store => 1,
+            OpKind::Min | OpKind::Max | OpKind::Abs => 2,
+            _ => 1,
+        }
+    }
+
+    /// All operation kinds, for exhaustive iteration in tests and tables.
+    pub const ALL: [OpKind; 25] = [
+        OpKind::Const,
+        OpKind::Input,
+        OpKind::Output,
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Div,
+        OpKind::Rem,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::Shl,
+        OpKind::Shr,
+        OpKind::Sar,
+        OpKind::Eq,
+        OpKind::Ne,
+        OpKind::Lt,
+        OpKind::Le,
+        OpKind::Min,
+        OpKind::Max,
+        OpKind::Abs,
+        OpKind::Select,
+        OpKind::Load,
+        OpKind::Store,
+    ];
+
+    /// Evaluate the operation on concrete `i64` operands.
+    ///
+    /// Used by the simulator and by differential tests that cross-check IR
+    /// kernels against reference Rust implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.arity()` or if called on a pseudo-op or
+    /// memory op (those are interpreted by the simulator, not here).
+    pub fn eval(self, args: &[i64]) -> i64 {
+        assert_eq!(args.len(), self.arity(), "arity mismatch for {self}");
+        match self {
+            OpKind::Add => args[0].wrapping_add(args[1]),
+            OpKind::Sub => args[0].wrapping_sub(args[1]),
+            OpKind::Mul => args[0].wrapping_mul(args[1]),
+            OpKind::Div => {
+                if args[1] == 0 {
+                    0
+                } else {
+                    args[0].wrapping_div(args[1])
+                }
+            }
+            OpKind::Rem => {
+                if args[1] == 0 {
+                    args[0]
+                } else {
+                    args[0].wrapping_rem(args[1])
+                }
+            }
+            OpKind::And => args[0] & args[1],
+            OpKind::Or => args[0] | args[1],
+            OpKind::Xor => args[0] ^ args[1],
+            OpKind::Not => !args[0],
+            OpKind::Shl => ((args[0] as u64) << (args[1] as u64 & 63)) as i64,
+            OpKind::Shr => ((args[0] as u64) >> (args[1] as u64 & 63)) as i64,
+            OpKind::Sar => args[0] >> (args[1] as u64 & 63),
+            OpKind::Eq => (args[0] == args[1]) as i64,
+            OpKind::Ne => (args[0] != args[1]) as i64,
+            OpKind::Lt => (args[0] < args[1]) as i64,
+            OpKind::Le => (args[0] <= args[1]) as i64,
+            OpKind::Min => args[0].min(args[1]),
+            OpKind::Max => args[0].max(args[1]),
+            OpKind::Abs => args[0].wrapping_abs(),
+            OpKind::Select => {
+                if args[0] != 0 {
+                    args[1]
+                } else {
+                    args[2]
+                }
+            }
+            _ => panic!("{self} is not a pure compute operation"),
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Const => "const",
+            OpKind::Input => "input",
+            OpKind::Output => "output",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Rem => "rem",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Not => "not",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::Sar => "sar",
+            OpKind::Eq => "eq",
+            OpKind::Ne => "ne",
+            OpKind::Lt => "lt",
+            OpKind::Le => "le",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::Abs => "abs",
+            OpKind::Select => "select",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_contract() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Select.arity(), 3);
+        assert_eq!(OpKind::Not.arity(), 1);
+        assert_eq!(OpKind::Const.arity(), 0);
+    }
+
+    #[test]
+    fn memory_and_pseudo_ops_are_invalid_in_ci() {
+        assert!(!OpKind::Load.is_ci_valid());
+        assert!(!OpKind::Store.is_ci_valid());
+        assert!(!OpKind::Input.is_ci_valid());
+        assert!(!OpKind::Output.is_ci_valid());
+        assert!(OpKind::Add.is_ci_valid());
+        assert!(OpKind::Const.is_ci_valid());
+    }
+
+    #[test]
+    fn eval_basic_semantics() {
+        assert_eq!(OpKind::Add.eval(&[2, 3]), 5);
+        assert_eq!(OpKind::Sub.eval(&[2, 3]), -1);
+        assert_eq!(OpKind::Mul.eval(&[4, 5]), 20);
+        assert_eq!(OpKind::Div.eval(&[7, 2]), 3);
+        assert_eq!(OpKind::Div.eval(&[7, 0]), 0);
+        assert_eq!(OpKind::Rem.eval(&[7, 0]), 7);
+        assert_eq!(OpKind::Shl.eval(&[1, 4]), 16);
+        assert_eq!(OpKind::Sar.eval(&[-8, 1]), -4);
+        assert_eq!(OpKind::Shr.eval(&[-1, 63]), 1);
+        assert_eq!(OpKind::Select.eval(&[1, 10, 20]), 10);
+        assert_eq!(OpKind::Select.eval(&[0, 10, 20]), 20);
+        assert_eq!(OpKind::Abs.eval(&[-3]), 3);
+        assert_eq!(OpKind::Min.eval(&[3, -1]), -1);
+        assert_eq!(OpKind::Max.eval(&[3, -1]), 3);
+    }
+
+    #[test]
+    fn shift_amounts_are_masked() {
+        assert_eq!(OpKind::Shl.eval(&[1, 64]), 1);
+        assert_eq!(OpKind::Shl.eval(&[1, 65]), 2);
+    }
+
+    #[test]
+    fn comparisons_produce_zero_one() {
+        for (op, a, b, want) in [
+            (OpKind::Eq, 1, 1, 1),
+            (OpKind::Eq, 1, 2, 0),
+            (OpKind::Ne, 1, 2, 1),
+            (OpKind::Lt, -1, 0, 1),
+            (OpKind::Le, 0, 0, 1),
+            (OpKind::Lt, 0, 0, 0),
+        ] {
+            assert_eq!(op.eval(&[a, b]), want, "{op} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn sw_latency_sane() {
+        assert!(OpKind::Div.sw_latency() > OpKind::Mul.sw_latency());
+        assert!(OpKind::Mul.sw_latency() > OpKind::Add.sw_latency());
+        assert_eq!(OpKind::Const.sw_latency(), 0);
+    }
+}

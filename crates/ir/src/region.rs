@@ -1,0 +1,153 @@
+//! Region decomposition of a data-flow graph.
+//!
+//! §5.2.1 of the paper: invalid nodes (memory and control operations)
+//! partition a DFG into *regions* — maximal subgraphs of valid nodes that are
+//! weakly connected and have no edge to a valid node outside the region.
+//! Regions are the unit the MLGP generator partitions into custom
+//! instructions, selected in descending weight (operation count) order.
+
+use crate::dfg::{Dfg, NodeId};
+use crate::nodeset::NodeSet;
+
+/// A maximal connected subgraph of CI-valid nodes within one [`Dfg`].
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Member nodes (all CI-valid).
+    pub nodes: NodeSet,
+    /// Number of real operations in the region (its *weight*, §5.2.2).
+    pub weight: usize,
+}
+
+/// Splits `dfg` into its regions, heaviest first.
+///
+/// Constants attached to a region's operations are included in the region
+/// (they are valid and hardwired); isolated pseudo-ops form no region.
+///
+/// # Example
+///
+/// ```
+/// use rtise_ir::dfg::Dfg;
+/// use rtise_ir::op::OpKind;
+/// use rtise_ir::region::regions;
+///
+/// let mut g = Dfg::new();
+/// let a = g.input(0);
+/// let x = g.bin_imm(OpKind::Add, a, 1);
+/// let addr = g.bin_imm(OpKind::Add, x, 64);
+/// let loaded = g.un(OpKind::Load, addr);      // invalid op splits regions
+/// let y = g.bin_imm(OpKind::Mul, loaded, 3);
+/// g.output(0, x);
+/// g.output(1, y);
+///
+/// let rs = regions(&g);
+/// assert_eq!(rs.len(), 2);
+/// ```
+pub fn regions(dfg: &Dfg) -> Vec<Region> {
+    let n = dfg.len();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in dfg.ids() {
+        if seen[start.0] || !dfg.kind(start).is_ci_valid() || dfg.kind(start).is_pseudo() {
+            continue;
+        }
+        // Flood fill over undirected valid-valid edges.
+        let mut nodes = dfg.empty_set();
+        let mut stack = vec![start];
+        seen[start.0] = true;
+        nodes.insert(start);
+        while let Some(v) = stack.pop() {
+            let neighbours: Vec<NodeId> = dfg
+                .args(v)
+                .iter()
+                .copied()
+                .chain(dfg.consumers(v).iter().copied())
+                .collect();
+            for u in neighbours {
+                if !seen[u.0] && dfg.kind(u).is_ci_valid() {
+                    seen[u.0] = true;
+                    nodes.insert(u);
+                    // Constants are absorbed but not expanded through (a
+                    // shared constant must not merge unrelated regions).
+                    if dfg.kind(u) != crate::op::OpKind::Const {
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        let weight = nodes
+            .iter()
+            .filter(|id| !dfg.kind(*id).is_pseudo())
+            .count();
+        if weight > 0 {
+            out.push(Region { nodes, weight });
+        }
+    }
+    out.sort_by_key(|r| std::cmp::Reverse(r.weight));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn single_region_without_invalid_ops() {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let s = g.bin(OpKind::Add, a, b);
+        let m = g.bin(OpKind::Mul, s, b);
+        g.output(0, m);
+        let rs = regions(&g);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].weight, 2);
+    }
+
+    #[test]
+    fn load_splits_regions_and_heaviest_comes_first() {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        // Region A: 1 op.
+        let x = g.bin_imm(OpKind::Add, a, 1);
+        g.output(0, x);
+        // Load barrier.
+        let ld = g.un(OpKind::Load, a);
+        // Region B: 3 ops.
+        let y1 = g.bin_imm(OpKind::Mul, ld, 3);
+        let y2 = g.bin_imm(OpKind::Add, y1, 7);
+        let y3 = g.bin(OpKind::Xor, y2, y1);
+        g.output(1, y3);
+        let rs = regions(&g);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].weight, 3);
+        assert_eq!(rs[1].weight, 1);
+        assert!(!rs[0].nodes.contains(ld));
+    }
+
+    #[test]
+    fn shared_constant_does_not_merge_regions() {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let x = g.bin_imm(OpKind::Add, a, 42);
+        g.output(0, x);
+        let ld = g.un(OpKind::Load, a);
+        let y = g.bin_imm(OpKind::Mul, ld, 42); // same interned constant
+        g.output(1, y);
+        let rs = regions(&g);
+        assert_eq!(rs.len(), 2, "constant must not bridge regions");
+    }
+
+    #[test]
+    fn regions_are_feasible_seed_material() {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let s = g.bin(OpKind::Add, a, b);
+        let t = g.bin(OpKind::Sub, s, b);
+        g.output(0, t);
+        let rs = regions(&g);
+        // A whole region is always convex (it is closed under valid edges).
+        assert!(g.is_convex(&rs[0].nodes));
+    }
+}

@@ -1,0 +1,470 @@
+//! Worst-case execution time via the timing-schema approach.
+//!
+//! Chapter 5 of the paper derives each task's WCET and the basic blocks on
+//! its worst-case path with the Timing Schema method (Park/Shaw): loop bodies
+//! are collapsed innermost-first (per-iteration longest path × iteration
+//! bound) and the remaining acyclic graph is solved by longest path.
+//!
+//! [`analyze`] returns both the WCET and the per-block worst-case execution
+//! counts/cycles used by the iterative customization scheme (Algorithm 4) to
+//! rank blocks by their contribution to the WCET.
+
+use crate::cfg::{BlockId, Cfg, Program, Terminator, ValidateProgramError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WcetError {
+    /// The program failed structural validation.
+    Validate(ValidateProgramError),
+    /// A loop header has no declared iteration bound
+    /// ([`Program::set_loop_bound`]).
+    MissingLoopBound(BlockId),
+    /// A loop exits from a non-header block; the timing schema implemented
+    /// here requires while-style (header-exit) loops.
+    MultiExitLoop {
+        /// The loop's header.
+        header: BlockId,
+        /// The offending body block with an outside successor.
+        exit_block: BlockId,
+    },
+    /// The control-flow graph contains a cycle that is not a natural loop
+    /// (irreducible control flow).
+    Irreducible,
+    /// No path from the entry reaches a [`Terminator::Return`].
+    NoReturn,
+}
+
+impl fmt::Display for WcetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WcetError::Validate(e) => write!(f, "invalid program: {e}"),
+            WcetError::MissingLoopBound(h) => {
+                write!(f, "loop at block {} has no iteration bound", h.0)
+            }
+            WcetError::MultiExitLoop { header, exit_block } => write!(
+                f,
+                "loop at block {} exits from non-header block {}",
+                header.0, exit_block.0
+            ),
+            WcetError::Irreducible => write!(f, "irreducible control flow"),
+            WcetError::NoReturn => write!(f, "no path from entry to a return"),
+        }
+    }
+}
+
+impl std::error::Error for WcetError {}
+
+impl From<ValidateProgramError> for WcetError {
+    fn from(e: ValidateProgramError) -> Self {
+        WcetError::Validate(e)
+    }
+}
+
+/// Result of WCET analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WcetReport {
+    /// Worst-case execution time of the program, in base-core cycles.
+    pub wcet: u64,
+    /// Worst-case execution count of each block (0 for blocks off the WCET
+    /// path).
+    pub counts: Vec<u64>,
+    /// Per-block contribution to the WCET: `counts[b] * cost(b)`.
+    pub cycles: Vec<u64>,
+}
+
+impl WcetReport {
+    /// Blocks on the WCET path, sorted by descending contribution — the
+    /// block ranking used by Algorithm 4 (line 7).
+    pub fn blocks_by_weight(&self) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = (0..self.counts.len())
+            .filter(|&b| self.counts[b] > 0)
+            .map(BlockId)
+            .collect();
+        v.sort_by(|a, b| self.cycles[b.0].cmp(&self.cycles[a.0]).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The fraction of the WCET contributed by block `b`.
+    pub fn weight(&self, b: BlockId) -> f64 {
+        if self.wcet == 0 {
+            0.0
+        } else {
+            self.cycles[b.0] as f64 / self.wcet as f64
+        }
+    }
+}
+
+/// Computes the WCET of `program` and the per-block worst-case counts.
+///
+/// # Errors
+///
+/// See [`WcetError`]. The analysis requires reducible control flow,
+/// while-style single-exit loops, and an iteration bound for every loop
+/// header.
+pub fn analyze(program: &Program) -> Result<WcetReport, WcetError> {
+    let costs: Vec<u64> = program.block_ids().map(|b| program.block(b).cost()).collect();
+    analyze_with_costs(program, &costs)
+}
+
+/// Like [`analyze`], but with explicit per-block cycle costs — used to
+/// re-time a task after custom instructions replaced part of a block's data
+/// flow (the per-block cost drops by the selected gains).
+///
+/// # Errors
+///
+/// See [`WcetError`].
+///
+/// # Panics
+///
+/// Panics if `block_costs.len()` does not match the block count.
+pub fn analyze_with_costs(program: &Program, block_costs: &[u64]) -> Result<WcetReport, WcetError> {
+    assert_eq!(
+        block_costs.len(),
+        program.blocks.len(),
+        "cost vector length mismatch"
+    );
+    program.validate()?;
+    let cfg = Cfg::analyze(program);
+    let n = program.blocks.len();
+
+    // Collapsed cost per block; starts at the supplied block cost.
+    let mut cost: Vec<u64> = block_costs.to_vec();
+    // Blocks swallowed by a collapsed loop (everything but headers).
+    let mut swallowed = vec![false; n];
+    // Per loop header: (bound, per-iteration path from latch back to header).
+    let mut loop_info: HashMap<BlockId, (u64, Vec<BlockId>)> = HashMap::new();
+
+    for l in cfg.loops_innermost_first() {
+        let bound = *program
+            .loop_bounds
+            .get(&l.header)
+            .ok_or(WcetError::MissingLoopBound(l.header))?;
+        // Single-exit check: only the header may leave the body.
+        for &b in &l.blocks {
+            if b == l.header {
+                continue;
+            }
+            if cfg.succs(b).iter().any(|s| !l.contains(*s)) {
+                return Err(WcetError::MultiExitLoop {
+                    header: l.header,
+                    exit_block: b,
+                });
+            }
+        }
+        // Longest path through one iteration: header -> ... -> latch, over
+        // body edges except back edges, skipping blocks already swallowed by
+        // inner loops.
+        let body: Vec<BlockId> = l
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&b| !swallowed[b.0] || b == l.header)
+            .collect();
+        let in_body = |b: BlockId| body.contains(&b);
+        // Topological order within the body DAG (body edges minus back
+        // edges): reuse global RPO, which is a topo order once back edges are
+        // removed.
+        let mut dist: HashMap<BlockId, u64> = HashMap::new();
+        let mut pred_choice: HashMap<BlockId, BlockId> = HashMap::new();
+        dist.insert(l.header, cost[l.header.0]);
+        for &b in cfg.rpo() {
+            if !in_body(b) || b == l.header {
+                continue;
+            }
+            let mut best: Option<(u64, BlockId)> = None;
+            for &p in cfg.preds(b) {
+                if !in_body(p) {
+                    continue;
+                }
+                // All in-body edges into b are forward edges: back edges
+                // target the header and b != header here.
+                if let Some(&d) = dist.get(&p) {
+                    if best.is_none_or(|(bd, _)| d > bd) {
+                        best = Some((d, p));
+                    }
+                }
+            }
+            if let Some((d, p)) = best {
+                dist.insert(b, d + cost[b.0]);
+                pred_choice.insert(b, p);
+            }
+        }
+        let (&best_latch, &per_iter) = l
+            .latches
+            .iter()
+            .filter_map(|lb| dist.get_key_value(lb))
+            .max_by_key(|(_, &d)| d)
+            .ok_or(WcetError::Irreducible)?;
+        // Reconstruct the per-iteration path latch -> header.
+        let mut path = vec![best_latch];
+        let mut cur = best_latch;
+        while cur != l.header {
+            cur = *pred_choice.get(&cur).ok_or(WcetError::Irreducible)?;
+            path.push(cur);
+        }
+        // Collapse: loop cost = bound * per-iteration + one extra header
+        // evaluation (the failing exit test).
+        let header_cost = cost[l.header.0];
+        cost[l.header.0] = bound
+            .checked_mul(per_iter)
+            .and_then(|c| c.checked_add(header_cost))
+            .expect("WCET overflow");
+        for &b in &l.blocks {
+            if b != l.header {
+                swallowed[b.0] = true;
+            }
+        }
+        loop_info.insert(l.header, (bound, path));
+    }
+
+    // Top-level longest path over the collapsed graph.
+    let mut dist: HashMap<BlockId, u64> = HashMap::new();
+    let mut pred_choice: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut best_return: Option<(u64, BlockId)> = None;
+    for &b in cfg.rpo() {
+        if swallowed[b.0] {
+            continue;
+        }
+        let d = if b == program.entry {
+            cost[b.0]
+        } else {
+            let mut best: Option<(u64, BlockId)> = None;
+            for &p in cfg.preds(b) {
+                if swallowed[p.0] {
+                    continue;
+                }
+                // Ignore back edges: p -> b where b is a loop header and p
+                // is inside b's loop. After collapsing, the only such edge
+                // left is a self back-edge from the header; preds inside the
+                // body were swallowed except latch == header itself.
+                if loop_info.contains_key(&b) && p == b {
+                    continue;
+                }
+                if let Some(&dp) = dist.get(&p) {
+                    if best.is_none_or(|(bd, _)| dp > bd) {
+                        best = Some((dp, p));
+                    }
+                }
+            }
+            match best {
+                Some((dp, p)) => {
+                    pred_choice.insert(b, p);
+                    dp + cost[b.0]
+                }
+                None => continue, // unreachable in collapsed graph
+            }
+        };
+        dist.insert(b, d);
+        if matches!(program.block(b).terminator, Terminator::Return)
+            && best_return.is_none_or(|(bd, _)| d > bd)
+        {
+            best_return = Some((d, b));
+        }
+    }
+    let (wcet, ret_block) = best_return.ok_or(WcetError::NoReturn)?;
+
+    // Expand counts along the chosen paths.
+    let mut counts = vec![0u64; n];
+    let mut cur = ret_block;
+    let mut top_path = vec![cur];
+    while cur != program.entry {
+        cur = *pred_choice.get(&cur).ok_or(WcetError::Irreducible)?;
+        top_path.push(cur);
+    }
+    for &b in &top_path {
+        expand_counts(b, 1, &loop_info, &mut counts);
+    }
+
+    let cycles: Vec<u64> = (0..n).map(|b| counts[b] * block_costs[b]).collect();
+    Ok(WcetReport {
+        wcet,
+        counts,
+        cycles,
+    })
+}
+
+/// Assigns worst-case counts for block `b` executed `ctx` times in its
+/// enclosing context, recursing into collapsed loops.
+fn expand_counts(
+    b: BlockId,
+    ctx: u64,
+    loop_info: &HashMap<BlockId, (u64, Vec<BlockId>)>,
+    counts: &mut Vec<u64>,
+) {
+    match loop_info.get(&b) {
+        None => counts[b.0] += ctx,
+        Some((bound, path)) => {
+            // The header runs `bound` iterations plus one failing exit test.
+            counts[b.0] += ctx * (bound + 1);
+            for &pb in path {
+                if pb != b {
+                    expand_counts(pb, ctx * bound, loop_info, counts);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{BasicBlock, Program};
+    use crate::dfg::Dfg;
+    use crate::op::OpKind;
+
+    fn block(name: &str, ops: usize, term: Terminator) -> BasicBlock {
+        let mut dfg = Dfg::new();
+        let mut v = dfg.input(0);
+        for _ in 0..ops {
+            v = dfg.bin_imm(OpKind::Add, v, 1);
+        }
+        dfg.output(0, v);
+        BasicBlock {
+            name: name.into(),
+            dfg,
+            terminator: term,
+        }
+    }
+
+    /// entry(2 ops) -> header(1) -> body(5) -> header; header -> exit(1).
+    fn loop_program(bound: u64) -> Program {
+        let mut p = Program::new("loop", 2, 0);
+        p.add_block(block("entry", 2, Terminator::Jump(BlockId(1))));
+        p.add_block(block(
+            "header",
+            1,
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+        ));
+        p.add_block(block("body", 5, Terminator::Jump(BlockId(1))));
+        p.add_block(block("exit", 1, Terminator::Return));
+        p.set_loop_bound(BlockId(1), bound);
+        p
+    }
+
+    #[test]
+    fn straight_line_wcet_is_sum() {
+        let mut p = Program::new("straight", 1, 0);
+        p.add_block(block("a", 3, Terminator::Jump(BlockId(1))));
+        p.add_block(block("b", 2, Terminator::Return));
+        let r = analyze(&p).expect("analyze");
+        assert_eq!(r.wcet, (3 + 1) + (2 + 1));
+        assert_eq!(r.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn branch_takes_longer_arm() {
+        let mut p = Program::new("branch", 1, 0);
+        p.add_block(block(
+            "a",
+            1,
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        ));
+        p.add_block(block("short", 1, Terminator::Jump(BlockId(3))));
+        p.add_block(block("long", 9, Terminator::Jump(BlockId(3))));
+        p.add_block(block("exit", 0, Terminator::Return));
+        let r = analyze(&p).expect("analyze");
+        assert_eq!(r.counts[1], 0, "short arm off the WCET path");
+        assert_eq!(r.counts[2], 1);
+        assert_eq!(r.wcet, 2 + 10 + 1);
+    }
+
+    #[test]
+    fn loop_wcet_scales_with_bound() {
+        let p = loop_program(10);
+        let r = analyze(&p).expect("analyze");
+        // per-iteration = header(2) + body(6) = 8; loop = 10*8 + 2 = 82;
+        // total = entry(3) + 82 + exit(2) = 87.
+        assert_eq!(r.wcet, 87);
+        assert_eq!(r.counts[1], 11, "header runs bound+1 times");
+        assert_eq!(r.counts[2], 10);
+        // Identity: WCET == sum of per-block cycles on the path.
+        assert_eq!(r.wcet, r.cycles.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn block_weights_rank_hot_blocks_first() {
+        let p = loop_program(100);
+        let r = analyze(&p).expect("analyze");
+        let ranked = r.blocks_by_weight();
+        assert_eq!(ranked[0], BlockId(2), "loop body dominates");
+        assert!(r.weight(BlockId(2)) > 0.7);
+    }
+
+    #[test]
+    fn missing_bound_is_reported() {
+        let mut p = loop_program(10);
+        p.loop_bounds.clear();
+        assert_eq!(analyze(&p), Err(WcetError::MissingLoopBound(BlockId(1))));
+    }
+
+    #[test]
+    fn multi_exit_loop_is_rejected() {
+        let mut p = loop_program(10);
+        // Make the body branch straight to the exit.
+        p.block_mut(BlockId(2)).terminator = Terminator::Branch {
+            cond: 0,
+            then_block: BlockId(1),
+            else_block: BlockId(3),
+        };
+        assert_eq!(
+            analyze(&p),
+            Err(WcetError::MultiExitLoop {
+                header: BlockId(1),
+                exit_block: BlockId(2)
+            })
+        );
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        // entry -> oh -> ih -> ibody -> ih; ih -> latch -> oh; oh -> exit.
+        let mut p = Program::new("nested", 2, 0);
+        p.add_block(block("entry", 0, Terminator::Jump(BlockId(1))));
+        p.add_block(block(
+            "oh",
+            0,
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(2),
+                else_block: BlockId(5),
+            },
+        ));
+        p.add_block(block(
+            "ih",
+            0,
+            Terminator::Branch {
+                cond: 0,
+                then_block: BlockId(3),
+                else_block: BlockId(4),
+            },
+        ));
+        p.add_block(block("ibody", 4, Terminator::Jump(BlockId(2))));
+        p.add_block(block("latch", 0, Terminator::Jump(BlockId(1))));
+        p.add_block(block("exit", 0, Terminator::Return));
+        p.set_loop_bound(BlockId(1), 5);
+        p.set_loop_bound(BlockId(2), 7);
+        let r = analyze(&p).expect("analyze");
+        assert_eq!(r.counts[3], 5 * 7, "inner body runs outer*inner times");
+        assert_eq!(r.counts[2], 5 * (7 + 1));
+        assert_eq!(r.counts[1], 6);
+        assert_eq!(r.wcet, r.cycles.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn no_return_is_reported() {
+        let mut p = Program::new("noret", 1, 0);
+        p.add_block(block("spin", 0, Terminator::Jump(BlockId(0))));
+        p.set_loop_bound(BlockId(0), 3);
+        assert_eq!(analyze(&p), Err(WcetError::NoReturn));
+    }
+}

@@ -1,0 +1,226 @@
+//! Profiled, costed custom-instruction candidates.
+//!
+//! A [`CiCandidate`] couples a feasible subgraph with everything selection
+//! needs: its silicon area, hardware cycles, software cycles, and the
+//! execution frequency of its basic block (from profiling or WCET counts).
+
+use crate::enumerate::{enumerate_connected, maximal_miso, EnumerateOptions};
+use rtise_ir::cfg::{BlockId, Program};
+use rtise_ir::hw::HwModel;
+use rtise_ir::nodeset::NodeSet;
+
+/// A costed candidate custom instruction in one basic block.
+#[derive(Debug, Clone)]
+pub struct CiCandidate {
+    /// The basic block the subgraph lives in.
+    pub block: BlockId,
+    /// Covered nodes of that block's DFG.
+    pub nodes: NodeSet,
+    /// Silicon area in cells.
+    pub area: u64,
+    /// Execution cycles as a custom instruction.
+    pub hw_cycles: u64,
+    /// Software cycles of the covered operations.
+    pub sw_cycles: u64,
+    /// Execution count of the block (profile frequency or WCET count).
+    pub exec_count: u64,
+}
+
+impl CiCandidate {
+    /// Cycles saved per block execution.
+    pub fn gain_per_exec(&self) -> u64 {
+        self.sw_cycles.saturating_sub(self.hw_cycles)
+    }
+
+    /// Total cycles saved over the whole run: `gain_per_exec × exec_count`
+    /// (the benefit definition of §2.3.2).
+    pub fn total_gain(&self) -> u64 {
+        self.gain_per_exec() * self.exec_count
+    }
+
+    /// Whether this candidate overlaps `other` (same block, shared nodes) —
+    /// overlapping candidates may not be selected together because a base
+    /// operation is covered by at most one custom instruction.
+    pub fn conflicts_with(&self, other: &CiCandidate) -> bool {
+        self.block == other.block && self.nodes.intersects(&other.nodes)
+    }
+}
+
+/// Options for [`harvest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarvestOptions {
+    /// Enumeration parameters (ports, caps).
+    pub enumerate: EnumerateOptions,
+    /// Keep only the `top_per_block` best candidates (by total gain) in each
+    /// block, pruning the long tail of near-duplicates.
+    pub top_per_block: usize,
+    /// Skip blocks whose execution count is below this threshold (cold
+    /// code; the ≥1 %-of-execution-time rule of §6.1 maps here).
+    pub min_exec_count: u64,
+}
+
+impl Default for HarvestOptions {
+    fn default() -> Self {
+        HarvestOptions {
+            enumerate: EnumerateOptions::default(),
+            top_per_block: 40,
+            min_exec_count: 1,
+        }
+    }
+}
+
+/// Enumerates and costs candidates for every profiled block of `program`.
+///
+/// `exec_counts[b]` is the execution count of block `b` (from
+/// [`rtise_sim::RunResult::block_counts`] or
+/// [`rtise_ir::wcet::WcetReport::counts`]). Candidates with zero gain are
+/// dropped; each block keeps its `top_per_block` best by total gain, ties
+/// broken toward smaller area.
+///
+/// # Panics
+///
+/// Panics if `exec_counts.len()` does not match the block count.
+pub fn harvest(
+    program: &Program,
+    exec_counts: &[u64],
+    hw: &HwModel,
+    opts: HarvestOptions,
+) -> Vec<CiCandidate> {
+    assert_eq!(
+        exec_counts.len(),
+        program.blocks.len(),
+        "profile length mismatch"
+    );
+    let mut out = Vec::new();
+    for block in program.block_ids() {
+        let count = exec_counts[block.0];
+        if count < opts.min_exec_count {
+            continue;
+        }
+        let dfg = &program.block(block).dfg;
+        let mut sets = enumerate_connected(dfg, opts.enumerate);
+        for miso in maximal_miso(dfg) {
+            if dfg
+                .io_counts(&miso)
+                .fits(opts.enumerate.max_in, opts.enumerate.max_out)
+                && !sets.contains(&miso)
+            {
+                sets.push(miso);
+            }
+        }
+        let mut cands: Vec<CiCandidate> = sets
+            .into_iter()
+            .map(|nodes| CiCandidate {
+                block,
+                area: hw.ci_area(dfg, &nodes),
+                hw_cycles: hw.ci_cycles(dfg, &nodes),
+                sw_cycles: dfg.sw_latency(&nodes),
+                exec_count: count,
+                nodes,
+            })
+            .filter(|c| c.gain_per_exec() > 0)
+            .collect();
+        cands.sort_by(|a, b| {
+            b.total_gain()
+                .cmp(&a.total_gain())
+                .then(a.area.cmp(&b.area))
+        });
+        cands.truncate(opts.top_per_block);
+        out.extend(cands);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ir::cfg::{BasicBlock, Terminator};
+    use rtise_ir::dfg::Dfg;
+    use rtise_ir::op::OpKind;
+
+    fn one_block_program(ops: usize) -> Program {
+        let mut dfg = Dfg::new();
+        let mut v = dfg.input(0);
+        let w = dfg.input(1);
+        for i in 0..ops {
+            let k = match i % 3 {
+                0 => OpKind::Add,
+                1 => OpKind::Xor,
+                _ => OpKind::Mul,
+            };
+            v = dfg.bin(k, v, w);
+        }
+        dfg.output(0, v);
+        let mut p = Program::new("t", 2, 0);
+        p.add_block(BasicBlock {
+            name: "b".into(),
+            dfg,
+            terminator: Terminator::Return,
+        });
+        p
+    }
+
+    #[test]
+    fn harvest_yields_profitable_feasible_candidates() {
+        let p = one_block_program(8);
+        let hw = HwModel::default();
+        let cands = harvest(&p, &[1000], &hw, HarvestOptions::default());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.gain_per_exec() > 0);
+            assert_eq!(c.total_gain(), c.gain_per_exec() * 1000);
+            let dfg = &p.block(c.block).dfg;
+            assert!(dfg.is_feasible_ci(&c.nodes, 4, 2));
+            assert_eq!(c.area, hw.ci_area(dfg, &c.nodes));
+        }
+    }
+
+    #[test]
+    fn cold_blocks_are_skipped() {
+        let p = one_block_program(8);
+        let hw = HwModel::default();
+        let opts = HarvestOptions {
+            min_exec_count: 10,
+            ..HarvestOptions::default()
+        };
+        assert!(harvest(&p, &[5], &hw, opts).is_empty());
+    }
+
+    #[test]
+    fn top_per_block_truncates() {
+        let p = one_block_program(10);
+        let hw = HwModel::default();
+        let opts = HarvestOptions {
+            top_per_block: 3,
+            ..HarvestOptions::default()
+        };
+        let cands = harvest(&p, &[10], &hw, opts);
+        assert!(cands.len() <= 3);
+        // They must be the best ones: sorted descending by total gain.
+        assert!(cands.windows(2).all(|w| w[0].total_gain() >= w[1].total_gain()));
+    }
+
+    #[test]
+    fn conflicts_detected_within_block_only() {
+        let p = one_block_program(6);
+        let hw = HwModel::default();
+        let cands = harvest(&p, &[10], &hw, HarvestOptions::default());
+        let overlapping: Vec<_> = cands
+            .iter()
+            .filter(|c| c.nodes.intersects(&cands[0].nodes))
+            .collect();
+        assert!(overlapping.len() >= 2, "expected overlapping candidates");
+        assert!(overlapping[0].conflicts_with(overlapping[1]));
+        let mut other_block = cands[0].clone();
+        other_block.block = BlockId(99);
+        assert!(!cands[0].conflicts_with(&other_block));
+    }
+
+    #[test]
+    #[should_panic(expected = "profile length mismatch")]
+    fn profile_length_checked() {
+        let p = one_block_program(4);
+        let hw = HwModel::default();
+        let _ = harvest(&p, &[1, 2], &hw, HarvestOptions::default());
+    }
+}

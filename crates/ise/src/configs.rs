@@ -1,0 +1,254 @@
+//! Per-task configuration curves (the area/performance staircase of
+//! Fig. 3.1).
+//!
+//! A *configuration* is one concrete customization of a task: a selected set
+//! of custom instructions with a total silicon area and the resulting task
+//! execution time. Sweeping the area budget yields the Pareto staircase the
+//! multi-task selectors of Chapters 3, 4 and 7 consume — their
+//! `config_{i,j} = (area_{i,j}, cycle_{i,j})` input, always beginning with
+//! the pure-software point `(0, C_i)`.
+
+use crate::candidate::CiCandidate;
+use crate::select::{branch_and_bound, greedy_by_ratio, Selection};
+
+/// One configuration of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigPoint {
+    /// Total custom-instruction area, in cells.
+    pub area: u64,
+    /// Task execution time (profiled cycles or WCET) in this configuration.
+    pub cycles: u64,
+    /// Cycles saved versus the software-only configuration.
+    pub gain: u64,
+    /// Indices of the selected candidates (into the library the curve was
+    /// generated from); empty for the software point.
+    pub selection: Vec<usize>,
+}
+
+/// The configuration curve of one task: undominated `(area, cycles)` points
+/// in ascending-area order, starting at `(0, base_cycles)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigCurve {
+    /// Task name.
+    pub name: String,
+    /// Execution time without any custom instruction.
+    pub base_cycles: u64,
+    points: Vec<ConfigPoint>,
+}
+
+impl ConfigCurve {
+    /// Generates a curve by sweeping `n_budgets` area budgets over the
+    /// candidate library.
+    ///
+    /// Budgets span 0 to the area of the unconstrained best selection. Each
+    /// budget is solved exactly ([`branch_and_bound`]) when the library has
+    /// at most `exact_threshold` candidates, else greedily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_budgets == 0`.
+    pub fn generate(
+        name: impl Into<String>,
+        cands: &[CiCandidate],
+        base_cycles: u64,
+        n_budgets: usize,
+        exact_threshold: usize,
+    ) -> Self {
+        assert!(n_budgets > 0, "need at least one budget");
+        let solve = |budget: u64| -> Selection {
+            if cands.len() <= exact_threshold {
+                branch_and_bound(cands, budget)
+            } else {
+                greedy_by_ratio(cands, budget)
+            }
+        };
+        let unconstrained = solve(cands.iter().map(|c| c.area).sum::<u64>().max(1));
+        let max_area = unconstrained.total_area.max(1);
+
+        let mut points = vec![ConfigPoint {
+            area: 0,
+            cycles: base_cycles,
+            gain: 0,
+            selection: Vec::new(),
+        }];
+        for step in 1..=n_budgets {
+            let budget = max_area * step as u64 / n_budgets as u64;
+            let sel = solve(budget);
+            let gain = sel.total_gain.min(base_cycles);
+            points.push(ConfigPoint {
+                area: sel.total_area,
+                cycles: base_cycles - gain,
+                gain,
+                selection: sel.chosen,
+            });
+        }
+        ConfigCurve::from_pointset(name, base_cycles, points)
+    }
+
+    /// Builds a curve from explicit `(area, cycles)` pairs, e.g. the CIS
+    /// version tables of the motivating examples. A software point `(0,
+    /// base_cycles)` is added if missing; dominated points are removed.
+    pub fn from_points(
+        name: impl Into<String>,
+        base_cycles: u64,
+        pairs: &[(u64, u64)],
+    ) -> Self {
+        let mut points: Vec<ConfigPoint> = pairs
+            .iter()
+            .map(|&(area, cycles)| ConfigPoint {
+                area,
+                cycles,
+                gain: base_cycles.saturating_sub(cycles),
+                selection: Vec::new(),
+            })
+            .collect();
+        points.push(ConfigPoint {
+            area: 0,
+            cycles: base_cycles,
+            gain: 0,
+            selection: Vec::new(),
+        });
+        ConfigCurve::from_pointset(name, base_cycles, points)
+    }
+
+    fn from_pointset(
+        name: impl Into<String>,
+        base_cycles: u64,
+        mut points: Vec<ConfigPoint>,
+    ) -> Self {
+        // Keep the Pareto staircase: ascending area, strictly descending
+        // cycles.
+        points.sort_by(|a, b| a.area.cmp(&b.area).then(a.cycles.cmp(&b.cycles)));
+        let mut kept: Vec<ConfigPoint> = Vec::new();
+        for p in points {
+            match kept.last() {
+                Some(last) if p.cycles >= last.cycles => {} // dominated
+                _ => kept.push(p),
+            }
+        }
+        ConfigCurve {
+            name: name.into(),
+            base_cycles,
+            points: kept,
+        }
+    }
+
+    /// The undominated configurations, ascending by area.
+    pub fn points(&self) -> &[ConfigPoint] {
+        &self.points
+    }
+
+    /// Number of configurations (including the software point).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Curves always contain at least the software point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Largest area on the curve (`Max_Area` contribution of §3.2).
+    pub fn max_area(&self) -> u64 {
+        self.points.last().map(|p| p.area).unwrap_or(0)
+    }
+
+    /// The best (lowest-cycles) configuration within `budget`, by binary
+    /// search over the staircase.
+    pub fn best_within(&self, budget: u64) -> &ConfigPoint {
+        let idx = self.points.partition_point(|p| p.area <= budget);
+        &self.points[idx.saturating_sub(1).min(self.points.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ir::cfg::BlockId;
+    use rtise_ir::nodeset::NodeSet;
+
+    fn cand(nodes: &[usize], area: u64, gain: u64) -> CiCandidate {
+        let mut set = NodeSet::with_capacity(32);
+        for &n in nodes {
+            set.insert(rtise_ir::dfg::NodeId(n));
+        }
+        CiCandidate {
+            block: BlockId(0),
+            nodes: set,
+            area,
+            hw_cycles: 1,
+            sw_cycles: 1 + gain,
+            exec_count: 1,
+        }
+    }
+
+    #[test]
+    fn from_points_matches_fig_3_1_shape() {
+        // g721-style: larger area, fewer cycles.
+        let curve = ConfigCurve::from_points(
+            "g721",
+            1000,
+            &[(10, 900), (20, 850), (40, 800), (30, 890)], // (30, 890) dominated
+        );
+        let areas: Vec<u64> = curve.points().iter().map(|p| p.area).collect();
+        assert_eq!(areas, vec![0, 10, 20, 40]);
+        let cycles: Vec<u64> = curve.points().iter().map(|p| p.cycles).collect();
+        assert_eq!(cycles, vec![1000, 900, 850, 800]);
+    }
+
+    #[test]
+    fn software_point_always_present() {
+        let curve = ConfigCurve::from_points("t", 100, &[(5, 90)]);
+        assert_eq!(curve.points()[0].area, 0);
+        assert_eq!(curve.points()[0].cycles, 100);
+        assert_eq!(curve.points()[0].gain, 0);
+    }
+
+    #[test]
+    fn best_within_walks_the_staircase() {
+        let curve = ConfigCurve::from_points("t", 100, &[(10, 80), (20, 60)]);
+        assert_eq!(curve.best_within(0).cycles, 100);
+        assert_eq!(curve.best_within(9).cycles, 100);
+        assert_eq!(curve.best_within(10).cycles, 80);
+        assert_eq!(curve.best_within(15).cycles, 80);
+        assert_eq!(curve.best_within(1000).cycles, 60);
+        assert_eq!(curve.max_area(), 20);
+    }
+
+    #[test]
+    fn generate_produces_monotone_staircase() {
+        let cands = vec![
+            cand(&[0], 4, 10),
+            cand(&[1], 8, 15),
+            cand(&[2], 2, 3),
+            cand(&[0, 1], 10, 22), // conflicts with the first two
+        ];
+        let curve = ConfigCurve::generate("t", &cands, 200, 8, 16);
+        let pts = curve.points();
+        assert_eq!(pts[0].area, 0);
+        for w in pts.windows(2) {
+            assert!(w[1].area > w[0].area);
+            assert!(w[1].cycles < w[0].cycles);
+        }
+        // The unconstrained best uses the conflict-free optimum: the three
+        // disjoint singletons (10 + 15 + 3) beat the pair candidate (22 + 3).
+        assert_eq!(pts.last().map(|p| p.gain), Some(28));
+    }
+
+    #[test]
+    fn generate_with_empty_library_is_software_only() {
+        let curve = ConfigCurve::generate("t", &[], 50, 4, 16);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve.best_within(u64::MAX).cycles, 50);
+    }
+
+    #[test]
+    fn gains_never_exceed_base_cycles() {
+        let cands = vec![cand(&[0], 1, 1_000_000)];
+        let curve = ConfigCurve::generate("t", &cands, 10, 4, 16);
+        for p in curve.points() {
+            assert!(p.cycles <= 10);
+            assert!(p.gain <= 10);
+        }
+    }
+}

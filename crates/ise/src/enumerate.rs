@@ -1,0 +1,462 @@
+//! Custom-instruction candidate identification.
+//!
+//! Two enumerators from the literature surveyed in §2.3.1:
+//!
+//! * [`maximal_miso`] — the linear-time greedy of Alippi et al. that grows
+//!   maximal multiple-input single-output patterns from each sink;
+//! * [`enumerate_connected`] — connected convex MIMO subgraphs under
+//!   input/output constraints, grown breadth-first from every seed node with
+//!   convexity/feasibility pruning and a candidate cap (the scalable
+//!   clustering-style alternative to full exponential enumeration).
+
+use rtise_ir::dfg::Dfg;
+use rtise_ir::nodeset::NodeSet;
+use std::collections::HashSet;
+
+/// Options for [`enumerate_connected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerateOptions {
+    /// Maximum input operands per candidate (register read ports).
+    pub max_in: usize,
+    /// Maximum output operands per candidate (register write ports).
+    pub max_out: usize,
+    /// Upper bound on distinct candidates returned per DFG; the growth
+    /// frontier is truncated once reached (largest-first is not guaranteed,
+    /// but seeds cover the whole block).
+    pub max_candidates: usize,
+    /// Maximum nodes per candidate; bounds the search depth.
+    pub max_nodes: usize,
+}
+
+impl Default for EnumerateOptions {
+    /// The paper's usual 4-input / 2-output budget with generous caps.
+    fn default() -> Self {
+        EnumerateOptions {
+            max_in: 4,
+            max_out: 2,
+            max_candidates: 5_000,
+            max_nodes: 24,
+        }
+    }
+}
+
+/// Enumerates the maximal MISO pattern rooted at every sink of `dfg`.
+///
+/// Starting from each valid node, predecessors are absorbed as long as all
+/// of their consumers already lie inside the pattern (so the pattern keeps a
+/// single output) and they are valid; patterns that collapse to a single
+/// trivial node are dropped. Input counts are *not* constrained here — the
+/// caller filters with [`Dfg::io_counts`] if needed, mirroring MaxMISO.
+pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
+    let mut out: Vec<NodeSet> = Vec::new();
+    let mut seen: HashSet<NodeSet> = HashSet::new();
+    for root in dfg.ids() {
+        if !dfg.kind(root).is_ci_valid() || dfg.kind(root).is_pseudo() {
+            continue;
+        }
+        let mut set = dfg.empty_set();
+        set.insert(root);
+        // Grow upward to a fixpoint.
+        loop {
+            let mut grew = false;
+            let members: Vec<_> = set.iter().collect();
+            for m in members {
+                for &p in dfg.args(m) {
+                    if set.contains(p)
+                        || !dfg.kind(p).is_ci_valid()
+                        || dfg.kind(p).is_pseudo()
+                    {
+                        continue;
+                    }
+                    // p may join only if every consumer of p is inside,
+                    // keeping the pattern single-output.
+                    if dfg.consumers(p).iter().all(|c| set.contains(*c)) {
+                        set.insert(p);
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if set.len() >= 2 && seen.insert(set.clone()) {
+            debug_assert!(dfg.is_convex(&set));
+            debug_assert!(dfg.io_counts(&set).outputs <= 1);
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// Enumerates connected convex subgraphs satisfying the I/O constraints.
+///
+/// Growth starts from every valid seed node and extends one adjacent valid
+/// node at a time. A grown set is kept when it is feasible under
+/// `opts.max_in`/`opts.max_out`; infeasible intermediate shapes are still
+/// extended (adding a node can *reduce* the input count) until `max_nodes`.
+/// Duplicates are removed globally.
+///
+/// The worst case is exponential (§2.3.1); `max_candidates` bounds the work,
+/// trading completeness for the scalability of the clustering heuristics the
+/// paper cites.
+pub fn enumerate_connected(dfg: &Dfg, opts: EnumerateOptions) -> Vec<NodeSet> {
+    let mut results: Vec<NodeSet> = Vec::new();
+    let mut visited: HashSet<NodeSet> = HashSet::new();
+    let mut frontier: Vec<NodeSet> = Vec::new();
+    // Total-work bound: the candidate cap limits *results*, but on very
+    // large blocks the space of infeasible intermediate shapes dwarfs the
+    // feasible ones; cap the explored shapes as well so enumeration stays
+    // linear-ish in the cap (MaxMISO patterns cover huge blocks instead).
+    let max_visited = opts.max_candidates.saturating_mul(24).max(4_096);
+
+    for seed in dfg.ids() {
+        let k = dfg.kind(seed);
+        // Constants are absorbed as operands but never seed a candidate —
+        // a hardwired immediate is not an instruction.
+        if !k.is_ci_valid() || k.is_pseudo() || k == rtise_ir::op::OpKind::Const {
+            continue;
+        }
+        let mut s = dfg.empty_set();
+        s.insert(seed);
+        if visited.insert(s.clone()) {
+            frontier.push(s);
+        }
+    }
+
+    while let Some(set) = frontier.pop() {
+        if dfg.is_feasible_ci(&set, opts.max_in, opts.max_out) {
+            results.push(set.clone());
+            if results.len() >= opts.max_candidates {
+                break;
+            }
+        }
+        if set.len() >= opts.max_nodes || visited.len() >= max_visited {
+            continue;
+        }
+        // Extend by every adjacent valid node (connectedness preserved).
+        let mut neighbours = dfg.empty_set();
+        for m in set.iter() {
+            for &p in dfg.args(m) {
+                if !set.contains(p) && dfg.kind(p).is_ci_valid() && !dfg.kind(p).is_pseudo() {
+                    neighbours.insert(p);
+                }
+            }
+            for &c in dfg.consumers(m) {
+                if !set.contains(c) && dfg.kind(c).is_ci_valid() && !dfg.kind(c).is_pseudo() {
+                    neighbours.insert(c);
+                }
+            }
+        }
+        for nb in neighbours.iter() {
+            let mut grown = set.clone();
+            grown.insert(nb);
+            // Convexity can be repaired by further growth only through the
+            // violating path's nodes, which are neighbours too — so prune
+            // non-convex shapes immediately (the violating intermediate node
+            // itself will be offered as an extension of a different branch).
+            if !dfg.is_convex(&grown) {
+                // Repair instead of dropping: absorb everything on the
+                // violating paths if that keeps the size bounded.
+                if let Some(repaired) = convex_hull(dfg, &grown, opts.max_nodes) {
+                    if visited.insert(repaired.clone()) {
+                        frontier.push(repaired);
+                    }
+                }
+                continue;
+            }
+            if visited.insert(grown.clone()) {
+                frontier.push(grown);
+            }
+        }
+    }
+    results
+}
+
+/// Pairs up disjoint feasible candidates into *disconnected* candidates
+/// (two weakly-connected components in one custom instruction), the
+/// instruction-level-parallelism extension of §2.3.1 \[81, 23, 36\]: inside
+/// the CFU the components execute in parallel, so the combined hardware
+/// latency is the maximum — not the sum — of the parts.
+///
+/// `connected` is a library of feasible candidates (e.g. from
+/// [`enumerate_connected`]); pairs whose union is still feasible under
+/// `opts` are returned, capped at `opts.max_candidates`.
+pub fn enumerate_disconnected(
+    dfg: &Dfg,
+    connected: &[NodeSet],
+    opts: EnumerateOptions,
+) -> Vec<NodeSet> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<NodeSet> = HashSet::new();
+    'outer: for (i, a) in connected.iter().enumerate() {
+        for b in &connected[i + 1..] {
+            if a.intersects(b) {
+                continue;
+            }
+            let mut union = a.clone();
+            union.union_with(b);
+            if union.len() > opts.max_nodes
+                || !dfg.is_feasible_ci(&union, opts.max_in, opts.max_out)
+            {
+                continue;
+            }
+            // Require genuine disconnection: no data edge between the parts
+            // (otherwise the pair is just a connected candidate again).
+            let touching = a.iter().any(|n| {
+                dfg.args(n).iter().any(|p| b.contains(*p))
+                    || dfg.consumers(n).iter().any(|c| b.contains(*c))
+            });
+            if touching {
+                continue;
+            }
+            if seen.insert(union.clone()) {
+                out.push(union);
+                if out.len() >= opts.max_candidates {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The convex closure of `set`: adds every valid node lying on a path
+/// between two members. Returns `None` if the closure needs an invalid node
+/// or exceeds `max_nodes`.
+fn convex_hull(dfg: &Dfg, set: &NodeSet, max_nodes: usize) -> Option<NodeSet> {
+    let mut hull = set.clone();
+    loop {
+        // Nodes outside the hull reachable from it...
+        let mut desc = dfg.empty_set();
+        for id in dfg.ids() {
+            let from_member = dfg.args(id).iter().any(|a| hull.contains(*a));
+            let from_desc = dfg.args(id).iter().any(|a| desc.contains(*a));
+            if !hull.contains(id) && (from_member || from_desc) {
+                desc.insert(id);
+            }
+        }
+        // ...that also reach back into the hull must be absorbed.
+        let mut anc = dfg.empty_set();
+        for id in dfg.ids().collect::<Vec<_>>().into_iter().rev() {
+            let to_member = dfg.consumers(id).iter().any(|c| hull.contains(*c));
+            let to_anc = dfg.consumers(id).iter().any(|c| anc.contains(*c));
+            if !hull.contains(id) && (to_member || to_anc) {
+                anc.insert(id);
+            }
+        }
+        let mut need = desc;
+        need.intersect_with(&anc);
+        if need.is_empty() {
+            return Some(hull);
+        }
+        for id in need.iter() {
+            if !dfg.kind(id).is_ci_valid() {
+                return None;
+            }
+            hull.insert(id);
+        }
+        if hull.len() > max_nodes {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ir::op::OpKind;
+
+    /// A two-output diamond over a shared add.
+    fn diamond() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let add = g.bin(OpKind::Add, a, b);
+        let mul = g.bin_imm(OpKind::Mul, add, 3);
+        let sub = g.bin_imm(OpKind::Sub, add, 1);
+        let x = g.bin(OpKind::Xor, mul, sub);
+        g.output(0, x);
+        g
+    }
+
+    #[test]
+    fn maxmiso_finds_the_full_diamond() {
+        let g = diamond();
+        let misos = maximal_miso(&g);
+        // The maximal MISO rooted at xor covers all four ops.
+        assert!(misos.iter().any(|s| s.len() == 4));
+        for s in &misos {
+            assert!(g.is_convex(s));
+            assert!(g.io_counts(s).outputs <= 1, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn maxmiso_respects_external_consumers() {
+        // add feeds both mul and an Output: growing from mul must not absorb
+        // add unless all of add's consumers are inside.
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let add = g.bin_imm(OpKind::Add, a, 1);
+        let mul = g.bin_imm(OpKind::Mul, add, 3);
+        g.output(0, add);
+        g.output(1, mul);
+        let misos = maximal_miso(&g);
+        for s in &misos {
+            if s.contains(mul) {
+                assert!(!s.contains(add), "add escapes through Output");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_enumeration_is_feasible_and_convex() {
+        let g = diamond();
+        let cands = enumerate_connected(&g, EnumerateOptions::default());
+        assert!(!cands.is_empty());
+        for s in &cands {
+            assert!(g.is_feasible_ci(&s.clone(), 4, 2), "{s:?}");
+        }
+        // The full diamond is among them.
+        assert!(cands.iter().any(|s| s.len() == 4));
+    }
+
+    #[test]
+    fn enumeration_honours_io_constraints() {
+        // A 6-input tree: with max_in = 2 only small pieces qualify.
+        let mut g = Dfg::new();
+        let ins: Vec<_> = (0..6).map(|i| g.input(i)).collect();
+        let s0 = g.bin(OpKind::Add, ins[0], ins[1]);
+        let s1 = g.bin(OpKind::Add, ins[2], ins[3]);
+        let s2 = g.bin(OpKind::Add, ins[4], ins[5]);
+        let t0 = g.bin(OpKind::Add, s0, s1);
+        let t1 = g.bin(OpKind::Add, t0, s2);
+        g.output(0, t1);
+        let opts = EnumerateOptions {
+            max_in: 2,
+            ..EnumerateOptions::default()
+        };
+        let cands = enumerate_connected(&g, opts);
+        for s in &cands {
+            assert!(g.io_counts(s).inputs <= 2);
+        }
+        // The full tree (6 inputs) must be excluded.
+        assert!(cands.iter().all(|s| s.len() < 5));
+    }
+
+    #[test]
+    fn candidate_cap_limits_output() {
+        // A wide block with many nodes explodes combinatorially; the cap
+        // must hold.
+        let mut g = Dfg::new();
+        let mut prev = g.input(0);
+        let other = g.input(1);
+        for i in 0..20 {
+            let k = if i % 2 == 0 { OpKind::Add } else { OpKind::Xor };
+            prev = g.bin(k, prev, other);
+        }
+        g.output(0, prev);
+        let opts = EnumerateOptions {
+            max_candidates: 50,
+            ..EnumerateOptions::default()
+        };
+        let cands = enumerate_connected(&g, opts);
+        assert!(cands.len() <= 50);
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn invalid_ops_never_appear_in_candidates() {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let x = g.bin_imm(OpKind::Add, a, 1);
+        let ld = g.un(OpKind::Load, x);
+        let y = g.bin_imm(OpKind::Mul, ld, 3);
+        g.output(0, y);
+        for s in enumerate_connected(&g, EnumerateOptions::default()) {
+            assert!(!s.contains(ld));
+        }
+        for s in maximal_miso(&g) {
+            assert!(!s.contains(ld));
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_execute_in_parallel() {
+        use rtise_ir::hw::HwModel;
+        // Two independent mul-mul chains.
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let m1 = g.bin_imm(OpKind::Mul, a, 3);
+        let m2 = g.bin_imm(OpKind::Mul, m1, 5);
+        let n1 = g.bin_imm(OpKind::Mul, b, 7);
+        let n2 = g.bin_imm(OpKind::Mul, n1, 9);
+        g.output(0, m2);
+        g.output(1, n2);
+
+        let connected = enumerate_connected(&g, EnumerateOptions::default());
+        let pairs = enumerate_disconnected(&g, &connected, EnumerateOptions::default());
+        assert!(!pairs.is_empty());
+        // The full pair {m1,m2} ∪ {n1,n2} runs both chains in parallel.
+        let full: Vec<_> = pairs.iter().filter(|p| p.len() >= 4).collect();
+        assert!(!full.is_empty(), "expected the 4-op disconnected pair");
+        let hw = HwModel::default();
+        for p in full {
+            // sw = 4 muls = 12 cycles; hw = one 2-mul chain = 1 cycle.
+            assert_eq!(hw.ci_cycles(&g, p), 1);
+            assert_eq!(hw.ci_gain(&g, p), 11, "parallelism beats the sum of parts");
+        }
+        // And every pair is feasible + genuinely disconnected.
+        for p in &pairs {
+            assert!(g.is_feasible_ci(p, 4, 2));
+        }
+    }
+
+    #[test]
+    fn disconnected_rejects_touching_components() {
+        let g = diamond();
+        let connected = enumerate_connected(&g, EnumerateOptions::default());
+        let pairs = enumerate_disconnected(&g, &connected, EnumerateOptions::default());
+        // The only disconnected pair in the diamond is the sibling set
+        // {mul, sub}: every other combination shares a data edge.
+        assert_eq!(pairs.len(), 1, "{pairs:?}");
+        let pair = &pairs[0];
+        assert_eq!(pair.len(), 2);
+        let kinds: Vec<OpKind> = pair.iter().map(|n| g.kind(n)).collect();
+        assert!(kinds.contains(&OpKind::Mul) && kinds.contains(&OpKind::Sub));
+        // No data edge between the two members.
+        for n in pair.iter() {
+            assert!(!g.args(n).iter().any(|p| pair.contains(*p)));
+        }
+    }
+
+    #[test]
+    fn convex_hull_repairs_or_rejects() {
+        let g = diamond();
+        // {add, xor} is non-convex; its hull is the full diamond.
+        let add = rtise_ir::dfg::NodeId(2);
+        let xor = rtise_ir::dfg::NodeId(7);
+        assert_eq!(g.kind(add), OpKind::Add);
+        assert_eq!(g.kind(xor), OpKind::Xor);
+        let mut s = g.empty_set();
+        s.insert(add);
+        s.insert(xor);
+        let hull = convex_hull(&g, &s, 16).expect("repairable");
+        assert_eq!(hull.len(), 4);
+        assert!(g.is_convex(&hull));
+        // With a load on the path, repair is impossible.
+        let mut g2 = Dfg::new();
+        let a = g2.input(0);
+        let p = g2.bin_imm(OpKind::Add, a, 1);
+        let ld = g2.un(OpKind::Load, p);
+        let q = g2.bin_imm(OpKind::Mul, ld, 3);
+        let r = g2.bin(OpKind::Add, q, p);
+        g2.output(0, r);
+        let mut bad = g2.empty_set();
+        bad.insert(p);
+        bad.insert(r);
+        assert!(convex_hull(&g2, &bad, 16).is_none());
+    }
+}

@@ -1,0 +1,355 @@
+//! Metaheuristic selection baselines surveyed in §2.3.2: a genetic
+//! algorithm (chromosome = candidate bit-vector, as in \[86\]) and simulated
+//! annealing (as in \[43\]). Both trade optimality for analysis time and are
+//! kept as comparison points for the exact branch-and-bound; the ablation
+//! experiments quantify the gap.
+
+use crate::candidate::CiCandidate;
+use crate::select::Selection;
+
+/// A deterministic xorshift64* generator — keeps the crate free of runtime
+/// dependencies while making every run reproducible.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+/// Repairs a genome to feasibility: drop conflicting/over-budget genes,
+/// lowest gain/area ratio first.
+fn repair(genome: &mut [bool], cands: &[CiCandidate], budget: u64) {
+    // Deterministic drop order: worst ratio first.
+    let mut order: Vec<usize> = (0..cands.len()).filter(|&i| genome[i]).collect();
+    order.sort_by(|&a, &b| {
+        let ra = cands[a].total_gain() as u128 * cands[b].area.max(1) as u128;
+        let rb = cands[b].total_gain() as u128 * cands[a].area.max(1) as u128;
+        ra.cmp(&rb)
+    });
+    // Resolve conflicts: keep the better of any conflicting pair.
+    for (pos, &i) in order.iter().enumerate() {
+        if !genome[i] {
+            continue;
+        }
+        for &j in &order[pos + 1..] {
+            if genome[j] && cands[i].conflicts_with(&cands[j]) {
+                genome[i] = false;
+                break;
+            }
+        }
+    }
+    // Enforce the budget.
+    let mut area: u64 = (0..cands.len())
+        .filter(|&i| genome[i])
+        .map(|i| cands[i].area)
+        .sum();
+    for &i in &order {
+        if area <= budget {
+            break;
+        }
+        if genome[i] {
+            genome[i] = false;
+            area -= cands[i].area;
+        }
+    }
+}
+
+fn fitness(genome: &[bool], cands: &[CiCandidate]) -> u64 {
+    genome
+        .iter()
+        .zip(cands)
+        .filter(|(&g, _)| g)
+        .map(|(_, c)| c.total_gain())
+        .sum()
+}
+
+fn to_selection(genome: &[bool], cands: &[CiCandidate]) -> Selection {
+    let chosen: Vec<usize> = (0..cands.len()).filter(|&i| genome[i]).collect();
+    Selection {
+        total_gain: chosen.iter().map(|&i| cands[i].total_gain()).sum(),
+        total_area: chosen.iter().map(|&i| cands[i].area).sum(),
+        chosen,
+    }
+}
+
+/// Options for [`genetic_select`].
+#[derive(Debug, Clone, Copy)]
+pub struct GaOptions {
+    /// Population size.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Mutation probability per gene, as a permille.
+    pub mutation_permille: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaOptions {
+    fn default() -> Self {
+        GaOptions {
+            population: 32,
+            generations: 60,
+            mutation_permille: 30,
+            seed: 0x6e6e,
+        }
+    }
+}
+
+/// Genetic-algorithm selection \[86\]: uniform crossover, per-gene mutation,
+/// feasibility repair, elitist replacement.
+pub fn genetic_select(cands: &[CiCandidate], budget: u64, opts: GaOptions) -> Selection {
+    if cands.is_empty() {
+        return Selection::default();
+    }
+    let n = cands.len();
+    let mut rng = Rng(opts.seed.max(1));
+    // Seed the population with random genomes plus the greedy solution.
+    let mut pop: Vec<Vec<bool>> = (0..opts.population.max(2))
+        .map(|_| {
+            let mut g: Vec<bool> = (0..n).map(|_| rng.chance(1, 3)).collect();
+            repair(&mut g, cands, budget);
+            g
+        })
+        .collect();
+    let greedy = crate::select::greedy_by_ratio(cands, budget);
+    let mut seed_genome = vec![false; n];
+    for &i in &greedy.chosen {
+        seed_genome[i] = true;
+    }
+    pop[0] = seed_genome;
+
+    let mut best = pop
+        .iter()
+        .max_by_key(|g| fitness(g, cands))
+        .cloned()
+        .expect("non-empty population");
+    for _gen in 0..opts.generations {
+        let mut next = Vec::with_capacity(pop.len());
+        next.push(best.clone()); // elitism
+        while next.len() < pop.len() {
+            // Binary-tournament parents.
+            let pick = |rng: &mut Rng| {
+                let a = rng.below(pop.len());
+                let b = rng.below(pop.len());
+                if fitness(&pop[a], cands) >= fitness(&pop[b], cands) {
+                    a
+                } else {
+                    b
+                }
+            };
+            let (pa, pb) = (pick(&mut rng), pick(&mut rng));
+            let mut child: Vec<bool> = (0..n)
+                .map(|i| {
+                    if rng.chance(1, 2) {
+                        pop[pa][i]
+                    } else {
+                        pop[pb][i]
+                    }
+                })
+                .collect();
+            for gene in child.iter_mut() {
+                if rng.chance(opts.mutation_permille, 1000) {
+                    *gene = !*gene;
+                }
+            }
+            repair(&mut child, cands, budget);
+            next.push(child);
+        }
+        pop = next;
+        if let Some(gen_best) = pop.iter().max_by_key(|g| fitness(g, cands)) {
+            if fitness(gen_best, cands) > fitness(&best, cands) {
+                best = gen_best.clone();
+            }
+        }
+    }
+    to_selection(&best, cands)
+}
+
+/// Options for [`simulated_annealing_select`].
+#[derive(Debug, Clone, Copy)]
+pub struct SaOptions {
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Initial temperature (in gain units).
+    pub initial_temp: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        SaOptions {
+            steps: 4_000,
+            initial_temp: 500.0,
+            cooling: 0.999,
+            seed: 0x5a5a,
+        }
+    }
+}
+
+/// Simulated-annealing selection \[43\]: single-gene flip proposals with
+/// feasibility repair, Metropolis acceptance, geometric cooling.
+pub fn simulated_annealing_select(
+    cands: &[CiCandidate],
+    budget: u64,
+    opts: SaOptions,
+) -> Selection {
+    if cands.is_empty() {
+        return Selection::default();
+    }
+    let n = cands.len();
+    let mut rng = Rng(opts.seed.max(1));
+    let greedy = crate::select::greedy_by_ratio(cands, budget);
+    let mut cur = vec![false; n];
+    for &i in &greedy.chosen {
+        cur[i] = true;
+    }
+    let mut cur_fit = fitness(&cur, cands) as f64;
+    let mut best = cur.clone();
+    let mut best_fit = cur_fit;
+    let mut temp = opts.initial_temp.max(1e-6);
+    for _ in 0..opts.steps {
+        let flip = rng.below(n);
+        let mut cand = cur.clone();
+        cand[flip] = !cand[flip];
+        repair(&mut cand, cands, budget);
+        let fit = fitness(&cand, cands) as f64;
+        let accept = fit >= cur_fit || {
+            // Metropolis with a fixed-point uniform draw.
+            let u = (rng.next() % 1_000_000) as f64 / 1_000_000.0;
+            u < ((fit - cur_fit) / temp).exp()
+        };
+        if accept {
+            cur = cand;
+            cur_fit = fit;
+            if cur_fit > best_fit {
+                best = cur.clone();
+                best_fit = cur_fit;
+            }
+        }
+        temp *= opts.cooling;
+    }
+    to_selection(&best, cands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::branch_and_bound;
+    use rtise_ir::cfg::BlockId;
+    use rtise_ir::nodeset::NodeSet;
+
+    fn cand(block: usize, nodes: &[usize], area: u64, gain: u64) -> CiCandidate {
+        let mut set = NodeSet::with_capacity(64);
+        for &n in nodes {
+            set.insert(rtise_ir::dfg::NodeId(n));
+        }
+        CiCandidate {
+            block: BlockId(block),
+            nodes: set,
+            area,
+            hw_cycles: 1,
+            sw_cycles: 1 + gain,
+            exec_count: 1,
+        }
+    }
+
+    fn library(seed: u64, n: usize) -> Vec<CiCandidate> {
+        let mut rng = Rng(seed);
+        (0..n)
+            .map(|_| {
+                let lo = rng.below(12);
+                let hi = lo + 1 + rng.below(3);
+                let nodes: Vec<usize> = (lo..hi).collect();
+                cand(
+                    rng.below(3),
+                    &nodes,
+                    1 + rng.next() % 15,
+                    1 + rng.next() % 25,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ga_solutions_are_feasible_and_bounded_by_exact() {
+        for seed in 1..=8u64 {
+            let cands = library(seed, 12);
+            let budget = 40;
+            let exact = branch_and_bound(&cands, budget);
+            let ga = genetic_select(&cands, budget, GaOptions::default());
+            assert!(ga.is_valid(&cands, budget), "seed {seed}");
+            assert!(ga.total_gain <= exact.total_gain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sa_solutions_are_feasible_and_bounded_by_exact() {
+        for seed in 1..=8u64 {
+            let cands = library(seed * 7, 12);
+            let budget = 40;
+            let exact = branch_and_bound(&cands, budget);
+            let sa = simulated_annealing_select(&cands, budget, SaOptions::default());
+            assert!(sa.is_valid(&cands, budget), "seed {seed}");
+            assert!(sa.total_gain <= exact.total_gain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn metaheuristics_escape_the_greedy_trap() {
+        // The knapsack trap of the select tests: greedy takes the
+        // high-ratio item and misses the optimum; GA/SA should find it.
+        let cands = vec![
+            cand(0, &[0], 6, 10),
+            cand(0, &[1], 5, 8),
+            cand(0, &[2], 5, 8),
+        ];
+        let greedy = crate::select::greedy_by_ratio(&cands, 10);
+        assert_eq!(greedy.total_gain, 10);
+        let ga = genetic_select(&cands, 10, GaOptions::default());
+        assert_eq!(ga.total_gain, 16, "GA finds the 8+8 pairing");
+        let sa = simulated_annealing_select(&cands, 10, SaOptions::default());
+        assert_eq!(sa.total_gain, 16, "SA finds the 8+8 pairing");
+    }
+
+    #[test]
+    fn empty_library_yields_empty_selection() {
+        assert_eq!(
+            genetic_select(&[], 10, GaOptions::default()),
+            Selection::default()
+        );
+        assert_eq!(
+            simulated_annealing_select(&[], 10, SaOptions::default()),
+            Selection::default()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cands = library(3, 10);
+        let a = genetic_select(&cands, 30, GaOptions::default());
+        let b = genetic_select(&cands, 30, GaOptions::default());
+        assert_eq!(a, b);
+        let c = simulated_annealing_select(&cands, 30, SaOptions::default());
+        let d = simulated_annealing_select(&cands, 30, SaOptions::default());
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,274 @@
+//! Wearable bio-monitoring applications (Chapter 8): continuous vital-sign
+//! monitoring from a PPG waveform and accelerometer-based fall detection,
+//! both in fixed-point arithmetic (§8.2.1).
+
+use crate::builder::{mem_load_at, mem_store_at, SeqBuilder};
+use crate::{DataGen, Kernel};
+use rtise_ir::dfg::Operand;
+use rtise_ir::op::OpKind;
+
+const PPG_LEN: usize = 256;
+
+/// Synthesizes a noisy periodic PPG-like waveform (fixed point, period 25
+/// samples ≈ 75 bpm at 31.25 Hz).
+fn ppg_signal() -> Vec<i64> {
+    let mut gen = DataGen::new(0xb10_0001);
+    (0..PPG_LEN)
+        .map(|i| {
+            // Triangle pulse train plus small noise.
+            let phase = (i % 25) as i64;
+            let pulse = if phase < 5 { phase * 200 } else { (25 - phase) * 40 };
+            pulse + gen.below(16)
+        })
+        .collect()
+}
+
+/// Continuous vital-sign monitoring: 4-tap moving-average smoothing of the
+/// PPG followed by branch-free peak detection and inter-beat-interval
+/// accumulation (the heart-rate / pulse-transit-time pipeline of Fig. 8.3).
+pub fn vital_signs() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const COND: usize = 2;
+    const PEAKS: usize = 3;
+    const LAST: usize = 4; // index of previous peak
+    const IBI_SUM: usize = 5; // sum of inter-beat intervals
+    const RAW: i64 = 0;
+    const SMOOTH: i64 = PPG_LEN as i64;
+    const THRESH: i64 = 420;
+
+    let raw = ppg_signal();
+    let mut mem = raw.clone();
+    mem.extend(std::iter::repeat_n(0, PPG_LEN));
+
+    let mut b = SeqBuilder::new("vital_signs", 6, mem.len());
+    b.straight("init_smooth", |d| {
+        let z = d.imm(0);
+        let n = d.imm(PPG_LEN as i64 - 4);
+        d.output(I, z);
+        d.output(N, n);
+        d.output(PEAKS, z);
+        d.output(LAST, z);
+        d.output(IBI_SUM, z);
+    });
+    b.begin_for("smooth", I, N, COND, PPG_LEN as u64);
+    b.straight("avg4", |d| {
+        let i = d.input(I);
+        let mut acc = d.imm(0);
+        for k in 0..4 {
+            let idx = d.bin_imm(OpKind::Add, i, k);
+            let x = mem_load_at(d, RAW, idx);
+            acc = d.bin(OpKind::Add, acc, x);
+        }
+        let avg = d.bin_imm(OpKind::Sar, acc, 2);
+        mem_store_at(d, SMOOTH, i, avg);
+    });
+    b.end_for();
+    b.straight("init_detect", |d| {
+        let one = d.imm(1);
+        let n = d.imm(PPG_LEN as i64 - 5);
+        d.output(I, one);
+        d.output(N, n);
+    });
+    b.begin_for("detect", I, N, COND, PPG_LEN as u64);
+    b.straight("peak", |d| {
+        let i = d.input(I);
+        let im1 = d.bin_imm(OpKind::Sub, i, 1);
+        let ip1 = d.bin_imm(OpKind::Add, i, 1);
+        let prev = mem_load_at(d, SMOOTH, im1);
+        let cur = mem_load_at(d, SMOOTH, i);
+        let next = mem_load_at(d, SMOOTH, ip1);
+        let rising = d.bin(OpKind::Lt, prev, cur);
+        let falling = d.bin(OpKind::Le, next, cur);
+        let tall = d.bin_imm(OpKind::Lt, cur, THRESH);
+        let one = d.imm(1);
+        let tall_inv = d.bin(OpKind::Sub, one, tall); // cur >= THRESH
+        let shape = d.bin(OpKind::And, rising, falling);
+        let is_peak = d.bin(OpKind::And, shape, tall_inv);
+        // Branch-free state update via selects.
+        let peaks = d.input(PEAKS);
+        let last = d.input(LAST);
+        let ibi = d.input(IBI_SUM);
+        let peaks1 = d.bin(OpKind::Add, peaks, is_peak);
+        let interval = d.bin(OpKind::Sub, i, last);
+        let ibi1 = d.bin(OpKind::Add, ibi, interval);
+        let new_ibi = d.node(
+            OpKind::Select,
+            &[
+                Operand::Node(is_peak),
+                Operand::Node(ibi1),
+                Operand::Node(ibi),
+            ],
+        );
+        let new_last = d.node(
+            OpKind::Select,
+            &[Operand::Node(is_peak), Operand::Node(i), Operand::Node(last)],
+        );
+        d.output(PEAKS, peaks1);
+        d.output(LAST, new_last);
+        d.output(IBI_SUM, new_ibi);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected = {
+        let mut smooth = vec![0i64; PPG_LEN];
+        for i in 0..PPG_LEN - 4 {
+            smooth[i] = (raw[i] + raw[i + 1] + raw[i + 2] + raw[i + 3]) >> 2;
+        }
+        let (mut peaks, mut last, mut ibi) = (0i64, 0i64, 0i64);
+        for i in 1..PPG_LEN - 5 {
+            let is_peak = smooth[i - 1] < smooth[i]
+                && smooth[i + 1] <= smooth[i]
+                && smooth[i] >= THRESH;
+            if is_peak {
+                peaks += 1;
+                ibi += i as i64 - last;
+                last = i as i64;
+            }
+        }
+        (peaks, ibi)
+    };
+    Kernel::new("vital_signs", program, vec![], mem, move |out| {
+        if (out.vars[PEAKS], out.vars[IBI_SUM]) == expected {
+            Ok(())
+        } else {
+            Err(format!(
+                "peaks/ibi ({}, {}) != ({}, {})",
+                out.vars[PEAKS], out.vars[IBI_SUM], expected.0, expected.1
+            ))
+        }
+    })
+}
+
+const ACC_LEN: usize = 128;
+
+/// Fall detection: squared acceleration magnitude against free-fall and
+/// impact thresholds over a 3-axis window, counting fall signatures
+/// (free-fall followed within 16 samples by an impact).
+pub fn fall_detection() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const COND: usize = 2;
+    const FALLS: usize = 3;
+    const FF_AT: usize = 4; // time of last free-fall, -100 if none
+    const AX: i64 = 0;
+    const AY: i64 = ACC_LEN as i64;
+    const AZ: i64 = 2 * ACC_LEN as i64;
+    // Thresholds on |a|² in milli-g²: free-fall < 0.25 g², impact > 4 g².
+    const FREE_FALL: i64 = 250_000;
+    const IMPACT: i64 = 4_000_000;
+
+    // Simulate a wear pattern: mostly ~1 g with one fall event.
+    let mut gen = DataGen::new(0xfa11_0001);
+    let mut ax = Vec::with_capacity(ACC_LEN);
+    let mut ay = Vec::with_capacity(ACC_LEN);
+    let mut az = Vec::with_capacity(ACC_LEN);
+    for i in 0..ACC_LEN {
+        let (x, y, z) = match i {
+            60..=65 => (gen.below(100), gen.below(100), gen.below(100)), // free fall
+            70 => (2500, 1200, 900),                                     // impact
+            _ => (gen.below(200), gen.below(200), 950 + gen.below(100)), // wear
+        };
+        ax.push(x);
+        ay.push(y);
+        az.push(z);
+    }
+    let mut mem = ax.clone();
+    mem.extend_from_slice(&ay);
+    mem.extend_from_slice(&az);
+
+    let mut b = SeqBuilder::new("fall_detection", 5, mem.len());
+    b.straight("init", |d| {
+        let z = d.imm(0);
+        let n = d.imm(ACC_LEN as i64);
+        let none = d.imm(-100);
+        d.output(I, z);
+        d.output(N, n);
+        d.output(FALLS, z);
+        d.output(FF_AT, none);
+    });
+    b.begin_for("window", I, N, COND, ACC_LEN as u64);
+    b.straight("classify", |d| {
+        let i = d.input(I);
+        let x = mem_load_at(d, AX, i);
+        let y = mem_load_at(d, AY, i);
+        let z = mem_load_at(d, AZ, i);
+        let xx = d.bin(OpKind::Mul, x, x);
+        let yy = d.bin(OpKind::Mul, y, y);
+        let zz = d.bin(OpKind::Mul, z, z);
+        let s = d.bin(OpKind::Add, xx, yy);
+        let mag2 = d.bin(OpKind::Add, s, zz);
+        let in_free_fall = d.bin_imm(OpKind::Lt, mag2, FREE_FALL);
+        let impact_thr = d.imm(IMPACT);
+        let is_impact = d.bin(OpKind::Lt, impact_thr, mag2);
+        let ff_at = d.input(FF_AT);
+        let falls = d.input(FALLS);
+        // Impact within 16 samples of a free-fall counts as a fall.
+        let since = d.bin(OpKind::Sub, i, ff_at);
+        let recent = d.bin_imm(OpKind::Le, since, 16);
+        let hit0 = d.bin(OpKind::And, is_impact, recent);
+        let falls1 = d.bin(OpKind::Add, falls, hit0);
+        // Remember the latest free-fall time; clear after a counted fall.
+        let new_ff = d.node(
+            OpKind::Select,
+            &[Operand::Node(in_free_fall), Operand::Node(i), Operand::Node(ff_at)],
+        );
+        let cleared = d.imm(-100);
+        let ff_final = d.node(
+            OpKind::Select,
+            &[Operand::Node(hit0), Operand::Node(cleared), Operand::Node(new_ff)],
+        );
+        d.output(FALLS, falls1);
+        d.output(FF_AT, ff_final);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected = {
+        let mut falls = 0i64;
+        let mut ff_at = -100i64;
+        for i in 0..ACC_LEN {
+            let mag2 = ax[i] * ax[i] + ay[i] * ay[i] + az[i] * az[i];
+            let in_ff = mag2 < FREE_FALL;
+            let impact = mag2 > IMPACT;
+            let hit = impact && (i as i64 - ff_at) <= 16;
+            if hit {
+                falls += 1;
+            }
+            ff_at = if in_ff { i as i64 } else { ff_at };
+            if hit {
+                ff_at = -100;
+            }
+        }
+        falls
+    };
+    Kernel::new("fall_detection", program, vec![], mem, move |out| {
+        if out.vars[FALLS] == expected {
+            Ok(())
+        } else {
+            Err(format!("falls {} != {expected}", out.vars[FALLS]))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vital_signs_detects_pulses() {
+        let k = vital_signs();
+        let out = k.validate().expect("vital_signs");
+        // ~75 bpm pulse train over 256 samples at 25-sample period: around
+        // ten peaks.
+        assert!(out.vars[3] >= 8, "too few peaks: {}", out.vars[3]);
+    }
+
+    #[test]
+    fn fall_detection_sees_the_staged_fall() {
+        let k = fall_detection();
+        let out = k.validate().expect("fall_detection");
+        assert_eq!(out.vars[3], 1, "exactly one staged fall event");
+    }
+}

@@ -1,0 +1,267 @@
+//! # rtise-kernels
+//!
+//! The benchmark workload of the paper, re-implemented as executable IR
+//! programs: the MiBench / MediaBench / WCET-suite kernels used in the
+//! Chapter 3–5 task sets, the JPEG stage loops of the Chapter 6 case study,
+//! and the wearable bio-monitoring applications of Chapter 8.
+//!
+//! Each [`Kernel`] carries its program, initial state, and a reference Rust
+//! implementation; [`Kernel::validate`] runs the simulator and cross-checks
+//! the result bit-for-bit, so every customization experiment operates on
+//! code that provably computes the real algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use rtise_kernels::suite;
+//!
+//! let kernels = suite();
+//! assert!(kernels.iter().any(|k| k.name == "crc32"));
+//! for k in kernels.iter().take(3) {
+//!     k.validate().expect("kernel output matches its reference");
+//! }
+//! ```
+
+pub mod biomon;
+pub mod builder;
+pub mod crypto;
+pub mod dsp;
+pub mod media;
+
+use rtise_ir::cfg::Program;
+use rtise_sim::{RunResult, SimError, Simulator};
+use std::fmt;
+
+/// A benchmark kernel: an executable program plus its reference result.
+pub struct Kernel {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// The executable program.
+    pub program: Program,
+    /// Initial variable file.
+    pub init_vars: Vec<i64>,
+    /// Initial memory image.
+    pub init_mem: Vec<i64>,
+    /// Checks a run result against the reference implementation.
+    #[allow(clippy::type_complexity)]
+    check: Box<dyn Fn(&RunResult) -> Result<(), String> + Send + Sync>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("blocks", &self.program.blocks.len())
+            .finish()
+    }
+}
+
+/// A kernel failed validation against its reference implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateKernelError {
+    /// Simulation failed.
+    Sim(SimError),
+    /// Output mismatch; the message names the first divergence.
+    Mismatch {
+        /// Kernel name.
+        kernel: &'static str,
+        /// Description of the divergence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ValidateKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateKernelError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ValidateKernelError::Mismatch { kernel, detail } => {
+                write!(f, "{kernel} diverged from reference: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateKernelError {}
+
+impl Kernel {
+    /// Builds a kernel from parts; `check` compares a run result with the
+    /// reference implementation.
+    pub fn new(
+        name: &'static str,
+        program: Program,
+        init_vars: Vec<i64>,
+        init_mem: Vec<i64>,
+        check: impl Fn(&RunResult) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        Kernel {
+            name,
+            program,
+            init_vars,
+            init_mem,
+            check: Box::new(check),
+        }
+    }
+
+    /// Runs the kernel on its canonical input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run(&self) -> Result<RunResult, SimError> {
+        Simulator::new(&self.program)?.run(&self.init_vars, &self.init_mem)
+    }
+
+    /// Runs the kernel with block-trace recording enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_traced(&self) -> Result<RunResult, SimError> {
+        Simulator::new(&self.program)?
+            .with_trace(true)
+            .run(&self.init_vars, &self.init_mem)
+    }
+
+    /// Runs the kernel and cross-checks the result against the reference
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidateKernelError::Sim`] on simulation failure,
+    /// [`ValidateKernelError::Mismatch`] when outputs diverge.
+    pub fn validate(&self) -> Result<RunResult, ValidateKernelError> {
+        let out = self.run().map_err(ValidateKernelError::Sim)?;
+        (self.check)(&out).map_err(|detail| ValidateKernelError::Mismatch {
+            kernel: self.name,
+            detail,
+        })?;
+        Ok(out)
+    }
+}
+
+/// Deterministic pseudo-random data for kernel inputs (xorshift64*). Keeps
+/// the crate free of runtime dependencies while making every experiment
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct DataGen {
+    state: u64,
+}
+
+impl DataGen {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        DataGen {
+            state: seed.max(1),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> i64 {
+        (self.next_u64() % bound.max(1)) as i64
+    }
+
+    /// A vector of `n` values in `[0, bound)`.
+    pub fn vec_below(&mut self, n: usize, bound: u64) -> Vec<i64> {
+        (0..n).map(|_| self.below(bound)).collect()
+    }
+}
+
+/// The full benchmark suite used across the experiments (Table 5.1 roster
+/// plus the Chapter 3/4 MiBench picks, JPEG stages, and bio-monitoring).
+pub fn suite() -> Vec<Kernel> {
+    vec![
+        crypto::crc32(),
+        crypto::sha(),
+        crypto::md5(),
+        crypto::blowfish(),
+        crypto::rijndael(),
+        crypto::des3(),
+        crypto::ndes(),
+        media::adpcm_encode(),
+        media::adpcm_decode(),
+        media::jfdctint(),
+        media::g721_decode(),
+        media::g721_encode(),
+        media::jpeg_pipeline(),
+        dsp::lms(),
+        dsp::fir(),
+        dsp::susan(),
+        dsp::compress(),
+        dsp::matmul(),
+        dsp::bitcount(),
+        dsp::viterbi(),
+        biomon::vital_signs(),
+        biomon::fall_detection(),
+    ]
+}
+
+/// Looks a kernel up by name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    suite().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_suite_validates_against_references() {
+        for k in suite() {
+            k.validate()
+                .unwrap_or_else(|e| panic!("kernel {} failed: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let ks = suite();
+        let mut names: Vec<_> = ks.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ks.len());
+    }
+
+    #[test]
+    fn by_name_finds_known_kernels() {
+        assert!(by_name("crc32").is_some());
+        assert!(by_name("jfdctint").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn wcet_analysis_covers_the_whole_suite() {
+        for k in suite() {
+            let r = rtise_ir::wcet::analyze(&k.program)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let sim = k.run().expect("run");
+            assert!(
+                r.wcet >= sim.cycles,
+                "{}: WCET {} < simulated {}",
+                k.name,
+                r.wcet,
+                sim.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn datagen_is_deterministic() {
+        let mut a = DataGen::new(7);
+        let mut b = DataGen::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let v = DataGen::new(9).vec_below(5, 100);
+        assert!(v.iter().all(|&x| (0..100).contains(&x)));
+    }
+}

@@ -1,0 +1,811 @@
+//! Media kernels: IMA-style ADPCM codec, the `jfdctint` integer DCT, the
+//! G.721-style predictive codec, and the multi-loop JPEG pipeline used as
+//! the Chapter 6 runtime-reconfiguration case study.
+
+use crate::builder::{clamp, mem_load_at, mem_store_at, SeqBuilder};
+use crate::{DataGen, Kernel};
+use rtise_ir::dfg::{Dfg, NodeId, Operand};
+use rtise_ir::op::OpKind;
+
+fn sel(d: &mut Dfg, c: NodeId, t: NodeId, f: NodeId) -> NodeId {
+    d.node(
+        OpKind::Select,
+        &[Operand::Node(c), Operand::Node(t), Operand::Node(f)],
+    )
+}
+
+/// IMA ADPCM step-size table (the standard 89-entry table).
+pub const STEP_TABLE: [i64; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// IMA ADPCM index-adjustment table.
+pub const INDEX_TABLE: [i64; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+const N_SAMPLES: usize = 48;
+
+/// Reference IMA ADPCM decoder step shared by the encode/decode references.
+fn adpcm_dec_step(code: i64, pred: &mut i64, index: &mut i64) -> i64 {
+    let step = STEP_TABLE[*index as usize];
+    let diff = ((2 * (code & 7) + 1) * step) >> 3;
+    let signed = if code & 8 != 0 { -diff } else { diff };
+    *pred = (*pred + signed).clamp(-32768, 32767);
+    *index = (*index + INDEX_TABLE[code as usize]).clamp(0, 88);
+    *pred
+}
+
+/// Builds the shared IR for one ADPCM decode step given a 4-bit `code`
+/// node; updates PRED and INDEX variable slots.
+fn adpcm_dec_step_ir(d: &mut Dfg, code: NodeId, pred_slot: usize, index_slot: usize) {
+    const STEPS: i64 = 0; // step table base in memory
+    const IDXS: i64 = 89; // index table base
+    let pred = d.input(pred_slot);
+    let index = d.input(index_slot);
+    let step = mem_load_at(d, STEPS, index);
+    let mag = d.bin_imm(OpKind::And, code, 7);
+    let two = d.bin_imm(OpKind::Mul, mag, 2);
+    let odd = d.bin_imm(OpKind::Add, two, 1);
+    let prod = d.bin(OpKind::Mul, odd, step);
+    let diff = d.bin_imm(OpKind::Sar, prod, 3);
+    let sign = d.bin_imm(OpKind::And, code, 8);
+    let neg = d.un(OpKind::Not, diff);
+    let negp1 = d.bin_imm(OpKind::Add, neg, 1);
+    let signed = sel(d, sign, negp1, diff);
+    let sum = d.bin(OpKind::Add, pred, signed);
+    let clamped = clamp(d, sum, -32768, 32767);
+    let adj = mem_load_at(d, IDXS, code);
+    let ni = d.bin(OpKind::Add, index, adj);
+    let nic = clamp(d, ni, 0, 88);
+    d.output(pred_slot, clamped);
+    d.output(index_slot, nic);
+}
+
+fn adpcm_memory() -> Vec<i64> {
+    let mut mem = Vec::new();
+    mem.extend_from_slice(&STEP_TABLE);
+    mem.extend_from_slice(&INDEX_TABLE);
+    mem
+}
+const ADPCM_DATA: i64 = 89 + 16;
+const ADPCM_OUT: i64 = ADPCM_DATA + N_SAMPLES as i64;
+
+/// IMA ADPCM decoder over 48 4-bit codes.
+pub fn adpcm_decode() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const PRED: usize = 2;
+    const INDEX: usize = 3;
+    const COND: usize = 4;
+
+    let mut gen = DataGen::new(0xadc0_de00);
+    let codes = gen.vec_below(N_SAMPLES, 16);
+    let mut mem = adpcm_memory();
+    mem.extend_from_slice(&codes);
+    mem.extend(std::iter::repeat_n(0, N_SAMPLES));
+
+    let mut b = SeqBuilder::new("adpcm_decode", 5, mem.len());
+    b.straight("init", |d| {
+        let z = d.imm(0);
+        let n = d.imm(N_SAMPLES as i64);
+        d.output(I, z);
+        d.output(N, n);
+        d.output(PRED, z);
+        d.output(INDEX, z);
+    });
+    b.begin_for("samples", I, N, COND, N_SAMPLES as u64);
+    b.straight("decode", |d| {
+        let i = d.input(I);
+        let code = mem_load_at(d, ADPCM_DATA, i);
+        adpcm_dec_step_ir(d, code, PRED, INDEX);
+        let out = d.input(PRED);
+        mem_store_at(d, ADPCM_OUT, i, out);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected: Vec<i64> = {
+        let (mut pred, mut index) = (0i64, 0i64);
+        codes
+            .iter()
+            .map(|&c| adpcm_dec_step(c, &mut pred, &mut index))
+            .collect()
+    };
+    Kernel::new("adpcm_decode", program, vec![], mem, move |out| {
+        let got = &out.mem[ADPCM_OUT as usize..ADPCM_OUT as usize + N_SAMPLES];
+        if got == expected.as_slice() {
+            Ok(())
+        } else {
+            Err(format!("pcm {got:?} != {expected:?}"))
+        }
+    })
+}
+
+/// IMA ADPCM encoder over 48 PCM samples (quantize the prediction error,
+/// then run the decoder update in feedback).
+pub fn adpcm_encode() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const PRED: usize = 2;
+    const INDEX: usize = 3;
+    const COND: usize = 4;
+    const STEPS: i64 = 0;
+
+    let mut gen = DataGen::new(0xadc0_0e01);
+    let samples: Vec<i64> = (0..N_SAMPLES)
+        .map(|_| gen.below(65536) - 32768)
+        .collect();
+    let mut mem = adpcm_memory();
+    mem.extend_from_slice(&samples);
+    mem.extend(std::iter::repeat_n(0, N_SAMPLES));
+
+    let mut b = SeqBuilder::new("adpcm_encode", 5, mem.len());
+    b.straight("init", |d| {
+        let z = d.imm(0);
+        let n = d.imm(N_SAMPLES as i64);
+        d.output(I, z);
+        d.output(N, n);
+        d.output(PRED, z);
+        d.output(INDEX, z);
+    });
+    b.begin_for("samples", I, N, COND, N_SAMPLES as u64);
+    b.straight("encode", |d| {
+        let i = d.input(I);
+        let sample = mem_load_at(d, ADPCM_DATA, i);
+        let pred = d.input(PRED);
+        let index = d.input(INDEX);
+        let step = mem_load_at(d, STEPS, index);
+        let diff = d.bin(OpKind::Sub, sample, pred);
+        let zero = d.imm(0);
+        let negative = d.bin(OpKind::Lt, diff, zero);
+        let adiff = d.un(OpKind::Abs, diff);
+        // magnitude = min(7, (4*|diff|) / step)
+        let scaled = d.bin_imm(OpKind::Shl, adiff, 2);
+        let q = d.bin(OpKind::Div, scaled, step);
+        let mag = d.bin_imm(OpKind::Min, q, 7);
+        let sign = d.bin_imm(OpKind::Mul, negative, 8);
+        let code = d.bin(OpKind::Or, sign, mag);
+        mem_store_at(d, ADPCM_OUT, i, code);
+        adpcm_dec_step_ir(d, code, PRED, INDEX);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected: Vec<i64> = {
+        let (mut pred, mut index) = (0i64, 0i64);
+        samples
+            .iter()
+            .map(|&s| {
+                let step = STEP_TABLE[index as usize];
+                let diff = s - pred;
+                let mag = ((diff.abs() << 2) / step).min(7);
+                let code = if diff < 0 { 8 | mag } else { mag };
+                adpcm_dec_step(code, &mut pred, &mut index);
+                code
+            })
+            .collect()
+    };
+    Kernel::new("adpcm_encode", program, vec![], mem, move |out| {
+        let got = &out.mem[ADPCM_OUT as usize..ADPCM_OUT as usize + N_SAMPLES];
+        if got == expected.as_slice() {
+            Ok(())
+        } else {
+            Err(format!("codes {got:?} != {expected:?}"))
+        }
+    })
+}
+
+// jpeg-6b jpeg_fdct_islow constants (13-bit fixed point).
+const FIX_0_298631336: i64 = 2446;
+const FIX_0_390180607: i64 = 3196;
+const FIX_0_541196100: i64 = 4433;
+const FIX_0_765366865: i64 = 6270;
+const FIX_0_899976223: i64 = 7373;
+const FIX_1_175875602: i64 = 9633;
+const FIX_1_501321110: i64 = 12299;
+const FIX_1_847759065: i64 = 15137;
+const FIX_1_961570560: i64 = 16069;
+const FIX_2_053119869: i64 = 16819;
+const FIX_2_562915447: i64 = 20995;
+const FIX_3_072711026: i64 = 25172;
+
+/// Emits the jpeg-6b `islow` 8-point forward DCT over `mem[base + k*stride]`
+/// for `k in 0..8` where `base` is a node; results are stored back in place.
+/// `descale` is the right-shift applied to the fixed-point products
+/// (13 − PASS1_BITS for the row pass, 13 + PASS1_BITS for the column pass).
+fn fdct8_ir(d: &mut Dfg, base: NodeId, stride: i64, descale: i64, even_shift: (i64, i64)) {
+    let idx: Vec<NodeId> = (0..8)
+        .map(|k| {
+            let off = d.imm(k * stride);
+            d.bin(OpKind::Add, base, off)
+        })
+        .collect();
+    let x: Vec<NodeId> = idx
+        .iter()
+        .map(|&a| d.un(OpKind::Load, a))
+        .collect();
+    let tmp0 = d.bin(OpKind::Add, x[0], x[7]);
+    let tmp7 = d.bin(OpKind::Sub, x[0], x[7]);
+    let tmp1 = d.bin(OpKind::Add, x[1], x[6]);
+    let tmp6 = d.bin(OpKind::Sub, x[1], x[6]);
+    let tmp2 = d.bin(OpKind::Add, x[2], x[5]);
+    let tmp5 = d.bin(OpKind::Sub, x[2], x[5]);
+    let tmp3 = d.bin(OpKind::Add, x[3], x[4]);
+    let tmp4 = d.bin(OpKind::Sub, x[3], x[4]);
+
+    let tmp10 = d.bin(OpKind::Add, tmp0, tmp3);
+    let tmp13 = d.bin(OpKind::Sub, tmp0, tmp3);
+    let tmp11 = d.bin(OpKind::Add, tmp1, tmp2);
+    let tmp12 = d.bin(OpKind::Sub, tmp1, tmp2);
+
+    let (ls, rs) = even_shift;
+    let e0 = d.bin(OpKind::Add, tmp10, tmp11);
+    let y0 = if ls > 0 {
+        d.bin_imm(OpKind::Shl, e0, ls)
+    } else {
+        d.bin_imm(OpKind::Sar, e0, rs)
+    };
+    let e4 = d.bin(OpKind::Sub, tmp10, tmp11);
+    let y4 = if ls > 0 {
+        d.bin_imm(OpKind::Shl, e4, ls)
+    } else {
+        d.bin_imm(OpKind::Sar, e4, rs)
+    };
+    let z1s = d.bin(OpKind::Add, tmp12, tmp13);
+    let z1 = d.bin_imm(OpKind::Mul, z1s, FIX_0_541196100);
+    let t13m = d.bin_imm(OpKind::Mul, tmp13, FIX_0_765366865);
+    let y2s = d.bin(OpKind::Add, z1, t13m);
+    let y2 = d.bin_imm(OpKind::Sar, y2s, descale);
+    let t12m = d.bin_imm(OpKind::Mul, tmp12, FIX_1_847759065);
+    let y6s = d.bin(OpKind::Sub, z1, t12m);
+    let y6 = d.bin_imm(OpKind::Sar, y6s, descale);
+
+    let oz1 = d.bin(OpKind::Add, tmp4, tmp7);
+    let oz2 = d.bin(OpKind::Add, tmp5, tmp6);
+    let oz3 = d.bin(OpKind::Add, tmp4, tmp6);
+    let oz4 = d.bin(OpKind::Add, tmp5, tmp7);
+    let z34 = d.bin(OpKind::Add, oz3, oz4);
+    let z5 = d.bin_imm(OpKind::Mul, z34, FIX_1_175875602);
+    let t4 = d.bin_imm(OpKind::Mul, tmp4, FIX_0_298631336);
+    let t5 = d.bin_imm(OpKind::Mul, tmp5, FIX_2_053119869);
+    let t6 = d.bin_imm(OpKind::Mul, tmp6, FIX_3_072711026);
+    let t7 = d.bin_imm(OpKind::Mul, tmp7, FIX_1_501321110);
+    let z1m = d.bin_imm(OpKind::Mul, oz1, -FIX_0_899976223);
+    let z2m = d.bin_imm(OpKind::Mul, oz2, -FIX_2_562915447);
+    let z3m0 = d.bin_imm(OpKind::Mul, oz3, -FIX_1_961570560);
+    let z4m0 = d.bin_imm(OpKind::Mul, oz4, -FIX_0_390180607);
+    let z3m = d.bin(OpKind::Add, z3m0, z5);
+    let z4m = d.bin(OpKind::Add, z4m0, z5);
+    let y7a = d.bin(OpKind::Add, t4, z1m);
+    let y7b = d.bin(OpKind::Add, y7a, z3m);
+    let y7 = d.bin_imm(OpKind::Sar, y7b, descale);
+    let y5a = d.bin(OpKind::Add, t5, z2m);
+    let y5b = d.bin(OpKind::Add, y5a, z4m);
+    let y5 = d.bin_imm(OpKind::Sar, y5b, descale);
+    let y3a = d.bin(OpKind::Add, t6, z2m);
+    let y3b = d.bin(OpKind::Add, y3a, z3m);
+    let y3 = d.bin_imm(OpKind::Sar, y3b, descale);
+    let y1a = d.bin(OpKind::Add, t7, z1m);
+    let y1b = d.bin(OpKind::Add, y1a, z4m);
+    let y1 = d.bin_imm(OpKind::Sar, y1b, descale);
+
+    for (k, y) in [y0, y1, y2, y3, y4, y5, y6, y7].into_iter().enumerate() {
+        d.node(OpKind::Store, &[Operand::Node(idx[k]), Operand::Node(y)]);
+    }
+}
+
+/// Reference `islow` 8-point DCT matching [`fdct8_ir`].
+fn fdct8_ref(x: &mut [i64], stride: usize, descale: i64, even_shift: (i64, i64)) {
+    let g = |x: &[i64], k: usize| x[k * stride];
+    let tmp0 = g(x, 0) + g(x, 7);
+    let tmp7 = g(x, 0) - g(x, 7);
+    let tmp1 = g(x, 1) + g(x, 6);
+    let tmp6 = g(x, 1) - g(x, 6);
+    let tmp2 = g(x, 2) + g(x, 5);
+    let tmp5 = g(x, 2) - g(x, 5);
+    let tmp3 = g(x, 3) + g(x, 4);
+    let tmp4 = g(x, 3) - g(x, 4);
+    let tmp10 = tmp0 + tmp3;
+    let tmp13 = tmp0 - tmp3;
+    let tmp11 = tmp1 + tmp2;
+    let tmp12 = tmp1 - tmp2;
+    let (ls, rs) = even_shift;
+    let shift = |v: i64| if ls > 0 { v << ls } else { v >> rs };
+    let y0 = shift(tmp10 + tmp11);
+    let y4 = shift(tmp10 - tmp11);
+    let z1 = (tmp12 + tmp13) * FIX_0_541196100;
+    let y2 = (z1 + tmp13 * FIX_0_765366865) >> descale;
+    let y6 = (z1 - tmp12 * FIX_1_847759065) >> descale;
+    let oz1 = tmp4 + tmp7;
+    let oz2 = tmp5 + tmp6;
+    let oz3 = tmp4 + tmp6;
+    let oz4 = tmp5 + tmp7;
+    let z5 = (oz3 + oz4) * FIX_1_175875602;
+    let t4 = tmp4 * FIX_0_298631336;
+    let t5 = tmp5 * FIX_2_053119869;
+    let t6 = tmp6 * FIX_3_072711026;
+    let t7 = tmp7 * FIX_1_501321110;
+    let z1m = oz1 * -FIX_0_899976223;
+    let z2m = oz2 * -FIX_2_562915447;
+    let z3m = oz3 * -FIX_1_961570560 + z5;
+    let z4m = oz4 * -FIX_0_390180607 + z5;
+    let y7 = (t4 + z1m + z3m) >> descale;
+    let y5 = (t5 + z2m + z4m) >> descale;
+    let y3 = (t6 + z2m + z3m) >> descale;
+    let y1 = (t7 + z1m + z4m) >> descale;
+    for (k, y) in [y0, y1, y2, y3, y4, y5, y6, y7].into_iter().enumerate() {
+        x[k * stride] = y;
+    }
+}
+
+/// Reference 2-D integer DCT over an 8×8 block.
+fn fdct2d_ref(block: &mut [i64]) {
+    for r in 0..8 {
+        fdct8_ref(&mut block[r * 8..r * 8 + 8], 1, 11, (2, 0));
+    }
+    for c in 0..8 {
+        fdct8_ref(&mut block[c..], 8, 15, (0, 2));
+    }
+}
+
+/// The `jfdctint` WCET benchmark: jpeg-6b integer 2-D forward DCT of one
+/// 8×8 block (row pass + column pass).
+pub fn jfdctint() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const COND: usize = 2;
+
+    let mut gen = DataGen::new(0xdc70_0001);
+    let block: Vec<i64> = (0..64).map(|_| gen.below(256) - 128).collect();
+
+    let mut b = SeqBuilder::new("jfdctint", 3, 64);
+    b.straight("init_rows", |d| {
+        let z = d.imm(0);
+        let n = d.imm(8);
+        d.output(I, z);
+        d.output(N, n);
+    });
+    b.begin_for("rows", I, N, COND, 8);
+    b.straight("row_dct", |d| {
+        let i = d.input(I);
+        let base = d.bin_imm(OpKind::Mul, i, 8);
+        fdct8_ir(d, base, 1, 11, (2, 0));
+    });
+    b.end_for();
+    b.straight("init_cols", |d| {
+        let z = d.imm(0);
+        d.output(I, z);
+    });
+    b.begin_for("cols", I, N, COND, 8);
+    b.straight("col_dct", |d| {
+        let base = d.input(I);
+        fdct8_ir(d, base, 8, 15, (0, 2));
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected = {
+        let mut blk = block.clone();
+        fdct2d_ref(&mut blk);
+        blk
+    };
+    Kernel::new("jfdctint", program, vec![], block, move |out| {
+        if out.mem == expected {
+            Ok(())
+        } else {
+            Err("dct coefficients diverged".into())
+        }
+    })
+}
+
+/// One G.721-style predictor update step (simplified two-pole lattice with
+/// leak), shared between encode/decode.
+fn g721_step_ref(dq: i64, state: &mut (i64, i64, i64, i64)) -> i64 {
+    let (a1, a2, sr1, sr2) = *state;
+    let se = (a1 * sr1 + a2 * sr2) >> 14;
+    let sr = (se + dq).clamp(-32768, 32767);
+    // Sign-sign LMS adaptation with leakage.
+    let sign = |v: i64| (v > 0) as i64 - (v < 0) as i64;
+    let a1n = (a1 + 192 * sign(dq) * sign(sr1) - (a1 >> 8)).clamp(-12288, 12288);
+    let a2n = (a2 + 128 * sign(dq) * sign(sr2) - (a2 >> 7)).clamp(-12288, 12288);
+    *state = (a1n, a2n, sr, sr1);
+    sr
+}
+
+fn sign_ir(d: &mut Dfg, v: NodeId) -> NodeId {
+    let zero = d.imm(0);
+    let pos = d.bin(OpKind::Lt, zero, v);
+    let neg = d.bin(OpKind::Lt, v, zero);
+    d.bin(OpKind::Sub, pos, neg)
+}
+
+fn g721_step_ir(
+    d: &mut Dfg,
+    dq: NodeId,
+    a1s: usize,
+    a2s: usize,
+    sr1s: usize,
+    sr2s: usize,
+) -> NodeId {
+    let a1 = d.input(a1s);
+    let a2 = d.input(a2s);
+    let sr1 = d.input(sr1s);
+    let sr2 = d.input(sr2s);
+    let p1 = d.bin(OpKind::Mul, a1, sr1);
+    let p2 = d.bin(OpKind::Mul, a2, sr2);
+    let sum = d.bin(OpKind::Add, p1, p2);
+    let se = d.bin_imm(OpKind::Sar, sum, 14);
+    let sr0 = d.bin(OpKind::Add, se, dq);
+    let sr = clamp(d, sr0, -32768, 32767);
+    let sdq = sign_ir(d, dq);
+    let s1 = sign_ir(d, sr1);
+    let s2 = sign_ir(d, sr2);
+    let g1 = d.bin(OpKind::Mul, sdq, s1);
+    let g1w = d.bin_imm(OpKind::Mul, g1, 192);
+    let leak1 = d.bin_imm(OpKind::Sar, a1, 8);
+    let a1u = d.bin(OpKind::Add, a1, g1w);
+    let a1l = d.bin(OpKind::Sub, a1u, leak1);
+    let a1n = clamp(d, a1l, -12288, 12288);
+    let g2 = d.bin(OpKind::Mul, sdq, s2);
+    let g2w = d.bin_imm(OpKind::Mul, g2, 128);
+    let leak2 = d.bin_imm(OpKind::Sar, a2, 7);
+    let a2u = d.bin(OpKind::Add, a2, g2w);
+    let a2l = d.bin(OpKind::Sub, a2u, leak2);
+    let a2n = clamp(d, a2l, -12288, 12288);
+    d.output(a1s, a1n);
+    d.output(a2s, a2n);
+    d.output(sr2s, sr1);
+    d.output(sr1s, sr);
+    sr
+}
+
+const G721_N: usize = 64;
+const G721_QUANT: [i64; 7] = [-124, -64, -24, 0, 24, 64, 124];
+
+/// G.721-style ADPCM decoder: dequantize a 3-bit code through a 7-level
+/// table (scaled by the adaptive step) and run the two-pole predictor.
+pub fn g721_decode() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const A1: usize = 2;
+    const A2: usize = 3;
+    const SR1: usize = 4;
+    const SR2: usize = 5;
+    const COND: usize = 6;
+    const QTAB: i64 = 0; // 8 entries
+    const DATA: i64 = 8;
+    const OUT: i64 = 8 + G721_N as i64;
+
+    let mut gen = DataGen::new(0x0721_dec0);
+    let codes = gen.vec_below(G721_N, 8);
+    let mut mem: Vec<i64> = G721_QUANT.to_vec();
+    mem.push(0); // pad the table to 8 entries
+    mem.extend_from_slice(&codes);
+    mem.extend(std::iter::repeat_n(0, G721_N));
+
+    let mut b = SeqBuilder::new("g721_decode", 7, mem.len());
+    b.straight("init", |d| {
+        let z = d.imm(0);
+        let n = d.imm(G721_N as i64);
+        for s in [I, A1, A2, SR1, SR2] {
+            d.output(s, z);
+        }
+        d.output(N, n);
+    });
+    b.begin_for("samples", I, N, COND, G721_N as u64);
+    b.straight("dec", |d| {
+        let i = d.input(I);
+        let code = mem_load_at(d, DATA, i);
+        let idx = d.bin_imm(OpKind::Min, code, 6);
+        let dq = mem_load_at(d, QTAB, idx);
+        let sr = g721_step_ir(d, dq, A1, A2, SR1, SR2);
+        mem_store_at(d, OUT, i, sr);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected: Vec<i64> = {
+        let mut st = (0, 0, 0, 0);
+        codes
+            .iter()
+            .map(|&c| {
+                let dq = G721_QUANT[(c.min(6)) as usize];
+                g721_step_ref(dq, &mut st)
+            })
+            .collect()
+    };
+    Kernel::new("g721_decode", program, vec![], mem, move |out| {
+        let got = &out.mem[OUT as usize..OUT as usize + G721_N];
+        if got == expected.as_slice() {
+            Ok(())
+        } else {
+            Err("g721 decode diverged".into())
+        }
+    })
+}
+
+/// G.721-style ADPCM encoder: quantize the prediction error against the
+/// 7-level table by comparison chain, then update the predictor in
+/// feedback.
+pub fn g721_encode() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const A1: usize = 2;
+    const A2: usize = 3;
+    const SR1: usize = 4;
+    const SR2: usize = 5;
+    const COND: usize = 6;
+    const QTAB: i64 = 0;
+    const DATA: i64 = 8;
+    const OUT: i64 = 8 + G721_N as i64;
+
+    let mut gen = DataGen::new(0x0721_e4c0);
+    let samples: Vec<i64> = (0..G721_N).map(|_| gen.below(512) - 256).collect();
+    let mut mem: Vec<i64> = G721_QUANT.to_vec();
+    mem.push(0);
+    mem.extend_from_slice(&samples);
+    mem.extend(std::iter::repeat_n(0, G721_N));
+
+    let mut b = SeqBuilder::new("g721_encode", 7, mem.len());
+    b.straight("init", |d| {
+        let z = d.imm(0);
+        let n = d.imm(G721_N as i64);
+        for s in [I, A1, A2, SR1, SR2] {
+            d.output(s, z);
+        }
+        d.output(N, n);
+    });
+    b.begin_for("samples", I, N, COND, G721_N as u64);
+    b.straight("enc", |d| {
+        let i = d.input(I);
+        let x = mem_load_at(d, DATA, i);
+        let a1 = d.input(A1);
+        let a2 = d.input(A2);
+        let sr1 = d.input(SR1);
+        let sr2 = d.input(SR2);
+        let p1 = d.bin(OpKind::Mul, a1, sr1);
+        let p2 = d.bin(OpKind::Mul, a2, sr2);
+        let sum = d.bin(OpKind::Add, p1, p2);
+        let se = d.bin_imm(OpKind::Sar, sum, 14);
+        let e = d.bin(OpKind::Sub, x, se);
+        // Nearest quantization level by comparison accumulation: code =
+        // #levels whose midpoint is below e.
+        let mut code = d.imm(0);
+        for w in G721_QUANT.windows(2) {
+            let mid = (w[0] + w[1]) / 2;
+            let m = d.imm(mid);
+            let above = d.bin(OpKind::Lt, m, e);
+            code = d.bin(OpKind::Add, code, above);
+        }
+        mem_store_at(d, OUT, i, code);
+        let dq = mem_load_at(d, QTAB, code);
+        let _ = g721_step_ir(d, dq, A1, A2, SR1, SR2);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected: Vec<i64> = {
+        let mut st = (0i64, 0i64, 0i64, 0i64);
+        samples
+            .iter()
+            .map(|&x| {
+                let se = (st.0 * st.2 + st.1 * st.3) >> 14;
+                let e = x - se;
+                let code = G721_QUANT
+                    .windows(2)
+                    .filter(|w| (w[0] + w[1]) / 2 < e)
+                    .count() as i64;
+                g721_step_ref(G721_QUANT[code as usize], &mut st);
+                code
+            })
+            .collect()
+    };
+    Kernel::new("g721_encode", program, vec![], mem, move |out| {
+        let got = &out.mem[OUT as usize..OUT as usize + G721_N];
+        if got == expected.as_slice() {
+            Ok(())
+        } else {
+            Err("g721 encode diverged".into())
+        }
+    })
+}
+
+/// The JPEG zig-zag scan order.
+pub const ZIGZAG: [i64; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+// JPEG pipeline memory map.
+const JP_R: i64 = 0;
+const JP_G: i64 = 64;
+const JP_B: i64 = 128;
+const JP_Y: i64 = 192; // luma block, later DCT'd in place
+const JP_QT: i64 = 256; // 64 quantizer divisors
+const JP_ZZ: i64 = 320; // zig-zag index table
+const JP_Q: i64 = 384; // quantized coefficients
+const JP_Z: i64 = 448; // zig-zag ordered output
+const JP_STATS: i64 = 512; // [0] = RLE zero-run count, [1] = nonzeros
+
+/// The Chapter 6 case study: a six-loop JPEG luma pipeline (color
+/// conversion, row DCT, column DCT, quantization, zig-zag, RLE statistics),
+/// each stage a distinct hot loop for runtime reconfiguration.
+pub fn jpeg_pipeline() -> Kernel {
+    const I: usize = 0;
+    const N: usize = 1;
+    const COND: usize = 2;
+
+    let mut gen = DataGen::new(0x1bec_0001);
+    let r = gen.vec_below(64, 256);
+    let g = gen.vec_below(64, 256);
+    let bch = gen.vec_below(64, 256);
+    let qt: Vec<i64> = (0..64).map(|_| 8 + gen.below(24)).collect();
+    let mut mem = vec![0i64; 514];
+    mem[JP_R as usize..JP_R as usize + 64].copy_from_slice(&r);
+    mem[JP_G as usize..JP_G as usize + 64].copy_from_slice(&g);
+    mem[JP_B as usize..JP_B as usize + 64].copy_from_slice(&bch);
+    mem[JP_QT as usize..JP_QT as usize + 64].copy_from_slice(&qt);
+    mem[JP_ZZ as usize..JP_ZZ as usize + 64].copy_from_slice(&ZIGZAG);
+
+    let mut b = SeqBuilder::new("jpeg", 3, mem.len());
+    let reset = |b: &mut SeqBuilder, n: i64| {
+        b.straight("reset", move |d| {
+            let z = d.imm(0);
+            let nn = d.imm(n);
+            d.output(I, z);
+            d.output(N, nn);
+        });
+    };
+    // Stage 1: RGB -> Y (BT.601 integer approximation), level shift.
+    reset(&mut b, 64);
+    b.begin_for("color", I, N, COND, 64);
+    b.straight("rgb2y", |d| {
+        let i = d.input(I);
+        let rr = mem_load_at(d, JP_R, i);
+        let gg = mem_load_at(d, JP_G, i);
+        let bb = mem_load_at(d, JP_B, i);
+        let wr = d.bin_imm(OpKind::Mul, rr, 77);
+        let wg = d.bin_imm(OpKind::Mul, gg, 150);
+        let wb = d.bin_imm(OpKind::Mul, bb, 29);
+        let s1 = d.bin(OpKind::Add, wr, wg);
+        let s2 = d.bin(OpKind::Add, s1, wb);
+        let y = d.bin_imm(OpKind::Sar, s2, 8);
+        let shifted = d.bin_imm(OpKind::Sub, y, 128);
+        mem_store_at(d, JP_Y, i, shifted);
+    });
+    b.end_for();
+    // Stage 2: row DCT.
+    reset(&mut b, 8);
+    b.begin_for("rows", I, N, COND, 8);
+    b.straight("row_dct", |d| {
+        let i = d.input(I);
+        let off = d.bin_imm(OpKind::Mul, i, 8);
+        let base = d.bin_imm(OpKind::Add, off, JP_Y);
+        fdct8_ir(d, base, 1, 11, (2, 0));
+    });
+    b.end_for();
+    // Stage 3: column DCT.
+    reset(&mut b, 8);
+    b.begin_for("cols", I, N, COND, 8);
+    b.straight("col_dct", |d| {
+        let i = d.input(I);
+        let base = d.bin_imm(OpKind::Add, i, JP_Y);
+        fdct8_ir(d, base, 8, 15, (0, 2));
+    });
+    b.end_for();
+    // Stage 4: quantization (signed division by table entry).
+    reset(&mut b, 64);
+    b.begin_for("quant", I, N, COND, 64);
+    b.straight("divide", |d| {
+        let i = d.input(I);
+        let coef = mem_load_at(d, JP_Y, i);
+        let q = mem_load_at(d, JP_QT, i);
+        let quo = d.bin(OpKind::Div, coef, q);
+        mem_store_at(d, JP_Q, i, quo);
+    });
+    b.end_for();
+    // Stage 5: zig-zag reorder.
+    reset(&mut b, 64);
+    b.begin_for("zigzag", I, N, COND, 64);
+    b.straight("scatter", |d| {
+        let i = d.input(I);
+        let src = mem_load_at(d, JP_ZZ, i);
+        let v = mem_load_at(d, JP_Q, src);
+        mem_store_at(d, JP_Z, i, v);
+    });
+    b.end_for();
+    // Stage 6: RLE statistics (zero runs and nonzero count).
+    reset(&mut b, 64);
+    b.begin_for("rle", I, N, COND, 64);
+    b.straight("count", |d| {
+        let i = d.input(I);
+        let v = mem_load_at(d, JP_Z, i);
+        let zero_base = d.imm(JP_STATS);
+        let nz_base = d.imm(JP_STATS + 1);
+        let zeros = d.un(OpKind::Load, zero_base);
+        let nonzeros = d.un(OpKind::Load, nz_base);
+        let z = d.imm(0);
+        let is_zero = d.bin(OpKind::Eq, v, z);
+        let zeros2 = d.bin(OpKind::Add, zeros, is_zero);
+        let one = d.imm(1);
+        let isnz = d.bin(OpKind::Sub, one, is_zero);
+        let nz2 = d.bin(OpKind::Add, nonzeros, isnz);
+        d.node(OpKind::Store, &[Operand::Node(zero_base), Operand::Node(zeros2)]);
+        d.node(OpKind::Store, &[Operand::Node(nz_base), Operand::Node(nz2)]);
+    });
+    b.end_for();
+    let program = b.finish();
+
+    let expected = {
+        let mut y = vec![0i64; 64];
+        for i in 0..64 {
+            y[i] = ((r[i] * 77 + g[i] * 150 + bch[i] * 29) >> 8) - 128;
+        }
+        fdct2d_ref(&mut y);
+        let q: Vec<i64> = y
+            .iter()
+            .zip(&qt)
+            .map(|(&c, &d)| if d == 0 { 0 } else { c / d })
+            .collect();
+        let z: Vec<i64> = ZIGZAG.iter().map(|&s| q[s as usize]).collect();
+        let zeros = z.iter().filter(|&&v| v == 0).count() as i64;
+        (z, zeros)
+    };
+    Kernel::new("jpeg", program, vec![], mem, move |out| {
+        let got = &out.mem[JP_Z as usize..JP_Z as usize + 64];
+        if got != expected.0.as_slice() {
+            return Err("zig-zag output diverged".into());
+        }
+        if out.mem[JP_STATS as usize] != expected.1 {
+            return Err(format!(
+                "zero count {} != {}",
+                out.mem[JP_STATS as usize], expected.1
+            ));
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adpcm_roundtrip_tracks_signal() {
+        adpcm_encode().validate().expect("encode");
+        adpcm_decode().validate().expect("decode");
+    }
+
+    #[test]
+    fn jfdctint_matches_reference_dct() {
+        jfdctint().validate().expect("jfdctint");
+    }
+
+    #[test]
+    fn g721_pair_validates() {
+        g721_decode().validate().expect("decode");
+        g721_encode().validate().expect("encode");
+    }
+
+    #[test]
+    fn jpeg_pipeline_has_six_hot_loops() {
+        let k = jpeg_pipeline();
+        k.validate().expect("jpeg");
+        let cfg = rtise_ir::cfg::Cfg::analyze(&k.program);
+        assert_eq!(cfg.loops().len(), 6);
+    }
+
+    #[test]
+    fn dct_dc_coefficient_of_flat_block_is_mean_scaled() {
+        // A flat block has all AC coefficients zero.
+        let mut blk = vec![100i64; 64];
+        fdct2d_ref(&mut blk);
+        assert!(blk[1..].iter().all(|&c| c == 0), "{blk:?}");
+        assert!(blk[0] > 0);
+    }
+}

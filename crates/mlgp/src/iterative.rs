@@ -1,0 +1,349 @@
+//! Algorithm 4: the iterative, WCET-guided customization loop.
+//!
+//! Each iteration zooms into the task with the highest utilization,
+//! computes how much WCET reduction `Δ` would bring the set to the target
+//! utilization, and generates custom instructions region-by-region along
+//! the task's WCET path (heaviest basic blocks first) until `Δ` is covered
+//! or the task is exhausted. Tasks that yield no further gain are dropped;
+//! the loop stops when the target is met or no task can improve.
+
+use crate::mlgp::{mlgp_partition, MlgpOptions};
+use rtise_ir::cfg::{BlockId, Program};
+use rtise_ir::hw::HwModel;
+use rtise_ir::nodeset::NodeSet;
+use rtise_ir::region::regions;
+use rtise_ir::wcet::{analyze_with_costs, WcetError};
+
+/// One task offered to the iterative customizer.
+#[derive(Debug, Clone, Copy)]
+pub struct IterTask<'a> {
+    /// The task's program.
+    pub program: &'a Program,
+    /// Its period (= deadline).
+    pub period: u64,
+}
+
+/// Options for [`customize_task_set`].
+#[derive(Debug, Clone, Copy)]
+pub struct IterativeOptions {
+    /// MLGP generator parameters.
+    pub mlgp: MlgpOptions,
+    /// Fraction of the WCET covered by the basic-block prefix explored per
+    /// iteration (the "total weight exceeds 90 %" rule of §5.1).
+    pub weight_coverage: f64,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for IterativeOptions {
+    fn default() -> Self {
+        IterativeOptions {
+            mlgp: MlgpOptions::default(),
+            weight_coverage: 0.9,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// A custom instruction selected by the iterative flow.
+#[derive(Debug, Clone)]
+pub struct SelectedCi {
+    /// Task index the instruction belongs to.
+    pub task: usize,
+    /// Basic block the subgraph lives in.
+    pub block: BlockId,
+    /// Covered nodes.
+    pub nodes: NodeSet,
+    /// Cycles saved per block execution.
+    pub gain_per_exec: u64,
+    /// Area in cells.
+    pub area: u64,
+}
+
+/// Progress of one iteration (the data behind Fig. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Task customized this iteration.
+    pub task: usize,
+    /// Utilization after the iteration.
+    pub utilization: f64,
+    /// Cumulative custom-instruction area so far.
+    pub cumulative_area: u64,
+}
+
+/// Final outcome of the iterative flow.
+#[derive(Debug, Clone)]
+pub struct IterativeResult {
+    /// Final utilization.
+    pub utilization: f64,
+    /// All selected custom instructions.
+    pub selected: Vec<SelectedCi>,
+    /// Per-iteration history.
+    pub history: Vec<IterationRecord>,
+    /// Total area of the selection, in cells.
+    pub total_area: u64,
+    /// Whether the target utilization was reached.
+    pub met_target: bool,
+}
+
+/// Runs Algorithm 4 on `tasks` with target utilization `u_target`.
+///
+/// # Errors
+///
+/// Propagates WCET-analysis errors ([`WcetError`]) for malformed programs.
+pub fn customize_task_set(
+    tasks: &[IterTask<'_>],
+    u_target: f64,
+    hw: &HwModel,
+    opts: IterativeOptions,
+) -> Result<IterativeResult, WcetError> {
+    let n = tasks.len();
+    // Mutable per-task state: current block costs and used regions.
+    let mut costs: Vec<Vec<u64>> = tasks
+        .iter()
+        .map(|t| t.program.block_ids().map(|b| t.program.block(b).cost()).collect())
+        .collect();
+    let mut used: Vec<Vec<(BlockId, NodeSet)>> = vec![Vec::new(); n];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut wcet: Vec<u64> = Vec::with_capacity(n);
+    for (t, c) in tasks.iter().zip(&costs) {
+        wcet.push(analyze_with_costs(t.program, c)?.wcet);
+    }
+    let util = |wcet: &[u64]| -> f64 {
+        wcet.iter()
+            .zip(tasks)
+            .map(|(&c, t)| c as f64 / t.period as f64)
+            .sum()
+    };
+
+    let mut selected: Vec<SelectedCi> = Vec::new();
+    let mut history: Vec<IterationRecord> = Vec::new();
+    let mut total_area: u64 = 0;
+    let mut u = util(&wcet);
+
+    for _iter in 0..opts.max_iterations {
+        if u <= u_target {
+            break;
+        }
+        // Task with maximum utilization among the active ones (line 5).
+        let Some(ti) = (0..n)
+            .filter(|&i| active[i])
+            .max_by(|&a, &b| {
+                let ua = wcet[a] as f64 / tasks[a].period as f64;
+                let ub = wcet[b] as f64 / tasks[b].period as f64;
+                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+            })
+        else {
+            break;
+        };
+        let task = &tasks[ti];
+        let delta = ((u - u_target) * task.period as f64).ceil().max(1.0) as u64;
+
+        // Rank blocks on the WCET path and keep the coverage prefix
+        // (line 7).
+        let report = analyze_with_costs(task.program, &costs[ti])?;
+        let ranked = report.blocks_by_weight();
+        let mut prefix = Vec::new();
+        let mut covered = 0.0;
+        for b in ranked {
+            prefix.push(b);
+            covered += report.weight(b);
+            if covered >= opts.weight_coverage {
+                break;
+            }
+        }
+
+        // Generate custom instructions region by region until Δ is covered
+        // (line 8, §5.2.2).
+        let mut gained: u64 = 0;
+        'blocks: for &b in &prefix {
+            let count = report.counts[b.0];
+            if count == 0 {
+                continue;
+            }
+            let dfg = &task.program.block(b).dfg;
+            for region in regions(dfg) {
+                let already = used[ti]
+                    .iter()
+                    .any(|(ub, us)| *ub == b && us.intersects(&region.nodes));
+                if already {
+                    continue;
+                }
+                let parts = mlgp_partition(dfg, &region.nodes, hw, opts.mlgp);
+                used[ti].push((b, region.nodes.clone()));
+                for p in parts {
+                    let per_exec = hw.ci_gain(dfg, &p);
+                    if per_exec == 0 {
+                        continue;
+                    }
+                    let area = hw.ci_area(dfg, &p);
+                    costs[ti][b.0] -= per_exec;
+                    total_area += area;
+                    gained += per_exec * count;
+                    selected.push(SelectedCi {
+                        task: ti,
+                        block: b,
+                        nodes: p,
+                        gain_per_exec: per_exec,
+                        area,
+                    });
+                    if gained >= delta {
+                        break 'blocks;
+                    }
+                }
+            }
+        }
+
+        if gained == 0 {
+            // No improvement possible: drop the task from consideration
+            // (line 12).
+            active[ti] = false;
+            continue;
+        }
+        wcet[ti] = analyze_with_costs(task.program, &costs[ti])?.wcet;
+        u = util(&wcet);
+        history.push(IterationRecord {
+            task: ti,
+            utilization: u,
+            cumulative_area: total_area,
+        });
+    }
+
+    Ok(IterativeResult {
+        utilization: u,
+        met_target: u <= u_target,
+        selected,
+        history,
+        total_area,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_kernels::by_name;
+
+    fn task_with_utilization(name: &str, u: f64) -> (rtise_ir::cfg::Program, u64) {
+        let k = by_name(name).expect("kernel");
+        let wcet = rtise_ir::wcet::analyze(&k.program).expect("wcet").wcet;
+        let period = (wcet as f64 / u).ceil() as u64;
+        (k.program, period)
+    }
+
+    #[test]
+    fn unschedulable_pair_becomes_schedulable() {
+        let (p1, per1) = task_with_utilization("crc32", 0.6);
+        let (p2, per2) = task_with_utilization("sha", 0.55);
+        let tasks = vec![
+            IterTask {
+                program: &p1,
+                period: per1,
+            },
+            IterTask {
+                program: &p2,
+                period: per2,
+            },
+        ];
+        let hw = HwModel::default();
+        let res =
+            customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+        assert!(res.met_target, "final U = {}", res.utilization);
+        assert!(res.utilization <= 1.0);
+        assert!(!res.selected.is_empty());
+        assert!(res.total_area > 0);
+    }
+
+    #[test]
+    fn utilization_decreases_monotonically_over_iterations() {
+        let (p1, per1) = task_with_utilization("jfdctint", 0.8);
+        let (p2, per2) = task_with_utilization("ndes", 0.5);
+        let tasks = vec![
+            IterTask {
+                program: &p1,
+                period: per1,
+            },
+            IterTask {
+                program: &p2,
+                period: per2,
+            },
+        ];
+        let hw = HwModel::default();
+        // Impossible target forces full iteration until exhaustion.
+        let res =
+            customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("run");
+        let mut prev = f64::INFINITY;
+        for rec in &res.history {
+            assert!(rec.utilization < prev, "history {:#?}", res.history);
+            prev = rec.utilization;
+        }
+        assert!(!res.met_target);
+    }
+
+    #[test]
+    fn selected_instructions_are_legal_and_consistent() {
+        let (p1, per1) = task_with_utilization("blowfish", 1.2);
+        let tasks = vec![IterTask {
+            program: &p1,
+            period: per1,
+        }];
+        let hw = HwModel::default();
+        let res =
+            customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+        for ci in &res.selected {
+            let dfg = &p1.block(ci.block).dfg;
+            assert!(dfg.is_feasible_ci(&ci.nodes, 4, 2));
+            assert_eq!(ci.gain_per_exec, hw.ci_gain(dfg, &ci.nodes));
+            assert_eq!(ci.area, hw.ci_area(dfg, &ci.nodes));
+        }
+        // Instructions within one block never overlap.
+        for (i, a) in res.selected.iter().enumerate() {
+            for b in &res.selected[i + 1..] {
+                if a.task == b.task && a.block == b.block {
+                    assert!(!a.nodes.intersects(&b.nodes));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn already_schedulable_set_is_untouched() {
+        let (p1, per1) = task_with_utilization("fir", 0.4);
+        let tasks = vec![IterTask {
+            program: &p1,
+            period: per1,
+        }];
+        let hw = HwModel::default();
+        let res =
+            customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+        assert!(res.met_target);
+        assert!(res.selected.is_empty());
+        assert_eq!(res.total_area, 0);
+    }
+
+    #[test]
+    fn first_iteration_gives_the_largest_drop() {
+        // Fig. 5.3's shape: the drop shrinks over iterations (the first
+        // regions are the hottest).
+        let (p1, per1) = task_with_utilization("rijndael", 1.3);
+        let tasks = vec![IterTask {
+            program: &p1,
+            period: per1,
+        }];
+        let hw = HwModel::default();
+        let res =
+            customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("run");
+        if res.history.len() >= 2 {
+            let drops: Vec<f64> = std::iter::once(1.3 - res.history[0].utilization)
+                .chain(
+                    res.history
+                        .windows(2)
+                        .map(|w| w[0].utilization - w[1].utilization),
+                )
+                .collect();
+            assert!(
+                drops[0] >= *drops.last().expect("non-empty") - 1e-9,
+                "drops {drops:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # rtise-mlgp
+//!
+//! Chapter 5: iterative, top-down custom-instruction generation.
+//!
+//! The bottom-up flow of Chapters 3–4 enumerates candidates for *every*
+//! task and then selects a few — most of that work is wasted. This crate
+//! inverts the flow:
+//!
+//! * [`mlgp`] — the Multi-Level Graph Partitioning generator: given one
+//!   critical region, coarsen it by constraint-checked matching, take each
+//!   coarse vertex as a custom instruction, and refine on the way back down
+//!   (Algorithm 5's move-with-I/O-repair). It produces a few *large* legal
+//!   custom instructions quickly instead of exhaustively enumerating all of
+//!   them.
+//! * [`iterative`] — Algorithm 4: repeatedly pick the highest-utilization
+//!   task, walk its WCET path heaviest-block-first, and generate custom
+//!   instructions region by region until the task set's utilization drops
+//!   below the target (or no gain remains).
+
+pub mod iterative;
+pub mod mlgp;
+
+pub use iterative::{customize_task_set, IterationRecord, IterativeOptions, IterativeResult};
+pub use mlgp::{mlgp_partition, MlgpOptions};

@@ -1,0 +1,495 @@
+//! The Multi-Level Graph Partitioning (MLGP) custom-instruction generator
+//! (§5.2.3).
+//!
+//! Unlike k-way partitioning of undirected graphs, MLGP partitions a
+//! *directed* region so that every partition is a legal custom instruction
+//! (convex, valid ops, within the I/O port budget), maximizing performance
+//! gain rather than balancing sizes, and without fixing the number of
+//! partitions in advance:
+//!
+//! 1. **Coarsening** — random-order matching; a vertex merges with the
+//!    adjacent vertex maximizing the merged group's gain/area ratio, but
+//!    only if the merged subgraph stays feasible. Fixpoint ends the phase.
+//! 2. **Initial partitioning** — each coarsest vertex *is* a partition.
+//! 3. **Refinement** — boundary nodes move to neighbouring partitions when
+//!    that improves the summed gain/area ratio; an input-count violation is
+//!    repaired by absorbing producers (multi-edge first), an output
+//!    violation by absorbing consumers (Algorithm 5).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rtise_ir::dfg::{Dfg, NodeId};
+use rtise_ir::hw::HwModel;
+use rtise_ir::nodeset::NodeSet;
+
+/// Options for [`mlgp_partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct MlgpOptions {
+    /// Maximum input operands per custom instruction.
+    pub max_in: usize,
+    /// Maximum output operands per custom instruction.
+    pub max_out: usize,
+    /// RNG seed for the matching/refinement visit orders.
+    pub seed: u64,
+    /// Refinement passes at the finest level.
+    pub refine_passes: usize,
+}
+
+impl Default for MlgpOptions {
+    fn default() -> Self {
+        MlgpOptions {
+            max_in: 4,
+            max_out: 2,
+            seed: 0x1175,
+            refine_passes: 4,
+        }
+    }
+}
+
+/// Partitions `region` (a subset of `dfg`'s nodes, all CI-valid) into legal
+/// custom instructions, maximizing gain. Returns the partitions with
+/// positive gain, best gain/area ratio first.
+///
+/// # Panics
+///
+/// Panics if `region` contains CI-invalid nodes.
+pub fn mlgp_partition(
+    dfg: &Dfg,
+    region: &NodeSet,
+    hw: &HwModel,
+    opts: MlgpOptions,
+) -> Vec<NodeSet> {
+    assert!(
+        region.iter().all(|n| dfg.kind(n).is_ci_valid()),
+        "region contains invalid nodes"
+    );
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+
+    // Partition state: node -> partition id; partitions as node sets.
+    let mut parts: Vec<NodeSet> = region
+        .iter()
+        .map(|n| {
+            let mut s = dfg.empty_set();
+            s.insert(n);
+            s
+        })
+        .collect();
+
+    // --- Coarsening to a fixpoint. ---
+    loop {
+        let merged = coarsen_pass(dfg, hw, &mut parts, &opts, &mut rng);
+        if !merged {
+            break;
+        }
+    }
+
+    // --- Refinement at node granularity. ---
+    for _ in 0..opts.refine_passes {
+        if !refine_pass(dfg, hw, &mut parts, &opts, &mut rng) {
+            break;
+        }
+    }
+
+    let mut out: Vec<NodeSet> = parts
+        .into_iter()
+        .filter(|p| !p.is_empty() && hw.ci_gain(dfg, p) > 0)
+        .collect();
+    out.sort_by(|a, b| {
+        let ra = hw.ci_gain(dfg, a) as u128 * hw.ci_area(dfg, b).max(1) as u128;
+        let rb = hw.ci_gain(dfg, b) as u128 * hw.ci_area(dfg, a).max(1) as u128;
+        rb.cmp(&ra)
+    });
+    out
+}
+
+/// One coarsening pass: each partition tries to merge with its best
+/// feasible neighbour. Returns whether any merge happened.
+fn coarsen_pass(
+    dfg: &Dfg,
+    hw: &HwModel,
+    parts: &mut Vec<NodeSet>,
+    opts: &MlgpOptions,
+    rng: &mut SmallRng,
+) -> bool {
+    let node_part = node_partition_map(dfg, parts);
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.shuffle(rng);
+    let mut consumed = vec![false; parts.len()];
+    let mut merged_any = false;
+    for &pi in &order {
+        if consumed[pi] || parts[pi].is_empty() {
+            continue;
+        }
+        // Adjacent partitions.
+        let mut best: Option<(u128, usize)> = None; // (ratio scaled, partner)
+        for nb in adjacent_partitions(dfg, &parts[pi], &node_part) {
+            if nb == pi || consumed[nb] || parts[nb].is_empty() {
+                continue;
+            }
+            let mut merged = parts[pi].clone();
+            merged.union_with(&parts[nb]);
+            if !dfg.is_feasible_ci(&merged, opts.max_in, opts.max_out) {
+                continue;
+            }
+            let gain = hw.ci_gain(dfg, &merged) as u128;
+            let area = hw.ci_area(dfg, &merged).max(1) as u128;
+            // Compare gain/area as gain * K / area with fixed scale.
+            let ratio = gain * 1_000_000 / area;
+            if best.is_none_or(|(r, _)| ratio > r) {
+                best = Some((ratio, nb));
+            }
+        }
+        if let Some((_, nb)) = best {
+            let other = std::mem::replace(&mut parts[nb], dfg.empty_set());
+            parts[pi].union_with(&other);
+            consumed[nb] = true;
+            consumed[pi] = true; // matched this pass
+            merged_any = true;
+        }
+    }
+    parts.retain(|p| !p.is_empty());
+    merged_any
+}
+
+/// One refinement pass of boundary-node moves (Algorithm 5). Returns
+/// whether any move was applied.
+fn refine_pass(
+    dfg: &Dfg,
+    hw: &HwModel,
+    parts: &mut [NodeSet],
+    opts: &MlgpOptions,
+    rng: &mut SmallRng,
+) -> bool {
+    let mut moved_any = false;
+    let mut node_order: Vec<NodeId> = parts
+        .iter()
+        .flat_map(|p| p.iter())
+        .collect();
+    node_order.shuffle(rng);
+    for v in node_order {
+        let node_part = node_partition_map(dfg, parts);
+        let Some(&from) = node_part.get(v.0).and_then(|o| o.as_ref()) else {
+            continue;
+        };
+        // Boundary check: some neighbour in a different partition.
+        let neighbours: Vec<NodeId> = dfg
+            .args(v)
+            .iter()
+            .copied()
+            .chain(dfg.consumers(v).iter().copied())
+            .collect();
+        let neighbour_parts: Vec<usize> = neighbours
+            .iter()
+            .filter_map(|n| node_part.get(n.0).and_then(|o| *o))
+            .filter(|&p| p != from)
+            .collect();
+        if neighbour_parts.is_empty() {
+            continue;
+        }
+        // Source partition without v must stay feasible (or empty).
+        let mut src = parts[from].clone();
+        src.remove(v);
+        if !src.is_empty() && !dfg.is_feasible_ci(&src, opts.max_in, opts.max_out) {
+            continue;
+        }
+        let current_ratio = ratio_of(dfg, hw, &parts[from]);
+        let mut best: Option<(f64, usize, NodeSet)> = None;
+        for &to in &neighbour_parts {
+            let mut dst = parts[to].clone();
+            dst.insert(v);
+            let dst = match repair(dfg, &dst, opts) {
+                Some(r) => r,
+                None => continue,
+            };
+            // Absorbed nodes must come only from src or dst — anything else
+            // would cascade; keep the move local (conservative variant).
+            let mut absorbed_ok = true;
+            for n in dst.iter() {
+                let owner = node_part.get(n.0).and_then(|o| *o);
+                if owner != Some(from) && owner != Some(to) {
+                    absorbed_ok = false;
+                    break;
+                }
+            }
+            if !absorbed_ok {
+                continue;
+            }
+            let mut new_src = parts[from].clone();
+            new_src.difference_with(&dst);
+            if !new_src.is_empty() && !dfg.is_feasible_ci(&new_src, opts.max_in, opts.max_out) {
+                continue;
+            }
+            let old = current_ratio + ratio_of(dfg, hw, &parts[to]);
+            let new = ratio_of(dfg, hw, &new_src) + ratio_of(dfg, hw, &dst);
+            let improv = new - old;
+            if improv > 1e-9 && best.as_ref().is_none_or(|(b, _, _)| improv > *b) {
+                best = Some((improv, to, dst));
+            }
+        }
+        if let Some((_, to, dst)) = best {
+            let mut new_src = parts[from].clone();
+            new_src.difference_with(&dst);
+            parts[from] = new_src;
+            parts[to] = dst;
+            moved_any = true;
+        }
+    }
+    moved_any
+}
+
+/// Gain/area ratio of a partition (0 for empty).
+fn ratio_of(dfg: &Dfg, hw: &HwModel, p: &NodeSet) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    hw.ci_gain(dfg, p) as f64 / hw.ci_area(dfg, p).max(1) as f64
+}
+
+/// Repairs I/O violations of `set` by absorbing producers (inputs) or
+/// consumers (outputs), preferring nodes connected by the most edges
+/// (§5.2.3, Algorithm 5 lines 6–9). Returns `None` when unrepairable
+/// within 2× the original size.
+fn repair(dfg: &Dfg, set: &NodeSet, opts: &MlgpOptions) -> Option<NodeSet> {
+    let mut cur = set.clone();
+    let limit = (set.len() * 2).max(set.len() + 4);
+    loop {
+        if cur.len() > limit {
+            return None;
+        }
+        if !cur.iter().all(|n| dfg.kind(n).is_ci_valid()) {
+            return None;
+        }
+        if !dfg.is_convex(&cur) {
+            // Absorb the convexity-violating through-nodes if valid.
+            let mut grew = false;
+            for id in dfg.ids() {
+                if cur.contains(id) || !dfg.kind(id).is_ci_valid() {
+                    continue;
+                }
+                let from_in = dfg.args(id).iter().any(|a| cur.contains(*a));
+                let to_in = dfg.consumers(id).iter().any(|c| cur.contains(*c));
+                if from_in && to_in {
+                    cur.insert(id);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return None;
+            }
+            continue;
+        }
+        let io = dfg.io_counts(&cur);
+        if io.inputs > opts.max_in {
+            // Absorb the external producer with the most edges into `cur`.
+            let mut best: Option<(usize, NodeId)> = None;
+            for m in cur.iter() {
+                for &a in dfg.args(m) {
+                    if cur.contains(a)
+                        || !dfg.kind(a).is_ci_valid()
+                        || dfg.kind(a) == rtise_ir::op::OpKind::Const
+                    {
+                        continue;
+                    }
+                    let edges = dfg.consumers(a).iter().filter(|c| cur.contains(**c)).count();
+                    if best.is_none_or(|(e, _)| edges > e) {
+                        best = Some((edges, a));
+                    }
+                }
+            }
+            match best {
+                Some((_, a)) => {
+                    cur.insert(a);
+                    continue;
+                }
+                None => return None,
+            }
+        }
+        if io.outputs > opts.max_out {
+            // Absorb the external consumer with the most edges from `cur`.
+            let mut best: Option<(usize, NodeId)> = None;
+            for m in cur.iter() {
+                for &c in dfg.consumers(m) {
+                    if cur.contains(c) || !dfg.kind(c).is_ci_valid() {
+                        continue;
+                    }
+                    let edges = dfg.args(c).iter().filter(|a| cur.contains(**a)).count();
+                    if best.is_none_or(|(e, _)| edges > e) {
+                        best = Some((edges, c));
+                    }
+                }
+            }
+            match best {
+                Some((_, c)) => {
+                    cur.insert(c);
+                    continue;
+                }
+                None => return None,
+            }
+        }
+        return Some(cur);
+    }
+}
+
+/// node id -> partition index map.
+fn node_partition_map(dfg: &Dfg, parts: &[NodeSet]) -> Vec<Option<usize>> {
+    let mut map = vec![None; dfg.len()];
+    for (pi, p) in parts.iter().enumerate() {
+        for n in p.iter() {
+            map[n.0] = Some(pi);
+        }
+    }
+    map
+}
+
+/// Partitions adjacent to `part` (sharing at least one edge).
+fn adjacent_partitions(dfg: &Dfg, part: &NodeSet, node_part: &[Option<usize>]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for m in part.iter() {
+        for n in dfg
+            .args(m)
+            .iter()
+            .copied()
+            .chain(dfg.consumers(m).iter().copied())
+        {
+            if let Some(p) = node_part.get(n.0).and_then(|o| *o) {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ir::op::OpKind;
+    use rtise_ir::region::regions;
+
+    fn mac_chain(n: usize) -> Dfg {
+        let mut g = Dfg::new();
+        let mut acc = g.input(0);
+        for i in 0..n {
+            let x = g.input(1 + i);
+            let m = g.bin_imm(OpKind::Mul, x, (i + 3) as i64);
+            acc = g.bin(OpKind::Add, acc, m);
+        }
+        g.output(0, acc);
+        g
+    }
+
+    #[test]
+    fn partitions_are_legal_custom_instructions() {
+        let g = mac_chain(10);
+        let hw = HwModel::default();
+        let region = &regions(&g)[0];
+        let parts = mlgp_partition(&g, &region.nodes, &hw, MlgpOptions::default());
+        assert!(!parts.is_empty());
+        for p in &parts {
+            assert!(g.is_feasible_ci(p, 4, 2), "{p:?}");
+            assert!(hw.ci_gain(&g, p) > 0);
+        }
+        // Partitions are pairwise disjoint.
+        for (i, a) in parts.iter().enumerate() {
+            for b in &parts[i + 1..] {
+                assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn coarsening_produces_multi_node_instructions() {
+        let g = mac_chain(6);
+        let hw = HwModel::default();
+        let region = &regions(&g)[0];
+        let parts = mlgp_partition(&g, &region.nodes, &hw, MlgpOptions::default());
+        assert!(
+            parts.iter().any(|p| p.len() >= 3),
+            "expected coarse partitions, got {parts:?}"
+        );
+    }
+
+    #[test]
+    fn total_gain_beats_trivial_singletons() {
+        let g = mac_chain(8);
+        let hw = HwModel::default();
+        let region = &regions(&g)[0];
+        let parts = mlgp_partition(&g, &region.nodes, &hw, MlgpOptions::default());
+        let total: u64 = parts.iter().map(|p| hw.ci_gain(&g, p)).sum();
+        // Singleton muls each gain 3-1 = 2; adds gain 0. A good partition
+        // chains them and collapses latency.
+        let singleton_best: u64 = region
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut s = g.empty_set();
+                s.insert(n);
+                hw.ci_gain(&g, &s)
+            })
+            .sum();
+        assert!(
+            total > singleton_best,
+            "MLGP {total} <= singletons {singleton_best}"
+        );
+    }
+
+    #[test]
+    fn io_constraints_bind_partition_sizes() {
+        let g = mac_chain(12);
+        let hw = HwModel::default();
+        let region = &regions(&g)[0];
+        let tight = MlgpOptions {
+            max_in: 2,
+            max_out: 1,
+            ..MlgpOptions::default()
+        };
+        for p in mlgp_partition(&g, &region.nodes, &hw, tight) {
+            let io = g.io_counts(&p);
+            assert!(io.fits(2, 1), "{io:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = mac_chain(9);
+        let hw = HwModel::default();
+        let region = &regions(&g)[0];
+        let a = mlgp_partition(&g, &region.nodes, &hw, MlgpOptions::default());
+        let b = mlgp_partition(&g, &region.nodes, &hw, MlgpOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repair_absorbs_shared_producer() {
+        // Two consumers of one producer: moving one consumer next to the
+        // other pulls the producer in to reduce input count.
+        let mut g = Dfg::new();
+        let ins: Vec<_> = (0..6).map(|i| g.input(i)).collect();
+        let p = g.bin(OpKind::Add, ins[0], ins[1]);
+        let c1 = g.bin(OpKind::Mul, p, ins[2]);
+        let c2 = g.bin(OpKind::Mul, p, ins[3]);
+        let c3 = g.bin(OpKind::Add, c1, ins[4]);
+        let c4 = g.bin(OpKind::Add, c2, ins[5]);
+        let x = g.bin(OpKind::Xor, c3, c4);
+        g.output(0, x);
+        let mut set = g.empty_set();
+        for n in [c1, c2, c3, c4, x] {
+            set.insert(n);
+        }
+        let opts = MlgpOptions {
+            max_in: 5,
+            max_out: 1,
+            ..MlgpOptions::default()
+        };
+        // 6 inputs (p, ins[2..6] plus...) exceed 5; repair should absorb p.
+        let io = g.io_counts(&set);
+        assert!(io.inputs >= 5, "{io:?}");
+        if io.inputs > 5 {
+            let repaired = repair(&g, &set, &opts).expect("repairable");
+            assert!(repaired.contains(p));
+            assert!(g.io_counts(&repaired).fits(5, 1));
+        }
+    }
+}

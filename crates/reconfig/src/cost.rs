@@ -1,0 +1,202 @@
+//! Reconfiguration cost models for the four extensible-processor
+//! architectures of §2.1 / Fig. 2.2.
+//!
+//! The core Chapter 6 algorithms assume *full-fabric reload* (Stretch-style:
+//! every switch reprograms the whole fabric at a fixed cost). Two further
+//! architectures from the taxonomy are modelled here:
+//!
+//! * [`CostModel::Partial`] — partial reconfiguration (Fig. 2.2d): only the
+//!   incoming configuration's area is written, so a switch costs
+//!   proportionally to the *loaded* configuration's size;
+//! * [`temporal_only_partition`] — the temporal-only architecture
+//!   (Fig. 2.2b): one custom-instruction set resident at a time, i.e. every
+//!   hardware loop is its own configuration.
+
+use crate::model::{ReconfigProblem, Solution};
+
+/// How a reconfiguration is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// Full-fabric reload at `ReconfigProblem::reconfig_cost` per switch
+    /// (the Chapter 6 default).
+    FullReload,
+    /// Partial reconfiguration: a switch costs `per_area_unit` cycles per
+    /// cell of the *incoming* configuration (idle instructions are simply
+    /// overwritten, §2.1).
+    Partial {
+        /// Cycles per area cell written.
+        per_area_unit: u64,
+    },
+}
+
+/// Total reconfiguration cycles of `sol` on `problem` under `model`.
+///
+/// Walks the trace exactly like [`Solution::reconfigurations`]; under the
+/// partial model each switch is charged by the area of the configuration
+/// being loaded.
+pub fn reconfig_cycles(problem: &ReconfigProblem, sol: &Solution, model: CostModel) -> u64 {
+    match model {
+        CostModel::FullReload => sol.reconfigurations(problem) * problem.reconfig_cost,
+        CostModel::Partial { per_area_unit } => {
+            // Area of each configuration under the chosen versions.
+            let mut cfg_area: std::collections::HashMap<usize, u64> =
+                std::collections::HashMap::new();
+            for (i, l) in problem.loops.iter().enumerate() {
+                if sol.version[i] > 0 {
+                    *cfg_area.entry(sol.config[i]).or_default() +=
+                        l.versions()[sol.version[i]].area;
+                }
+            }
+            let mut loaded: Option<usize> = None;
+            let mut cycles = 0;
+            for &l in &problem.trace {
+                if sol.version[l] == 0 {
+                    continue;
+                }
+                let cfg = sol.config[l];
+                if let Some(cur) = loaded {
+                    if cur != cfg {
+                        cycles += per_area_unit * cfg_area.get(&cfg).copied().unwrap_or(0);
+                    }
+                }
+                loaded = Some(cfg);
+            }
+            cycles
+        }
+    }
+}
+
+/// Net gain of `sol` under an explicit cost model.
+pub fn net_gain_with(problem: &ReconfigProblem, sol: &Solution, model: CostModel) -> i64 {
+    sol.raw_gain(problem) as i64 - reconfig_cycles(problem, sol, model) as i64
+}
+
+/// Solves the *temporal-only* architecture (Fig. 2.2b): every hardware loop
+/// occupies the fabric alone, so the configuration structure is fixed
+/// (loop i → config i) and the only freedom is which loops go to hardware
+/// and at which version. Hill-climbs from the all-best-version solution
+/// under the given cost model.
+pub fn temporal_only_partition(problem: &ReconfigProblem, model: CostModel) -> Solution {
+    let n = problem.loops.len();
+    let mut sol = Solution {
+        version: problem
+            .loops
+            .iter()
+            .map(|l| {
+                l.versions()
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, v)| v.gain)
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect(),
+        config: (0..n).collect(),
+    };
+    // Each version must fit the fabric alone.
+    for i in 0..n {
+        while sol.version[i] > 0
+            && problem.loops[i].versions()[sol.version[i]].area > problem.max_area
+        {
+            sol.version[i] -= 1;
+        }
+    }
+    // Hill-climb version changes (including dropping to software).
+    loop {
+        let base = net_gain_with(problem, &sol, model);
+        let mut best: Option<(i64, usize, usize)> = None;
+        for i in 0..n {
+            for j in 0..problem.loops[i].versions().len() {
+                if j == sol.version[i]
+                    || problem.loops[i].versions()[j].area > problem.max_area
+                {
+                    continue;
+                }
+                let mut cand = sol.clone();
+                cand.version[i] = j;
+                let delta = net_gain_with(problem, &cand, model) - base;
+                if delta > 0 && best.is_none_or(|(b, _, _)| delta > b) {
+                    best = Some((delta, i, j));
+                }
+            }
+        }
+        match best {
+            Some((_, i, j)) => sol.version[i] = j,
+            None => return sol,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::fig_6_4_problem;
+    use crate::partition::iterative_partition;
+
+    #[test]
+    fn full_reload_matches_the_legacy_accounting() {
+        let p = fig_6_4_problem();
+        let sol = Solution {
+            version: vec![3, 2, 1],
+            config: vec![0, 1, 1],
+        };
+        assert_eq!(
+            net_gain_with(&p, &sol, CostModel::FullReload),
+            sol.net_gain(&p)
+        );
+    }
+
+    #[test]
+    fn partial_model_charges_by_incoming_area() {
+        let p = fig_6_4_problem();
+        // Solution (C): 18 crossings; loading config0 (area 1612) 9 times
+        // and config1 (area 1041+967=2008) 9 times at 1 cycle/cell.
+        let sol = Solution {
+            version: vec![3, 2, 1],
+            config: vec![0, 1, 1],
+        };
+        let cycles = reconfig_cycles(&p, &sol, CostModel::Partial { per_area_unit: 1 });
+        assert_eq!(cycles, 9 * 1612 + 9 * (1041 + 967));
+    }
+
+    #[test]
+    fn cheap_partial_reconfig_favours_more_configurations() {
+        let p = fig_6_4_problem();
+        // Under a very cheap partial model the per-loop solution (best
+        // versions everywhere) dominates the single-configuration one.
+        let per_loop = Solution {
+            version: vec![3, 4, 2],
+            config: vec![0, 1, 2],
+        };
+        let single = Solution {
+            version: vec![2, 1, 1],
+            config: vec![0, 0, 0],
+        };
+        let model = CostModel::Partial { per_area_unit: 0 };
+        assert!(net_gain_with(&p, &per_loop, model) > net_gain_with(&p, &single, model));
+    }
+
+    #[test]
+    fn temporal_only_is_never_better_than_spatial_plus_temporal() {
+        let p = fig_6_4_problem();
+        let temporal = temporal_only_partition(&p, CostModel::FullReload);
+        assert!(temporal.fits(&p));
+        let full = iterative_partition(&p, 4);
+        assert!(
+            net_gain_with(&p, &temporal, CostModel::FullReload) <= full.net_gain(&p),
+            "spatial sharing can only help"
+        );
+    }
+
+    #[test]
+    fn temporal_only_drops_unprofitable_loops() {
+        let mut p = fig_6_4_problem();
+        p.reconfig_cost = 100_000; // any switch is ruinous
+        let sol = temporal_only_partition(&p, CostModel::FullReload);
+        // At most one loop stays in hardware (no switches possible
+        // otherwise without losing gain).
+        let hw: Vec<usize> = (0..3).filter(|&i| sol.version[i] > 0).collect();
+        assert!(hw.len() <= 1, "{sol:?}");
+        assert!(net_gain_with(&p, &sol, CostModel::FullReload) >= 0);
+    }
+}

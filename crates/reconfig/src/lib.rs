@@ -1,0 +1,37 @@
+//! # rtise-reconfig
+//!
+//! Runtime reconfiguration of custom instructions.
+//!
+//! The custom-functional-unit fabric can be reloaded at run time, so the
+//! custom-instruction sets (CIS) of an application's hot loops can be
+//! *temporally* partitioned into multiple configurations and *spatially*
+//! packed within each one (Fig. 6.2). The crate implements the full
+//! Chapter 6 flow for sequential applications and the Chapter 7 extension
+//! to real-time multi-tasking systems:
+//!
+//! * [`model`] — hot loops with CIS versions, loop traces, solutions, and
+//!   exact net-gain evaluation by trace walking (the complex loop-level
+//!   reconfiguration cost model of §6.2).
+//! * [`spatial`] — Algorithm 7: the pseudo-polynomial spatial-partitioning
+//!   DP selecting one CIS version per loop under an area budget.
+//! * [`partition`] — Algorithm 6: the three-phase iterative partitioner
+//!   (global spatial → temporal k-way with/without CIS → local spatial),
+//!   plus the exhaustive (Bell-number) and greedy (Algorithm 8) baselines.
+//! * [`rt`] — Chapter 7: version selection and configuration assignment
+//!   for periodic task sets under EDF, with reconfiguration overhead folded
+//!   into the demand; a partitioning heuristic in the style of the
+//!   chapter's pseudo-polynomial DP, the exact ILP formulation of §7.3.1 on
+//!   [`rtise_ilp`], and the static single-configuration baseline.
+
+pub mod cost;
+pub mod model;
+pub mod partition;
+pub mod rt;
+pub mod spatial;
+pub mod trace;
+
+pub use cost::{net_gain_with, temporal_only_partition, CostModel};
+pub use model::{CisVersion, HotLoop, ReconfigProblem, Solution};
+pub use partition::{exhaustive_partition, greedy_partition, iterative_partition};
+pub use spatial::spatial_select;
+pub use trace::CompressedTrace;

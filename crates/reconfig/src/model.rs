@@ -1,0 +1,407 @@
+//! Problem model for runtime reconfiguration (§6.2).
+
+use std::fmt;
+
+/// One custom-instruction-set version of a hot loop: a selectable
+/// area/gain trade-off point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CisVersion {
+    /// Hardware area (e.g. arithmetic units) this version occupies.
+    pub area: u64,
+    /// Cycles saved over the whole run when this version is loaded.
+    pub gain: u64,
+}
+
+/// A hot loop with its CIS versions.
+///
+/// Version 0 is always the pure-software version `(0, 0)`; the constructor
+/// inserts it and keeps versions sorted by area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotLoop {
+    /// Loop name for reports.
+    pub name: String,
+    versions: Vec<CisVersion>,
+}
+
+impl HotLoop {
+    /// Creates a hot loop from its hardware versions (software version
+    /// added automatically).
+    pub fn new(name: impl Into<String>, hw_versions: &[CisVersion]) -> Self {
+        let mut versions = vec![CisVersion { area: 0, gain: 0 }];
+        versions.extend_from_slice(hw_versions);
+        versions.sort_by_key(|v| (v.area, v.gain));
+        versions.dedup();
+        HotLoop {
+            name: name.into(),
+            versions,
+        }
+    }
+
+    /// All versions, software first, ascending area.
+    pub fn versions(&self) -> &[CisVersion] {
+        &self.versions
+    }
+
+    /// The highest-gain version.
+    pub fn best(&self) -> CisVersion {
+        *self
+            .versions
+            .iter()
+            .max_by_key(|v| v.gain)
+            .expect("non-empty by construction")
+    }
+}
+
+/// A runtime-reconfiguration instance: hot loops, the loop-entry trace, the
+/// fabric area, and the cost of one (full) reconfiguration.
+#[derive(Debug, Clone)]
+pub struct ReconfigProblem {
+    /// The application's hot loops.
+    pub loops: Vec<HotLoop>,
+    /// Loop-entry trace: the order in which hot loops are entered at run
+    /// time (§6.1), as indices into `loops`.
+    pub trace: Vec<usize>,
+    /// Fabric area available per configuration.
+    pub max_area: u64,
+    /// Cycles for one reconfiguration (`ρ`).
+    pub reconfig_cost: u64,
+}
+
+impl ReconfigProblem {
+    /// Validates index ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-range trace entry.
+    pub fn validate(&self) -> Result<(), InvalidTraceError> {
+        for (pos, &l) in self.trace.iter().enumerate() {
+            if l >= self.loops.len() {
+                return Err(InvalidTraceError { pos, index: l });
+            }
+        }
+        Ok(())
+    }
+
+    /// The reconfiguration-cost graph over the currently-hardware loops:
+    /// `rcg[a][b]` counts adjacent transitions between `a` and `b` in the
+    /// trace after removing software loops (§6.3.3, Fig. 6.6).
+    pub fn rcg(&self, in_hw: &[bool]) -> Vec<Vec<u64>> {
+        let n = self.loops.len();
+        let mut m = vec![vec![0u64; n]; n];
+        let mut prev: Option<usize> = None;
+        for &l in &self.trace {
+            if !in_hw[l] {
+                continue;
+            }
+            if let Some(p) = prev {
+                if p != l {
+                    m[p][l] += 1;
+                    m[l][p] += 1;
+                }
+            }
+            prev = Some(l);
+        }
+        m
+    }
+}
+
+/// A trace entry referenced a loop outside the problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTraceError {
+    /// Position in the trace.
+    pub pos: usize,
+    /// The out-of-range loop index.
+    pub index: usize,
+}
+
+impl fmt::Display for InvalidTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace position {} references unknown loop {}",
+            self.pos, self.index
+        )
+    }
+}
+
+impl std::error::Error for InvalidTraceError {}
+
+/// A complete solution: one version per loop and, for hardware loops, a
+/// configuration id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Selected version index per loop (0 = software).
+    pub version: Vec<usize>,
+    /// Configuration id per loop; ignored for software loops.
+    pub config: Vec<usize>,
+}
+
+impl Solution {
+    /// The all-software solution.
+    pub fn software(n: usize) -> Self {
+        Solution {
+            version: vec![0; n],
+            config: vec![0; n],
+        }
+    }
+
+    /// Raw performance gain (before reconfiguration cost).
+    pub fn raw_gain(&self, problem: &ReconfigProblem) -> u64 {
+        self.version
+            .iter()
+            .zip(&problem.loops)
+            .map(|(&v, l)| l.versions()[v].gain)
+            .sum()
+    }
+
+    /// Number of reconfigurations incurred, by walking the trace: a
+    /// reconfiguration happens whenever the next hardware loop lives in a
+    /// different configuration than the currently loaded one. The initial
+    /// load is free (the fabric is programmed before execution).
+    pub fn reconfigurations(&self, problem: &ReconfigProblem) -> u64 {
+        let mut loaded: Option<usize> = None;
+        let mut count = 0;
+        for &l in &problem.trace {
+            if self.version[l] == 0 {
+                continue;
+            }
+            let cfg = self.config[l];
+            if let Some(cur) = loaded {
+                if cur != cfg {
+                    count += 1;
+                }
+            }
+            loaded = Some(cfg);
+        }
+        count
+    }
+
+    /// Net performance gain: raw gain minus reconfiguration cost (Eq. 6.1).
+    /// Negative nets are reported as the signed value so callers can reject
+    /// them.
+    pub fn net_gain(&self, problem: &ReconfigProblem) -> i64 {
+        self.raw_gain(problem) as i64
+            - (self.reconfigurations(problem) * problem.reconfig_cost) as i64
+    }
+
+    /// Checks per-configuration area budgets.
+    pub fn fits(&self, problem: &ReconfigProblem) -> bool {
+        let mut per_cfg: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for (i, l) in problem.loops.iter().enumerate() {
+            if self.version[i] == 0 {
+                continue;
+            }
+            *per_cfg.entry(self.config[i]).or_default() += l.versions()[self.version[i]].area;
+        }
+        per_cfg.values().all(|&a| a <= problem.max_area)
+    }
+}
+
+/// Builds the motivating example of Fig. 6.4: three loops with the CIS
+/// version tables of the figure, a trace realizing transition counts
+/// (l1,l2) = 9, (l1,l3) = 9, (l2,l3) = 31, fabric area 2048 AU and
+/// reconfiguration cost 15K cycles.
+pub fn fig_6_4_problem() -> ReconfigProblem {
+    let loops = vec![
+        HotLoop::new(
+            "loop1",
+            &[
+                CisVersion {
+                    area: 257,
+                    gain: 111,
+                },
+                CisVersion {
+                    area: 301,
+                    gain: 160,
+                },
+                CisVersion {
+                    area: 1612,
+                    gain: 563,
+                },
+            ],
+        ),
+        HotLoop::new(
+            "loop2",
+            &[
+                CisVersion {
+                    area: 761,
+                    gain: 230,
+                },
+                CisVersion {
+                    area: 1041,
+                    gain: 387,
+                },
+                CisVersion {
+                    area: 1321,
+                    gain: 426,
+                },
+                CisVersion {
+                    area: 2004,
+                    gain: 556,
+                },
+            ],
+        ),
+        HotLoop::new(
+            "loop3",
+            &[
+                CisVersion {
+                    area: 967,
+                    gain: 493,
+                },
+                CisVersion {
+                    area: 1249,
+                    gain: 549,
+                },
+            ],
+        ),
+    ];
+    // Eulerian walk realizing the multigraph with edge multiplicities
+    // (0,1)=9, (0,2)=9, (1,2)=31: start at 0, alternate 0-1/0-2 bridges
+    // with 1-2 oscillation.
+    let mut trace = Vec::new();
+    // 9 excursions 0 -> 1, interleaved with 1<->2 oscillations, returning
+    // via 2 -> 0.  Construct: (0 1 [2 1]*k 2 0) uses one (0,1), one (0,2)
+    // and 2k+1 of (1,2) per lap... tune to hit the exact counts:
+    // lap pattern: 0,1,2 → edges (0,1),(1,2),(2,0).  9 laps give
+    // (0,1)=9, (0,2)=9, (1,2)=9; add 22 extra 1<->2 oscillations inside
+    // the last lap.
+    for lap in 0..9 {
+        trace.push(0);
+        trace.push(1);
+        if lap == 8 {
+            for _ in 0..11 {
+                trace.push(2);
+                trace.push(1);
+            }
+        }
+        trace.push(2);
+    }
+    // Close the final (2,0) edge so each pair count is exact.
+    trace.push(0);
+    ReconfigProblem {
+        loops,
+        trace,
+        max_area: 2048,
+        reconfig_cost: 15,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_version_inserted_and_sorted() {
+        let l = HotLoop::new(
+            "l",
+            &[
+                CisVersion { area: 50, gain: 9 },
+                CisVersion { area: 10, gain: 2 },
+            ],
+        );
+        assert_eq!(l.versions()[0], CisVersion { area: 0, gain: 0 });
+        assert_eq!(l.versions()[1].area, 10);
+        assert_eq!(l.best().gain, 9);
+    }
+
+    #[test]
+    fn fig_6_4_trace_realizes_the_rcg() {
+        let p = fig_6_4_problem();
+        p.validate().expect("valid");
+        let rcg = p.rcg(&[true, true, true]);
+        assert_eq!(rcg[0][1], 9);
+        assert_eq!(rcg[0][2], 9);
+        assert_eq!(rcg[1][2], 31);
+    }
+
+    #[test]
+    fn fig_6_4_solution_a_single_config() {
+        // Solution (A): one configuration, versions (l1 v2=301/160,
+        // l2 v1=761/230, l3 v1=967/493): gain 883, no reconfigs.
+        let p = fig_6_4_problem();
+        let s = Solution {
+            version: vec![2, 1, 1],
+            config: vec![0, 0, 0],
+        };
+        assert!(s.fits(&p));
+        assert_eq!(s.raw_gain(&p), 883);
+        assert_eq!(s.reconfigurations(&p), 0);
+        assert_eq!(s.net_gain(&p), 883);
+    }
+
+    #[test]
+    fn fig_6_4_solution_b_three_configs() {
+        // Solution (B): each loop its own configuration with its best
+        // version: gain 1668, 49 reconfigurations, net 933.
+        let p = fig_6_4_problem();
+        let s = Solution {
+            version: vec![3, 4, 2],
+            config: vec![0, 1, 2],
+        };
+        assert!(s.fits(&p));
+        assert_eq!(s.raw_gain(&p), 1668);
+        assert_eq!(s.reconfigurations(&p), 49);
+        assert_eq!(s.net_gain(&p), 1668 - 49 * 15);
+        assert_eq!(s.net_gain(&p), 933);
+    }
+
+    #[test]
+    fn fig_6_4_solution_c_optimal() {
+        // Solution (C): {l1} and {l2 v2, l3 v1}: gain 1443, 18 crossings,
+        // net 1173.
+        let p = fig_6_4_problem();
+        let s = Solution {
+            version: vec![3, 2, 1],
+            config: vec![0, 1, 1],
+        };
+        assert!(s.fits(&p));
+        assert_eq!(s.raw_gain(&p), 563 + 387 + 493);
+        assert_eq!(s.reconfigurations(&p), 18);
+        assert_eq!(s.net_gain(&p), 1173);
+    }
+
+    #[test]
+    fn software_loops_are_transparent_to_reconfiguration() {
+        let p = fig_6_4_problem();
+        // Only l1 in hardware: zero reconfigurations regardless of trace.
+        let s = Solution {
+            version: vec![3, 0, 0],
+            config: vec![0, 5, 9],
+        };
+        assert_eq!(s.reconfigurations(&p), 0);
+        assert_eq!(s.net_gain(&p), 563);
+    }
+
+    #[test]
+    fn area_budget_checked_per_configuration() {
+        let p = fig_6_4_problem();
+        // l2 best (2004) + l3 v1 (967) in one config exceeds 2048.
+        let s = Solution {
+            version: vec![0, 4, 1],
+            config: vec![0, 1, 1],
+        };
+        assert!(!s.fits(&p));
+    }
+
+    #[test]
+    fn invalid_trace_reported() {
+        let mut p = fig_6_4_problem();
+        p.trace.push(7);
+        assert_eq!(
+            p.validate(),
+            Err(InvalidTraceError {
+                pos: p.trace.len() - 1,
+                index: 7
+            })
+        );
+    }
+
+    #[test]
+    fn rcg_skips_software_loops() {
+        let p = fig_6_4_problem();
+        // With loop 1 in software, 0-2 adjacency inherits its transitions.
+        let rcg = p.rcg(&[true, false, true]);
+        assert_eq!(rcg[0][1], 0);
+        assert!(rcg[0][2] > 9, "bridging raises 0-2 adjacency");
+    }
+}

@@ -1,0 +1,749 @@
+//! Chapter 7: runtime reconfiguration for multi-tasking real-time systems.
+//!
+//! Each periodic task has CIS versions trading area against WCET. One
+//! version must be chosen per task and the hardware tasks grouped into
+//! configurations of at most `max_area` each; whenever the EDF schedule
+//! runs a job from a different configuration than the loaded one, a
+//! reconfiguration delay is paid. The objective is minimum processor
+//! utilization — demand plus reconfiguration overhead over the hyperperiod
+//! — subject to all deadlines (demand ≤ hyperperiod).
+//!
+//! Three solvers, matching the paper's comparison (Fig. 7.4, Tables
+//! 7.1–7.2):
+//!
+//! * [`solve_dp`] — the pseudo-polynomial partitioning heuristic: the EDF
+//!   job sequence fixes pairwise adjacency counts, reducing the problem to
+//!   the Chapter 6 structure (k-way temporal partitioning over the task
+//!   adjacency graph + a demand-minimizing spatial DP per configuration);
+//! * [`solve_ilp`] — the exact ILP of §7.3.1 (uniqueness, per-configuration
+//!   resource, and scheduling rows) on the in-repo 0–1 solver;
+//! * [`solve_static`] — the no-reconfiguration baseline (one
+//!   configuration).
+
+use crate::model::CisVersion;
+use rtise_graphpart::{partition as kway, Graph};
+use rtise_ilp::{Model, Sense, SolveError};
+use std::fmt;
+
+/// A periodic task with CIS versions. `versions[j].gain` here is the WCET
+/// *reduction* of version `j`; version 0 is software (`gain` 0, `area` 0).
+#[derive(Debug, Clone)]
+pub struct RtTask {
+    /// Task name.
+    pub name: String,
+    /// Software WCET.
+    pub base_wcet: u64,
+    /// Period (= deadline).
+    pub period: u64,
+    /// Versions (software first, ascending area).
+    pub versions: Vec<CisVersion>,
+}
+
+impl RtTask {
+    /// Creates a task; the software version is inserted automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or any version's gain exceeds the WCET.
+    pub fn new(
+        name: impl Into<String>,
+        base_wcet: u64,
+        period: u64,
+        hw_versions: &[CisVersion],
+    ) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(
+            hw_versions.iter().all(|v| v.gain <= base_wcet),
+            "gain exceeds WCET"
+        );
+        let mut versions = vec![CisVersion { area: 0, gain: 0 }];
+        versions.extend_from_slice(hw_versions);
+        versions.sort_by_key(|v| (v.area, v.gain));
+        versions.dedup();
+        RtTask {
+            name: name.into(),
+            base_wcet,
+            period,
+            versions,
+        }
+    }
+
+    /// WCET under version `j`.
+    pub fn wcet(&self, j: usize) -> u64 {
+        self.base_wcet - self.versions[j].gain
+    }
+}
+
+/// A Chapter 7 problem instance.
+#[derive(Debug, Clone)]
+pub struct RtProblem {
+    /// The periodic tasks.
+    pub tasks: Vec<RtTask>,
+    /// Fabric area per configuration.
+    pub max_area: u64,
+    /// Reconfiguration delay in cycles.
+    pub reconfig_cost: u64,
+    /// Maximum number of configurations considered.
+    pub max_configs: usize,
+}
+
+impl RtProblem {
+    /// Hyperperiod of all task periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (periods are expected to be small multiples).
+    pub fn hyperperiod(&self) -> u64 {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.tasks.iter().fold(1u64, |acc, t| {
+            let g = gcd(acc, t.period);
+            (acc / g).checked_mul(t.period).expect("hyperperiod overflow")
+        })
+    }
+
+    /// The EDF job sequence over one hyperperiod with synchronous release:
+    /// jobs ordered by absolute deadline (ties by task index). The order is
+    /// version-independent because deadlines do not depend on WCETs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hyperperiod implies more than ten million jobs —
+    /// periods should be chosen harmonic-friendly (see
+    /// `rtise_select::task::periods_for_utilization`) so the sequence stays
+    /// materializable.
+    pub fn edf_job_sequence(&self) -> Vec<usize> {
+        let h = self.hyperperiod();
+        let total_jobs: u64 = self.tasks.iter().map(|t| h / t.period).sum();
+        assert!(
+            total_jobs <= 10_000_000,
+            "hyperperiod of {h} implies {total_jobs} jobs; choose harmonic periods"
+        );
+        let mut jobs: Vec<(u64, usize)> = Vec::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            let mut deadline = t.period;
+            while deadline <= h {
+                jobs.push((deadline, i));
+                deadline += t.period;
+            }
+        }
+        jobs.sort();
+        jobs.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Pairwise adjacency counts of the job sequence, restricted to tasks
+    /// flagged in `in_hw`; software tasks are transparent.
+    pub fn adjacency(&self, in_hw: &[bool]) -> Vec<Vec<u64>> {
+        let n = self.tasks.len();
+        let mut m = vec![vec![0u64; n]; n];
+        let mut prev: Option<usize> = None;
+        for t in self.edf_job_sequence() {
+            if !in_hw[t] {
+                continue;
+            }
+            if let Some(p) = prev {
+                if p != t {
+                    m[p][t] += 1;
+                    m[t][p] += 1;
+                }
+            }
+            prev = Some(t);
+        }
+        m
+    }
+}
+
+/// A Chapter 7 solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtSolution {
+    /// Version index per task.
+    pub version: Vec<usize>,
+    /// Configuration per task (ignored for software tasks).
+    pub config: Vec<usize>,
+    /// Utilization including reconfiguration overhead.
+    pub utilization: f64,
+    /// Whether the solution meets all deadlines (`demand ≤ hyperperiod`).
+    pub schedulable: bool,
+}
+
+/// Demand over the hyperperiod (cycles of all jobs plus reconfiguration
+/// overhead) for a version/config choice.
+pub fn demand(problem: &RtProblem, version: &[usize], config: &[usize]) -> u64 {
+    let h = problem.hyperperiod();
+    let job_cycles: u64 = problem
+        .tasks
+        .iter()
+        .zip(version)
+        .map(|(t, &j)| t.wcet(j) * (h / t.period))
+        .sum();
+    // Reconfigurations along the job sequence.
+    let mut loaded: Option<usize> = None;
+    let mut switches = 0u64;
+    for t in problem.edf_job_sequence() {
+        if version[t] == 0 {
+            continue;
+        }
+        let cfg = config[t];
+        if let Some(cur) = loaded {
+            if cur != cfg {
+                switches += 1;
+            }
+        }
+        loaded = Some(cfg);
+    }
+    job_cycles + switches * problem.reconfig_cost
+}
+
+/// Checks per-configuration area budgets.
+pub fn fits(problem: &RtProblem, version: &[usize], config: &[usize]) -> bool {
+    let mut per_cfg: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    for (i, t) in problem.tasks.iter().enumerate() {
+        if version[i] == 0 {
+            continue;
+        }
+        *per_cfg.entry(config[i]).or_default() += t.versions[version[i]].area;
+    }
+    per_cfg.values().all(|&a| a <= problem.max_area)
+}
+
+fn make_solution(problem: &RtProblem, version: Vec<usize>, config: Vec<usize>) -> RtSolution {
+    let h = problem.hyperperiod();
+    let d = demand(problem, &version, &config);
+    RtSolution {
+        utilization: d as f64 / h as f64,
+        schedulable: d <= h,
+        version,
+        config,
+    }
+}
+
+/// The static baseline: a single configuration, optimal spatial DP, no
+/// reconfiguration.
+pub fn solve_static(problem: &RtProblem) -> RtSolution {
+    let version = best_versions_within(problem, &(0..problem.tasks.len()).collect::<Vec<_>>());
+    let config = vec![0usize; problem.tasks.len()];
+    make_solution(problem, version, config)
+}
+
+/// Demand-minimizing version selection for one configuration's member
+/// tasks under the fabric budget (knapsack DP on gains).
+fn best_versions_within(problem: &RtProblem, members: &[usize]) -> Vec<usize> {
+    let h = problem.hyperperiod();
+    // Maximize Σ gain·(h/P) under Σ area ≤ max_area; grid by gcd.
+    let mut step = problem.max_area;
+    for &i in members {
+        for v in &problem.tasks[i].versions {
+            step = gcd(step, v.area);
+        }
+    }
+    let step = step.max(1);
+    let slots = (problem.max_area / step) as usize + 1;
+    let mut dp = vec![0u64; slots];
+    let mut choice: Vec<Vec<usize>> = Vec::new();
+    for &i in members {
+        let t = &problem.tasks[i];
+        let w = h / t.period;
+        let mut next = vec![0u64; slots];
+        let mut ch = vec![0usize; slots];
+        for a in 0..slots {
+            let avail = a as u64 * step;
+            for (j, v) in t.versions.iter().enumerate() {
+                if v.area > avail {
+                    break;
+                }
+                let rest = ((avail - v.area) / step) as usize;
+                let g = dp[rest] + v.gain * w;
+                if g > next[a] {
+                    next[a] = g;
+                    ch[a] = j;
+                }
+            }
+        }
+        dp = next;
+        choice.push(ch);
+    }
+    let mut version = vec![0usize; problem.tasks.len()];
+    let mut slot = slots - 1;
+    for (pos, &i) in members.iter().enumerate().rev() {
+        let j = choice[pos][slot];
+        version[i] = j;
+        slot -= (problem.tasks[i].versions[j].area / step) as usize;
+    }
+    version
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The pseudo-polynomial partitioning solver: sweep the configuration
+/// count, partition the task adjacency graph, and run the demand DP per
+/// configuration; keep the lowest-utilization schedulable solution (or the
+/// lowest utilization overall if none is schedulable).
+pub fn solve_dp(problem: &RtProblem, seed: u64) -> RtSolution {
+    let n = problem.tasks.len();
+    let mut best = solve_static(problem);
+    for k in 2..=problem.max_configs.min(n.max(1)) {
+        // Partition over hardware-capable tasks, edges = adjacency counts.
+        let capable: Vec<usize> = (0..n)
+            .filter(|&i| problem.tasks[i].versions.len() > 1)
+            .collect();
+        if capable.len() < 2 {
+            break;
+        }
+        let in_hw: Vec<bool> = (0..n).map(|i| capable.contains(&i)).collect();
+        let adj = problem.adjacency(&in_hw);
+        let mut g = Graph::new(vec![1; capable.len()]);
+        for (ap, &a) in capable.iter().enumerate() {
+            for (bp, &b) in capable.iter().enumerate().skip(ap + 1) {
+                if adj[a][b] > 0 {
+                    g.add_edge(ap, bp, adj[a][b]);
+                }
+            }
+        }
+        let part = kway(&g, k.min(capable.len()), seed ^ k as u64);
+        let mut config = vec![0usize; n];
+        for (pos, &i) in capable.iter().enumerate() {
+            config[i] = part.assignment[pos];
+        }
+        // Demand DP per configuration.
+        let mut version = vec![0usize; n];
+        for cfg in 0..k {
+            let members: Vec<usize> = capable
+                .iter()
+                .copied()
+                .filter(|&i| config[i] == cfg)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let vs = best_versions_within(problem, &members);
+            for &i in &members {
+                version[i] = vs[i];
+            }
+        }
+        let cand = make_solution(problem, version, config);
+        let better = match (cand.schedulable, best.schedulable) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => cand.utilization < best.utilization,
+        };
+        if better {
+            best = cand;
+        }
+    }
+    // Hill-climb single-task (version, config) moves — the pseudo-polynomial
+    // refinement that lets the DP track the optimum when the partitioner's
+    // balanced cut is not demand-optimal.
+    polish_rt(problem, &mut best);
+    best
+}
+
+/// Greedy local search over single-task moves, accepting demand reductions
+/// that keep every configuration within the fabric budget.
+fn polish_rt(problem: &RtProblem, sol: &mut RtSolution) {
+    let n = problem.tasks.len();
+    let g_max = problem.max_configs.max(1);
+    loop {
+        let base = demand(problem, &sol.version, &sol.config);
+        let mut best_move: Option<(u64, usize, usize, usize)> = None;
+        for i in 0..n {
+            for j in 0..problem.tasks[i].versions.len() {
+                for g in 0..g_max {
+                    if j == sol.version[i] && g == sol.config[i] {
+                        continue;
+                    }
+                    let mut v = sol.version.clone();
+                    let mut c = sol.config.clone();
+                    v[i] = j;
+                    c[i] = g;
+                    if !fits(problem, &v, &c) {
+                        continue;
+                    }
+                    let d = demand(problem, &v, &c);
+                    if d < base && best_move.is_none_or(|(bd, _, _, _)| d < bd) {
+                        best_move = Some((d, i, j, g));
+                    }
+                }
+            }
+        }
+        match best_move {
+            Some((_, i, j, g)) => {
+                sol.version[i] = j;
+                sol.config[i] = g;
+            }
+            None => break,
+        }
+    }
+    let h = problem.hyperperiod();
+    let d = demand(problem, &sol.version, &sol.config);
+    sol.utilization = d as f64 / h as f64;
+    sol.schedulable = d <= h;
+}
+
+/// Errors from [`solve_ilp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveRtError {
+    /// The ILP solver failed (infeasible models cannot occur by
+    /// construction, so this signals a node-limit abort).
+    Ilp(SolveError),
+}
+
+impl fmt::Display for SolveRtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveRtError::Ilp(e) => write!(f, "ILP solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveRtError {}
+
+/// The exact ILP of §7.3.1: binaries `x_{i,j,g}` (task `i` runs version `j`
+/// in configuration `g`), with
+///
+/// * **uniqueness** — `Σ_{j,g} x_{i,j,g} = 1` per task,
+/// * **resource** — `Σ_{i,j} area_{i,j}·x_{i,j,g} ≤ MaxA` per
+///   configuration,
+/// * **scheduling** — hyperperiod demand including reconfiguration
+///   overhead ≤ hyperperiod,
+/// * **objective** — minimize that demand.
+///
+/// Reconfiguration overhead is linearized with co-location indicators
+/// `same_{a,b}` (adjacent task pairs in the EDF job sequence) supported by
+/// products `z_{a,b,g}`.
+///
+/// Modelling note: `same_{a,b}` credits pairs that share a configuration
+/// *or* where either task stays in software (a software task also incurs
+/// no switch), which matches the demand model exactly when at most two
+/// hardware configurations alternate — the regime of the paper's
+/// experiments; [`demand`] re-evaluates the returned selection exactly.
+///
+/// # Errors
+///
+/// See [`SolveRtError`].
+pub fn solve_ilp(problem: &RtProblem, node_limit: u64) -> Result<RtSolution, SolveRtError> {
+    let n = problem.tasks.len();
+    let g_max = problem.max_configs.max(1);
+    let h = problem.hyperperiod();
+
+    // Variable layout.
+    let x = |i: usize, j: usize, g: usize, tasks: &[RtTask]| -> usize {
+        let mut base = 0;
+        for t in &tasks[..i] {
+            base += t.versions.len() * g_max;
+        }
+        base + j * g_max + g
+    };
+    let n_x: usize = problem.tasks.iter().map(|t| t.versions.len() * g_max).sum();
+
+    // Adjacent hardware-relevant pairs and their weights (all-capable
+    // adjacency is an upper bound; software choices only reduce switches,
+    // which the `same` credit for software pairs captures).
+    let in_hw: Vec<bool> = vec![true; n];
+    let adj = problem.adjacency(&in_hw);
+    let mut pairs: Vec<(usize, usize, u64)> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix upper triangle
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if adj[a][b] > 0 {
+                pairs.push((a, b, adj[a][b]));
+            }
+        }
+    }
+    let z0 = n_x;
+    let n_z = pairs.len() * g_max;
+    let same0 = z0 + n_z;
+    let sw0 = same0 + pairs.len(); // soft_{a,b}: either endpoint software
+    let n_vars = sw0 + pairs.len();
+
+    let mut m = Model::new(n_vars);
+    m.set_node_limit(node_limit);
+
+    // Objective: Σ demand·x − ρ·w·(same + soft credit), offset by ρ·Σw.
+    let mut obj = vec![0i64; n_vars];
+    for (i, t) in problem.tasks.iter().enumerate() {
+        let w = (h / t.period) as i64;
+        for (j, v) in t.versions.iter().enumerate() {
+            for g in 0..g_max {
+                obj[x(i, j, g, &problem.tasks)] = (t.base_wcet - v.gain) as i64 * w;
+            }
+        }
+    }
+    for (p, &(_, _, w)) in pairs.iter().enumerate() {
+        obj[same0 + p] = -(problem.reconfig_cost as i64) * w as i64;
+        obj[sw0 + p] = -(problem.reconfig_cost as i64) * w as i64;
+    }
+    m.set_objective(Sense::Minimize, &obj);
+
+    // Uniqueness.
+    for (i, t) in problem.tasks.iter().enumerate() {
+        let terms: Vec<(usize, i64)> = (0..t.versions.len())
+            .flat_map(|j| (0..g_max).map(move |g| (j, g)))
+            .map(|(j, g)| (x(i, j, g, &problem.tasks), 1))
+            .collect();
+        m.add_eq(&terms, 1);
+    }
+    // Resource per configuration.
+    for g in 0..g_max {
+        let mut terms = Vec::new();
+        for (i, t) in problem.tasks.iter().enumerate() {
+            for (j, v) in t.versions.iter().enumerate() {
+                if v.area > 0 {
+                    terms.push((x(i, j, g, &problem.tasks), v.area as i64));
+                }
+            }
+        }
+        m.add_le(&terms, problem.max_area as i64);
+    }
+    // z_{p,g} ≤ Σ_j x_{a,j,g} (hardware versions only) and likewise for b;
+    // same_p ≤ Σ_g z_{p,g}; soft_p ≤ software indicators.
+    for (p, &(a, b, _)) in pairs.iter().enumerate() {
+        let mut same_terms = vec![(same0 + p, 1i64)];
+        for g in 0..g_max {
+            let zv = z0 + p * g_max + g;
+            let mut row_a = vec![(zv, 1i64)];
+            for j in 1..problem.tasks[a].versions.len() {
+                row_a.push((x(a, j, g, &problem.tasks), -1));
+            }
+            m.add_le(&row_a, 0);
+            let mut row_b = vec![(zv, 1i64)];
+            for j in 1..problem.tasks[b].versions.len() {
+                row_b.push((x(b, j, g, &problem.tasks), -1));
+            }
+            m.add_le(&row_b, 0);
+            same_terms.push((zv, -1));
+        }
+        m.add_le(&same_terms, 0);
+        // soft_p ≤ software(a) + software(b); software(i) = Σ_g x_{i,0,g}.
+        let mut soft = vec![(sw0 + p, 1i64)];
+        for g in 0..g_max {
+            soft.push((x(a, 0, g, &problem.tasks), -1));
+            soft.push((x(b, 0, g, &problem.tasks), -1));
+        }
+        m.add_le(&soft, 0);
+        // A pair cannot claim both credits.
+        m.add_le(&[(same0 + p, 1), (sw0 + p, 1)], 1);
+    }
+    // Scheduling: demand ≤ H, i.e. obj·vars ≤ H − ρ·Σw.
+    let rho_total: i64 = pairs
+        .iter()
+        .map(|&(_, _, w)| (problem.reconfig_cost * w) as i64)
+        .sum();
+    let sched_terms: Vec<(usize, i64)> = obj
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(v, &c)| (v, c))
+        .collect();
+    m.add_le(&sched_terms, h as i64 - rho_total);
+
+    let sol = match m.solve() {
+        Ok(s) => s,
+        Err(SolveError::Infeasible) => {
+            // No schedulable choice: fall back to the unconstrained best
+            // (report unschedulable), mirroring the DP's behaviour.
+            return Ok(solve_static(problem));
+        }
+        Err(e) => return Err(SolveRtError::Ilp(e)),
+    };
+
+    let mut version = vec![0usize; n];
+    let mut config = vec![0usize; n];
+    for (i, t) in problem.tasks.iter().enumerate() {
+        for j in 0..t.versions.len() {
+            for g in 0..g_max {
+                if sol.values[x(i, j, g, &problem.tasks)] {
+                    version[i] = j;
+                    config[i] = g;
+                }
+            }
+        }
+    }
+    Ok(make_solution(problem, version, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_task_problem() -> RtProblem {
+        RtProblem {
+            tasks: vec![
+                RtTask::new(
+                    "video",
+                    40,
+                    100,
+                    &[
+                        CisVersion { area: 50, gain: 10 },
+                        CisVersion { area: 90, gain: 22 },
+                    ],
+                ),
+                RtTask::new(
+                    "crypto",
+                    60,
+                    100,
+                    &[
+                        CisVersion { area: 60, gain: 15 },
+                        CisVersion { area: 100, gain: 30 },
+                    ],
+                ),
+            ],
+            max_area: 100,
+            reconfig_cost: 2,
+            max_configs: 2,
+        }
+    }
+
+    #[test]
+    fn job_sequence_orders_by_deadline() {
+        let p = RtProblem {
+            tasks: vec![
+                RtTask::new("a", 1, 4, &[]),
+                RtTask::new("b", 1, 6, &[]),
+            ],
+            max_area: 10,
+            reconfig_cost: 1,
+            max_configs: 2,
+        };
+        assert_eq!(p.hyperperiod(), 12);
+        // Deadlines: a@4, b@6, a@8, a@12, b@12 (tie by task index).
+        assert_eq!(p.edf_job_sequence(), vec![0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn static_baseline_never_reconfigures() {
+        let p = two_task_problem();
+        let s = solve_static(&p);
+        assert!(fits(&p, &s.version, &s.config));
+        // One fabric of 100: best single packing is crypto v2 alone
+        // (gain 30) — or video v2 (22); DP picks 30.
+        assert_eq!(demand(&p, &s.version, &s.config), 40 + 30);
+        assert!(s.schedulable);
+    }
+
+    #[test]
+    fn dp_beats_static_when_reconfiguration_is_cheap() {
+        let p = two_task_problem();
+        let st = solve_static(&p);
+        let dp = solve_dp(&p, 3);
+        assert!(fits(&p, &dp.version, &dp.config));
+        // Two configurations allow both best versions: demand = 18 + 30 +
+        // switches*2; job sequence alternates once per hyperperiod.
+        assert!(
+            dp.utilization <= st.utilization,
+            "dp {} vs static {}",
+            dp.utilization,
+            st.utilization
+        );
+    }
+
+    #[test]
+    fn ilp_is_at_least_as_good_as_dp_and_static() {
+        let p = two_task_problem();
+        let st = solve_static(&p);
+        let dp = solve_dp(&p, 3);
+        let ilp = solve_ilp(&p, 50_000_000).expect("ilp");
+        assert!(fits(&p, &ilp.version, &ilp.config));
+        assert!(ilp.utilization <= dp.utilization + 1e-12);
+        assert!(ilp.utilization <= st.utilization + 1e-12);
+    }
+
+    #[test]
+    fn expensive_reconfiguration_collapses_to_static() {
+        let mut p = two_task_problem();
+        p.reconfig_cost = 10_000;
+        let ilp = solve_ilp(&p, 50_000_000).expect("ilp");
+        let st = solve_static(&p);
+        assert!((ilp.utilization - st.utilization).abs() < 1e-9);
+        assert_eq!(demand(&p, &ilp.version, &ilp.config), 70);
+    }
+
+    #[test]
+    fn demand_counts_switches_along_the_schedule() {
+        let p = RtProblem {
+            tasks: vec![
+                RtTask::new("a", 4, 10, &[CisVersion { area: 5, gain: 1 }]),
+                RtTask::new("b", 4, 10, &[CisVersion { area: 5, gain: 1 }]),
+            ],
+            max_area: 5,
+            reconfig_cost: 3,
+            max_configs: 2,
+        };
+        // Both in hardware, separate configs: sequence a,b → 1 switch.
+        let d = demand(&p, &[1, 1], &[0, 1]);
+        assert_eq!(d, 3 + 3 + 3);
+        // Same config impossible (area) but software b: no switches.
+        let d2 = demand(&p, &[1, 0], &[0, 0]);
+        assert_eq!(d2, 3 + 4);
+    }
+
+    #[test]
+    fn ilp_matches_brute_force_on_small_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x7001);
+        for case in 0..10 {
+            let n = rng.gen_range(2..=3usize);
+            let tasks: Vec<RtTask> = (0..n)
+                .map(|i| {
+                    let base = rng.gen_range(4..12u64);
+                    let vs: Vec<CisVersion> = (0..rng.gen_range(0..3usize))
+                        .map(|_| CisVersion {
+                            area: rng.gen_range(1..8),
+                            gain: rng.gen_range(1..=base.min(4)),
+                        })
+                        .collect();
+                    RtTask::new(format!("t{i}"), base, [10, 20][i % 2], &vs)
+                })
+                .collect();
+            let p = RtProblem {
+                tasks,
+                max_area: rng.gen_range(3..12),
+                reconfig_cost: rng.gen_range(0..4),
+                max_configs: 2,
+            };
+            // Brute force over versions × configs.
+            let mut best: Option<u64> = None;
+            let dims: Vec<usize> = p.tasks.iter().map(|t| t.versions.len() * 2).collect();
+            let mut idx = vec![0usize; n];
+            loop {
+                let version: Vec<usize> = idx.iter().map(|&v| v / 2).collect();
+                let config: Vec<usize> = idx.iter().map(|&v| v % 2).collect();
+                if fits(&p, &version, &config) {
+                    let d = demand(&p, &version, &config);
+                    if best.is_none_or(|b| d < b) {
+                        best = Some(d);
+                    }
+                }
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < dims[k] {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+            let ilp = solve_ilp(&p, 100_000_000).expect("ilp");
+            let got = demand(&p, &ilp.version, &ilp.config);
+            assert_eq!(Some(got), best, "case {case}: {p:?}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Grammar-based loop-trace compression (§6.1).
+//!
+//! The paper keeps hot-loop traces compact with lossless grammar
+//! compression (it cites SEQUITUR); this module implements the closely
+//! related **Re-Pair** scheme: repeatedly replace the most frequent digram
+//! with a fresh rule until no digram repeats. The result is a small
+//! straight-line grammar from which the original trace can be expanded
+//! exactly — long periodic traces (the common case for loop entries)
+//! compress to logarithmic size.
+
+use std::collections::HashMap;
+
+/// A symbol in the grammar: either an original trace element or a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// An original loop index.
+    Terminal(usize),
+    /// Reference to `CompressedTrace::rules[i]`.
+    Rule(usize),
+}
+
+/// A compressed trace: a start sequence plus binary rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedTrace {
+    /// The top-level sequence.
+    pub sequence: Vec<Symbol>,
+    /// Each rule expands to exactly two symbols.
+    pub rules: Vec<[Symbol; 2]>,
+}
+
+impl CompressedTrace {
+    /// Compresses a trace by repeated most-frequent-digram substitution.
+    pub fn compress(trace: &[usize]) -> Self {
+        let mut seq: Vec<Symbol> = trace.iter().map(|&t| Symbol::Terminal(t)).collect();
+        let mut rules: Vec<[Symbol; 2]> = Vec::new();
+        loop {
+            // Count non-overlapping digram occurrences.
+            let mut counts: HashMap<(Symbol, Symbol), u32> = HashMap::new();
+            let mut i = 0;
+            while i + 1 < seq.len() {
+                let d = (seq[i], seq[i + 1]);
+                let c = counts.entry(d).or_insert(0);
+                *c += 1;
+                // Skip one position for aa-runs so occurrences never
+                // overlap.
+                if seq[i] == seq[i + 1] && i + 2 < seq.len() && seq[i + 2] == seq[i] {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let Some((&digram, &count)) = counts.iter().max_by_key(|(_, &c)| c) else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            // Replace every non-overlapping occurrence with a new rule.
+            let rule = Symbol::Rule(rules.len());
+            rules.push([digram.0, digram.1]);
+            let mut next = Vec::with_capacity(seq.len());
+            let mut i = 0;
+            while i < seq.len() {
+                if i + 1 < seq.len() && (seq[i], seq[i + 1]) == digram {
+                    next.push(rule);
+                    i += 2;
+                } else {
+                    next.push(seq[i]);
+                    i += 1;
+                }
+            }
+            seq = next;
+        }
+        CompressedTrace {
+            sequence: seq,
+            rules,
+        }
+    }
+
+    /// Expands back to the original trace.
+    pub fn expand(&self) -> Vec<usize> {
+        fn rec(s: Symbol, rules: &[[Symbol; 2]], out: &mut Vec<usize>) {
+            match s {
+                Symbol::Terminal(t) => out.push(t),
+                Symbol::Rule(r) => {
+                    rec(rules[r][0], rules, out);
+                    rec(rules[r][1], rules, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for &s in &self.sequence {
+            rec(s, &self.rules, &mut out);
+        }
+        out
+    }
+
+    /// Stored symbols: sequence length plus two per rule.
+    pub fn stored_symbols(&self) -> usize {
+        self.sequence.len() + 2 * self.rules.len()
+    }
+
+    /// Compression ratio versus the raw trace (≥ 1 means smaller).
+    pub fn ratio(&self, original_len: usize) -> f64 {
+        original_len as f64 / self.stored_symbols().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_arbitrary_traces() {
+        for trace in [
+            vec![],
+            vec![0],
+            vec![0, 1, 2, 3],
+            vec![0, 0, 0, 0, 0, 0, 0],
+            vec![0, 1, 0, 1, 0, 1, 2, 0, 1],
+        ] {
+            let c = CompressedTrace::compress(&trace);
+            assert_eq!(c.expand(), trace, "{trace:?}");
+        }
+    }
+
+    #[test]
+    fn periodic_traces_compress_well() {
+        // The JPEG-style pattern: six loops visited in order, many times.
+        let mut trace = Vec::new();
+        for _ in 0..64 {
+            trace.extend(0..6);
+        }
+        let c = CompressedTrace::compress(&trace);
+        assert_eq!(c.expand(), trace);
+        assert!(
+            c.ratio(trace.len()) > 8.0,
+            "ratio {} too low ({} symbols for {})",
+            c.ratio(trace.len()),
+            c.stored_symbols(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn random_traces_still_roundtrip() {
+        let mut state = 0x7ace_5eedu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for len in [10usize, 100, 500] {
+            let trace: Vec<usize> = (0..len).map(|_| (next() % 7) as usize).collect();
+            let c = CompressedTrace::compress(&trace);
+            assert_eq!(c.expand(), trace);
+            assert!(c.stored_symbols() <= trace.len().max(1));
+        }
+    }
+
+    #[test]
+    fn grammar_matches_fig_6_4_trace() {
+        let p = crate::model::fig_6_4_problem();
+        let c = CompressedTrace::compress(&p.trace);
+        assert_eq!(c.expand(), p.trace);
+        // The repetitive lap structure compresses.
+        assert!(c.stored_symbols() < p.trace.len());
+    }
+
+    #[test]
+    fn run_of_identical_symbols_handles_overlap() {
+        let trace = vec![5; 33];
+        let c = CompressedTrace::compress(&trace);
+        assert_eq!(c.expand(), trace);
+        assert!(c.stored_symbols() <= 14, "{}", c.stored_symbols());
+    }
+}

@@ -1,0 +1,211 @@
+//! Static voltage/frequency scaling and the energy model of §3.2.2.
+//!
+//! A lower utilization after customization lets the scheduler drop to a
+//! lower frequency/voltage operating point while remaining schedulable.
+//! The paper explores this on a Transmeta TM5400-class ladder (300 MHz at
+//! 1.2 V up to 633 MHz at 1.6 V) with the static scaling algorithm of
+//! Pillai & Shin \[79\]: EDF may scale aggressively (`U·f_max/f ≤ 1`), RMS
+//! uses the conservative Liu–Layland sufficient bound.
+//!
+//! Dynamic energy is `E ∝ cycles · V²`; only relative comparisons between
+//! operating points are meaningful, which is all the figures need.
+
+use crate::{rms_ll_bound, PeriodicTask};
+
+/// One frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OperatingPoint {
+    /// Core frequency in MHz.
+    pub freq_mhz: u32,
+    /// Supply voltage in millivolts.
+    pub volt_mv: u32,
+}
+
+impl OperatingPoint {
+    /// Dynamic energy per cycle relative to a 1 V supply: `(V/1V)²`.
+    pub fn energy_per_cycle(&self) -> f64 {
+        let v = self.volt_mv as f64 / 1000.0;
+        v * v
+    }
+}
+
+/// The scheduling policy used for the schedulability condition during
+/// scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Earliest Deadline First: exact condition `U ≤ 1`.
+    Edf,
+    /// Rate-Monotonic: conservative Liu–Layland bound (sufficient only),
+    /// matching the static scaling algorithm the paper applies.
+    Rms,
+}
+
+/// A ladder of operating points, sorted by ascending frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoltageScaler {
+    levels: Vec<OperatingPoint>,
+}
+
+impl VoltageScaler {
+    /// The TM5400-style ladder used in the paper: 300 MHz / 1.2 V up to
+    /// 633 MHz / 1.6 V.
+    pub fn tm5400() -> Self {
+        VoltageScaler {
+            levels: vec![
+                OperatingPoint {
+                    freq_mhz: 300,
+                    volt_mv: 1200,
+                },
+                OperatingPoint {
+                    freq_mhz: 366,
+                    volt_mv: 1275,
+                },
+                OperatingPoint {
+                    freq_mhz: 433,
+                    volt_mv: 1350,
+                },
+                OperatingPoint {
+                    freq_mhz: 500,
+                    volt_mv: 1425,
+                },
+                OperatingPoint {
+                    freq_mhz: 566,
+                    volt_mv: 1500,
+                },
+                OperatingPoint {
+                    freq_mhz: 633,
+                    volt_mv: 1600,
+                },
+            ],
+        }
+    }
+
+    /// Builds a scaler from explicit levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or not sorted by ascending frequency.
+    pub fn with_levels(levels: Vec<OperatingPoint>) -> Self {
+        assert!(!levels.is_empty(), "need at least one operating point");
+        assert!(
+            levels.windows(2).all(|w| w[0].freq_mhz < w[1].freq_mhz),
+            "levels must be sorted by ascending frequency"
+        );
+        VoltageScaler { levels }
+    }
+
+    /// All operating points, ascending by frequency.
+    pub fn levels(&self) -> &[OperatingPoint] {
+        &self.levels
+    }
+
+    /// The highest (fastest) operating point.
+    pub fn max_level(&self) -> OperatingPoint {
+        *self.levels.last().expect("non-empty by construction")
+    }
+
+    /// The lowest operating point at which the task set remains schedulable
+    /// under `policy`, where `u_at_fmax` is the utilization measured at the
+    /// maximum frequency. Returns `None` if even the fastest point fails.
+    pub fn lowest_feasible(
+        &self,
+        u_at_fmax: f64,
+        policy: Policy,
+        n_tasks: usize,
+    ) -> Option<OperatingPoint> {
+        let fmax = self.max_level().freq_mhz as f64;
+        let bound = match policy {
+            Policy::Edf => 1.0,
+            Policy::Rms => rms_ll_bound(n_tasks),
+        };
+        self.levels
+            .iter()
+            .copied()
+            .find(|lvl| u_at_fmax * fmax / lvl.freq_mhz as f64 <= bound + 1e-12)
+    }
+
+    /// Relative dynamic energy of running the task set for one hyperperiod
+    /// at `level`: total busy cycles × V².
+    ///
+    /// The cycle count is frequency-independent (the same work is done), so
+    /// lower levels win exactly by their voltage ratio squared.
+    pub fn energy(&self, tasks: &[PeriodicTask], level: OperatingPoint) -> f64 {
+        let h = crate::hyperperiod(tasks).unwrap_or(u64::MAX / 4);
+        let cycles: u128 = tasks
+            .iter()
+            .map(|t| t.wcet as u128 * (h / t.period) as u128)
+            .sum();
+        cycles as f64 * level.energy_per_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks(spec: &[(u64, u64)]) -> Vec<PeriodicTask> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(c, p))| PeriodicTask::new(format!("t{i}"), c, p))
+            .collect()
+    }
+
+    #[test]
+    fn ladder_is_sorted_and_bounded() {
+        let s = VoltageScaler::tm5400();
+        assert_eq!(s.levels().first().map(|l| l.freq_mhz), Some(300));
+        assert_eq!(s.max_level().freq_mhz, 633);
+        assert_eq!(s.max_level().volt_mv, 1600);
+    }
+
+    #[test]
+    fn low_utilization_scales_to_lowest_point() {
+        let s = VoltageScaler::tm5400();
+        let lvl = s.lowest_feasible(0.3, Policy::Edf, 3).expect("feasible");
+        assert_eq!(lvl.freq_mhz, 300);
+    }
+
+    #[test]
+    fn high_utilization_stays_at_top() {
+        let s = VoltageScaler::tm5400();
+        let lvl = s.lowest_feasible(0.99, Policy::Edf, 3).expect("feasible");
+        assert_eq!(lvl.freq_mhz, 633);
+        assert_eq!(s.lowest_feasible(1.01, Policy::Edf, 3), None);
+    }
+
+    #[test]
+    fn rms_is_more_conservative_than_edf() {
+        let s = VoltageScaler::tm5400();
+        let u = 0.55;
+        let edf = s.lowest_feasible(u, Policy::Edf, 4).expect("edf feasible");
+        let rms = s.lowest_feasible(u, Policy::Rms, 4).expect("rms feasible");
+        assert!(rms.freq_mhz >= edf.freq_mhz);
+    }
+
+    #[test]
+    fn energy_drops_with_voltage() {
+        let s = VoltageScaler::tm5400();
+        let ts = tasks(&[(2, 6), (3, 8)]);
+        let hi = s.energy(&ts, s.max_level());
+        let lo = s.energy(&ts, s.levels()[0]);
+        assert!(lo < hi);
+        // Ratio is exactly (1.2/1.6)^2.
+        let want = (1.2f64 / 1.6).powi(2);
+        assert!((lo / hi - want).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_levels_rejected() {
+        let _ = VoltageScaler::with_levels(vec![
+            OperatingPoint {
+                freq_mhz: 500,
+                volt_mv: 1400,
+            },
+            OperatingPoint {
+                freq_mhz: 300,
+                volt_mv: 1200,
+            },
+        ]);
+    }
+}

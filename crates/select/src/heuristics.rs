@@ -1,0 +1,175 @@
+//! The four naïve per-task customization strategies of the motivating
+//! example (Fig. 3.2), kept as baselines to demonstrate why inter-task
+//! optimization is necessary.
+
+use crate::task::{Assignment, TaskSpec};
+
+/// (a) Divide the area budget equally among tasks; each task independently
+/// picks its best configuration within its share.
+pub fn equal_area_split(specs: &[TaskSpec], area_budget: u64) -> Assignment {
+    let share = if specs.is_empty() {
+        0
+    } else {
+        area_budget / specs.len() as u64
+    };
+    let config = specs
+        .iter()
+        .map(|s| {
+            let p = s.curve.best_within(share);
+            s.curve.points().iter().position(|q| q == p).unwrap_or(0)
+        })
+        .collect();
+    Assignment { config }
+}
+
+/// (b) Smallest deadline first: tasks in increasing period order greedily
+/// take their best configuration that still fits the remaining budget.
+pub fn smallest_deadline_first(specs: &[TaskSpec], area_budget: u64) -> Assignment {
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].period);
+    greedy_in_order(specs, area_budget, &order)
+}
+
+/// (c) Highest utilization reduction first: tasks ranked by the utilization
+/// drop of their best configuration.
+pub fn highest_reduction_first(specs: &[TaskSpec], area_budget: u64) -> Assignment {
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by(|&a, &b| {
+        reduction(&specs[b])
+            .partial_cmp(&reduction(&specs[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    greedy_in_order(specs, area_budget, &order)
+}
+
+/// (d) Highest ratio of utilization reduction to hardware area.
+pub fn highest_ratio_first(specs: &[TaskSpec], area_budget: u64) -> Assignment {
+    let ratio = |s: &TaskSpec| {
+        let p = s.curve.points().last().expect("non-empty curve");
+        if p.area == 0 {
+            0.0
+        } else {
+            reduction(s) / p.area as f64
+        }
+    };
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by(|&a, &b| {
+        ratio(&specs[b])
+            .partial_cmp(&ratio(&specs[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    greedy_in_order(specs, area_budget, &order)
+}
+
+/// Utilization reduction of a task's best configuration versus software.
+fn reduction(s: &TaskSpec) -> f64 {
+    let best = s.curve.points().last().expect("non-empty curve");
+    (s.curve.base_cycles - best.cycles) as f64 / s.period as f64
+}
+
+/// Visit tasks in `order`; each takes its best configuration fitting the
+/// remaining budget.
+fn greedy_in_order(specs: &[TaskSpec], area_budget: u64, order: &[usize]) -> Assignment {
+    let mut remaining = area_budget;
+    let mut config = vec![0usize; specs.len()];
+    for &i in order {
+        let p = specs[i].curve.best_within(remaining);
+        let j = specs[i]
+            .curve
+            .points()
+            .iter()
+            .position(|q| q == p)
+            .unwrap_or(0);
+        config[i] = j;
+        remaining -= specs[i].curve.points()[j].area;
+    }
+    Assignment { config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::select_edf;
+    use rtise_ise::configs::ConfigCurve;
+
+    fn spec(name: &str, base: u64, period: u64, pts: &[(u64, u64)]) -> TaskSpec {
+        TaskSpec::new(ConfigCurve::from_points(name, base, pts), period)
+    }
+
+    /// Fig. 3.2 exactly: all four heuristics fail to reach U ≤ 1 at budget
+    /// 10, while the optimal EDF selection succeeds.
+    #[test]
+    fn all_four_heuristics_fail_the_motivating_example() {
+        let specs = vec![
+            spec("T1", 2, 6, &[(7, 1)]),
+            spec("T2", 3, 8, &[(6, 2)]),
+            spec("T3", 6, 12, &[(4, 5)]),
+        ];
+        let budget = 10;
+
+        // (a) Equal split: 10/3 = 3 per task; no configuration fits.
+        let a = equal_area_split(&specs, budget);
+        assert_eq!(a.config, vec![0, 0, 0]);
+        assert!(a.utilization(&specs) > 1.0);
+
+        // (b) Smallest deadline first: T1 takes its CI (area 7), nothing
+        // else fits. U' = 1/6 + 3/8 + 6/12 = 25/24 > 1.
+        let b = smallest_deadline_first(&specs, budget);
+        assert_eq!(b.config, vec![1, 0, 0]);
+        assert!((b.utilization(&specs) - 25.0 / 24.0).abs() < 1e-12);
+
+        // (c) Highest ΔU first: T1 drops 1/6 (max), takes area 7; rest
+        // cannot fit.
+        let c = highest_reduction_first(&specs, budget);
+        assert_eq!(c.config, vec![1, 0, 0]);
+        assert!(c.utilization(&specs) > 1.0);
+
+        // (d) Highest ΔU/area: T1 again ranks first (1/42 vs 1/48, 1/48).
+        let d = highest_ratio_first(&specs, budget);
+        assert_eq!(d.config, vec![1, 0, 0]);
+        assert!(d.utilization(&specs) > 1.0);
+
+        // (e) The optimal solution reaches exactly U = 1.
+        let e = select_edf(&specs, budget).expect("optimal");
+        assert!(e.schedulable);
+        assert!((e.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heuristics_respect_the_budget() {
+        let specs = vec![
+            spec("a", 10, 20, &[(4, 8), (9, 6)]),
+            spec("b", 10, 25, &[(5, 7), (12, 5)]),
+        ];
+        for budget in [0u64, 4, 9, 30] {
+            for assign in [
+                equal_area_split(&specs, budget),
+                smallest_deadline_first(&specs, budget),
+                highest_reduction_first(&specs, budget),
+                highest_ratio_first(&specs, budget),
+            ] {
+                assert!(assign.total_area(&specs) <= budget, "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_optimum() {
+        let specs = vec![
+            spec("a", 12, 24, &[(3, 10), (8, 7)]),
+            spec("b", 9, 18, &[(5, 6), (7, 5)]),
+            spec("c", 6, 30, &[(2, 5)]),
+        ];
+        for budget in [0u64, 5, 8, 12, 20] {
+            let opt = select_edf(&specs, budget).expect("optimal").utilization;
+            for assign in [
+                equal_area_split(&specs, budget),
+                smallest_deadline_first(&specs, budget),
+                highest_reduction_first(&specs, budget),
+                highest_ratio_first(&specs, budget),
+            ] {
+                assert!(assign.utilization(&specs) >= opt - 1e-12, "budget {budget}");
+            }
+        }
+    }
+}

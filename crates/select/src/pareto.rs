@@ -1,0 +1,460 @@
+//! Chapter 4: exact and ε-approximate Pareto fronts for custom-instruction
+//! selection.
+//!
+//! Two stages (Fig. 4.3):
+//!
+//! 1. **Intra-task** — given a library of independent custom instructions,
+//!    each with a workload reduction `δ` and an area cost `a`, compute the
+//!    workload–area Pareto curve ([`exact_pareto`]) or its ε-approximation
+//!    ([`eps_pareto`]).
+//! 2. **Inter-task** — given each task's curve, compute the
+//!    utilization–area Pareto curve for the whole set
+//!    ([`exact_pareto_groups`], [`eps_pareto_groups`]), where one point per
+//!    task is chosen and values/costs add.
+//!
+//! The approximation scheme follows Papadimitriou–Yannakakis via the GAP
+//! subroutine (§4.2.1.1): the cost axis is partitioned geometrically with
+//! ratio `1 + ε′` where `ε′ = √(1+ε) − 1`; each grid coordinate `b` is
+//! solved by a knapsack DP over costs *scaled* to `a′ = ⌈a·r/b⌉` with
+//! `r = ⌈n(1+ε′)/ε′⌉`, which is what makes the whole scheme polynomial in
+//! `n` and `1/ε`. Every exact point is matched by an approximate point within a
+//! `(1+ε)` factor on both axes ([`is_eps_cover`]).
+
+/// One selectable custom instruction in the intra-task stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item {
+    /// Workload reduction `δ` (cycles saved) if selected.
+    pub delta: u64,
+    /// Silicon area cost `a`.
+    pub area: u64,
+}
+
+/// A point on a (value, cost) trade-off curve. Both coordinates are
+/// minimized: `value` is remaining workload or utilization demand, `cost`
+/// is silicon area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ParetoPoint {
+    /// Cost (area).
+    pub cost: u64,
+    /// Value (workload / scaled utilization demand).
+    pub value: u64,
+}
+
+/// Removes dominated points; result is ascending in cost with strictly
+/// decreasing value.
+pub fn pareto_filter(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    points.sort();
+    let mut out: Vec<ParetoPoint> = Vec::new();
+    for p in points {
+        match out.last() {
+            Some(last) if p.value >= last.value => {}
+            _ => out.push(p),
+        }
+    }
+    out
+}
+
+/// Exact workload–area Pareto curve: all undominated `(Σa, E − Σδ)` points
+/// over subsets of `items` (the DP of §4.2.1, realized as undominated-state
+/// merging).
+pub fn exact_pareto(base_value: u64, items: &[Item]) -> Vec<ParetoPoint> {
+    let mut states = vec![ParetoPoint {
+        cost: 0,
+        value: base_value,
+    }];
+    for it in items {
+        let mut next = states.clone();
+        next.extend(states.iter().map(|p| ParetoPoint {
+            cost: p.cost + it.area,
+            value: p.value.saturating_sub(it.delta),
+        }));
+        states = pareto_filter(next);
+    }
+    states
+}
+
+/// Solves one GAP coordinate: minimize remaining workload over selections
+/// whose *scaled* cost `Σ ⌈aⱼ·r/b⌉ ≤ r`; returns the solution's real cost
+/// and value.
+fn gap_knapsack(base_value: u64, items: &[Item], b: u64, r: u64) -> ParetoPoint {
+    let r = r as usize;
+    // dp[s] = max achievable delta with scaled cost exactly ≤ s.
+    let mut dp = vec![0u64; r + 1];
+    let mut keep = vec![vec![false; r + 1]; items.len()];
+    for (i, it) in items.iter().enumerate() {
+        let scaled = if it.area == 0 {
+            0
+        } else {
+            it.area
+                .saturating_mul(r as u64)
+                .div_ceil(b)
+        } as usize;
+        if scaled > r {
+            continue;
+        }
+        for s in (scaled..=r).rev() {
+            let cand = dp[s - scaled] + it.delta;
+            if cand > dp[s] {
+                dp[s] = cand;
+                keep[i][s] = true;
+            }
+        }
+    }
+    // Reconstruct the selection at the full scaled budget.
+    let mut s = r;
+    let mut real_cost = 0u64;
+    let mut delta = 0u64;
+    for (i, it) in items.iter().enumerate().rev() {
+        if keep[i][s] {
+            let scaled = if it.area == 0 {
+                0
+            } else {
+                it.area.saturating_mul(r as u64).div_ceil(b)
+            } as usize;
+            real_cost += it.area;
+            delta += it.delta;
+            s -= scaled;
+        }
+    }
+    debug_assert_eq!(delta, dp[r]);
+    ParetoPoint {
+        cost: real_cost,
+        value: base_value.saturating_sub(dp[r]),
+    }
+}
+
+/// The grid of cost coordinates: geometric with ratio `1 + ε′` from 1 past
+/// `total·(1+ε′)²`. The overshoot matters: a solution of cost `c` is only
+/// guaranteed to survive cost scaling at coordinates `b ≥ c·(1+ε′)`
+/// (property (b) of the GAP reduction), so the most expensive exact point
+/// needs a coordinate beyond the raw total.
+fn cost_grid(total: u64, eps_prime: f64) -> Vec<u64> {
+    let limit = (total.max(1) as f64) * (1.0 + eps_prime) * (1.0 + eps_prime);
+    let mut grid = vec![];
+    let mut b = 1f64;
+    while b < limit {
+        grid.push(b.ceil() as u64);
+        b *= 1.0 + eps_prime;
+    }
+    grid.push(limit.ceil() as u64);
+    grid.dedup();
+    grid
+}
+
+/// ε-approximate workload–area Pareto curve (§4.2.1.1, Algorithm 3).
+///
+/// Every point of [`exact_pareto`] is within a `(1+ε)` factor on both axes
+/// of some returned point. Runs in time polynomial in `items.len()` and
+/// `1/ε`.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`.
+pub fn eps_pareto(base_value: u64, items: &[Item], eps: f64) -> Vec<ParetoPoint> {
+    assert!(eps > 0.0, "epsilon must be positive");
+    let eps_prime = (1.0 + eps).sqrt() - 1.0;
+    // r must absorb one unit of ceiling round-up per selected item:
+    // property (b) needs Σ⌈aⱼ·r/b⌉ ≤ r/(1+ε′) + n ≤ r, i.e.
+    // r ≥ n(1+ε′)/ε′ — the bare n/ε′ of the proof sketch is not enough.
+    let r = ((items.len() as f64) * (1.0 + eps_prime) / eps_prime)
+        .ceil()
+        .max(1.0) as u64;
+    let total: u64 = items.iter().map(|i| i.area).sum::<u64>().max(1);
+    let mut points = vec![ParetoPoint {
+        cost: 0,
+        value: base_value,
+    }];
+    for b in cost_grid(total, eps_prime) {
+        points.push(gap_knapsack(base_value, items, b, r));
+    }
+    pareto_filter(points)
+}
+
+/// Exact Pareto curve over *groups*: choose exactly one option per group;
+/// values and costs add. Groups model tasks, options model their
+/// workload–area configurations (always include a zero-cost software
+/// option).
+pub fn exact_pareto_groups(groups: &[Vec<ParetoPoint>]) -> Vec<ParetoPoint> {
+    let mut states = vec![ParetoPoint { cost: 0, value: 0 }];
+    for g in groups {
+        let mut next = Vec::with_capacity(states.len() * g.len());
+        for s in &states {
+            for o in g {
+                next.push(ParetoPoint {
+                    cost: s.cost + o.cost,
+                    value: s.value.saturating_add(o.value),
+                });
+            }
+        }
+        states = pareto_filter(next);
+    }
+    states
+}
+
+/// Solves one GAP coordinate for the group (choose-one-per-group) problem.
+fn gap_groups(groups: &[Vec<ParetoPoint>], b: u64, r: u64) -> Option<ParetoPoint> {
+    let r = r as usize;
+    let scaled = |cost: u64| -> usize {
+        if cost == 0 {
+            0
+        } else {
+            cost.saturating_mul(r as u64).div_ceil(b) as usize
+        }
+    };
+    const INF: u64 = u64::MAX / 2;
+    let mut dp = vec![INF; r + 1];
+    dp[0] = 0;
+    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut next = vec![INF; r + 1];
+        let mut ch = vec![usize::MAX; r + 1];
+        for s in 0..=r {
+            for (oi, o) in g.iter().enumerate() {
+                let sc = scaled(o.cost);
+                if sc > s || dp[s - sc] == INF {
+                    continue;
+                }
+                let v = dp[s - sc].saturating_add(o.value);
+                if v < next[s] {
+                    next[s] = v;
+                    ch[s] = oi;
+                }
+            }
+        }
+        dp = next;
+        choice.push(ch);
+    }
+    // Best value at any scaled cost ≤ r.
+    let (mut s, _) = dp
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != INF)
+        .min_by_key(|(s, &v)| (v, *s))?;
+    let mut real_cost = 0u64;
+    let mut value = 0u64;
+    for (gi, g) in groups.iter().enumerate().rev() {
+        let oi = choice[gi][s];
+        if oi == usize::MAX {
+            return None;
+        }
+        let o = &g[oi];
+        real_cost += o.cost;
+        value += o.value;
+        s -= scaled(o.cost);
+    }
+    Some(ParetoPoint {
+        cost: real_cost,
+        value,
+    })
+}
+
+/// ε-approximate utilization–area Pareto curve for the inter-task stage.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0` or any group is empty.
+pub fn eps_pareto_groups(groups: &[Vec<ParetoPoint>], eps: f64) -> Vec<ParetoPoint> {
+    assert!(eps > 0.0, "epsilon must be positive");
+    assert!(groups.iter().all(|g| !g.is_empty()), "empty group");
+    let eps_prime = (1.0 + eps).sqrt() - 1.0;
+    let n: usize = groups.len();
+    // See eps_pareto: r ≥ n(1+ε′)/ε′ so per-group ceiling round-up cannot
+    // break the scaled-feasibility guarantee.
+    let r = ((n as f64) * (1.0 + eps_prime) / eps_prime).ceil().max(1.0) as u64;
+    let total: u64 = groups
+        .iter()
+        .map(|g| g.iter().map(|o| o.cost).max().unwrap_or(0))
+        .sum::<u64>()
+        .max(1);
+    let mut points = Vec::new();
+    // The zero-cost point: cheapest option per group.
+    points.push(ParetoPoint {
+        cost: groups.iter().map(|g| g.iter().map(|o| o.cost).min().unwrap_or(0)).sum(),
+        value: groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .filter(|o| o.cost == g.iter().map(|x| x.cost).min().unwrap_or(0))
+                    .map(|o| o.value)
+                    .min()
+                    .unwrap_or(0)
+            })
+            .sum(),
+    });
+    for b in cost_grid(total, eps_prime) {
+        if let Some(p) = gap_groups(groups, b, r) {
+            points.push(p);
+        }
+    }
+    pareto_filter(points)
+}
+
+/// Whether `approx` ε-covers `exact`: for every exact point there is an
+/// approximate point within `(1+ε)` on both axes (the defining property of
+/// an ε-Pareto curve).
+pub fn is_eps_cover(exact: &[ParetoPoint], approx: &[ParetoPoint], eps: f64) -> bool {
+    exact.iter().all(|e| {
+        approx.iter().any(|a| {
+            a.cost as f64 <= (1.0 + eps) * e.cost as f64 + 1e-9
+                && a.value as f64 <= (1.0 + eps) * e.value as f64 + 1e-9
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fig_4_1_intra_task_curve() {
+        // T1: E = 10, CIs (δ=2, a=30) and (δ=3, a=60).
+        let items = [
+            Item { delta: 2, area: 30 },
+            Item { delta: 3, area: 60 },
+        ];
+        let curve = exact_pareto(10, &items);
+        assert_eq!(
+            curve,
+            vec![
+                ParetoPoint { cost: 0, value: 10 },
+                ParetoPoint { cost: 30, value: 8 },
+                ParetoPoint { cost: 60, value: 7 },
+                ParetoPoint { cost: 90, value: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn fig_4_1_inter_task_curve() {
+        // Workload-area options for T1 (P=20) and T2 (P=20), values scaled
+        // to demand over hyperperiod 20: value = cycles.
+        let t1 = vec![
+            ParetoPoint { cost: 0, value: 10 },
+            ParetoPoint { cost: 30, value: 8 },
+            ParetoPoint { cost: 60, value: 7 },
+            ParetoPoint { cost: 90, value: 5 },
+        ];
+        // T2: E = 15, CIs (δ=2,a=10)... constructed to yield the paper's
+        // curve: options at (0,15),(10,14),(30,13),(50,12),(80,10).
+        let t2 = vec![
+            ParetoPoint { cost: 0, value: 15 },
+            ParetoPoint { cost: 10, value: 14 },
+            ParetoPoint { cost: 30, value: 13 },
+            ParetoPoint { cost: 50, value: 12 },
+            ParetoPoint { cost: 80, value: 10 },
+        ];
+        let curve = exact_pareto_groups(&[t1, t2]);
+        // Without customization U = (10+15)/20 = 5/4 > 1; the curve exposes
+        // schedulable points (value ≤ 20 means U ≤ 1).
+        assert_eq!(curve.first().map(|p| p.value), Some(25));
+        assert!(curve.iter().any(|p| p.value <= 20));
+        // Strictly descending values, ascending costs.
+        for w in curve.windows(2) {
+            assert!(w[1].cost > w[0].cost && w[1].value < w[0].value);
+        }
+    }
+
+    #[test]
+    fn eps_curve_covers_exact_curve() {
+        let mut rng = StdRng::seed_from_u64(0x9a9);
+        for case in 0..30 {
+            let n = rng.gen_range(1..=20usize);
+            let items: Vec<Item> = (0..n)
+                .map(|_| Item {
+                    delta: rng.gen_range(1..50),
+                    area: rng.gen_range(1..2_000),
+                })
+                .collect();
+            let base = rng.gen_range(200..900);
+            let exact = exact_pareto(base, &items);
+            for eps in [0.21, 0.44, 0.69, 3.0] {
+                let approx = eps_pareto(base, &items, eps);
+                assert!(
+                    is_eps_cover(&exact, &approx, eps),
+                    "case {case} eps {eps}: {exact:?} vs {approx:?}"
+                );
+                assert!(approx.len() <= exact.len());
+            }
+        }
+    }
+
+    #[test]
+    fn eps_groups_cover_exact_groups() {
+        let mut rng = StdRng::seed_from_u64(0x61);
+        for case in 0..15 {
+            let g = rng.gen_range(1..=9usize);
+            let groups: Vec<Vec<ParetoPoint>> = (0..g)
+                .map(|_| {
+                    let mut opts = vec![ParetoPoint {
+                        cost: 0,
+                        value: rng.gen_range(50..100),
+                    }];
+                    let mut v = opts[0].value;
+                    let mut c = 0;
+                    for _ in 0..rng.gen_range(0..4) {
+                        c += rng.gen_range(1..40);
+                        v = v.saturating_sub(rng.gen_range(1..20)).max(1);
+                        opts.push(ParetoPoint { cost: c, value: v });
+                    }
+                    opts
+                })
+                .collect();
+            let exact = exact_pareto_groups(&groups);
+            for eps in [0.44, 3.0] {
+                let approx = eps_pareto_groups(&groups, eps);
+                assert!(
+                    is_eps_cover(&exact, &approx, eps),
+                    "case {case} eps {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_is_never_better_than_exact_at_same_cost() {
+        let items: Vec<Item> = (0..10)
+            .map(|i| Item {
+                delta: (i + 1) * 3,
+                area: (i + 2) * 5,
+            })
+            .collect();
+        let exact = exact_pareto(500, &items);
+        let approx = eps_pareto(500, &items, 0.69);
+        for a in &approx {
+            // There must be an exact point at least as good.
+            assert!(
+                exact
+                    .iter()
+                    .any(|e| e.cost <= a.cost && e.value <= a.value),
+                "{a:?} beats the exact front"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_filter_removes_dominated() {
+        let pts = vec![
+            ParetoPoint { cost: 5, value: 5 },
+            ParetoPoint { cost: 5, value: 4 },
+            ParetoPoint { cost: 0, value: 10 },
+            ParetoPoint { cost: 7, value: 4 }, // dominated by (5,4)
+            ParetoPoint { cost: 9, value: 1 },
+        ];
+        assert_eq!(
+            pareto_filter(pts),
+            vec![
+                ParetoPoint { cost: 0, value: 10 },
+                ParetoPoint { cost: 5, value: 4 },
+                ParetoPoint { cost: 9, value: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_eps_rejected() {
+        let _ = eps_pareto(10, &[], 0.0);
+    }
+}

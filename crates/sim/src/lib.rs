@@ -1,0 +1,606 @@
+//! # rtise-sim
+//!
+//! Executable semantics for [`rtise_ir::Program`]s: a single-issue in-order
+//! interpreter with a cycle model, a profiler, and custom-instruction-aware
+//! re-timing.
+//!
+//! The paper's flow profiles each task on representative inputs to obtain
+//! basic-block execution frequencies and hot-loop traces (§2.2, §6.1), and
+//! evaluates custom instructions by replacing covered operation subgraphs
+//! with single multi-cycle instructions. This crate supplies all three
+//! observables:
+//!
+//! * [`Simulator::run`] executes a program and returns cycle count, final
+//!   variable/memory state, per-block execution counts and (optionally) the
+//!   full block trace;
+//! * [`CiMap`] describes selected custom instructions per block;
+//!   [`Simulator::run_with_cis`] re-times the same execution with covered
+//!   operations folded into their custom instructions (results are bit-exact,
+//!   only timing changes);
+//! * [`loop_entry_trace`] turns a block trace into the loop-header entry
+//!   sequence consumed by the runtime-reconfiguration partitioner.
+//!
+//! # Example
+//!
+//! ```
+//! use rtise_ir::{BasicBlock, Dfg, OpKind, Program, Terminator, BlockId};
+//! use rtise_sim::Simulator;
+//!
+//! // var0 = var0 * 3 + 1
+//! let mut dfg = Dfg::new();
+//! let x = dfg.input(0);
+//! let m = dfg.bin_imm(OpKind::Mul, x, 3);
+//! let r = dfg.bin_imm(OpKind::Add, m, 1);
+//! dfg.output(0, r);
+//! let mut p = Program::new("affine", 1, 0);
+//! p.add_block(BasicBlock { name: "b".into(), dfg, terminator: Terminator::Return });
+//!
+//! let sim = Simulator::new(&p)?;
+//! let out = sim.run(&[5], &[])?;
+//! assert_eq!(out.vars[0], 16);
+//! assert_eq!(out.cycles, 3 + 1 + 1); // mul + add + return
+//! # Ok::<(), rtise_sim::SimError>(())
+//! ```
+
+use rtise_ir::cfg::{BlockId, Cfg, Program, Terminator, ValidateProgramError};
+use rtise_ir::nodeset::NodeSet;
+use rtise_ir::op::OpKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program failed structural validation.
+    Validate(ValidateProgramError),
+    /// A load or store addressed memory outside `Program::mem_size`.
+    MemOutOfBounds {
+        /// Block performing the access.
+        block: BlockId,
+        /// The out-of-range address.
+        addr: i64,
+    },
+    /// Execution exceeded the configured block-step limit (runaway loop).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Initial variable/memory images have the wrong length.
+    BadInitialState,
+    /// A [`CiMap`] entry is malformed (overlapping or infeasible subgraphs).
+    BadCiMap {
+        /// Block whose custom-instruction list is malformed.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Validate(e) => write!(f, "invalid program: {e}"),
+            SimError::MemOutOfBounds { block, addr } => {
+                write!(f, "block {} accessed out-of-range address {addr}", block.0)
+            }
+            SimError::StepLimit { limit } => write!(f, "exceeded step limit of {limit} blocks"),
+            SimError::BadInitialState => write!(f, "initial state has wrong dimensions"),
+            SimError::BadCiMap { block } => {
+                write!(f, "malformed custom-instruction map for block {}", block.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ValidateProgramError> for SimError {
+    fn from(e: ValidateProgramError) -> Self {
+        SimError::Validate(e)
+    }
+}
+
+/// One selected custom instruction inside a block: the covered node set and
+/// its hardware execution cycles.
+#[derive(Debug, Clone)]
+pub struct SelectedCi {
+    /// Covered DFG nodes of the owning block.
+    pub nodes: NodeSet,
+    /// Execution cycles of the custom instruction.
+    pub cycles: u64,
+}
+
+/// Selected custom instructions per basic block.
+///
+/// Used by [`Simulator::run_with_cis`] to re-time execution: every covered
+/// operation contributes zero software cycles and each custom instruction
+/// contributes its own `cycles` per block execution.
+#[derive(Debug, Clone, Default)]
+pub struct CiMap {
+    per_block: HashMap<BlockId, Vec<SelectedCi>>,
+}
+
+impl CiMap {
+    /// An empty map (pure-software execution).
+    pub fn new() -> Self {
+        CiMap::default()
+    }
+
+    /// Adds a custom instruction to `block`.
+    pub fn add(&mut self, block: BlockId, ci: SelectedCi) {
+        self.per_block.entry(block).or_default().push(ci);
+    }
+
+    /// The custom instructions of `block`, if any.
+    pub fn block_cis(&self, block: BlockId) -> &[SelectedCi] {
+        self.per_block.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of selected custom instructions.
+    pub fn len(&self) -> usize {
+        self.per_block.values().map(Vec::len).sum()
+    }
+
+    /// Whether no custom instruction is selected.
+    pub fn is_empty(&self) -> bool {
+        self.per_block.is_empty()
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total execution cycles under the cycle model.
+    pub cycles: u64,
+    /// Final variable file.
+    pub vars: Vec<i64>,
+    /// Final memory image.
+    pub mem: Vec<i64>,
+    /// Execution count per basic block (the profile of §2.2).
+    pub block_counts: Vec<u64>,
+    /// Full block trace, present only when enabled via
+    /// [`Simulator::with_trace`].
+    pub trace: Option<Vec<BlockId>>,
+}
+
+/// An interpreter for one program.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    step_limit: u64,
+    record_trace: bool,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator after validating the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Validate`] if the program is malformed.
+    pub fn new(program: &'p Program) -> Result<Self, SimError> {
+        program.validate()?;
+        Ok(Simulator {
+            program,
+            step_limit: 100_000_000,
+            record_trace: false,
+        })
+    }
+
+    /// Sets the maximum number of executed blocks before aborting.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Enables recording of the full block trace.
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Runs the program in pure software.
+    ///
+    /// `vars` and `mem` initialize the variable file and memory; shorter
+    /// images are zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(&self, vars: &[i64], mem: &[i64]) -> Result<RunResult, SimError> {
+        self.run_with_cis(vars, mem, &CiMap::new())
+    }
+
+    /// Runs the program with the given custom instructions applied.
+    ///
+    /// Functional results are identical to [`Simulator::run`]; only the cycle
+    /// accounting changes: nodes covered by a [`SelectedCi`] cost nothing in
+    /// software and each custom instruction adds its `cycles` every time the
+    /// block executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadCiMap`] if custom instructions within one
+    /// block overlap or cover invalid operations, plus all [`SimError`]
+    /// run-time conditions.
+    pub fn run_with_cis(
+        &self,
+        vars: &[i64],
+        mem: &[i64],
+        cis: &CiMap,
+    ) -> Result<RunResult, SimError> {
+        let p = self.program;
+        if vars.len() > p.n_vars || mem.len() > p.mem_size {
+            return Err(SimError::BadInitialState);
+        }
+        // Pre-compute the per-block cycle cost under the CI map.
+        let mut block_cost = Vec::with_capacity(p.blocks.len());
+        for b in p.block_ids() {
+            block_cost.push(self.block_cycles(b, cis)?);
+        }
+
+        let mut var_file = vec![0i64; p.n_vars];
+        var_file[..vars.len()].copy_from_slice(vars);
+        let mut memory = vec![0i64; p.mem_size];
+        memory[..mem.len()].copy_from_slice(mem);
+
+        let mut counts = vec![0u64; p.blocks.len()];
+        let mut trace = self.record_trace.then(Vec::new);
+        let mut cycles: u64 = 0;
+        let mut steps: u64 = 0;
+        let mut values: Vec<i64> = Vec::new();
+        let mut cur = p.entry;
+        loop {
+            steps += 1;
+            if steps > self.step_limit {
+                return Err(SimError::StepLimit {
+                    limit: self.step_limit,
+                });
+            }
+            counts[cur.0] += 1;
+            if let Some(t) = trace.as_mut() {
+                t.push(cur);
+            }
+            cycles += block_cost[cur.0];
+
+            let bb = p.block(cur);
+            values.clear();
+            values.resize(bb.dfg.len(), 0);
+            for id in bb.dfg.ids() {
+                let node = bb.dfg.node_ref(id);
+                let v = match node.kind() {
+                    OpKind::Const => node.const_value(),
+                    OpKind::Input => var_file[node.slot()],
+                    OpKind::Output => {
+                        let v = values[node.args()[0].0];
+                        var_file[node.slot()] = v;
+                        v
+                    }
+                    OpKind::Load => {
+                        let addr = values[node.args()[0].0];
+                        *memory
+                            .get(addr as usize)
+                            .ok_or(SimError::MemOutOfBounds { block: cur, addr })?
+                    }
+                    OpKind::Store => {
+                        let addr = values[node.args()[0].0];
+                        let val = values[node.args()[1].0];
+                        let cell = memory
+                            .get_mut(addr as usize)
+                            .ok_or(SimError::MemOutOfBounds { block: cur, addr })?;
+                        *cell = val;
+                        val
+                    }
+                    k => {
+                        let args: Vec<i64> = node.args().iter().map(|a| values[a.0]).collect();
+                        k.eval(&args)
+                    }
+                };
+                values[id.0] = v;
+            }
+
+            cur = match bb.terminator {
+                Terminator::Jump(b) => b,
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
+                    if var_file[cond] != 0 {
+                        then_block
+                    } else {
+                        else_block
+                    }
+                }
+                Terminator::Return => {
+                    return Ok(RunResult {
+                        cycles,
+                        vars: var_file,
+                        mem: memory,
+                        block_counts: counts,
+                        trace,
+                    });
+                }
+            };
+        }
+    }
+
+    /// Cycle cost of one execution of `block` under `cis`.
+    fn block_cycles(&self, block: BlockId, cis: &CiMap) -> Result<u64, SimError> {
+        let bb = self.program.block(block);
+        let selected = cis.block_cis(block);
+        let mut covered = bb.dfg.empty_set();
+        let mut cost = bb.terminator.cost();
+        for ci in selected {
+            if ci.nodes.capacity() != bb.dfg.len()
+                || ci.nodes.intersects(&covered)
+                || ci.nodes.iter().any(|n| !bb.dfg.kind(n).is_ci_valid())
+            {
+                return Err(SimError::BadCiMap { block });
+            }
+            covered.union_with(&ci.nodes);
+            cost += ci.cycles;
+        }
+        for id in bb.dfg.ids() {
+            if !covered.contains(id) {
+                cost += bb.dfg.kind(id).sw_latency();
+            }
+        }
+        Ok(cost)
+    }
+}
+
+/// Converts a block trace into the sequence of *loop entries*: one event per
+/// transition from outside a loop to its header.
+///
+/// This is the "hot loop trace" consumed by the runtime-reconfiguration
+/// partitioner (§6.1); consecutive iterations of the same loop produce a
+/// single event. Only innermost-loop entries are reported, matching the
+/// paper's loop-level granularity.
+pub fn loop_entry_trace(program: &Program, trace: &[BlockId]) -> Vec<BlockId> {
+    let cfg = Cfg::analyze(program);
+    let loops = cfg.loops();
+    // Innermost loop membership per block.
+    let mut member: Vec<Option<usize>> = vec![None; program.blocks.len()];
+    for (i, l) in loops.iter().enumerate() {
+        for &b in &l.blocks {
+            match member[b.0] {
+                Some(j) if loops[j].depth >= l.depth => {}
+                _ => member[b.0] = Some(i),
+            }
+        }
+    }
+    let mut events = Vec::new();
+    let mut prev: Option<usize> = None;
+    for &b in trace {
+        let cur = member[b.0];
+        if let Some(i) = cur {
+            if prev != Some(i) && b == loops[i].header {
+                events.push(loops[i].header);
+            }
+        }
+        prev = cur;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ir::cfg::BasicBlock;
+    use rtise_ir::dfg::Dfg;
+    use rtise_ir::HwModel;
+
+    /// sum = Σ_{i<n} (i*3+1), via a counted loop.
+    fn sum_program() -> Program {
+        let mut p = Program::new("sum", 4, 0); // 0:i 1:n 2:sum 3:cond
+        let mut entry = Dfg::new();
+        let z = entry.imm(0);
+        entry.output(0, z);
+        entry.output(2, z);
+        p.add_block(BasicBlock {
+            name: "entry".into(),
+            dfg: entry,
+            terminator: Terminator::Jump(BlockId(1)),
+        });
+        let mut hdr = Dfg::new();
+        let i = hdr.input(0);
+        let n = hdr.input(1);
+        let c = hdr.bin(OpKind::Lt, i, n);
+        hdr.output(3, c);
+        p.add_block(BasicBlock {
+            name: "header".into(),
+            dfg: hdr,
+            terminator: Terminator::Branch {
+                cond: 3,
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+        });
+        let mut body = Dfg::new();
+        let i = body.input(0);
+        let s = body.input(2);
+        let m = body.bin_imm(OpKind::Mul, i, 3);
+        let a = body.bin_imm(OpKind::Add, m, 1);
+        let s2 = body.bin(OpKind::Add, s, a);
+        let i2 = body.bin_imm(OpKind::Add, i, 1);
+        body.output(2, s2);
+        body.output(0, i2);
+        p.add_block(BasicBlock {
+            name: "body".into(),
+            dfg: body,
+            terminator: Terminator::Jump(BlockId(1)),
+        });
+        let mut exit = Dfg::new();
+        let d = exit.imm(0);
+        exit.output(3, d);
+        p.add_block(BasicBlock {
+            name: "exit".into(),
+            dfg: exit,
+            terminator: Terminator::Return,
+        });
+        p.set_loop_bound(BlockId(1), 1000);
+        p
+    }
+
+    #[test]
+    fn computes_correct_sum() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        let out = sim.run(&[0, 10], &[]).expect("run");
+        let want: i64 = (0..10).map(|i| i * 3 + 1).sum();
+        assert_eq!(out.vars[2], want);
+        assert_eq!(out.block_counts, vec![1, 11, 10, 1]);
+    }
+
+    #[test]
+    fn cycle_count_matches_block_costs() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        let out = sim.run(&[0, 10], &[]).expect("run");
+        let by_blocks: u64 = p
+            .block_ids()
+            .map(|b| out.block_counts[b.0] * p.block(b).cost())
+            .sum();
+        assert_eq!(out.cycles, by_blocks);
+    }
+
+    #[test]
+    fn custom_instruction_speeds_up_but_preserves_result() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        let sw = sim.run(&[0, 50], &[]).expect("sw run");
+
+        // Cover the whole valid region of the loop body as one CI.
+        let body = &p.block(BlockId(2)).dfg;
+        let set = body.full_valid_set();
+        assert!(body.is_feasible_ci(&set, 4, 2));
+        let hw = HwModel::default();
+        let mut cis = CiMap::new();
+        cis.add(
+            BlockId(2),
+            SelectedCi {
+                nodes: set.clone(),
+                cycles: hw.ci_cycles(body, &set),
+            },
+        );
+        let acc = sim.run_with_cis(&[0, 50], &[], &cis).expect("hw run");
+        assert_eq!(acc.vars, sw.vars, "results must be bit-exact");
+        assert!(acc.cycles < sw.cycles, "CI must save cycles");
+        // Saved cycles = gain * body executions.
+        let gain = hw.ci_gain(body, &set);
+        assert_eq!(sw.cycles - acc.cycles, gain * sw.block_counts[2]);
+    }
+
+    #[test]
+    fn overlapping_cis_rejected() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        let body = &p.block(BlockId(2)).dfg;
+        let set = body.full_valid_set();
+        let mut cis = CiMap::new();
+        cis.add(
+            BlockId(2),
+            SelectedCi {
+                nodes: set.clone(),
+                cycles: 1,
+            },
+        );
+        cis.add(
+            BlockId(2),
+            SelectedCi {
+                nodes: set,
+                cycles: 1,
+            },
+        );
+        assert_eq!(
+            sim.run_with_cis(&[0, 5], &[], &cis),
+            Err(SimError::BadCiMap { block: BlockId(2) })
+        );
+    }
+
+    #[test]
+    fn step_limit_catches_runaway() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid").with_step_limit(5);
+        assert_eq!(sim.run(&[0, 100], &[]), Err(SimError::StepLimit { limit: 5 }));
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        let mut p = Program::new("oob", 1, 4);
+        let mut dfg = Dfg::new();
+        let a = dfg.imm(99);
+        let l = dfg.un(OpKind::Load, a);
+        dfg.output(0, l);
+        p.add_block(BasicBlock {
+            name: "b".into(),
+            dfg,
+            terminator: Terminator::Return,
+        });
+        let sim = Simulator::new(&p).expect("valid");
+        assert_eq!(
+            sim.run(&[], &[]),
+            Err(SimError::MemOutOfBounds {
+                block: BlockId(0),
+                addr: 99
+            })
+        );
+    }
+
+    #[test]
+    fn memory_store_then_load_roundtrips() {
+        let mut p = Program::new("mem", 1, 8);
+        let mut dfg = Dfg::new();
+        let a = dfg.imm(3);
+        let v = dfg.imm(1234);
+        dfg.node(
+            OpKind::Store,
+            &[
+                rtise_ir::dfg::Operand::Node(a),
+                rtise_ir::dfg::Operand::Node(v),
+            ],
+        );
+        let l = dfg.un(OpKind::Load, a);
+        dfg.output(0, l);
+        p.add_block(BasicBlock {
+            name: "b".into(),
+            dfg,
+            terminator: Terminator::Return,
+        });
+        let sim = Simulator::new(&p).expect("valid");
+        let out = sim.run(&[], &[]).expect("run");
+        assert_eq!(out.vars[0], 1234);
+        assert_eq!(out.mem[3], 1234);
+    }
+
+    #[test]
+    fn trace_records_block_sequence_and_loop_entries() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid").with_trace(true);
+        let out = sim.run(&[0, 3], &[]).expect("run");
+        let trace = out.trace.expect("trace enabled");
+        assert_eq!(trace[0], BlockId(0));
+        assert_eq!(trace.last(), Some(&BlockId(3)));
+        let entries = loop_entry_trace(&p, &trace);
+        assert_eq!(entries, vec![BlockId(1)], "one loop entry event");
+    }
+
+    #[test]
+    fn wcet_bounds_simulated_cycles() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        let out = sim.run(&[0, 1000], &[]).expect("run");
+        let wcet = rtise_ir::wcet::analyze(&p).expect("wcet").wcet;
+        assert!(wcet >= out.cycles, "WCET {wcet} < observed {}", out.cycles);
+    }
+
+    #[test]
+    fn bad_initial_state_rejected() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        assert_eq!(
+            sim.run(&[0, 0, 0, 0, 0], &[]),
+            Err(SimError::BadInitialState)
+        );
+    }
+}

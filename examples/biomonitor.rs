@@ -1,0 +1,72 @@
+//! Processor customization for wearable bio-monitoring — the Chapter 8
+//! case study.
+//!
+//! Runs the two fixed-point bio-monitoring applications (continuous
+//! vital-sign monitoring from a PPG waveform, accelerometer fall
+//! detection), validates them against their references, customizes each
+//! with the iterative MLGP flow, and reports the achieved speedups
+//! (Fig. 8.4's content).
+//!
+//! Run with: `cargo run --release --example biomonitor`
+
+use rtise::ir::hw::HwModel;
+use rtise::kernels::by_name;
+use rtise::mlgp::{customize_task_set, IterativeOptions};
+use rtise::mlgp::iterative::IterTask;
+use rtise::sim::{CiMap, SelectedCi, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hw = HwModel::default();
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>11}",
+        "application", "sw cycles", "hw cycles", "speedup", "area(cells)"
+    );
+    for name in ["vital_signs", "fall_detection"] {
+        let kernel = by_name(name).expect("kernel exists");
+        let sw = kernel.validate()?;
+
+        // Customize aggressively: a single task, impossible target, so the
+        // iterative flow extracts everything profitable.
+        let wcet = rtise::ir::wcet::analyze(&kernel.program)?.wcet;
+        let tasks = [IterTask {
+            program: &kernel.program,
+            period: wcet,
+        }];
+        let res = customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default())?;
+
+        // Re-run the application with the selected custom instructions and
+        // confirm bit-exact results.
+        let mut cis = CiMap::new();
+        for ci in &res.selected {
+            let dfg = &kernel.program.block(ci.block).dfg;
+            cis.add(
+                ci.block,
+                SelectedCi {
+                    nodes: ci.nodes.clone(),
+                    cycles: hw.ci_cycles(dfg, &ci.nodes),
+                },
+            );
+        }
+        let acc = Simulator::new(&kernel.program)?.run_with_cis(
+            &kernel.init_vars,
+            &kernel.init_mem,
+            &cis,
+        )?;
+        assert_eq!(acc.vars, sw.vars, "customization must not change results");
+        assert_eq!(acc.mem, sw.mem);
+
+        println!(
+            "{name:<16} {:>12} {:>12} {:>8.2}x {:>11}",
+            sw.cycles,
+            acc.cycles,
+            sw.cycles as f64 / acc.cycles as f64,
+            res.total_area
+        );
+    }
+    println!(
+        "\nBoth applications keep their exact fixed-point outputs (peak \
+         counts, fall events) while the hot filter/detection loops collapse \
+         into custom instructions."
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Exact vs ε-approximate Pareto fronts (Chapter 4).
+//!
+//! Computes the workload–area Pareto curve of the g721 decoder exactly and
+//! with the polynomial-time ε-approximation, then the utilization–area
+//! curve of a whole task set, reporting curve sizes and the ε-coverage
+//! guarantee (Fig. 4.4 / Table 4.2's qualitative content).
+//!
+//! Run with: `cargo run --release --example pareto_explorer`
+
+use rtise::fixtures::EPSILONS_TABLE_4_2;
+use rtise::select::pareto::{
+    eps_pareto, eps_pareto_groups, exact_pareto, exact_pareto_groups, is_eps_cover, Item,
+    ParetoPoint,
+};
+use rtise::workbench::{task_curve, task_specs, CurveOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Intra-task stage: g721 decoder. ---
+    let curve = task_curve("g721_decode", CurveOptions::thorough())?;
+    // Each undominated configuration step acts as an independent item.
+    let items: Vec<Item> = curve
+        .points()
+        .windows(2)
+        .map(|w| Item {
+            delta: w[0].cycles - w[1].cycles,
+            area: w[1].area - w[0].area,
+        })
+        .collect();
+    let exact = exact_pareto(curve.base_cycles, &items);
+    println!(
+        "g721_decode workload-area curve: {} exact points (base {} cycles)",
+        exact.len(),
+        curve.base_cycles
+    );
+    for eps in EPSILONS_TABLE_4_2 {
+        let approx = eps_pareto(curve.base_cycles, &items, eps);
+        assert!(is_eps_cover(&exact, &approx, eps));
+        println!(
+            "  eps = {eps:<5}: {} points ({}% of exact), coverage verified",
+            approx.len(),
+            approx.len() * 100 / exact.len().max(1)
+        );
+    }
+
+    // --- Inter-task stage: a five-task set. ---
+    let specs = task_specs(
+        &["crc32", "ndes", "fir", "adpcm_decode", "compress"],
+        1.05,
+        CurveOptions::fast(),
+    )?;
+    // Fixed-point utilization scale (the task periods' LCM is astronomical).
+    const SCALE: u64 = 1 << 32;
+    let h = SCALE;
+    let groups: Vec<Vec<ParetoPoint>> = specs
+        .iter()
+        .map(|s| {
+            let w = (SCALE / s.period).max(1);
+            s.curve
+                .points()
+                .iter()
+                .map(|p| ParetoPoint {
+                    cost: p.area,
+                    value: p.cycles.saturating_mul(w),
+                })
+                .collect()
+        })
+        .collect();
+    let exact = exact_pareto_groups(&groups);
+    println!(
+        "\ntask-set utilization-area curve: {} exact points over hyperperiod {h}",
+        exact.len()
+    );
+    for eps in [0.44, 3.0] {
+        let approx = eps_pareto_groups(&groups, eps);
+        assert!(is_eps_cover(&exact, &approx, eps));
+        let schedulable = approx.iter().filter(|p| p.value <= h).count();
+        println!(
+            "  eps = {eps:<5}: {} points, {} of them schedulable (U <= 1)",
+            approx.len(),
+            schedulable
+        );
+    }
+    println!(
+        "\nLarger eps values trade curve fidelity for orders-of-magnitude \
+         fewer points and faster generation — the designer-facing benefit \
+         argued in §4.3."
+    );
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Cross-algorithm consistency: independent implementations must agree on
+//! the relationships the theory predicts.
+
+use rtise::ise::configs::ConfigCurve;
+use rtise::rt::{rms_schedulable, simulate_rms, SimOutcome};
+use rtise::select::heuristics;
+use rtise::select::rms::{select_rms, SelectRmsError};
+use rtise::select::select_edf;
+use rtise::select::task::TaskSpec;
+
+fn spec(name: &str, base: u64, period: u64, pts: &[(u64, u64)]) -> TaskSpec {
+    TaskSpec::new(ConfigCurve::from_points(name, base, pts), period)
+}
+
+fn synthetic_specs(seed: u64, n: usize) -> Vec<TaskSpec> {
+    // Deterministic xorshift-based task generator.
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    (0..n)
+        .map(|i| {
+            let base = 4 + next() % 24;
+            let n_cfg = (next() % 4) as usize;
+            let mut area = 0;
+            let mut cycles = base;
+            let pts: Vec<(u64, u64)> = (0..n_cfg)
+                .map(|_| {
+                    area += 1 + next() % 12;
+                    cycles = cycles.saturating_sub(1 + next() % (base / 2 + 1)).max(1);
+                    (area, cycles)
+                })
+                .collect();
+            spec(&format!("t{i}"), base, 8 + next() % 40, &pts)
+        })
+        .collect()
+}
+
+/// RMS is strictly harder than EDF: at equal budgets, the RMS optimum's
+/// utilization is never below the EDF optimum's, and any RMS solution is
+/// also EDF-schedulable.
+#[test]
+fn rms_never_beats_edf() {
+    for seed in 1..=25u64 {
+        let specs = synthetic_specs(seed, 3);
+        for budget in [0u64, 8, 20, 100] {
+            let edf = select_edf(&specs, budget).expect("edf");
+            match select_rms(&specs, budget) {
+                Ok(rms) => {
+                    assert!(
+                        rms.utilization >= edf.utilization - 1e-9,
+                        "seed {seed} budget {budget}"
+                    );
+                    let tasks = rms.assignment.to_tasks(&specs);
+                    assert!(rms_schedulable(&tasks));
+                    assert_eq!(simulate_rms(&tasks), SimOutcome::AllDeadlinesMet);
+                    assert!(rms.assignment.utilization(&specs) <= 1.0 + 1e-9);
+                }
+                Err(SelectRmsError::Unschedulable) => {
+                    // Then EDF at this budget either also fails or sits in
+                    // the EDF-only window (RMS stricter).
+                }
+                Err(e) => panic!("seed {seed}: {e}"),
+            }
+        }
+    }
+}
+
+/// No heuristic ever beats the optimal EDF dynamic program.
+#[test]
+fn heuristics_are_dominated_by_the_dp() {
+    for seed in 1..=25u64 {
+        let specs = synthetic_specs(seed * 31, 4);
+        for budget in [0u64, 10, 25, 60] {
+            let opt = select_edf(&specs, budget).expect("edf").utilization;
+            for sol in [
+                heuristics::equal_area_split(&specs, budget),
+                heuristics::smallest_deadline_first(&specs, budget),
+                heuristics::highest_reduction_first(&specs, budget),
+                heuristics::highest_ratio_first(&specs, budget),
+            ] {
+                assert!(sol.total_area(&specs) <= budget);
+                assert!(
+                    sol.utilization(&specs) >= opt - 1e-9,
+                    "seed {seed} budget {budget}"
+                );
+            }
+        }
+    }
+}
+
+/// Chapter 6: the iterative and greedy partitioners never exceed the exact
+/// exhaustive optimum and always respect fabric budgets.
+#[test]
+fn reconfig_algorithms_bounded_by_exhaustive() {
+    use rtise::reconfig::partition::synthetic_problem;
+    use rtise::reconfig::{exhaustive_partition, greedy_partition, iterative_partition};
+    for seed in 1..=10u64 {
+        let p = synthetic_problem(6, seed);
+        let exact = exhaustive_partition(&p);
+        let it = iterative_partition(&p, seed);
+        let gr = greedy_partition(&p);
+        assert!(it.fits(&p) && gr.fits(&p) && exact.fits(&p));
+        assert!(it.net_gain(&p) <= exact.net_gain(&p), "seed {seed}");
+        assert!(gr.net_gain(&p) <= exact.net_gain(&p), "seed {seed}");
+        // Quality: iterative stays near-optimal (Fig. 6.8).
+        assert!(
+            it.net_gain(&p) as f64 >= exact.net_gain(&p) as f64 * 0.85,
+            "seed {seed}: {} vs {}",
+            it.net_gain(&p),
+            exact.net_gain(&p)
+        );
+    }
+}
+
+/// Chapter 4: the ε-Pareto curve of the *composed* two-stage scheme still
+/// covers the exact curve computed in one shot.
+#[test]
+fn two_stage_eps_scheme_composes() {
+    use rtise::select::pareto::{
+        eps_pareto, eps_pareto_groups, exact_pareto, exact_pareto_groups, is_eps_cover,
+        Item, ParetoPoint,
+    };
+    let mut state = 0xabcdefu64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for _case in 0..10 {
+        let eps1 = 0.21;
+        let eps2 = 0.44;
+        // Two tasks with random CI libraries.
+        let mut exact_groups = Vec::new();
+        let mut approx_groups = Vec::new();
+        for _t in 0..2 {
+            let n = 2 + (next() % 6) as usize;
+            let items: Vec<Item> = (0..n)
+                .map(|_| Item {
+                    delta: 1 + next() % 20,
+                    area: 1 + next() % 30,
+                })
+                .collect();
+            let base = 100 + next() % 100;
+            exact_groups.push(exact_pareto(base, &items));
+            approx_groups.push(eps_pareto(base, &items, eps1));
+        }
+        let exact = exact_pareto_groups(&exact_groups);
+        let approx = eps_pareto_groups(&approx_groups, eps2);
+        // Composed guarantee: (1+eps1)(1+eps2) - 1.
+        let eps_total = (1.0 + eps1) * (1.0 + eps2) - 1.0;
+        assert!(
+            is_eps_cover(&exact, &approx, eps_total),
+            "exact {exact:?} approx {approx:?}"
+        );
+        let _ = ParetoPoint { cost: 0, value: 0 };
+    }
+}

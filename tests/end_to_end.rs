@@ -1,0 +1,188 @@
+//! End-to-end pipeline tests spanning every crate: real kernels are
+//! executed, profiled, customized, selected for a real-time task set, and
+//! re-simulated with the chosen custom instructions applied.
+
+use rtise::ir::hw::HwModel;
+use rtise::kernels::by_name;
+use rtise::rt::{simulate_edf, SimOutcome};
+use rtise::select::select_edf;
+use rtise::sim::{CiMap, SelectedCi, Simulator};
+use rtise::workbench::{max_area, reconfig_problem, task_curve, task_specs, CurveOptions};
+
+/// The headline result: an unschedulable task set becomes schedulable via
+/// the optimal EDF selection, verified by cycle-accurate schedule
+/// simulation.
+#[test]
+fn customization_rescues_unschedulable_task_set() {
+    let specs = task_specs(&["crc32", "ndes", "fir"], 1.08, CurveOptions::fast())
+        .expect("task specs");
+    let u0: f64 = specs.iter().map(|s| s.base_utilization()).sum();
+    assert!(u0 > 1.0, "starts unschedulable (u0 = {u0})");
+
+    let sel = select_edf(&specs, max_area(&specs)).expect("select");
+    assert!(sel.schedulable, "final U = {}", sel.utilization);
+    assert_eq!(
+        simulate_edf(&sel.assignment.to_tasks(&specs)),
+        SimOutcome::AllDeadlinesMet
+    );
+}
+
+/// A configuration curve's cycle predictions are realized exactly by the
+/// simulator when the selected custom instructions are applied.
+#[test]
+fn curve_points_match_ci_aware_simulation() {
+    let name = "crc32";
+    let kernel = by_name(name).expect("kernel");
+    let run = kernel.validate().expect("base run");
+    let hw = HwModel::default();
+    let cands = rtise::ise::harvest(
+        &kernel.program,
+        &run.block_counts,
+        &hw,
+        CurveOptions::fast().harvest,
+    );
+    let curve = rtise::ise::ConfigCurve::generate(name, &cands, run.cycles, 6, 0);
+
+    let sim = Simulator::new(&kernel.program).expect("sim");
+    for point in curve.points() {
+        let mut cis = CiMap::new();
+        for &ci in &point.selection {
+            let c = &cands[ci];
+            let dfg = &kernel.program.block(c.block).dfg;
+            cis.add(
+                c.block,
+                SelectedCi {
+                    nodes: c.nodes.clone(),
+                    cycles: hw.ci_cycles(dfg, &c.nodes),
+                },
+            );
+        }
+        let out = sim
+            .run_with_cis(&kernel.init_vars, &kernel.init_mem, &cis)
+            .expect("accelerated run");
+        assert_eq!(
+            out.cycles, point.cycles,
+            "curve point (area {}) mispredicts cycles",
+            point.area
+        );
+        assert_eq!(out.vars, run.vars, "results must stay bit-exact");
+    }
+}
+
+/// The Chapter 6 flow runs end-to-end on the real JPEG pipeline: hot loops
+/// detected, CIS versions derived, and reconfiguration-aware partitioning
+/// beats the static fabric when the fabric is small and reconfiguration is
+/// cheap.
+#[test]
+fn jpeg_reconfiguration_beats_static_on_small_fabric() {
+    let base = reconfig_problem("jpeg", 4, 0, 0, CurveOptions::fast()).expect("problem");
+    assert_eq!(base.loops.len(), 6, "six hot loops in the JPEG pipeline");
+    assert!(!base.trace.is_empty());
+
+    let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
+    let mut p = base;
+    p.max_area = (full / 3).max(1);
+    p.reconfig_cost = 1;
+
+    let multi = rtise::reconfig::iterative_partition(&p, 3);
+    // Static baseline: everything in one configuration.
+    let single = {
+        let refs: Vec<&rtise::reconfig::HotLoop> = p.loops.iter().collect();
+        let (version, _, _) = rtise::reconfig::spatial_select(&refs, p.max_area);
+        rtise::reconfig::Solution {
+            version,
+            config: vec![0; p.loops.len()],
+        }
+    };
+    assert!(multi.fits(&p));
+    assert!(
+        multi.net_gain(&p) >= single.net_gain(&p),
+        "multi {} vs static {}",
+        multi.net_gain(&p),
+        single.net_gain(&p)
+    );
+}
+
+/// Chapter 7 end-to-end: CIS versions from two real kernels drive the
+/// multi-tasking reconfiguration solvers; the ILP optimum is never worse
+/// than the DP, which is never worse than static.
+#[test]
+fn rt_reconfiguration_solver_ordering() {
+    use rtise::reconfig::rt::{solve_dp, solve_ilp, solve_static, RtProblem, RtTask};
+    use rtise::reconfig::CisVersion;
+
+    let mut tasks = Vec::new();
+    for (name, period_factor) in [("ndes", 3u64), ("fir", 4u64)] {
+        let curve = task_curve(name, CurveOptions::fast()).expect("curve");
+        let versions: Vec<CisVersion> = curve
+            .points()
+            .iter()
+            .skip(1)
+            .map(|p| CisVersion {
+                area: p.area,
+                gain: p.gain,
+            })
+            .collect();
+        tasks.push(RtTask::new(
+            name,
+            curve.base_cycles,
+            curve.base_cycles * period_factor,
+            &versions,
+        ));
+    }
+    let max_area = tasks
+        .iter()
+        .flat_map(|t| t.versions.iter().map(|v| v.area))
+        .max()
+        .unwrap_or(1);
+    let p = RtProblem {
+        tasks,
+        max_area,
+        reconfig_cost: 10,
+        max_configs: 2,
+    };
+    let st = solve_static(&p);
+    let dp = solve_dp(&p, 5);
+    let ilp = solve_ilp(&p, 200_000_000).expect("ilp");
+    assert!(ilp.utilization <= dp.utilization + 1e-12);
+    assert!(dp.utilization <= st.utilization + 1e-12);
+    assert!(st.schedulable, "periods are generous");
+}
+
+/// The full iterative (Chapter 5) flow on a real task set from Table 5.2.
+#[test]
+fn iterative_flow_reduces_utilization_on_table_5_2_set() {
+    use rtise::mlgp::iterative::IterTask;
+    use rtise::mlgp::{customize_task_set, IterativeOptions};
+
+    let names = rtise::fixtures::TABLE_5_2[1]; // sha, jfdctint, rijndael, ndes
+    let kernels: Vec<_> = names
+        .iter()
+        .map(|n| by_name(n).expect("kernel"))
+        .collect();
+    let wcets: Vec<u64> = kernels
+        .iter()
+        .map(|k| rtise::ir::wcet::analyze(&k.program).expect("wcet").wcet)
+        .collect();
+    let periods = rtise::select::task::periods_for_utilization(&wcets, 1.2);
+    let tasks: Vec<IterTask<'_>> = kernels
+        .iter()
+        .zip(&periods)
+        .map(|(k, &p)| IterTask {
+            program: &k.program,
+            period: p,
+        })
+        .collect();
+    let hw = HwModel::default();
+    let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+    assert!(
+        res.utilization < 1.2,
+        "customization must reduce utilization"
+    );
+    assert!(res.met_target, "final U = {}", res.utilization);
+    assert!(
+        res.history.len() <= 12,
+        "the paper reports 4-5 iterations on average; got {}",
+        res.history.len()
+    );
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the extension features beyond the paper's core
+//! algorithms: reconfiguration cost models, metaheuristic selection,
+//! disconnected candidates, and grammar trace compression.
+
+use rtise::ir::hw::HwModel;
+use rtise::kernels::by_name;
+use rtise::reconfig::{
+    iterative_partition, net_gain_with, temporal_only_partition, CompressedTrace, CostModel,
+};
+use rtise::workbench::{reconfig_problem, CurveOptions};
+
+/// Architecture ordering on a real workload: temporal+spatial ≥ static and
+/// ≥ temporal-only under the full-reload model.
+#[test]
+fn architecture_taxonomy_ordering_on_jpeg() {
+    let base = reconfig_problem("jpeg", 3, 0, 0, CurveOptions::fast()).expect("problem");
+    let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
+    let mut p = base;
+    p.max_area = (full / 2).max(1);
+    p.reconfig_cost = 500;
+
+    let ts = iterative_partition(&p, 1);
+    let to = temporal_only_partition(&p, CostModel::FullReload);
+    assert!(ts.fits(&p) && to.fits(&p));
+    assert!(
+        ts.net_gain(&p) >= net_gain_with(&p, &to, CostModel::FullReload),
+        "spatial sharing can only help"
+    );
+}
+
+/// Partial reconfiguration dominates full reload for the same solution
+/// whenever configurations are smaller than the full-reload equivalent
+/// area.
+#[test]
+fn partial_model_consistency() {
+    let base = reconfig_problem("jpeg", 3, 0, 0, CurveOptions::fast()).expect("problem");
+    let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
+    let mut p = base;
+    p.max_area = (full / 3).max(1);
+    p.reconfig_cost = 1_000;
+    let sol = iterative_partition(&p, 2);
+    // With per-area cost = rho / max_area, a switch costs at most rho
+    // (configurations never exceed the fabric), so partial ≥ full reload.
+    let per_area = p.reconfig_cost / p.max_area.max(1);
+    let partial = net_gain_with(&p, &sol, CostModel::Partial {
+        per_area_unit: per_area,
+    });
+    let fullr = net_gain_with(&p, &sol, CostModel::FullReload);
+    assert!(partial >= fullr, "partial {partial} < full {fullr}");
+}
+
+/// GA and SA sit between greedy and the exact optimum on a real candidate
+/// library.
+#[test]
+fn metaheuristics_bracketed_by_greedy_and_exact() {
+    use rtise::ise::{
+        branch_and_bound, genetic_select, greedy_by_ratio, harvest, simulated_annealing_select,
+        GaOptions, HarvestOptions, SaOptions,
+    };
+    let k = by_name("jfdctint").expect("kernel");
+    let run = k.run().expect("profile");
+    let hw = HwModel::default();
+    let opts = HarvestOptions {
+        top_per_block: 6,
+        enumerate: rtise::ise::EnumerateOptions {
+            max_candidates: 400,
+            max_nodes: 10,
+            ..rtise::ise::EnumerateOptions::default()
+        },
+        ..HarvestOptions::default()
+    };
+    let cands = harvest(&k.program, &run.block_counts, &hw, opts);
+    assert!(!cands.is_empty());
+    let budget: u64 = cands.iter().map(|c| c.area).sum::<u64>() / 2;
+    let greedy = greedy_by_ratio(&cands, budget).total_gain;
+    let ga = genetic_select(&cands, budget, GaOptions::default());
+    let sa = simulated_annealing_select(&cands, budget, SaOptions::default());
+    assert!(ga.is_valid(&cands, budget));
+    assert!(sa.is_valid(&cands, budget));
+    assert!(ga.total_gain >= greedy, "GA seeded with greedy");
+    assert!(sa.total_gain >= greedy, "SA seeded with greedy");
+    if cands.len() <= 18 {
+        let exact = branch_and_bound(&cands, budget).total_gain;
+        assert!(ga.total_gain <= exact);
+        assert!(sa.total_gain <= exact);
+    }
+}
+
+/// Disconnected candidates on a real kernel are feasible and exploit
+/// component-level parallelism (hardware cycles bounded by the slower
+/// component, not the sum).
+#[test]
+fn disconnected_candidates_on_real_kernel() {
+    use rtise::ise::{enumerate_connected, enumerate_disconnected, EnumerateOptions};
+    let k = by_name("jfdctint").expect("kernel");
+    let hw = HwModel::default();
+    let opts = EnumerateOptions {
+        max_candidates: 400,
+        max_nodes: 10,
+        ..EnumerateOptions::default()
+    };
+    for b in k.program.block_ids() {
+        let dfg = &k.program.block(b).dfg;
+        let connected = enumerate_connected(dfg, opts);
+        let pairs = enumerate_disconnected(dfg, &connected, opts);
+        for p in pairs.iter().take(50) {
+            assert!(dfg.is_feasible_ci(p, 4, 2));
+            let cycles = hw.ci_cycles(dfg, p);
+            // Parallel components: never slower than the members' software
+            // latency.
+            assert!(cycles <= dfg.sw_latency(p).max(1));
+        }
+        if !pairs.is_empty() {
+            return; // found and checked a real disconnected candidate
+        }
+    }
+}
+
+/// Trace compression round-trips the JPEG loop-entry trace and preserves
+/// the reconfiguration-cost graph.
+#[test]
+fn trace_compression_preserves_rcg() {
+    let p = reconfig_problem("jpeg", 2, 1_000, 10, CurveOptions::fast()).expect("problem");
+    let c = CompressedTrace::compress(&p.trace);
+    assert_eq!(c.expand(), p.trace);
+    let in_hw = vec![true; p.loops.len()];
+    let rcg_before = p.rcg(&in_hw);
+    let mut p2 = p.clone();
+    p2.trace = c.expand();
+    assert_eq!(p2.rcg(&in_hw), rcg_before);
+}

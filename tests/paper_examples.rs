@@ -1,0 +1,110 @@
+//! The paper's worked examples, reproduced number-for-number.
+
+use rtise::ise::configs::ConfigCurve;
+use rtise::reconfig::model::fig_6_4_problem;
+use rtise::reconfig::{exhaustive_partition, greedy_partition, iterative_partition};
+use rtise::select::heuristics;
+use rtise::select::pareto::{exact_pareto, Item, ParetoPoint};
+use rtise::select::task::TaskSpec;
+use rtise::select::{select_edf, Assignment};
+
+fn fig_3_2_specs() -> Vec<TaskSpec> {
+    vec![
+        TaskSpec::new(ConfigCurve::from_points("T1", 2, &[(7, 1)]), 6),
+        TaskSpec::new(ConfigCurve::from_points("T2", 3, &[(6, 2)]), 8),
+        TaskSpec::new(ConfigCurve::from_points("T3", 6, &[(4, 5)]), 12),
+    ]
+}
+
+/// Fig. 3.2: all four per-task heuristics fail at budget 10 while the
+/// optimal selection reaches exactly U' = 24/24 = 1 by customizing T2 and
+/// T3.
+#[test]
+fn figure_3_2_motivating_example() {
+    let specs = fig_3_2_specs();
+    assert!(
+        Assignment::software(3).utilization(&specs) > 1.0,
+        "initially unschedulable"
+    );
+
+    for (name, sol) in [
+        ("equal split", heuristics::equal_area_split(&specs, 10)),
+        (
+            "smallest deadline first",
+            heuristics::smallest_deadline_first(&specs, 10),
+        ),
+        (
+            "highest reduction first",
+            heuristics::highest_reduction_first(&specs, 10),
+        ),
+        (
+            "highest ratio first",
+            heuristics::highest_ratio_first(&specs, 10),
+        ),
+    ] {
+        assert!(
+            sol.utilization(&specs) > 1.0,
+            "{name} unexpectedly schedulable"
+        );
+    }
+
+    let opt = select_edf(&specs, 10).expect("optimal");
+    assert!(opt.schedulable);
+    assert!((opt.utilization - 1.0).abs() < 1e-12, "U' = 24/24");
+    assert_eq!(opt.assignment.config, vec![0, 1, 1], "T2 and T3 customized");
+}
+
+/// Fig. 4.1: the two-task intra/inter Pareto construction.
+#[test]
+fn figure_4_1_pareto_stages() {
+    // T1: E=10, CIs (δ=2, a=30), (δ=3, a=60).
+    let t1_items = [Item { delta: 2, area: 30 }, Item { delta: 3, area: 60 }];
+    let t1 = exact_pareto(10, &t1_items);
+    let got: Vec<(u64, u64)> = t1.iter().map(|p| (p.cost, p.value)).collect();
+    assert_eq!(got, vec![(0, 10), (30, 8), (60, 7), (90, 5)]);
+
+    // Without customization U = (10+15)/20 = 5/4 > 1; the inter-task curve
+    // exposes schedulable trade-offs.
+    let t2: Vec<ParetoPoint> = [(0u64, 15u64), (10, 14), (30, 13), (50, 12), (80, 10)]
+        .iter()
+        .map(|&(cost, value)| ParetoPoint { cost, value })
+        .collect();
+    let curve = rtise::select::pareto::exact_pareto_groups(&[t1, t2]);
+    assert_eq!(curve[0], ParetoPoint { cost: 0, value: 25 });
+    assert!(curve.iter().any(|p| p.value <= 20), "schedulable point exists");
+}
+
+/// Fig. 6.4: the three partitioning solutions and their net gains (883K /
+/// 933K / 1173K), with the iterative algorithm finding the 1173K optimum.
+#[test]
+fn figure_6_4_reconfiguration_example() {
+    let p = fig_6_4_problem();
+
+    let best = iterative_partition(&p, 13);
+    assert_eq!(best.net_gain(&p), 1173);
+    // The optimal structure: loop1 alone, loops 2+3 share a configuration.
+    assert_eq!(best.version, vec![3, 2, 1]);
+    assert_ne!(best.config[0], best.config[1]);
+    assert_eq!(best.config[1], best.config[2]);
+
+    let exact = exhaustive_partition(&p);
+    assert_eq!(exact.net_gain(&p), 1173);
+
+    let greedy = greedy_partition(&p);
+    assert!(greedy.net_gain(&p) <= 1173);
+    assert!(greedy.fits(&p));
+}
+
+/// Table 3.1 / 4.1 / 5.2 compositions reference only kernels that exist and
+/// validate.
+#[test]
+fn fixture_task_sets_are_runnable() {
+    let mut names: Vec<&str> = rtise::fixtures::TABLE_3_1.iter().flatten().copied().collect();
+    names.extend(rtise::fixtures::TABLE_5_2.iter().flatten().copied());
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let k = rtise::kernels::by_name(name).expect("kernel exists");
+        k.validate().expect("kernel validates");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests on core invariants, spanning crates.
+
+use proptest::prelude::*;
+use rtise::ir::dfg::{Dfg, NodeId};
+use rtise::ir::hw::HwModel;
+use rtise::ir::nodeset::NodeSet;
+use rtise::ir::op::OpKind;
+
+/// Builds a random DAG of valid compute ops over two inputs.
+fn random_dfg(ops: &[u8]) -> Dfg {
+    let kinds = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Mul,
+        OpKind::Xor,
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Shl,
+        OpKind::Min,
+    ];
+    let mut g = Dfg::new();
+    let a = g.input(0);
+    let b = g.input(1);
+    let mut nodes = vec![a, b];
+    for (i, &sel) in ops.iter().enumerate() {
+        let k = kinds[sel as usize % kinds.len()];
+        let x = nodes[(sel as usize * 7 + i) % nodes.len()];
+        let y = nodes[(sel as usize * 13 + i * 3) % nodes.len()];
+        let n = g.bin(k, x, y);
+        nodes.push(n);
+    }
+    let last = *nodes.last().expect("non-empty");
+    g.output(0, last);
+    g
+}
+
+proptest! {
+    /// Convexity is monotone under taking the whole valid set, and the
+    /// feasibility checker agrees with first principles on singletons.
+    #[test]
+    fn convexity_invariants(ops in proptest::collection::vec(0u8..64, 1..24)) {
+        let g = random_dfg(&ops);
+        let full = g.full_valid_set();
+        prop_assert!(g.is_convex(&full), "the full valid set is always convex");
+        for id in full.iter() {
+            let mut s = g.empty_set();
+            s.insert(id);
+            prop_assert!(g.is_convex(&s));
+        }
+    }
+
+    /// CI gain is never negative, area is additive, and the candidate's
+    /// hardware cycles never exceed its software cycles + 1.
+    #[test]
+    fn hw_model_invariants(ops in proptest::collection::vec(0u8..64, 1..24)) {
+        let g = random_dfg(&ops);
+        let hw = HwModel::default();
+        let full = g.full_valid_set();
+        let area_full = hw.ci_area(&g, &full);
+        let sum: u64 = full.iter().map(|n| hw.area(g.kind(n))).sum();
+        prop_assert_eq!(area_full, sum, "area is additive");
+        prop_assert!(hw.ci_cycles(&g, &full) >= 1);
+        // Chaining can only help: hw cycles <= sw latency of members when
+        // there is at least one real op.
+        let sw = g.sw_latency(&full);
+        if sw > 0 {
+            prop_assert!(hw.ci_cycles(&g, &full) <= sw.max(1));
+        }
+    }
+
+    /// Every candidate the enumerator returns satisfies all three
+    /// architectural constraints, and enumeration is closed under the
+    /// declared caps.
+    #[test]
+    fn enumeration_soundness(ops in proptest::collection::vec(0u8..64, 1..20)) {
+        let g = random_dfg(&ops);
+        let opts = rtise::ise::EnumerateOptions {
+            max_in: 3,
+            max_out: 2,
+            max_candidates: 500,
+            max_nodes: 10,
+        };
+        let cands = rtise::ise::enumerate_connected(&g, opts);
+        prop_assert!(cands.len() <= 500);
+        for c in &cands {
+            prop_assert!(c.len() <= 10);
+            prop_assert!(g.is_feasible_ci(c, 3, 2));
+        }
+    }
+
+    /// MLGP partitions are pairwise disjoint legal instructions covering
+    /// only region nodes.
+    #[test]
+    fn mlgp_partition_soundness(ops in proptest::collection::vec(0u8..64, 2..28)) {
+        let g = random_dfg(&ops);
+        let hw = HwModel::default();
+        for region in rtise::ir::region::regions(&g) {
+            let parts = rtise::mlgp::mlgp_partition(
+                &g,
+                &region.nodes,
+                &hw,
+                rtise::mlgp::MlgpOptions::default(),
+            );
+            let mut seen: NodeSet = g.empty_set();
+            for p in &parts {
+                prop_assert!(g.is_feasible_ci(p, 4, 2));
+                prop_assert!(!p.intersects(&seen), "partitions overlap");
+                seen.union_with(p);
+                prop_assert!(p.is_subset(&region.nodes));
+            }
+        }
+    }
+
+    /// The EDF selection DP is optimal: no single-configuration deviation
+    /// improves utilization within the same budget.
+    #[test]
+    fn edf_dp_local_optimality(seed in 1u64..200) {
+        use rtise::ise::configs::ConfigCurve;
+        use rtise::select::task::TaskSpec;
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let n = 2 + (next() % 3) as usize;
+        let specs: Vec<TaskSpec> = (0..n)
+            .map(|i| {
+                let base = 5 + next() % 20;
+                let mut pts = Vec::new();
+                let mut area = 0;
+                let mut cyc = base;
+                for _ in 0..(next() % 3) {
+                    area += 1 + next() % 9;
+                    cyc = cyc.saturating_sub(1 + next() % 4).max(1);
+                    pts.push((area, cyc));
+                }
+                TaskSpec::new(
+                    ConfigCurve::from_points(format!("t{i}"), base, &pts),
+                    10 + next() % 30,
+                )
+            })
+            .collect();
+        let budget = next() % 40;
+        let sel = rtise::select::select_edf(&specs, budget).expect("select");
+        let base_area = sel.assignment.total_area(&specs);
+        prop_assert!(base_area <= budget);
+        for i in 0..n {
+            for j in 0..specs[i].curve.len() {
+                let mut alt = sel.assignment.clone();
+                alt.config[i] = j;
+                if alt.total_area(&specs) <= budget {
+                    prop_assert!(
+                        alt.utilization(&specs) >= sel.utilization - 1e-12,
+                        "deviation improves the optimum"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Simulated execution with any legal CI coverage is bit-exact and
+    /// never slower than software.
+    #[test]
+    fn ci_execution_preserves_semantics(ops in proptest::collection::vec(0u8..64, 2..20)) {
+        use rtise::ir::cfg::{BasicBlock, Program, Terminator};
+        use rtise::sim::{CiMap, SelectedCi, Simulator};
+        let g = random_dfg(&ops);
+        let mut p = Program::new("prop", 2, 0);
+        p.add_block(BasicBlock {
+            name: "b".into(),
+            dfg: g.clone(),
+            terminator: Terminator::Return,
+        });
+        let sim = Simulator::new(&p).expect("valid");
+        let sw = sim.run(&[11, -3], &[]).expect("sw");
+        let hw = HwModel::default();
+        // Cover the first feasible candidate found by enumeration.
+        let cands = rtise::ise::enumerate_connected(&g, rtise::ise::EnumerateOptions::default());
+        if let Some(c) = cands.iter().max_by_key(|c| c.len()) {
+            let mut cis = CiMap::new();
+            cis.add(
+                rtise::ir::cfg::BlockId(0),
+                SelectedCi {
+                    nodes: c.clone(),
+                    cycles: hw.ci_cycles(&g, c),
+                },
+            );
+            let acc = sim.run_with_cis(&[11, -3], &[], &cis).expect("hw");
+            prop_assert_eq!(acc.vars, sw.vars);
+            prop_assert!(acc.cycles <= sw.cycles);
+        }
+        let _ = NodeId(0);
+    }
+}
