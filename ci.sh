@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 build+test cycle.
+# Everything runs with --offline; the workspace has no external
+# dependencies, so no network access is ever required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: build + test"
+cargo build --offline --release
+cargo test --offline -q
+
+echo "CI OK"

@@ -1,12 +1,31 @@
-//! Criterion benchmarks backing the paper's running-time tables: the
-//! selectors of Chapter 3, the exact vs ε-approximate Pareto generation of
-//! Table 4.2, the MLGP generator of Chapter 5, the partitioners of
-//! Table 6.1, and the DP-vs-ILP pair of Table 7.2.
+//! Running-time measurements backing the paper's tables: the selectors of
+//! Chapter 3, the exact vs ε-approximate Pareto generation of Table 4.2,
+//! the MLGP generator of Chapter 5, the partitioners of Table 6.1, and the
+//! DP-vs-ILP pair of Table 7.2.
+//!
+//! A dependency-free harness (`harness = false`): each case is warmed up
+//! once, then timed over enough iterations to pass a minimum measurement
+//! window, reporting the per-iteration mean. Run with
+//! `cargo bench -p rtise-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtise::ise::configs::ConfigCurve;
 use rtise::select::pareto::{eps_pareto_groups, exact_pareto_groups, ParetoPoint};
 use rtise::select::task::TaskSpec;
+use std::time::{Duration, Instant};
+
+/// Times `f` and prints `group/name  <mean per iteration>`.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    const MIN_WINDOW: Duration = Duration::from_millis(200);
+    f(); // warm-up (also pre-fills caches)
+    let mut iters = 0u32;
+    let start = Instant::now();
+    while start.elapsed() < MIN_WINDOW {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed() / iters.max(1);
+    println!("{group:<12} {name:<24} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
 
 /// Synthetic task specs sized like the paper's task sets, built without the
 /// kernel front-end so the benchmarks measure the algorithms alone.
@@ -55,118 +74,99 @@ fn groups_of(specs: &[TaskSpec]) -> Vec<Vec<ParetoPoint>> {
 }
 
 /// Chapter 3 selectors (Fig. 3.3's workload).
-fn bench_select(c: &mut Criterion) {
-    let mut g = c.benchmark_group("select");
-    g.sample_size(20);
+fn bench_select() {
     for n in [4usize, 8] {
         let specs = synthetic_specs(n, 6, 0x3e1ec7 + n as u64);
         let budget: u64 = specs.iter().map(|s| s.curve.max_area()).sum::<u64>() / 2;
-        g.bench_with_input(BenchmarkId::new("edf_dp", n), &specs, |b, specs| {
-            b.iter(|| rtise::select::select_edf(specs, budget).expect("edf"))
+        bench("select", &format!("edf_dp/{n}"), || {
+            rtise::select::select_edf(&specs, budget).expect("edf");
         });
-        g.bench_with_input(BenchmarkId::new("rms_bnb", n), &specs, |b, specs| {
-            b.iter(|| {
-                let _ = rtise::select::rms::select_rms(specs, budget);
-            })
+        bench("select", &format!("rms_bnb/{n}"), || {
+            let _ = rtise::select::rms::select_rms(&specs, budget);
         });
     }
-    g.finish();
 }
 
 /// Table 4.2: exact vs ε-approximate utilization–area Pareto curves.
-fn bench_pareto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pareto");
-    g.sample_size(10);
+fn bench_pareto() {
     let specs = synthetic_specs(7, 5, 0x9a9e70);
     let groups = groups_of(&specs);
-    g.bench_function("exact", |b| b.iter(|| exact_pareto_groups(&groups)));
+    bench("pareto", "exact", || {
+        exact_pareto_groups(&groups);
+    });
     for eps in [0.21, 0.69, 3.0] {
-        g.bench_with_input(BenchmarkId::new("eps", eps), &groups, |b, groups| {
-            b.iter(|| eps_pareto_groups(groups, eps))
+        bench("pareto", &format!("eps/{eps}"), || {
+            eps_pareto_groups(&groups, eps);
         });
     }
-    g.finish();
 }
 
 /// Chapter 5: the MLGP generator on real kernel regions vs the IS baseline
 /// (selection over a pre-harvested library).
-fn bench_mlgp(c: &mut Criterion) {
+fn bench_mlgp() {
     use rtise::ir::hw::HwModel;
     use rtise::ir::region::regions;
-    let mut g = c.benchmark_group("mlgp");
-    g.sample_size(10);
     let hw = HwModel::default();
     for name in ["jfdctint", "des3"] {
         let kernel = rtise::kernels::by_name(name).expect("kernel");
         let run = kernel.run().expect("profile");
-        g.bench_function(BenchmarkId::new("mlgp_partition", name), |b| {
-            b.iter(|| {
-                for blk in kernel.program.block_ids() {
-                    if run.block_counts[blk.0] == 0 {
-                        continue;
-                    }
-                    let dfg = &kernel.program.block(blk).dfg;
-                    for region in regions(dfg) {
-                        let _ = rtise::mlgp::mlgp_partition(
-                            dfg,
-                            &region.nodes,
-                            &hw,
-                            rtise::mlgp::MlgpOptions::default(),
-                        );
-                    }
+        bench("mlgp", &format!("mlgp_partition/{name}"), || {
+            for blk in kernel.program.block_ids() {
+                if run.block_counts[blk.0] == 0 {
+                    continue;
                 }
-            })
+                let dfg = &kernel.program.block(blk).dfg;
+                for region in regions(dfg) {
+                    let _ = rtise::mlgp::mlgp_partition(
+                        dfg,
+                        &region.nodes,
+                        &hw,
+                        rtise::mlgp::MlgpOptions::default(),
+                    );
+                }
+            }
         });
-        g.bench_function(BenchmarkId::new("is_full_flow", name), |b| {
-            // Bounded enumeration keeps one IS iteration at benchmarkable
-            // cost on the huge des3 block; the relative MLGP-vs-IS gap is
-            // what Table/Fig 5.5 needs.
-            let opts = rtise::ise::HarvestOptions {
-                enumerate: rtise::ise::EnumerateOptions {
-                    max_candidates: 600,
-                    max_nodes: 12,
-                    ..rtise::ise::EnumerateOptions::default()
-                },
-                ..rtise::ise::HarvestOptions::default()
-            };
-            b.iter(|| {
-                let cands =
-                    rtise::ise::harvest(&kernel.program, &run.block_counts, &hw, opts);
-                rtise::ise::select::iterative_selection(&cands, u64::MAX)
-            })
+        // Bounded enumeration keeps one IS iteration at benchmarkable
+        // cost on the huge des3 block; the relative MLGP-vs-IS gap is
+        // what Table/Fig 5.5 needs.
+        let opts = rtise::ise::HarvestOptions {
+            enumerate: rtise::ise::EnumerateOptions {
+                max_candidates: 600,
+                max_nodes: 12,
+                ..rtise::ise::EnumerateOptions::default()
+            },
+            ..rtise::ise::HarvestOptions::default()
+        };
+        bench("mlgp", &format!("is_full_flow/{name}"), || {
+            let cands = rtise::ise::harvest(&kernel.program, &run.block_counts, &hw, opts);
+            rtise::ise::select::iterative_selection(&cands, u64::MAX);
         });
     }
-    g.finish();
 }
 
 /// Table 6.1: the three partitioners on synthetic hot-loop sets.
-fn bench_reconfig(c: &mut Criterion) {
+fn bench_reconfig() {
     use rtise::reconfig::partition::synthetic_problem;
-    let mut g = c.benchmark_group("reconfig");
-    g.sample_size(10);
     for n in [8usize, 40] {
         let p = synthetic_problem(n, 0xbe11 + n as u64);
-        g.bench_with_input(BenchmarkId::new("iterative", n), &p, |b, p| {
-            b.iter(|| rtise::reconfig::iterative_partition(p, 1))
+        bench("reconfig", &format!("iterative/{n}"), || {
+            rtise::reconfig::iterative_partition(&p, 1);
         });
-        g.bench_with_input(BenchmarkId::new("greedy", n), &p, |b, p| {
-            b.iter(|| rtise::reconfig::greedy_partition(p))
+        bench("reconfig", &format!("greedy/{n}"), || {
+            rtise::reconfig::greedy_partition(&p);
         });
         if n <= 8 {
-            g.bench_with_input(BenchmarkId::new("exhaustive", n), &p, |b, p| {
-                b.iter(|| rtise::reconfig::exhaustive_partition(p))
+            bench("reconfig", &format!("exhaustive/{n}"), || {
+                rtise::reconfig::exhaustive_partition(&p);
             });
         }
     }
-    g.finish();
 }
 
 /// Table 7.2: the Chapter 7 DP versus the exact ILP.
-fn bench_rt_reconfig(c: &mut Criterion) {
+fn bench_rt_reconfig() {
     use rtise::reconfig::rt::{solve_dp, solve_ilp, RtProblem, RtTask};
     use rtise::reconfig::CisVersion;
-    let mut g = c.benchmark_group("rt_reconfig");
-    g.sample_size(10);
     let mut state = 0x7007u64;
     let mut next = move || {
         state ^= state >> 12;
@@ -200,19 +200,19 @@ fn bench_rt_reconfig(c: &mut Criterion) {
         reconfig_cost: 20,
         max_configs: 2,
     };
-    g.bench_function("dp", |b| b.iter(|| solve_dp(&p, 5)));
-    g.bench_function("ilp_optimal", |b| {
-        b.iter(|| solve_ilp(&p, u64::MAX).expect("ilp"))
+    bench("rt_reconfig", "dp", || {
+        solve_dp(&p, 5);
     });
-    g.finish();
+    bench("rt_reconfig", "ilp_optimal", || {
+        solve_ilp(&p, u64::MAX).expect("ilp");
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_select,
-    bench_pareto,
-    bench_mlgp,
-    bench_reconfig,
-    bench_rt_reconfig
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+    bench_select();
+    bench_pareto();
+    bench_mlgp();
+    bench_reconfig();
+    bench_rt_reconfig();
+}

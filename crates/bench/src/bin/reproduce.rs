@@ -3,28 +3,109 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce                # run every experiment in paper order
-//! reproduce fig3_3 tab6_1  # run the named ones
-//! reproduce --list         # list experiment ids
+//! reproduce                          # run every experiment in paper order
+//! reproduce fig3_3 tab6_1            # run the named ones
+//! reproduce --list                   # list experiment ids
+//! reproduce --json out.json fig3_2   # also write a machine-readable report
+//! reproduce --trace fig4_1           # print per-experiment span/counter trees
 //! ```
+//!
+//! Every experiment runs to completion even if an earlier one fails; the
+//! harness prints per-experiment wall time and ends with an
+//! `N ok / M failed` summary, exiting nonzero if anything failed.
+
+use rtise_obs::json::Value;
+use rtise_obs::Report;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list") {
-        for (id, _) in rtise_bench::ALL {
-            println!("{id}");
+    let mut json_path: Option<String> = None;
+    let mut trace = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for (id, _) in rtise_bench::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => trace = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other:?} (supported: --list, --json <path>, --trace)");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
         }
-        return;
     }
-    let ids: Vec<&str> = if args.is_empty() {
-        rtise_bench::ALL.iter().map(|(id, _)| *id).collect()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
-    for id in ids {
-        if let Err(e) = rtise_bench::run(id) {
-            eprintln!("{e} (use --list to see available experiments)");
-            std::process::exit(1);
+    if ids.is_empty() {
+        ids = rtise_bench::ALL
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
+    }
+
+    let total = rtise_obs::Timer::start();
+    let mut reports = Vec::new();
+    let mut failed = 0usize;
+    for id in &ids {
+        match rtise_bench::run_observed(id) {
+            Ok(report) => {
+                println!(
+                    "--- {id}: {} in {:.1} ms",
+                    if report.ok { "ok" } else { "FAILED" },
+                    report.wall_ms
+                );
+                if trace {
+                    let mut span = Report::new(id);
+                    span.wall_ns = (report.wall_ms * 1e6) as u128;
+                    span.counters = report.counters.clone();
+                    for line in span.render_tree().lines() {
+                        println!("    {line}");
+                    }
+                }
+                if !report.ok {
+                    failed += 1;
+                }
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("--- {id}: {e} (use --list to see available experiments)");
+                failed += 1;
+            }
         }
+    }
+
+    if let Some(path) = json_path {
+        let doc = Value::Obj(vec![
+            ("total_wall_ms".into(), Value::Num(total.elapsed_ms())),
+            (
+                "experiments".into(),
+                Value::Arr(reports.iter().map(|r| r.to_json()).collect()),
+            ),
+        ]);
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => println!("wrote report to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                failed += 1;
+            }
+        }
+    }
+
+    println!(
+        "\n{} ok / {failed} failed ({:.1} ms total)",
+        reports.iter().filter(|r| r.ok).count(),
+        total.elapsed_ms()
+    );
+    if failed > 0 {
+        std::process::exit(1);
     }
 }

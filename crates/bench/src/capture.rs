@@ -1,0 +1,71 @@
+//! Line capture for experiment output: the [`out!`](crate::out) and
+//! [`outp!`](crate::outp) macros mirror `println!`/`print!` but
+//! additionally append to a thread-local buffer while capture is active,
+//! so the `reproduce` harness can embed each experiment's result series
+//! into its JSON report without re-plumbing every experiment function.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static BUF: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Starts capturing subsequent [`out!`](crate::out)/[`outp!`](crate::outp)
+/// output on this thread (clearing any previous capture).
+pub fn begin() {
+    BUF.with(|b| *b.borrow_mut() = Some(String::new()));
+}
+
+/// Stops capturing and returns the captured output as lines.
+pub fn take() -> Vec<String> {
+    BUF.with(|b| {
+        b.borrow_mut()
+            .take()
+            .map(|s| s.lines().map(str::to_string).collect())
+            .unwrap_or_default()
+    })
+}
+
+/// Writes to stdout and, when capture is active, to the buffer.
+/// Implementation detail of the `out!`/`outp!` macros.
+pub fn emit(args: std::fmt::Arguments<'_>) {
+    print!("{args}");
+    BUF.with(|b| {
+        if let Some(s) = b.borrow_mut().as_mut() {
+            use std::fmt::Write;
+            let _ = s.write_fmt(args);
+        }
+    });
+}
+
+/// Like `println!`, but captured (see [`capture`](crate::capture)).
+#[macro_export]
+macro_rules! out {
+    () => { $crate::capture::emit(format_args!("\n")) };
+    ($($arg:tt)*) => {{
+        $crate::capture::emit(format_args!($($arg)*));
+        $crate::capture::emit(format_args!("\n"));
+    }};
+}
+
+/// Like `print!`, but captured (see [`capture`](crate::capture)).
+#[macro_export]
+macro_rules! outp {
+    ($($arg:tt)*) => { $crate::capture::emit(format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn capture_collects_lines_and_partial_prints() {
+        super::begin();
+        outp!("a = {}", 1);
+        out!(", b = {}", 2);
+        out!("second");
+        let lines = super::take();
+        assert_eq!(lines, vec!["a = 1, b = 2".to_string(), "second".into()]);
+        // Capture is inactive after take(): emitting is stdout-only.
+        out!("not captured");
+        assert!(super::take().is_empty());
+    }
+}

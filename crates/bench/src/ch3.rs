@@ -1,6 +1,7 @@
 //! Chapter 3 experiments — the DATE 2007 paper's evaluation.
 
 use crate::util::{cached_curve, set_max_area, specs_for};
+use crate::{out, outp};
 use rtise::fixtures::{TABLE_3_1, UTILIZATION_FACTORS_CH3};
 use rtise::ir::hw::HwModel;
 use rtise::ise::configs::ConfigCurve;
@@ -15,15 +16,15 @@ use rtise::select::Assignment;
 /// decoding task's processor configurations.
 pub fn fig3_1() {
     let curve = cached_curve("g721_decode");
-    println!("{:>18} {:>16}", "area (adders)", "processor cycles");
+    out!("{:>18} {:>16}", "area (adders)", "processor cycles");
     for p in curve.points() {
-        println!(
+        out!(
             "{:>18} {:>16}",
             p.area.div_ceil(HwModel::CELLS_PER_ADDER),
             p.cycles
         );
     }
-    println!(
+    out!(
         "-- {} configurations; max speedup {:.2}%",
         curve.len(),
         (curve.base_cycles - curve.best_within(u64::MAX).cycles) as f64 * 100.0
@@ -40,7 +41,7 @@ pub fn fig3_2() {
         TaskSpec::new(ConfigCurve::from_points("T3", 6, &[(4, 5)]), 12),
     ];
     let show = |label: &str, a: &Assignment| {
-        println!(
+        out!(
             "  ({label}) configs {:?}  U' = {:>6.4}  area {:>2}  {}",
             a.config,
             a.utilization(&specs),
@@ -52,7 +53,7 @@ pub fn fig3_2() {
             }
         );
     };
-    println!(
+    out!(
         "initial U = {:.4} (> 1, unschedulable); area budget 10",
         Assignment::software(3).utilization(&specs)
     );
@@ -62,17 +63,78 @@ pub fn fig3_2() {
     show("d", &heuristics::highest_ratio_first(&specs, 10));
     let opt = select_edf(&specs, 10).expect("optimal");
     show("e*", &opt.assignment);
+    // RMS branch-and-bound on the same instance (the paper's Algorithm 2
+    // regime: a response-time test per node instead of the utilization
+    // bound).
+    match select_rms(&specs, 10) {
+        Ok(rms) => show("rms", &rms.assignment),
+        Err(e) => out!("  (rms) no solution: {e}"),
+    }
+    // Cross-check the EDF optimum against an explicit 0-1 ILP over the
+    // hyperperiod demand (same model the reconfiguration chapters use).
+    let ilp = ilp_cross_check(&specs, 10);
+    show("ilp", &ilp);
+    assert_eq!(
+        ilp.utilization(&specs),
+        opt.assignment.utilization(&specs),
+        "ILP and DP must agree on the optimum"
+    );
+}
+
+/// Solves the Fig. 3.2 selection exactly as a 0-1 ILP: one variable per
+/// (task, configuration), uniqueness rows, one area row, objective =
+/// total demand over the hyperperiod.
+fn ilp_cross_check(specs: &[TaskSpec], budget: u64) -> Assignment {
+    use rtise::ilp::{Model, Sense};
+    use rtise::select::task::spec_hyperperiod;
+    let h = spec_hyperperiod(specs).expect("small hyperperiod");
+    let offsets: Vec<usize> = specs
+        .iter()
+        .scan(0usize, |acc, s| {
+            let o = *acc;
+            *acc += s.curve.len();
+            Some(o)
+        })
+        .collect();
+    let n_vars: usize = specs.iter().map(|s| s.curve.len()).sum();
+    let mut m = Model::new(n_vars);
+    let mut obj = vec![0i64; n_vars];
+    let mut area = Vec::new();
+    for (s, &o) in specs.iter().zip(&offsets) {
+        let w = (h / s.period) as i64;
+        for (j, p) in s.curve.points().iter().enumerate() {
+            obj[o + j] = p.cycles as i64 * w;
+            if p.area > 0 {
+                area.push((o + j, p.area as i64));
+            }
+        }
+        let ones: Vec<(usize, i64)> = (0..s.curve.len()).map(|j| (o + j, 1)).collect();
+        m.add_eq(&ones, 1);
+    }
+    m.set_objective(Sense::Minimize, &obj);
+    m.add_le(&area, budget as i64);
+    let sol = m.solve().expect("fig3_2 ILP is feasible");
+    let config: Vec<usize> = specs
+        .iter()
+        .zip(&offsets)
+        .map(|(s, &o)| {
+            (0..s.curve.len())
+                .find(|&j| sol.values[o + j])
+                .expect("uniqueness row")
+        })
+        .collect();
+    Assignment { config }
 }
 
 /// Table 3.1 + Fig. 3.3 — utilization versus area for the six task sets
 /// under EDF and RMS across initial utilizations.
 pub fn fig3_3() {
     for (set_idx, names) in TABLE_3_1.iter().enumerate() {
-        println!("task set {}: {names:?}", set_idx + 1);
+        out!("task set {}: {names:?}", set_idx + 1);
         for &u0 in &UTILIZATION_FACTORS_CH3 {
             let specs = specs_for(names, u0);
             let max_area = set_max_area(&specs);
-            print!("  U0={u0:<5}");
+            outp!("  U0={u0:<5}");
             for pct in [0u64, 25, 50, 75, 100] {
                 let budget = max_area * pct / 100;
                 let edf = select_edf(&specs, budget).expect("edf");
@@ -81,16 +143,16 @@ pub fn fig3_3() {
                     Ok(s) => format!("{:.3}", s.utilization),
                     Err(_) => "  -  ".into(),
                 };
-                print!(
+                outp!(
                     "  {pct:>3}%: E={:.3}{} R={rms_txt}",
                     edf.utilization,
                     if edf.schedulable { "" } else { "!" },
                 );
             }
-            println!();
+            out!();
         }
     }
-    println!("(E = EDF utilization, ! = unschedulable, R = RMS, '-' = no RMS solution)");
+    out!("(E = EDF utilization, ! = unschedulable, R = RMS, '-' = no RMS solution)");
 }
 
 /// Fig. 3.4 — area versus energy for task set 3 under EDF and RMS with
@@ -98,7 +160,7 @@ pub fn fig3_3() {
 pub fn fig3_4() {
     let names = TABLE_3_1[2];
     let scaler = VoltageScaler::tm5400();
-    println!("task set 3: {names:?}");
+    out!("task set 3: {names:?}");
     for &u0 in &[0.8, 1.0] {
         let specs = specs_for(&names, u0);
         let n = specs.len();
@@ -110,10 +172,13 @@ pub fn fig3_4() {
         let baseline = scaler
             .lowest_feasible(sw_u, Policy::Edf, n)
             .map(|lvl| scaler.energy(&sw_tasks, lvl));
-        println!("  U0 = {u0}");
-        println!(
+        out!("  U0 = {u0}");
+        out!(
             "  {:>6} {:>12} {:>14} {:>14}",
-            "area%", "U(EDF)", "E-save EDF %", "E-save RMS %"
+            "area%",
+            "U(EDF)",
+            "E-save EDF %",
+            "E-save RMS %"
         );
         for pct in [0u64, 25, 50, 75, 100] {
             let budget = max_area * pct / 100;
@@ -137,11 +202,11 @@ pub fn fig3_4() {
                     })
                 })
                 .map_or("-".into(), |s| format!("{s:.1}"));
-            println!(
+            out!(
                 "  {pct:>5}% {:>12.4} {edf_save:>14} {rms_save:>14}",
                 edf.utilization
             );
         }
     }
-    println!("(EDF scales deeper than RMS: exact vs Liu-Layland test, as in the paper)");
+    out!("(EDF scales deeper than RMS: exact vs Liu-Layland test, as in the paper)");
 }

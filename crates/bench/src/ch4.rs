@@ -1,5 +1,6 @@
 //! Chapter 4 experiments — exact versus ε-approximate Pareto fronts.
 
+use crate::out;
 use crate::util::{cached_curve, specs_for};
 use rtise::fixtures::{EPSILONS_TABLE_4_2, TABLE_4_1};
 use rtise::select::pareto::{
@@ -60,15 +61,15 @@ pub fn fig4_1() {
         10,
         &[Item { delta: 2, area: 30 }, Item { delta: 3, area: 60 }],
     );
-    println!("T1 workload-area curve: {t1:?}");
+    out!("T1 workload-area curve: {t1:?}");
     let t2: Vec<ParetoPoint> = [(0u64, 15u64), (10, 14), (30, 13), (50, 12), (80, 10)]
         .iter()
         .map(|&(cost, value)| ParetoPoint { cost, value })
         .collect();
     let inter = exact_pareto_groups(&[t1, t2]);
-    println!("utilization-area curve over P = 20 (value = demand, U = value/20):");
+    out!("utilization-area curve over P = 20 (value = demand, U = value/20):");
     for p in &inter {
-        println!(
+        out!(
             "  area {:>3}  demand {:>2}  U = {:>5.3}{}",
             p.cost,
             p.value,
@@ -76,14 +77,34 @@ pub fn fig4_1() {
             if p.value <= 20 { "  schedulable" } else { "" }
         );
     }
+    // A real intra-task curve through the full front-end (fast harvest so
+    // the candidate enumeration stays interactive): crc32's staircase.
+    let curve = rtise::workbench::task_curve("crc32", rtise::workbench::CurveOptions::fast())
+        .expect("crc32 curve");
+    out!(
+        "crc32 intra-task curve (fast harvest), base {} cycles:",
+        curve.base_cycles
+    );
+    for p in curve.points() {
+        out!(
+            "  area {:>4}  cycles {:>8}  gain {:>6}",
+            p.area,
+            p.cycles,
+            p.gain
+        );
+    }
 }
 
 /// Table 4.2 — running-time speedup of the ε-approximation over the exact
 /// Pareto computation for the five task sets.
 pub fn tab4_2() {
-    println!(
+    out!(
         "{:<10} {:>12} {:>14} {:>10} {:>10}",
-        "task set", "exact (ms)", "eps", "approx(ms)", "speedup"
+        "task set",
+        "exact (ms)",
+        "eps",
+        "approx(ms)",
+        "speedup"
     );
     for (i, names) in TABLE_4_1.iter().enumerate() {
         let specs = specs_for(names, 1.0);
@@ -107,20 +128,20 @@ pub fn tab4_2() {
                 }
                 panic!("coverage violated (set {}, eps {eps})", i + 1);
             }
-            println!(
+            out!(
                 "{:<10} {exact_ms:>12.2} {eps:>14} {approx_ms:>10.3} {:>9.1}x",
                 format!("{} ({})", i + 1, names.len()),
                 exact_ms / approx_ms.max(1e-9)
             );
         }
     }
-    println!("(speedups grow with eps; every approximate curve eps-covers the exact one)");
+    out!("(speedups grow with eps; every approximate curve eps-covers the exact one)");
 
     // The paper's three-orders-of-magnitude speedups come from its full
     // candidate enumeration (hundreds of trade-off points per task). Our
     // kernel curves are compact, so the exact merge is already sub-ms; the
     // regime the paper reports appears at that original scale:
-    println!("\nat paper-scale libraries (12 tasks x 96 configurations each):");
+    out!("\nat paper-scale libraries (12 tasks x 96 configurations each):");
     let groups = synthetic_groups(12, 96, 0x4b19);
     let t0 = Instant::now();
     let exact = exact_pareto_groups(&groups);
@@ -130,7 +151,7 @@ pub fn tab4_2() {
         let approx = eps_pareto_groups(&groups, eps);
         let approx_ms = t1.elapsed().as_secs_f64() * 1e3;
         assert!(is_eps_cover(&exact, &approx, eps), "coverage violated");
-        println!(
+        out!(
             "  exact {exact_ms:>9.1} ms ({} pts)   eps = {eps:<4}: {approx_ms:>8.2} ms ({} pts)   speedup {:>8.1}x",
             exact.len(),
             approx.len(),
@@ -157,7 +178,9 @@ fn synthetic_groups(tasks: usize, options: usize, seed: u64) -> Vec<Vec<ParetoPo
             let mut opts = vec![ParetoPoint { cost: 0, value }];
             for _ in 1..options {
                 cost += 1 + next() % 900;
-                value = value.saturating_sub(1 + next() % (base / options as u64)).max(1);
+                value = value
+                    .saturating_sub(1 + next() % (base / options as u64))
+                    .max(1);
                 opts.push(ParetoPoint { cost, value });
             }
             opts
@@ -171,23 +194,23 @@ pub fn fig4_4() {
     let curve = cached_curve("g721_decode");
     let items = items_of(&curve);
     let exact = exact_pareto(curve.base_cycles, &items);
-    println!("(a) g721_decode workload-area: {} exact points", exact.len());
+    out!(
+        "(a) g721_decode workload-area: {} exact points",
+        exact.len()
+    );
     for &eps in &[0.69, 3.0] {
         let approx = eps_pareto(curve.base_cycles, &items, eps);
-        println!(
+        out!(
             "    eps = {eps:<4}: {} points: {:?}",
             approx.len(),
-            approx
-                .iter()
-                .map(|p| (p.cost, p.value))
-                .collect::<Vec<_>>()
+            approx.iter().map(|p| (p.cost, p.value)).collect::<Vec<_>>()
         );
     }
 
     let specs = specs_for(TABLE_4_1[0], 1.0);
     let (groups, h) = groups_of(&specs);
     let exact = exact_pareto_groups(&groups);
-    println!(
+    out!(
         "(b) task set 1 utilization-area: {} exact points (hyperperiod {h})",
         exact.len()
     );
@@ -197,6 +220,6 @@ pub fn fig4_4() {
             .iter()
             .map(|p| (p.cost, p.value as f64 / h as f64))
             .collect();
-        println!("    eps = {eps:<4}: {} points: {pts:.3?}", approx.len());
+        out!("    eps = {eps:<4}: {} points: {pts:.3?}", approx.len());
     }
 }

@@ -1,5 +1,6 @@
 //! Chapter 5 experiments — iterative customization and MLGP versus IS.
 
+use crate::out;
 use rtise::fixtures::{TABLE_5_2, UTILIZATION_FACTORS_CH5};
 use rtise::ir::hw::HwModel;
 use rtise::ir::region::regions;
@@ -14,13 +15,16 @@ use std::time::Instant;
 /// Table 5.1 — benchmark characteristics: WCET cycles, maximum and average
 /// basic-block size in primitive instructions.
 pub fn tab5_1() {
-    println!(
+    out!(
         "{:<16} {:>14} {:>8} {:>8}",
-        "benchmark", "WCET cycles", "max BB", "avg BB"
+        "benchmark",
+        "WCET cycles",
+        "max BB",
+        "avg BB"
     );
     for k in suite() {
         let wcet = rtise::ir::wcet::analyze(&k.program).expect("wcet").wcet;
-        println!(
+        out!(
             "{:<16} {:>14} {:>8} {:>8.0}",
             k.name,
             wcet,
@@ -47,7 +51,7 @@ fn table_5_2_tasks(set: usize, u0: f64) -> (Vec<Kernel>, Vec<u64>) {
 /// count, for the five task sets and U₀ ∈ {1.1 … 1.5}.
 pub fn fig5_3() {
     for (set, names) in TABLE_5_2.iter().enumerate() {
-        println!("task set {} ({names:?}):", set + 1);
+        out!("task set {} ({names:?}):", set + 1);
         for &u0 in &UTILIZATION_FACTORS_CH5 {
             let (kernels, periods) = table_5_2_tasks(set, u0);
             let tasks: Vec<IterTask<'_>> = kernels
@@ -66,11 +70,15 @@ pub fn fig5_3() {
                 .iter()
                 .map(|r| format!("{:.3}", r.utilization))
                 .collect();
-            println!(
+            out!(
                 "  U0={u0}: {} -> [{}] {}",
                 u0,
                 series.join(", "),
-                if res.met_target { "schedulable" } else { "infeasible" }
+                if res.met_target {
+                    "schedulable"
+                } else {
+                    "infeasible"
+                }
             );
         }
     }
@@ -79,9 +87,13 @@ pub fn fig5_3() {
 /// Fig. 5.4 — analysis time and custom-instruction area versus input
 /// utilization for all five task sets.
 pub fn fig5_4() {
-    println!(
+    out!(
         "{:<9} {:>5} {:>12} {:>14} {:>6}",
-        "task set", "U0", "time (ms)", "area (adders)", "iters"
+        "task set",
+        "U0",
+        "time (ms)",
+        "area (adders)",
+        "iters"
     );
     for set in 0..TABLE_5_2.len() {
         for &u0 in &UTILIZATION_FACTORS_CH5 {
@@ -98,7 +110,7 @@ pub fn fig5_4() {
             let t0 = Instant::now();
             let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default())
                 .expect("iterative flow");
-            println!(
+            out!(
                 "{:<9} {u0:>5} {:>12.1} {:>14} {:>6}",
                 set + 1,
                 t0.elapsed().as_secs_f64() * 1e3,
@@ -153,7 +165,12 @@ fn speedup_traces(name: &str) -> (Vec<(f64, f64, u64)>, Vec<(f64, f64, u64)>) {
     // IS: enumerate the full candidate library first (the expensive step),
     // then one candidate per iteration.
     let t1 = Instant::now();
-    let cands = harvest(&k.program, &run.block_counts, &hw, HarvestOptions::default());
+    let cands = harvest(
+        &k.program,
+        &run.block_counts,
+        &hw,
+        HarvestOptions::default(),
+    );
     let (sel, prefix_gains) = iterative_selection(&cands, u64::MAX);
     let harvest_ms = t1.elapsed().as_secs_f64() * 1e3;
     let mut is_points = Vec::new();
@@ -173,21 +190,19 @@ fn speedup_traces(name: &str) -> (Vec<(f64, f64, u64)>, Vec<(f64, f64, u64)>) {
 pub fn fig5_5() {
     for name in MLGP_VS_IS {
         let (mlgp, is) = speedup_traces(name);
-        println!("{name}:");
+        out!("{name}:");
         let fmt = |pts: &[(f64, f64, u64)]| -> String {
             pts.iter()
                 .map(|(t, s, _)| format!("({t:.1}ms, {s:.2}x)"))
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        println!("  MLGP: {}", fmt(&mlgp));
-        println!("  IS:   {}", fmt(&is));
+        out!("  MLGP: {}", fmt(&mlgp));
+        out!("  IS:   {}", fmt(&is));
         let best = |pts: &[(f64, f64, u64)]| pts.last().map(|p| (p.0, p.1)).unwrap_or((0.0, 1.0));
         let (mt, ms) = best(&mlgp);
         let (it, is_s) = best(&is);
-        println!(
-            "  final: MLGP {ms:.2}x in {mt:.1} ms vs IS {is_s:.2}x in {it:.1} ms"
-        );
+        out!("  final: MLGP {ms:.2}x in {mt:.1} ms vs IS {is_s:.2}x in {it:.1} ms");
     }
 }
 
@@ -198,14 +213,12 @@ pub fn fig5_6() {
         let (mlgp, is) = speedup_traces(name);
         let fmt = |pts: &[(f64, f64, u64)]| -> String {
             pts.iter()
-                .map(|(_, s, a)| {
-                    format!("({}, {s:.2}x)", a.div_ceil(HwModel::CELLS_PER_ADDER))
-                })
+                .map(|(_, s, a)| format!("({}, {s:.2}x)", a.div_ceil(HwModel::CELLS_PER_ADDER)))
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        println!("{name}:");
-        println!("  MLGP (adders, speedup): {}", fmt(&mlgp));
-        println!("  IS   (adders, speedup): {}", fmt(&is));
+        out!("{name}:");
+        out!("  MLGP (adders, speedup): {}", fmt(&mlgp));
+        out!("  IS   (adders, speedup): {}", fmt(&is));
     }
 }

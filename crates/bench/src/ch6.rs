@@ -1,6 +1,7 @@
 //! Chapter 6 experiments — runtime reconfiguration for a sequential
 //! application.
 
+use crate::out;
 use rtise::reconfig::partition::synthetic_problem;
 use rtise::reconfig::{
     exhaustive_partition, greedy_partition, iterative_partition, HotLoop, Solution,
@@ -12,9 +13,12 @@ use std::time::Instant;
 /// with 5–100 hot loops (exhaustive capped at 10, as its Bell-number cost
 /// explodes exactly as the paper reports past ~12).
 pub fn tab6_1() {
-    println!(
+    out!(
         "{:>6} {:>16} {:>12} {:>12}",
-        "loops", "exhaustive (s)", "greedy (s)", "iterative (s)"
+        "loops",
+        "exhaustive (s)",
+        "greedy (s)",
+        "iterative (s)"
     );
     for &n in &[5usize, 6, 7, 8, 9, 10, 12, 20, 40, 60, 80, 100] {
         let p = synthetic_problem(n, 0xbe11 + n as u64);
@@ -31,7 +35,7 @@ pub fn tab6_1() {
         let t = Instant::now();
         let _ = iterative_partition(&p, 1);
         let it = t.elapsed().as_secs_f64();
-        println!("{n:>6} {ex:>16} {gr:>12.3} {it:>12.3}");
+        out!("{n:>6} {ex:>16} {gr:>12.3} {it:>12.3}");
     }
 }
 
@@ -39,9 +43,13 @@ pub fn tab6_1() {
 /// (normalized to the exhaustive optimum where available, to the best
 /// found otherwise).
 pub fn fig6_8() {
-    println!(
+    out!(
         "{:>6} {:>14} {:>12} {:>12} {:>10}",
-        "loops", "exhaustive", "iterative", "greedy", "iter/opt"
+        "loops",
+        "exhaustive",
+        "iterative",
+        "greedy",
+        "iter/opt"
     );
     for &n in &[4usize, 6, 8, 10, 12, 16, 24] {
         let p = synthetic_problem(n, 0x6fae + n as u64);
@@ -49,12 +57,12 @@ pub fn fig6_8() {
         let gr = greedy_partition(&p).net_gain(&p);
         if n <= 10 {
             let ex = exhaustive_partition(&p).net_gain(&p);
-            println!(
+            out!(
                 "{n:>6} {ex:>14} {it:>12} {gr:>12} {:>9.1}%",
                 it as f64 * 100.0 / ex.max(1) as f64
             );
         } else {
-            println!("{n:>6} {:>14} {it:>12} {gr:>12} {:>10}", "N.A.", "-");
+            out!("{n:>6} {:>14} {it:>12} {gr:>12} {:>10}", "N.A.", "-");
         }
     }
 }
@@ -62,13 +70,23 @@ pub fn fig6_8() {
 /// Table 6.2 — CIS versions derived for the JPEG application's hot loops.
 pub fn tab6_2() {
     let p = jpeg_problem();
-    println!("{:<22} {:>8} {:>12}", "loop / version", "area", "gain (cycles)");
+    out!(
+        "{:<22} {:>8} {:>12}",
+        "loop / version",
+        "area",
+        "gain (cycles)"
+    );
     for l in &p.loops {
         for (j, v) in l.versions().iter().enumerate() {
-            println!("{:<22} {:>8} {:>12}", format!("{} v{j}", l.name), v.area, v.gain);
+            out!(
+                "{:<22} {:>8} {:>12}",
+                format!("{} v{j}", l.name),
+                v.area,
+                v.gain
+            );
         }
     }
-    println!("loop-entry trace: {} events", p.trace.len());
+    out!("loop-entry trace: {} events", p.trace.len());
 }
 
 /// Fig. 6.10 — solution quality for the JPEG case study across fabric
@@ -76,9 +94,14 @@ pub fn tab6_2() {
 pub fn fig6_10() {
     let base = jpeg_problem();
     let full_area: u64 = base.loops.iter().map(HotLoop::best).map(|v| v.area).sum();
-    println!(
+    out!(
         "{:>8} {:>9} {:>12} {:>12} {:>12} {:>12}",
-        "fabric", "rho", "static", "iterative", "greedy", "exhaustive"
+        "fabric",
+        "rho",
+        "static",
+        "iterative",
+        "greedy",
+        "exhaustive"
     );
     for fabric_pct in [25u64, 50, 75, 100] {
         for rho in [100u64, 1_000, 10_000] {
@@ -97,10 +120,10 @@ pub fn fig6_10() {
             let it = iterative_partition(&p, 9).net_gain(&p);
             let gr = greedy_partition(&p).net_gain(&p);
             let ex = exhaustive_partition(&p).net_gain(&p);
-            println!("{fabric_pct:>7}% {rho:>9} {st:>12} {it:>12} {gr:>12} {ex:>12}");
+            out!("{fabric_pct:>7}% {rho:>9} {st:>12} {it:>12} {gr:>12} {ex:>12}");
         }
     }
-    println!("(reconfiguration wins on small fabrics with cheap reloads; all converge to static as rho grows)");
+    out!("(reconfiguration wins on small fabrics with cheap reloads; all converge to static as rho grows)");
 }
 
 fn jpeg_problem() -> rtise::reconfig::ReconfigProblem {

@@ -1,6 +1,7 @@
 //! Chapter 7 experiments — runtime reconfiguration for multi-tasking
 //! real-time systems.
 
+use crate::out;
 use crate::util::cached_curve;
 use rtise::reconfig::rt::{demand, solve_dp, solve_ilp, solve_static, RtProblem, RtTask};
 use rtise::reconfig::CisVersion;
@@ -46,9 +47,11 @@ fn rt_problem(area_pct: u64) -> RtProblem {
 /// Table 7.1 — the tasks' CIS versions.
 pub fn tab7_1() {
     let p = rt_problem(100);
-    println!(
+    out!(
         "{:<18} {:>12} {:>10} | versions (area, WCET)",
-        "task", "base WCET", "period"
+        "task",
+        "base WCET",
+        "period"
     );
     for t in &p.tasks {
         let vs: Vec<String> = t
@@ -56,7 +59,7 @@ pub fn tab7_1() {
             .iter()
             .map(|v| format!("({}, {})", v.area, t.base_wcet - v.gain))
             .collect();
-        println!(
+        out!(
             "{:<18} {:>12} {:>10} | {}",
             t.name,
             t.base_wcet,
@@ -69,30 +72,35 @@ pub fn tab7_1() {
 /// Fig. 7.4 — utilization of DP, ILP-optimal, and static across fabric
 /// sizes.
 pub fn fig7_4() {
-    println!(
+    out!(
         "{:>8} {:>12} {:>12} {:>12}",
-        "fabric", "static U", "DP U", "optimal U"
+        "fabric",
+        "static U",
+        "DP U",
+        "optimal U"
     );
     for pct in [40u64, 60, 80, 100, 150] {
         let p = rt_problem(pct);
         let st = solve_static(&p);
         let dp = solve_dp(&p, 11);
         let ilp = solve_ilp(&p, 500_000_000).expect("ilp");
-        println!(
+        out!(
             "{pct:>7}% {:>12.4} {:>12.4} {:>12.4}",
-            st.utilization, dp.utilization, ilp.utilization
+            st.utilization,
+            dp.utilization,
+            ilp.utilization
         );
         assert!(ilp.utilization <= dp.utilization + 1e-9);
         assert!(ilp.utilization <= st.utilization + 1e-9);
         // Sanity: demands re-evaluate consistently.
         let _ = demand(&p, &ilp.version, &ilp.config);
     }
-    println!("(DP tracks the optimum closely; both dominate static, Fig. 7.4's shape)");
+    out!("(DP tracks the optimum closely; both dominate static, Fig. 7.4's shape)");
 }
 
 /// Table 7.2 — running time of the optimal ILP versus the DP.
 pub fn tab7_2() {
-    println!("{:>8} {:>14} {:>14}", "fabric", "optimal (s)", "DP (s)");
+    out!("{:>8} {:>14} {:>14}", "fabric", "optimal (s)", "DP (s)");
     for pct in [40u64, 80, 150] {
         let p = rt_problem(pct);
         let t0 = Instant::now();
@@ -101,6 +109,6 @@ pub fn tab7_2() {
         let t1 = Instant::now();
         let _ = solve_dp(&p, 11);
         let dp_s = t1.elapsed().as_secs_f64();
-        println!("{pct:>7}% {ilp_s:>14.4} {dp_s:>14.4}");
+        out!("{pct:>7}% {ilp_s:>14.4} {dp_s:>14.4}");
     }
 }

@@ -1,6 +1,7 @@
 //! Chapter 8 experiment — processor customization for wearable
 //! bio-monitoring.
 
+use crate::out;
 use rtise::ir::hw::HwModel;
 use rtise::kernels::by_name;
 use rtise::mlgp::iterative::IterTask;
@@ -10,21 +11,27 @@ use rtise::sim::{CiMap, SelectedCi, Simulator};
 /// Fig. 8.4 — performance speedup with customization for the
 /// bio-monitoring applications (plus the shared media kernels they embed).
 pub fn fig8_4() {
-    println!(
+    out!(
         "{:<16} {:>12} {:>12} {:>9} {:>14}",
-        "application", "sw cycles", "hw cycles", "speedup", "area (adders)"
+        "application",
+        "sw cycles",
+        "hw cycles",
+        "speedup",
+        "area (adders)"
     );
     for name in ["vital_signs", "fall_detection", "adpcm_encode", "fir"] {
         let kernel = by_name(name).expect("kernel");
         let sw = kernel.validate().expect("reference run");
         let hw = HwModel::default();
-        let wcet = rtise::ir::wcet::analyze(&kernel.program).expect("wcet").wcet;
+        let wcet = rtise::ir::wcet::analyze(&kernel.program)
+            .expect("wcet")
+            .wcet;
         let tasks = [IterTask {
             program: &kernel.program,
             period: wcet,
         }];
-        let res = customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default())
-            .expect("customize");
+        let res =
+            customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("customize");
         let mut cis = CiMap::new();
         for ci in &res.selected {
             let dfg = &kernel.program.block(ci.block).dfg;
@@ -41,7 +48,7 @@ pub fn fig8_4() {
             .run_with_cis(&kernel.init_vars, &kernel.init_mem, &cis)
             .expect("accelerated run");
         assert_eq!(acc.vars, sw.vars, "{name}: results must stay bit-exact");
-        println!(
+        out!(
             "{name:<16} {:>12} {:>12} {:>8.2}x {:>14}",
             sw.cycles,
             acc.cycles,

@@ -2,6 +2,7 @@
 //! taxonomy quantified, and ablations of the design choices the
 //! implementation makes.
 
+use crate::out;
 use crate::util::cached_curve;
 use rtise::ir::hw::HwModel;
 use rtise::ir::region::regions;
@@ -23,9 +24,14 @@ use rtise::workbench::{reconfig_problem, CurveOptions};
 pub fn ext_arch() {
     let base = reconfig_problem("jpeg", 4, 0, 0, CurveOptions::thorough()).expect("problem");
     let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
-    println!(
+    out!(
         "{:>8} {:>9} {:>10} {:>14} {:>18} {:>14}",
-        "fabric", "rho", "static", "temporal-only", "temporal+spatial", "partial"
+        "fabric",
+        "rho",
+        "static",
+        "temporal-only",
+        "temporal+spatial",
+        "partial"
     );
     for fabric_pct in [35u64, 70] {
         for rho in [200u64, 2_000, 20_000] {
@@ -49,15 +55,17 @@ pub fn ext_arch() {
             // the fabric area, so small configurations reload cheaply.
             let per_area = (rho / p.max_area.max(1)).max(1);
             let partial_sol = iterative_partition(&p, 5);
-            let pr = net_gain_with(&p, &partial_sol, CostModel::Partial {
-                per_area_unit: per_area,
-            });
-            println!(
-                "{fabric_pct:>7}% {rho:>9} {st:>10} {to:>14} {ts:>18} {pr:>14}"
+            let pr = net_gain_with(
+                &p,
+                &partial_sol,
+                CostModel::Partial {
+                    per_area_unit: per_area,
+                },
             );
+            out!("{fabric_pct:>7}% {rho:>9} {st:>10} {to:>14} {ts:>18} {pr:>14}");
         }
     }
-    println!(
+    out!(
         "(temporal-only pays a reload on every loop switch; spatial sharing \
          amortizes it; partial reconfiguration helps most when \
          configurations are small relative to the fabric)"
@@ -70,7 +78,7 @@ pub fn ext_ablation() {
     let hw = HwModel::default();
 
     // --- MLGP refinement passes. ---
-    println!("MLGP refinement ablation (total gain over hot regions):");
+    out!("MLGP refinement ablation (total gain over hot regions):");
     for name in ["jfdctint", "blowfish", "des3"] {
         let k = by_name(name).expect("kernel");
         let run = k.run().expect("profile");
@@ -94,7 +102,7 @@ pub fn ext_ablation() {
             }
             gains.push(total);
         }
-        println!(
+        out!(
             "  {name:<12} no-refine {:>12}  refined {:>12}  ({:+.1}%)",
             gains[0],
             gains[1],
@@ -103,7 +111,7 @@ pub fn ext_ablation() {
     }
 
     // --- Enumeration caps vs curve quality. ---
-    println!("\nenumeration-cap ablation (best gain on crc32 at full budget):");
+    out!("\nenumeration-cap ablation (best gain on crc32 at full budget):");
     let k = by_name("crc32").expect("kernel");
     let run = k.run().expect("profile");
     for (cap, nodes) in [(200usize, 8usize), (1_000, 16), (5_000, 24)] {
@@ -117,7 +125,7 @@ pub fn ext_ablation() {
         };
         let cands = harvest(&k.program, &run.block_counts, &hw, opts);
         let sel = greedy_by_ratio(&cands, u64::MAX);
-        println!(
+        out!(
             "  cap {cap:>5} / {nodes:>2} nodes: {:>4} candidates, gain {:>9}",
             cands.len(),
             sel.total_gain
@@ -125,12 +133,17 @@ pub fn ext_ablation() {
     }
 
     // --- Selection-algorithm ladder. ---
-    println!("\nselection ladder on the g721_decode library (tight budget):");
+    out!("\nselection ladder on the g721_decode library (tight budget):");
     let curve = cached_curve("g721_decode");
     let _ = curve;
     let k = by_name("g721_decode").expect("kernel");
     let run = k.run().expect("profile");
-    let cands = harvest(&k.program, &run.block_counts, &hw, HarvestOptions::default());
+    let cands = harvest(
+        &k.program,
+        &run.block_counts,
+        &hw,
+        HarvestOptions::default(),
+    );
     let budget: u64 = cands.iter().map(|c| c.area).sum::<u64>() / 3;
     let greedy = greedy_by_ratio(&cands, budget);
     let sa = simulated_annealing_select(&cands, budget, SaOptions::default());
@@ -140,11 +153,11 @@ pub fn ext_ablation() {
     } else {
         None
     };
-    println!("  greedy gain {:>9}", greedy.total_gain);
-    println!("  SA     gain {:>9}", sa.total_gain);
-    println!("  GA     gain {:>9}", ga.total_gain);
+    out!("  greedy gain {:>9}", greedy.total_gain);
+    out!("  SA     gain {:>9}", sa.total_gain);
+    out!("  GA     gain {:>9}", ga.total_gain);
     match exact {
-        Some(e) => println!("  exact  gain {:>9}", e.total_gain),
-        None => println!("  exact  gain        NA ({} candidates)", cands.len()),
+        Some(e) => out!("  exact  gain {:>9}", e.total_gain),
+        None => out!("  exact  gain        NA ({} candidates)", cands.len()),
     }
 }

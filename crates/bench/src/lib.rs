@@ -8,6 +8,7 @@
 //! Run everything with `cargo run --release -p rtise-bench --bin reproduce`,
 //! or name experiments: `reproduce fig3_3 tab6_1`.
 
+pub mod capture;
 pub mod ch3;
 pub mod ch4;
 pub mod ch5;
@@ -51,12 +52,73 @@ pub const ALL: &[(&str, fn())] = &[
 ///
 /// Returns the unknown id back to the caller.
 pub fn run(id: &str) -> Result<(), String> {
-    match ALL.iter().find(|(name, _)| *name == id) {
-        Some((_, f)) => {
-            println!("\n=== {id} ===");
-            f();
-            Ok(())
-        }
-        None => Err(format!("unknown experiment {id:?}")),
+    run_observed(id).map(|_| ())
+}
+
+/// Outcome of one observed experiment run: wall time, captured output
+/// lines, and the solver counters it incremented (a
+/// [`rtise_obs::snapshot_diff`] over the run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Experiment id.
+    pub id: String,
+    /// Whether the experiment completed without panicking.
+    pub ok: bool,
+    /// Wall-clock time of the run in milliseconds.
+    pub wall_ms: f64,
+    /// The experiment's printed result series, one entry per line.
+    pub output: Vec<String>,
+    /// Solver counters incremented during the run.
+    pub counters: std::collections::BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// The report as a JSON value (`id`, `ok`, `wall_ms`, `counters`,
+    /// `output`).
+    pub fn to_json(&self) -> rtise_obs::json::Value {
+        use rtise_obs::json::Value;
+        Value::Obj(vec![
+            ("id".into(), Value::from(self.id.as_str())),
+            ("ok".into(), Value::Bool(self.ok)),
+            ("wall_ms".into(), Value::Num(self.wall_ms)),
+            ("counters".into(), Value::from(&self.counters)),
+            (
+                "output".into(),
+                Value::Arr(
+                    self.output
+                        .iter()
+                        .map(|l| Value::from(l.as_str()))
+                        .collect(),
+                ),
+            ),
+        ])
     }
+}
+
+/// Runs one experiment by id, capturing output, wall time, and counter
+/// deltas. A panicking experiment is reported with `ok = false` rather
+/// than aborting the harness.
+///
+/// # Errors
+///
+/// Returns the unknown id back to the caller.
+pub fn run_observed(id: &str) -> Result<RunReport, String> {
+    let Some((_, f)) = ALL.iter().find(|(name, _)| *name == id) else {
+        return Err(format!("unknown experiment {id:?}"));
+    };
+    println!("\n=== {id} ===");
+    capture::begin();
+    let before = rtise_obs::snapshot();
+    let timer = rtise_obs::Timer::start();
+    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok();
+    let wall_ms = timer.elapsed_ms();
+    let counters = rtise_obs::snapshot_diff(&before, &rtise_obs::snapshot());
+    let output = capture::take();
+    Ok(RunReport {
+        id: id.into(),
+        ok,
+        wall_ms,
+        output,
+        counters,
+    })
 }

@@ -1,0 +1,73 @@
+//! Smoke test: `reproduce --json` emits a parseable report with
+//! per-experiment wall time and non-zero solver counters.
+
+use rtise_obs::json::{parse, Value};
+use std::process::Command;
+
+#[test]
+fn reproduce_json_report_has_wall_time_and_solver_counters() {
+    let path = std::env::temp_dir().join(format!("rtise-smoke-{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["--json", path.to_str().expect("utf-8 tmp path")])
+        .args(["fig3_2", "fig4_1"])
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn reproduce");
+    assert!(status.success(), "reproduce exited with {status}");
+
+    let src = std::fs::read_to_string(&path).expect("report written");
+    let _ = std::fs::remove_file(&path);
+    let doc = parse(&src).expect("report parses as JSON");
+
+    assert!(
+        doc.get("total_wall_ms").and_then(Value::as_f64).is_some(),
+        "report has a total wall time"
+    );
+    let experiments = doc
+        .get("experiments")
+        .and_then(Value::as_arr)
+        .expect("experiments array");
+    assert_eq!(experiments.len(), 2);
+
+    let by_id = |id: &str| -> &Value {
+        experiments
+            .iter()
+            .find(|e| e.get("id").and_then(Value::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("experiment {id} present"))
+    };
+    let counter = |e: &Value, key: &str| -> f64 {
+        e.get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+
+    for id in ["fig3_2", "fig4_1"] {
+        let e = by_id(id);
+        assert_eq!(
+            e.get("ok").map(|v| matches!(v, Value::Bool(true))),
+            Some(true),
+            "{id} ran ok"
+        );
+        assert!(
+            e.get("wall_ms").and_then(Value::as_f64).is_some(),
+            "{id} has wall time"
+        );
+        let output = e
+            .get("output")
+            .and_then(Value::as_arr)
+            .expect("output lines");
+        assert!(!output.is_empty(), "{id} captured its result series");
+    }
+
+    // fig3_2 exercises the ILP branch-and-bound, the EDF DP, and the RMS
+    // branch-and-bound; fig4_1 the candidate enumeration.
+    let fig3_2 = by_id("fig3_2");
+    assert!(counter(fig3_2, "ilp.nodes_explored") > 0.0);
+    assert!(counter(fig3_2, "ilp.solves") > 0.0);
+    assert!(counter(fig3_2, "select.edf.dp_cells") > 0.0);
+    assert!(counter(fig3_2, "select.rms.nodes") > 0.0);
+    let fig4_1 = by_id("fig4_1");
+    assert!(counter(fig4_1, "ise.enumerate.accepted") > 0.0);
+    assert!(counter(fig4_1, "ise.enumerate.rejected") > 0.0);
+}

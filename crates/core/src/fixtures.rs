@@ -19,10 +19,44 @@ pub const TABLE_3_1: [[&str; 4]; 6] = [
 
 /// Table 4.1 — the five task sets (6–10 tasks) of the Pareto evaluation.
 pub const TABLE_4_1: [&[&str]; 5] = [
-    &["jpeg", "adpcm_encode", "rijndael", "compress", "blowfish", "susan"],
-    &["jpeg", "g721_decode", "jfdctint", "compress", "adpcm_decode", "lms", "crc32"],
-    &["jpeg", "compress", "fir", "sha", "g721_decode", "ndes", "des3", "susan"],
-    &["adpcm_encode", "rijndael", "jpeg", "compress", "sha", "ndes", "fir", "crc32", "lms"],
+    &[
+        "jpeg",
+        "adpcm_encode",
+        "rijndael",
+        "compress",
+        "blowfish",
+        "susan",
+    ],
+    &[
+        "jpeg",
+        "g721_decode",
+        "jfdctint",
+        "compress",
+        "adpcm_decode",
+        "lms",
+        "crc32",
+    ],
+    &[
+        "jpeg",
+        "compress",
+        "fir",
+        "sha",
+        "g721_decode",
+        "ndes",
+        "des3",
+        "susan",
+    ],
+    &[
+        "adpcm_encode",
+        "rijndael",
+        "jpeg",
+        "compress",
+        "sha",
+        "ndes",
+        "fir",
+        "crc32",
+        "lms",
+    ],
     &[
         "rijndael",
         "jpeg",

@@ -36,6 +36,7 @@ pub use rtise_ir as ir;
 pub use rtise_ise as ise;
 pub use rtise_kernels as kernels;
 pub use rtise_mlgp as mlgp;
+pub use rtise_obs as obs;
 pub use rtise_reconfig as reconfig;
 pub use rtise_rt as rt;
 pub use rtise_select as select;

@@ -6,6 +6,7 @@ use rtise_ise::candidate::{harvest, HarvestOptions};
 use rtise_ise::configs::ConfigCurve;
 use rtise_ise::enumerate::EnumerateOptions;
 use rtise_kernels::by_name;
+use rtise_obs::Collector;
 use rtise_select::task::{periods_for_utilization, TaskSpec};
 use std::fmt;
 
@@ -72,7 +73,14 @@ impl fmt::Display for WorkbenchError {
     }
 }
 
-impl std::error::Error for WorkbenchError {}
+impl std::error::Error for WorkbenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkbenchError::UnknownKernel(_) => None,
+            WorkbenchError::Kernel(e) => Some(e),
+        }
+    }
+}
 
 /// Builds the configuration curve of one benchmark kernel: run it
 /// (validating against the reference), harvest custom-instruction
@@ -83,17 +91,43 @@ impl std::error::Error for WorkbenchError {}
 ///
 /// See [`WorkbenchError`].
 pub fn task_curve(name: &str, opts: CurveOptions) -> Result<ConfigCurve, WorkbenchError> {
+    task_curve_spanned(name, opts, &mut Collector::disabled())
+}
+
+/// Like [`task_curve`], recording one span per pipeline stage
+/// (`validate`, `harvest`, `curve`) into `col`, with candidate and
+/// curve-point counts attached to the owning span.
+///
+/// # Errors
+///
+/// See [`WorkbenchError`].
+pub fn task_curve_spanned(
+    name: &str,
+    opts: CurveOptions,
+    col: &mut Collector,
+) -> Result<ConfigCurve, WorkbenchError> {
     let kernel = by_name(name).ok_or_else(|| WorkbenchError::UnknownKernel(name.into()))?;
-    let run = kernel.validate().map_err(WorkbenchError::Kernel)?;
+    col.enter("validate");
+    let run = kernel.validate().map_err(WorkbenchError::Kernel);
+    col.leave();
+    let run = run?;
+    col.enter("harvest");
     let hw = HwModel::default();
     let cands = harvest(&kernel.program, &run.block_counts, &hw, opts.harvest);
-    Ok(ConfigCurve::generate(
+    col.add("candidates", cands.len() as u64);
+    col.leave();
+    col.enter("curve");
+    let curve = ConfigCurve::generate(
         name,
         &cands,
         run.cycles,
         opts.n_budgets,
         opts.exact_threshold,
-    ))
+    );
+    col.add("points", curve.len() as u64);
+    col.leave();
+    rtise_obs::global_add("workbench.curves", 1);
+    Ok(curve)
 }
 
 /// Builds [`TaskSpec`]s for the named kernels with periods derived from a
@@ -107,9 +141,29 @@ pub fn task_specs(
     u0: f64,
     opts: CurveOptions,
 ) -> Result<Vec<TaskSpec>, WorkbenchError> {
+    task_specs_spanned(names, u0, opts, &mut Collector::disabled())
+}
+
+/// Like [`task_specs`], recording one span per kernel (each containing
+/// the [`task_curve_spanned`] stage spans) into `col`.
+///
+/// # Errors
+///
+/// See [`WorkbenchError`].
+pub fn task_specs_spanned(
+    names: &[&str],
+    u0: f64,
+    opts: CurveOptions,
+    col: &mut Collector,
+) -> Result<Vec<TaskSpec>, WorkbenchError> {
     let curves: Vec<ConfigCurve> = names
         .iter()
-        .map(|n| task_curve(n, opts))
+        .map(|n| {
+            col.enter(&format!("curve:{n}"));
+            let c = task_curve_spanned(n, opts, col);
+            col.leave();
+            c
+        })
         .collect::<Result<_, _>>()?;
     let bases: Vec<u64> = curves.iter().map(|c| c.base_cycles).collect();
     let periods = periods_for_utilization(&bases, u0);

@@ -32,9 +32,7 @@
 //! assert_eq!(p.edge_cut(&g), 1);
 //! ```
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rtise_obs::Rng;
 
 /// A weighted undirected graph with integer vertex and edge weights.
 ///
@@ -161,6 +159,35 @@ impl Partitioning {
 /// Maximum allowed part weight as a multiple of the ideal average.
 const BALANCE_FACTOR: f64 = 1.25;
 
+/// Independent initial partitions tried on the coarsest graph (best cut
+/// wins).
+const INITIAL_RESTARTS: u64 = 4;
+
+/// Solver statistics for one [`partition_with_stats`] call.
+///
+/// The trajectory makes the multilevel scheme observable: every entry is
+/// the edge cut *after* refinement at one level, coarsest first, and the
+/// sequence is non-increasing: projection preserves both the cut and the
+/// part weights, so after the coarsest level (where balance repair may
+/// accept negative-gain moves) refinement only accepts moves with
+/// non-negative gain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Number of coarsening levels actually built.
+    pub coarsen_levels: u64,
+    /// Vertex count of the coarsest graph the initial partition ran on.
+    pub coarsest_vertices: u64,
+    /// Independent initial partitions tried on the coarsest graph.
+    pub initial_restarts: u64,
+    /// Total refinement passes across all levels.
+    pub refine_passes: u64,
+    /// Total accepted vertex moves across all refinement passes.
+    pub refine_moves: u64,
+    /// Edge cut after refinement at each level, coarsest graph first; the
+    /// last entry is the final cut on the input graph.
+    pub cut_trajectory: Vec<u64>,
+}
+
 /// Partitions `g` into `k` parts of roughly equal vertex weight while
 /// minimizing edge cut, using the multilevel scheme.
 ///
@@ -170,13 +197,26 @@ const BALANCE_FACTOR: f64 = 1.25;
 ///
 /// Panics if `k == 0`.
 pub fn partition(g: &Graph, k: usize, seed: u64) -> Partitioning {
+    partition_with_stats(g, k, seed).0
+}
+
+/// Like [`partition`], additionally returning [`PartitionStats`] and
+/// publishing `graphpart.*` counters to the [`rtise_obs`] registry.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn partition_with_stats(g: &Graph, k: usize, seed: u64) -> (Partitioning, PartitionStats) {
     assert!(k > 0, "k must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
+    let mut stats = PartitionStats::default();
     if k == 1 || g.len() <= 1 {
-        return Partitioning {
+        let p = Partitioning {
             assignment: vec![0; g.len()],
             k,
         };
+        stats.cut_trajectory.push(0);
+        return (p, stats);
     }
 
     // Coarsening.
@@ -191,10 +231,30 @@ pub fn partition(g: &Graph, k: usize, seed: u64) -> Partitioning {
         levels.push((cur, map));
         cur = coarse;
     }
+    stats.coarsen_levels = levels.len() as u64;
+    stats.coarsest_vertices = cur.len() as u64;
 
-    // Initial partitioning on the coarsest graph.
-    let mut assignment = initial_partition(&cur, k, &mut rng);
-    refine(&cur, k, &mut assignment, &mut rng);
+    // Initial partitioning on the coarsest graph. The coarsest graph is
+    // small, so multi-start is cheap insurance against an unlucky greedy
+    // growth that refinement cannot escape.
+    let mut best: Option<(Vec<usize>, u64)> = None;
+    for _ in 0..INITIAL_RESTARTS {
+        let mut a = initial_partition(&cur, k, &mut rng);
+        let (passes, moves) = refine(&cur, k, &mut a, &mut rng);
+        stats.refine_passes += passes;
+        stats.refine_moves += moves;
+        let cut = Partitioning {
+            assignment: a.clone(),
+            k,
+        }
+        .edge_cut(&cur);
+        if best.as_ref().is_none_or(|&(_, bc)| cut < bc) {
+            best = Some((a, cut));
+        }
+    }
+    let (mut assignment, best_cut) = best.expect("INITIAL_RESTARTS > 0");
+    stats.initial_restarts = INITIAL_RESTARTS;
+    stats.cut_trajectory.push(best_cut);
 
     // Uncoarsening with refinement at every level.
     while let Some((finer, map)) = levels.pop() {
@@ -203,19 +263,32 @@ pub fn partition(g: &Graph, k: usize, seed: u64) -> Partitioning {
             fine_assign[v] = assignment[map[v]];
         }
         assignment = fine_assign;
-        refine(&finer, k, &mut assignment, &mut rng);
+        let (passes, moves) = refine(&finer, k, &mut assignment, &mut rng);
+        stats.refine_passes += passes;
+        stats.refine_moves += moves;
+        stats.cut_trajectory.push(
+            Partitioning {
+                assignment: assignment.clone(),
+                k,
+            }
+            .edge_cut(&finer),
+        );
         cur = finer;
     }
     debug_assert_eq!(cur.len(), g.len());
-    Partitioning { assignment, k }
+    rtise_obs::global_add("graphpart.calls", 1);
+    rtise_obs::global_add("graphpart.coarsen_levels", stats.coarsen_levels);
+    rtise_obs::global_add("graphpart.refine_passes", stats.refine_passes);
+    rtise_obs::global_add("graphpart.refine_moves", stats.refine_moves);
+    (Partitioning { assignment, k }, stats)
 }
 
 /// One level of heavy-edge matching. Returns the coarse graph and the
 /// fine-to-coarse vertex map.
-fn coarsen(g: &Graph, rng: &mut SmallRng) -> (Graph, Vec<usize>) {
+fn coarsen(g: &Graph, rng: &mut Rng) -> (Graph, Vec<usize>) {
     let n = g.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
     let mut matched = vec![usize::MAX; n];
     let mut coarse_count = 0usize;
     let mut map = vec![usize::MAX; n];
@@ -252,45 +325,73 @@ fn coarsen(g: &Graph, rng: &mut SmallRng) -> (Graph, Vec<usize>) {
     (coarse, map)
 }
 
-/// Balanced greedy-growing initial partition.
-fn initial_partition(g: &Graph, k: usize, rng: &mut SmallRng) -> Vec<usize> {
+/// Greedy graph growing initial partition (GGGP): grow one part at a time
+/// from a random seed vertex, always absorbing the unassigned vertex most
+/// connected to the growing part, until the part reaches its share of the
+/// remaining weight. Growing parts one at a time (instead of assigning
+/// vertices to parts one at a time) keeps natural clusters together.
+fn initial_partition(g: &Graph, k: usize, rng: &mut Rng) -> Vec<usize> {
     let n = g.len();
     let mut assignment = vec![usize::MAX; n];
-    let mut part_w = vec![0u64; k];
-    let limit = (g.total_weight() as f64 / k as f64 * BALANCE_FACTOR).ceil() as u64;
-    let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(rng);
-    // BFS-grow from random seeds, always extending the lightest part with its
-    // most-connected frontier vertex.
-    for &v in &order {
-        if assignment[v] != usize::MAX {
-            continue;
+    let mut remaining = g.total_weight();
+    let mut unassigned = n;
+    for p in 0..k {
+        if unassigned == 0 {
+            break;
         }
-        // Prefer the part with most connectivity to v that still has room;
-        // fall back to the lightest part.
-        let mut conn = vec![0u64; k];
-        for &(u, w) in g.neighbors(v) {
-            if assignment[u] != usize::MAX {
-                conn[assignment[u]] += w;
+        let parts_left = k - p;
+        if parts_left == 1 {
+            // Last part absorbs everything still unassigned.
+            for a in assignment.iter_mut().filter(|a| **a == usize::MAX) {
+                *a = p;
             }
+            break;
         }
-        let best = (0..k)
-            .filter(|&p| part_w[p] + g.vertex_weight(v) <= limit)
-            .max_by_key(|&p| (conn[p], std::cmp::Reverse(part_w[p])))
-            .unwrap_or_else(|| {
-                (0..k)
-                    .min_by_key(|&p| part_w[p])
-                    .expect("k > 0")
-            });
-        assignment[v] = best;
-        part_w[best] += g.vertex_weight(v);
+        let target = (remaining as f64 / parts_left as f64).round() as u64;
+        // Connectivity of each unassigned vertex to the growing part.
+        let mut conn = vec![0u64; n];
+        let pick = rng.gen_range(0..unassigned);
+        let mut cur = (0..n)
+            .filter(|&v| assignment[v] == usize::MAX)
+            .nth(pick)
+            .expect("unassigned > 0");
+        let mut part_w = 0u64;
+        loop {
+            assignment[cur] = p;
+            unassigned -= 1;
+            part_w += g.vertex_weight(cur);
+            remaining -= g.vertex_weight(cur);
+            if part_w >= target || unassigned == 0 {
+                break;
+            }
+            for &(u, w) in g.neighbors(cur) {
+                if assignment[u] == usize::MAX {
+                    conn[u] += w;
+                }
+            }
+            let next = (0..n)
+                .filter(|&v| assignment[v] == usize::MAX)
+                .max_by_key(|&v| conn[v])
+                .expect("unassigned > 0");
+            cur = if conn[next] > 0 {
+                next
+            } else {
+                // Frontier exhausted (disconnected graph): random restart.
+                let pick = rng.gen_range(0..unassigned);
+                (0..n)
+                    .filter(|&v| assignment[v] == usize::MAX)
+                    .nth(pick)
+                    .expect("unassigned > 0")
+            };
+        }
     }
     assignment
 }
 
 /// Greedy boundary refinement: repeatedly move vertices whose cut gain is
 /// positive (or balance-improving at zero gain) until a pass makes no move.
-fn refine(g: &Graph, k: usize, assignment: &mut [usize], rng: &mut SmallRng) {
+/// Returns `(passes run, moves accepted)`.
+fn refine(g: &Graph, k: usize, assignment: &mut [usize], rng: &mut Rng) -> (u64, u64) {
     let n = g.len();
     let mut part_w = vec![0u64; k];
     for v in 0..n {
@@ -298,11 +399,17 @@ fn refine(g: &Graph, k: usize, assignment: &mut [usize], rng: &mut SmallRng) {
     }
     let limit = (g.total_weight() as f64 / k as f64 * BALANCE_FACTOR).ceil() as u64;
     let mut order: Vec<usize> = (0..n).collect();
+    let (mut passes, mut moves) = (0u64, 0u64);
     for _pass in 0..8 {
-        order.shuffle(rng);
+        passes += 1;
+        rng.shuffle(&mut order);
         let mut moved = false;
         for &v in &order {
             let from = assignment[v];
+            // Balance repair: when a part overflows the limit (possible
+            // only right after a bad initial partition), accept the
+            // least-bad move out of it even at negative gain.
+            let over_limit = part_w[from] > limit;
             let mut conn = vec![0i64; k];
             let mut boundary = false;
             for &(u, w) in g.neighbors(v) {
@@ -311,7 +418,7 @@ fn refine(g: &Graph, k: usize, assignment: &mut [usize], rng: &mut SmallRng) {
                     boundary = true;
                 }
             }
-            if !boundary {
+            if !boundary && !over_limit {
                 continue;
             }
             let internal = conn[from];
@@ -323,29 +430,30 @@ fn refine(g: &Graph, k: usize, assignment: &mut [usize], rng: &mut SmallRng) {
                 }
                 let gain = conn[to] - internal;
                 let better_balance = part_w[to] + vw < part_w[from];
-                if (gain > 0 || (gain == 0 && better_balance))
-                    && best.is_none_or(|(bg, _)| gain > bg) {
-                        best = Some((gain, to));
-                    }
+                if (gain > 0 || (gain == 0 && better_balance) || over_limit)
+                    && best.is_none_or(|(bg, _)| gain > bg)
+                {
+                    best = Some((gain, to));
+                }
             }
             if let Some((_, to)) = best {
                 part_w[from] -= vw;
                 part_w[to] += vw;
                 assignment[v] = to;
                 moved = true;
+                moves += 1;
             }
         }
         if !moved {
             break;
         }
     }
+    (passes, moves)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::Rng;
 
     fn clique_pair(bridge_w: u64) -> Graph {
         let mut g = Graph::new(vec![1; 8]);
@@ -405,7 +513,7 @@ mod tests {
 
     #[test]
     fn larger_random_graph_is_balanced_and_cut_bounded() {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut rng = Rng::new(99);
         let n = 200;
         let mut g = Graph::new(vec![1; n]);
         // Ring of cliques: 10 clusters of 20.
@@ -434,24 +542,88 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    proptest! {
-        #[test]
-        fn assignment_always_valid(n in 1usize..40, k in 1usize..6, seed in 0u64..50) {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-            let mut g = Graph::new((0..n).map(|_| rng.gen_range(1..5)).collect());
-            for u in 0..n {
-                for v in (u+1)..n {
-                    if rng.gen_bool(0.2) {
-                        g.add_edge(u, v, rng.gen_range(1..10));
-                    }
+    /// Seeded random instance used by the invariant tests below.
+    fn random_graph(seed: u64) -> (Graph, usize) {
+        let mut rng = Rng::new(seed);
+        let n = rng.gen_range(1usize..40);
+        let k = rng.gen_range(1usize..6);
+        let mut g = Graph::new((0..n).map(|_| rng.gen_range(1u64..5)).collect());
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.2) {
+                    g.add_edge(u, v, rng.gen_range(1u64..10));
                 }
             }
-            let p = partition(&g, k, seed);
-            prop_assert_eq!(p.assignment.len(), n);
-            prop_assert!(p.assignment.iter().all(|&a| a < k));
-            // edge_cut is symmetric and bounded by total edge weight.
-            let total_w: u64 = (0..n).map(|u| g.neighbors(u).iter().map(|(_, w)| w).sum::<u64>()).sum::<u64>() / 2;
-            prop_assert!(p.edge_cut(&g) <= total_w);
         }
+        (g, k)
+    }
+
+    #[test]
+    fn assignment_always_valid() {
+        for seed in 0u64..50 {
+            let (g, k) = random_graph(seed);
+            let n = g.len();
+            let p = partition(&g, k, seed);
+            assert_eq!(p.assignment.len(), n);
+            assert!(p.assignment.iter().all(|&a| a < k));
+            // edge_cut is symmetric and bounded by total edge weight.
+            let total_w: u64 = (0..n)
+                .map(|u| g.neighbors(u).iter().map(|(_, w)| w).sum::<u64>())
+                .sum::<u64>()
+                / 2;
+            assert!(p.edge_cut(&g) <= total_w);
+        }
+    }
+
+    #[test]
+    fn stats_do_not_change_the_result() {
+        for seed in 0u64..20 {
+            let (g, k) = random_graph(seed);
+            let plain = partition(&g, k, seed);
+            let (with_stats, _) = partition_with_stats(&g, k, seed);
+            assert_eq!(plain, with_stats);
+        }
+    }
+
+    #[test]
+    fn cut_trajectory_is_non_increasing_and_ends_at_final_cut() {
+        for seed in 0u64..30 {
+            let (g, k) = random_graph(seed + 100);
+            let (p, stats) = partition_with_stats(&g, k, seed);
+            assert!(!stats.cut_trajectory.is_empty());
+            assert!(
+                stats.cut_trajectory.windows(2).all(|w| w[0] >= w[1]),
+                "trajectory {:?} increased (seed {seed})",
+                stats.cut_trajectory
+            );
+            assert_eq!(
+                *stats.cut_trajectory.last().expect("non-empty"),
+                p.edge_cut(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn stats_trajectory_matches_level_count() {
+        // Large enough to force real coarsening: levels + 1 cut samples.
+        let mut rng = Rng::new(4);
+        let n = 120;
+        let mut g = Graph::new(vec![1; n]);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.05) {
+                    g.add_edge(u, v, rng.gen_range(1u64..6));
+                }
+            }
+        }
+        let (_, stats) = partition_with_stats(&g, 3, 8);
+        assert!(stats.coarsen_levels >= 1, "{stats:?}");
+        assert_eq!(
+            stats.cut_trajectory.len() as u64,
+            stats.coarsen_levels + 1,
+            "{stats:?}"
+        );
+        assert!(stats.refine_passes >= 1);
+        assert!(stats.coarsest_vertices >= 1);
     }
 }

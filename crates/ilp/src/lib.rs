@@ -105,6 +105,23 @@ pub struct Solution {
     pub nodes: u64,
 }
 
+/// Branch-and-bound statistics for one [`Model::solve_with_stats`] call.
+///
+/// Invariants: `nodes_explored >= 1` for any model with at least one
+/// search node, and `nodes_explored >= pruned_bound + pruned_infeasible`
+/// (every pruning event consumes the node it fires at).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IlpStats {
+    /// Search-tree nodes entered.
+    pub nodes_explored: u64,
+    /// Nodes abandoned because a constraint row became unsatisfiable.
+    pub pruned_infeasible: u64,
+    /// Nodes abandoned because no completion could beat the incumbent.
+    pub pruned_bound: u64,
+    /// Times a new best (incumbent) solution was recorded.
+    pub incumbent_updates: u64,
+}
+
 /// A 0–1 integer linear program.
 ///
 /// See the [crate-level example](crate).
@@ -192,9 +209,33 @@ impl Model {
     /// [`SolveError::VarOutOfRange`] on malformed input, or
     /// [`SolveError::NodeLimit`] if a limit was set and exhausted.
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with_stats().map(|(s, _)| s)
+    }
+
+    /// Like [`Model::solve`], additionally returning branch-and-bound
+    /// [`IlpStats`] and publishing `ilp.*` counters to the [`rtise_obs`]
+    /// registry (also on error, so aborted searches stay observable).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_with_stats(&self) -> Result<(Solution, IlpStats), SolveError> {
+        let (result, stats) = self.solve_inner();
+        rtise_obs::global_add("ilp.solves", 1);
+        rtise_obs::global_add("ilp.nodes_explored", stats.nodes_explored);
+        rtise_obs::global_add("ilp.pruned_infeasible", stats.pruned_infeasible);
+        rtise_obs::global_add("ilp.pruned_bound", stats.pruned_bound);
+        rtise_obs::global_add("ilp.incumbent_updates", stats.incumbent_updates);
+        result.map(|s| (s, stats))
+    }
+
+    fn solve_inner(&self) -> (Result<Solution, SolveError>, IlpStats) {
         for (v, _) in self.rows.iter().flat_map(|r| r.terms.iter()) {
             if *v >= self.n {
-                return Err(SolveError::VarOutOfRange { var: *v });
+                return (
+                    Err(SolveError::VarOutOfRange { var: *v }),
+                    IlpStats::default(),
+                );
             }
         }
 
@@ -207,9 +248,7 @@ impl Model {
         for r in &self.rows {
             match r.cmp {
                 Cmp::Le => le_rows.push((r.terms.clone(), r.rhs)),
-                Cmp::Ge => {
-                    le_rows.push((r.terms.iter().map(|&(v, c)| (v, -c)).collect(), -r.rhs))
-                }
+                Cmp::Ge => le_rows.push((r.terms.iter().map(|&(v, c)| (v, -c)).collect(), -r.rhs)),
                 Cmp::Eq => {
                     le_rows.push((r.terms.clone(), r.rhs));
                     le_rows.push((r.terms.iter().map(|&(v, c)| (v, -c)).collect(), -r.rhs));
@@ -259,12 +298,17 @@ impl Model {
             lhs: vec![0; m],
             assign: vec![false; self.n],
             best: None,
-            nodes: 0,
+            stats: IlpStats::default(),
             node_limit: self.node_limit,
         };
-        search.dfs(0, 0)?;
-        let nodes = search.nodes;
-        let (obj_val, ordered_assign) = search.best.ok_or(SolveError::Infeasible)?;
+        if let Err(e) = search.dfs(0, 0) {
+            return (Err(e), search.stats);
+        }
+        let stats = search.stats;
+        let nodes = stats.nodes_explored;
+        let Some((obj_val, ordered_assign)) = search.best else {
+            return (Err(SolveError::Infeasible), stats);
+        };
 
         let mut values = vec![false; self.n];
         for (d, &v) in order.iter().enumerate() {
@@ -274,11 +318,14 @@ impl Model {
             Sense::Minimize => obj_val,
             Sense::Maximize => -obj_val,
         };
-        Ok(Solution {
-            objective,
-            values,
-            nodes,
-        })
+        (
+            Ok(Solution {
+                objective,
+                values,
+                nodes,
+            }),
+            stats,
+        )
     }
 }
 
@@ -293,14 +340,14 @@ struct Search<'a> {
     lhs: Vec<i64>,
     assign: Vec<bool>,
     best: Option<(i64, Vec<bool>)>,
-    nodes: u64,
+    stats: IlpStats,
     node_limit: u64,
 }
 
 impl Search<'_> {
     fn dfs(&mut self, depth: usize, cur_obj: i64) -> Result<(), SolveError> {
-        self.nodes += 1;
-        if self.nodes > self.node_limit {
+        self.stats.nodes_explored += 1;
+        if self.stats.nodes_explored > self.node_limit {
             return Err(SolveError::NodeLimit {
                 limit: self.node_limit,
             });
@@ -308,18 +355,21 @@ impl Search<'_> {
         // Feasibility pruning.
         for ri in 0..self.m {
             if self.lhs[ri] + self.min_rem[ri][depth] > self.rhs[ri] {
+                self.stats.pruned_infeasible += 1;
                 return Ok(());
             }
         }
         // Objective bound.
         if let Some((best, _)) = &self.best {
             if cur_obj + self.obj_min_rem[depth] >= *best {
+                self.stats.pruned_bound += 1;
                 return Ok(());
             }
         }
         if depth == self.n {
             if self.best.as_ref().is_none_or(|(b, _)| cur_obj < *b) {
                 self.best = Some((cur_obj, self.assign.clone()));
+                self.stats.incumbent_updates += 1;
             }
             return Ok(());
         }
@@ -352,9 +402,7 @@ impl Search<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rtise_obs::Rng;
 
     /// Exhaustive reference solver for small models.
     fn brute(m: &Model) -> Option<(i64, Vec<bool>)> {
@@ -363,11 +411,7 @@ mod tests {
         for mask in 0u64..(1 << n) {
             let x: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
             let ok = m.rows.iter().all(|r| {
-                let lhs: i64 = r
-                    .terms
-                    .iter()
-                    .map(|&(v, c)| if x[v] { c } else { 0 })
-                    .sum();
+                let lhs: i64 = r.terms.iter().map(|&(v, c)| if x[v] { c } else { 0 }).sum();
                 match r.cmp {
                     Cmp::Le => lhs <= r.rhs,
                     Cmp::Ge => lhs >= r.rhs,
@@ -473,33 +517,39 @@ mod tests {
         assert_eq!(s.objective, 0);
     }
 
-    #[test]
-    fn random_instances_match_brute_force() {
-        let mut rng = StdRng::seed_from_u64(0x5eed);
-        for case in 0..60 {
-            let n = rng.gen_range(1..=10);
-            let mut m = Model::new(n);
-            let sense = if rng.gen_bool(0.5) {
-                Sense::Minimize
-            } else {
-                Sense::Maximize
-            };
-            let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..=20)).collect();
-            m.set_objective(sense, &obj);
-            for _ in 0..rng.gen_range(0..4) {
-                let mut terms: Vec<(usize, i64)> = Vec::new();
-                for v in 0..n {
-                    if rng.gen_bool(0.7) {
-                        terms.push((v, rng.gen_range(-10..=10)));
-                    }
-                }
-                let rhs = rng.gen_range(-10..=15);
-                match rng.gen_range(0..3) {
-                    0 => m.add_le(&terms, rhs),
-                    1 => m.add_ge(&terms, rhs),
-                    _ => m.add_eq(&terms, rhs),
+    /// Builds the seeded random instance shared by the randomized tests.
+    fn random_model(rng: &mut Rng) -> Model {
+        let n = rng.gen_range(1..=10usize);
+        let mut m = Model::new(n);
+        let sense = if rng.gen_bool(0.5) {
+            Sense::Minimize
+        } else {
+            Sense::Maximize
+        };
+        let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..=20i64)).collect();
+        m.set_objective(sense, &obj);
+        for _ in 0..rng.gen_range(0..4u32) {
+            let mut terms: Vec<(usize, i64)> = Vec::new();
+            for v in 0..n {
+                if rng.gen_bool(0.7) {
+                    terms.push((v, rng.gen_range(-10..=10i64)));
                 }
             }
+            let rhs = rng.gen_range(-10..=15i64);
+            match rng.gen_range(0..3u32) {
+                0 => m.add_le(&terms, rhs),
+                1 => m.add_ge(&terms, rhs),
+                _ => m.add_eq(&terms, rhs),
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        let mut rng = Rng::new(0x5eed);
+        for case in 0..60 {
+            let m = random_model(&mut rng);
             let want = brute(&m);
             match (m.solve(), want) {
                 (Ok(s), Some((obj, _))) => {
@@ -511,26 +561,66 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Any returned solution satisfies all constraints.
-        #[test]
-        fn solutions_are_feasible(seed in 0u64..500) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    /// Any returned solution satisfies all constraints.
+    #[test]
+    fn solutions_are_feasible() {
+        for seed in 0u64..500 {
+            let mut rng = Rng::new(seed);
             let n = rng.gen_range(1..=8usize);
             let mut m = Model::new(n);
-            let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-9..=9)).collect();
+            let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-9..=9i64)).collect();
             m.set_objective(Sense::Minimize, &obj);
-            let terms: Vec<(usize, i64)> =
-                (0..n).map(|v| (v, rng.gen_range(-5..=5))).collect();
-            m.add_le(&terms, rng.gen_range(0..=10));
+            let terms: Vec<(usize, i64)> = (0..n).map(|v| (v, rng.gen_range(-5..=5i64))).collect();
+            m.add_le(&terms, rng.gen_range(0..=10i64));
             if let Ok(s) = m.solve() {
                 for r in &m.rows {
-                    let lhs: i64 = r.terms.iter()
+                    let lhs: i64 = r
+                        .terms
+                        .iter()
                         .map(|&(v, c)| if s.values[v] { c } else { 0 })
                         .sum();
-                    prop_assert!(lhs <= r.rhs);
+                    assert!(lhs <= r.rhs, "seed {seed}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn stats_invariants_hold_on_random_instances() {
+        let mut rng = Rng::new(0xabcd);
+        for case in 0..60 {
+            let m = random_model(&mut rng);
+            let plain = m.solve();
+            match m.solve_with_stats() {
+                Ok((s, stats)) => {
+                    // The optimum is identical with and without stats.
+                    assert_eq!(plain.expect("plain agrees"), s, "case {case}");
+                    assert!(stats.nodes_explored >= 1, "case {case}");
+                    assert!(
+                        stats.nodes_explored >= stats.pruned_bound + stats.pruned_infeasible,
+                        "case {case}: {stats:?}"
+                    );
+                    assert!(stats.incumbent_updates >= 1, "case {case}");
+                    assert_eq!(s.nodes, stats.nodes_explored, "case {case}");
+                }
+                Err(e) => assert_eq!(plain, Err(e), "case {case}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_published_to_registry() {
+        let before = rtise_obs::snapshot();
+        let mut m = Model::new(3);
+        m.set_objective(Sense::Maximize, &[2, 3, 4]);
+        m.add_le(&[(0, 1), (1, 1), (2, 1)], 2);
+        m.solve().expect("feasible");
+        let after = rtise_obs::snapshot();
+        let diff = rtise_obs::snapshot_diff(&before, &after);
+        assert!(diff.get("ilp.solves").is_some_and(|&v| v >= 1), "{diff:?}");
+        assert!(
+            diff.get("ilp.nodes_explored").is_some_and(|&v| v >= 1),
+            "{diff:?}"
+        );
     }
 }

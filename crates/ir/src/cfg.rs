@@ -207,8 +207,10 @@ impl Program {
             }
             for n in bb.dfg.ids() {
                 let node = bb.dfg.node_ref(n);
-                if matches!(node.kind(), crate::op::OpKind::Input | crate::op::OpKind::Output)
-                    && node.slot() >= self.n_vars
+                if matches!(
+                    node.kind(),
+                    crate::op::OpKind::Input | crate::op::OpKind::Output
+                ) && node.slot() >= self.n_vars
                 {
                     return Err(ValidateProgramError::SlotOutOfRange {
                         block: id,
@@ -222,7 +224,11 @@ impl Program {
 
     /// Maximum basic-block size in primitive instructions (Table 5.1).
     pub fn max_block_ops(&self) -> usize {
-        self.blocks.iter().map(|b| b.dfg.op_count()).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(|b| b.dfg.op_count())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average basic-block size in primitive instructions (Table 5.1).

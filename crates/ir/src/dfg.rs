@@ -475,8 +475,14 @@ mod tests {
         assert!(!g.is_feasible_ci(&s, 1, 1));
         let mut with_input = s.clone();
         with_input.insert(n[0]);
-        assert!(!g.is_feasible_ci(&with_input, 4, 4), "inputs are invalid ops");
-        assert!(!g.is_feasible_ci(&g.empty_set(), 4, 2), "empty set infeasible");
+        assert!(
+            !g.is_feasible_ci(&with_input, 4, 4),
+            "inputs are invalid ops"
+        );
+        assert!(
+            !g.is_feasible_ci(&g.empty_set(), 4, 2),
+            "empty set infeasible"
+        );
     }
 
     #[test]

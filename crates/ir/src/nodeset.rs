@@ -123,10 +123,7 @@ impl NodeSet {
 
     /// Whether the two sets share at least one node.
     pub fn intersects(&self, other: &NodeSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Whether `self` is a subset of `other`.

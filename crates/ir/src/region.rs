@@ -74,10 +74,7 @@ pub fn regions(dfg: &Dfg) -> Vec<Region> {
                 }
             }
         }
-        let weight = nodes
-            .iter()
-            .filter(|id| !dfg.kind(*id).is_pseudo())
-            .count();
+        let weight = nodes.iter().filter(|id| !dfg.kind(*id).is_pseudo()).count();
         if weight > 0 {
             out.push(Region { nodes, weight });
         }

@@ -104,7 +104,10 @@ impl WcetReport {
 /// while-style single-exit loops, and an iteration bound for every loop
 /// header.
 pub fn analyze(program: &Program) -> Result<WcetReport, WcetError> {
-    let costs: Vec<u64> = program.block_ids().map(|b| program.block(b).cost()).collect();
+    let costs: Vec<u64> = program
+        .block_ids()
+        .map(|b| program.block(b).cost())
+        .collect();
     analyze_with_costs(program, &costs)
 }
 

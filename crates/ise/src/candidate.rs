@@ -197,7 +197,9 @@ mod tests {
         let cands = harvest(&p, &[10], &hw, opts);
         assert!(cands.len() <= 3);
         // They must be the best ones: sorted descending by total gain.
-        assert!(cands.windows(2).all(|w| w[0].total_gain() >= w[1].total_gain()));
+        assert!(cands
+            .windows(2)
+            .all(|w| w[0].total_gain() >= w[1].total_gain()));
     }
 
     #[test]

@@ -88,11 +88,7 @@ impl ConfigCurve {
     /// Builds a curve from explicit `(area, cycles)` pairs, e.g. the CIS
     /// version tables of the motivating examples. A software point `(0,
     /// base_cycles)` is added if missing; dominated points are removed.
-    pub fn from_points(
-        name: impl Into<String>,
-        base_cycles: u64,
-        pairs: &[(u64, u64)],
-    ) -> Self {
+    pub fn from_points(name: impl Into<String>, base_cycles: u64, pairs: &[(u64, u64)]) -> Self {
         let mut points: Vec<ConfigPoint> = pairs
             .iter()
             .map(|&(area, cycles)| ConfigPoint {

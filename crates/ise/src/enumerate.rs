@@ -62,10 +62,7 @@ pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
             let members: Vec<_> = set.iter().collect();
             for m in members {
                 for &p in dfg.args(m) {
-                    if set.contains(p)
-                        || !dfg.kind(p).is_ci_valid()
-                        || dfg.kind(p).is_pseudo()
-                    {
+                    if set.contains(p) || !dfg.kind(p).is_ci_valid() || dfg.kind(p).is_pseudo() {
                         continue;
                     }
                     // p may join only if every consumer of p is inside,
@@ -86,7 +83,34 @@ pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
             out.push(set);
         }
     }
+    rtise_obs::global_add("ise.miso.patterns", out.len() as u64);
     out
+}
+
+/// Enumeration statistics for one [`enumerate_connected_with_stats`] call.
+///
+/// Invariant: `generated == accepted + rejected_infeasible` — every shape
+/// taken off the growth frontier is either kept as a candidate or rejected
+/// by the I/O feasibility test (non-convex shapes never reach the
+/// frontier: they are repaired to their convex hull or dropped at growth
+/// time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumerateStats {
+    /// Shapes taken off the growth frontier and tested.
+    pub generated: u64,
+    /// Shapes kept as feasible candidates.
+    pub accepted: u64,
+    /// Shapes rejected by the input/output port constraints.
+    pub rejected_infeasible: u64,
+    /// Non-convex growths repaired to their convex hull and re-queued.
+    pub convexity_repairs: u64,
+    /// Non-convex growths dropped because the hull needed an invalid node
+    /// or exceeded `max_nodes`.
+    pub dropped_nonconvex: u64,
+    /// Whether the `max_candidates` cap cut enumeration short.
+    pub hit_candidate_cap: bool,
+    /// Whether the visited-shapes work bound stopped further growth.
+    pub hit_visited_cap: bool,
 }
 
 /// Enumerates connected convex subgraphs satisfying the I/O constraints.
@@ -101,6 +125,17 @@ pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
 /// trading completeness for the scalability of the clustering heuristics the
 /// paper cites.
 pub fn enumerate_connected(dfg: &Dfg, opts: EnumerateOptions) -> Vec<NodeSet> {
+    enumerate_connected_with_stats(dfg, opts).0
+}
+
+/// Like [`enumerate_connected`], additionally returning [`EnumerateStats`]
+/// and publishing `ise.enumerate.*` counters to the [`rtise_obs`]
+/// registry.
+pub fn enumerate_connected_with_stats(
+    dfg: &Dfg,
+    opts: EnumerateOptions,
+) -> (Vec<NodeSet>, EnumerateStats) {
+    let mut stats = EnumerateStats::default();
     let mut results: Vec<NodeSet> = Vec::new();
     let mut visited: HashSet<NodeSet> = HashSet::new();
     let mut frontier: Vec<NodeSet> = Vec::new();
@@ -125,13 +160,21 @@ pub fn enumerate_connected(dfg: &Dfg, opts: EnumerateOptions) -> Vec<NodeSet> {
     }
 
     while let Some(set) = frontier.pop() {
+        stats.generated += 1;
         if dfg.is_feasible_ci(&set, opts.max_in, opts.max_out) {
+            stats.accepted += 1;
             results.push(set.clone());
             if results.len() >= opts.max_candidates {
+                stats.hit_candidate_cap = true;
                 break;
             }
+        } else {
+            stats.rejected_infeasible += 1;
         }
         if set.len() >= opts.max_nodes || visited.len() >= max_visited {
+            if visited.len() >= max_visited {
+                stats.hit_visited_cap = true;
+            }
             continue;
         }
         // Extend by every adjacent valid node (connectedness preserved).
@@ -159,9 +202,12 @@ pub fn enumerate_connected(dfg: &Dfg, opts: EnumerateOptions) -> Vec<NodeSet> {
                 // Repair instead of dropping: absorb everything on the
                 // violating paths if that keeps the size bounded.
                 if let Some(repaired) = convex_hull(dfg, &grown, opts.max_nodes) {
+                    stats.convexity_repairs += 1;
                     if visited.insert(repaired.clone()) {
                         frontier.push(repaired);
                     }
+                } else {
+                    stats.dropped_nonconvex += 1;
                 }
                 continue;
             }
@@ -170,7 +216,12 @@ pub fn enumerate_connected(dfg: &Dfg, opts: EnumerateOptions) -> Vec<NodeSet> {
             }
         }
     }
-    results
+    rtise_obs::global_add("ise.enumerate.calls", 1);
+    rtise_obs::global_add("ise.enumerate.generated", stats.generated);
+    rtise_obs::global_add("ise.enumerate.accepted", stats.accepted);
+    rtise_obs::global_add("ise.enumerate.rejected", stats.rejected_infeasible);
+    rtise_obs::global_add("ise.enumerate.convexity_repairs", stats.convexity_repairs);
+    (results, stats)
 }
 
 /// Pairs up disjoint feasible candidates into *disconnected* candidates
@@ -218,6 +269,7 @@ pub fn enumerate_disconnected(
             }
         }
     }
+    rtise_obs::global_add("ise.disconnected.pairs", out.len() as u64);
     out
 }
 
@@ -430,6 +482,45 @@ mod tests {
         for n in pair.iter() {
             assert!(!g.args(n).iter().any(|p| pair.contains(*p)));
         }
+    }
+
+    #[test]
+    fn stats_account_for_every_generated_shape() {
+        let g = diamond();
+        let (cands, stats) = enumerate_connected_with_stats(&g, EnumerateOptions::default());
+        assert_eq!(
+            stats.generated,
+            stats.accepted + stats.rejected_infeasible,
+            "diamond: {stats:?}"
+        );
+        assert_eq!(stats.accepted as usize, cands.len());
+        assert!(stats.generated >= 1);
+        assert!(!stats.hit_candidate_cap && !stats.hit_visited_cap);
+        // And with a tight cap the flag trips.
+        let mut g = Dfg::new();
+        let mut prev = g.input(0);
+        let other = g.input(1);
+        for i in 0..20 {
+            let k = if i % 2 == 0 { OpKind::Add } else { OpKind::Xor };
+            prev = g.bin(k, prev, other);
+        }
+        g.output(0, prev);
+        let opts = EnumerateOptions {
+            max_candidates: 10,
+            ..EnumerateOptions::default()
+        };
+        let (cands, stats) = enumerate_connected_with_stats(&g, opts);
+        assert_eq!(cands.len(), 10);
+        assert!(stats.hit_candidate_cap);
+        assert_eq!(stats.generated, stats.accepted + stats.rejected_infeasible);
+    }
+
+    #[test]
+    fn stats_do_not_change_the_result() {
+        let g = diamond();
+        let plain = enumerate_connected(&g, EnumerateOptions::default());
+        let (with_stats, _) = enumerate_connected_with_stats(&g, EnumerateOptions::default());
+        assert_eq!(plain, with_stats);
     }
 
     #[test]

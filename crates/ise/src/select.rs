@@ -130,8 +130,7 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
     }
 
     fn dfs(ctx: &mut Ctx<'_>, depth: usize, area: u64, gain: u64) {
-        if gain > ctx.best.total_gain
-            || (gain == ctx.best.total_gain && area < ctx.best.total_area)
+        if gain > ctx.best.total_gain || (gain == ctx.best.total_gain && area < ctx.best.total_area)
         {
             let mut chosen = ctx.stack.clone();
             chosen.sort_unstable();
@@ -155,7 +154,12 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
             .any(|&j| ctx.cands[j].conflicts_with(&ctx.cands[i]));
         if fits && !conflict && ctx.cands[i].total_gain() > 0 {
             ctx.stack.push(i);
-            dfs(ctx, depth + 1, area + ctx.cands[i].area, gain + ctx.cands[i].total_gain());
+            dfs(
+                ctx,
+                depth + 1,
+                area + ctx.cands[i].area,
+                gain + ctx.cands[i].total_gain(),
+            );
             ctx.stack.pop();
         }
         dfs(ctx, depth + 1, area, gain);
@@ -235,9 +239,9 @@ mod tests {
     #[test]
     fn greedy_prefers_ratio() {
         let cands = vec![
-            cand(0, &[0], 10, 5, 1),  // ratio 0.5
-            cand(0, &[1], 2, 3, 1),   // ratio 1.5
-            cand(0, &[2], 4, 4, 1),   // ratio 1.0
+            cand(0, &[0], 10, 5, 1), // ratio 0.5
+            cand(0, &[1], 2, 3, 1),  // ratio 1.5
+            cand(0, &[2], 4, 4, 1),  // ratio 1.0
         ];
         let s = greedy_by_ratio(&cands, 6);
         assert_eq!(s.chosen, vec![1, 2]);
@@ -320,9 +324,8 @@ mod tests {
 
     #[test]
     fn bnb_matches_exhaustive_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(17);
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(17);
         for case in 0..40 {
             let n = rng.gen_range(1..=10usize);
             let cands: Vec<CiCandidate> = (0..n)
@@ -336,7 +339,7 @@ mod tests {
                     cand(block, &nodes, area, gain, 1)
                 })
                 .collect();
-            let budget = rng.gen_range(0..25);
+            let budget = rng.gen_range(0..25u64);
             let e = branch_and_bound(&cands, budget);
             // Exhaustive reference.
             let mut best = 0u64;

@@ -17,7 +17,11 @@ fn ppg_signal() -> Vec<i64> {
         .map(|i| {
             // Triangle pulse train plus small noise.
             let phase = (i % 25) as i64;
-            let pulse = if phase < 5 { phase * 200 } else { (25 - phase) * 40 };
+            let pulse = if phase < 5 {
+                phase * 200
+            } else {
+                (25 - phase) * 40
+            };
             pulse + gen.below(16)
         })
         .collect()
@@ -102,7 +106,11 @@ pub fn vital_signs() -> Kernel {
         );
         let new_last = d.node(
             OpKind::Select,
-            &[Operand::Node(is_peak), Operand::Node(i), Operand::Node(last)],
+            &[
+                Operand::Node(is_peak),
+                Operand::Node(i),
+                Operand::Node(last),
+            ],
         );
         d.output(PEAKS, peaks1);
         d.output(LAST, new_last);
@@ -118,9 +126,8 @@ pub fn vital_signs() -> Kernel {
         }
         let (mut peaks, mut last, mut ibi) = (0i64, 0i64, 0i64);
         for i in 1..PPG_LEN - 5 {
-            let is_peak = smooth[i - 1] < smooth[i]
-                && smooth[i + 1] <= smooth[i]
-                && smooth[i] >= THRESH;
+            let is_peak =
+                smooth[i - 1] < smooth[i] && smooth[i + 1] <= smooth[i] && smooth[i] >= THRESH;
             if is_peak {
                 peaks += 1;
                 ibi += i as i64 - last;
@@ -212,12 +219,20 @@ pub fn fall_detection() -> Kernel {
         // Remember the latest free-fall time; clear after a counted fall.
         let new_ff = d.node(
             OpKind::Select,
-            &[Operand::Node(in_free_fall), Operand::Node(i), Operand::Node(ff_at)],
+            &[
+                Operand::Node(in_free_fall),
+                Operand::Node(i),
+                Operand::Node(ff_at),
+            ],
         );
         let cleared = d.imm(-100);
         let ff_final = d.node(
             OpKind::Select,
-            &[Operand::Node(hit0), Operand::Node(cleared), Operand::Node(new_ff)],
+            &[
+                Operand::Node(hit0),
+                Operand::Node(cleared),
+                Operand::Node(new_ff),
+            ],
         );
         d.output(FALLS, falls1);
         d.output(FF_AT, ff_final);

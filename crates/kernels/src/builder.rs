@@ -89,8 +89,7 @@ impl SeqBuilder {
         for d in std::mem::take(&mut self.dangling) {
             match d {
                 Dangling::Jump(b) => {
-                    self.program.block_mut(b).terminator = match self.program.block(b).terminator
-                    {
+                    self.program.block_mut(b).terminator = match self.program.block(b).terminator {
                         Terminator::Jump(_) => Terminator::Jump(id),
                         t => t,
                     };
@@ -300,7 +299,10 @@ mod tests {
         b.end_for();
         b.end_for();
         let p = b.finish();
-        let out = Simulator::new(&p).expect("valid").run(&[], &[]).expect("run");
+        let out = Simulator::new(&p)
+            .expect("valid")
+            .run(&[], &[])
+            .expect("run");
         let want: i64 = (0..3).flat_map(|i| (0..4).map(move |j| i * 10 + j)).sum();
         assert_eq!(out.vars[ACC], want);
         // WCET analysis accepts the structure.
@@ -322,7 +324,10 @@ mod tests {
             d.output(OUT, back);
         });
         let p = b.finish();
-        let out = Simulator::new(&p).expect("valid").run(&[], &[]).expect("run");
+        let out = Simulator::new(&p)
+            .expect("valid")
+            .run(&[], &[])
+            .expect("run");
         let want = (0x1234_5678u32.rotate_left(8) as i64).clamp(0, 0x4000_0000);
         assert_eq!(out.vars[OUT], want);
     }

@@ -79,7 +79,10 @@ pub fn crc32() -> Kernel {
         if out.vars[CRC] == expected {
             Ok(())
         } else {
-            Err(format!("crc {:x} != expected {:x}", out.vars[CRC], expected))
+            Err(format!(
+                "crc {:x} != expected {:x}",
+                out.vars[CRC], expected
+            ))
         }
     })
 }
@@ -103,7 +106,13 @@ pub fn sha() -> Kernel {
     let mut mem = msg.clone();
     mem.resize(80, 0);
 
-    const H: [i64; 5] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0];
+    const H: [i64; 5] = [
+        0x6745_2301,
+        0xefcd_ab89,
+        0x98ba_dcfe,
+        0x1032_5476,
+        0xc3d2_e1f0,
+    ];
     const K: [i64; 4] = [0x5a82_7999, 0x6ed9_eba1, 0x8f1b_bcdc, 0xca62_c1d6];
 
     let mut bld = SeqBuilder::new("sha", 8, 80);
@@ -237,7 +246,13 @@ pub fn sha() -> Kernel {
         [a as i64, b as i64, c as i64, d as i64, e as i64]
     };
     Kernel::new("sha", program, vec![], mem, move |out| {
-        let got = [out.vars[A], out.vars[B], out.vars[C], out.vars[D], out.vars[E]];
+        let got = [
+            out.vars[A],
+            out.vars[B],
+            out.vars[C],
+            out.vars[D],
+            out.vars[E],
+        ];
         // The IR keeps b/d unmasked between rounds except where rotl32
         // masks; compare modulo 2^32.
         for (g, w) in got.iter().zip(expected) {
@@ -744,8 +759,7 @@ pub fn md5() -> Kernel {
     let program = bld.finish();
 
     let expected = {
-        let (mut a, mut b, mut c, mut d) =
-            (H[0] as u32, H[1] as u32, H[2] as u32, H[3] as u32);
+        let (mut a, mut b, mut c, mut d) = (H[0] as u32, H[1] as u32, H[2] as u32, H[3] as u32);
         for t in 0..64usize {
             let (f, g) = match t {
                 0..=15 => ((b & c) | (!b & d), t),
@@ -830,12 +844,7 @@ mod tests {
     fn crc32_unrolled_body_is_custom_instruction_material() {
         let k = crc32();
         // The byte-loop body should contain one sizable valid region.
-        let sizes: Vec<usize> = k
-            .program
-            .blocks
-            .iter()
-            .map(|b| b.dfg.op_count())
-            .collect();
+        let sizes: Vec<usize> = k.program.blocks.iter().map(|b| b.dfg.op_count()).collect();
         assert!(*sizes.iter().max().unwrap_or(&0) >= 30, "{sizes:?}");
     }
 }

@@ -23,7 +23,9 @@ pub fn lms() -> Kernel {
     const MU_SHIFT: i64 = 12;
 
     let mut gen = DataGen::new(0x1a15_0001);
-    let x: Vec<i64> = (0..SAMPLES + TAPS).map(|_| gen.below(2048) - 1024).collect();
+    let x: Vec<i64> = (0..SAMPLES + TAPS)
+        .map(|_| gen.below(2048) - 1024)
+        .collect();
     let desired: Vec<i64> = (0..SAMPLES).map(|_| gen.below(2048) - 1024).collect();
     let mut mem = x.clone();
     mem.extend_from_slice(&desired);
@@ -327,8 +329,12 @@ pub fn matmul() -> Kernel {
     const C: i64 = 2 * B;
 
     let mut gen = DataGen::new(0x3a73_0001);
-    let a: Vec<i64> = (0..MAT_DIM * MAT_DIM).map(|_| gen.below(512) - 256).collect();
-    let b: Vec<i64> = (0..MAT_DIM * MAT_DIM).map(|_| gen.below(512) - 256).collect();
+    let a: Vec<i64> = (0..MAT_DIM * MAT_DIM)
+        .map(|_| gen.below(512) - 256)
+        .collect();
+    let b: Vec<i64> = (0..MAT_DIM * MAT_DIM)
+        .map(|_| gen.below(512) - 256)
+        .collect();
     let mut mem = a.clone();
     mem.extend_from_slice(&b);
     mem.extend(std::iter::repeat_n(0, MAT_DIM * MAT_DIM));
@@ -541,7 +547,12 @@ pub fn viterbi() -> Kernel {
         m
     };
     Kernel::new("viterbi", program, vec![], symbols, move |out| {
-        let got = [out.vars[M0], out.vars[M0 + 1], out.vars[M0 + 2], out.vars[M0 + 3]];
+        let got = [
+            out.vars[M0],
+            out.vars[M0 + 1],
+            out.vars[M0 + 2],
+            out.vars[M0 + 3],
+        ];
         if got == expected_metrics {
             Ok(())
         } else {

@@ -150,9 +150,7 @@ pub struct DataGen {
 impl DataGen {
     /// Creates a generator from a non-zero seed.
     pub fn new(seed: u64) -> Self {
-        DataGen {
-            state: seed.max(1),
-        }
+        DataGen { state: seed.max(1) }
     }
 
     /// Next raw 64-bit value.
@@ -241,8 +239,8 @@ mod tests {
     #[test]
     fn wcet_analysis_covers_the_whole_suite() {
         for k in suite() {
-            let r = rtise_ir::wcet::analyze(&k.program)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let r =
+                rtise_ir::wcet::analyze(&k.program).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             let sim = k.run().expect("run");
             assert!(
                 r.wcet >= sim.cycles,

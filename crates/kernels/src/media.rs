@@ -17,11 +17,10 @@ fn sel(d: &mut Dfg, c: NodeId, t: NodeId, f: NodeId) -> NodeId {
 /// IMA ADPCM step-size table (the standard 89-entry table).
 pub const STEP_TABLE: [i64; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// IMA ADPCM index-adjustment table.
@@ -136,9 +135,7 @@ pub fn adpcm_encode() -> Kernel {
     const STEPS: i64 = 0;
 
     let mut gen = DataGen::new(0xadc0_0e01);
-    let samples: Vec<i64> = (0..N_SAMPLES)
-        .map(|_| gen.below(65536) - 32768)
-        .collect();
+    let samples: Vec<i64> = (0..N_SAMPLES).map(|_| gen.below(65536) - 32768).collect();
     let mut mem = adpcm_memory();
     mem.extend_from_slice(&samples);
     mem.extend(std::iter::repeat_n(0, N_SAMPLES));
@@ -224,10 +221,7 @@ fn fdct8_ir(d: &mut Dfg, base: NodeId, stride: i64, descale: i64, even_shift: (i
             d.bin(OpKind::Add, base, off)
         })
         .collect();
-    let x: Vec<NodeId> = idx
-        .iter()
-        .map(|&a| d.un(OpKind::Load, a))
-        .collect();
+    let x: Vec<NodeId> = idx.iter().map(|&a| d.un(OpKind::Load, a)).collect();
     let tmp0 = d.bin(OpKind::Add, x[0], x[7]);
     let tmp7 = d.bin(OpKind::Sub, x[0], x[7]);
     let tmp1 = d.bin(OpKind::Add, x[1], x[6]);
@@ -616,9 +610,9 @@ pub fn g721_encode() -> Kernel {
 
 /// The JPEG zig-zag scan order.
 pub const ZIGZAG: [i64; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 // JPEG pipeline memory map.
@@ -735,7 +729,10 @@ pub fn jpeg_pipeline() -> Kernel {
         let one = d.imm(1);
         let isnz = d.bin(OpKind::Sub, one, is_zero);
         let nz2 = d.bin(OpKind::Add, nonzeros, isnz);
-        d.node(OpKind::Store, &[Operand::Node(zero_base), Operand::Node(zeros2)]);
+        d.node(
+            OpKind::Store,
+            &[Operand::Node(zero_base), Operand::Node(zeros2)],
+        );
         d.node(OpKind::Store, &[Operand::Node(nz_base), Operand::Node(nz2)]);
     });
     b.end_for();

@@ -101,7 +101,12 @@ pub fn customize_task_set(
     // Mutable per-task state: current block costs and used regions.
     let mut costs: Vec<Vec<u64>> = tasks
         .iter()
-        .map(|t| t.program.block_ids().map(|b| t.program.block(b).cost()).collect())
+        .map(|t| {
+            t.program
+                .block_ids()
+                .map(|b| t.program.block(b).cost())
+                .collect()
+        })
         .collect();
     let mut used: Vec<Vec<(BlockId, NodeSet)>> = vec![Vec::new(); n];
     let mut active: Vec<bool> = vec![true; n];
@@ -126,14 +131,11 @@ pub fn customize_task_set(
             break;
         }
         // Task with maximum utilization among the active ones (line 5).
-        let Some(ti) = (0..n)
-            .filter(|&i| active[i])
-            .max_by(|&a, &b| {
-                let ua = wcet[a] as f64 / tasks[a].period as f64;
-                let ub = wcet[b] as f64 / tasks[b].period as f64;
-                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
-            })
-        else {
+        let Some(ti) = (0..n).filter(|&i| active[i]).max_by(|&a, &b| {
+            let ua = wcet[a] as f64 / tasks[a].period as f64;
+            let ub = wcet[b] as f64 / tasks[b].period as f64;
+            ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+        }) else {
             break;
         };
         let task = &tasks[ti];
@@ -245,8 +247,7 @@ mod tests {
             },
         ];
         let hw = HwModel::default();
-        let res =
-            customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+        let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
         assert!(res.met_target, "final U = {}", res.utilization);
         assert!(res.utilization <= 1.0);
         assert!(!res.selected.is_empty());
@@ -269,8 +270,7 @@ mod tests {
         ];
         let hw = HwModel::default();
         // Impossible target forces full iteration until exhaustion.
-        let res =
-            customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("run");
+        let res = customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("run");
         let mut prev = f64::INFINITY;
         for rec in &res.history {
             assert!(rec.utilization < prev, "history {:#?}", res.history);
@@ -287,8 +287,7 @@ mod tests {
             period: per1,
         }];
         let hw = HwModel::default();
-        let res =
-            customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+        let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
         for ci in &res.selected {
             let dfg = &p1.block(ci.block).dfg;
             assert!(dfg.is_feasible_ci(&ci.nodes, 4, 2));
@@ -313,8 +312,7 @@ mod tests {
             period: per1,
         }];
         let hw = HwModel::default();
-        let res =
-            customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
+        let res = customize_task_set(&tasks, 1.0, &hw, IterativeOptions::default()).expect("run");
         assert!(res.met_target);
         assert!(res.selected.is_empty());
         assert_eq!(res.total_area, 0);
@@ -330,8 +328,7 @@ mod tests {
             period: per1,
         }];
         let hw = HwModel::default();
-        let res =
-            customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("run");
+        let res = customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("run");
         if res.history.len() >= 2 {
             let drops: Vec<f64> = std::iter::once(1.3 - res.history[0].utilization)
                 .chain(

@@ -16,12 +16,10 @@
 //!    repaired by absorbing producers (multi-edge first), an output
 //!    violation by absorbing consumers (Algorithm 5).
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rtise_ir::dfg::{Dfg, NodeId};
 use rtise_ir::hw::HwModel;
 use rtise_ir::nodeset::NodeSet;
+use rtise_obs::Rng;
 
 /// Options for [`mlgp_partition`].
 #[derive(Debug, Clone, Copy)]
@@ -60,11 +58,43 @@ pub fn mlgp_partition(
     hw: &HwModel,
     opts: MlgpOptions,
 ) -> Vec<NodeSet> {
+    mlgp_partition_with_stats(dfg, region, hw, opts).0
+}
+
+/// Solver statistics for one [`mlgp_partition_with_stats`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MlgpStats {
+    /// Coarsening passes run until the merge fixpoint (includes the final
+    /// pass that found nothing to merge).
+    pub coarsen_passes: u64,
+    /// Partition pairs merged across all coarsening passes.
+    pub merges: u64,
+    /// Refinement passes run at node granularity.
+    pub refine_passes: u64,
+    /// Boundary-node moves applied across all refinement passes.
+    pub refine_moves: u64,
+    /// Partitions emitted (positive-gain custom instructions).
+    pub partitions_out: u64,
+}
+
+/// Like [`mlgp_partition`], additionally returning [`MlgpStats`] and
+/// publishing `mlgp.*` counters to the [`rtise_obs`] registry.
+///
+/// # Panics
+///
+/// Panics if `region` contains CI-invalid nodes.
+pub fn mlgp_partition_with_stats(
+    dfg: &Dfg,
+    region: &NodeSet,
+    hw: &HwModel,
+    opts: MlgpOptions,
+) -> (Vec<NodeSet>, MlgpStats) {
     assert!(
         region.iter().all(|n| dfg.kind(n).is_ci_valid()),
         "region contains invalid nodes"
     );
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let mut rng = Rng::new(opts.seed);
+    let mut stats = MlgpStats::default();
 
     // Partition state: node -> partition id; partitions as node sets.
     let mut parts: Vec<NodeSet> = region
@@ -78,17 +108,22 @@ pub fn mlgp_partition(
 
     // --- Coarsening to a fixpoint. ---
     loop {
+        stats.coarsen_passes += 1;
         let merged = coarsen_pass(dfg, hw, &mut parts, &opts, &mut rng);
-        if !merged {
+        if merged == 0 {
             break;
         }
+        stats.merges += merged;
     }
 
     // --- Refinement at node granularity. ---
     for _ in 0..opts.refine_passes {
-        if !refine_pass(dfg, hw, &mut parts, &opts, &mut rng) {
+        stats.refine_passes += 1;
+        let moved = refine_pass(dfg, hw, &mut parts, &opts, &mut rng);
+        if moved == 0 {
             break;
         }
+        stats.refine_moves += moved;
     }
 
     let mut out: Vec<NodeSet> = parts
@@ -100,23 +135,28 @@ pub fn mlgp_partition(
         let rb = hw.ci_gain(dfg, b) as u128 * hw.ci_area(dfg, a).max(1) as u128;
         rb.cmp(&ra)
     });
-    out
+    stats.partitions_out = out.len() as u64;
+    rtise_obs::global_add("mlgp.calls", 1);
+    rtise_obs::global_add("mlgp.coarsen_passes", stats.coarsen_passes);
+    rtise_obs::global_add("mlgp.merges", stats.merges);
+    rtise_obs::global_add("mlgp.refine_moves", stats.refine_moves);
+    (out, stats)
 }
 
 /// One coarsening pass: each partition tries to merge with its best
-/// feasible neighbour. Returns whether any merge happened.
+/// feasible neighbour. Returns the number of merges performed.
 fn coarsen_pass(
     dfg: &Dfg,
     hw: &HwModel,
     parts: &mut Vec<NodeSet>,
     opts: &MlgpOptions,
-    rng: &mut SmallRng,
-) -> bool {
+    rng: &mut Rng,
+) -> u64 {
     let node_part = node_partition_map(dfg, parts);
     let mut order: Vec<usize> = (0..parts.len()).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
     let mut consumed = vec![false; parts.len()];
-    let mut merged_any = false;
+    let mut merged = 0u64;
     for &pi in &order {
         if consumed[pi] || parts[pi].is_empty() {
             continue;
@@ -145,28 +185,25 @@ fn coarsen_pass(
             parts[pi].union_with(&other);
             consumed[nb] = true;
             consumed[pi] = true; // matched this pass
-            merged_any = true;
+            merged += 1;
         }
     }
     parts.retain(|p| !p.is_empty());
-    merged_any
+    merged
 }
 
-/// One refinement pass of boundary-node moves (Algorithm 5). Returns
-/// whether any move was applied.
+/// One refinement pass of boundary-node moves (Algorithm 5). Returns the
+/// number of moves applied.
 fn refine_pass(
     dfg: &Dfg,
     hw: &HwModel,
     parts: &mut [NodeSet],
     opts: &MlgpOptions,
-    rng: &mut SmallRng,
-) -> bool {
-    let mut moved_any = false;
-    let mut node_order: Vec<NodeId> = parts
-        .iter()
-        .flat_map(|p| p.iter())
-        .collect();
-    node_order.shuffle(rng);
+    rng: &mut Rng,
+) -> u64 {
+    let mut moved = 0u64;
+    let mut node_order: Vec<NodeId> = parts.iter().flat_map(|p| p.iter()).collect();
+    rng.shuffle(&mut node_order);
     for v in node_order {
         let node_part = node_partition_map(dfg, parts);
         let Some(&from) = node_part.get(v.0).and_then(|o| o.as_ref()) else {
@@ -232,10 +269,10 @@ fn refine_pass(
             new_src.difference_with(&dst);
             parts[from] = new_src;
             parts[to] = dst;
-            moved_any = true;
+            moved += 1;
         }
     }
-    moved_any
+    moved
 }
 
 /// Gain/area ratio of a partition (0 for empty).
@@ -291,7 +328,11 @@ fn repair(dfg: &Dfg, set: &NodeSet, opts: &MlgpOptions) -> Option<NodeSet> {
                     {
                         continue;
                     }
-                    let edges = dfg.consumers(a).iter().filter(|c| cur.contains(**c)).count();
+                    let edges = dfg
+                        .consumers(a)
+                        .iter()
+                        .filter(|c| cur.contains(**c))
+                        .count();
                     if best.is_none_or(|(e, _)| edges > e) {
                         best = Some((edges, a));
                     }

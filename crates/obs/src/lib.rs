@@ -1,0 +1,54 @@
+//! # rtise-obs
+//!
+//! The observability substrate of the rtise workspace: **std-only**
+//! counters, wall-clock timers, hierarchical span reports, a process-wide
+//! statistics registry, a minimal JSON writer/parser, and a deterministic
+//! seedable PRNG.
+//!
+//! Every result table of the source paper is a claim about *solver
+//! behaviour* — branch-and-bound node counts, DP grid sizes, pruning
+//! effectiveness, enumeration accept/reject ratios, running times. This
+//! crate supplies the measurement layer those claims are checked against,
+//! without pulling in any external dependency (the build environment is
+//! offline): no `serde`, no `tracing`, no `rand`.
+//!
+//! The pieces:
+//!
+//! * [`registry`] — a global, thread-safe counter registry. Solvers publish
+//!   their per-call statistics here under dotted keys
+//!   (`ilp.nodes_explored`, `select.edf.dp_cells`, …); the `reproduce`
+//!   harness snapshots it around each experiment and emits the delta into
+//!   the machine-readable run report.
+//! * [`report`] — [`Report`](report::Report), a serializable tree of named
+//!   spans with wall times, counters, and gauges, built imperatively with
+//!   [`Collector`](report::Collector) (which has a disabled "null" mode so
+//!   instrumented code paths cost nothing when nobody is listening).
+//! * [`json`] — a tiny JSON document model with a writer and a
+//!   recursive-descent parser, enough to serialize reports and to verify
+//!   them in tests.
+//! * [`rng`] — a SplitMix64 PRNG with range/bool/shuffle helpers, the
+//!   in-repo replacement for the `rand` crate used by the randomized
+//!   algorithms (multilevel partitioning) and the randomized tests.
+//!
+//! # Example
+//!
+//! ```
+//! use rtise_obs::report::Collector;
+//!
+//! let mut c = Collector::enabled("pipeline");
+//! c.enter("harvest");
+//! c.add("candidates", 42);
+//! c.leave();
+//! let report = c.finish();
+//! let json = report.to_json().render();
+//! assert!(json.contains("\"candidates\":42"));
+//! ```
+
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod rng;
+
+pub use registry::{global_add, snapshot, snapshot_diff};
+pub use report::{Collector, Report, Timer};
+pub use rng::Rng;

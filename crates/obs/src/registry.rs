@@ -1,0 +1,109 @@
+//! A process-wide, thread-safe counter registry.
+//!
+//! Solvers publish per-call statistics under dotted keys
+//! (`ilp.nodes_explored`, `select.edf.dp_cells`, …) via [`global_add`];
+//! harnesses bracket a region of work with [`snapshot`] and report the
+//! [`snapshot_diff`]. This decouples *where* statistics are produced
+//! (deep inside a solver) from *where* they are consumed (the `reproduce`
+//! binary, a test) without threading a collector through every call chain.
+//!
+//! Counters are monotone `u64` sums; the registry never resets, so deltas
+//! between snapshots are always well-defined even when experiments share
+//! the process.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+fn registry() -> &'static Mutex<BTreeMap<String, u64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Adds `delta` to the global counter `key`, creating it at zero first if
+/// needed. Saturates instead of wrapping on overflow.
+pub fn global_add(key: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    let mut map = registry().lock().expect("obs registry poisoned");
+    let slot = map.entry(key.to_string()).or_insert(0);
+    *slot = slot.saturating_add(delta);
+}
+
+/// Returns a copy of every counter currently in the registry.
+pub fn snapshot() -> BTreeMap<String, u64> {
+    registry().lock().expect("obs registry poisoned").clone()
+}
+
+/// The per-key difference `after - before`, dropping keys whose value did
+/// not change. Keys absent from `before` count from zero.
+pub fn snapshot_diff(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+) -> BTreeMap<String, u64> {
+    after
+        .iter()
+        .filter_map(|(k, &v)| {
+            let d = v.saturating_sub(before.get(k).copied().unwrap_or(0));
+            (d > 0).then(|| (k.clone(), d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share one key-space-per-test-name to stay independent even
+    // though cargo runs them concurrently in one process.
+
+    #[test]
+    fn add_and_snapshot() {
+        global_add("test.registry.a", 2);
+        global_add("test.registry.a", 3);
+        assert!(snapshot()["test.registry.a"] >= 5);
+    }
+
+    #[test]
+    fn zero_delta_creates_nothing() {
+        global_add("test.registry.zero", 0);
+        assert!(!snapshot().contains_key("test.registry.zero"));
+    }
+
+    #[test]
+    fn diff_reports_only_changes() {
+        let before = snapshot();
+        global_add("test.registry.diff", 7);
+        let after = snapshot();
+        let d = snapshot_diff(&before, &after);
+        assert_eq!(d.get("test.registry.diff"), Some(&7));
+        assert!(!d.contains_key("test.registry.a") || d["test.registry.a"] > 0);
+    }
+
+    #[test]
+    fn diff_counts_new_keys_from_zero() {
+        let empty = BTreeMap::new();
+        let mut after = BTreeMap::new();
+        after.insert("k".to_string(), 4u64);
+        assert_eq!(snapshot_diff(&empty, &after)["k"], 4);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        global_add("test.registry.mt", 1);
+                    }
+                })
+            })
+            .collect();
+        let before_join = snapshot().get("test.registry.mt").copied().unwrap_or(0);
+        let _ = before_join; // adds may still be in flight here
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert!(snapshot()["test.registry.mt"] >= 8000);
+    }
+}

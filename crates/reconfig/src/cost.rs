@@ -107,9 +107,7 @@ pub fn temporal_only_partition(problem: &ReconfigProblem, model: CostModel) -> S
         let mut best: Option<(i64, usize, usize)> = None;
         for i in 0..n {
             for j in 0..problem.loops[i].versions().len() {
-                if j == sol.version[i]
-                    || problem.loops[i].versions()[j].area > problem.max_area
-                {
+                if j == sol.version[i] || problem.loops[i].versions()[j].area > problem.max_area {
                     continue;
                 }
                 let mut cand = sol.clone();

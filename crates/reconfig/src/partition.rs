@@ -193,11 +193,7 @@ fn polish(problem: &ReconfigProblem, sol: &mut Solution, k: usize) {
 
 /// Phase 3: per configuration, re-select versions optimally under the real
 /// `MaxA` budget.
-fn local_spatial(
-    problem: &ReconfigProblem,
-    assignment: &[Option<usize>],
-    k: usize,
-) -> Solution {
+fn local_spatial(problem: &ReconfigProblem, assignment: &[Option<usize>], k: usize) -> Solution {
     let n = problem.loops.len();
     let mut version = vec![0usize; n];
     let mut config = vec![0usize; n];
@@ -251,8 +247,7 @@ pub fn exhaustive_partition(problem: &ReconfigProblem) -> Solution {
             let mut feasible = true;
             for cell in 0..k {
                 let members: Vec<usize> = (0..m).filter(|&p| rgs[p] == cell).collect();
-                let refs: Vec<&HotLoop> =
-                    members.iter().map(|&p| &problem.loops[hw[p]]).collect();
+                let refs: Vec<&HotLoop> = members.iter().map(|&p| &problem.loops[hw[p]]).collect();
                 match crate::spatial::spatial_select_hw(&refs, problem.max_area) {
                     Some((vs, _, _)) => {
                         for (pos, &p) in members.iter().enumerate() {
@@ -381,7 +376,9 @@ pub fn synthetic_problem(n: usize, seed: u64) -> ReconfigProblem {
             HotLoop::new(format!("loop{i}"), &vs)
         })
         .collect();
-    let trace: Vec<usize> = (0..(n * 12)).map(|_| (next() % n as u64) as usize).collect();
+    let trace: Vec<usize> = (0..(n * 12))
+        .map(|_| (next() % n as u64) as usize)
+        .collect();
     ReconfigProblem {
         loops,
         trace,
@@ -442,10 +439,7 @@ mod tests {
     fn all_algorithms_respect_area_budgets() {
         for seed in 0..5u64 {
             let p = synthetic_problem(10, seed * 3 + 1);
-            for sol in [
-                iterative_partition(&p, seed),
-                greedy_partition(&p),
-            ] {
+            for sol in [iterative_partition(&p, seed), greedy_partition(&p)] {
                 assert!(sol.fits(&p), "seed {seed}");
             }
         }

@@ -103,7 +103,9 @@ impl RtProblem {
         }
         self.tasks.iter().fold(1u64, |acc, t| {
             let g = gcd(acc, t.period);
-            (acc / g).checked_mul(t.period).expect("hyperperiod overflow")
+            (acc / g)
+                .checked_mul(t.period)
+                .expect("hyperperiod overflow")
         })
     }
 
@@ -594,7 +596,10 @@ mod tests {
                     100,
                     &[
                         CisVersion { area: 60, gain: 15 },
-                        CisVersion { area: 100, gain: 30 },
+                        CisVersion {
+                            area: 100,
+                            gain: 30,
+                        },
                     ],
                 ),
             ],
@@ -607,10 +612,7 @@ mod tests {
     #[test]
     fn job_sequence_orders_by_deadline() {
         let p = RtProblem {
-            tasks: vec![
-                RtTask::new("a", 1, 4, &[]),
-                RtTask::new("b", 1, 6, &[]),
-            ],
+            tasks: vec![RtTask::new("a", 1, 4, &[]), RtTask::new("b", 1, 6, &[])],
             max_area: 10,
             reconfig_cost: 1,
             max_configs: 2,
@@ -687,11 +689,40 @@ mod tests {
         assert_eq!(d2, 3 + 4);
     }
 
+    /// Brute-force reference for the *modeled* objective of [`solve_ilp`]:
+    /// job cycles plus `ρ·(Σw − credits)`, where a pair credit applies when
+    /// both tasks share a configuration in hardware or either stays in
+    /// software (the documented pairwise approximation of switch counting).
+    fn model_objective(p: &RtProblem, version: &[usize], config: &[usize]) -> u64 {
+        let h = p.hyperperiod();
+        let cycles: u64 = p
+            .tasks
+            .iter()
+            .zip(version)
+            .map(|(t, &j)| t.wcet(j) * (h / t.period))
+            .sum();
+        let in_hw = vec![true; p.tasks.len()];
+        let adj = p.adjacency(&in_hw);
+        let mut switches = 0u64;
+        for a in 0..p.tasks.len() {
+            for b in (a + 1)..p.tasks.len() {
+                if adj[a][b] == 0 {
+                    continue;
+                }
+                let soft = version[a] == 0 || version[b] == 0;
+                let same = !soft && config[a] == config[b];
+                if !soft && !same {
+                    switches += adj[a][b];
+                }
+            }
+        }
+        cycles + switches * p.reconfig_cost
+    }
+
     #[test]
     fn ilp_matches_brute_force_on_small_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x7001);
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(0x7001);
         for case in 0..10 {
             let n = rng.gen_range(2..=3usize);
             let tasks: Vec<RtTask> = (0..n)
@@ -699,7 +730,7 @@ mod tests {
                     let base = rng.gen_range(4..12u64);
                     let vs: Vec<CisVersion> = (0..rng.gen_range(0..3usize))
                         .map(|_| CisVersion {
-                            area: rng.gen_range(1..8),
+                            area: rng.gen_range(1..8u64),
                             gain: rng.gen_range(1..=base.min(4)),
                         })
                         .collect();
@@ -708,11 +739,13 @@ mod tests {
                 .collect();
             let p = RtProblem {
                 tasks,
-                max_area: rng.gen_range(3..12),
-                reconfig_cost: rng.gen_range(0..4),
+                max_area: rng.gen_range(3..12u64),
+                reconfig_cost: rng.gen_range(0..4u64),
                 max_configs: 2,
             };
-            // Brute force over versions × configs.
+            let h = p.hyperperiod();
+            // Brute force the model objective over versions × configs,
+            // honouring the model's scheduling row (objective ≤ H).
             let mut best: Option<u64> = None;
             let dims: Vec<usize> = p.tasks.iter().map(|t| t.versions.len() * 2).collect();
             let mut idx = vec![0usize; n];
@@ -720,8 +753,8 @@ mod tests {
                 let version: Vec<usize> = idx.iter().map(|&v| v / 2).collect();
                 let config: Vec<usize> = idx.iter().map(|&v| v % 2).collect();
                 if fits(&p, &version, &config) {
-                    let d = demand(&p, &version, &config);
-                    if best.is_none_or(|b| d < b) {
+                    let d = model_objective(&p, &version, &config);
+                    if d <= h && best.is_none_or(|b| d < b) {
                         best = Some(d);
                     }
                 }
@@ -742,8 +775,24 @@ mod tests {
                 }
             }
             let ilp = solve_ilp(&p, 100_000_000).expect("ilp");
-            let got = demand(&p, &ilp.version, &ilp.config);
-            assert_eq!(Some(got), best, "case {case}: {p:?}");
+            assert!(fits(&p, &ilp.version, &ilp.config), "case {case}: {p:?}");
+            match best {
+                // The ILP minimizes the modeled objective exactly.
+                Some(want) => assert_eq!(
+                    model_objective(&p, &ilp.version, &ilp.config),
+                    want,
+                    "case {case}: {p:?}"
+                ),
+                // No modeled-schedulable assignment: falls back to static.
+                None => {
+                    let st = solve_static(&p);
+                    assert_eq!(
+                        demand(&p, &ilp.version, &ilp.config),
+                        demand(&p, &st.version, &st.config),
+                        "case {case}: {p:?}"
+                    );
+                }
+            }
         }
     }
 }

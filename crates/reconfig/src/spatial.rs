@@ -192,17 +192,16 @@ mod tests {
 
     #[test]
     fn matches_exhaustive_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x6a11);
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(0x6a11);
         for case in 0..40 {
             let n = rng.gen_range(1..=5usize);
             let loops: Vec<HotLoop> = (0..n)
                 .map(|i| {
                     let vs: Vec<CisVersion> = (0..rng.gen_range(0..4usize))
                         .map(|_| CisVersion {
-                            area: rng.gen_range(1..20),
-                            gain: rng.gen_range(1..30),
+                            area: rng.gen_range(1..20u64),
+                            gain: rng.gen_range(1..30u64),
                         })
                         .collect();
                     HotLoop::new(format!("l{i}"), &vs)

@@ -196,10 +196,7 @@ pub fn simulate_rms(tasks: &[PeriodicTask]) -> SimOutcome {
     let mut order: Vec<usize> = (0..tasks.len()).collect();
     order.sort_by_key(|&i| tasks[i].period);
     simulate(tasks, move |jobs| {
-        order
-            .iter()
-            .copied()
-            .find(|&i| jobs[i].remaining > 0)
+        order.iter().copied().find(|&i| jobs[i].remaining > 0)
     })
 }
 
@@ -285,8 +282,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rtise_obs::Rng;
 
     fn tasks(spec: &[(u64, u64)]) -> Vec<PeriodicTask> {
         spec.iter()
@@ -350,9 +346,9 @@ mod tests {
 
     #[test]
     fn simulators_agree_with_analysis_on_random_sets() {
-        let mut rng = StdRng::seed_from_u64(2024);
+        let mut rng = Rng::new(2024);
         for case in 0..200 {
-            let n = rng.gen_range(1..=4);
+            let n = rng.gen_range(1..=4u32);
             let ts: Vec<PeriodicTask> = (0..n)
                 .map(|i| {
                     let p = rng.gen_range(2u64..=12);
@@ -371,9 +367,9 @@ mod tests {
 
     #[test]
     fn rms_implies_edf() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::new(7);
         for _ in 0..100 {
-            let n = rng.gen_range(1..=5);
+            let n = rng.gen_range(1..=5u32);
             let ts: Vec<PeriodicTask> = (0..n)
                 .map(|i| {
                     let p = rng.gen_range(2u64..=30);

@@ -39,6 +39,19 @@ pub struct EdfSelection {
     pub schedulable: bool,
 }
 
+/// Dynamic-program statistics for one [`select_edf_with_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdfDpStats {
+    /// Area-grid step `Δ` (gcd of all configuration areas and the budget).
+    pub grid_step: u64,
+    /// Grid slots per task row (`budget/Δ + 1`).
+    pub grid_slots: u64,
+    /// DP cells computed (`slots × tasks`).
+    pub dp_cells: u64,
+    /// Candidate transitions evaluated across all cells.
+    pub transitions: u64,
+}
+
 /// Selects one configuration per task minimizing total utilization under
 /// `area_budget`, optimal for EDF scheduling (Algorithm 1).
 ///
@@ -46,6 +59,19 @@ pub struct EdfSelection {
 ///
 /// See [`SelectEdfError`].
 pub fn select_edf(specs: &[TaskSpec], area_budget: u64) -> Result<EdfSelection, SelectEdfError> {
+    select_edf_with_stats(specs, area_budget).map(|(s, _)| s)
+}
+
+/// Like [`select_edf`], additionally returning [`EdfDpStats`] and
+/// publishing `select.edf.*` counters to the [`rtise_obs`] registry.
+///
+/// # Errors
+///
+/// See [`SelectEdfError`].
+pub fn select_edf_with_stats(
+    specs: &[TaskSpec],
+    area_budget: u64,
+) -> Result<(EdfSelection, EdfDpStats), SelectEdfError> {
     if specs.is_empty() {
         return Err(SelectEdfError::NoTasks);
     }
@@ -75,6 +101,12 @@ pub fn select_edf(specs: &[TaskSpec], area_budget: u64) -> Result<EdfSelection, 
     }
     let step = step.max(1);
     let slots = (area_budget / step) as usize + 1;
+    let mut stats = EdfDpStats {
+        grid_step: step,
+        grid_slots: slots as u64,
+        dp_cells: 0,
+        transitions: 0,
+    };
 
     // dp[a] = minimal demand using tasks processed so far and area ≤ a·step;
     // choice[i][a] = configuration index chosen for task i at grid slot a.
@@ -84,11 +116,13 @@ pub fn select_edf(specs: &[TaskSpec], area_budget: u64) -> Result<EdfSelection, 
         let mut next = vec![u128::MAX; slots];
         let mut ch = vec![0usize; slots];
         for a in 0..slots {
+            stats.dp_cells += 1;
             let avail = a as u64 * step;
             for (j, p) in s.curve.points().iter().enumerate() {
                 if p.area > avail {
                     break; // points are ascending in area
                 }
+                stats.transitions += 1;
                 let rest = ((avail - p.area) / step) as usize;
                 let d = dp[rest].saturating_add(p.cycles as u128 * w);
                 if d < next[a] {
@@ -129,11 +163,17 @@ pub fn select_edf(specs: &[TaskSpec], area_budget: u64) -> Result<EdfSelection, 
     } else {
         utilization <= 1.0 + 1e-9
     };
-    Ok(EdfSelection {
-        utilization,
-        schedulable,
-        assignment,
-    })
+    rtise_obs::global_add("select.edf.solves", 1);
+    rtise_obs::global_add("select.edf.dp_cells", stats.dp_cells);
+    rtise_obs::global_add("select.edf.transitions", stats.transitions);
+    Ok((
+        EdfSelection {
+            utilization,
+            schedulable,
+            assignment,
+        },
+        stats,
+    ))
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -212,9 +252,8 @@ mod tests {
 
     #[test]
     fn matches_exhaustive_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(31);
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(31);
         for case in 0..50 {
             let n = rng.gen_range(1..=4usize);
             let specs: Vec<TaskSpec> = (0..n)
@@ -224,12 +263,12 @@ mod tests {
                     let pts: Vec<(u64, u64)> = (0..n_cfg)
                         .map(|k| {
                             (
-                                rng.gen_range(1..12) * (k as u64 + 1),
+                                rng.gen_range(1..12u64) * (k as u64 + 1),
                                 base.saturating_sub(rng.gen_range(1..=base)),
                             )
                         })
                         .collect();
-                    spec(&format!("t{i}"), base, rng.gen_range(8..32), &pts)
+                    spec(&format!("t{i}"), base, rng.gen_range(8..32u64), &pts)
                 })
                 .collect();
             let budget = rng.gen_range(0..30u64);
@@ -267,5 +306,19 @@ mod tests {
                 got.utilization
             );
         }
+    }
+
+    #[test]
+    fn stats_describe_the_grid_and_do_not_change_the_result() {
+        let specs = fig_3_2_specs();
+        let plain = select_edf(&specs, 10).expect("select");
+        let (sel, stats) = select_edf_with_stats(&specs, 10).expect("select");
+        assert_eq!(plain, sel);
+        // Areas 7, 6, 4 and budget 10 have gcd 1 → 11 slots.
+        assert_eq!(stats.grid_step, 1);
+        assert_eq!(stats.grid_slots, 11);
+        assert_eq!(stats.dp_cells, 11 * 3);
+        // Every cell evaluates at least the software point (area 0).
+        assert!(stats.transitions >= stats.dp_cells);
     }
 }

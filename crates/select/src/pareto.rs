@@ -85,9 +85,7 @@ fn gap_knapsack(base_value: u64, items: &[Item], b: u64, r: u64) -> ParetoPoint 
         let scaled = if it.area == 0 {
             0
         } else {
-            it.area
-                .saturating_mul(r as u64)
-                .div_ceil(b)
+            it.area.saturating_mul(r as u64).div_ceil(b)
         } as usize;
         if scaled > r {
             continue;
@@ -269,7 +267,10 @@ pub fn eps_pareto_groups(groups: &[Vec<ParetoPoint>], eps: f64) -> Vec<ParetoPoi
     let mut points = Vec::new();
     // The zero-cost point: cheapest option per group.
     points.push(ParetoPoint {
-        cost: groups.iter().map(|g| g.iter().map(|o| o.cost).min().unwrap_or(0)).sum(),
+        cost: groups
+            .iter()
+            .map(|g| g.iter().map(|o| o.cost).min().unwrap_or(0))
+            .sum(),
         value: groups
             .iter()
             .map(|g| {
@@ -304,16 +305,12 @@ pub fn is_eps_cover(exact: &[ParetoPoint], approx: &[ParetoPoint], eps: f64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rtise_obs::Rng;
 
     #[test]
     fn fig_4_1_intra_task_curve() {
         // T1: E = 10, CIs (δ=2, a=30) and (δ=3, a=60).
-        let items = [
-            Item { delta: 2, area: 30 },
-            Item { delta: 3, area: 60 },
-        ];
+        let items = [Item { delta: 2, area: 30 }, Item { delta: 3, area: 60 }];
         let curve = exact_pareto(10, &items);
         assert_eq!(
             curve,
@@ -340,10 +337,22 @@ mod tests {
         // curve: options at (0,15),(10,14),(30,13),(50,12),(80,10).
         let t2 = vec![
             ParetoPoint { cost: 0, value: 15 },
-            ParetoPoint { cost: 10, value: 14 },
-            ParetoPoint { cost: 30, value: 13 },
-            ParetoPoint { cost: 50, value: 12 },
-            ParetoPoint { cost: 80, value: 10 },
+            ParetoPoint {
+                cost: 10,
+                value: 14,
+            },
+            ParetoPoint {
+                cost: 30,
+                value: 13,
+            },
+            ParetoPoint {
+                cost: 50,
+                value: 12,
+            },
+            ParetoPoint {
+                cost: 80,
+                value: 10,
+            },
         ];
         let curve = exact_pareto_groups(&[t1, t2]);
         // Without customization U = (10+15)/20 = 5/4 > 1; the curve exposes
@@ -358,16 +367,16 @@ mod tests {
 
     #[test]
     fn eps_curve_covers_exact_curve() {
-        let mut rng = StdRng::seed_from_u64(0x9a9);
+        let mut rng = Rng::new(0x9a9);
         for case in 0..30 {
             let n = rng.gen_range(1..=20usize);
             let items: Vec<Item> = (0..n)
                 .map(|_| Item {
-                    delta: rng.gen_range(1..50),
-                    area: rng.gen_range(1..2_000),
+                    delta: rng.gen_range(1..50u64),
+                    area: rng.gen_range(1..2_000u64),
                 })
                 .collect();
-            let base = rng.gen_range(200..900);
+            let base = rng.gen_range(200..900u64);
             let exact = exact_pareto(base, &items);
             for eps in [0.21, 0.44, 0.69, 3.0] {
                 let approx = eps_pareto(base, &items, eps);
@@ -382,20 +391,20 @@ mod tests {
 
     #[test]
     fn eps_groups_cover_exact_groups() {
-        let mut rng = StdRng::seed_from_u64(0x61);
+        let mut rng = Rng::new(0x61);
         for case in 0..15 {
             let g = rng.gen_range(1..=9usize);
             let groups: Vec<Vec<ParetoPoint>> = (0..g)
                 .map(|_| {
                     let mut opts = vec![ParetoPoint {
                         cost: 0,
-                        value: rng.gen_range(50..100),
+                        value: rng.gen_range(50..100u64),
                     }];
                     let mut v = opts[0].value;
                     let mut c = 0;
-                    for _ in 0..rng.gen_range(0..4) {
-                        c += rng.gen_range(1..40);
-                        v = v.saturating_sub(rng.gen_range(1..20)).max(1);
+                    for _ in 0..rng.gen_range(0..4u32) {
+                        c += rng.gen_range(1..40u64);
+                        v = v.saturating_sub(rng.gen_range(1..20u64)).max(1);
                         opts.push(ParetoPoint { cost: c, value: v });
                     }
                     opts
@@ -404,10 +413,7 @@ mod tests {
             let exact = exact_pareto_groups(&groups);
             for eps in [0.44, 3.0] {
                 let approx = eps_pareto_groups(&groups, eps);
-                assert!(
-                    is_eps_cover(&exact, &approx, eps),
-                    "case {case} eps {eps}"
-                );
+                assert!(is_eps_cover(&exact, &approx, eps), "case {case} eps {eps}");
             }
         }
     }
@@ -425,9 +431,7 @@ mod tests {
         for a in &approx {
             // There must be an exact point at least as good.
             assert!(
-                exact
-                    .iter()
-                    .any(|e| e.cost <= a.cost && e.value <= a.value),
+                exact.iter().any(|e| e.cost <= a.cost && e.value <= a.value),
                 "{a:?} beats the exact front"
             );
         }

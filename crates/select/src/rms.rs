@@ -44,6 +44,29 @@ pub struct RmsSelection {
     pub utilization: f64,
 }
 
+/// Branch-and-bound statistics for one [`select_rms_with_stats`] call.
+///
+/// Invariant: `nodes >= pruned_bound` and every configuration either
+/// recursed, was pruned by area, or failed the schedulability test, so
+/// `configs_tried = recursions + pruned_area + pruned_unschedulable`
+/// (recursions are not counted separately here; the counters below are the
+/// observable pruning events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RmsBnbStats {
+    /// Search-tree nodes entered.
+    pub nodes: u64,
+    /// Nodes cut by the utilization lower bound against the incumbent.
+    pub pruned_bound: u64,
+    /// Configurations skipped because they exceeded the area budget.
+    pub pruned_area: u64,
+    /// Configurations rejected by the exact per-task RMS test.
+    pub pruned_unschedulable: u64,
+    /// Exact schedulability tests run (Theorem 1).
+    pub sched_tests: u64,
+    /// Times a new best (incumbent) assignment was recorded.
+    pub incumbent_updates: u64,
+}
+
 /// Selects one configuration per task minimizing total utilization such
 /// that the whole set is RMS-schedulable within `area_budget`
 /// (Algorithm 2).
@@ -53,6 +76,21 @@ pub struct RmsSelection {
 /// [`SelectRmsError::Unschedulable`] when even the fastest configurations
 /// cannot meet all deadlines within the budget.
 pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, SelectRmsError> {
+    select_rms_with_stats(specs, area_budget).map(|(s, _)| s)
+}
+
+/// Like [`select_rms`], additionally returning [`RmsBnbStats`] and
+/// publishing `select.rms.*` counters to the [`rtise_obs`] registry (also
+/// when the instance is unschedulable — failed searches are the expensive
+/// ones).
+///
+/// # Errors
+///
+/// Same as [`select_rms`].
+pub fn select_rms_with_stats(
+    specs: &[TaskSpec],
+    area_budget: u64,
+) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
     if specs.is_empty() {
         return Err(SelectRmsError::NoTasks);
     }
@@ -87,12 +125,15 @@ pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, 
         partial: Vec<PeriodicTask>,
         config: Vec<usize>,
         best: Option<(f64, Vec<usize>)>,
+        stats: RmsBnbStats,
     }
 
     fn search(ctx: &mut Ctx<'_>, depth: usize, area: u64, util: f64) {
+        ctx.stats.nodes += 1;
         if depth == ctx.order.len() {
             if ctx.best.as_ref().is_none_or(|(b, _)| util < *b) {
                 ctx.best = Some((util, ctx.config.clone()));
+                ctx.stats.incumbent_updates += 1;
             }
             return;
         }
@@ -100,6 +141,7 @@ pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, 
         // beat the incumbent.
         if let Some((b, _)) = &ctx.best {
             if util + ctx.suffix_bound[depth] >= *b - 1e-15 {
+                ctx.stats.pruned_bound += 1;
                 return;
             }
         }
@@ -111,6 +153,7 @@ pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, 
         for j in (0..spec.curve.len()).rev() {
             let p = &spec.curve.points()[j];
             if area + p.area > ctx.budget {
+                ctx.stats.pruned_area += 1;
                 continue;
             }
             ctx.partial.push(PeriodicTask::new(
@@ -119,6 +162,7 @@ pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, 
                 spec.period,
             ));
             let sorted: Vec<&PeriodicTask> = ctx.partial.iter().collect();
+            ctx.stats.sched_tests += 1;
             let ok = rms_task_schedulable(&sorted, depth);
             if ok {
                 ctx.config[ti] = j;
@@ -128,6 +172,8 @@ pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, 
                     area + p.area,
                     util + p.cycles as f64 / spec.period as f64,
                 );
+            } else {
+                ctx.stats.pruned_unschedulable += 1;
             }
             ctx.partial.pop();
         }
@@ -141,13 +187,27 @@ pub fn select_rms(specs: &[TaskSpec], area_budget: u64) -> Result<RmsSelection, 
         partial: Vec::new(),
         config: vec![0; specs.len()],
         best: None,
+        stats: RmsBnbStats::default(),
     };
     search(&mut ctx, 0, 0, 0.0);
+    let stats = ctx.stats;
+    rtise_obs::global_add("select.rms.solves", 1);
+    rtise_obs::global_add("select.rms.nodes", stats.nodes);
+    rtise_obs::global_add("select.rms.pruned_bound", stats.pruned_bound);
+    rtise_obs::global_add("select.rms.pruned_area", stats.pruned_area);
+    rtise_obs::global_add(
+        "select.rms.pruned_unschedulable",
+        stats.pruned_unschedulable,
+    );
+    rtise_obs::global_add("select.rms.sched_tests", stats.sched_tests);
     let (utilization, config) = ctx.best.ok_or(SelectRmsError::Unschedulable)?;
-    Ok(RmsSelection {
-        assignment: Assignment { config },
-        utilization,
-    })
+    Ok((
+        RmsSelection {
+            assignment: Assignment { config },
+            utilization,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -224,9 +284,8 @@ mod tests {
 
     #[test]
     fn matches_exhaustive_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(77);
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(77);
         for case in 0..40 {
             let n = rng.gen_range(1..=3usize);
             let specs: Vec<TaskSpec> = (0..n)
@@ -235,12 +294,12 @@ mod tests {
                     let pts: Vec<(u64, u64)> = (0..rng.gen_range(0..3usize))
                         .map(|k| {
                             (
-                                rng.gen_range(1..10) * (k as u64 + 1),
+                                rng.gen_range(1..10u64) * (k as u64 + 1),
                                 rng.gen_range(1..=base),
                             )
                         })
                         .collect();
-                    spec(&format!("t{i}"), base, rng.gen_range(6..24), &pts)
+                    spec(&format!("t{i}"), base, rng.gen_range(6..24u64), &pts)
                 })
                 .collect();
             let budget = rng.gen_range(0..20u64);
@@ -284,6 +343,23 @@ mod tests {
                 ),
                 (Err(SelectRmsError::Unschedulable), None) => {}
                 (got, want) => panic!("case {case}: got {got:?}, brute {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_invariants_and_identical_optimum() {
+        let specs = fig_3_2_specs();
+        for budget in [0u64, 10, 17, 1000] {
+            let plain = select_rms(&specs, budget);
+            match select_rms_with_stats(&specs, budget) {
+                Ok((sel, stats)) => {
+                    assert_eq!(plain.expect("plain agrees"), sel, "budget {budget}");
+                    assert!(stats.nodes >= 1);
+                    assert!(stats.incumbent_updates >= 1);
+                    assert!(stats.sched_tests >= stats.pruned_unschedulable);
+                }
+                Err(e) => assert_eq!(plain, Err(e), "budget {budget}"),
             }
         }
     }

@@ -110,11 +110,7 @@ impl Assignment {
             .iter()
             .zip(specs)
             .map(|(&j, s)| {
-                PeriodicTask::new(
-                    s.curve.name.clone(),
-                    s.curve.points()[j].cycles,
-                    s.period,
-                )
+                PeriodicTask::new(s.curve.name.clone(), s.curve.points()[j].cycles, s.period)
             })
             .collect()
     }
@@ -157,16 +153,11 @@ mod tests {
 
     #[test]
     fn utilization_and_area_accumulate() {
-        let specs = vec![
-            spec("a", 2, 6, &[(7, 1)]),
-            spec("b", 3, 8, &[(6, 2)]),
-        ];
+        let specs = vec![spec("a", 2, 6, &[(7, 1)]), spec("b", 3, 8, &[(6, 2)])];
         let sw = Assignment::software(2);
         assert!((sw.utilization(&specs) - (2.0 / 6.0 + 3.0 / 8.0)).abs() < 1e-12);
         assert_eq!(sw.total_area(&specs), 0);
-        let hw = Assignment {
-            config: vec![1, 1],
-        };
+        let hw = Assignment { config: vec![1, 1] };
         assert_eq!(hw.total_area(&specs), 13);
         assert!((hw.utilization(&specs) - (1.0 / 6.0 + 2.0 / 8.0)).abs() < 1e-12);
     }

@@ -161,6 +161,26 @@ pub struct RunResult {
     pub trace: Option<Vec<BlockId>>,
 }
 
+/// Post-run execution statistics from [`Simulator::run_with_stats`].
+///
+/// Derived from the block profile: each block's static operation mix and
+/// cycle cost are scaled by its execution count, so the histogram reflects
+/// *dynamic* instruction counts without per-step bookkeeping overhead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Blocks executed (length of the trace).
+    pub blocks_executed: u64,
+    /// Dynamic operations executed (custom-instruction-covered nodes
+    /// count under their own `ci` bucket, not their software kind).
+    pub instructions: u64,
+    /// Dynamic instruction mix: executed operation count per
+    /// [`OpKind`] mnemonic, plus `"ci"` for custom-instruction issues.
+    pub instr_mix: std::collections::BTreeMap<String, u64>,
+    /// Cycles attributed to each basic block
+    /// (`block_counts[b] × cost(b)`); sums to [`RunResult::cycles`].
+    pub block_cycles: Vec<u64>,
+}
+
 /// An interpreter for one program.
 ///
 /// See the [crate-level example](crate).
@@ -322,6 +342,56 @@ impl<'p> Simulator<'p> {
                 }
             };
         }
+    }
+
+    /// Like [`Simulator::run_with_cis`], additionally returning a
+    /// [`RunStats`] (dynamic instruction mix and per-block cycle
+    /// attribution) and publishing `sim.*` counters to the [`rtise_obs`]
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::run_with_cis`].
+    pub fn run_with_stats(
+        &self,
+        vars: &[i64],
+        mem: &[i64],
+        cis: &CiMap,
+    ) -> Result<(RunResult, RunStats), SimError> {
+        let result = self.run_with_cis(vars, mem, cis)?;
+        let p = self.program;
+        let mut stats = RunStats::default();
+        for (b, &count) in p.block_ids().zip(&result.block_counts) {
+            stats.blocks_executed += count;
+            stats.block_cycles.push(count * self.block_cycles(b, cis)?);
+            if count == 0 {
+                continue;
+            }
+            let bb = p.block(b);
+            let selected = cis.block_cis(b);
+            let mut covered = bb.dfg.empty_set();
+            for ci in selected {
+                covered.union_with(&ci.nodes);
+            }
+            if !selected.is_empty() {
+                let issues = selected.len() as u64 * count;
+                *stats.instr_mix.entry("ci".into()).or_default() += issues;
+                stats.instructions += issues;
+            }
+            for id in bb.dfg.ids() {
+                if covered.contains(id) {
+                    continue;
+                }
+                let kind = bb.dfg.kind(id).to_string();
+                *stats.instr_mix.entry(kind).or_default() += count;
+                stats.instructions += count;
+            }
+        }
+        debug_assert_eq!(stats.block_cycles.iter().sum::<u64>(), result.cycles);
+        rtise_obs::global_add("sim.runs", 1);
+        rtise_obs::global_add("sim.blocks_executed", stats.blocks_executed);
+        rtise_obs::global_add("sim.instructions", stats.instructions);
+        Ok((result, stats))
     }
 
     /// Cycle cost of one execution of `block` under `cis`.
@@ -522,7 +592,10 @@ mod tests {
     fn step_limit_catches_runaway() {
         let p = sum_program();
         let sim = Simulator::new(&p).expect("valid").with_step_limit(5);
-        assert_eq!(sim.run(&[0, 100], &[]), Err(SimError::StepLimit { limit: 5 }));
+        assert_eq!(
+            sim.run(&[0, 100], &[]),
+            Err(SimError::StepLimit { limit: 5 })
+        );
     }
 
     #[test]
@@ -592,6 +665,42 @@ mod tests {
         let out = sim.run(&[0, 1000], &[]).expect("run");
         let wcet = rtise_ir::wcet::analyze(&p).expect("wcet").wcet;
         assert!(wcet >= out.cycles, "WCET {wcet} < observed {}", out.cycles);
+    }
+
+    #[test]
+    fn run_stats_account_for_cycles_and_instruction_mix() {
+        let p = sum_program();
+        let sim = Simulator::new(&p).expect("valid");
+        let plain = sim.run(&[0, 10], &[]).expect("run");
+        let (out, stats) = sim
+            .run_with_stats(&[0, 10], &[], &CiMap::new())
+            .expect("run");
+        assert_eq!(out, plain, "stats must not change the result");
+        assert_eq!(stats.blocks_executed, out.block_counts.iter().sum::<u64>());
+        assert_eq!(stats.block_cycles.iter().sum::<u64>(), out.cycles);
+        assert_eq!(stats.instr_mix.values().sum::<u64>(), stats.instructions);
+        // The loop body (block 2, executed 10×) contains one mul.
+        assert_eq!(stats.instr_mix.get("mul"), Some(&10));
+        assert!(!stats.instr_mix.contains_key("ci"));
+
+        // Under a CI over the loop body, covered ops move to the `ci`
+        // bucket and the attributed cycles still sum to the total.
+        let body = &p.block(BlockId(2)).dfg;
+        let set = body.full_valid_set();
+        let hw = HwModel::default();
+        let mut cis = CiMap::new();
+        cis.add(
+            BlockId(2),
+            SelectedCi {
+                cycles: hw.ci_cycles(body, &set),
+                nodes: set,
+            },
+        );
+        let (acc, hw_stats) = sim.run_with_stats(&[0, 10], &[], &cis).expect("hw run");
+        assert_eq!(hw_stats.instr_mix.get("ci"), Some(&10));
+        assert_eq!(hw_stats.instr_mix.get("mul"), None);
+        assert_eq!(hw_stats.block_cycles.iter().sum::<u64>(), acc.cycles);
+        assert!(hw_stats.instructions < stats.instructions);
     }
 
     #[test]

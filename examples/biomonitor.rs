@@ -11,8 +11,8 @@
 
 use rtise::ir::hw::HwModel;
 use rtise::kernels::by_name;
-use rtise::mlgp::{customize_task_set, IterativeOptions};
 use rtise::mlgp::iterative::IterTask;
+use rtise::mlgp::{customize_task_set, IterativeOptions};
 use rtise::sim::{CiMap, SelectedCi, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

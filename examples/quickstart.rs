@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sweep the area budget until the set becomes schedulable.
     let budget_max = max_area(&specs);
-    println!("\n{:>12} {:>12} {:>14}", "area budget", "utilization", "schedulable");
+    println!(
+        "\n{:>12} {:>12} {:>14}",
+        "area budget", "utilization", "schedulable"
+    );
     let mut rescued = None;
     for step in 0..=10u64 {
         let budget = budget_max * step / 10;

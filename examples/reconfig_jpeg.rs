@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let it = iterative_partition(&p, 7).net_gain(&p);
             let gr = greedy_partition(&p).net_gain(&p);
             let ex = exhaustive_partition(&p).net_gain(&p);
-            println!(
-                "{:>7}% {rho:>9} {it:>12} {gr:>12} {ex:>12}",
-                fabric_pct
-            );
+            println!("{:>7}% {rho:>9} {it:>12} {gr:>12} {ex:>12}", fabric_pct);
             assert!(it <= ex && gr <= ex, "exhaustive is the optimum");
         }
     }

@@ -121,8 +121,8 @@ fn reconfig_algorithms_bounded_by_exhaustive() {
 #[test]
 fn two_stage_eps_scheme_composes() {
     use rtise::select::pareto::{
-        eps_pareto, eps_pareto_groups, exact_pareto, exact_pareto_groups, is_eps_cover,
-        Item, ParetoPoint,
+        eps_pareto, eps_pareto_groups, exact_pareto, exact_pareto_groups, is_eps_cover, Item,
+        ParetoPoint,
     };
     let mut state = 0xabcdefu64;
     let mut next = move || {

@@ -14,8 +14,8 @@ use rtise::workbench::{max_area, reconfig_problem, task_curve, task_specs, Curve
 /// simulation.
 #[test]
 fn customization_rescues_unschedulable_task_set() {
-    let specs = task_specs(&["crc32", "ndes", "fir"], 1.08, CurveOptions::fast())
-        .expect("task specs");
+    let specs =
+        task_specs(&["crc32", "ndes", "fir"], 1.08, CurveOptions::fast()).expect("task specs");
     let u0: f64 = specs.iter().map(|s| s.base_utilization()).sum();
     assert!(u0 > 1.0, "starts unschedulable (u0 = {u0})");
 
@@ -156,10 +156,7 @@ fn iterative_flow_reduces_utilization_on_table_5_2_set() {
     use rtise::mlgp::{customize_task_set, IterativeOptions};
 
     let names = rtise::fixtures::TABLE_5_2[1]; // sha, jfdctint, rijndael, ndes
-    let kernels: Vec<_> = names
-        .iter()
-        .map(|n| by_name(n).expect("kernel"))
-        .collect();
+    let kernels: Vec<_> = names.iter().map(|n| by_name(n).expect("kernel")).collect();
     let wcets: Vec<u64> = kernels
         .iter()
         .map(|k| rtise::ir::wcet::analyze(&k.program).expect("wcet").wcet)

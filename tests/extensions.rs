@@ -42,9 +42,13 @@ fn partial_model_consistency() {
     // With per-area cost = rho / max_area, a switch costs at most rho
     // (configurations never exceed the fabric), so partial ≥ full reload.
     let per_area = p.reconfig_cost / p.max_area.max(1);
-    let partial = net_gain_with(&p, &sol, CostModel::Partial {
-        per_area_unit: per_area,
-    });
+    let partial = net_gain_with(
+        &p,
+        &sol,
+        CostModel::Partial {
+            per_area_unit: per_area,
+        },
+    );
     let fullr = net_gain_with(&p, &sol, CostModel::FullReload);
     assert!(partial >= fullr, "partial {partial} < full {fullr}");
 }

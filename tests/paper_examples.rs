@@ -71,7 +71,10 @@ fn figure_4_1_pareto_stages() {
         .collect();
     let curve = rtise::select::pareto::exact_pareto_groups(&[t1, t2]);
     assert_eq!(curve[0], ParetoPoint { cost: 0, value: 25 });
-    assert!(curve.iter().any(|p| p.value <= 20), "schedulable point exists");
+    assert!(
+        curve.iter().any(|p| p.value <= 20),
+        "schedulable point exists"
+    );
 }
 
 /// Fig. 6.4: the three partitioning solutions and their net gains (883K /
@@ -99,7 +102,11 @@ fn figure_6_4_reconfiguration_example() {
 /// validate.
 #[test]
 fn fixture_task_sets_are_runnable() {
-    let mut names: Vec<&str> = rtise::fixtures::TABLE_3_1.iter().flatten().copied().collect();
+    let mut names: Vec<&str> = rtise::fixtures::TABLE_3_1
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     names.extend(rtise::fixtures::TABLE_5_2.iter().flatten().copied());
     names.sort_unstable();
     names.dedup();

@@ -1,10 +1,14 @@
-//! Property-based tests on core invariants, spanning crates.
+//! Property-style tests on core invariants, spanning crates.
+//!
+//! Each test sweeps many seeded random inputs from the in-repo
+//! [`rtise::obs::Rng`] (SplitMix64), replacing the previous
+//! proptest-based versions so the suite builds fully offline.
 
-use proptest::prelude::*;
 use rtise::ir::dfg::{Dfg, NodeId};
 use rtise::ir::hw::HwModel;
 use rtise::ir::nodeset::NodeSet;
 use rtise::ir::op::OpKind;
+use rtise::obs::Rng;
 
 /// Builds a random DAG of valid compute ops over two inputs.
 fn random_dfg(ops: &[u8]) -> Dfg {
@@ -34,45 +38,61 @@ fn random_dfg(ops: &[u8]) -> Dfg {
     g
 }
 
-proptest! {
-    /// Convexity is monotone under taking the whole valid set, and the
-    /// feasibility checker agrees with first principles on singletons.
-    #[test]
-    fn convexity_invariants(ops in proptest::collection::vec(0u8..64, 1..24)) {
+/// A random op-selector vector with `len_lo..len_hi` entries in `0..64`.
+fn random_ops(rng: &mut Rng, len_lo: usize, len_hi: usize) -> Vec<u8> {
+    let len = rng.gen_range(len_lo..len_hi);
+    (0..len).map(|_| rng.gen_range(0..64u8)).collect()
+}
+
+/// Convexity is monotone under taking the whole valid set, and the
+/// feasibility checker agrees with first principles on singletons.
+#[test]
+fn convexity_invariants() {
+    let mut rng = Rng::new(0xc0_01);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 1, 24);
         let g = random_dfg(&ops);
         let full = g.full_valid_set();
-        prop_assert!(g.is_convex(&full), "the full valid set is always convex");
+        assert!(g.is_convex(&full), "the full valid set is always convex");
         for id in full.iter() {
             let mut s = g.empty_set();
             s.insert(id);
-            prop_assert!(g.is_convex(&s));
+            assert!(g.is_convex(&s));
         }
     }
+}
 
-    /// CI gain is never negative, area is additive, and the candidate's
-    /// hardware cycles never exceed its software cycles + 1.
-    #[test]
-    fn hw_model_invariants(ops in proptest::collection::vec(0u8..64, 1..24)) {
+/// CI gain is never negative, area is additive, and the candidate's
+/// hardware cycles never exceed its software cycles + 1.
+#[test]
+fn hw_model_invariants() {
+    let mut rng = Rng::new(0xc0_02);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng, 1, 24);
         let g = random_dfg(&ops);
         let hw = HwModel::default();
         let full = g.full_valid_set();
         let area_full = hw.ci_area(&g, &full);
         let sum: u64 = full.iter().map(|n| hw.area(g.kind(n))).sum();
-        prop_assert_eq!(area_full, sum, "area is additive");
-        prop_assert!(hw.ci_cycles(&g, &full) >= 1);
+        assert_eq!(area_full, sum, "area is additive");
+        assert!(hw.ci_cycles(&g, &full) >= 1);
         // Chaining can only help: hw cycles <= sw latency of members when
         // there is at least one real op.
         let sw = g.sw_latency(&full);
         if sw > 0 {
-            prop_assert!(hw.ci_cycles(&g, &full) <= sw.max(1));
+            assert!(hw.ci_cycles(&g, &full) <= sw.max(1));
         }
     }
+}
 
-    /// Every candidate the enumerator returns satisfies all three
-    /// architectural constraints, and enumeration is closed under the
-    /// declared caps.
-    #[test]
-    fn enumeration_soundness(ops in proptest::collection::vec(0u8..64, 1..20)) {
+/// Every candidate the enumerator returns satisfies all three
+/// architectural constraints, and enumeration is closed under the
+/// declared caps.
+#[test]
+fn enumeration_soundness() {
+    let mut rng = Rng::new(0xc0_03);
+    for _ in 0..96 {
+        let ops = random_ops(&mut rng, 1, 20);
         let g = random_dfg(&ops);
         let opts = rtise::ise::EnumerateOptions {
             max_in: 3,
@@ -81,17 +101,21 @@ proptest! {
             max_nodes: 10,
         };
         let cands = rtise::ise::enumerate_connected(&g, opts);
-        prop_assert!(cands.len() <= 500);
+        assert!(cands.len() <= 500);
         for c in &cands {
-            prop_assert!(c.len() <= 10);
-            prop_assert!(g.is_feasible_ci(c, 3, 2));
+            assert!(c.len() <= 10);
+            assert!(g.is_feasible_ci(c, 3, 2));
         }
     }
+}
 
-    /// MLGP partitions are pairwise disjoint legal instructions covering
-    /// only region nodes.
-    #[test]
-    fn mlgp_partition_soundness(ops in proptest::collection::vec(0u8..64, 2..28)) {
+/// MLGP partitions are pairwise disjoint legal instructions covering
+/// only region nodes.
+#[test]
+fn mlgp_partition_soundness() {
+    let mut rng = Rng::new(0xc0_04);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 2, 28);
         let g = random_dfg(&ops);
         let hw = HwModel::default();
         for region in rtise::ir::region::regions(&g) {
@@ -103,20 +127,22 @@ proptest! {
             );
             let mut seen: NodeSet = g.empty_set();
             for p in &parts {
-                prop_assert!(g.is_feasible_ci(p, 4, 2));
-                prop_assert!(!p.intersects(&seen), "partitions overlap");
+                assert!(g.is_feasible_ci(p, 4, 2));
+                assert!(!p.intersects(&seen), "partitions overlap");
                 seen.union_with(p);
-                prop_assert!(p.is_subset(&region.nodes));
+                assert!(p.is_subset(&region.nodes));
             }
         }
     }
+}
 
-    /// The EDF selection DP is optimal: no single-configuration deviation
-    /// improves utilization within the same budget.
-    #[test]
-    fn edf_dp_local_optimality(seed in 1u64..200) {
-        use rtise::ise::configs::ConfigCurve;
-        use rtise::select::task::TaskSpec;
+/// The EDF selection DP is optimal: no single-configuration deviation
+/// improves utilization within the same budget.
+#[test]
+fn edf_dp_local_optimality() {
+    use rtise::ise::configs::ConfigCurve;
+    use rtise::select::task::TaskSpec;
+    for seed in 1u64..200 {
         let mut state = seed;
         let mut next = move || {
             state ^= state >> 12;
@@ -145,13 +171,13 @@ proptest! {
         let budget = next() % 40;
         let sel = rtise::select::select_edf(&specs, budget).expect("select");
         let base_area = sel.assignment.total_area(&specs);
-        prop_assert!(base_area <= budget);
+        assert!(base_area <= budget);
         for i in 0..n {
             for j in 0..specs[i].curve.len() {
                 let mut alt = sel.assignment.clone();
                 alt.config[i] = j;
                 if alt.total_area(&specs) <= budget {
-                    prop_assert!(
+                    assert!(
                         alt.utilization(&specs) >= sel.utilization - 1e-12,
                         "deviation improves the optimum"
                     );
@@ -159,13 +185,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// Simulated execution with any legal CI coverage is bit-exact and
-    /// never slower than software.
-    #[test]
-    fn ci_execution_preserves_semantics(ops in proptest::collection::vec(0u8..64, 2..20)) {
-        use rtise::ir::cfg::{BasicBlock, Program, Terminator};
-        use rtise::sim::{CiMap, SelectedCi, Simulator};
+/// Simulated execution with any legal CI coverage is bit-exact and
+/// never slower than software.
+#[test]
+fn ci_execution_preserves_semantics() {
+    use rtise::ir::cfg::{BasicBlock, Program, Terminator};
+    use rtise::sim::{CiMap, SelectedCi, Simulator};
+    let mut rng = Rng::new(0xc0_06);
+    for _ in 0..96 {
+        let ops = random_ops(&mut rng, 2, 20);
         let g = random_dfg(&ops);
         let mut p = Program::new("prop", 2, 0);
         p.add_block(BasicBlock {
@@ -176,7 +206,7 @@ proptest! {
         let sim = Simulator::new(&p).expect("valid");
         let sw = sim.run(&[11, -3], &[]).expect("sw");
         let hw = HwModel::default();
-        // Cover the first feasible candidate found by enumeration.
+        // Cover the largest feasible candidate found by enumeration.
         let cands = rtise::ise::enumerate_connected(&g, rtise::ise::EnumerateOptions::default());
         if let Some(c) = cands.iter().max_by_key(|c| c.len()) {
             let mut cis = CiMap::new();
@@ -188,8 +218,8 @@ proptest! {
                 },
             );
             let acc = sim.run_with_cis(&[11, -3], &[], &cis).expect("hw");
-            prop_assert_eq!(acc.vars, sw.vars);
-            prop_assert!(acc.cycles <= sw.cycles);
+            assert_eq!(acc.vars, sw.vars);
+            assert!(acc.cycles <= sw.cycles);
         }
         let _ = NodeId(0);
     }
