@@ -15,4 +15,10 @@ echo "==> tier-1: build + test"
 cargo build --offline --release
 cargo test --offline -q
 
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
+echo "==> certification smoke (reproduce --check, fast subset)"
+cargo run --offline --release -p rtise-bench --bin reproduce -- --check fig3_2 tab5_1 fig4_1
+
 echo "CI OK"

@@ -8,6 +8,7 @@
 //! reproduce --list                   # list experiment ids
 //! reproduce --json out.json fig3_2   # also write a machine-readable report
 //! reproduce --trace fig4_1           # print per-experiment span/counter trees
+//! reproduce --check tab6_1           # also certify each experiment's artifacts
 //! ```
 //!
 //! Every experiment runs to completion even if an earlier one fails; the
@@ -20,6 +21,7 @@ use rtise_obs::Report;
 fn main() {
     let mut json_path: Option<String> = None;
     let mut trace = false;
+    let mut check = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,8 +40,11 @@ fn main() {
                 }
             },
             "--trace" => trace = true,
+            "--check" => check = true,
             other if other.starts_with('-') => {
-                eprintln!("unknown flag {other:?} (supported: --list, --json <path>, --trace)");
+                eprintln!(
+                    "unknown flag {other:?} (supported: --list, --json <path>, --trace, --check)"
+                );
                 std::process::exit(2);
             }
             other => ids.push(other.to_string()),
@@ -73,6 +78,21 @@ fn main() {
                 }
                 if !report.ok {
                     failed += 1;
+                } else if check {
+                    match rtise_bench::certify::certify(id) {
+                        Ok(d) if d.is_clean() => println!("--- {id}: certified clean"),
+                        Ok(d) => {
+                            println!("--- {id}: CERTIFICATION FAILED");
+                            for line in d.render().lines() {
+                                println!("    {line}");
+                            }
+                            failed += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("--- {id}: no certifier for {e:?}");
+                            failed += 1;
+                        }
+                    }
                 }
                 reports.push(report);
             }

@@ -32,14 +32,20 @@ pub fn fig3_1() {
     );
 }
 
-/// Fig. 3.2 — the motivating example: four per-task heuristics versus the
-/// optimal inter-task selection at area budget 10.
-pub fn fig3_2() {
-    let specs = vec![
+/// The three-task motivating instance of Fig. 3.2 (shared with the
+/// certification pass).
+pub(crate) fn fig3_2_specs() -> Vec<TaskSpec> {
+    vec![
         TaskSpec::new(ConfigCurve::from_points("T1", 2, &[(7, 1)]), 6),
         TaskSpec::new(ConfigCurve::from_points("T2", 3, &[(6, 2)]), 8),
         TaskSpec::new(ConfigCurve::from_points("T3", 6, &[(4, 5)]), 12),
-    ];
+    ]
+}
+
+/// Fig. 3.2 — the motivating example: four per-task heuristics versus the
+/// optimal inter-task selection at area budget 10.
+pub fn fig3_2() {
+    let specs = fig3_2_specs();
     let show = |label: &str, a: &Assignment| {
         out!(
             "  ({label}) configs {:?}  U' = {:>6.4}  area {:>2}  {}",
@@ -81,10 +87,10 @@ pub fn fig3_2() {
     );
 }
 
-/// Solves the Fig. 3.2 selection exactly as a 0-1 ILP: one variable per
+/// Builds the Fig. 3.2 selection as a 0-1 ILP: one variable per
 /// (task, configuration), uniqueness rows, one area row, objective =
-/// total demand over the hyperperiod.
-fn ilp_cross_check(specs: &[TaskSpec], budget: u64) -> Assignment {
+/// total demand over the hyperperiod. Shared with the certification pass.
+pub(crate) fn fig3_2_ilp_model(specs: &[TaskSpec], budget: u64) -> rtise::ilp::Model {
     use rtise::ilp::{Model, Sense};
     use rtise::select::task::spec_hyperperiod;
     let h = spec_hyperperiod(specs).expect("small hyperperiod");
@@ -113,7 +119,21 @@ fn ilp_cross_check(specs: &[TaskSpec], budget: u64) -> Assignment {
     }
     m.set_objective(Sense::Minimize, &obj);
     m.add_le(&area, budget as i64);
+    m
+}
+
+/// Solves the Fig. 3.2 ILP and decodes the chosen configuration.
+fn ilp_cross_check(specs: &[TaskSpec], budget: u64) -> Assignment {
+    let m = fig3_2_ilp_model(specs, budget);
     let sol = m.solve().expect("fig3_2 ILP is feasible");
+    let offsets: Vec<usize> = specs
+        .iter()
+        .scan(0usize, |acc, s| {
+            let o = *acc;
+            *acc += s.curve.len();
+            Some(o)
+        })
+        .collect();
     let config: Vec<usize> = specs
         .iter()
         .zip(&offsets)

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 /// Intra-task items of a task: each undominated configuration step becomes
 /// one independently-selectable custom-instruction bundle.
-fn items_of(curve: &rtise::ise::configs::ConfigCurve) -> Vec<Item> {
+pub(crate) fn items_of(curve: &rtise::ise::configs::ConfigCurve) -> Vec<Item> {
     curve
         .points()
         .windows(2)
@@ -27,7 +27,7 @@ fn items_of(curve: &rtise::ise::configs::ConfigCurve) -> Vec<Item> {
 /// When the hyperperiod overflows, a 2³² fixed-point scale stands in —
 /// exactly like the selector's fallback.
 #[allow(clippy::type_complexity)]
-fn groups_of(specs: &[TaskSpec]) -> (Vec<Vec<ParetoPoint>>, u64) {
+pub(crate) fn groups_of(specs: &[TaskSpec]) -> (Vec<Vec<ParetoPoint>>, u64) {
     // Large hyperperiods would push demand values toward u64::MAX and the
     // curve arithmetic into saturation; beyond 2^32 the fixed-point scale
     // is both safe and plenty precise.

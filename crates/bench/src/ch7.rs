@@ -9,7 +9,7 @@ use std::time::Instant;
 
 /// The experimental task set: four periodic tasks with CIS versions derived
 /// from real kernels (the structure of Fig. 7.3 / Table 7.1).
-fn rt_problem(area_pct: u64) -> RtProblem {
+pub(crate) fn rt_problem(area_pct: u64) -> RtProblem {
     let mut tasks = Vec::new();
     let mut max_version_area = 0u64;
     for (name, factor) in [

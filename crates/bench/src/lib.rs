@@ -9,6 +9,7 @@
 //! or name experiments: `reproduce fig3_3 tab6_1`.
 
 pub mod capture;
+pub mod certify;
 pub mod ch3;
 pub mod ch4;
 pub mod ch5;

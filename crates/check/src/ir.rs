@@ -1,0 +1,465 @@
+//! Layer 1: the IR well-formedness analyzer.
+//!
+//! Classic dataflow checks over [`rtise_ir`]: def-before-use and
+//! single-assignment on DFGs, acyclicity, operand arity per opcode, CFG
+//! entry/reachability and natural-loop-bound presence (the preconditions of
+//! WCET analysis), and region-decomposition validity.
+//!
+//! The analyzer works on a *raw* view of each DFG ([`RawNode`]) rather
+//! than on the [`Dfg`] API directly: the append-only builder API cannot
+//! even construct most of these defects, but a raw view can hold them —
+//! which is exactly what the seeded-mutation negative tests (and any
+//! future external front-end) need.
+
+use crate::diag::{Code, Diagnostic, Diagnostics, Location, Severity};
+use rtise_ir::cfg::{Cfg, Program};
+use rtise_ir::dfg::{Dfg, DfgError};
+use rtise_ir::op::OpKind;
+use rtise_ir::region::Region;
+use rtise_kernels::builder::BuildError;
+
+/// One node of a raw (untrusted) DFG view: an opcode and plain-index
+/// operands. Unlike [`Dfg`], nothing about a `RawNode` list is guaranteed
+/// — that is the point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawNode {
+    /// The operation kind.
+    pub kind: OpKind,
+    /// Operand node indices.
+    pub args: Vec<usize>,
+    /// Variable slot for [`OpKind::Input`]/[`OpKind::Output`] nodes.
+    pub slot: Option<usize>,
+}
+
+/// Extracts the raw node list of a (trusted) [`Dfg`] so it can be analyzed
+/// — or corrupted by a mutation test — without the builder invariants.
+pub fn raw_view(dfg: &Dfg) -> Vec<RawNode> {
+    dfg.ids()
+        .map(|id| {
+            let n = dfg.node_ref(id);
+            RawNode {
+                kind: n.kind(),
+                args: n.args().iter().map(|a| a.0).collect(),
+                slot: matches!(n.kind(), OpKind::Input | OpKind::Output).then(|| n.slot()),
+            }
+        })
+        .collect()
+}
+
+/// Checks a raw DFG: def-before-use (`IR001`), operand arity (`IR002`),
+/// acyclicity (`IR003`), and single assignment of output slots (`IR004`).
+///
+/// `block` qualifies the reported locations when the DFG belongs to a
+/// known basic block.
+pub fn check_raw_dfg(nodes: &[RawNode], block: Option<usize>) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    let loc = |node: usize| Location::Node { block, node };
+
+    for (i, n) in nodes.iter().enumerate() {
+        if n.args.len() != n.kind.arity() {
+            d.error(
+                Code::IR002,
+                loc(i),
+                format!(
+                    "{} takes {} operand(s), found {}",
+                    n.kind,
+                    n.kind.arity(),
+                    n.args.len()
+                ),
+            );
+        }
+        for &a in &n.args {
+            if a >= nodes.len() {
+                d.error(
+                    Code::IR001,
+                    loc(i),
+                    format!(
+                        "operand {a} does not exist (graph has {} nodes)",
+                        nodes.len()
+                    ),
+                );
+            } else if a >= i {
+                d.error(
+                    Code::IR001,
+                    loc(i),
+                    format!("operand {a} is not defined before node {i} uses it"),
+                );
+            }
+        }
+    }
+
+    // Acyclicity via three-color DFS over the in-range operand edges. A
+    // cycle is reported once, at the node that closes it.
+    let mut color = vec![0u8; nodes.len()]; // 0 white, 1 gray, 2 black
+    for start in 0..nodes.len() {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&mut (v, ref mut ai)) = stack.last_mut() {
+            let args = &nodes[v].args;
+            if *ai < args.len() {
+                let a = args[*ai];
+                *ai += 1;
+                if a >= nodes.len() {
+                    continue; // already reported as IR001
+                }
+                match color[a] {
+                    0 => {
+                        color[a] = 1;
+                        stack.push((a, 0));
+                    }
+                    1 => d.error(
+                        Code::IR003,
+                        loc(v),
+                        format!("operand edge {v} -> {a} closes a data-flow cycle"),
+                    ),
+                    _ => {}
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    // Single assignment: each variable slot written at most once per block.
+    let mut writes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.kind != OpKind::Output {
+            continue;
+        }
+        let Some(slot) = n.slot else { continue };
+        if let Some(&first) = writes.get(&slot) {
+            d.error(
+                Code::IR004,
+                loc(i),
+                format!("slot {slot} already written by node {first}"),
+            );
+        } else {
+            writes.insert(slot, i);
+        }
+    }
+
+    d
+}
+
+/// Checks one (already constructed) [`Dfg`] through its raw view.
+pub fn check_dfg(dfg: &Dfg) -> Diagnostics {
+    check_raw_dfg(&raw_view(dfg), None)
+}
+
+/// Checks a whole [`Program`]: structure (`IR005`), every block's DFG,
+/// reachability from the entry block (`IR006`), and iteration-bound
+/// presence for every natural-loop header (`IR007`, the precondition of
+/// WCET analysis).
+pub fn check_program(program: &Program) -> Diagnostics {
+    let mut d = Diagnostics::new();
+
+    if program.blocks.is_empty() {
+        d.error(Code::IR005, Location::Global, "program has no blocks");
+        return d;
+    }
+    if program.entry.0 >= program.blocks.len() {
+        d.error(
+            Code::IR005,
+            Location::Global,
+            format!("entry block {} is out of range", program.entry.0),
+        );
+        return d;
+    }
+    let structurally_valid = match program.validate() {
+        Ok(()) => true,
+        Err(e) => {
+            d.error(Code::IR005, Location::Global, e.to_string());
+            false
+        }
+    };
+
+    for (i, block) in program.blocks.iter().enumerate() {
+        d.merge(check_raw_dfg(&raw_view(&block.dfg), Some(i)));
+    }
+
+    if !structurally_valid {
+        // CFG analysis would index out of range on dangling targets.
+        return d;
+    }
+
+    let cfg = Cfg::analyze(program);
+    let mut reachable = vec![false; program.blocks.len()];
+    for &b in cfg.rpo() {
+        reachable[b.0] = true;
+    }
+    for (i, r) in reachable.iter().enumerate() {
+        if !r {
+            d.error(
+                Code::IR006,
+                Location::Block(i),
+                format!(
+                    "block {:?} is unreachable from the entry",
+                    program.blocks[i].name
+                ),
+            );
+        }
+    }
+    for l in cfg.loops() {
+        if !program.loop_bounds.contains_key(&l.header) {
+            d.error(
+                Code::IR007,
+                Location::Block(l.header.0),
+                format!(
+                    "natural loop headed at block {} (depth {}) has no iteration bound",
+                    l.header.0, l.depth
+                ),
+            );
+        }
+    }
+
+    d
+}
+
+/// Checks a region decomposition of `dfg`: the regions must partition the
+/// CI-valid operations (`IR008`) and each region must be maximal
+/// (`IR009`).
+pub fn check_regions(dfg: &Dfg, regions: &[Region]) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    let mut owner: Vec<Option<usize>> = vec![None; dfg.len()];
+
+    for (ri, r) in regions.iter().enumerate() {
+        let mut weight = 0usize;
+        for id in r.nodes.iter() {
+            if id.0 >= dfg.len() {
+                d.error(
+                    Code::IR008,
+                    Location::Region(ri),
+                    format!("member node {} is out of range", id.0),
+                );
+                continue;
+            }
+            let kind = dfg.kind(id);
+            if !kind.is_ci_valid() {
+                d.error(
+                    Code::IR008,
+                    Location::Region(ri),
+                    format!("member node {} is CI-invalid ({kind})", id.0),
+                );
+            }
+            if !kind.is_pseudo() {
+                weight += 1;
+            }
+            match owner[id.0] {
+                Some(other) => d.error(
+                    Code::IR008,
+                    Location::Region(ri),
+                    format!("node {} already belongs to region {other}", id.0),
+                ),
+                None => owner[id.0] = Some(ri),
+            }
+        }
+        if weight != r.weight {
+            d.error(
+                Code::IR008,
+                Location::Region(ri),
+                format!(
+                    "declared weight {} but counts {weight} real operations",
+                    r.weight
+                ),
+            );
+        }
+        if weight == 0 {
+            d.error(
+                Code::IR008,
+                Location::Region(ri),
+                "region holds no real operation",
+            );
+        }
+
+        // Regions are deliberately *not* convex — a data path through a
+        // memory operation may leave and re-enter one (md5 does). Convexity
+        // is a property of CI *candidates* and is enforced as CAND002.
+
+        // Maximality: no valid non-constant neighbour may sit outside.
+        // (Shared constants are absorbed by one region only, so a constant
+        // neighbour outside the region is legal.)
+        for id in r.nodes.iter() {
+            if id.0 >= dfg.len() || dfg.kind(id) == OpKind::Const {
+                continue;
+            }
+            for n in dfg.args(id).iter().chain(dfg.consumers(id)) {
+                if dfg.kind(*n).is_ci_valid()
+                    && dfg.kind(*n) != OpKind::Const
+                    && !r.nodes.contains(*n)
+                {
+                    d.error(
+                        Code::IR009,
+                        Location::Region(ri),
+                        format!(
+                            "not maximal: valid neighbour {} of node {} is outside the region",
+                            n.0, id.0
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Every real CI-valid operation must be covered by some region.
+    for id in dfg.ids() {
+        let kind = dfg.kind(id);
+        if kind.is_ci_valid() && !kind.is_pseudo() && owner[id.0].is_none() {
+            d.error(
+                Code::IR008,
+                Location::Node {
+                    block: None,
+                    node: id.0,
+                },
+                format!("operation {} ({kind}) is not covered by any region", id.0),
+            );
+        }
+    }
+
+    d
+}
+
+/// Maps a [`DfgError`] onto its diagnostic (`IR001` for unknown value
+/// references, `IR002` for arity/pseudo-op misuse).
+pub fn diagnose_dfg_error(err: &DfgError, block: Option<usize>) -> Diagnostic {
+    let (code, node) = match err {
+        DfgError::UndefinedOperand { operand } => (Code::IR001, Some(operand.0)),
+        DfgError::ArityMismatch { .. } | DfgError::PseudoOp { .. } => (Code::IR002, None),
+    };
+    Diagnostic {
+        code,
+        severity: Severity::Error,
+        location: match node {
+            Some(n) => Location::Node { block, node: n },
+            None => block.map(Location::Block).unwrap_or(Location::Global),
+        },
+        message: err.to_string(),
+    }
+}
+
+/// Maps a builder [`BuildError`] onto its diagnostic, making the
+/// structured construction errors of `rtise-kernels` consumable by this
+/// checker (`IR010` for builder misuse, `IR005` for validation failures,
+/// and the [`DfgError`] codes for data-flow mistakes).
+pub fn diagnose_build_error(err: &BuildError) -> Diagnostic {
+    match err {
+        BuildError::UnclosedLoop { .. } => Diagnostic {
+            code: Code::IR010,
+            severity: Severity::Error,
+            location: Location::Global,
+            message: err.to_string(),
+        },
+        BuildError::DuplicateBlockLabel { second, .. } => Diagnostic {
+            code: Code::IR010,
+            severity: Severity::Error,
+            location: Location::Block(second.0),
+            message: err.to_string(),
+        },
+        BuildError::Dfg(e) => diagnose_dfg_error(e, None),
+        BuildError::Invalid(e) => Diagnostic {
+            code: Code::IR005,
+            severity: Severity::Error,
+            location: Location::Global,
+            message: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ir::dfg::NodeId;
+    use rtise_ir::region::regions;
+
+    fn mac_dfg() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.input(0);
+        let b = g.input(1);
+        let m = g.bin(OpKind::Mul, a, b);
+        let s = g.bin_imm(OpKind::Add, m, 3);
+        g.output(0, s);
+        g
+    }
+
+    #[test]
+    fn well_formed_dfg_is_clean() {
+        assert!(check_dfg(&mac_dfg()).is_clean());
+    }
+
+    #[test]
+    fn raw_defects_get_their_codes() {
+        let mut raw = raw_view(&mac_dfg());
+        // Arity: steal an operand from the Add node (index 4; index 3 is
+        // the interned constant).
+        raw[4].args.pop();
+        let d = check_raw_dfg(&raw, None);
+        assert!(d.has(Code::IR002));
+
+        // Use-before-def (forward reference without a cycle).
+        let mut raw = raw_view(&mac_dfg());
+        raw[2].args[0] = 3;
+        let d = check_raw_dfg(&raw, None);
+        assert!(d.has(Code::IR001));
+
+        // Duplicate slot write.
+        let mut g = mac_dfg();
+        let one = g.imm(1);
+        g.output(0, one);
+        let d = check_dfg(&g);
+        assert!(d.has(Code::IR004), "{d}");
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut raw = raw_view(&mac_dfg());
+        // Mul (2) consumes Add (4) which consumes Mul: a 2-cycle.
+        raw[2].args[0] = 4;
+        let d = check_raw_dfg(&raw, None);
+        assert!(d.has(Code::IR003), "{d}");
+    }
+
+    #[test]
+    fn kernel_programs_and_regions_are_clean() {
+        for kernel in rtise_kernels::suite() {
+            let d = check_program(&kernel.program);
+            assert!(d.is_clean(), "{}: {d}", kernel.name);
+            for block in &kernel.program.blocks {
+                let rs = regions(&block.dfg);
+                let d = check_regions(&block.dfg, &rs);
+                assert!(d.is_clean(), "{}/{}: {d}", kernel.name, block.name);
+            }
+        }
+    }
+
+    #[test]
+    fn region_defects_get_their_codes() {
+        let g = mac_dfg();
+        let mut rs = regions(&g);
+        assert_eq!(rs.len(), 1);
+        // Drop the Mul node: the region is no longer maximal, and the Mul
+        // operation is uncovered.
+        rs[0].nodes.remove(NodeId(2));
+        rs[0].weight -= 1;
+        let d = check_regions(&g, &rs);
+        assert!(d.has(Code::IR009), "{d}");
+        assert!(d.has(Code::IR008), "{d}");
+    }
+
+    #[test]
+    fn build_errors_map_to_diagnostics() {
+        let e = BuildError::DuplicateBlockLabel {
+            label: "stage".into(),
+            first: rtise_ir::cfg::BlockId(0),
+            second: rtise_ir::cfg::BlockId(4),
+        };
+        let diag = diagnose_build_error(&e);
+        assert_eq!(diag.code, Code::IR010);
+        assert_eq!(diag.location, Location::Block(4));
+
+        let e = BuildError::Dfg(DfgError::UndefinedOperand { operand: NodeId(9) });
+        assert_eq!(diagnose_build_error(&e).code, Code::IR001);
+    }
+}

@@ -1,0 +1,28 @@
+//! rtise-check: static analysis and certification for the rtise toolchain.
+//!
+//! Three layers, mirroring the trust boundary of the paper's flow
+//! (Huynh & Mitra, "Instruction-set customization for real-time embedded
+//! systems"):
+//!
+//! 1. **IR well-formedness** ([`ir`]) — structural analysis over
+//!    `rtise-ir` programs: def-before-use, single assignment, DFG
+//!    acyclicity, operand arity, CFG entry/reachability, loop-bound
+//!    presence for WCET, and region-decomposition validity.
+//! 2. **Certificate checking** ([`cert`]) — independent re-verification
+//!    of solver outputs (candidate legality, selections, ILP solutions,
+//!    EDF/RMS schedulability, Pareto fronts, graph partitions,
+//!    reconfiguration schedules) *without reusing solver code*: every
+//!    quantity is recomputed from the problem data.
+//! 3. **Diagnostics** ([`diag`]) — stable machine-readable codes
+//!    (`IR001`…, `CAND001`…, `CERT001`…) with severities, locations, and
+//!    human plus `rtise-obs` JSON renderings.
+//!
+//! The crate is wired into the Workbench pipeline as debug-build
+//! assertions and into `rtise-bench reproduce --check`, which certifies
+//! every experiment's artifacts before they are trusted.
+
+pub mod cert;
+pub mod diag;
+pub mod ir;
+
+pub use diag::{Code, Diagnostic, Diagnostics, Location, Severity};

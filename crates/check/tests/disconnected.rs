@@ -1,0 +1,63 @@
+//! Satellite check: every multi-component candidate produced by
+//! [`rtise_ise::enumerate_disconnected`] must pass the independent
+//! candidate legality checks — disconnection must not smuggle in
+//! non-convex, port-hungry, or invalid-node unions.
+
+use rtise_check::cert::check_candidate_set;
+use rtise_ir::nodeset::NodeSet;
+use rtise_ise::{enumerate_connected, enumerate_disconnected, EnumerateOptions};
+
+/// Number of weakly-connected components of `set` under data edges.
+fn component_count(dfg: &rtise_ir::dfg::Dfg, set: &NodeSet) -> usize {
+    let members: Vec<_> = set.iter().collect();
+    let mut unseen: std::collections::HashSet<usize> = members.iter().map(|m| m.0).collect();
+    let mut components = 0;
+    while let Some(&start) = unseen.iter().next() {
+        components += 1;
+        let mut stack = vec![rtise_ir::NodeId(start)];
+        unseen.remove(&start);
+        while let Some(v) = stack.pop() {
+            for n in dfg.args(v).iter().chain(dfg.consumers(v)) {
+                if set.contains(*n) && unseen.remove(&n.0) {
+                    stack.push(*n);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[test]
+fn disconnected_candidates_pass_legality_checks() {
+    // A tighter candidate cap than the default 5000: the pairing step is
+    // quadratic in the library size, and a few hundred seeds per block
+    // already exercise every kernel within seconds in debug builds.
+    let opts = EnumerateOptions {
+        max_candidates: 250,
+        ..EnumerateOptions::default()
+    };
+    let mut total = 0usize;
+    for kernel in rtise_kernels::suite() {
+        for block in &kernel.program.blocks {
+            let connected = enumerate_connected(&block.dfg, opts);
+            let disconnected = enumerate_disconnected(&block.dfg, &connected, opts);
+            for (i, set) in disconnected.iter().enumerate() {
+                assert!(
+                    component_count(&block.dfg, set) >= 2,
+                    "{}/{}: candidate {i} is not multi-component",
+                    kernel.name,
+                    block.name
+                );
+                let d = check_candidate_set(&block.dfg, set, opts.max_in, opts.max_out, i);
+                assert!(
+                    d.is_clean(),
+                    "{}/{}: disconnected candidate {i} fails legality: {d}",
+                    kernel.name,
+                    block.name
+                );
+                total += 1;
+            }
+        }
+    }
+    assert!(total > 0, "suite produced no disconnected candidates");
+}

@@ -1,0 +1,266 @@
+//! Seeded mutation tests: corrupt well-formed DFGs and verified solver
+//! outputs in eight distinct ways and assert that rtise-check reports the
+//! documented diagnostic code for each corruption class. Mutation sites
+//! are picked with the deterministic [`rtise_obs::Rng`], so failures
+//! reproduce exactly.
+
+use rtise_check::cert::{
+    check_candidate_set, check_ilp_solution, check_pareto_front, check_partitioning,
+    check_selection,
+};
+use rtise_check::ir::{check_program, check_raw_dfg, raw_view};
+use rtise_check::Code;
+use rtise_graphpart::{Graph, Partitioning};
+use rtise_ilp::{Model, Sense};
+use rtise_ir::dfg::Dfg;
+use rtise_ir::hw::HwModel;
+use rtise_ir::nodeset::NodeSet;
+use rtise_ir::op::OpKind;
+use rtise_ise::select::greedy_by_ratio;
+use rtise_ise::{enumerate_connected, harvest, EnumerateOptions, HarvestOptions};
+use rtise_obs::Rng;
+use rtise_select::pareto::{exact_pareto, Item};
+
+const MAX_IN: usize = 4;
+const MAX_OUT: usize = 2;
+
+fn adpcm_dfg() -> Dfg {
+    let kernel = rtise_kernels::suite()
+        .into_iter()
+        .find(|k| k.name == "adpcm_encode")
+        .expect("adpcm_encode in suite");
+    // Heaviest block: most room for interesting candidates.
+    kernel
+        .program
+        .blocks
+        .iter()
+        .max_by_key(|b| b.dfg.len())
+        .expect("non-empty program")
+        .dfg
+        .clone()
+}
+
+/// Mutation class 1 (`CAND002`): remove an interior node from a convex
+/// candidate, leaving a hole a data path must cross.
+#[test]
+fn broken_convexity_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0001);
+    let dfg = adpcm_dfg();
+    let mut cands = enumerate_connected(&dfg, EnumerateOptions::default());
+    rng.shuffle(&mut cands);
+    let (set, interior) = cands
+        .iter()
+        .find_map(|set| {
+            let interior = set.iter().find(|&v| {
+                dfg.args(v).iter().any(|a| set.contains(*a))
+                    && dfg.consumers(v).iter().any(|c| set.contains(*c))
+            })?;
+            Some((set.clone(), interior))
+        })
+        .expect("some candidate with an interior node");
+
+    assert!(check_candidate_set(&dfg, &set, MAX_IN, MAX_OUT, 0).is_clean());
+    let mutated: NodeSet = set.iter().filter(|&v| v != interior).collect();
+    let d = check_candidate_set(&dfg, &mutated, MAX_IN, MAX_OUT, 0);
+    assert!(d.has(Code::CAND002), "expected CAND002, got: {d}");
+}
+
+/// Mutation class 2 (`CAND003`): widen a reduction tree until its live
+/// input count exceeds the register-file read ports.
+#[test]
+fn io_port_overflow_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0002);
+    let width = rng.gen_range(5..9) as usize; // > MAX_IN by construction
+    let mut g = Dfg::new();
+    let mut adds = Vec::new();
+    let mut acc = {
+        let a = g.input(0);
+        let b = g.input(1);
+        g.bin(OpKind::Add, a, b)
+    };
+    adds.push(acc);
+    for slot in 2..width {
+        let next = g.input(slot);
+        acc = g.bin(OpKind::Add, acc, next);
+        adds.push(acc);
+    }
+    g.output(0, acc);
+    let set: NodeSet = adds.into_iter().collect();
+
+    let d = check_candidate_set(&g, &set, MAX_IN, MAX_OUT, 0);
+    assert!(d.has(Code::CAND003), "expected CAND003, got: {d}");
+    assert!(!d.has(Code::CAND002));
+}
+
+/// Mutation class 3 (`CERT004`): force a knapsack variable into a solved
+/// ILP solution until a constraint row gives.
+#[test]
+fn ilp_row_violation_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0003);
+    let n = 6usize;
+    let areas: Vec<i64> = (0..n).map(|_| rng.gen_range(10..40) as i64).collect();
+    let gains: Vec<i64> = (0..n).map(|_| rng.gen_range(5..90) as i64).collect();
+    let budget: i64 = areas.iter().sum::<i64>() / 2;
+
+    let mut m = Model::new(n);
+    m.set_objective(Sense::Maximize, &gains);
+    let terms: Vec<(usize, i64)> = areas.iter().copied().enumerate().collect();
+    m.add_le(&terms, budget);
+    let sol = m.solve().expect("knapsack is feasible");
+    assert!(check_ilp_solution(&m, &sol).is_clean());
+
+    let mut forged = sol.clone();
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    for i in order {
+        forged.values[i] = true;
+        forged.objective = gains
+            .iter()
+            .zip(&forged.values)
+            .map(|(&g, &x)| if x { g } else { 0 })
+            .sum();
+        if areas
+            .iter()
+            .zip(&forged.values)
+            .map(|(&a, &x)| if x { a } else { 0 })
+            .sum::<i64>()
+            > budget
+        {
+            break;
+        }
+    }
+    let d = check_ilp_solution(&m, &forged);
+    assert!(d.has(Code::CERT004), "expected CERT004, got: {d}");
+}
+
+/// Mutation class 4 (`CERT007`): lift a Pareto point's value onto its
+/// predecessor's, making it dominated.
+#[test]
+fn dominated_pareto_point_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0004);
+    let items: Vec<Item> = (0..6)
+        .map(|_| Item {
+            delta: rng.gen_range(2u64..20),
+            area: rng.gen_range(5u64..40),
+        })
+        .collect();
+    let front = exact_pareto(200, &items);
+    assert!(front.len() >= 2, "need at least two points to mutate");
+    assert!(check_pareto_front(&front).is_clean());
+
+    let mut mutated = front.clone();
+    let i = rng.gen_range(1..mutated.len() as u64) as usize;
+    mutated[i].value = mutated[i - 1].value;
+    let d = check_pareto_front(&mutated);
+    assert!(d.has(Code::CERT007), "expected CERT007, got: {d}");
+}
+
+/// Mutation class 5 (`CERT002`): grow a budget-tight selection past its
+/// area budget (totals kept honest; overlap with existing picks is
+/// irrelevant to the area sum, so `CERT002` must fire).
+#[test]
+fn area_budget_overrun_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0005);
+    let kernel = rtise_kernels::suite()
+        .into_iter()
+        .find(|k| k.name == "adpcm_encode")
+        .unwrap();
+    let hw = HwModel::default();
+    let exec = vec![1u64; kernel.program.blocks.len()];
+    let cands = harvest(&kernel.program, &exec, &hw, HarvestOptions::default());
+    assert!(cands.len() >= 2);
+
+    let budget = cands.iter().map(|c| c.area).sum::<u64>() / 2;
+    let sel = greedy_by_ratio(&cands, budget);
+    assert!(check_selection(&cands, &sel, budget).is_clean());
+
+    let mut forged = sel.clone();
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    rng.shuffle(&mut order);
+    for i in order {
+        if forged.chosen.contains(&i) {
+            continue;
+        }
+        forged.chosen.push(i);
+        forged.total_area += cands[i].area;
+        forged.total_gain += cands[i].gain_per_exec() * cands[i].exec_count;
+        if forged.total_area > budget {
+            break;
+        }
+    }
+    assert!(forged.total_area > budget, "mutation failed to overrun");
+    let d = check_selection(&cands, &forged, budget);
+    assert!(d.has(Code::CERT002), "expected CERT002, got: {d}");
+}
+
+/// Mutation class 6 (`IR007`): drop the trip-count bound of one natural
+/// loop, making the program WCET-unanalyzable.
+#[test]
+fn dropped_loop_bound_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0006);
+    let mut kernel = rtise_kernels::suite()
+        .into_iter()
+        .find(|k| !k.program.loop_bounds.is_empty())
+        .expect("a kernel with loops");
+    assert!(check_program(&kernel.program).is_clean());
+
+    let mut headers: Vec<_> = kernel.program.loop_bounds.keys().copied().collect();
+    headers.sort();
+    let victim = headers[rng.gen_range(0..headers.len() as u64) as usize];
+    kernel.program.loop_bounds.remove(&victim);
+    let d = check_program(&kernel.program);
+    assert!(d.has(Code::IR007), "expected IR007, got: {d}");
+}
+
+/// Mutation class 7 (`IR003`): rewire an operand onto one of the node's
+/// own consumers, closing a data-flow cycle.
+#[test]
+fn dfg_cycle_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0007);
+    let dfg = adpcm_dfg();
+    let mut raw = raw_view(&dfg);
+    assert!(check_raw_dfg(&raw, None).is_clean());
+
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+    for v in dfg.ids() {
+        if raw[v.0].args.is_empty() {
+            continue;
+        }
+        for &c in dfg.consumers(v) {
+            sites.push((v.0, c.0));
+        }
+    }
+    assert!(!sites.is_empty());
+    let (v, c) = sites[rng.gen_range(0..sites.len() as u64) as usize];
+    let slot = rng.gen_range(0..raw[v].args.len() as u64) as usize;
+    raw[v].args[slot] = c;
+    let d = check_raw_dfg(&raw, None);
+    assert!(d.has(Code::IR003), "expected IR003, got: {d}");
+}
+
+/// Mutation class 8 (`CERT009`): collapse a balanced bisection onto one
+/// part, violating the balance contract.
+#[test]
+fn unbalanced_partition_is_caught() {
+    let mut rng = Rng::new(0xC0DE_0008);
+    let n = 16usize;
+    let weights: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..9)).collect();
+    let mut g = Graph::new(weights);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n, rng.gen_range(1u64..5));
+    }
+    let balanced = Partitioning {
+        assignment: (0..n).map(|v| v % 2).collect(),
+        k: 2,
+    };
+    let cut = balanced.edge_cut(&g);
+    assert!(check_partitioning(&g, &balanced, Some(cut)).is_clean());
+
+    let collapsed = Partitioning {
+        assignment: vec![0; n],
+        k: 2,
+    };
+    let cut = collapsed.edge_cut(&g);
+    let d = check_partitioning(&g, &collapsed, Some(cut));
+    assert!(d.has(Code::CERT009), "expected CERT009, got: {d}");
+}

@@ -30,6 +30,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use rtise_check as check;
 pub use rtise_graphpart as graphpart;
 pub use rtise_ilp as ilp;
 pub use rtise_ir as ir;

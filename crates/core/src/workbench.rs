@@ -111,11 +111,13 @@ pub fn task_curve_spanned(
     let run = kernel.validate().map_err(WorkbenchError::Kernel);
     col.leave();
     let run = run?;
+    debug_assert_program_well_formed(&kernel.program, name);
     col.enter("harvest");
     let hw = HwModel::default();
     let cands = harvest(&kernel.program, &run.block_counts, &hw, opts.harvest);
     col.add("candidates", cands.len() as u64);
     col.leave();
+    debug_assert_candidates_legal(&kernel.program, &cands, &hw, &opts, name);
     col.enter("curve");
     let curve = ConfigCurve::generate(
         name,
@@ -126,8 +128,56 @@ pub fn task_curve_spanned(
     );
     col.add("points", curve.len() as u64);
     col.leave();
+    #[cfg(debug_assertions)]
+    {
+        let d = rtise_check::cert::check_curve(&curve);
+        assert!(
+            d.is_clean(),
+            "workbench curve for {name} is defective:\n{d}"
+        );
+    }
     rtise_obs::global_add("workbench.curves", 1);
     Ok(curve)
+}
+
+/// Debug-build pipeline assertion: the kernel IR entering the pipeline
+/// must pass the full well-formedness analysis. Compiled out in release
+/// builds.
+fn debug_assert_program_well_formed(program: &rtise_ir::cfg::Program, name: &str) {
+    #[cfg(debug_assertions)]
+    {
+        let d = rtise_check::ir::check_program(program);
+        assert!(d.is_clean(), "IR for {name} is ill-formed:\n{d}");
+    }
+    let _ = (program, name);
+}
+
+/// Debug-build pipeline assertion: every harvested candidate must pass
+/// the independent legality and cost re-checks. Compiled out in release
+/// builds.
+fn debug_assert_candidates_legal(
+    program: &rtise_ir::cfg::Program,
+    cands: &[rtise_ise::CiCandidate],
+    hw: &HwModel,
+    opts: &CurveOptions,
+    name: &str,
+) {
+    #[cfg(debug_assertions)]
+    for (i, c) in cands.iter().enumerate() {
+        let d = rtise_check::cert::check_ci_candidate(
+            program,
+            c,
+            hw,
+            opts.harvest.enumerate.max_in,
+            opts.harvest.enumerate.max_out,
+            i,
+        );
+        assert!(
+            d.is_clean(),
+            "harvested candidate {i} for {name} is illegal:\n{d}"
+        );
+    }
+    let _ = (program, cands, hw, opts, name);
 }
 
 /// Builds [`TaskSpec`]s for the named kernels with periods derived from a
@@ -245,6 +295,15 @@ pub fn reconfig_problem(
             n_versions,
             opts.exact_threshold,
         );
+        #[cfg(debug_assertions)]
+        {
+            let d = rtise_check::cert::check_curve(&curve);
+            assert!(
+                d.is_clean(),
+                "hot-loop curve {} is defective:\n{d}",
+                curve.name
+            );
+        }
         let versions: Vec<CisVersion> = curve
             .points()
             .iter()
@@ -264,12 +323,17 @@ pub fn reconfig_problem(
         .filter_map(|h| loops.iter().position(|l| l.header == *h))
         .collect();
 
-    Ok(ReconfigProblem {
+    let problem = ReconfigProblem {
         loops: hot,
         trace,
         max_area,
         reconfig_cost,
-    })
+    };
+    #[cfg(debug_assertions)]
+    if let Err(e) = problem.validate() {
+        panic!("workbench built an invalid reconfiguration problem for {name}: {e}");
+    }
+    Ok(problem)
 }
 
 #[cfg(test)]

@@ -156,8 +156,10 @@ impl Partitioning {
     }
 }
 
-/// Maximum allowed part weight as a multiple of the ideal average.
-const BALANCE_FACTOR: f64 = 1.25;
+/// Maximum allowed part weight as a multiple of the ideal average. Public
+/// because it is part of the partitioner's contract: `rtise-check`
+/// certifies produced partitionings against this same tolerance.
+pub const BALANCE_FACTOR: f64 = 1.25;
 
 /// Independent initial partitions tried on the coarsest graph (best cut
 /// wins).

@@ -157,6 +157,28 @@ impl Model {
         self.rows.len()
     }
 
+    /// Read-only view of constraint row `i` as `(terms, cmp, rhs)`, for
+    /// independent result certification (`rtise-check` re-evaluates every
+    /// row against a claimed solution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_rows()`.
+    pub fn row(&self, i: usize) -> (&[(usize, i64)], Cmp, i64) {
+        let r = &self.rows[i];
+        (&r.terms, r.cmp, r.rhs)
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[i64] {
+        &self.objective
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
     /// Sets the objective `sense (coeffs · x)`.
     ///
     /// # Panics

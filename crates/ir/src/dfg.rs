@@ -16,6 +16,7 @@
 use crate::nodeset::NodeSet;
 use crate::op::OpKind;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Index of a node within its owning [`Dfg`].
 ///
@@ -78,6 +79,60 @@ impl Node {
         self.payload as usize
     }
 }
+
+/// A structural error rejected by [`Dfg::try_node`].
+///
+/// The panicking constructors ([`Dfg::node`] and friends) enforce the same
+/// invariants with `assert!`; `try_node` surfaces them as values so
+/// front-ends (and the `rtise-check` analyzer) can report them as
+/// diagnostics instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfgError {
+    /// `kind` is a pseudo-op; use [`Dfg::imm`], [`Dfg::input`],
+    /// [`Dfg::output`] instead.
+    PseudoOp {
+        /// The rejected operation kind.
+        kind: OpKind,
+    },
+    /// The operand count does not match [`OpKind::arity`].
+    ArityMismatch {
+        /// The operation kind.
+        kind: OpKind,
+        /// `kind.arity()`.
+        expected: usize,
+        /// Operands actually supplied.
+        got: usize,
+    },
+    /// An operand references a node that does not exist yet (unknown value
+    /// reference — would break the topological-order invariant).
+    UndefinedOperand {
+        /// The unknown reference.
+        operand: NodeId,
+    },
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::PseudoOp { kind } => {
+                write!(f, "use imm/input/output for pseudo-op {kind}")
+            }
+            DfgError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for {kind}: expected {expected} operands, got {got}"
+            ),
+            DfgError::UndefinedOperand { operand } => {
+                write!(f, "operand {operand:?} not yet defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
 
 /// Distinct input/output operand counts of a candidate subgraph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,26 +221,49 @@ impl Dfg {
     /// topological-order invariant), or if `kind` is a pseudo-op (use
     /// [`Dfg::imm`], [`Dfg::input`], [`Dfg::output`] for those).
     pub fn node(&mut self, kind: OpKind, operands: &[Operand]) -> NodeId {
-        assert!(
-            !kind.is_pseudo(),
-            "use imm/input/output for pseudo-op {kind}"
-        );
-        assert_eq!(operands.len(), kind.arity(), "arity mismatch for {kind}");
+        match self.try_node(kind, operands) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Dfg::node`]: rejects pseudo-ops, arity
+    /// mismatches and unknown value references as a [`DfgError`] instead of
+    /// panicking, leaving the graph unchanged.
+    ///
+    /// # Errors
+    ///
+    /// See [`DfgError`].
+    pub fn try_node(&mut self, kind: OpKind, operands: &[Operand]) -> Result<NodeId, DfgError> {
+        if kind.is_pseudo() {
+            return Err(DfgError::PseudoOp { kind });
+        }
+        if operands.len() != kind.arity() {
+            return Err(DfgError::ArityMismatch {
+                kind,
+                expected: kind.arity(),
+                got: operands.len(),
+            });
+        }
+        for &o in operands {
+            if let Operand::Node(n) = o {
+                if n.0 >= self.nodes.len() {
+                    return Err(DfgError::UndefinedOperand { operand: n });
+                }
+            }
+        }
         let args: Vec<NodeId> = operands
             .iter()
             .map(|&o| match o {
-                Operand::Node(n) => {
-                    assert!(n.0 < self.nodes.len(), "operand {n:?} not yet defined");
-                    n
-                }
+                Operand::Node(n) => n,
                 Operand::Imm(v) => self.imm(v),
             })
             .collect();
-        self.push(Node {
+        Ok(self.push(Node {
             kind,
             args,
             payload: 0,
-        })
+        }))
     }
 
     /// Convenience: binary node over two existing nodes.

@@ -7,9 +7,11 @@
 //! kernels in this crate are written against it instead of being compiled
 //! from C by Trimaran.
 
-use rtise_ir::cfg::{BasicBlock, BlockId, Program, Terminator};
-use rtise_ir::dfg::{Dfg, NodeId, Operand};
+use rtise_ir::cfg::{BasicBlock, BlockId, Program, Terminator, ValidateProgramError};
+use rtise_ir::dfg::{Dfg, DfgError, NodeId, Operand};
 use rtise_ir::op::OpKind;
+use std::collections::HashMap;
+use std::fmt;
 
 /// Where a dangling control edge leaves a finished block.
 #[derive(Debug, Clone, Copy)]
@@ -17,6 +19,78 @@ enum Dangling {
     Jump(BlockId),
     Then(BlockId),
     Else(BlockId),
+}
+
+/// A structured construction error surfaced by [`SeqBuilder::try_finish`]
+/// and [`SeqBuilder::try_straight`].
+///
+/// The `rtise-check` analyzer maps these onto stable diagnostic codes
+/// (`IR010` for builder misuse, `IR001`/`IR002` for data-flow errors,
+/// `IR005` for structural validation failures), so front-ends can report
+/// malformed IR instead of aborting on a bare panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// [`SeqBuilder::try_finish`] was called with loops still open.
+    UnclosedLoop {
+        /// Number of loops left open.
+        open: usize,
+    },
+    /// Two blocks carry the same label; reports (and later candidate
+    /// provenance) could not tell them apart.
+    DuplicateBlockLabel {
+        /// The reused label.
+        label: String,
+        /// The block that first used the label.
+        first: BlockId,
+        /// The block that reused it.
+        second: BlockId,
+    },
+    /// A block's data flow was rejected (unknown value reference, arity
+    /// mismatch, pseudo-op misuse).
+    Dfg(DfgError),
+    /// The assembled program failed [`Program::validate`].
+    Invalid(ValidateProgramError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnclosedLoop { open } => write!(f, "unclosed loop ({open} still open)"),
+            BuildError::DuplicateBlockLabel {
+                label,
+                first,
+                second,
+            } => write!(
+                f,
+                "duplicate block label {label:?} (blocks {} and {})",
+                first.0, second.0
+            ),
+            BuildError::Dfg(e) => write!(f, "invalid data flow: {e}"),
+            BuildError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Dfg(e) => Some(e),
+            BuildError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for BuildError {
+    fn from(e: DfgError) -> Self {
+        BuildError::Dfg(e)
+    }
+}
+
+impl From<ValidateProgramError> for BuildError {
+    fn from(e: ValidateProgramError) -> Self {
+        BuildError::Invalid(e)
+    }
 }
 
 struct LoopCtx {
@@ -71,6 +145,8 @@ pub struct SeqBuilder {
     program: Program,
     dangling: Vec<Dangling>,
     loops: Vec<LoopCtx>,
+    labels: HashMap<String, BlockId>,
+    errors: Vec<BuildError>,
 }
 
 impl SeqBuilder {
@@ -81,11 +157,26 @@ impl SeqBuilder {
             program: Program::new(name, n_vars, mem_size),
             dangling: Vec::new(),
             loops: Vec::new(),
+            labels: HashMap::new(),
+            errors: Vec::new(),
         }
     }
 
     fn append(&mut self, block: BasicBlock) -> BlockId {
+        let label = block.name.clone();
         let id = self.program.add_block(block);
+        match self.labels.entry(label) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.errors.push(BuildError::DuplicateBlockLabel {
+                    label: e.key().clone(),
+                    first: *e.get(),
+                    second: id,
+                });
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+        }
         for d in std::mem::take(&mut self.dangling) {
             match d {
                 Dangling::Jump(b) => {
@@ -134,6 +225,35 @@ impl SeqBuilder {
         });
         self.dangling.push(Dangling::Jump(id));
         id
+    }
+
+    /// Fallible variant of [`SeqBuilder::straight`]: the block-building
+    /// closure reports data-flow errors (e.g. from [`Dfg::try_node`]) as
+    /// values, and any construction error recorded so far (such as a
+    /// duplicate block label) is surfaced immediately.
+    ///
+    /// # Errors
+    ///
+    /// The closure's [`DfgError`] (wrapped in [`BuildError::Dfg`]) — the
+    /// block is not appended in that case — or the first pending
+    /// [`BuildError`] after appending.
+    pub fn try_straight(
+        &mut self,
+        name: impl Into<String>,
+        build: impl FnOnce(&mut Dfg) -> Result<(), DfgError>,
+    ) -> Result<BlockId, BuildError> {
+        let mut dfg = Dfg::new();
+        build(&mut dfg)?;
+        let id = self.append(BasicBlock {
+            name: name.into(),
+            dfg,
+            terminator: Terminator::Jump(BlockId(usize::MAX)),
+        });
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        self.dangling.push(Dangling::Jump(id));
+        Ok(id)
     }
 
     /// Opens a counted loop `for counter in counter..limit`.
@@ -202,19 +322,47 @@ impl SeqBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if loops are still open or the resulting program fails
-    /// validation.
-    pub fn finish(mut self) -> Program {
+    /// Panics if loops are still open, a block label was reused, or the
+    /// resulting program fails validation. Use
+    /// [`SeqBuilder::try_finish`] to get the error as a value.
+    pub fn finish(self) -> Program {
         assert!(self.loops.is_empty(), "unclosed loop");
+        match self.try_finish() {
+            Ok(p) => p,
+            Err(e) => panic!("builder produced an invalid program: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`SeqBuilder::finish`]: appends the return block
+    /// and validates, reporting construction mistakes as a [`BuildError`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first error recorded during construction (duplicate block
+    /// label), [`BuildError::UnclosedLoop`] when `begin_for`/`end_for` are
+    /// unbalanced, or [`BuildError::Invalid`] when the assembled program
+    /// fails [`Program::validate`].
+    pub fn try_finish(mut self) -> Result<Program, BuildError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        if !self.loops.is_empty() {
+            return Err(BuildError::UnclosedLoop {
+                open: self.loops.len(),
+            });
+        }
         self.append(BasicBlock {
             name: "exit".into(),
             dfg: Dfg::new(),
             terminator: Terminator::Return,
         });
-        self.program
-            .validate()
-            .expect("builder produced an invalid program");
-        self.program
+        if let Some(e) = self.errors.first() {
+            // The synthetic exit block can itself collide with a user label.
+            return Err(e.clone());
+        }
+        self.program.validate()?;
+        Ok(self.program)
     }
 }
 
@@ -330,6 +478,86 @@ mod tests {
             .expect("run");
         let want = (0x1234_5678u32.rotate_left(8) as i64).clamp(0, 0x4000_0000);
         assert_eq!(out.vars[OUT], want);
+    }
+
+    #[test]
+    fn try_finish_reports_unclosed_loops() {
+        let mut b = SeqBuilder::new("bad", 4, 0);
+        b.straight("init", |d| {
+            let z = d.imm(0);
+            d.output(0, z);
+            d.output(1, z);
+        });
+        b.begin_for("i", 0, 1, 2, 1);
+        let err = b.try_finish().expect_err("unclosed loop must be rejected");
+        assert_eq!(err, BuildError::UnclosedLoop { open: 1 });
+    }
+
+    #[test]
+    fn try_finish_reports_duplicate_labels() {
+        let mut b = SeqBuilder::new("dup", 2, 0);
+        b.straight("stage", |d| {
+            let z = d.imm(0);
+            d.output(0, z);
+        });
+        b.straight("stage", |d| {
+            let o = d.imm(1);
+            d.output(1, o);
+        });
+        match b.try_finish() {
+            Err(BuildError::DuplicateBlockLabel {
+                label,
+                first,
+                second,
+            }) => {
+                assert_eq!(label, "stage");
+                assert_eq!(first, BlockId(0));
+                assert_eq!(second, BlockId(1));
+            }
+            other => panic!("expected duplicate-label error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block label")]
+    fn finish_panics_on_duplicate_labels() {
+        let mut b = SeqBuilder::new("dup", 1, 0);
+        b.straight("x", |d| {
+            let z = d.imm(0);
+            d.output(0, z);
+        });
+        b.straight("x", |d| {
+            let z = d.imm(0);
+            d.output(0, z);
+        });
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn try_straight_surfaces_dfg_errors() {
+        use rtise_ir::dfg::{DfgError, NodeId, Operand};
+        let mut b = SeqBuilder::new("bad_dfg", 2, 0);
+        let err = b
+            .try_straight("main", |d| {
+                // Reference a node that does not exist.
+                d.try_node(
+                    rtise_ir::OpKind::Add,
+                    &[Operand::Node(NodeId(7)), Operand::Imm(1)],
+                )?;
+                Ok(())
+            })
+            .expect_err("unknown value reference must be rejected");
+        assert_eq!(
+            err,
+            BuildError::Dfg(DfgError::UndefinedOperand { operand: NodeId(7) })
+        );
+        // The builder stays usable: the bad block was not appended.
+        b.straight("main", |d| {
+            let z = d.imm(0);
+            d.output(0, z);
+        });
+        let p = b.try_finish().expect("recovered program is valid");
+        assert_eq!(p.blocks.len(), 2);
     }
 
     #[test]

@@ -647,8 +647,8 @@ pub fn jpeg_pipeline() -> Kernel {
     mem[JP_ZZ as usize..JP_ZZ as usize + 64].copy_from_slice(&ZIGZAG);
 
     let mut b = SeqBuilder::new("jpeg", 3, mem.len());
-    let reset = |b: &mut SeqBuilder, n: i64| {
-        b.straight("reset", move |d| {
+    let reset = |b: &mut SeqBuilder, label: &str, n: i64| {
+        b.straight(label, move |d| {
             let z = d.imm(0);
             let nn = d.imm(n);
             d.output(I, z);
@@ -656,7 +656,7 @@ pub fn jpeg_pipeline() -> Kernel {
         });
     };
     // Stage 1: RGB -> Y (BT.601 integer approximation), level shift.
-    reset(&mut b, 64);
+    reset(&mut b, "reset_color", 64);
     b.begin_for("color", I, N, COND, 64);
     b.straight("rgb2y", |d| {
         let i = d.input(I);
@@ -674,7 +674,7 @@ pub fn jpeg_pipeline() -> Kernel {
     });
     b.end_for();
     // Stage 2: row DCT.
-    reset(&mut b, 8);
+    reset(&mut b, "reset_rows", 8);
     b.begin_for("rows", I, N, COND, 8);
     b.straight("row_dct", |d| {
         let i = d.input(I);
@@ -684,7 +684,7 @@ pub fn jpeg_pipeline() -> Kernel {
     });
     b.end_for();
     // Stage 3: column DCT.
-    reset(&mut b, 8);
+    reset(&mut b, "reset_cols", 8);
     b.begin_for("cols", I, N, COND, 8);
     b.straight("col_dct", |d| {
         let i = d.input(I);
@@ -693,7 +693,7 @@ pub fn jpeg_pipeline() -> Kernel {
     });
     b.end_for();
     // Stage 4: quantization (signed division by table entry).
-    reset(&mut b, 64);
+    reset(&mut b, "reset_quant", 64);
     b.begin_for("quant", I, N, COND, 64);
     b.straight("divide", |d| {
         let i = d.input(I);
@@ -704,7 +704,7 @@ pub fn jpeg_pipeline() -> Kernel {
     });
     b.end_for();
     // Stage 5: zig-zag reorder.
-    reset(&mut b, 64);
+    reset(&mut b, "reset_zigzag", 64);
     b.begin_for("zigzag", I, N, COND, 64);
     b.straight("scatter", |d| {
         let i = d.input(I);
@@ -714,7 +714,7 @@ pub fn jpeg_pipeline() -> Kernel {
     });
     b.end_for();
     // Stage 6: RLE statistics (zero runs and nonzero count).
-    reset(&mut b, 64);
+    reset(&mut b, "reset_rle", 64);
     b.begin_for("rle", I, N, COND, 64);
     b.straight("count", |d| {
         let i = d.input(I);

@@ -19,9 +19,9 @@
 //!   (`ilp.nodes_explored`, `select.edf.dp_cells`, …); the `reproduce`
 //!   harness snapshots it around each experiment and emits the delta into
 //!   the machine-readable run report.
-//! * [`report`] — [`Report`](report::Report), a serializable tree of named
+//! * [`report`] — [`Report`], a serializable tree of named
 //!   spans with wall times, counters, and gauges, built imperatively with
-//!   [`Collector`](report::Collector) (which has a disabled "null" mode so
+//!   [`Collector`] (which has a disabled "null" mode so
 //!   instrumented code paths cost nothing when nobody is listening).
 //! * [`json`] — a tiny JSON document model with a writer and a
 //!   recursive-descent parser, enough to serialize reports and to verify
