@@ -21,4 +21,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "==> certification smoke (reproduce --check, fast subset)"
 cargo run --offline --release -p rtise-bench --bin reproduce -- --check fig3_2 tab5_1 fig4_1
 
+echo "==> fuzz smoke (fixed seed, all families; fails on any diagnostic)"
+cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
+  --seed 7 --iters 200 --family all --json target/fuzz-smoke.json
+
 echo "CI OK"

@@ -383,6 +383,9 @@ fn gcd(a: u64, b: u64) -> u64 {
 }
 
 fn hyperperiod(tasks: &[(u64, u64)]) -> Option<u64> {
+    if tasks.iter().any(|&(_, p)| p == 0) {
+        return None;
+    }
     tasks.iter().try_fold(1u64, |acc, &(_, p)| {
         let g = gcd(acc, p);
         (acc / g).checked_mul(p)
@@ -392,7 +395,8 @@ fn hyperperiod(tasks: &[(u64, u64)]) -> Option<u64> {
 /// Exact EDF schedulability of independent periodic tasks given as
 /// `(wcet, period)` pairs, via the integer demand bound over the
 /// hyperperiod: `Σ Cᵢ·(H/Pᵢ) ≤ H`. Returns `None` when the hyperperiod
-/// overflows `u64` (caller falls back to a utilization bound).
+/// overflows `u64` (caller falls back to a utilization bound) or when a
+/// task has a zero period, for which no finite demand bound exists.
 pub fn edf_exact_schedulable(tasks: &[(u64, u64)]) -> Option<bool> {
     let h = hyperperiod(tasks)?;
     let demand: u128 = tasks
@@ -407,7 +411,14 @@ pub fn edf_exact_schedulable(tasks: &[(u64, u64)]) -> Option<bool> {
 /// iff some time `t = j·Pₖ ≤ Pᵢ` (k ≤ i) satisfies
 /// `Σ_{k≤i} Cₖ·⌈t/Pₖ⌉ ≤ t`. This is an independent formulation of the
 /// exact test the RMS selector applies (Theorem 1 of the paper).
+///
+/// A task with a zero period has no scheduling point at which its demand
+/// could be met, so any set containing one is reported unschedulable
+/// rather than dividing by zero.
 pub fn rms_exact_schedulable(tasks: &[(u64, u64)]) -> bool {
+    if tasks.iter().any(|&(_, p)| p == 0) {
+        return false;
+    }
     let mut sorted: Vec<(u64, u64)> = tasks.to_vec();
     sorted.sort_by_key(|&(_, p)| p);
     for i in 0..sorted.len() {
@@ -464,6 +475,17 @@ fn check_assignment(
     }
     let mut ok = true;
     for (i, (&j, s)) in config.iter().zip(specs).enumerate() {
+        if s.period == 0 {
+            // `TaskSpec::new` rejects zero periods, but the field is
+            // public; report the degenerate task instead of dividing by
+            // zero in the utilization and demand re-tests below.
+            d.error(
+                Code::CERT012,
+                Location::Task(i),
+                "task has a zero period; utilization and demand are undefined",
+            );
+            ok = false;
+        }
         if j >= s.curve.len() {
             d.error(
                 Code::CERT012,
@@ -1046,6 +1068,7 @@ mod tests {
     use super::*;
     use rtise_ir::dfg::Operand;
     use rtise_ir::OpKind;
+    use rtise_select::Assignment;
 
     fn diamond() -> Dfg {
         // a, b inputs; add = a+b; mul = add*a (member); ld = Load(add)
@@ -1136,6 +1159,34 @@ mod tests {
                 "RMS mismatch on {tasks:?}"
             );
         }
+    }
+
+    #[test]
+    fn degenerate_task_sets_diagnose_instead_of_panicking() {
+        // Zero periods must not divide by zero: the exact tests decline
+        // (None / unschedulable) and the selection certifier reports
+        // CERT012 on the offending task.
+        assert_eq!(edf_exact_schedulable(&[(1, 0), (2, 4)]), None);
+        assert!(!rms_exact_schedulable(&[(0, 0)]));
+        // Zero WCETs are fine — an idle task set is trivially schedulable.
+        assert_eq!(edf_exact_schedulable(&[(0, 3), (0, 7)]), Some(true));
+        assert!(rms_exact_schedulable(&[(0, 3), (0, 7)]));
+
+        let mut spec = TaskSpec::new(ConfigCurve::from_points("t", 100, &[(4, 60)]), 20);
+        spec.period = 0;
+        let sel = EdfSelection {
+            assignment: Assignment { config: vec![0] },
+            utilization: 0.0,
+            schedulable: true,
+        };
+        let d = check_edf_selection(&[spec.clone()], &sel, 100);
+        assert!(d.has(Code::CERT012), "{}", d.render());
+        let rsel = RmsSelection {
+            assignment: Assignment { config: vec![0] },
+            utilization: 0.0,
+        };
+        let d = check_rms_selection(&[spec], &rsel, 100);
+        assert!(d.has(Code::CERT012), "{}", d.render());
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Certificate-driven fuzzing campaign driver.
+//!
+//! ```text
+//! fuzz [--seed N] [--iters N] [--family NAME|all] [--json PATH] [--list]
+//! ```
+//!
+//! Runs `--iters` seeded cases per family, solves each instance with the
+//! real pipeline, certifies every solution via `rtise-check`, and
+//! cross-checks independent solvers against each other. Any failure is
+//! greedily minimized and reported with a one-line repro command. Exits
+//! non-zero if any diagnostic was found.
+
+use rtise_fuzz::{run, Family, FuzzConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N] [--iters N] [--family NAME|all] [--json PATH] [--list]\n\
+         families: {} (default: all)",
+        Family::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig {
+        seed: 0xDA7E_2007,
+        iters: 100,
+        families: Family::ALL.to_vec(),
+    };
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--iters" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.iters = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--family" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                if v == "all" {
+                    cfg.families = Family::ALL.to_vec();
+                } else {
+                    match Family::parse(&v) {
+                        Some(f) => cfg.families = vec![f],
+                        None => usage(),
+                    }
+                }
+            }
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--list" => {
+                for f in Family::ALL {
+                    println!("{}", f.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+
+    let outcome = run(&cfg);
+    println!(
+        "fuzz seed={} iters={} families={}",
+        cfg.seed,
+        cfg.iters,
+        cfg.families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for s in &outcome.stats {
+        println!(
+            "  {:<9} {:>6} cases  {:>3} failure(s)  {:>9.1} inst/s",
+            s.family.name(),
+            s.cases,
+            s.failures,
+            s.rate
+        );
+    }
+    for f in &outcome.failures {
+        println!();
+        println!("FAILURE [{}] {}: {}", f.family.name(), f.code, f.detail);
+        println!(
+            "  shrunk {} -> {} : {}",
+            f.original_size, f.minimized_size, f.minimized
+        );
+        println!("  repro: {}", f.repro);
+    }
+    println!(
+        "total {} cases, {} failure(s) in {:.1}s",
+        outcome.cases,
+        outcome.failures.len(),
+        outcome.elapsed_ms / 1e3
+    );
+
+    if let Some(path) = json_path {
+        let json = outcome.to_json().render_pretty();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("obs-JSON report written to {path}");
+    }
+
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

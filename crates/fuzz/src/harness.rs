@@ -1,0 +1,256 @@
+//! Layer 3: the fuzzing campaign driver.
+//!
+//! Runs `iters` cases per family, certifies every solution, minimizes any
+//! failure and reports a one-line reproduction command. Progress and
+//! throughput are recorded as an obs-JSON span report: one child span per
+//! family with case/failure counters and an instances/sec gauge, plus the
+//! solver-side global counter deltas (DP cells, B&B nodes, …) the
+//! campaign provoked.
+
+use crate::minimize::minimize;
+use crate::oracle::{Family, Instance};
+use rtise_obs::json::Value;
+use rtise_obs::{Collector, Report, Rng, Timer};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed; case `i` of every family derives its own seed from
+    /// it, and case 0 uses it verbatim.
+    pub seed: u64,
+    /// Cases per family.
+    pub iters: u64,
+    /// Families to drive.
+    pub families: Vec<Family>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0xDA7E_2007,
+            iters: 100,
+            families: Family::ALL.to_vec(),
+        }
+    }
+}
+
+/// A minimized failing case.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Family the case belongs to.
+    pub family: Family,
+    /// Seed that regenerates the instance.
+    pub case_seed: u64,
+    /// Primary diagnostic code (stable `rtise-check` or `DIFF*` code).
+    pub code: String,
+    /// Evidence for the primary finding.
+    pub detail: String,
+    /// Structural size before/after shrinking.
+    pub original_size: usize,
+    /// Structural size after shrinking.
+    pub minimized_size: usize,
+    /// One-line description of the minimized instance.
+    pub minimized: String,
+    /// One-line command that regenerates the failing case.
+    pub repro: String,
+}
+
+/// Per-family campaign statistics.
+#[derive(Debug, Clone)]
+pub struct FamilyStats {
+    /// The family.
+    pub family: Family,
+    /// Cases run.
+    pub cases: u64,
+    /// Failing cases.
+    pub failures: u64,
+    /// Instances per second.
+    pub rate: f64,
+}
+
+/// Result of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Total cases run.
+    pub cases: u64,
+    /// Per-family statistics.
+    pub stats: Vec<FamilyStats>,
+    /// Minimized failures, in discovery order.
+    pub failures: Vec<FailureReport>,
+    /// Structured obs report (spans, counters, gauges).
+    pub report: Report,
+    /// Campaign wall time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl FuzzOutcome {
+    /// Whether every case was certified clean.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// JSON form: the obs report plus a `failures` array, suitable for CI
+    /// artifacts.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("cases", Value::Num(self.cases as f64)),
+            ("elapsed_ms", Value::Num(self.elapsed_ms)),
+            (
+                "failures",
+                Value::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Value::obj(vec![
+                                ("family", Value::Str(f.family.name().to_string())),
+                                ("case_seed", Value::Num(f.case_seed as f64)),
+                                ("code", Value::Str(f.code.clone())),
+                                ("detail", Value::Str(f.detail.clone())),
+                                ("original_size", Value::Num(f.original_size as f64)),
+                                ("minimized_size", Value::Num(f.minimized_size as f64)),
+                                ("minimized", Value::Str(f.minimized.clone())),
+                                ("repro", Value::Str(f.repro.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+/// Derives the seed of case `index`: case 0 *is* the campaign seed, so a
+/// failure's `--seed <case_seed> --iters 1` command regenerates the exact
+/// instance; later cases get decorrelated seeds through a SplitMix64 mix.
+pub fn case_seed(seed: u64, index: u64) -> u64 {
+    if index == 0 {
+        seed
+    } else {
+        Rng::new(seed.wrapping_add(index)).next_u64()
+    }
+}
+
+/// Cap on minimizer oracle invocations per failure.
+const MAX_SHRINK_ATTEMPTS: u64 = 4_000;
+
+/// Runs a fuzzing campaign.
+pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
+    let total_timer = Timer::start();
+    let before = rtise_obs::snapshot();
+    let mut col = Collector::enabled("fuzz");
+    let mut stats = Vec::new();
+    let mut failures = Vec::new();
+    let mut cases = 0u64;
+    for &family in &cfg.families {
+        let fam_timer = Timer::start();
+        col.enter(family.name());
+        let mut fam_failures = 0u64;
+        for i in 0..cfg.iters {
+            let cs = case_seed(cfg.seed, i);
+            let mut rng = Rng::new(cs);
+            let instance = Instance::generate(family, &mut rng);
+            let findings = instance.run();
+            cases += 1;
+            if let Some(first) = findings.first() {
+                fam_failures += 1;
+                col.add("findings", findings.len() as u64);
+                failures.push(minimize_failure(family, cs, instance, first.code.clone()));
+            }
+        }
+        let secs = (fam_timer.elapsed_ms() / 1e3).max(1e-9);
+        col.add("cases", cfg.iters);
+        col.add("failures", fam_failures);
+        col.gauge("instances_per_sec", cfg.iters as f64 / secs);
+        col.leave();
+        stats.push(FamilyStats {
+            family,
+            cases: cfg.iters,
+            failures: fam_failures,
+            rate: cfg.iters as f64 / secs,
+        });
+    }
+    col.add("cases", cases);
+    col.add("failures", failures.len() as u64);
+    // Solver work provoked by the campaign, from the global registry.
+    let after = rtise_obs::snapshot();
+    for (key, delta) in rtise_obs::snapshot_diff(&before, &after) {
+        col.add(&format!("solver.{key}"), delta);
+    }
+    let elapsed_ms = total_timer.elapsed_ms();
+    col.gauge(
+        "instances_per_sec",
+        cases as f64 / (elapsed_ms / 1e3).max(1e-9),
+    );
+    FuzzOutcome {
+        cases,
+        stats,
+        failures,
+        report: col.finish(),
+        elapsed_ms,
+    }
+}
+
+fn minimize_failure(family: Family, cs: u64, instance: Instance, code: String) -> FailureReport {
+    let original_size = instance.size();
+    let min = minimize(
+        instance,
+        Instance::shrink,
+        |i| i.run().iter().any(|f| f.code == code),
+        MAX_SHRINK_ATTEMPTS,
+    );
+    let detail = min
+        .instance
+        .run()
+        .into_iter()
+        .find(|f| f.code == code)
+        .map(|f| f.detail)
+        .unwrap_or_default();
+    FailureReport {
+        family,
+        case_seed: cs,
+        code,
+        detail,
+        original_size,
+        minimized_size: min.instance.size(),
+        minimized: min.instance.describe(),
+        repro: format!(
+            "cargo run -p rtise-fuzz --bin fuzz -- --family {} --seed {cs} --iters 1",
+            family.name()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_zero_seed_is_the_campaign_seed() {
+        assert_eq!(case_seed(7, 0), 7);
+        assert_ne!(case_seed(7, 1), case_seed(7, 2));
+        // A repro run (`--iters 1`) regenerates case i of the original
+        // campaign as its case 0.
+        assert_eq!(case_seed(case_seed(7, 3), 0), case_seed(7, 3));
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_and_clean_on_the_smoke_seed() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            iters: 8,
+            families: Family::ALL.to_vec(),
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert!(a.is_clean(), "{:?}", a.failures);
+        assert_eq!(a.cases, 8 * Family::ALL.len() as u64);
+        assert_eq!(b.cases, a.cases);
+        assert_eq!(b.failures.len(), a.failures.len());
+        // The report carries per-family spans with case counters.
+        assert_eq!(a.report.children.len(), Family::ALL.len());
+        for child in &a.report.children {
+            assert_eq!(child.counters.get("cases"), Some(&8));
+        }
+    }
+}

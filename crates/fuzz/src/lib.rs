@@ -1,0 +1,37 @@
+//! Certificate-driven fuzzing and differential testing.
+//!
+//! `rtise-check` (PR 2) re-verifies every solver artifact from first
+//! principles, but a certifier is only as strong as the instances it sees.
+//! This crate turns it into an active bug-finding subsystem by closing the
+//! classic generate/solve/verify loop over an *unbounded* instance stream:
+//!
+//! 1. [`gen`] — seeded random instance factories (SplitMix64 from
+//!    `rtise-obs`, fully deterministic per seed) for task sets with
+//!    controllable utilization/period spreads, random DAG kernels with
+//!    legal op arities, CI candidate pools with area/latency/port
+//!    envelopes, and knapsack-shaped ILP models.
+//! 2. [`oracle`] — every instance is solved by the real pipeline (MIMO
+//!    enumeration → EDF DP / RMS B&B / ILP / Pareto / graph partition) and
+//!    the result is certified via `rtise-check`; where two independent
+//!    solvers exist the oracle also cross-checks them (EDF DP optimum vs.
+//!    an ILP encoding, RMS B&B vs. exhaustive search, branch-and-bound
+//!    selection vs. subset enumeration, heuristics never beating the
+//!    certified optimum).
+//! 3. [`harness`] + [`mod@minimize`] — the `fuzz` binary drives seeded
+//!    campaigns (`--seed/--iters/--family`), greedily shrinks any failing
+//!    instance while its diagnostic reproduces, and emits obs-JSON run
+//!    reports (instances/sec, per-family counters).
+//!
+//! Every case derives its own seed from the campaign seed, and the first
+//! case of a run *is* the campaign seed — so each failure prints a
+//! one-line `--seed <case-seed> --iters 1` command that regenerates the
+//! exact instance.
+
+pub mod gen;
+pub mod harness;
+pub mod minimize;
+pub mod oracle;
+
+pub use harness::{run, FailureReport, FuzzConfig, FuzzOutcome};
+pub use minimize::{minimize, Minimized};
+pub use oracle::{Family, Finding, Instance};

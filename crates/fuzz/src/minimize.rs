@@ -1,0 +1,110 @@
+//! Greedy delta-debugging-style instance minimizer.
+//!
+//! Given a failing instance, a shrink function proposing strictly smaller
+//! variants, and a reproduction predicate, [`minimize`] repeatedly adopts
+//! the first shrink on which the failure still reproduces and restarts
+//! from it. The result is 1-minimal with respect to the shrink moves: no
+//! single proposed reduction preserves the diagnostic.
+
+/// Outcome of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct Minimized<I> {
+    /// The shrunk instance (equal to the input if nothing reproduced).
+    pub instance: I,
+    /// Number of adopted shrink steps.
+    pub steps: u64,
+    /// Number of reproduction attempts evaluated.
+    pub attempts: u64,
+}
+
+/// Greedily shrinks `initial` while `repro` holds.
+///
+/// `shrink` proposes one-step reductions; the first reducing candidate on
+/// which `repro` returns `true` is adopted and shrinking restarts from
+/// it. Stops when no proposal reproduces or after `max_attempts`
+/// reproduction attempts (a safety valve for expensive oracles — the
+/// partially shrunk instance is still returned).
+pub fn minimize<I: Clone>(
+    initial: I,
+    shrink: impl Fn(&I) -> Vec<I>,
+    repro: impl Fn(&I) -> bool,
+    max_attempts: u64,
+) -> Minimized<I> {
+    let mut cur = initial;
+    let mut steps = 0u64;
+    let mut attempts = 0u64;
+    'outer: loop {
+        for candidate in shrink(&cur) {
+            if attempts >= max_attempts {
+                break 'outer;
+            }
+            attempts += 1;
+            if repro(&candidate) {
+                cur = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Minimized {
+        instance: cur,
+        steps,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_a_vector_to_the_failing_element() {
+        // Failure: the vector contains a 7. Shrink: drop one element.
+        let initial: Vec<u32> = vec![3, 1, 7, 9, 2];
+        let m = minimize(
+            initial,
+            |v| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut w = v.clone();
+                        w.remove(i);
+                        w
+                    })
+                    .collect()
+            },
+            |v| v.contains(&7),
+            10_000,
+        );
+        assert_eq!(m.instance, vec![7]);
+        assert_eq!(m.steps, 4);
+    }
+
+    #[test]
+    fn non_reproducing_failure_keeps_the_input() {
+        let m = minimize(vec![1, 2, 3], |_| vec![vec![1]], |_| false, 100);
+        assert_eq!(m.instance, vec![1, 2, 3]);
+        assert_eq!(m.steps, 0);
+        assert_eq!(m.attempts, 1);
+    }
+
+    #[test]
+    fn attempt_cap_stops_runaway_shrinking() {
+        let m = minimize(
+            (0..100u32).collect::<Vec<_>>(),
+            |v| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut w = v.clone();
+                        w.remove(i);
+                        w
+                    })
+                    .collect()
+            },
+            |v| !v.is_empty(),
+            5,
+        );
+        assert_eq!(m.attempts, 5);
+        assert!(!m.instance.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end minimizer test with an injected solver bug.
+//!
+//! Wraps the real EDF solver in a mutation that corrupts the reported
+//! utilization — the bug shape a certificate checker exists to catch —
+//! and asserts the greedy minimizer shrinks a multi-task instance down
+//! to a one-task, one-point repro that still triggers the same
+//! diagnostic code.
+
+use rtise_check::cert::check_edf_selection;
+use rtise_fuzz::gen::{self, TaskSetOptions};
+use rtise_fuzz::{minimize, Instance};
+use rtise_obs::Rng;
+use rtise_select::edf::EdfSelection;
+use rtise_select::{select_edf, TaskSpec};
+
+/// The injected bug: the DP result is correct, but the solver reports a
+/// utilization inflated by 0.5 — certification fails with `CERT012`.
+fn buggy_select_edf(specs: &[TaskSpec], budget: u64) -> EdfSelection {
+    let mut sel = select_edf(specs, budget).expect("non-empty task set");
+    sel.utilization += 0.5;
+    sel
+}
+
+fn reproduces(instance: &Instance) -> bool {
+    let Instance::Edf { specs, budget } = instance else {
+        return false;
+    };
+    if specs.is_empty() {
+        return false;
+    }
+    let sel = buggy_select_edf(specs, *budget);
+    check_edf_selection(specs, &sel, *budget)
+        .iter()
+        .any(|d| d.code.as_str() == "CERT012")
+}
+
+#[test]
+fn injected_utilization_bug_is_caught_and_shrunk_to_a_one_task_repro() {
+    // A deliberately rich starting instance: many tasks, many curve
+    // points, so the minimizer has real work to do.
+    let mut rng = Rng::new(0xB06_F00D);
+    let opts = TaskSetOptions {
+        max_tasks: 6,
+        ..TaskSetOptions::default()
+    };
+    let mut specs = gen::task_set(&mut rng, &opts);
+    while specs.len() < 4 {
+        specs = gen::task_set(&mut rng, &opts);
+    }
+    let budget = gen::area_budget(&mut rng, &specs);
+    let instance = Instance::Edf {
+        specs: specs.clone(),
+        budget,
+    };
+    let original_size = instance.size();
+    assert!(reproduces(&instance), "injected bug must fire pre-shrink");
+
+    let min = minimize(instance, Instance::shrink, reproduces, 10_000);
+    assert!(
+        min.steps > 0,
+        "a {original_size}-point instance must shrink"
+    );
+    assert!(min.instance.size() < original_size);
+    assert!(
+        reproduces(&min.instance),
+        "minimized instance must keep the same diagnostic code"
+    );
+
+    // The bug fires on every non-empty task set, so greedy shrinking
+    // must converge all the way down: one task, one curve point, and
+    // 1-minimality — no single shrink move still reproduces.
+    let Instance::Edf { specs, .. } = &min.instance else {
+        panic!("shrinking must not change the instance family");
+    };
+    assert_eq!(specs.len(), 1, "minimal repro is a single task");
+    assert_eq!(specs[0].curve.points().len(), 1, "software-only curve");
+    for smaller in min.instance.shrink() {
+        assert!(!reproduces(&smaller) || smaller.size() >= min.instance.size());
+    }
+}

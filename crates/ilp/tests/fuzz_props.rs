@@ -1,0 +1,73 @@
+//! Property tests over `rtise-fuzz` generated 0-1 models: every solution
+//! returned by the branch-and-bound solver must satisfy each constraint
+//! row and report the exact objective value, and every infeasibility
+//! claim must survive exhaustive enumeration.
+
+use rtise_fuzz::gen::{self, IlpOptions};
+use rtise_ilp::{Cmp, Model, Sense, SolveError};
+use rtise_obs::Rng;
+
+fn row_value(terms: &[(usize, i64)], x: &[bool]) -> i64 {
+    terms.iter().map(|&(v, c)| if x[v] { c } else { 0 }).sum()
+}
+
+fn satisfies(m: &Model, x: &[bool]) -> bool {
+    (0..m.num_rows()).all(|i| {
+        let (terms, cmp, rhs) = m.row(i);
+        let lhs = row_value(terms, x);
+        match cmp {
+            Cmp::Le => lhs <= rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Eq => lhs == rhs,
+        }
+    })
+}
+
+#[test]
+fn seeded_models_solve_to_verified_optima_or_proven_infeasibility() {
+    let opts = IlpOptions::default();
+    for seed in 0..100u64 {
+        let mut rng = Rng::new(0x11D0_0D1E ^ seed);
+        let m = gen::ilp_model(&mut rng, &opts);
+        match m.solve() {
+            Ok(sol) => {
+                assert_eq!(sol.values.len(), m.num_vars(), "seed {seed}");
+                assert!(satisfies(&m, &sol.values), "seed {seed}: row violated");
+                let obj: i64 = m
+                    .objective()
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &c)| if sol.values[v] { c } else { 0 })
+                    .sum();
+                assert_eq!(obj, sol.objective, "seed {seed}: objective mismatch");
+                // No enumerated assignment may beat the claimed optimum.
+                for bits in 0..(1u32 << m.num_vars()) {
+                    let x: Vec<bool> = (0..m.num_vars()).map(|v| bits >> v & 1 == 1).collect();
+                    if !satisfies(&m, &x) {
+                        continue;
+                    }
+                    let val: i64 = m
+                        .objective()
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &c)| if x[v] { c } else { 0 })
+                        .sum();
+                    match m.sense() {
+                        Sense::Minimize => assert!(val >= sol.objective, "seed {seed}"),
+                        Sense::Maximize => assert!(val <= sol.objective, "seed {seed}"),
+                    }
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                for bits in 0..(1u32 << m.num_vars()) {
+                    let x: Vec<bool> = (0..m.num_vars()).map(|v| bits >> v & 1 == 1).collect();
+                    assert!(
+                        !satisfies(&m, &x),
+                        "seed {seed}: claimed infeasible but {x:?} satisfies all rows"
+                    );
+                }
+            }
+            Err(e) => panic!("seed {seed}: unexpected solver error {e:?}"),
+        }
+    }
+}

@@ -158,9 +158,15 @@ pub fn eps_pareto(base_value: u64, items: &[Item], eps: f64) -> Vec<ParetoPoint>
         .ceil()
         .max(1.0) as u64;
     let total: u64 = items.iter().map(|i| i.area).sum::<u64>().max(1);
+    // Seed with the cost-0 optimum: every zero-area item taken. The cost
+    // grid starts at budget 1 and each GAP solve maximizes delta at its
+    // budget, so the pure zero-area selection never falls out of the
+    // sweep — yet a cost-0 exact point can only be (1+ε)-covered by a
+    // cost-0 approximate point. (Found by rtise-fuzz, pareto family.)
+    let free: u64 = items.iter().filter(|i| i.area == 0).map(|i| i.delta).sum();
     let mut points = vec![ParetoPoint {
         cost: 0,
-        value: base_value,
+        value: base_value.saturating_sub(free),
     }];
     for b in cost_grid(total, eps_prime) {
         points.push(gap_knapsack(base_value, items, b, r));
@@ -385,6 +391,58 @@ mod tests {
                     "case {case} eps {eps}: {exact:?} vs {approx:?}"
                 );
                 assert!(approx.len() <= exact.len());
+            }
+        }
+    }
+
+    #[test]
+    fn eps_curve_covers_exact_curve_with_zero_area_items() {
+        // Regression: rtise-fuzz (pareto family) minimized two campaigns
+        // to fronts whose cost-0 optimum takes zero-area items — a point
+        // the GAP sweep never produces, so the seed point must. A cost-0
+        // exact point is only coverable by a cost-0 approximate point.
+        let cases: &[(u64, &[Item], f64)] = &[
+            (
+                107,
+                &[Item { delta: 20, area: 1 }, Item { delta: 22, area: 0 }],
+                0.25,
+            ),
+            (
+                68,
+                &[
+                    Item { delta: 4, area: 1 },
+                    Item { delta: 21, area: 0 },
+                    Item { delta: 26, area: 0 },
+                ],
+                2.0,
+            ),
+        ];
+        for &(base, items, eps) in cases {
+            let exact = exact_pareto(base, items);
+            let approx = eps_pareto(base, items, eps);
+            assert!(
+                is_eps_cover(&exact, &approx, eps),
+                "base {base} eps {eps}: {exact:?} vs {approx:?}"
+            );
+        }
+        // And a randomized sweep where every item may be free.
+        let mut rng = Rng::new(0xF2EE);
+        for case in 0..30 {
+            let n = rng.gen_range(1..=12usize);
+            let items: Vec<Item> = (0..n)
+                .map(|_| Item {
+                    delta: rng.gen_range(0..40u64),
+                    area: rng.gen_range(0..25u64),
+                })
+                .collect();
+            let base = rng.gen_range(50..400u64);
+            let exact = exact_pareto(base, &items);
+            for eps in [0.25, 0.5, 2.0] {
+                let approx = eps_pareto(base, &items, eps);
+                assert!(
+                    is_eps_cover(&exact, &approx, eps),
+                    "case {case} eps {eps}: {exact:?} vs {approx:?}"
+                );
             }
         }
     }
