@@ -21,6 +21,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "==> certification smoke (reproduce --check, fast subset)"
 cargo run --offline --release -p rtise-bench --bin reproduce -- --check fig3_2 tab5_1 fig4_1
 
+echo "==> full reproduce --check on 4 workers (cold cache)"
+CACHE_DIR=target/ci-curve-cache
+rm -rf "$CACHE_DIR"
+mkdir -p target/artifacts
+cargo run --offline --release -p rtise-bench --bin reproduce -- \
+  --check --jobs 4 --cache-dir "$CACHE_DIR" --json target/artifacts/reproduce-cold.json
+
+echo "==> warm-cache second pass (must hit the curve cache)"
+cargo run --offline --release -p rtise-bench --bin reproduce -- \
+  --check --jobs 4 --cache-dir "$CACHE_DIR" --json target/artifacts/reproduce-warm.json
+if ! grep -q '"misses": 0' target/artifacts/reproduce-warm.json; then
+  echo "FAIL: warm pass recomputed curves (cache misses > 0)"
+  exit 1
+fi
+if grep -q '"hits": 0' target/artifacts/reproduce-warm.json; then
+  echo "FAIL: warm pass never read the curve cache"
+  exit 1
+fi
+echo "    warm pass served every curve from $CACHE_DIR"
+# target/artifacts/ is the CI artifact directory: both JSON reports are
+# uploaded by the pipeline for offline inspection.
+
 echo "==> fuzz smoke (fixed seed, all families; fails on any diagnostic)"
 cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
   --seed 7 --iters 200 --family all --json target/fuzz-smoke.json

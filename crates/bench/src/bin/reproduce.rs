@@ -6,22 +6,47 @@
 //! reproduce                          # run every experiment in paper order
 //! reproduce fig3_3 tab6_1            # run the named ones
 //! reproduce --list                   # list experiment ids
+//! reproduce --jobs 4                 # run experiments on 4 workers
 //! reproduce --json out.json fig3_2   # also write a machine-readable report
 //! reproduce --trace fig4_1           # print per-experiment span/counter trees
 //! reproduce --check tab6_1           # also certify each experiment's artifacts
+//! reproduce --cache-dir .cache       # persist curves somewhere specific
+//! reproduce --no-cache               # disable the on-disk curve cache
 //! ```
+//!
+//! Experiments run on a worker pool (`--jobs N`, defaulting to every
+//! available core; `--jobs 1` reproduces the historical serial harness).
+//! Reports always print in paper order — parallel runs buffer each
+//! experiment's output and replay it as soon as its turn comes.
+//! Configuration curves persist in a content-addressed on-disk cache
+//! (default `target/curve-cache`), re-certified on load; corrupted
+//! entries degrade to recomputation.
 //!
 //! Every experiment runs to completion even if an earlier one fails; the
 //! harness prints per-experiment wall time and ends with an
 //! `N ok / M failed` summary, exiting nonzero if anything failed.
+//! Unknown experiment ids are rejected up front with exit code 2 and a
+//! nearest-id suggestion.
 
-use rtise_obs::json::Value;
+use rtise_bench::pool::{run_pool, CertOutcome, ExperimentOutcome};
 use rtise_obs::Report;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+const USAGE: &str = "supported: --list, --jobs <n>, --json <path>, --trace, --check, \
+                     --cache-dir <dir>, --no-cache";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg} ({USAGE})");
+    std::process::exit(2);
+}
 
 fn main() {
     let mut json_path: Option<String> = None;
     let mut trace = false;
     let mut check = false;
+    let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = Some(PathBuf::from("target/curve-cache"));
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -34,18 +59,21 @@ fn main() {
             }
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
-                None => {
-                    eprintln!("--json requires a path argument");
-                    std::process::exit(2);
-                }
+                None => usage_error("--json requires a path argument"),
             },
+            "--jobs" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = Some(n),
+                _ => usage_error("--jobs requires a worker count >= 1"),
+            },
+            "--cache-dir" => match args.next() {
+                Some(p) => cache_dir = Some(PathBuf::from(p)),
+                None => usage_error("--cache-dir requires a path argument"),
+            },
+            "--no-cache" => cache_dir = None,
             "--trace" => trace = true,
             "--check" => check = true,
             other if other.starts_with('-') => {
-                eprintln!(
-                    "unknown flag {other:?} (supported: --list, --json <path>, --trace, --check)"
-                );
-                std::process::exit(2);
+                usage_error(&format!("unknown flag {other:?}"));
             }
             other => ids.push(other.to_string()),
         }
@@ -57,60 +85,74 @@ fn main() {
             .collect();
     }
 
-    let total = rtise_obs::Timer::start();
-    let mut reports = Vec::new();
-    let mut failed = 0usize;
+    // Reject unknown ids up front — a typo must not shrink the run (or,
+    // worse, report an empty run as success).
     for id in &ids {
-        match rtise_bench::run_observed(id) {
-            Ok(report) => {
-                println!(
-                    "--- {id}: {} in {:.1} ms",
-                    if report.ok { "ok" } else { "FAILED" },
-                    report.wall_ms
-                );
-                if trace {
-                    let mut span = Report::new(id);
-                    span.wall_ns = (report.wall_ms * 1e6) as u128;
-                    span.counters = report.counters.clone();
-                    for line in span.render_tree().lines() {
-                        println!("    {line}");
-                    }
-                }
-                if !report.ok {
-                    failed += 1;
-                } else if check {
-                    match rtise_bench::certify::certify(id) {
-                        Ok(d) if d.is_clean() => println!("--- {id}: certified clean"),
-                        Ok(d) => {
-                            println!("--- {id}: CERTIFICATION FAILED");
-                            for line in d.render().lines() {
-                                println!("    {line}");
-                            }
-                            failed += 1;
-                        }
-                        Err(e) => {
-                            eprintln!("--- {id}: no certifier for {e:?}");
-                            failed += 1;
-                        }
-                    }
-                }
-                reports.push(report);
-            }
-            Err(e) => {
-                eprintln!("--- {id}: {e} (use --list to see available experiments)");
-                failed += 1;
-            }
+        if !rtise_bench::ALL.iter().any(|(name, _)| name == id) {
+            eprintln!(
+                "unknown experiment {id:?} — did you mean {:?}? (use --list to see all ids)",
+                rtise_bench::nearest_id(id)
+            );
+            std::process::exit(2);
         }
     }
 
+    rtise_bench::set_cache_dir(cache_dir);
+    let jobs = jobs.unwrap_or_else(rtise_bench::pool::default_jobs);
+    let parallel = jobs > 1 && ids.len() > 1;
+
+    let total = rtise_obs::Timer::start();
+    let failed = Mutex::new(0usize);
+    let on_ready = |_: usize, outcome: &ExperimentOutcome| {
+        let report = &outcome.report;
+        let id = &report.id;
+        // The serial path echoes output live under a `=== id ===` header;
+        // replay buffered output the same way so parallel runs read
+        // identically.
+        if parallel {
+            println!("\n=== {id} ===");
+            for line in &report.output {
+                println!("{line}");
+            }
+        }
+        println!(
+            "--- {id}: {} in {:.1} ms",
+            if report.ok { "ok" } else { "FAILED" },
+            report.wall_ms
+        );
+        if trace {
+            let mut span = Report::new(id);
+            span.wall_ns = (report.wall_ms * 1e6) as u128;
+            span.counters = report.counters.clone();
+            for line in span.render_tree().lines() {
+                println!("    {line}");
+            }
+        }
+        match &outcome.certification {
+            None => {}
+            Some(CertOutcome::Clean) => println!("--- {id}: certified clean"),
+            Some(CertOutcome::Dirty(rendered)) => {
+                println!("--- {id}: CERTIFICATION FAILED");
+                for line in rendered.lines() {
+                    println!("    {line}");
+                }
+            }
+            Some(CertOutcome::Unavailable(missing)) => {
+                eprintln!("--- {id}: no certifier for {missing:?}");
+            }
+            Some(CertOutcome::Panicked(msg)) => println!("--- {id}: CERTIFIER PANICKED: {msg}"),
+        }
+        if !outcome.is_ok() {
+            *failed.lock().expect("failure counter poisoned") += 1;
+        }
+    };
+
+    let outcomes = run_pool(&ids, jobs, check, &on_ready);
+    let mut failed = failed.into_inner().expect("failure counter poisoned");
+    let reports: Vec<_> = outcomes.into_iter().map(|o| o.report).collect();
+
     if let Some(path) = json_path {
-        let doc = Value::Obj(vec![
-            ("total_wall_ms".into(), Value::Num(total.elapsed_ms())),
-            (
-                "experiments".into(),
-                Value::Arr(reports.iter().map(|r| r.to_json()).collect()),
-            ),
-        ]);
+        let doc = rtise_bench::report_json(&reports, total.elapsed_ms());
         match std::fs::write(&path, doc.render_pretty()) {
             Ok(()) => println!("wrote report to {path}"),
             Err(e) => {
@@ -120,6 +162,10 @@ fn main() {
         }
     }
 
+    let (hits, misses, stores) = rtise_bench::cache_stats();
+    if hits + misses + stores > 0 {
+        println!("curve cache: {hits} hits, {misses} misses, {stores} stores");
+    }
     println!(
         "\n{} ok / {failed} failed ({:.1} ms total)",
         reports.iter().filter(|r| r.ok).count(),

@@ -3,37 +3,73 @@
 //! additionally append to a thread-local buffer while capture is active,
 //! so the `reproduce` harness can embed each experiment's result series
 //! into its JSON report without re-plumbing every experiment function.
+//!
+//! Capture has two modes: [`begin`] keeps echoing to stdout (the serial
+//! harness streams results live), while [`begin_quiet`] buffers only —
+//! the worker-pool harness runs experiments concurrently and replays each
+//! buffer in paper order once its turn comes, so interleaved runs still
+//! print clean reports.
 
 use std::cell::RefCell;
 
+#[derive(Default)]
+struct Capture {
+    buf: Option<String>,
+    quiet: bool,
+}
+
 thread_local! {
-    static BUF: RefCell<Option<String>> = const { RefCell::new(None) };
+    static STATE: RefCell<Capture> = RefCell::new(Capture::default());
 }
 
 /// Starts capturing subsequent [`out!`](crate::out)/[`outp!`](crate::outp)
-/// output on this thread (clearing any previous capture).
+/// output on this thread (clearing any previous capture) while still
+/// echoing to stdout.
 pub fn begin() {
-    BUF.with(|b| *b.borrow_mut() = Some(String::new()));
+    STATE.with(|s| {
+        *s.borrow_mut() = Capture {
+            buf: Some(String::new()),
+            quiet: false,
+        };
+    });
+}
+
+/// Like [`begin`], but suppresses the stdout echo: output is only
+/// buffered, for ordered replay by a concurrent harness.
+pub fn begin_quiet() {
+    STATE.with(|s| {
+        *s.borrow_mut() = Capture {
+            buf: Some(String::new()),
+            quiet: true,
+        };
+    });
 }
 
 /// Stops capturing and returns the captured output as lines.
 pub fn take() -> Vec<String> {
-    BUF.with(|b| {
-        b.borrow_mut()
+    STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        state.quiet = false;
+        state
+            .buf
             .take()
-            .map(|s| s.lines().map(str::to_string).collect())
+            .map(|t| t.lines().map(str::to_string).collect())
             .unwrap_or_default()
     })
 }
 
-/// Writes to stdout and, when capture is active, to the buffer.
-/// Implementation detail of the `out!`/`outp!` macros.
+/// Writes to stdout (unless capturing quietly) and, when capture is
+/// active, to the buffer. Implementation detail of the `out!`/`outp!`
+/// macros.
 pub fn emit(args: std::fmt::Arguments<'_>) {
-    print!("{args}");
-    BUF.with(|b| {
-        if let Some(s) = b.borrow_mut().as_mut() {
+    STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        if !state.quiet {
+            print!("{args}");
+        }
+        if let Some(buf) = state.buf.as_mut() {
             use std::fmt::Write;
-            let _ = s.write_fmt(args);
+            let _ = buf.write_fmt(args);
         }
     });
 }
@@ -67,5 +103,12 @@ mod tests {
         // Capture is inactive after take(): emitting is stdout-only.
         out!("not captured");
         assert!(super::take().is_empty());
+    }
+
+    #[test]
+    fn quiet_capture_still_buffers() {
+        super::begin_quiet();
+        out!("buffered only");
+        assert_eq!(super::take(), vec!["buffered only".to_string()]);
     }
 }

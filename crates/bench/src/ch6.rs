@@ -6,7 +6,6 @@ use rtise::reconfig::partition::synthetic_problem;
 use rtise::reconfig::{
     exhaustive_partition, greedy_partition, iterative_partition, HotLoop, Solution,
 };
-use rtise::workbench::{reconfig_problem, CurveOptions};
 use std::time::Instant;
 
 /// Table 6.1 — running time of the three algorithms on synthetic input
@@ -127,7 +126,7 @@ pub fn fig6_10() {
 }
 
 fn jpeg_problem() -> rtise::reconfig::ReconfigProblem {
-    let base = reconfig_problem("jpeg", 4, 0, 0, CurveOptions::thorough()).expect("jpeg problem");
+    let base = crate::util::cached_jpeg_problem();
     let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
     let mut p = base;
     p.max_area = (full / 2).max(1);

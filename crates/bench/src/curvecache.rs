@@ -1,0 +1,374 @@
+//! Content-addressed on-disk cache for configuration curves.
+//!
+//! Curve harvests dominate the harness's runtime (`tab4_2`/`tab6_1` and
+//! friends re-sweep thorough candidate enumerations), yet their inputs are
+//! fully determined by the kernel name and the [`CurveOptions`]. Each
+//! cache entry is therefore keyed by kernel + a hash of the canonical
+//! option rendering, versioned with [`FORMAT_VERSION`], and stores the
+//! curve's points together with the solver counters its generation
+//! recorded — so a cache hit can *attribute* the identical work to its
+//! consumer and `reproduce --json` stays byte-deterministic across cold
+//! and warm runs.
+//!
+//! Trust model: a cache entry is never taken at face value. [`load`]
+//! re-checks the key string (guards hash collisions and option drift), an
+//! FNV-1a content checksum (guards truncation and bit rot), and finally
+//! re-certifies the reconstructed curve with `rtise-check`'s independent
+//! staircase checker. Anything suspicious degrades to a recompute with a
+//! warning on stderr — a corrupted cache can slow the harness down but
+//! can never feed it an uncertified curve.
+
+use rtise::ise::configs::{ConfigCurve, ConfigPoint};
+use rtise::workbench::CurveOptions;
+use rtise_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the entry layout or the curve pipeline changes shape;
+/// part of the key hash, so stale-format entries simply miss.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a: tiny, dependency-free, and plenty for content
+/// addressing a handful of cache entries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical key of an entry: format version, kernel, and the full
+/// option set (the derived `Debug` rendering covers every harvest knob).
+pub fn options_key(kernel: &str, opts: &CurveOptions) -> String {
+    format!("v{FORMAT_VERSION}|{kernel}|{opts:?}")
+}
+
+/// Content-address of an entry (hash of [`options_key`]).
+pub fn key_hash(kernel: &str, opts: &CurveOptions) -> u64 {
+    fnv1a(options_key(kernel, opts).as_bytes())
+}
+
+/// Path of the entry for `kernel` under `dir`.
+pub fn entry_path(dir: &Path, kernel: &str, opts: &CurveOptions) -> PathBuf {
+    dir.join(format!("{kernel}-{:016x}.json", key_hash(kernel, opts)))
+}
+
+fn points_json(points: &[ConfigPoint]) -> Value {
+    Value::Arr(
+        points
+            .iter()
+            .map(|p| {
+                Value::obj(vec![
+                    ("area", p.area.into()),
+                    ("cycles", p.cycles.into()),
+                    ("gain", p.gain.into()),
+                    (
+                        "selection",
+                        Value::Arr(p.selection.iter().map(|&i| (i as u64).into()).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The checksum covers everything [`load`] reconstructs: base cycles, the
+/// point staircase (selections included), and the attribution counters.
+fn checksum(base_cycles: u64, points: &Value, counters: &Value) -> u64 {
+    fnv1a(format!("{base_cycles}|{}|{}", points.render(), counters.render()).as_bytes())
+}
+
+/// Writes the entry for `(kernel, opts)` under `dir`, creating the
+/// directory if needed. The write goes through a per-process temp file
+/// and an atomic rename, so concurrent harnesses never observe a torn
+/// entry.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the cache is an optimization, so callers
+/// downgrade them to warnings.
+pub fn store(
+    dir: &Path,
+    kernel: &str,
+    opts: &CurveOptions,
+    curve: &ConfigCurve,
+    counters: &BTreeMap<String, u64>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let points = points_json(curve.points());
+    let counters_json = Value::from(counters);
+    let sum = checksum(curve.base_cycles, &points, &counters_json);
+    let doc = Value::obj(vec![
+        ("format", u64::from(FORMAT_VERSION).into()),
+        ("key", options_key(kernel, opts).into()),
+        ("kernel", kernel.into()),
+        ("base_cycles", curve.base_cycles.into()),
+        ("points", points),
+        ("counters", counters_json),
+        ("checksum", format!("{sum:016x}").into()),
+    ]);
+    let path = entry_path(dir, kernel, opts);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, doc.render_pretty())?;
+    std::fs::rename(&tmp, &path)
+}
+
+/// Why a present entry was rejected (absent entries are plain misses).
+#[derive(Debug, PartialEq, Eq)]
+enum Reject {
+    Unreadable(String),
+    Malformed(&'static str),
+    KeyMismatch,
+    ChecksumMismatch,
+    Uncertified(String),
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::Unreadable(e) => write!(f, "unreadable: {e}"),
+            Reject::Malformed(what) => write!(f, "malformed: {what}"),
+            Reject::KeyMismatch => write!(f, "key does not match the requested options"),
+            Reject::ChecksumMismatch => write!(f, "content checksum mismatch"),
+            Reject::Uncertified(d) => write!(f, "failed re-certification: {d}"),
+        }
+    }
+}
+
+fn field_u64(doc: &Value, key: &'static str) -> Result<u64, Reject> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or(Reject::Malformed(key))
+}
+
+fn decode(text: &str, kernel: &str, opts: &CurveOptions) -> Result<Entry, Reject> {
+    let doc = parse(text).map_err(|e| Reject::Unreadable(e.to_string()))?;
+    if field_u64(&doc, "format")? != u64::from(FORMAT_VERSION) {
+        return Err(Reject::Malformed("format"));
+    }
+    if doc.get("key").and_then(Value::as_str) != Some(options_key(kernel, opts).as_str()) {
+        return Err(Reject::KeyMismatch);
+    }
+    let base_cycles = field_u64(&doc, "base_cycles")?;
+    let points_json = doc
+        .get("points")
+        .cloned()
+        .ok_or(Reject::Malformed("points"))?;
+    let counters_json = doc
+        .get("counters")
+        .cloned()
+        .ok_or(Reject::Malformed("counters"))?;
+    let claimed = doc
+        .get("checksum")
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or(Reject::Malformed("checksum"))?;
+    if claimed != checksum(base_cycles, &points_json, &counters_json) {
+        return Err(Reject::ChecksumMismatch);
+    }
+
+    let mut points = Vec::new();
+    for p in points_json.as_arr().ok_or(Reject::Malformed("points"))? {
+        let selection = p
+            .get("selection")
+            .and_then(Value::as_arr)
+            .ok_or(Reject::Malformed("selection"))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                    .map(|n| n as usize)
+                    .ok_or(Reject::Malformed("selection"))
+            })
+            .collect::<Result<Vec<usize>, Reject>>()?;
+        points.push(ConfigPoint {
+            area: field_u64(p, "area")?,
+            cycles: field_u64(p, "cycles")?,
+            gain: field_u64(p, "gain")?,
+            selection,
+        });
+    }
+    let n_stored = points.len();
+    let curve = ConfigCurve::from_saved(kernel, base_cycles, points);
+    if curve.len() != n_stored {
+        // from_saved dropped or added points: the stored staircase was
+        // not the normalized one the generator produces.
+        return Err(Reject::Malformed("staircase"));
+    }
+    // Independent re-certification: the staircase invariant is re-derived
+    // by rtise-check, not trusted from this parser.
+    let diag = rtise::check::cert::check_curve(&curve);
+    if !diag.is_clean() {
+        return Err(Reject::Uncertified(diag.render().trim_end().to_string()));
+    }
+
+    let mut counters = BTreeMap::new();
+    if let Value::Obj(pairs) = &counters_json {
+        for (k, v) in pairs {
+            let n = v
+                .as_f64()
+                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                .ok_or(Reject::Malformed("counters"))?;
+            counters.insert(k.clone(), n as u64);
+        }
+    } else {
+        return Err(Reject::Malformed("counters"));
+    }
+    Ok((curve, counters))
+}
+
+type Entry = (ConfigCurve, BTreeMap<String, u64>);
+
+/// Loads the entry for `(kernel, opts)` from `dir`. Returns `None` on a
+/// plain miss (no entry) and also on any rejected entry — truncated or
+/// bit-flipped files, key/version mismatches, and curves that fail
+/// independent re-certification all warn on stderr and fall back to
+/// recomputation instead of panicking.
+pub fn load(dir: &Path, kernel: &str, opts: &CurveOptions) -> Option<Entry> {
+    let path = entry_path(dir, kernel, opts);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!(
+                "warning: curve cache entry {} is unreadable ({e}); recomputing",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
+            return None;
+        }
+    };
+    match decode(&text, kernel, opts) {
+        Ok(entry) => Some(entry),
+        Err(reject) => {
+            eprintln!(
+                "warning: discarding curve cache entry {} ({reject}); recomputing",
+                path.display()
+            );
+            // Remove the bad entry so the recomputed curve replaces it.
+            let _ = std::fs::remove_file(&path);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_obs::Rng;
+
+    fn curve() -> ConfigCurve {
+        ConfigCurve::from_saved(
+            "toy",
+            100,
+            vec![
+                ConfigPoint {
+                    area: 0,
+                    cycles: 100,
+                    gain: 0,
+                    selection: vec![],
+                },
+                ConfigPoint {
+                    area: 8,
+                    cycles: 70,
+                    gain: 30,
+                    selection: vec![0, 2],
+                },
+                ConfigPoint {
+                    area: 20,
+                    cycles: 55,
+                    gain: 45,
+                    selection: vec![0, 1, 2],
+                },
+            ],
+        )
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rtise-curvecache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn counters() -> BTreeMap<String, u64> {
+        BTreeMap::from([
+            ("ise.enumerate.calls".to_string(), 3u64),
+            ("workbench.curves".to_string(), 1),
+        ])
+    }
+
+    #[test]
+    fn round_trips_curve_and_counters() {
+        let dir = tmp_dir("roundtrip");
+        let opts = CurveOptions::fast();
+        store(&dir, "toy", &opts, &curve(), &counters()).expect("store");
+        let (loaded, attrib) = load(&dir, "toy", &opts).expect("hit");
+        assert_eq!(loaded, curve());
+        assert_eq!(attrib, counters());
+        // Different options miss (content-addressed key).
+        assert!(load(&dir, "toy", &CurveOptions::thorough()).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_entry_is_a_plain_miss() {
+        let dir = tmp_dir("miss");
+        assert!(load(&dir, "toy", &CurveOptions::fast()).is_none());
+    }
+
+    /// Satellite regression: seeded truncations and bit flips of a valid
+    /// entry must always fall back to a miss (recompute), never panic in
+    /// the JSON parser, and must delete the bad entry.
+    #[test]
+    fn corrupted_entries_fall_back_to_recompute() {
+        let dir = tmp_dir("corrupt");
+        let opts = CurveOptions::fast();
+        let path = entry_path(&dir, "toy", &opts);
+        let mut rng = Rng::new(0x5eed_cafe);
+        for case in 0..64u32 {
+            store(&dir, "toy", &opts, &curve(), &counters()).expect("store");
+            let pristine = std::fs::read(&path).expect("read");
+            let mut bytes = pristine.clone();
+            if case % 2 == 0 {
+                // Truncate somewhere strictly inside the document.
+                let cut = 1 + rng.gen_range(0..bytes.len() as u64 - 1) as usize;
+                bytes.truncate(cut);
+            } else {
+                // Flip one bit of one byte.
+                let at = rng.gen_range(0..bytes.len() as u64) as usize;
+                bytes[at] ^= 1u8 << rng.gen_range(0..8u32);
+                if bytes == pristine {
+                    continue; // the flip landed on a don't-care bit? impossible, but be safe
+                }
+            }
+            std::fs::write(&path, &bytes).expect("corrupt");
+            assert!(
+                load(&dir, "toy", &opts).is_none(),
+                "case {case}: corrupted entry must miss"
+            );
+            assert!(
+                !path.exists(),
+                "case {case}: rejected entry must be removed"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn doctored_but_parseable_entries_are_rejected() {
+        let dir = tmp_dir("doctored");
+        let opts = CurveOptions::fast();
+        let path = entry_path(&dir, "toy", &opts);
+        store(&dir, "toy", &opts, &curve(), &counters()).expect("store");
+        // A value edit that keeps the JSON valid still trips the checksum.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, text.replace("\"cycles\": 70", "\"cycles\": 69")).expect("write");
+        assert!(load(&dir, "toy", &opts).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -16,13 +16,12 @@ use rtise::reconfig::{
     iterative_partition, net_gain_with, spatial_select, temporal_only_partition, CostModel,
     HotLoop, Solution,
 };
-use rtise::workbench::{reconfig_problem, CurveOptions};
 
 /// The four extensible-processor architectures of Fig. 2.2, quantified on
 /// the JPEG pipeline: static, temporal-only, temporal+spatial, and partial
 /// reconfiguration.
 pub fn ext_arch() {
-    let base = reconfig_problem("jpeg", 4, 0, 0, CurveOptions::thorough()).expect("problem");
+    let base = crate::util::cached_jpeg_problem();
     let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
     out!(
         "{:>8} {:>9} {:>10} {:>14} {:>18} {:>14}",

@@ -16,10 +16,15 @@ pub mod ch5;
 pub mod ch6;
 pub mod ch7;
 pub mod ch8;
+pub mod curvecache;
 pub mod ext;
+pub mod pool;
 mod util;
 
-pub use util::cached_curve;
+pub use util::{
+    cache_stats, cached_curve, cached_jpeg_problem, clear_curve_memo, reset_cache_stats,
+    set_cache_dir, set_curve_options_override,
+};
 
 /// All experiment ids in paper order.
 pub const ALL: &[(&str, fn())] = &[
@@ -57,8 +62,9 @@ pub fn run(id: &str) -> Result<(), String> {
 }
 
 /// Outcome of one observed experiment run: wall time, captured output
-/// lines, and the solver counters it incremented (a
-/// [`rtise_obs::snapshot_diff`] over the run).
+/// lines, and the solver counters it incremented (collected through a
+/// [`rtise_obs::CounterScope`], so concurrent experiments never see each
+/// other's work).
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Experiment id.
@@ -97,23 +103,51 @@ impl RunReport {
 }
 
 /// Runs one experiment by id, capturing output, wall time, and counter
-/// deltas. A panicking experiment is reported with `ok = false` rather
-/// than aborting the harness.
+/// deltas, with a `=== id ===` header printed up front (the historical
+/// serial-harness behavior). A panicking experiment is reported with
+/// `ok = false` rather than aborting the harness.
 ///
 /// # Errors
 ///
 /// Returns the unknown id back to the caller.
 pub fn run_observed(id: &str) -> Result<RunReport, String> {
+    if ALL.iter().any(|(name, _)| *name == id) {
+        println!("\n=== {id} ===");
+    }
+    run_observed_with(id, false)
+}
+
+/// Like [`run_observed`], but without the header line, and optionally
+/// `quiet`: output is buffered into the report without echoing to stdout,
+/// so a worker pool can run experiments concurrently and replay each
+/// report in paper order.
+///
+/// Counters are collected through a thread-scoped
+/// [`rtise_obs::CounterScope`] — the experiment's deltas are exactly its
+/// own work (plus [attributed](rtise_obs::registry::attribute) shares of
+/// memoized artifacts), no matter what other experiments run concurrently
+/// in the process.
+///
+/// # Errors
+///
+/// Returns the unknown id back to the caller.
+pub fn run_observed_with(id: &str, quiet: bool) -> Result<RunReport, String> {
     let Some((_, f)) = ALL.iter().find(|(name, _)| *name == id) else {
         return Err(format!("unknown experiment {id:?}"));
     };
-    println!("\n=== {id} ===");
-    capture::begin();
-    let before = rtise_obs::snapshot();
+    if quiet {
+        capture::begin_quiet();
+    } else {
+        capture::begin();
+    }
+    let scope = rtise_obs::CounterScope::new();
     let timer = rtise_obs::Timer::start();
-    let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok();
+    let ok = {
+        let _guard = scope.enter();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok()
+    };
     let wall_ms = timer.elapsed_ms();
-    let counters = rtise_obs::snapshot_diff(&before, &rtise_obs::snapshot());
+    let counters = scope.counters();
     let output = capture::take();
     Ok(RunReport {
         id: id.into(),
@@ -122,4 +156,69 @@ pub fn run_observed(id: &str) -> Result<RunReport, String> {
         output,
         counters,
     })
+}
+
+/// The closest known experiment id to `input` by edit distance — the
+/// harness suggests it when rejecting an unknown id.
+pub fn nearest_id(input: &str) -> &'static str {
+    ALL.iter()
+        .map(|(name, _)| *name)
+        .min_by_key(|name| levenshtein(input, name))
+        .expect("ALL is non-empty")
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // One rolling row of the classic DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = diag + usize::from(ca != cb);
+            diag = row[j + 1];
+            row[j + 1] = sub.min(diag + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The harness report document: total wall time, disk-cache traffic, and
+/// one entry per experiment (see [`RunReport::to_json`]).
+pub fn report_json(reports: &[RunReport], total_wall_ms: f64) -> rtise_obs::json::Value {
+    use rtise_obs::json::Value;
+    let (hits, misses, stores) = cache_stats();
+    Value::obj(vec![
+        ("total_wall_ms", Value::Num(total_wall_ms)),
+        (
+            "cache",
+            Value::obj(vec![
+                ("hits", hits.into()),
+                ("misses", misses.into()),
+                ("stores", stores.into()),
+            ]),
+        ),
+        (
+            "experiments",
+            Value::Arr(reports.iter().map(RunReport::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nearest_id_suggests_the_obvious_neighbor() {
+        assert_eq!(super::nearest_id("tab42"), "tab4_2");
+        assert_eq!(super::nearest_id("fig3_2"), "fig3_2");
+        assert_eq!(super::nearest_id("ext_ablatoin"), "ext_ablation");
+    }
+
+    #[test]
+    fn levenshtein_ground_truth() {
+        assert_eq!(super::levenshtein("", "abc"), 3);
+        assert_eq!(super::levenshtein("kitten", "sitting"), 3);
+        assert_eq!(super::levenshtein("tab42", "tab4_2"), 1);
+    }
 }

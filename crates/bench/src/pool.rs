@@ -1,0 +1,187 @@
+//! The worker pool behind `reproduce --jobs N`.
+//!
+//! Experiments are claimed off a shared index by `jobs` scoped threads
+//! and run with quiet output capture; finished outcomes land in
+//! paper-ordered slots and are *streamed* to the caller's `on_ready`
+//! callback as soon as every earlier experiment has also finished — the
+//! harness prints clean, ordered reports while later experiments are
+//! still running, and `--json`/`--check` consume results incrementally.
+//!
+//! With `jobs <= 1` the pool degenerates to the historical serial
+//! harness: experiments echo their output live and `on_ready` fires
+//! immediately after each one.
+
+use crate::certify;
+use crate::{run_observed_with, RunReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Result of certifying one experiment's artifacts.
+#[derive(Debug, Clone)]
+pub enum CertOutcome {
+    /// The certifier found nothing.
+    Clean,
+    /// Diagnostics were raised; the rendered report follows.
+    Dirty(String),
+    /// No certifier exists for this experiment id.
+    Unavailable(String),
+    /// The certifier itself panicked.
+    Panicked(String),
+}
+
+/// One experiment's full outcome: the run report, plus the certification
+/// verdict when `--check` asked for one (never present for failed runs —
+/// there is nothing sound to certify after a panic).
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Captured run (output, wall time, scoped counter deltas).
+    pub report: RunReport,
+    /// Certification verdict, when requested and the run succeeded.
+    pub certification: Option<CertOutcome>,
+}
+
+impl ExperimentOutcome {
+    /// Whether the run completed and (if certified) certified clean.
+    pub fn is_ok(&self) -> bool {
+        self.report.ok
+            && !matches!(
+                self.certification,
+                Some(
+                    CertOutcome::Dirty(_) | CertOutcome::Unavailable(_) | CertOutcome::Panicked(_)
+                )
+            )
+    }
+}
+
+/// The default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn run_one(id: &str, quiet: bool, check: bool) -> ExperimentOutcome {
+    let report = if quiet {
+        run_observed_with(id, true)
+    } else {
+        // Historical serial behavior: `=== id ===` header, live echo.
+        crate::run_observed(id)
+    }
+    .expect("ids validated by caller");
+    let certification = (check && report.ok).then(|| certify_outcome(id));
+    ExperimentOutcome {
+        report,
+        certification,
+    }
+}
+
+fn certify_outcome(id: &str) -> CertOutcome {
+    match catch_unwind(AssertUnwindSafe(|| certify::certify(id))) {
+        Ok(Ok(d)) if d.is_clean() => CertOutcome::Clean,
+        Ok(Ok(d)) => CertOutcome::Dirty(d.render()),
+        Ok(Err(id)) => CertOutcome::Unavailable(id),
+        Err(_) => CertOutcome::Panicked("certifier panicked".to_string()),
+    }
+}
+
+/// Runs `ids` on `jobs` workers, streaming outcomes to `on_ready` in
+/// paper (input) order, and returns all outcomes in the same order.
+///
+/// `on_ready(index, outcome)` fires exactly once per experiment, in
+/// index order, as soon as the outcome *and all earlier ones* exist; it
+/// runs under the pool's emission lock, so implementations should only
+/// format and print. Every id must name a real experiment — the harness
+/// validates ids up front (unknown ids are a usage error with a
+/// suggestion, not a pool concern).
+pub fn run_pool(
+    ids: &[String],
+    jobs: usize,
+    check: bool,
+    on_ready: &(dyn Fn(usize, &ExperimentOutcome) + Sync),
+) -> Vec<ExperimentOutcome> {
+    if jobs <= 1 || ids.len() <= 1 {
+        // Serial path: headers and output echo live, exactly like the
+        // historical harness; `on_ready` callers should not re-print the
+        // output (`RunReport::output` still carries it for reports).
+        return ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let outcome = run_one(id, false, check);
+                on_ready(i, &outcome);
+                outcome
+            })
+            .collect();
+    }
+
+    struct Emission {
+        slots: Vec<Option<ExperimentOutcome>>,
+        next_emit: usize,
+    }
+    let emission = Mutex::new(Emission {
+        slots: (0..ids.len()).map(|_| None).collect(),
+        next_emit: 0,
+    });
+    let next_claim = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(ids.len()) {
+            s.spawn(|| loop {
+                let i = next_claim.fetch_add(1, Ordering::Relaxed);
+                let Some(id) = ids.get(i) else { break };
+                let outcome = run_one(id, true, check);
+                let mut guard = emission.lock().expect("emission lock poisoned");
+                let em = &mut *guard;
+                em.slots[i] = Some(outcome);
+                // Stream every now-contiguous finished prefix, in order.
+                while let Some(Some(ready)) = em.slots.get(em.next_emit) {
+                    on_ready(em.next_emit, ready);
+                    em.next_emit += 1;
+                }
+            });
+        }
+    });
+
+    emission
+        .into_inner()
+        .expect("emission lock poisoned")
+        .slots
+        .into_iter()
+        .map(|slot| slot.expect("worker pool completed every claimed slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    /// Outcomes stream strictly in input order regardless of completion
+    /// order, and the returned vector matches what was streamed.
+    #[test]
+    fn pool_streams_in_paper_order() {
+        let ids: Vec<String> = ["fig3_2", "fig3_2", "fig3_2", "fig3_2"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let seen = AtomicUsize::new(0);
+        let outcomes = run_pool(&ids, 4, false, &|i, outcome| {
+            assert_eq!(
+                i,
+                seen.fetch_add(1, Ordering::Relaxed),
+                "out-of-order emission"
+            );
+            assert!(outcome.report.ok);
+            assert!(!outcome.report.output.is_empty());
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), ids.len());
+        assert_eq!(outcomes.len(), ids.len());
+        assert!(outcomes.iter().all(ExperimentOutcome::is_ok));
+    }
+}

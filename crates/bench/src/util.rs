@@ -1,29 +1,166 @@
 //! Shared plumbing: configuration-curve caching (curve generation is the
 //! expensive front-end step every experiment reuses).
+//!
+//! Caching happens at two levels. In-process, each `(kernel, options)`
+//! pair owns an `Arc<OnceLock>` slot, so concurrent experiments computing
+//! the same curve block on one computation instead of serializing *all*
+//! curve work behind a map-wide lock. On disk (opt-in via
+//! [`set_cache_dir`]), finished curves persist across harness runs in the
+//! content-addressed [`curvecache`](crate::curvecache) format.
+//!
+//! Counter attribution is what keeps `reproduce --json` deterministic
+//! across worker counts and cache states: the generation counters of a
+//! curve are captured in an isolated [`CounterScope`](rtise_obs::CounterScope)
+//! (so the first requester is not specially charged) and *replayed* into
+//! the scopes of every consumer via [`rtise_obs::registry::attribute`] —
+//! each experiment sees the same deltas whether it computed the curve,
+//! raced another worker for it, or read it back from disk.
 
+use crate::curvecache;
 use rtise::ise::configs::ConfigCurve;
+use rtise::reconfig::ReconfigProblem;
 use rtise::select::task::{periods_for_utilization, TaskSpec};
-use rtise::workbench::{task_curve, CurveOptions};
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use rtise::workbench::{reconfig_problem, task_curve, CurveOptions};
+use rtise_obs::CounterScope;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-static CURVES: OnceLock<Mutex<HashMap<String, ConfigCurve>>> = OnceLock::new();
+/// A memoized artifact plus the counters its generation recorded.
+type Memo<T> = Arc<OnceLock<(T, BTreeMap<String, u64>)>>;
 
-/// Returns the (memoized) configuration curve of a benchmark kernel.
+static CURVES: OnceLock<Mutex<HashMap<String, Memo<ConfigCurve>>>> = OnceLock::new();
+static JPEG_PROBLEM: OnceLock<(ReconfigProblem, BTreeMap<String, u64>)> = OnceLock::new();
+
+static CACHE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_STORES: AtomicU64 = AtomicU64::new(0);
+static OPTS_OVERRIDE: Mutex<Option<CurveOptions>> = Mutex::new(None);
+
+/// Points the on-disk curve cache at `dir` (`None` disables it).
+pub fn set_cache_dir(dir: Option<PathBuf>) {
+    *CACHE_DIR.lock().expect("cache dir poisoned") = dir;
+}
+
+fn cache_dir() -> Option<PathBuf> {
+    CACHE_DIR.lock().expect("cache dir poisoned").clone()
+}
+
+/// Disk-cache traffic since process start (or [`reset_cache_stats`]):
+/// `(hits, misses, stores)`. In-process memo hits are not counted.
+pub fn cache_stats() -> (u64, u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+        CACHE_STORES.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the [`cache_stats`] counters.
+pub fn reset_cache_stats() {
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+    CACHE_STORES.store(0, Ordering::Relaxed);
+}
+
+/// Overrides the curve options used by [`cached_curve`]. Test hook: the
+/// cache-determinism tests swap in [`CurveOptions::fast`] so curve
+/// generation stays debug-build cheap. Memo entries are keyed by options,
+/// so overridden and default curves never alias.
+pub fn set_curve_options_override(opts: Option<CurveOptions>) {
+    *OPTS_OVERRIDE.lock().expect("opts override poisoned") = opts;
+}
+
+/// Drops every in-process curve memo (the disk cache is untouched). Lets
+/// tests exercise cold-vs-warm disk behavior within one process.
+pub fn clear_curve_memo() {
+    if let Some(map) = CURVES.get() {
+        map.lock().expect("curve memo poisoned").clear();
+    }
+}
+
+fn curve_options() -> CurveOptions {
+    OPTS_OVERRIDE
+        .lock()
+        .expect("opts override poisoned")
+        .unwrap_or_else(CurveOptions::thorough)
+}
+
+/// Returns the configuration curve of a benchmark kernel together with
+/// the solver counters its generation recorded, computing (or loading) it
+/// at most once per process.
+///
+/// The caller's [`CounterScope`]s are charged the generation counters via
+/// [`attribute`](rtise_obs::registry::attribute) — identically on memo
+/// hits, disk hits, and fresh computes.
 ///
 /// # Panics
 ///
 /// Panics if the kernel is unknown or fails validation — experiment inputs
 /// are fixed, so this indicates a build problem, not a runtime condition.
 pub fn cached_curve(name: &str) -> ConfigCurve {
-    let cache = CURVES.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("curve cache poisoned");
-    map.entry(name.to_string())
-        .or_insert_with(|| {
-            task_curve(name, CurveOptions::thorough())
-                .unwrap_or_else(|e| panic!("curve for {name}: {e}"))
-        })
-        .clone()
+    let opts = curve_options();
+    let slot = {
+        let map = CURVES.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = map.lock().expect("curve memo poisoned");
+        Arc::clone(map.entry(curvecache::options_key(name, &opts)).or_default())
+    };
+    // Compute outside the map lock: only requesters of *this* curve wait.
+    let (curve, counters) = slot.get_or_init(|| produce_curve(name, &opts));
+    rtise_obs::registry::attribute(counters);
+    curve.clone()
+}
+
+fn produce_curve(name: &str, opts: &CurveOptions) -> (ConfigCurve, BTreeMap<String, u64>) {
+    // Detach from the requester's scopes: generation work is attributed
+    // uniformly to every consumer, not specially to whoever got here first.
+    let _iso = rtise_obs::registry::isolate();
+    if let Some(dir) = cache_dir() {
+        if let Some(entry) = curvecache::load(&dir, name, opts) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return entry;
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    let scope = CounterScope::new();
+    let curve = {
+        let _guard = scope.enter();
+        task_curve(name, *opts).unwrap_or_else(|e| panic!("curve for {name}: {e}"))
+    };
+    let counters = scope.counters();
+    if let Some(dir) = cache_dir() {
+        match curvecache::store(&dir, name, opts, &curve, &counters) {
+            Ok(()) => {
+                CACHE_STORES.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("warning: could not write curve cache entry for {name}: {e}"),
+        }
+    }
+    (curve, counters)
+}
+
+/// The JPEG case-study base problem (Ch. 6 and the architecture-taxonomy
+/// extension), memoized process-wide with the same scoped-counter
+/// attribution as [`cached_curve`]. Callers clone and then adjust
+/// `max_area` / `reconfig_cost`.
+///
+/// # Panics
+///
+/// Panics if the JPEG kernel fails to build — a build problem, as above.
+pub fn cached_jpeg_problem() -> ReconfigProblem {
+    let (problem, counters) = JPEG_PROBLEM.get_or_init(|| {
+        let _iso = rtise_obs::registry::isolate();
+        let scope = CounterScope::new();
+        let problem = {
+            let _guard = scope.enter();
+            reconfig_problem("jpeg", 4, 0, 0, curve_options()).expect("jpeg problem")
+        };
+        (problem, scope.counters())
+    });
+    rtise_obs::registry::attribute(counters);
+    problem.clone()
 }
 
 /// Task specs for a named set at initial utilization `u0`, using cached

@@ -1,0 +1,201 @@
+//! Integration tests for the parallel harness: scoped counter
+//! attribution, JSON determinism across worker counts, cold/warm disk
+//! cache behavior (including corruption recovery), and unknown-id
+//! rejection.
+//!
+//! Experiments used here (`fig3_2`, `fig4_1`, and `fig3_1` under the
+//! fast-options override) are the debug-build-cheap ones — `cargo test`
+//! runs unoptimized.
+
+use rtise_bench::pool::run_pool;
+use rtise_obs::json::{parse, Value};
+use std::process::Command;
+use std::sync::Mutex;
+
+/// Serializes tests that touch the process-global harness configuration
+/// (cache dir, curve-options override, cache stats, curve memo).
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_config() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking test poisons the lock; later tests still hold it safely.
+    CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Satellite regression: two counter-heavy experiments running
+/// concurrently must each report exactly the deltas of their serial runs
+/// — the global-snapshot harness cross-attributed them.
+#[test]
+fn concurrent_counter_deltas_match_serial() {
+    let _config = lock_config();
+    let serial_fig3_2 = rtise_bench::run_observed_with("fig3_2", true).expect("fig3_2");
+    let serial_fig4_1 = rtise_bench::run_observed_with("fig4_1", true).expect("fig4_1");
+    assert!(serial_fig3_2.ok && serial_fig4_1.ok);
+    // fig3_2 exercises the ILP + EDF/RMS selectors, fig4_1 the enumerator
+    // — disjoint counter families, so cross-attribution is detectable.
+    assert!(serial_fig3_2.counters.contains_key("ilp.solves"));
+    assert!(serial_fig4_1
+        .counters
+        .contains_key("ise.enumerate.accepted"));
+
+    let ids: Vec<String> = ["fig3_2", "fig4_1", "fig3_2", "fig4_1"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let outcomes = run_pool(&ids, 4, false, &|_, _| {});
+    for (id, outcome) in ids.iter().zip(&outcomes) {
+        let serial = if id == "fig3_2" {
+            &serial_fig3_2
+        } else {
+            &serial_fig4_1
+        };
+        assert!(outcome.report.ok, "{id} failed under the pool");
+        assert_eq!(
+            outcome.report.counters, serial.counters,
+            "{id}: concurrent counter deltas diverge from the serial run"
+        );
+        assert_eq!(
+            outcome.report.output, serial.output,
+            "{id}: concurrent output diverges from the serial run"
+        );
+    }
+}
+
+fn reproduce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("spawn reproduce")
+}
+
+/// Parses a report, dropping the fields that legitimately vary between
+/// runs (wall times and disk-cache traffic).
+fn canonical_report(path: &std::path::Path) -> String {
+    let doc = parse(&std::fs::read_to_string(path).expect("read report")).expect("parse report");
+    let Value::Obj(pairs) = doc else {
+        panic!("report is not an object")
+    };
+    let pairs = pairs
+        .into_iter()
+        .filter(|(k, _)| k != "total_wall_ms" && k != "cache")
+        .map(|(k, v)| {
+            if k != "experiments" {
+                return (k, v);
+            }
+            let Value::Arr(experiments) = v else {
+                panic!("experiments is not an array")
+            };
+            let stripped = experiments
+                .into_iter()
+                .map(|e| {
+                    let Value::Obj(fields) = e else {
+                        panic!("experiment is not an object")
+                    };
+                    Value::Obj(fields.into_iter().filter(|(k, _)| k != "wall_ms").collect())
+                })
+                .collect();
+            (k, Value::Arr(stripped))
+        })
+        .collect();
+    Value::Obj(pairs).render_pretty()
+}
+
+/// Satellite: `reproduce --json` output (minus wall-time fields) is
+/// byte-identical for `--jobs 1` and `--jobs 4`.
+#[test]
+fn json_report_is_deterministic_across_worker_counts() {
+    let dir = std::env::temp_dir().join(format!("rtise-jobs-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let mut canonical = Vec::new();
+    for jobs in ["1", "4"] {
+        let path = dir.join(format!("report-jobs{jobs}.json"));
+        let out = reproduce(&[
+            "--no-cache",
+            "--jobs",
+            jobs,
+            "--json",
+            path.to_str().expect("utf-8 path"),
+            "fig3_2",
+            "fig4_1",
+            "fig3_2",
+        ]);
+        assert!(out.status.success(), "jobs={jobs}: {out:?}");
+        canonical.push(canonical_report(&path));
+    }
+    assert_eq!(
+        canonical[0], canonical[1],
+        "--jobs 1 and --jobs 4 reports differ beyond wall times"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cold vs warm disk cache: identical counters and output, the warm run
+/// actually hits the disk, and a corrupted entry recovers by recompute.
+#[test]
+fn disk_cache_is_transparent_and_corruption_safe() {
+    let _config = lock_config();
+    let dir = std::env::temp_dir().join(format!("rtise-curve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = rtise::workbench::CurveOptions::fast();
+    rtise_bench::set_curve_options_override(Some(opts));
+    rtise_bench::set_cache_dir(Some(dir.clone()));
+    rtise_bench::clear_curve_memo();
+    rtise_bench::reset_cache_stats();
+
+    // fig3_1 is the one debug-cheap experiment built on cached_curve.
+    let cold = rtise_bench::run_observed_with("fig3_1", true).expect("fig3_1");
+    assert!(cold.ok);
+    assert_eq!(rtise_bench::cache_stats(), (0, 1, 1), "cold: miss + store");
+
+    rtise_bench::clear_curve_memo();
+    let warm = rtise_bench::run_observed_with("fig3_1", true).expect("fig3_1");
+    assert_eq!(rtise_bench::cache_stats(), (1, 1, 1), "warm: disk hit");
+    assert_eq!(warm.output, cold.output, "warm output diverges");
+    assert_eq!(warm.counters, cold.counters, "warm counters diverge");
+
+    // Corrupt the entry on disk: the next cold read must warn, recompute,
+    // and still produce the identical report.
+    let entry = rtise_bench::curvecache::entry_path(&dir, "g721_decode", &opts);
+    let bytes = std::fs::read(&entry).expect("cache entry exists");
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).expect("truncate entry");
+    rtise_bench::clear_curve_memo();
+    let recovered = rtise_bench::run_observed_with("fig3_1", true).expect("fig3_1");
+    assert_eq!(
+        rtise_bench::cache_stats(),
+        (1, 2, 2),
+        "corrupted entry must recompute and re-store"
+    );
+    assert_eq!(recovered.output, cold.output);
+    assert_eq!(recovered.counters, cold.counters);
+
+    rtise_bench::set_curve_options_override(None);
+    rtise_bench::set_cache_dir(None);
+    rtise_bench::clear_curve_memo();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: unknown experiment ids exit 2 with a nearest-id suggestion
+/// instead of silently shrinking the run.
+#[test]
+fn unknown_ids_are_rejected_with_a_suggestion() {
+    let out = reproduce(&["tab42"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("tab42") && stderr.contains("tab4_2"),
+        "stderr should suggest the nearest id: {stderr}"
+    );
+
+    // A typo anywhere in the list rejects the whole run up front.
+    let out = reproduce(&["fig3_2", "no_such_experiment"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = reproduce(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The suggestion helper itself, on the exact typo from the issue.
+#[test]
+fn nearest_id_matches_expected_neighbors() {
+    assert_eq!(rtise_bench::nearest_id("tab42"), "tab4_2");
+    assert_eq!(rtise_bench::nearest_id("fig8_44"), "fig8_4");
+}

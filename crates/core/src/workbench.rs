@@ -136,7 +136,7 @@ pub fn task_curve_spanned(
             "workbench curve for {name} is defective:\n{d}"
         );
     }
-    rtise_obs::global_add("workbench.curves", 1);
+    rtise_obs::record("workbench.curves", 1);
     Ok(curve)
 }
 

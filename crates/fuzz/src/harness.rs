@@ -137,7 +137,11 @@ const MAX_SHRINK_ATTEMPTS: u64 = 4_000;
 /// Runs a fuzzing campaign.
 pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
     let total_timer = Timer::start();
-    let before = rtise_obs::snapshot();
+    // Scope the campaign so the solver-work deltas in the report count
+    // exactly what this campaign provoked, even when other campaigns or
+    // tests run concurrently in the same process.
+    let scope = rtise_obs::CounterScope::new();
+    let scope_guard = scope.enter();
     let mut col = Collector::enabled("fuzz");
     let mut stats = Vec::new();
     let mut failures = Vec::new();
@@ -172,9 +176,9 @@ pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
     }
     col.add("cases", cases);
     col.add("failures", failures.len() as u64);
-    // Solver work provoked by the campaign, from the global registry.
-    let after = rtise_obs::snapshot();
-    for (key, delta) in rtise_obs::snapshot_diff(&before, &after) {
+    // Solver work provoked by the campaign, scoped to this run.
+    drop(scope_guard);
+    for (key, delta) in scope.counters() {
         col.add(&format!("solver.{key}"), delta);
     }
     let elapsed_ms = total_timer.elapsed_ms();

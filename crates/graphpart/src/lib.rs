@@ -278,10 +278,10 @@ pub fn partition_with_stats(g: &Graph, k: usize, seed: u64) -> (Partitioning, Pa
         cur = finer;
     }
     debug_assert_eq!(cur.len(), g.len());
-    rtise_obs::global_add("graphpart.calls", 1);
-    rtise_obs::global_add("graphpart.coarsen_levels", stats.coarsen_levels);
-    rtise_obs::global_add("graphpart.refine_passes", stats.refine_passes);
-    rtise_obs::global_add("graphpart.refine_moves", stats.refine_moves);
+    rtise_obs::record("graphpart.calls", 1);
+    rtise_obs::record("graphpart.coarsen_levels", stats.coarsen_levels);
+    rtise_obs::record("graphpart.refine_passes", stats.refine_passes);
+    rtise_obs::record("graphpart.refine_moves", stats.refine_moves);
     (Partitioning { assignment, k }, stats)
 }
 

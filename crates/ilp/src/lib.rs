@@ -243,11 +243,11 @@ impl Model {
     /// Same as [`Model::solve`].
     pub fn solve_with_stats(&self) -> Result<(Solution, IlpStats), SolveError> {
         let (result, stats) = self.solve_inner();
-        rtise_obs::global_add("ilp.solves", 1);
-        rtise_obs::global_add("ilp.nodes_explored", stats.nodes_explored);
-        rtise_obs::global_add("ilp.pruned_infeasible", stats.pruned_infeasible);
-        rtise_obs::global_add("ilp.pruned_bound", stats.pruned_bound);
-        rtise_obs::global_add("ilp.incumbent_updates", stats.incumbent_updates);
+        rtise_obs::record("ilp.solves", 1);
+        rtise_obs::record("ilp.nodes_explored", stats.nodes_explored);
+        rtise_obs::record("ilp.pruned_infeasible", stats.pruned_infeasible);
+        rtise_obs::record("ilp.pruned_bound", stats.pruned_bound);
+        rtise_obs::record("ilp.incumbent_updates", stats.incumbent_updates);
         result.map(|s| (s, stats))
     }
 
@@ -632,14 +632,18 @@ mod tests {
 
     #[test]
     fn stats_published_to_registry() {
-        let before = rtise_obs::snapshot();
-        let mut m = Model::new(3);
-        m.set_objective(Sense::Maximize, &[2, 3, 4]);
-        m.add_le(&[(0, 1), (1, 1), (2, 1)], 2);
-        m.solve().expect("feasible");
-        let after = rtise_obs::snapshot();
-        let diff = rtise_obs::snapshot_diff(&before, &after);
-        assert!(diff.get("ilp.solves").is_some_and(|&v| v >= 1), "{diff:?}");
+        // A CounterScope (rather than a global snapshot diff) keeps the
+        // deltas exact even while other tests solve ILPs concurrently.
+        let scope = rtise_obs::CounterScope::new();
+        let diff = {
+            let _guard = scope.enter();
+            let mut m = Model::new(3);
+            m.set_objective(Sense::Maximize, &[2, 3, 4]);
+            m.add_le(&[(0, 1), (1, 1), (2, 1)], 2);
+            m.solve().expect("feasible");
+            scope.counters()
+        };
+        assert_eq!(diff.get("ilp.solves"), Some(&1), "{diff:?}");
         assert!(
             diff.get("ilp.nodes_explored").is_some_and(|&v| v >= 1),
             "{diff:?}"

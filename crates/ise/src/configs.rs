@@ -107,6 +107,26 @@ impl ConfigCurve {
         ConfigCurve::from_pointset(name, base_cycles, points)
     }
 
+    /// Rebuilds a curve from previously-exported points (a disk cache, a
+    /// serialized report), preserving each point's selection indices. The
+    /// points pass through the same staircase normalization as
+    /// [`generate`](ConfigCurve::generate), so malformed input degrades to
+    /// a valid (possibly smaller) curve instead of breaking the invariant
+    /// — callers that need byte-exact restoration should compare the
+    /// result against what they stored.
+    pub fn from_saved(name: impl Into<String>, base_cycles: u64, points: Vec<ConfigPoint>) -> Self {
+        let mut points = points;
+        if !points.iter().any(|p| p.area == 0) {
+            points.push(ConfigPoint {
+                area: 0,
+                cycles: base_cycles,
+                gain: 0,
+                selection: Vec::new(),
+            });
+        }
+        ConfigCurve::from_pointset(name, base_cycles, points)
+    }
+
     fn from_pointset(
         name: impl Into<String>,
         base_cycles: u64,
@@ -236,6 +256,39 @@ mod tests {
         let curve = ConfigCurve::generate("t", &[], 50, 4, 16);
         assert_eq!(curve.len(), 1);
         assert_eq!(curve.best_within(u64::MAX).cycles, 50);
+    }
+
+    #[test]
+    fn from_saved_round_trips_points_and_selections() {
+        let cands = vec![cand(&[0], 4, 10), cand(&[1], 8, 15), cand(&[2], 2, 3)];
+        let curve = ConfigCurve::generate("t", &cands, 200, 8, 16);
+        let rebuilt =
+            ConfigCurve::from_saved(curve.name.clone(), curve.base_cycles, curve.points.clone());
+        assert_eq!(rebuilt, curve);
+        // Malformed input (dominated / missing software point) degrades to
+        // a valid staircase instead of panicking.
+        let degraded = ConfigCurve::from_saved(
+            "t",
+            100,
+            vec![
+                ConfigPoint {
+                    area: 5,
+                    cycles: 120,
+                    gain: 0,
+                    selection: vec![1],
+                },
+                ConfigPoint {
+                    area: 9,
+                    cycles: 80,
+                    gain: 20,
+                    selection: vec![0, 1],
+                },
+            ],
+        );
+        assert_eq!(degraded.points()[0].area, 0);
+        for w in degraded.points().windows(2) {
+            assert!(w[1].area > w[0].area && w[1].cycles < w[0].cycles);
+        }
     }
 
     #[test]

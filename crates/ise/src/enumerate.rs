@@ -83,7 +83,7 @@ pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
             out.push(set);
         }
     }
-    rtise_obs::global_add("ise.miso.patterns", out.len() as u64);
+    rtise_obs::record("ise.miso.patterns", out.len() as u64);
     out
 }
 
@@ -216,11 +216,11 @@ pub fn enumerate_connected_with_stats(
             }
         }
     }
-    rtise_obs::global_add("ise.enumerate.calls", 1);
-    rtise_obs::global_add("ise.enumerate.generated", stats.generated);
-    rtise_obs::global_add("ise.enumerate.accepted", stats.accepted);
-    rtise_obs::global_add("ise.enumerate.rejected", stats.rejected_infeasible);
-    rtise_obs::global_add("ise.enumerate.convexity_repairs", stats.convexity_repairs);
+    rtise_obs::record("ise.enumerate.calls", 1);
+    rtise_obs::record("ise.enumerate.generated", stats.generated);
+    rtise_obs::record("ise.enumerate.accepted", stats.accepted);
+    rtise_obs::record("ise.enumerate.rejected", stats.rejected_infeasible);
+    rtise_obs::record("ise.enumerate.convexity_repairs", stats.convexity_repairs);
     (results, stats)
 }
 
@@ -269,7 +269,7 @@ pub fn enumerate_disconnected(
             }
         }
     }
-    rtise_obs::global_add("ise.disconnected.pairs", out.len() as u64);
+    rtise_obs::record("ise.disconnected.pairs", out.len() as u64);
     out
 }
 

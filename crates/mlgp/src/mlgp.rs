@@ -136,10 +136,10 @@ pub fn mlgp_partition_with_stats(
         rb.cmp(&ra)
     });
     stats.partitions_out = out.len() as u64;
-    rtise_obs::global_add("mlgp.calls", 1);
-    rtise_obs::global_add("mlgp.coarsen_passes", stats.coarsen_passes);
-    rtise_obs::global_add("mlgp.merges", stats.merges);
-    rtise_obs::global_add("mlgp.refine_moves", stats.refine_moves);
+    rtise_obs::record("mlgp.calls", 1);
+    rtise_obs::record("mlgp.coarsen_passes", stats.coarsen_passes);
+    rtise_obs::record("mlgp.merges", stats.merges);
+    rtise_obs::record("mlgp.refine_moves", stats.refine_moves);
     (out, stats)
 }
 

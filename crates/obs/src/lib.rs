@@ -14,11 +14,14 @@
 //!
 //! The pieces:
 //!
-//! * [`registry`] — a global, thread-safe counter registry. Solvers publish
-//!   their per-call statistics here under dotted keys
-//!   (`ilp.nodes_explored`, `select.edf.dp_cells`, …); the `reproduce`
-//!   harness snapshots it around each experiment and emits the delta into
-//!   the machine-readable run report.
+//! * [`registry`] — a global, thread-safe counter registry plus
+//!   thread-scoped collectors. Solvers publish their per-call statistics
+//!   via [`record`] under dotted keys (`ilp.nodes_explored`,
+//!   `select.edf.dp_cells`, …); the `reproduce` harness brackets each
+//!   experiment in a [`CounterScope`] — exact even when experiments run
+//!   concurrently on a worker pool — and emits the scope's counters into
+//!   the machine-readable run report. The global registry stays the
+//!   merged, process-wide view.
 //! * [`report`] — [`Report`], a serializable tree of named
 //!   spans with wall times, counters, and gauges, built imperatively with
 //!   [`Collector`] (which has a disabled "null" mode so
@@ -49,6 +52,6 @@ pub mod registry;
 pub mod report;
 pub mod rng;
 
-pub use registry::{global_add, snapshot, snapshot_diff};
+pub use registry::{global_add, record, snapshot, snapshot_diff, CounterScope};
 pub use report::{Collector, Report, Timer};
 pub use rng::Rng;

@@ -1,36 +1,101 @@
-//! A process-wide, thread-safe counter registry.
+//! A process-wide counter registry plus thread-scoped collectors.
 //!
 //! Solvers publish per-call statistics under dotted keys
-//! (`ilp.nodes_explored`, `select.edf.dp_cells`, …) via [`global_add`];
-//! harnesses bracket a region of work with [`snapshot`] and report the
-//! [`snapshot_diff`]. This decouples *where* statistics are produced
-//! (deep inside a solver) from *where* they are consumed (the `reproduce`
-//! binary, a test) without threading a collector through every call chain.
+//! (`ilp.nodes_explored`, `select.edf.dp_cells`, …) via [`record`];
+//! harnesses that need exact attribution bracket a region of work with a
+//! [`CounterScope`] and read [`CounterScope::counters`] when the region
+//! ends. This decouples *where* statistics are produced (deep inside a
+//! solver) from *where* they are consumed (the `reproduce` binary, a test)
+//! without threading a collector through every call chain.
 //!
-//! Counters are monotone `u64` sums; the registry never resets, so deltas
-//! between snapshots are always well-defined even when experiments share
-//! the process.
+//! Two layers:
+//!
+//! * The **global registry** is the merged view: every [`record`] call
+//!   lands there, it is never reset, and [`snapshot`]/[`snapshot_diff`]
+//!   give deltas over a region. Deltas from the global registry are only
+//!   exact while nothing else runs — two overlapping regions on different
+//!   threads see each other's counts.
+//! * A **[`CounterScope`]** is exact under concurrency: while entered on a
+//!   thread, every [`record`] on that thread also lands in the scope, and
+//!   nothing recorded on other threads does. Scopes are cheap `Arc`
+//!   handles; clone one into a spawned worker and
+//!   [`enter`](CounterScope::enter) it there to extend the scope across
+//!   threads.
+//!
+//! Counters are monotone `u64` sums that saturate instead of wrapping.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex, OnceLock};
 
 fn registry() -> &'static Mutex<BTreeMap<String, u64>> {
     static REGISTRY: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-/// Adds `delta` to the global counter `key`, creating it at zero first if
-/// needed. Saturates instead of wrapping on overflow.
-pub fn global_add(key: &str, delta: u64) {
+thread_local! {
+    /// Scopes entered on this thread, outermost first.
+    static ACTIVE: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn add_to(map: &mut BTreeMap<String, u64>, key: &str, delta: u64) {
+    match map.get_mut(key) {
+        Some(slot) => *slot = slot.saturating_add(delta),
+        None => {
+            map.insert(key.to_string(), delta);
+        }
+    }
+}
+
+/// Adds `delta` to the global counter `key` and to every [`CounterScope`]
+/// entered on the current thread. Creates counters at zero first if
+/// needed; saturates instead of wrapping on overflow.
+pub fn record(key: &str, delta: u64) {
     if delta == 0 {
         return;
     }
-    let mut map = registry().lock().expect("obs registry poisoned");
-    let slot = map.entry(key.to_string()).or_insert(0);
-    *slot = slot.saturating_add(delta);
+    add_to(
+        &mut registry().lock().expect("obs registry poisoned"),
+        key,
+        delta,
+    );
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            add_to(
+                &mut scope.counters.lock().expect("scope poisoned"),
+                key,
+                delta,
+            );
+        }
+    });
 }
 
-/// Returns a copy of every counter currently in the registry.
+/// Alias of [`record`], kept for the original registry API.
+pub fn global_add(key: &str, delta: u64) {
+    record(key, delta);
+}
+
+/// Adds `counters` to every [`CounterScope`] entered on the current
+/// thread — but **not** to the global registry. This is how caches
+/// attribute previously-recorded work to a new consumer: the global
+/// registry counts each unit of work once (when it actually ran), while
+/// every scope that asks for the cached artifact is charged the same,
+/// deterministic cost.
+pub fn attribute(counters: &BTreeMap<String, u64>) {
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            let mut map = scope.counters.lock().expect("scope poisoned");
+            for (key, &delta) in counters {
+                if delta > 0 {
+                    add_to(&mut map, key, delta);
+                }
+            }
+        }
+    });
+}
+
+/// Returns a copy of every counter currently in the global registry.
 pub fn snapshot() -> BTreeMap<String, u64> {
     registry().lock().expect("obs registry poisoned").clone()
 }
@@ -50,6 +115,120 @@ pub fn snapshot_diff(
         .collect()
 }
 
+#[derive(Debug, Default)]
+struct ScopeInner {
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+/// A concurrency-exact counter collector; see the [module docs](self).
+///
+/// ```
+/// use rtise_obs::registry::{record, CounterScope};
+///
+/// let scope = CounterScope::new();
+/// {
+///     let _guard = scope.enter();
+///     record("doc.example", 3);
+/// }
+/// assert_eq!(scope.counters()["doc.example"], 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CounterScope {
+    inner: Arc<ScopeInner>,
+}
+
+impl CounterScope {
+    /// A new, empty scope (not yet entered on any thread).
+    pub fn new() -> Self {
+        CounterScope::default()
+    }
+
+    /// Activates the scope on the current thread until the returned guard
+    /// drops. Scopes nest: an inner scope does not hide an outer one, both
+    /// receive every [`record`] made while active. Enter the same scope
+    /// from several threads (via clones) to merge their recordings.
+    pub fn enter(&self) -> ScopeGuard {
+        ACTIVE.with(|stack| stack.borrow_mut().push(Arc::clone(&self.inner)));
+        ScopeGuard {
+            inner: Arc::clone(&self.inner),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Adds directly to this scope (and only this scope), regardless of
+    /// which thread calls or what is entered there.
+    pub fn add(&self, key: &str, delta: u64) {
+        if delta > 0 {
+            add_to(
+                &mut self.inner.counters.lock().expect("scope poisoned"),
+                key,
+                delta,
+            );
+        }
+    }
+
+    /// A copy of everything recorded into the scope so far.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner.counters.lock().expect("scope poisoned").clone()
+    }
+}
+
+/// Keeps a [`CounterScope`] active on the thread that created it; see
+/// [`CounterScope::enter`]. Not `Send`: the guard must drop on the thread
+/// that entered the scope.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    inner: Arc<ScopeInner>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let top = stack.pop();
+            debug_assert!(
+                top.is_some_and(|t| Arc::ptr_eq(&t, &self.inner)),
+                "scope guards must drop in reverse entry order"
+            );
+        });
+    }
+}
+
+/// Detaches the current thread from every entered [`CounterScope`] until
+/// the returned guard drops. Used by memoizing caches: work performed
+/// inside the isolation still reaches the global registry, but is not
+/// charged to whichever consumer happened to trigger the computation —
+/// the cache captures it in a scope of its own and [`attribute`]s it to
+/// every consumer instead, keeping attribution deterministic.
+pub fn isolate() -> IsolationGuard {
+    IsolationGuard {
+        saved: ACTIVE.with(|stack| std::mem::take(&mut *stack.borrow_mut())),
+        _not_send: PhantomData,
+    }
+}
+
+/// Restores the scopes suspended by [`isolate`] on drop.
+#[derive(Debug)]
+pub struct IsolationGuard {
+    saved: Vec<Arc<ScopeInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for IsolationGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert!(
+                stack.is_empty(),
+                "scopes entered under isolation must exit before it ends"
+            );
+            let inner = std::mem::take(&mut self.saved);
+            *stack = inner;
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,21 +238,21 @@ mod tests {
 
     #[test]
     fn add_and_snapshot() {
-        global_add("test.registry.a", 2);
-        global_add("test.registry.a", 3);
+        record("test.registry.a", 2);
+        record("test.registry.a", 3);
         assert!(snapshot()["test.registry.a"] >= 5);
     }
 
     #[test]
     fn zero_delta_creates_nothing() {
-        global_add("test.registry.zero", 0);
+        record("test.registry.zero", 0);
         assert!(!snapshot().contains_key("test.registry.zero"));
     }
 
     #[test]
     fn diff_reports_only_changes() {
         let before = snapshot();
-        global_add("test.registry.diff", 7);
+        record("test.registry.diff", 7);
         let after = snapshot();
         let d = snapshot_diff(&before, &after);
         assert_eq!(d.get("test.registry.diff"), Some(&7));
@@ -94,16 +273,128 @@ mod tests {
             .map(|_| {
                 std::thread::spawn(|| {
                     for _ in 0..1000 {
-                        global_add("test.registry.mt", 1);
+                        record("test.registry.mt", 1);
                     }
                 })
             })
             .collect();
-        let before_join = snapshot().get("test.registry.mt").copied().unwrap_or(0);
-        let _ = before_join; // adds may still be in flight here
         for h in handles {
             h.join().expect("thread");
         }
         assert!(snapshot()["test.registry.mt"] >= 8000);
+    }
+
+    #[test]
+    fn scope_collects_only_its_own_thread() {
+        let scope = CounterScope::new();
+        let noise = std::thread::spawn(|| record("test.scope.own", 1_000));
+        {
+            let _g = scope.enter();
+            record("test.scope.own", 3);
+        }
+        record("test.scope.own", 9); // after exit: not collected
+        noise.join().expect("noise thread");
+        assert_eq!(scope.counters()["test.scope.own"], 3);
+    }
+
+    #[test]
+    fn nested_scopes_both_collect() {
+        let outer = CounterScope::new();
+        let inner = CounterScope::new();
+        let _og = outer.enter();
+        {
+            let _ig = inner.enter();
+            record("test.scope.nested", 4);
+        }
+        record("test.scope.nested", 2);
+        assert_eq!(inner.counters()["test.scope.nested"], 4);
+        assert_eq!(outer.counters()["test.scope.nested"], 6);
+    }
+
+    #[test]
+    fn scope_extends_across_threads_via_clone() {
+        let scope = CounterScope::new();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let scope = scope.clone();
+                std::thread::spawn(move || {
+                    let _g = scope.enter();
+                    for _ in 0..500 {
+                        record("test.scope.fanout", 1);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        assert_eq!(scope.counters()["test.scope.fanout"], 2000);
+    }
+
+    /// The stress shape of the parallel `reproduce` harness: N concurrent
+    /// scopes, each fed by its own thread, all hammering the same key.
+    /// Per-scope totals must be exact and the global registry must hold
+    /// the merged sum.
+    #[test]
+    fn scope_stress_exact_per_scope_and_merged_totals() {
+        const SCOPES: usize = 4;
+        const THREADS: usize = 4;
+        const INCREMENTS: u64 = 1_000;
+        let key = "test.scope.stress";
+        let before = snapshot().get(key).copied().unwrap_or(0);
+        let scopes: Vec<CounterScope> = (0..SCOPES).map(|_| CounterScope::new()).collect();
+        let workers: Vec<_> = scopes
+            .iter()
+            .flat_map(|scope| {
+                (0..THREADS).map(|_| {
+                    let scope = scope.clone();
+                    std::thread::spawn(move || {
+                        let _g = scope.enter();
+                        for _ in 0..INCREMENTS {
+                            record(key, 1);
+                        }
+                    })
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("stress worker");
+        }
+        for scope in &scopes {
+            assert_eq!(scope.counters()[key], THREADS as u64 * INCREMENTS);
+        }
+        let merged = snapshot()[key] - before;
+        assert_eq!(merged, (SCOPES * THREADS) as u64 * INCREMENTS);
+    }
+
+    #[test]
+    fn attribute_charges_scopes_but_not_global() {
+        let scope = CounterScope::new();
+        let mut cached = BTreeMap::new();
+        cached.insert("test.scope.attr".to_string(), 11u64);
+        cached.insert("test.scope.attr.zero".to_string(), 0u64);
+        let before = snapshot().get("test.scope.attr").copied().unwrap_or(0);
+        {
+            let _g = scope.enter();
+            attribute(&cached);
+        }
+        let after = snapshot().get("test.scope.attr").copied().unwrap_or(0);
+        assert_eq!(before, after, "attribute must not touch the registry");
+        assert_eq!(scope.counters()["test.scope.attr"], 11);
+        assert!(!scope.counters().contains_key("test.scope.attr.zero"));
+    }
+
+    #[test]
+    fn isolation_detaches_then_restores() {
+        let scope = CounterScope::new();
+        let _g = scope.enter();
+        record("test.scope.iso", 1);
+        {
+            let _iso = isolate();
+            record("test.scope.iso", 100); // global only
+        }
+        record("test.scope.iso", 2);
+        assert_eq!(scope.counters()["test.scope.iso"], 3);
+        assert!(snapshot()["test.scope.iso"] >= 103);
     }
 }

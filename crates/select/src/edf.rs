@@ -163,9 +163,9 @@ pub fn select_edf_with_stats(
     } else {
         utilization <= 1.0 + 1e-9
     };
-    rtise_obs::global_add("select.edf.solves", 1);
-    rtise_obs::global_add("select.edf.dp_cells", stats.dp_cells);
-    rtise_obs::global_add("select.edf.transitions", stats.transitions);
+    rtise_obs::record("select.edf.solves", 1);
+    rtise_obs::record("select.edf.dp_cells", stats.dp_cells);
+    rtise_obs::record("select.edf.transitions", stats.transitions);
     Ok((
         EdfSelection {
             utilization,

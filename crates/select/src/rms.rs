@@ -191,15 +191,15 @@ pub fn select_rms_with_stats(
     };
     search(&mut ctx, 0, 0, 0.0);
     let stats = ctx.stats;
-    rtise_obs::global_add("select.rms.solves", 1);
-    rtise_obs::global_add("select.rms.nodes", stats.nodes);
-    rtise_obs::global_add("select.rms.pruned_bound", stats.pruned_bound);
-    rtise_obs::global_add("select.rms.pruned_area", stats.pruned_area);
-    rtise_obs::global_add(
+    rtise_obs::record("select.rms.solves", 1);
+    rtise_obs::record("select.rms.nodes", stats.nodes);
+    rtise_obs::record("select.rms.pruned_bound", stats.pruned_bound);
+    rtise_obs::record("select.rms.pruned_area", stats.pruned_area);
+    rtise_obs::record(
         "select.rms.pruned_unschedulable",
         stats.pruned_unschedulable,
     );
-    rtise_obs::global_add("select.rms.sched_tests", stats.sched_tests);
+    rtise_obs::record("select.rms.sched_tests", stats.sched_tests);
     let (utilization, config) = ctx.best.ok_or(SelectRmsError::Unschedulable)?;
     Ok((
         RmsSelection {

@@ -388,9 +388,9 @@ impl<'p> Simulator<'p> {
             }
         }
         debug_assert_eq!(stats.block_cycles.iter().sum::<u64>(), result.cycles);
-        rtise_obs::global_add("sim.runs", 1);
-        rtise_obs::global_add("sim.blocks_executed", stats.blocks_executed);
-        rtise_obs::global_add("sim.instructions", stats.instructions);
+        rtise_obs::record("sim.runs", 1);
+        rtise_obs::record("sim.blocks_executed", stats.blocks_executed);
+        rtise_obs::record("sim.instructions", stats.instructions);
         Ok((result, stats))
     }
 
