@@ -43,8 +43,14 @@ echo "    warm pass served every curve from $CACHE_DIR"
 # target/artifacts/ is the CI artifact directory: both JSON reports are
 # uploaded by the pipeline for offline inspection.
 
-echo "==> fuzz smoke (fixed seed, all families; fails on any diagnostic)"
+echo "==> fuzz smoke (fixed seed, all families, 4 workers; fails on any diagnostic)"
 cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
-  --seed 7 --iters 200 --family all --json target/fuzz-smoke.json
+  --seed 7 --iters 200 --family all --jobs 4 --json target/fuzz-smoke.json
+
+echo "==> bench smoke (same sweep as the committed baseline, fewer samples)"
+cargo run --offline --release -p rtise-perf --bin bench -- \
+  --smoke --out target/artifacts/bench-smoke.json --baseline BENCH_5.json
+# --baseline validates both documents' schemas and fails on any (kernel,
+# size) point regressing past 2.5x the committed BENCH_5.json figure.
 
 echo "CI OK"

@@ -29,8 +29,8 @@ use std::path::{Path, PathBuf};
 pub const FORMAT_VERSION: u32 = 1;
 
 /// 64-bit FNV-1a: tiny, dependency-free, and plenty for content
-/// addressing a handful of cache entries.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// addressing a handful of cache entries (shared with the problem cache).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

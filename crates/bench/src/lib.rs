@@ -19,6 +19,7 @@ pub mod ch8;
 pub mod curvecache;
 pub mod ext;
 pub mod pool;
+pub mod problemcache;
 mod util;
 
 pub use util::{

@@ -1,0 +1,501 @@
+//! Content-addressed on-disk cache for reconfiguration base problems.
+//!
+//! Building the Ch. 6 base problem (`workbench::reconfig_problem`)
+//! re-runs the traced kernel and harvests a CIS version table for every
+//! hot loop — the same expensive front-end the curve cache already
+//! amortizes for configuration curves. Entries reuse the
+//! [`curvecache`](crate::curvecache) trust model: a versioned key that
+//! covers every generation input, an FNV-1a content checksum, atomic
+//! tmp+rename stores, and re-validation of the reconstructed problem on
+//! load (version tables must round-trip through [`HotLoop::new`]'s
+//! normalization, trace indices must be in range). Anything suspicious
+//! degrades to a recompute with a warning on stderr — a corrupted cache
+//! can slow the harness down but can never feed it a malformed problem.
+
+use crate::curvecache::fnv1a;
+use rtise::reconfig::{CisVersion, HotLoop, ReconfigProblem};
+use rtise::workbench::CurveOptions;
+use rtise_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the entry layout or the problem pipeline changes
+/// shape; part of the key, so stale-format entries simply miss.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Every input that determines a generated base problem (the
+/// `workbench::reconfig_problem` argument list).
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemKey<'a> {
+    /// Kernel name.
+    pub kernel: &'a str,
+    /// Hardware versions harvested per hot loop.
+    pub n_versions: usize,
+    /// Fabric area of the generated problem.
+    pub max_area: u64,
+    /// Reconfiguration cost of the generated problem.
+    pub reconfig_cost: u64,
+    /// Curve/harvest tuning (its `Debug` rendering covers every knob).
+    pub opts: CurveOptions,
+}
+
+/// The canonical key of an entry: format version plus the full
+/// generation-input set.
+pub fn options_key(key: &ProblemKey<'_>) -> String {
+    format!(
+        "v{FORMAT_VERSION}|problem|{}|nv{}|a{}|r{}|{:?}",
+        key.kernel, key.n_versions, key.max_area, key.reconfig_cost, key.opts
+    )
+}
+
+/// Path of the entry for `key` under `dir`.
+pub fn entry_path(dir: &Path, key: &ProblemKey<'_>) -> PathBuf {
+    let hash = fnv1a(options_key(key).as_bytes());
+    dir.join(format!("{}-problem-{hash:016x}.json", key.kernel))
+}
+
+fn loops_json(loops: &[HotLoop]) -> Value {
+    Value::Arr(
+        loops
+            .iter()
+            .map(|l| {
+                Value::obj(vec![
+                    ("name", l.name.as_str().into()),
+                    (
+                        "versions",
+                        Value::Arr(
+                            l.versions()
+                                .iter()
+                                .map(|v| {
+                                    Value::obj(vec![
+                                        ("area", v.area.into()),
+                                        ("gain", v.gain.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn trace_json(trace: &[usize]) -> Value {
+    Value::Arr(trace.iter().map(|&t| (t as u64).into()).collect())
+}
+
+/// The checksum covers everything [`load`] reconstructs: the version
+/// tables, the trace, the scalar problem fields, and the attribution
+/// counters.
+fn checksum(
+    max_area: u64,
+    reconfig_cost: u64,
+    loops: &Value,
+    trace: &Value,
+    counters: &Value,
+) -> u64 {
+    fnv1a(
+        format!(
+            "{max_area}|{reconfig_cost}|{}|{}|{}",
+            loops.render(),
+            trace.render(),
+            counters.render()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Writes the entry for `key` under `dir`, creating the directory if
+/// needed. The write goes through a per-process temp file and an atomic
+/// rename, so concurrent harnesses never observe a torn entry.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the cache is an optimization, so callers
+/// downgrade them to warnings.
+pub fn store(
+    dir: &Path,
+    key: &ProblemKey<'_>,
+    problem: &ReconfigProblem,
+    counters: &BTreeMap<String, u64>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let loops = loops_json(&problem.loops);
+    let trace = trace_json(&problem.trace);
+    let counters_json = Value::from(counters);
+    let sum = checksum(
+        problem.max_area,
+        problem.reconfig_cost,
+        &loops,
+        &trace,
+        &counters_json,
+    );
+    let doc = Value::obj(vec![
+        ("format", u64::from(FORMAT_VERSION).into()),
+        ("key", options_key(key).into()),
+        ("kernel", key.kernel.into()),
+        ("loops", loops),
+        ("trace", trace),
+        ("max_area", problem.max_area.into()),
+        ("reconfig_cost", problem.reconfig_cost.into()),
+        ("counters", counters_json),
+        ("checksum", format!("{sum:016x}").into()),
+    ]);
+    let path = entry_path(dir, key);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, doc.render_pretty())?;
+    std::fs::rename(&tmp, &path)
+}
+
+/// Why a present entry was rejected (absent entries are plain misses).
+#[derive(Debug, PartialEq, Eq)]
+enum Reject {
+    Unreadable(String),
+    Malformed(&'static str),
+    KeyMismatch,
+    ChecksumMismatch,
+    Invalid(String),
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::Unreadable(e) => write!(f, "unreadable: {e}"),
+            Reject::Malformed(what) => write!(f, "malformed: {what}"),
+            Reject::KeyMismatch => write!(f, "key does not match the requested inputs"),
+            Reject::ChecksumMismatch => write!(f, "content checksum mismatch"),
+            Reject::Invalid(d) => write!(f, "failed re-validation: {d}"),
+        }
+    }
+}
+
+fn field_u64(doc: &Value, key: &'static str) -> Result<u64, Reject> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or(Reject::Malformed(key))
+}
+
+fn decode(text: &str, key: &ProblemKey<'_>) -> Result<Entry, Reject> {
+    let doc = parse(text).map_err(|e| Reject::Unreadable(e.to_string()))?;
+    if field_u64(&doc, "format")? != u64::from(FORMAT_VERSION) {
+        return Err(Reject::Malformed("format"));
+    }
+    if doc.get("key").and_then(Value::as_str) != Some(options_key(key).as_str()) {
+        return Err(Reject::KeyMismatch);
+    }
+    let max_area = field_u64(&doc, "max_area")?;
+    let reconfig_cost = field_u64(&doc, "reconfig_cost")?;
+    let loops_json = doc
+        .get("loops")
+        .cloned()
+        .ok_or(Reject::Malformed("loops"))?;
+    let trace_json = doc
+        .get("trace")
+        .cloned()
+        .ok_or(Reject::Malformed("trace"))?;
+    let counters_json = doc
+        .get("counters")
+        .cloned()
+        .ok_or(Reject::Malformed("counters"))?;
+    let claimed = doc
+        .get("checksum")
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or(Reject::Malformed("checksum"))?;
+    if claimed
+        != checksum(
+            max_area,
+            reconfig_cost,
+            &loops_json,
+            &trace_json,
+            &counters_json,
+        )
+    {
+        return Err(Reject::ChecksumMismatch);
+    }
+
+    let mut loops = Vec::new();
+    for l in loops_json.as_arr().ok_or(Reject::Malformed("loops"))? {
+        let name = l
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(Reject::Malformed("name"))?;
+        let mut versions = Vec::new();
+        for v in l
+            .get("versions")
+            .and_then(Value::as_arr)
+            .ok_or(Reject::Malformed("versions"))?
+        {
+            versions.push(CisVersion {
+                area: field_u64(v, "area")?,
+                gain: field_u64(v, "gain")?,
+            });
+        }
+        // Re-validation: a stored table must round-trip through the
+        // constructor's normalization (software version present, sorted
+        // by area, deduplicated) — anything the constructor would reorder
+        // was not produced by the generator.
+        let rebuilt = HotLoop::new(name, &versions);
+        if rebuilt.versions() != versions.as_slice() {
+            return Err(Reject::Invalid(format!(
+                "loop {name:?} stores a non-normalized version table"
+            )));
+        }
+        loops.push(rebuilt);
+    }
+    let mut trace = Vec::new();
+    for t in trace_json.as_arr().ok_or(Reject::Malformed("trace"))? {
+        let n = t
+            .as_f64()
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+            .ok_or(Reject::Malformed("trace"))?;
+        trace.push(n as usize);
+    }
+    let problem = ReconfigProblem {
+        loops,
+        trace,
+        max_area,
+        reconfig_cost,
+    };
+    // Independent re-validation of trace index ranges.
+    if let Err(e) = problem.validate() {
+        return Err(Reject::Invalid(e.to_string()));
+    }
+
+    let mut counters = BTreeMap::new();
+    if let Value::Obj(pairs) = &counters_json {
+        for (k, v) in pairs {
+            let n = v
+                .as_f64()
+                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                .ok_or(Reject::Malformed("counters"))?;
+            counters.insert(k.clone(), n as u64);
+        }
+    } else {
+        return Err(Reject::Malformed("counters"));
+    }
+    Ok((problem, counters))
+}
+
+type Entry = (ReconfigProblem, BTreeMap<String, u64>);
+
+/// Loads the entry for `key` from `dir`. Returns `None` on a plain miss
+/// (no entry) and also on any rejected entry — truncated or bit-flipped
+/// files, key/version mismatches, and problems that fail re-validation
+/// all warn on stderr and fall back to recomputation instead of
+/// panicking.
+pub fn load(dir: &Path, key: &ProblemKey<'_>) -> Option<Entry> {
+    let path = entry_path(dir, key);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!(
+                "warning: problem cache entry {} is unreadable ({e}); recomputing",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
+            return None;
+        }
+    };
+    match decode(&text, key) {
+        Ok(entry) => Some(entry),
+        Err(reject) => {
+            eprintln!(
+                "warning: discarding problem cache entry {} ({reject}); recomputing",
+                path.display()
+            );
+            // Remove the bad entry so the recomputed problem replaces it.
+            let _ = std::fs::remove_file(&path);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_obs::Rng;
+
+    fn problem() -> ReconfigProblem {
+        ReconfigProblem {
+            loops: vec![
+                HotLoop::new(
+                    "dct",
+                    &[
+                        CisVersion { area: 4, gain: 120 },
+                        CisVersion { area: 9, gain: 200 },
+                    ],
+                ),
+                HotLoop::new("quant", &[CisVersion { area: 3, gain: 80 }]),
+            ],
+            trace: vec![0, 1, 0, 1, 0],
+            max_area: 9,
+            reconfig_cost: 1000,
+        }
+    }
+
+    fn key(kernel: &str) -> ProblemKey<'_> {
+        ProblemKey {
+            kernel,
+            n_versions: 2,
+            max_area: 9,
+            reconfig_cost: 1000,
+            opts: CurveOptions::fast(),
+        }
+    }
+
+    fn counters() -> BTreeMap<String, u64> {
+        BTreeMap::from([
+            ("ise.enumerate.calls".to_string(), 5u64),
+            ("workbench.problems".to_string(), 1),
+        ])
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rtise-problemcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_problems_equal(a: &ReconfigProblem, b: &ReconfigProblem) {
+        assert_eq!(a.loops, b.loops);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.max_area, b.max_area);
+        assert_eq!(a.reconfig_cost, b.reconfig_cost);
+    }
+
+    #[test]
+    fn round_trips_problem_and_counters() {
+        let dir = tmp_dir("roundtrip");
+        store(&dir, &key("toy"), &problem(), &counters()).expect("store");
+        let (loaded, attrib) = load(&dir, &key("toy")).expect("hit");
+        assert_problems_equal(&loaded, &problem());
+        assert_eq!(attrib, counters());
+        // Different generation inputs miss (the key covers them all).
+        let mut thorough = key("toy");
+        thorough.opts = CurveOptions::thorough();
+        assert!(load(&dir, &thorough).is_none());
+        let mut more_versions = key("toy");
+        more_versions.n_versions = 3;
+        assert!(load(&dir, &more_versions).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_entry_is_a_plain_miss() {
+        let dir = tmp_dir("miss");
+        assert!(load(&dir, &key("toy")).is_none());
+    }
+
+    /// Seeded truncations and bit flips of a valid entry must always fall
+    /// back to a miss (recompute), never panic in the JSON parser, and
+    /// must delete the bad entry.
+    #[test]
+    fn corrupted_entries_fall_back_to_recompute() {
+        let dir = tmp_dir("corrupt");
+        let key = key("toy");
+        let path = entry_path(&dir, &key);
+        let mut rng = Rng::new(0x9b1e_cafe);
+        for case in 0..64u32 {
+            store(&dir, &key, &problem(), &counters()).expect("store");
+            let pristine = std::fs::read(&path).expect("read");
+            let mut bytes = pristine.clone();
+            if case % 2 == 0 {
+                // Truncate somewhere strictly inside the document.
+                let cut = 1 + rng.gen_range(0..bytes.len() as u64 - 1) as usize;
+                bytes.truncate(cut);
+            } else {
+                // Flip one bit of one byte.
+                let at = rng.gen_range(0..bytes.len() as u64) as usize;
+                bytes[at] ^= 1u8 << rng.gen_range(0..8u32);
+                if bytes == pristine {
+                    continue;
+                }
+            }
+            std::fs::write(&path, &bytes).expect("corrupt");
+            assert!(
+                load(&dir, &key).is_none(),
+                "case {case}: corrupted entry must miss"
+            );
+            assert!(
+                !path.exists(),
+                "case {case}: rejected entry must be removed"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn doctored_but_parseable_entries_are_rejected() {
+        let dir = tmp_dir("doctored");
+        let key = key("toy");
+        let path = entry_path(&dir, &key);
+        store(&dir, &key, &problem(), &counters()).expect("store");
+        // A value edit that keeps the JSON valid still trips the checksum.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, text.replace("\"gain\": 120", "\"gain\": 121")).expect("write");
+        assert!(load(&dir, &key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Checksum-consistent entries that fail semantic re-validation
+    /// (non-normalized version tables, out-of-range trace indices) are
+    /// rejected too — the checksum guards bit rot, not generator bugs.
+    #[test]
+    fn entries_failing_revalidation_are_rejected() {
+        let dir = tmp_dir("revalidate");
+        let key = key("toy");
+
+        // A version table missing the software (0, 0) version: the
+        // constructor would insert it, so the table cannot round-trip.
+        let mut doctored = problem();
+        let denormalized = Value::Arr(vec![Value::obj(vec![
+            ("name", "dct".into()),
+            (
+                "versions",
+                Value::Arr(vec![Value::obj(vec![
+                    ("area", 4u64.into()),
+                    ("gain", 120u64.into()),
+                ])]),
+            ),
+        ])]);
+        doctored.trace = vec![0];
+        let trace = trace_json(&doctored.trace);
+        let counters_json = Value::from(&counters());
+        let sum = checksum(
+            doctored.max_area,
+            doctored.reconfig_cost,
+            &denormalized,
+            &trace,
+            &counters_json,
+        );
+        let doc = Value::obj(vec![
+            ("format", u64::from(FORMAT_VERSION).into()),
+            ("key", options_key(&key).into()),
+            ("kernel", key.kernel.into()),
+            ("loops", denormalized),
+            ("trace", trace),
+            ("max_area", doctored.max_area.into()),
+            ("reconfig_cost", doctored.reconfig_cost.into()),
+            ("counters", counters_json),
+            ("checksum", format!("{sum:016x}").into()),
+        ]);
+        std::fs::create_dir_all(&dir).expect("dir");
+        std::fs::write(entry_path(&dir, &key), doc.render_pretty()).expect("write");
+        assert!(load(&dir, &key).is_none(), "denormalized table must miss");
+
+        // An out-of-range trace index survives the checksum but not
+        // `ReconfigProblem::validate`.
+        let mut bad_trace = problem();
+        bad_trace.trace = vec![0, 7];
+        store(&dir, &key, &bad_trace, &counters()).expect("store");
+        assert!(load(&dir, &key).is_none(), "bad trace index must miss");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,6 +17,7 @@
 //! raced another worker for it, or read it back from disk.
 
 use crate::curvecache;
+use crate::problemcache::{self, ProblemKey};
 use rtise::ise::configs::ConfigCurve;
 use rtise::reconfig::ReconfigProblem;
 use rtise::select::task::{periods_for_utilization, TaskSpec};
@@ -31,7 +32,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 type Memo<T> = Arc<OnceLock<(T, BTreeMap<String, u64>)>>;
 
 static CURVES: OnceLock<Mutex<HashMap<String, Memo<ConfigCurve>>>> = OnceLock::new();
-static JPEG_PROBLEM: OnceLock<(ReconfigProblem, BTreeMap<String, u64>)> = OnceLock::new();
+/// The JPEG base-problem memo, keyed like [`CURVES`] so an options
+/// override never aliases with the default-options problem.
+static JPEG_PROBLEM: Mutex<Option<(String, Memo<ReconfigProblem>)>> = Mutex::new(None);
 
 static CACHE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
@@ -73,12 +76,14 @@ pub fn set_curve_options_override(opts: Option<CurveOptions>) {
     *OPTS_OVERRIDE.lock().expect("opts override poisoned") = opts;
 }
 
-/// Drops every in-process curve memo (the disk cache is untouched). Lets
-/// tests exercise cold-vs-warm disk behavior within one process.
+/// Drops every in-process memo — curves and the JPEG base problem; the
+/// disk cache is untouched. Lets tests exercise cold-vs-warm disk
+/// behavior within one process.
 pub fn clear_curve_memo() {
     if let Some(map) = CURVES.get() {
         map.lock().expect("curve memo poisoned").clear();
     }
+    *JPEG_PROBLEM.lock().expect("jpeg memo poisoned") = None;
 }
 
 fn curve_options() -> CurveOptions {
@@ -141,26 +146,82 @@ fn produce_curve(name: &str, opts: &CurveOptions) -> (ConfigCurve, BTreeMap<Stri
     (curve, counters)
 }
 
+fn jpeg_problem_key(opts: &CurveOptions) -> ProblemKey<'static> {
+    ProblemKey {
+        kernel: "jpeg",
+        n_versions: 4,
+        max_area: 0,
+        reconfig_cost: 0,
+        opts: *opts,
+    }
+}
+
 /// The JPEG case-study base problem (Ch. 6 and the architecture-taxonomy
-/// extension), memoized process-wide with the same scoped-counter
-/// attribution as [`cached_curve`]. Callers clone and then adjust
-/// `max_area` / `reconfig_cost`.
+/// extension), memoized process-wide — and, when [`set_cache_dir`] is
+/// active, persisted across runs in the content-addressed
+/// [`problemcache`](crate::problemcache) format — with the same
+/// scoped-counter attribution as [`cached_curve`]. Callers clone and then
+/// adjust `max_area` / `reconfig_cost`.
 ///
 /// # Panics
 ///
 /// Panics if the JPEG kernel fails to build — a build problem, as above.
 pub fn cached_jpeg_problem() -> ReconfigProblem {
-    let (problem, counters) = JPEG_PROBLEM.get_or_init(|| {
-        let _iso = rtise_obs::registry::isolate();
-        let scope = CounterScope::new();
-        let problem = {
-            let _guard = scope.enter();
-            reconfig_problem("jpeg", 4, 0, 0, curve_options()).expect("jpeg problem")
-        };
-        (problem, scope.counters())
-    });
+    let opts = curve_options();
+    let key = jpeg_problem_key(&opts);
+    let memo_key = problemcache::options_key(&key);
+    let slot = {
+        let mut memo = JPEG_PROBLEM.lock().expect("jpeg memo poisoned");
+        match memo.as_ref() {
+            Some((k, slot)) if *k == memo_key => Arc::clone(slot),
+            _ => {
+                let slot = Memo::<ReconfigProblem>::default();
+                *memo = Some((memo_key, Arc::clone(&slot)));
+                slot
+            }
+        }
+    };
+    // Compute outside the memo lock, as for curves.
+    let (problem, counters) = slot.get_or_init(|| produce_jpeg_problem(&key));
     rtise_obs::registry::attribute(counters);
     problem.clone()
+}
+
+fn produce_jpeg_problem(key: &ProblemKey<'_>) -> (ReconfigProblem, BTreeMap<String, u64>) {
+    // Detach from the requester's scopes, exactly as in `produce_curve`.
+    let _iso = rtise_obs::registry::isolate();
+    if let Some(dir) = cache_dir() {
+        if let Some(entry) = problemcache::load(&dir, key) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return entry;
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    let scope = CounterScope::new();
+    let problem = {
+        let _guard = scope.enter();
+        reconfig_problem(
+            key.kernel,
+            key.n_versions,
+            key.max_area,
+            key.reconfig_cost,
+            key.opts,
+        )
+        .expect("jpeg problem")
+    };
+    let counters = scope.counters();
+    if let Some(dir) = cache_dir() {
+        match problemcache::store(&dir, key, &problem, &counters) {
+            Ok(()) => {
+                CACHE_STORES.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!(
+                "warning: could not write problem cache entry for {}: {e}",
+                key.kernel
+            ),
+        }
+    }
+    (problem, counters)
 }
 
 /// Task specs for a named set at initial utilization `u0`, using cached

@@ -173,6 +173,50 @@ fn disk_cache_is_transparent_and_corruption_safe() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Cold vs warm disk cache for the JPEG base problem: the warm run must
+/// serve the identical problem from disk and replay the identical
+/// generation counters into the caller's scope.
+#[test]
+fn jpeg_problem_disk_cache_is_transparent() {
+    let _config = lock_config();
+    let dir = std::env::temp_dir().join(format!("rtise-problem-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    rtise_bench::set_curve_options_override(Some(rtise::workbench::CurveOptions::fast()));
+    rtise_bench::set_cache_dir(Some(dir.clone()));
+    rtise_bench::clear_curve_memo();
+    rtise_bench::reset_cache_stats();
+
+    let scope = rtise_obs::CounterScope::new();
+    let cold = {
+        let _guard = scope.enter();
+        rtise_bench::cached_jpeg_problem()
+    };
+    let cold_counters = scope.counters();
+    assert_eq!(rtise_bench::cache_stats(), (0, 1, 1), "cold: miss + store");
+
+    rtise_bench::clear_curve_memo();
+    let scope = rtise_obs::CounterScope::new();
+    let warm = {
+        let _guard = scope.enter();
+        rtise_bench::cached_jpeg_problem()
+    };
+    assert_eq!(rtise_bench::cache_stats(), (1, 1, 1), "warm: disk hit");
+    assert_eq!(warm.loops, cold.loops, "warm problem diverges");
+    assert_eq!(warm.trace, cold.trace);
+    assert_eq!(warm.max_area, cold.max_area);
+    assert_eq!(warm.reconfig_cost, cold.reconfig_cost);
+    assert_eq!(
+        scope.counters(),
+        cold_counters,
+        "warm counter attribution diverges"
+    );
+
+    rtise_bench::set_curve_options_override(None);
+    rtise_bench::set_cache_dir(None);
+    rtise_bench::clear_curve_memo();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Satellite: unknown experiment ids exit 2 with a nearest-id suggestion
 /// instead of silently shrinking the run.
 #[test]

@@ -1,7 +1,7 @@
 //! Certificate-driven fuzzing campaign driver.
 //!
 //! ```text
-//! fuzz [--seed N] [--iters N] [--family NAME|all] [--json PATH] [--list]
+//! fuzz [--seed N] [--iters N] [--family NAME|all] [--jobs N] [--json PATH] [--list]
 //! ```
 //!
 //! Runs `--iters` seeded cases per family, solves each instance with the
@@ -15,7 +15,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--seed N] [--iters N] [--family NAME|all] [--json PATH] [--list]\n\
+        "usage: fuzz [--seed N] [--iters N] [--family NAME|all] [--jobs N] [--json PATH] [--list]\n\
          families: {} (default: all)",
         Family::ALL
             .iter()
@@ -27,11 +27,7 @@ fn usage() -> ! {
 }
 
 fn main() -> ExitCode {
-    let mut cfg = FuzzConfig {
-        seed: 0xDA7E_2007,
-        iters: 100,
-        families: Family::ALL.to_vec(),
-    };
+    let mut cfg = FuzzConfig::default();
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +51,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.jobs = v.parse().unwrap_or_else(|_| usage());
+                if cfg.jobs == 0 {
+                    usage();
+                }
+            }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--list" => {
                 for f in Family::ALL {
@@ -68,9 +71,10 @@ fn main() -> ExitCode {
 
     let outcome = run(&cfg);
     println!(
-        "fuzz seed={} iters={} families={}",
+        "fuzz seed={} iters={} jobs={} families={}",
         cfg.seed,
         cfg.iters,
+        cfg.jobs,
         cfg.families
             .iter()
             .map(|f| f.name())

@@ -22,6 +22,10 @@ pub struct FuzzConfig {
     pub iters: u64,
     /// Families to drive.
     pub families: Vec<Family>,
+    /// Worker threads per family (1 = serial). Case seeds derive from the
+    /// case *index*, so any worker count runs the identical case set and
+    /// reports failures in the identical (family, case-index) order.
+    pub jobs: usize,
 }
 
 impl Default for FuzzConfig {
@@ -30,6 +34,7 @@ impl Default for FuzzConfig {
             seed: 0xDA7E_2007,
             iters: 100,
             families: Family::ALL.to_vec(),
+            jobs: 1,
         }
     }
 }
@@ -134,6 +139,61 @@ pub fn case_seed(seed: u64, index: u64) -> u64 {
 /// Cap on minimizer oracle invocations per failure.
 const MAX_SHRINK_ATTEMPTS: u64 = 4_000;
 
+/// A failing case as discovered by a (possibly parallel) sweep, before
+/// minimization: `(case index, case seed, instance, findings, first code)`.
+type RawFailure = (u64, u64, Instance, u64, String);
+
+/// Sweeps one family's cases over `jobs` workers, returning the failing
+/// cases sorted by case index. Each case derives its seed from its index
+/// alone, and every worker enters a clone of the campaign counter scope —
+/// so the case set, the failure order, and the counter totals are all
+/// independent of the worker count (only per-case wall times vary).
+fn sweep_family(
+    family: Family,
+    cfg: &FuzzConfig,
+    scope: &rtise_obs::CounterScope,
+) -> Vec<RawFailure> {
+    let run_case = |i: u64| -> Option<RawFailure> {
+        let cs = case_seed(cfg.seed, i);
+        let mut rng = Rng::new(cs);
+        let instance = Instance::generate(family, &mut rng);
+        let findings = instance.run();
+        findings
+            .first()
+            .map(|f| (i, cs, instance, findings.len() as u64, f.code.clone()))
+    };
+    let jobs = cfg.jobs.max(1).min(cfg.iters.max(1) as usize);
+    if jobs == 1 {
+        return (0..cfg.iters).filter_map(run_case).collect();
+    }
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let mut found = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                let (run_case, next) = (&run_case, &next);
+                let scope = scope.clone();
+                s.spawn(move || {
+                    let _guard = scope.enter();
+                    let mut found = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cfg.iters {
+                            return found;
+                        }
+                        found.extend(run_case(i));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fuzz worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    found.sort_by_key(|f| f.0);
+    found
+}
+
 /// Runs a fuzzing campaign.
 pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
     let total_timer = Timer::start();
@@ -150,17 +210,13 @@ pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
         let fam_timer = Timer::start();
         col.enter(family.name());
         let mut fam_failures = 0u64;
-        for i in 0..cfg.iters {
-            let cs = case_seed(cfg.seed, i);
-            let mut rng = Rng::new(cs);
-            let instance = Instance::generate(family, &mut rng);
-            let findings = instance.run();
-            cases += 1;
-            if let Some(first) = findings.first() {
-                fam_failures += 1;
-                col.add("findings", findings.len() as u64);
-                failures.push(minimize_failure(family, cs, instance, first.code.clone()));
-            }
+        cases += cfg.iters;
+        // Minimization stays on this thread, in case-index order: failure
+        // reports are byte-identical for every `--jobs` value.
+        for (_, cs, instance, n_findings, code) in sweep_family(family, cfg, &scope) {
+            fam_failures += 1;
+            col.add("findings", n_findings);
+            failures.push(minimize_failure(family, cs, instance, code));
         }
         let secs = (fam_timer.elapsed_ms() / 1e3).max(1e-9);
         col.add("cases", cfg.iters);
@@ -244,6 +300,7 @@ mod tests {
             seed: 7,
             iters: 8,
             families: Family::ALL.to_vec(),
+            jobs: 1,
         };
         let a = run(&cfg);
         let b = run(&cfg);
@@ -255,6 +312,40 @@ mod tests {
         assert_eq!(a.report.children.len(), Family::ALL.len());
         for child in &a.report.children {
             assert_eq!(child.counters.get("cases"), Some(&8));
+        }
+    }
+
+    /// `--jobs` must be invisible in everything but wall time: identical
+    /// case set, failure list, and counter totals (campaign and
+    /// per-family) for any worker count.
+    #[test]
+    fn worker_counts_do_not_change_the_outcome() {
+        let mut cfg = FuzzConfig {
+            seed: 0xF00D,
+            iters: 12,
+            families: Family::ALL.to_vec(),
+            jobs: 1,
+        };
+        let serial = run(&cfg);
+        cfg.jobs = 4;
+        let parallel = run(&cfg);
+        assert_eq!(parallel.cases, serial.cases);
+        assert_eq!(
+            format!("{:?}", parallel.failures),
+            format!("{:?}", serial.failures),
+            "failure reports diverge across worker counts"
+        );
+        assert_eq!(
+            parallel.report.counters, serial.report.counters,
+            "campaign counter totals diverge across worker counts"
+        );
+        for (p, s) in parallel.report.children.iter().zip(&serial.report.children) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(
+                p.counters, s.counters,
+                "family {} counters diverge across worker counts",
+                p.name
+            );
         }
     }
 }

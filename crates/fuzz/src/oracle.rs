@@ -7,7 +7,10 @@
 //! of the same instance, RMS branch-and-bound against exhaustive search,
 //! intra-task branch-and-bound against subset enumeration, heuristics
 //! against the certified optimum, and the exact Pareto sweep against a
-//! brute-force subset front. Certificate violations keep their stable
+//! brute-force subset front. Every optimized solver fast path is also
+//! checked against its retained reference implementation (sparse EDF DP,
+//! bitset enumeration, incremental-bound B&B, memoized RMS search, sparse
+//! ILP search). Certificate violations keep their stable
 //! `rtise-check` codes; differential mismatches get `DIFF*` codes local
 //! to this crate.
 
@@ -40,6 +43,11 @@ pub const DIFF_SELECTION: &str = "DIFF004";
 pub const DIFF_PARETO: &str = "DIFF005";
 /// ILP solver outcome disagrees with exhaustive 0-1 search.
 pub const DIFF_ILP_EXHAUSTIVE: &str = "DIFF006";
+/// An optimized fast path disagrees with its retained reference
+/// implementation (sparse EDF DP vs dense grid, bitset enumeration vs
+/// generic growth, incremental-bound vs recomputed-bound B&B, memoized vs
+/// plain RMS search, sparse vs dense ILP search).
+pub const DIFF_FAST_PATH: &str = "DIFF007";
 /// A solver returned an error on an instance it must accept.
 pub const SOLVE_ERROR: &str = "SOLVE001";
 
@@ -564,7 +572,19 @@ pub fn edf_findings(specs: &[TaskSpec], budget: u64) -> Vec<Finding> {
         }
     }
 
-    // Differential 2: no heuristic may beat the certified optimum.
+    // Differential 2: the sparse reachable-area DP must reproduce the
+    // dense gcd-grid reference bit-identically, tie-breaks included
+    // (stats legitimately differ: the paths materialize different state).
+    let sparse = rtise_select::edf::select_edf_with_stats(specs, budget).map(|(s, _)| s);
+    let dense = rtise_select::edf::select_edf_dense_with_stats(specs, budget).map(|(s, _)| s);
+    if format!("{sparse:?}") != format!("{dense:?}") {
+        out.push(Finding::new(
+            DIFF_FAST_PATH,
+            format!("sparse EDF DP {sparse:?} but dense reference {dense:?}"),
+        ));
+    }
+
+    // Differential 3: no heuristic may beat the certified optimum.
     type HeuristicFn = fn(&[TaskSpec], u64) -> Assignment;
     let heuristic_fns: [(&str, HeuristicFn); 4] = [
         ("equal_area_split", heuristics::equal_area_split),
@@ -675,6 +695,16 @@ pub fn rms_findings(specs: &[TaskSpec], budget: u64) -> Vec<Finding> {
             }
         }
     }
+    // Memoized search vs the plain reference search: identical results
+    // *and* identical node/prune statistics (same search tree).
+    let memo = rtise_select::rms::select_rms_with_stats(specs, budget);
+    let reference = rtise_select::rms::select_rms_reference_with_stats(specs, budget);
+    if format!("{memo:?}") != format!("{reference:?}") {
+        out.push(Finding::new(
+            DIFF_FAST_PATH,
+            format!("memoized RMS B&B {memo:?} but reference search {reference:?}"),
+        ));
+    }
     out
 }
 
@@ -752,6 +782,16 @@ pub fn ilp_findings(model: &Model) -> Vec<Finding> {
             }
         }
         Err(e) => out.push(Finding::new(SOLVE_ERROR, format!("ILP solve failed: {e}"))),
+    }
+    // Sparse-column incremental search vs the dense reference search:
+    // identical outcome and statistics (same branch decisions and prunes).
+    let sparse = model.solve_with_stats();
+    let dense = model.solve_reference_with_stats();
+    if format!("{sparse:?}") != format!("{dense:?}") {
+        out.push(Finding::new(
+            DIFF_FAST_PATH,
+            format!("sparse ILP search {sparse:?} but dense reference {dense:?}"),
+        ));
     }
     out
 }
@@ -872,10 +912,39 @@ pub fn cand_findings(
             ),
         );
     }
+    // Enumeration fast path vs generic reference, per block: the ≤128-node
+    // bitset path must match results and stats bit-identically.
+    for block in &program.blocks {
+        let fast = rtise_ise::enumerate::enumerate_connected_with_stats(&block.dfg, opts.enumerate);
+        let slow = rtise_ise::enumerate::enumerate_connected_reference(&block.dfg, opts.enumerate);
+        if fast != slow {
+            out.push(Finding::new(
+                DIFF_FAST_PATH,
+                format!("bitset enumeration {fast:?} but generic reference {slow:?}"),
+            ));
+        }
+        let miso_fast = rtise_ise::maximal_miso(&block.dfg);
+        let miso_slow = rtise_ise::enumerate::maximal_miso_reference(&block.dfg);
+        if miso_fast != miso_slow {
+            out.push(Finding::new(
+                DIFF_FAST_PATH,
+                format!("bitset MISO {miso_fast:?} but generic reference {miso_slow:?}"),
+            ));
+        }
+    }
     let greedy = greedy_by_ratio(&cands, budget);
     push_diags(&mut out, cert::check_selection(&cands, &greedy, budget));
     let bnb = branch_and_bound(&cands, budget);
     push_diags(&mut out, cert::check_selection(&cands, &bnb, budget));
+    // Incremental prefix-sum bound vs the recomputed-bound reference: the
+    // search trees are proven identical, so the selections must be too.
+    let bnb_reference = rtise_ise::select::branch_and_bound_reference(&cands, budget);
+    if bnb != bnb_reference {
+        out.push(Finding::new(
+            DIFF_FAST_PATH,
+            format!("incremental-bound B&B {bnb:?} but reference {bnb_reference:?}"),
+        ));
+    }
     if greedy.total_gain > bnb.total_gain {
         out.push(Finding::new(
             DIFF_SELECTION,

@@ -251,13 +251,85 @@ impl Model {
         result.map(|s| (s, stats))
     }
 
+    /// Like [`Model::solve_with_stats`] but using the original dense
+    /// search that rescans every row at every node. Kept callable so
+    /// differential tests and benchmarks can compare the sparse-column
+    /// search against it; does not publish counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    #[doc(hidden)]
+    pub fn solve_reference_with_stats(&self) -> Result<(Solution, IlpStats), SolveError> {
+        let prep = self.prepare()?;
+        let mut search = SearchReference {
+            n: self.n,
+            m: prep.rhs.len(),
+            coeff: &prep.coeff,
+            min_rem: &prep.min_rem,
+            obj: &prep.obj_ordered,
+            obj_min_rem: &prep.obj_min_rem,
+            rhs: &prep.rhs,
+            lhs: vec![0; prep.rhs.len()],
+            assign: vec![false; self.n],
+            best: None,
+            stats: IlpStats::default(),
+            node_limit: self.node_limit,
+        };
+        search.dfs(0, 0)?;
+        let stats = search.stats;
+        self.extract(&prep, search.best, stats)
+            .map(|sol| (sol, stats))
+    }
+
     fn solve_inner(&self) -> (Result<Solution, SolveError>, IlpStats) {
+        let prep = match self.prepare() {
+            Ok(p) => p,
+            Err(e) => return (Err(e), IlpStats::default()),
+        };
+        let m = prep.rhs.len();
+        // Sparse columns: the rows each ordered variable actually touches.
+        // Branching and the violated-row count only walk these.
+        let mut cols: Vec<Vec<(usize, i64)>> = vec![Vec::new(); self.n];
+        for (ri, row) in prep.coeff.iter().enumerate() {
+            for (d, &c) in row.iter().enumerate() {
+                if c != 0 {
+                    cols[d].push((ri, c));
+                }
+            }
+        }
+        // Rows already unsatisfiable at the root.
+        let violated = (0..m)
+            .filter(|&ri| prep.min_rem[ri][0] > prep.rhs[ri])
+            .count();
+        let mut search = Search {
+            n: self.n,
+            cols: &cols,
+            min_rem: &prep.min_rem,
+            obj: &prep.obj_ordered,
+            obj_min_rem: &prep.obj_min_rem,
+            rhs: &prep.rhs,
+            lhs: vec![0; m],
+            violated,
+            assign: vec![false; self.n],
+            best: None,
+            stats: IlpStats::default(),
+            node_limit: self.node_limit,
+        };
+        if let Err(e) = search.dfs(0, 0) {
+            return (Err(e), search.stats);
+        }
+        let stats = search.stats;
+        (self.extract(&prep, search.best, stats), stats)
+    }
+
+    /// Normalizes the model (minimize, all rows `<=`), orders variables by
+    /// descending |objective|, and precomputes the per-depth suffix minima
+    /// both searches prune with.
+    fn prepare(&self) -> Result<Prepared, SolveError> {
         for (v, _) in self.rows.iter().flat_map(|r| r.terms.iter()) {
             if *v >= self.n {
-                return (
-                    Err(SolveError::VarOutOfRange { var: *v }),
-                    IlpStats::default(),
-                );
+                return Err(SolveError::VarOutOfRange { var: *v });
             }
         }
 
@@ -308,50 +380,160 @@ impl Model {
             obj_min_rem[d] = obj_min_rem[d + 1] + obj_ordered[d].min(0);
         }
         let rhs: Vec<i64> = le_rows.iter().map(|(_, r)| *r).collect();
+        Ok(Prepared {
+            order,
+            coeff,
+            min_rem,
+            obj_ordered,
+            obj_min_rem,
+            rhs,
+        })
+    }
 
-        let mut search = Search {
-            n: self.n,
-            m,
-            coeff: &coeff,
-            min_rem: &min_rem,
-            obj: &obj_ordered,
-            obj_min_rem: &obj_min_rem,
-            rhs: &rhs,
-            lhs: vec![0; m],
-            assign: vec![false; self.n],
-            best: None,
-            stats: IlpStats::default(),
-            node_limit: self.node_limit,
+    /// Maps an ordered incumbent back to original variable order and sense.
+    fn extract(
+        &self,
+        prep: &Prepared,
+        best: Option<(i64, Vec<bool>)>,
+        stats: IlpStats,
+    ) -> Result<Solution, SolveError> {
+        let Some((obj_val, ordered_assign)) = best else {
+            return Err(SolveError::Infeasible);
         };
-        if let Err(e) = search.dfs(0, 0) {
-            return (Err(e), search.stats);
-        }
-        let stats = search.stats;
-        let nodes = stats.nodes_explored;
-        let Some((obj_val, ordered_assign)) = search.best else {
-            return (Err(SolveError::Infeasible), stats);
-        };
-
         let mut values = vec![false; self.n];
-        for (d, &v) in order.iter().enumerate() {
+        for (d, &v) in prep.order.iter().enumerate() {
             values[v] = ordered_assign[d];
         }
         let objective = match self.sense {
             Sense::Minimize => obj_val,
             Sense::Maximize => -obj_val,
         };
-        (
-            Ok(Solution {
-                objective,
-                values,
-                nodes,
-            }),
-            stats,
-        )
+        Ok(Solution {
+            objective,
+            values,
+            nodes: stats.nodes_explored,
+        })
     }
 }
 
+/// Output of [`Model::prepare`]: the normalized, variable-ordered problem.
+struct Prepared {
+    order: Vec<usize>,
+    coeff: Vec<Vec<i64>>,
+    min_rem: Vec<Vec<i64>>,
+    obj_ordered: Vec<i64>,
+    obj_min_rem: Vec<i64>,
+    rhs: Vec<i64>,
+}
+
+/// The sparse-column search. A row's feasibility status
+/// (`lhs + min_rem[depth] > rhs`) can only change when the branching
+/// variable's column touches it — `lhs` moves with the chosen value and
+/// `min_rem[depth+1]` differs from `min_rem[depth]` only for nonzero
+/// coefficients — so `violated` is maintained incrementally over the
+/// column and the per-node feasibility check is O(1). Prune decisions,
+/// and therefore the search tree and stats, are identical to
+/// [`SearchReference`] (debug builds assert the count at every node).
 struct Search<'a> {
+    n: usize,
+    cols: &'a [Vec<(usize, i64)>],
+    min_rem: &'a [Vec<i64>],
+    obj: &'a [i64],
+    obj_min_rem: &'a [i64],
+    rhs: &'a [i64],
+    lhs: Vec<i64>,
+    violated: usize,
+    assign: Vec<bool>,
+    best: Option<(i64, Vec<bool>)>,
+    stats: IlpStats,
+    node_limit: u64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize, cur_obj: i64) -> Result<(), SolveError> {
+        self.stats.nodes_explored += 1;
+        if self.stats.nodes_explored > self.node_limit {
+            return Err(SolveError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        #[cfg(debug_assertions)]
+        {
+            let recount = (0..self.min_rem.len())
+                .filter(|&ri| self.lhs[ri] + self.min_rem[ri][depth] > self.rhs[ri])
+                .count();
+            debug_assert_eq!(
+                self.violated, recount,
+                "incremental violated-row count diverged at depth {depth}"
+            );
+        }
+        // Feasibility pruning.
+        if self.violated > 0 {
+            self.stats.pruned_infeasible += 1;
+            return Ok(());
+        }
+        // Objective bound.
+        if let Some((best, _)) = &self.best {
+            if cur_obj + self.obj_min_rem[depth] >= *best {
+                self.stats.pruned_bound += 1;
+                return Ok(());
+            }
+        }
+        if depth == self.n {
+            if self.best.as_ref().is_none_or(|(b, _)| cur_obj < *b) {
+                self.best = Some((cur_obj, self.assign.clone()));
+                self.stats.incumbent_updates += 1;
+            }
+            return Ok(());
+        }
+        // Branch on the objective-improving value first.
+        let branch_order: [bool; 2] = if self.obj[depth] < 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for val in branch_order {
+            self.assign[depth] = val;
+            self.cross(depth, val, true);
+            let next_obj = cur_obj + if val { self.obj[depth] } else { 0 };
+            self.dfs(depth + 1, next_obj)?;
+            self.cross(depth, val, false);
+        }
+        self.assign[depth] = false;
+        Ok(())
+    }
+
+    /// Moves the violated-row count (and, for `val = true`, `lhs`) across
+    /// the `depth → depth+1` boundary (`down`) or back (`!down`), touching
+    /// only the branching variable's column.
+    fn cross(&mut self, depth: usize, val: bool, down: bool) {
+        let (from, to) = if down {
+            (depth, depth + 1)
+        } else {
+            (depth + 1, depth)
+        };
+        for &(ri, c) in &self.cols[depth] {
+            let was = self.lhs[ri] + self.min_rem[ri][from] > self.rhs[ri];
+            if val {
+                if down {
+                    self.lhs[ri] += c;
+                } else {
+                    self.lhs[ri] -= c;
+                }
+            }
+            let now = self.lhs[ri] + self.min_rem[ri][to] > self.rhs[ri];
+            match (was, now) {
+                (false, true) => self.violated += 1,
+                (true, false) => self.violated -= 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The original dense search: rescans every row for feasibility and walks
+/// every row on each branch update.
+struct SearchReference<'a> {
     n: usize,
     m: usize,
     coeff: &'a [Vec<i64>],
@@ -366,7 +548,7 @@ struct Search<'a> {
     node_limit: u64,
 }
 
-impl Search<'_> {
+impl SearchReference<'_> {
     fn dfs(&mut self, depth: usize, cur_obj: i64) -> Result<(), SolveError> {
         self.stats.nodes_explored += 1;
         if self.stats.nodes_explored > self.node_limit {
@@ -628,6 +810,29 @@ mod tests {
                 Err(e) => assert_eq!(plain, Err(e), "case {case}"),
             }
         }
+    }
+
+    #[test]
+    fn sparse_search_matches_the_dense_reference_exactly() {
+        let mut rng = Rng::new(0x11f);
+        for case in 0..120 {
+            let m = random_model(&mut rng);
+            // Identical solutions AND identical node/prune counts: the
+            // incremental violated-row count must not change the tree.
+            assert_eq!(
+                m.solve_with_stats(),
+                m.solve_reference_with_stats(),
+                "case {case}"
+            );
+        }
+        // The node-limit abort fires at the same node too.
+        let mut m = Model::new(20);
+        let obj: Vec<i64> = (0..20).map(|i| -(i as i64)).collect();
+        m.set_objective(Sense::Minimize, &obj);
+        let terms: Vec<(usize, i64)> = (0..20).map(|i| (i, 1)).collect();
+        m.add_eq(&terms, 10);
+        m.set_node_limit(37);
+        assert_eq!(m.solve_with_stats(), m.solve_reference_with_stats());
     }
 
     #[test]

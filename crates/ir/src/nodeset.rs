@@ -152,6 +152,37 @@ impl NodeSet {
     pub fn first(&self) -> Option<NodeId> {
         self.iter().next()
     }
+
+    /// The raw bit words backing the set (bit `i % 64` of word `i / 64`
+    /// is node `i`). Lets word-level fast paths read a set without
+    /// per-node calls.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a set of the given capacity directly from bit words (the
+    /// layout [`words`](Self::words) exposes). Missing words are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is longer than the capacity needs or sets a bit
+    /// at or above `capacity`.
+    pub fn from_words(capacity: usize, words: &[u64]) -> Self {
+        let n_words = capacity.div_ceil(64);
+        assert!(words.len() <= n_words, "too many words for capacity");
+        let mut w = words.to_vec();
+        w.resize(n_words, 0);
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = w.last() {
+                assert_eq!(
+                    last & !((1u64 << (capacity % 64)) - 1),
+                    0,
+                    "bit set at or above capacity"
+                );
+            }
+        }
+        NodeSet { words: w, capacity }
+    }
 }
 
 impl FromIterator<NodeId> for NodeSet {
@@ -281,5 +312,22 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn insert_out_of_capacity_panics() {
         NodeSet::with_capacity(4).insert(NodeId(4));
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut s = NodeSet::with_capacity(130);
+        s.extend(ids(&[0, 63, 64, 129]));
+        let rebuilt = NodeSet::from_words(130, s.words());
+        assert_eq!(rebuilt, s);
+        // Short word slices are zero-extended.
+        let small = NodeSet::from_words(130, &[0b1001]);
+        assert_eq!(small.iter().collect::<Vec<_>>(), ids(&[0, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at or above capacity")]
+    fn from_words_rejects_out_of_capacity_bits() {
+        NodeSet::from_words(4, &[1 << 4]);
     }
 }

@@ -12,6 +12,7 @@
 use rtise_ir::dfg::Dfg;
 use rtise_ir::nodeset::NodeSet;
 use std::collections::HashSet;
+use std::hash::Hasher;
 
 /// Options for [`enumerate_connected`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,28 @@ impl Default for EnumerateOptions {
 /// trivial node are dropped. Input counts are *not* constrained here — the
 /// caller filters with [`Dfg::io_counts`] if needed, mirroring MaxMISO.
 pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
+    let out = if dfg.len() <= fast::MAX_FAST_NODES {
+        fast::maximal_miso_shapes(dfg)
+    } else {
+        maximal_miso_generic(dfg)
+    };
+    #[cfg(debug_assertions)]
+    for set in &out {
+        debug_assert!(dfg.is_convex(set));
+        debug_assert!(dfg.io_counts(set).outputs <= 1);
+    }
+    rtise_obs::record("ise.miso.patterns", out.len() as u64);
+    out
+}
+
+/// The generic (any-size) MISO growth loop, exposed for differential tests
+/// against the bitset fast path. Does not publish counters.
+#[doc(hidden)]
+pub fn maximal_miso_reference(dfg: &Dfg) -> Vec<NodeSet> {
+    maximal_miso_generic(dfg)
+}
+
+fn maximal_miso_generic(dfg: &Dfg) -> Vec<NodeSet> {
     let mut out: Vec<NodeSet> = Vec::new();
     let mut seen: HashSet<NodeSet> = HashSet::new();
     for root in dfg.ids() {
@@ -56,34 +79,29 @@ pub fn maximal_miso(dfg: &Dfg) -> Vec<NodeSet> {
         }
         let mut set = dfg.empty_set();
         set.insert(root);
-        // Grow upward to a fixpoint.
-        loop {
-            let mut grew = false;
-            let members: Vec<_> = set.iter().collect();
-            for m in members {
-                for &p in dfg.args(m) {
-                    if set.contains(p) || !dfg.kind(p).is_ci_valid() || dfg.kind(p).is_pseudo() {
-                        continue;
-                    }
-                    // p may join only if every consumer of p is inside,
-                    // keeping the pattern single-output.
-                    if dfg.consumers(p).iter().all(|c| set.contains(*c)) {
-                        set.insert(p);
-                        grew = true;
-                    }
+        // Grow upward to the (unique, monotone) fixpoint. A predecessor
+        // becomes absorbable exactly when its last outside consumer joins
+        // the pattern, and it is an argument of that consumer — so
+        // re-examining only the arguments of newly added nodes visits
+        // every absorption opportunity without rescanning the whole set.
+        let mut worklist = vec![root];
+        while let Some(m) = worklist.pop() {
+            for &p in dfg.args(m) {
+                if set.contains(p) || !dfg.kind(p).is_ci_valid() || dfg.kind(p).is_pseudo() {
+                    continue;
                 }
-            }
-            if !grew {
-                break;
+                // p may join only if every consumer of p is inside,
+                // keeping the pattern single-output.
+                if dfg.consumers(p).iter().all(|c| set.contains(*c)) {
+                    set.insert(p);
+                    worklist.push(p);
+                }
             }
         }
         if set.len() >= 2 && seen.insert(set.clone()) {
-            debug_assert!(dfg.is_convex(&set));
-            debug_assert!(dfg.io_counts(&set).outputs <= 1);
             out.push(set);
         }
     }
-    rtise_obs::record("ise.miso.patterns", out.len() as u64);
     out
 }
 
@@ -131,10 +149,40 @@ pub fn enumerate_connected(dfg: &Dfg, opts: EnumerateOptions) -> Vec<NodeSet> {
 /// Like [`enumerate_connected`], additionally returning [`EnumerateStats`]
 /// and publishing `ise.enumerate.*` counters to the [`rtise_obs`]
 /// registry.
+///
+/// DFGs of at most 128 nodes (the common kernel size) take an inline
+/// bitset fast path: shapes live in two `u64` words, the visited set is
+/// FNV-keyed over the raw words, and convexity/port tests run on
+/// precomputed transitive masks. The fast path is differentially tested to
+/// produce bit-identical results and stats to the generic path.
 pub fn enumerate_connected_with_stats(
     dfg: &Dfg,
     opts: EnumerateOptions,
 ) -> (Vec<NodeSet>, EnumerateStats) {
+    let (results, stats) = if dfg.len() <= fast::MAX_FAST_NODES {
+        fast::enumerate(dfg, opts)
+    } else {
+        enumerate_generic(dfg, opts)
+    };
+    rtise_obs::record("ise.enumerate.calls", 1);
+    rtise_obs::record("ise.enumerate.generated", stats.generated);
+    rtise_obs::record("ise.enumerate.accepted", stats.accepted);
+    rtise_obs::record("ise.enumerate.rejected", stats.rejected_infeasible);
+    rtise_obs::record("ise.enumerate.convexity_repairs", stats.convexity_repairs);
+    (results, stats)
+}
+
+/// The generic (any-size) enumeration path, exposed for differential tests
+/// and benchmarks against the bitset fast path. Does not publish counters.
+#[doc(hidden)]
+pub fn enumerate_connected_reference(
+    dfg: &Dfg,
+    opts: EnumerateOptions,
+) -> (Vec<NodeSet>, EnumerateStats) {
+    enumerate_generic(dfg, opts)
+}
+
+fn enumerate_generic(dfg: &Dfg, opts: EnumerateOptions) -> (Vec<NodeSet>, EnumerateStats) {
     let mut stats = EnumerateStats::default();
     let mut results: Vec<NodeSet> = Vec::new();
     let mut visited: HashSet<NodeSet> = HashSet::new();
@@ -216,12 +264,349 @@ pub fn enumerate_connected_with_stats(
             }
         }
     }
-    rtise_obs::record("ise.enumerate.calls", 1);
-    rtise_obs::record("ise.enumerate.generated", stats.generated);
-    rtise_obs::record("ise.enumerate.accepted", stats.accepted);
-    rtise_obs::record("ise.enumerate.rejected", stats.rejected_infeasible);
-    rtise_obs::record("ise.enumerate.convexity_repairs", stats.convexity_repairs);
     (results, stats)
+}
+
+/// Two-word bitset fast path for DFGs of at most 128 nodes.
+///
+/// Mirrors [`enumerate_generic`] decision for decision: same seeds, same
+/// LIFO frontier, same ascending-id neighbour order, same accept/repair/
+/// drop logic — only the set representation changes, from heap-allocated
+/// [`NodeSet`]s cloned per growth step to inline `[u64; 2]` words with
+/// precomputed adjacency and transitive ancestor/descendant masks.
+mod fast {
+    use super::{EnumerateOptions, EnumerateStats, FnvWords};
+    use rtise_ir::dfg::{Dfg, NodeId};
+    use rtise_ir::nodeset::NodeSet;
+    use rtise_ir::op::OpKind;
+    use std::collections::HashSet;
+    use std::hash::BuildHasherDefault;
+
+    /// Words per shape; DFGs above `MAX_FAST_NODES` use the generic path.
+    const WORDS: usize = 2;
+    /// Largest DFG the fast path handles.
+    pub(super) const MAX_FAST_NODES: usize = WORDS * 64;
+
+    /// An inline node subset of a ≤128-node DFG.
+    type Shape = [u64; WORDS];
+
+    const EMPTY: Shape = [0; WORDS];
+
+    fn bit(id: usize) -> (usize, u64) {
+        (id / 64, 1u64 << (id % 64))
+    }
+
+    fn contains(s: &Shape, id: usize) -> bool {
+        let (w, m) = bit(id);
+        s[w] & m != 0
+    }
+
+    fn insert(s: &mut Shape, id: usize) {
+        let (w, m) = bit(id);
+        s[w] |= m;
+    }
+
+    fn len(s: &Shape) -> usize {
+        s.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn is_empty(s: &Shape) -> bool {
+        s.iter().all(|&w| w == 0)
+    }
+
+    fn union(a: &Shape, b: &Shape) -> Shape {
+        std::array::from_fn(|i| a[i] | b[i])
+    }
+
+    fn minus(a: &Shape, b: &Shape) -> Shape {
+        std::array::from_fn(|i| a[i] & !b[i])
+    }
+
+    fn is_subset(a: &Shape, b: &Shape) -> bool {
+        a.iter().zip(b).all(|(x, y)| x & !y == 0)
+    }
+
+    /// Iterates member ids in ascending order.
+    fn iter_bits(s: Shape) -> impl Iterator<Item = usize> {
+        (0..WORDS).flat_map(move |w| {
+            let mut bits = s[w];
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+
+    /// Per-node masks precomputed once per enumeration call.
+    struct Masks {
+        n: usize,
+        /// `is_ci_valid` nodes (hull members may be constants).
+        valid: Shape,
+        /// Growable nodes: CI-valid and not pseudo.
+        grow: Shape,
+        /// Adjacent growable nodes (args ∪ consumers, filtered by `grow`).
+        adj: Vec<Shape>,
+        /// Non-constant direct arguments (for the input-port count).
+        in_nc: Vec<Shape>,
+        /// All direct consumers (for the output-port count).
+        out_any: Vec<Shape>,
+        /// Transitive ancestors, excluding the node itself.
+        anc: Vec<Shape>,
+        /// Transitive descendants, excluding the node itself.
+        desc: Vec<Shape>,
+    }
+
+    impl Masks {
+        fn build(dfg: &Dfg) -> Masks {
+            let n = dfg.len();
+            debug_assert!(n <= MAX_FAST_NODES);
+            let mut m = Masks {
+                n,
+                valid: EMPTY,
+                grow: EMPTY,
+                adj: vec![EMPTY; n],
+                in_nc: vec![EMPTY; n],
+                out_any: vec![EMPTY; n],
+                anc: vec![EMPTY; n],
+                desc: vec![EMPTY; n],
+            };
+            for id in 0..n {
+                let k = dfg.kind(NodeId(id));
+                if k.is_ci_valid() {
+                    insert(&mut m.valid, id);
+                    if !k.is_pseudo() {
+                        insert(&mut m.grow, id);
+                    }
+                }
+            }
+            for id in 0..n {
+                // Ids are topological, so ancestor masks fold forward.
+                for &a in dfg.args(NodeId(id)) {
+                    m.anc[id] = union(&m.anc[id], &m.anc[a.0]);
+                    insert(&mut m.anc[id], a.0);
+                    if dfg.kind(a) != OpKind::Const {
+                        insert(&mut m.in_nc[id], a.0);
+                    }
+                    if contains(&m.grow, a.0) {
+                        insert(&mut m.adj[id], a.0);
+                    }
+                }
+                for &c in dfg.consumers(NodeId(id)) {
+                    insert(&mut m.out_any[id], c.0);
+                    if contains(&m.grow, c.0) {
+                        insert(&mut m.adj[id], c.0);
+                    }
+                }
+            }
+            for id in (0..n).rev() {
+                for &c in dfg.consumers(NodeId(id)) {
+                    m.desc[id] = union(&m.desc[id], &m.desc[c.0]);
+                    insert(&mut m.desc[id], c.0);
+                }
+            }
+            m
+        }
+
+        /// Union of a per-node mask over the members of `s`.
+        fn fold(&self, s: &Shape, table: &[Shape]) -> Shape {
+            let mut acc = EMPTY;
+            for id in iter_bits(*s) {
+                acc = union(&acc, &table[id]);
+            }
+            acc
+        }
+
+        /// Convexity via the mask identity: a set is non-convex exactly
+        /// when some node outside it is both reachable from a member and
+        /// an ancestor of a member (it then closes an escape path, which
+        /// is what [`Dfg::is_convex`]'s forward/backward sweep detects).
+        fn is_convex(&self, s: &Shape) -> bool {
+            let desc_u = self.fold(s, &self.desc);
+            let anc_u = self.fold(s, &self.anc);
+            let mut escape = desc_u;
+            for i in 0..WORDS {
+                escape[i] &= anc_u[i] & !s[i];
+            }
+            escape == EMPTY
+        }
+
+        fn io_fits(&self, s: &Shape, max_in: usize, max_out: usize) -> bool {
+            let inputs = minus(&self.fold(s, &self.in_nc), s);
+            if len(&inputs) > max_in {
+                return false;
+            }
+            let mut outputs = 0usize;
+            for id in iter_bits(*s) {
+                if minus(&self.out_any[id], s) != EMPTY {
+                    outputs += 1;
+                }
+            }
+            outputs <= max_out
+        }
+
+        fn is_feasible(&self, s: &Shape, max_in: usize, max_out: usize) -> bool {
+            !is_empty(s)
+                && is_subset(s, &self.valid)
+                && self.io_fits(s, max_in, max_out)
+                && self.is_convex(s)
+        }
+
+        /// Mask twin of [`super::convex_hull`]: iteratively absorbs every
+        /// outside node that is both a descendant and an ancestor of the
+        /// hull; `None` if the closure needs a CI-invalid node or grows
+        /// past `max_nodes`.
+        fn convex_hull(&self, s: &Shape, max_nodes: usize) -> Option<Shape> {
+            let mut hull = *s;
+            loop {
+                let desc_u = self.fold(&hull, &self.desc);
+                let anc_u = self.fold(&hull, &self.anc);
+                let mut need = desc_u;
+                for i in 0..WORDS {
+                    need[i] &= anc_u[i] & !hull[i];
+                }
+                if need == EMPTY {
+                    return Some(hull);
+                }
+                if !is_subset(&need, &self.valid) {
+                    return None;
+                }
+                hull = union(&hull, &need);
+                if len(&hull) > max_nodes {
+                    return None;
+                }
+            }
+        }
+
+        fn to_node_set(&self, s: &Shape) -> NodeSet {
+            NodeSet::from_words(self.n, &s[..self.n.div_ceil(64)])
+        }
+    }
+
+    pub(super) fn enumerate(dfg: &Dfg, opts: EnumerateOptions) -> (Vec<NodeSet>, EnumerateStats) {
+        let masks = Masks::build(dfg);
+        let mut stats = EnumerateStats::default();
+        let mut results: Vec<NodeSet> = Vec::new();
+        let mut visited: HashSet<Shape, BuildHasherDefault<FnvWords>> = HashSet::default();
+        let mut frontier: Vec<Shape> = Vec::new();
+        let max_visited = opts.max_candidates.saturating_mul(24).max(4_096);
+
+        for seed in 0..masks.n {
+            if !contains(&masks.grow, seed) || dfg.kind(NodeId(seed)) == OpKind::Const {
+                continue;
+            }
+            let mut s = EMPTY;
+            insert(&mut s, seed);
+            if visited.insert(s) {
+                frontier.push(s);
+            }
+        }
+
+        while let Some(set) = frontier.pop() {
+            stats.generated += 1;
+            if masks.is_feasible(&set, opts.max_in, opts.max_out) {
+                stats.accepted += 1;
+                results.push(masks.to_node_set(&set));
+                if results.len() >= opts.max_candidates {
+                    stats.hit_candidate_cap = true;
+                    break;
+                }
+            } else {
+                stats.rejected_infeasible += 1;
+            }
+            if len(&set) >= opts.max_nodes || visited.len() >= max_visited {
+                if visited.len() >= max_visited {
+                    stats.hit_visited_cap = true;
+                }
+                continue;
+            }
+            let neighbours = minus(&masks.fold(&set, &masks.adj), &set);
+            for nb in iter_bits(neighbours) {
+                let mut grown = set;
+                insert(&mut grown, nb);
+                if !masks.is_convex(&grown) {
+                    if let Some(repaired) = masks.convex_hull(&grown, opts.max_nodes) {
+                        stats.convexity_repairs += 1;
+                        if visited.insert(repaired) {
+                            frontier.push(repaired);
+                        }
+                    } else {
+                        stats.dropped_nonconvex += 1;
+                    }
+                    continue;
+                }
+                if visited.insert(grown) {
+                    frontier.push(grown);
+                }
+            }
+        }
+        (results, stats)
+    }
+
+    /// The maximal-MISO growth loop over masks: same worklist closure as
+    /// the generic version, with the all-consumers-inside test reduced to
+    /// one word-level subset check.
+    pub(super) fn maximal_miso_shapes(dfg: &Dfg) -> Vec<NodeSet> {
+        let masks = Masks::build(dfg);
+        let mut out = Vec::new();
+        let mut seen: HashSet<Shape, BuildHasherDefault<FnvWords>> = HashSet::default();
+        for root in 0..masks.n {
+            if !contains(&masks.grow, root) {
+                continue;
+            }
+            let mut set = EMPTY;
+            insert(&mut set, root);
+            let mut worklist = vec![root];
+            while let Some(m) = worklist.pop() {
+                for &p in dfg.args(NodeId(m)) {
+                    if contains(&set, p.0) || !contains(&masks.grow, p.0) {
+                        continue;
+                    }
+                    if is_subset(&masks.out_any[p.0], &set) {
+                        insert(&mut set, p.0);
+                        worklist.push(p.0);
+                    }
+                }
+            }
+            if len(&set) >= 2 && seen.insert(set) {
+                out.push(masks.to_node_set(&set));
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a hasher specialized for hashing raw shape words: small state, no
+/// allocation, and good dispersion over sparse bitsets — the visited set
+/// is the hottest map in enumeration.
+#[derive(Clone)]
+struct FnvWords(u64);
+
+impl Default for FnvWords {
+    fn default() -> Self {
+        FnvWords(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvWords {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, w: u64) {
+        self.0 ^= w;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
 }
 
 /// Pairs up disjoint feasible candidates into *disconnected* candidates
@@ -521,6 +906,66 @@ mod tests {
         let plain = enumerate_connected(&g, EnumerateOptions::default());
         let (with_stats, _) = enumerate_connected_with_stats(&g, EnumerateOptions::default());
         assert_eq!(plain, with_stats);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_unit_graphs() {
+        let mut graphs = vec![diamond()];
+        // The 6-input tree and the wide 20-op block from the other tests.
+        let mut g = Dfg::new();
+        let ins: Vec<_> = (0..6).map(|i| g.input(i)).collect();
+        let s0 = g.bin(OpKind::Add, ins[0], ins[1]);
+        let s1 = g.bin(OpKind::Add, ins[2], ins[3]);
+        let s2 = g.bin(OpKind::Add, ins[4], ins[5]);
+        let t0 = g.bin(OpKind::Add, s0, s1);
+        let t1 = g.bin(OpKind::Add, t0, s2);
+        g.output(0, t1);
+        graphs.push(g);
+        let mut g = Dfg::new();
+        let mut prev = g.input(0);
+        let other = g.input(1);
+        for i in 0..20 {
+            let k = if i % 2 == 0 { OpKind::Add } else { OpKind::Xor };
+            prev = g.bin(k, prev, other);
+        }
+        g.output(0, prev);
+        graphs.push(g);
+        for g in &graphs {
+            for opts in [
+                EnumerateOptions::default(),
+                EnumerateOptions {
+                    max_in: 2,
+                    max_candidates: 10,
+                    ..EnumerateOptions::default()
+                },
+            ] {
+                let (fast, fast_stats) = enumerate_connected_with_stats(g, opts);
+                let (slow, slow_stats) = enumerate_connected_reference(g, opts);
+                assert_eq!(fast, slow);
+                assert_eq!(fast_stats, slow_stats);
+            }
+            assert_eq!(maximal_miso(g), maximal_miso_reference(g));
+        }
+    }
+
+    #[test]
+    fn oversize_graphs_use_the_generic_path() {
+        // 129+ nodes forces the generic path through the public API.
+        let mut g = Dfg::new();
+        let mut prev = g.input(0);
+        for _ in 0..140 {
+            prev = g.bin_imm(OpKind::Add, prev, 1);
+        }
+        g.output(0, prev);
+        assert!(g.len() > 128);
+        let opts = EnumerateOptions {
+            max_candidates: 64,
+            ..EnumerateOptions::default()
+        };
+        let (cands, stats) = enumerate_connected_with_stats(&g, opts);
+        assert!(!cands.is_empty());
+        assert_eq!(stats.generated, stats.accepted + stats.rejected_infeasible);
+        assert!(!maximal_miso(&g).is_empty());
     }
 
     #[test]

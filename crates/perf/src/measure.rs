@@ -1,0 +1,95 @@
+//! Timing core: warmup + fixed-iteration sampling over `std::time::Instant`
+//! with median extraction. No calibration phase — callers amortize clock
+//! overhead by timing a whole input batch per sample.
+
+use std::time::Instant;
+
+/// Sample counts for one benchmark run. Input sizes are *not* part of
+/// these options: smoke and full mode sweep identical sizes and differ
+/// only in how many samples they take.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Untimed batch executions before sampling (cache and branch-predictor
+    /// warmup).
+    pub warmup: u32,
+    /// Timed batch executions; the reported figure is their median.
+    pub iters: u32,
+}
+
+impl MeasureOptions {
+    /// Full-resolution run — the committed BENCH trajectory points.
+    pub fn full() -> Self {
+        MeasureOptions {
+            warmup: 2,
+            iters: 9,
+        }
+    }
+
+    /// CI smoke run: same input sizes, fewer samples.
+    pub fn smoke() -> Self {
+        MeasureOptions {
+            warmup: 1,
+            iters: 3,
+        }
+    }
+}
+
+/// Runs `f` untimed `warmup` times, then `iters` timed times, returning
+/// the per-execution nanosecond samples (at least one, even for
+/// `iters == 0`).
+pub fn sample_ns(f: &mut dyn FnMut(), opts: &MeasureOptions) -> Vec<u64> {
+    for _ in 0..opts.warmup {
+        f();
+    }
+    (0..opts.iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect()
+}
+
+/// Median of the samples; the mean of the two middle values for even
+/// counts. Panics on an empty slice ([`sample_ns`] never returns one).
+pub fn median_ns(samples: &[u64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid] as f64
+    } else {
+        (sorted[mid - 1] as f64 + sorted[mid] as f64) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_and_even_sample_counts() {
+        assert_eq!(median_ns(&[5]), 5.0);
+        assert_eq!(median_ns(&[3, 9, 1]), 3.0);
+        assert_eq!(median_ns(&[4, 2, 8, 6]), 5.0);
+    }
+
+    #[test]
+    fn sampling_runs_warmup_plus_iters_and_never_returns_empty() {
+        let mut calls = 0u32;
+        let opts = MeasureOptions {
+            warmup: 2,
+            iters: 3,
+        };
+        let samples = sample_ns(&mut || calls += 1, &opts);
+        assert_eq!(calls, 5);
+        assert_eq!(samples.len(), 3);
+
+        let zero = MeasureOptions {
+            warmup: 0,
+            iters: 0,
+        };
+        assert_eq!(sample_ns(&mut || {}, &zero).len(), 1);
+    }
+}

@@ -97,32 +97,39 @@ pub fn select_rms_with_stats(
     // Priority order: increasing period.
     let mut order: Vec<usize> = (0..specs.len()).collect();
     order.sort_by_key(|&i| specs[i].period);
+    let suffix_bound = suffix_bounds(specs, &order);
 
-    // Per-task lower bound on utilization (best configuration, area
-    // ignored) for the bounding function.
-    let best_u: Vec<f64> = specs
+    // Periods are fixed by the priority order — only the chosen cycles
+    // vary across the search — so the Theorem 1 scheduling-point sets
+    // `Sᵢ₋₁(Pᵢ)` and the tested task's own `⌈t/Pᵢ⌉` factors can be
+    // computed once per depth instead of once per schedulability test.
+    let periods: Vec<u64> = order.iter().map(|&i| specs[i].period).collect();
+    let points: Vec<Vec<u64>> = (0..order.len())
+        .map(|d| scheduling_points(&periods, d))
+        .collect();
+    let self_fac: Vec<Vec<u128>> = points
         .iter()
-        .map(|s| {
-            s.curve
-                .points()
-                .iter()
-                .map(|p| p.cycles as f64 / s.period as f64)
-                .fold(f64::INFINITY, f64::min)
+        .enumerate()
+        .map(|(d, pts)| {
+            pts.iter()
+                .map(|&t| (t as u128).div_ceil(periods[d] as u128))
+                .collect()
         })
         .collect();
-    let mut suffix_bound = vec![0.0; specs.len() + 1];
-    for d in (0..specs.len()).rev() {
-        suffix_bound[d] = suffix_bound[d + 1] + best_u[order[d]];
-    }
 
     struct Ctx<'a> {
         specs: &'a [TaskSpec],
         order: &'a [usize],
         suffix_bound: &'a [f64],
         budget: u64,
-        // Tasks chosen so far, in priority order, as periodic tasks for the
-        // incremental exact test.
-        partial: Vec<PeriodicTask>,
+        periods: &'a [u64],
+        points: &'a [Vec<u64>],
+        self_fac: &'a [Vec<u128>],
+        // Chosen cycles per depth (priority order) along the current path.
+        cycles: Vec<u64>,
+        // Per-depth scratch: higher-priority demand at each scheduling
+        // point, filled once per node and shared by all sibling configs.
+        prefix: Vec<Vec<u128>>,
         config: Vec<usize>,
         best: Option<(f64, Vec<usize>)>,
         stats: RmsBnbStats,
@@ -147,9 +154,146 @@ pub fn select_rms_with_stats(
         }
         let ti = ctx.order[depth];
         let spec = &ctx.specs[ti];
+        // Memoize the response-time sum of the already-fixed
+        // higher-priority tasks at every scheduling point: each sibling
+        // configuration below only adds its own `⌈t/Pᵢ⌉·C` term.
+        for k in 0..ctx.points[depth].len() {
+            let t = ctx.points[depth][k] as u128;
+            let mut s = 0u128;
+            for j in 0..depth {
+                s += t.div_ceil(ctx.periods[j] as u128) * ctx.cycles[j] as u128;
+            }
+            ctx.prefix[depth][k] = s;
+        }
         // Fastest (minimum cycles) configuration first: better incumbents
         // earlier (§3.1.4). Points are area-ascending = cycles-descending,
         // so iterate in reverse.
+        for j in (0..spec.curve.len()).rev() {
+            let p = &spec.curve.points()[j];
+            if area + p.area > ctx.budget {
+                ctx.stats.pruned_area += 1;
+                continue;
+            }
+            ctx.stats.sched_tests += 1;
+            let c = p.cycles as u128;
+            let ok = ctx.points[depth]
+                .iter()
+                .enumerate()
+                .any(|(k, &t)| ctx.prefix[depth][k] + ctx.self_fac[depth][k] * c <= t as u128);
+            #[cfg(debug_assertions)]
+            {
+                let tasks: Vec<PeriodicTask> = (0..=depth)
+                    .map(|d| {
+                        let s = &ctx.specs[ctx.order[d]];
+                        let wcet = if d == depth { p.cycles } else { ctx.cycles[d] };
+                        PeriodicTask::new(s.curve.name.clone(), wcet, s.period)
+                    })
+                    .collect();
+                let sorted: Vec<&PeriodicTask> = tasks.iter().collect();
+                debug_assert_eq!(
+                    ok,
+                    rms_task_schedulable(&sorted, depth),
+                    "memoized Theorem 1 test diverged at depth {depth}"
+                );
+            }
+            if ok {
+                ctx.config[ti] = j;
+                ctx.cycles[depth] = p.cycles;
+                search(
+                    ctx,
+                    depth + 1,
+                    area + p.area,
+                    util + p.cycles as f64 / spec.period as f64,
+                );
+            } else {
+                ctx.stats.pruned_unschedulable += 1;
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        specs,
+        order: &order,
+        suffix_bound: &suffix_bound,
+        budget: area_budget,
+        periods: &periods,
+        points: &points,
+        self_fac: &self_fac,
+        cycles: vec![0; specs.len()],
+        prefix: points.iter().map(|pts| vec![0; pts.len()]).collect(),
+        config: vec![0; specs.len()],
+        best: None,
+        stats: RmsBnbStats::default(),
+    };
+    search(&mut ctx, 0, 0, 0.0);
+    let stats = ctx.stats;
+    rtise_obs::record("select.rms.solves", 1);
+    rtise_obs::record("select.rms.nodes", stats.nodes);
+    rtise_obs::record("select.rms.pruned_bound", stats.pruned_bound);
+    rtise_obs::record("select.rms.pruned_area", stats.pruned_area);
+    rtise_obs::record(
+        "select.rms.pruned_unschedulable",
+        stats.pruned_unschedulable,
+    );
+    rtise_obs::record("select.rms.sched_tests", stats.sched_tests);
+    let (utilization, config) = ctx.best.ok_or(SelectRmsError::Unschedulable)?;
+    Ok((
+        RmsSelection {
+            assignment: Assignment { config },
+            utilization,
+        },
+        stats,
+    ))
+}
+
+/// The original branch-and-bound that re-runs the full Theorem 1 test
+/// (scheduling-point recursion included) for every candidate. Kept
+/// callable so differential tests and benchmarks can compare the memoized
+/// search against it; does not publish counters.
+///
+/// # Errors
+///
+/// Same as [`select_rms`].
+#[doc(hidden)]
+pub fn select_rms_reference_with_stats(
+    specs: &[TaskSpec],
+    area_budget: u64,
+) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
+    if specs.is_empty() {
+        return Err(SelectRmsError::NoTasks);
+    }
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].period);
+    let suffix_bound = suffix_bounds(specs, &order);
+
+    struct Ctx<'a> {
+        specs: &'a [TaskSpec],
+        order: &'a [usize],
+        suffix_bound: &'a [f64],
+        budget: u64,
+        partial: Vec<PeriodicTask>,
+        config: Vec<usize>,
+        best: Option<(f64, Vec<usize>)>,
+        stats: RmsBnbStats,
+    }
+
+    fn search(ctx: &mut Ctx<'_>, depth: usize, area: u64, util: f64) {
+        ctx.stats.nodes += 1;
+        if depth == ctx.order.len() {
+            if ctx.best.as_ref().is_none_or(|(b, _)| util < *b) {
+                ctx.best = Some((util, ctx.config.clone()));
+                ctx.stats.incumbent_updates += 1;
+            }
+            return;
+        }
+        if let Some((b, _)) = &ctx.best {
+            if util + ctx.suffix_bound[depth] >= *b - 1e-15 {
+                ctx.stats.pruned_bound += 1;
+                return;
+            }
+        }
+        let ti = ctx.order[depth];
+        let spec = &ctx.specs[ti];
         for j in (0..spec.curve.len()).rev() {
             let p = &spec.curve.points()[j];
             if area + p.area > ctx.budget {
@@ -191,15 +335,6 @@ pub fn select_rms_with_stats(
     };
     search(&mut ctx, 0, 0, 0.0);
     let stats = ctx.stats;
-    rtise_obs::record("select.rms.solves", 1);
-    rtise_obs::record("select.rms.nodes", stats.nodes);
-    rtise_obs::record("select.rms.pruned_bound", stats.pruned_bound);
-    rtise_obs::record("select.rms.pruned_area", stats.pruned_area);
-    rtise_obs::record(
-        "select.rms.pruned_unschedulable",
-        stats.pruned_unschedulable,
-    );
-    rtise_obs::record("select.rms.sched_tests", stats.sched_tests);
     let (utilization, config) = ctx.best.ok_or(SelectRmsError::Unschedulable)?;
     Ok((
         RmsSelection {
@@ -208,6 +343,46 @@ pub fn select_rms_with_stats(
         },
         stats,
     ))
+}
+
+/// Per-depth lower bound on the utilization still to come: the sum over
+/// remaining tasks of their best configuration, area ignored.
+fn suffix_bounds(specs: &[TaskSpec], order: &[usize]) -> Vec<f64> {
+    let best_u: Vec<f64> = specs
+        .iter()
+        .map(|s| {
+            s.curve
+                .points()
+                .iter()
+                .map(|p| p.cycles as f64 / s.period as f64)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mut suffix_bound = vec![0.0; specs.len() + 1];
+    for d in (0..specs.len()).rev() {
+        suffix_bound[d] = suffix_bound[d + 1] + best_u[order[d]];
+    }
+    suffix_bound
+}
+
+/// The `Sᵢ₋₁(Pᵢ)` scheduling points of Theorem 1 for depth `i` of the
+/// priority order, ascending, zero removed — exactly the points
+/// `rtise_rt::rms_task_schedulable` evaluates. Depends only on periods,
+/// never on the chosen configurations.
+fn scheduling_points(periods: &[u64], i: usize) -> Vec<u64> {
+    use std::collections::BTreeSet;
+    fn rec(periods: &[u64], level: usize, t: u64, out: &mut BTreeSet<u64>) {
+        if level == 0 {
+            out.insert(t);
+            return;
+        }
+        let p = periods[level - 1];
+        rec(periods, level - 1, t / p * p, out);
+        rec(periods, level - 1, t, out);
+    }
+    let mut out = BTreeSet::new();
+    rec(periods, i, periods[i], &mut out);
+    out.into_iter().filter(|&t| t > 0).collect()
 }
 
 #[cfg(test)]
@@ -344,6 +519,37 @@ mod tests {
                 (Err(SelectRmsError::Unschedulable), None) => {}
                 (got, want) => panic!("case {case}: got {got:?}, brute {want:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn memoized_search_matches_the_reference_search_exactly() {
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(0x2A5);
+        for case in 0..100 {
+            let n = rng.gen_range(1..=5usize);
+            let specs: Vec<TaskSpec> = (0..n)
+                .map(|i| {
+                    let base = rng.gen_range(2..25u64);
+                    let pts: Vec<(u64, u64)> = (0..rng.gen_range(0..4usize))
+                        .map(|k| {
+                            (
+                                rng.gen_range(1..12u64) * (k as u64 + 1),
+                                rng.gen_range(1..=base),
+                            )
+                        })
+                        .collect();
+                    spec(&format!("t{i}"), base, rng.gen_range(5..30u64), &pts)
+                })
+                .collect();
+            let budget = rng.gen_range(0..25u64);
+            // Same incumbents, same prune decisions: stats must be equal
+            // too, not just the optimum.
+            assert_eq!(
+                select_rms_with_stats(&specs, budget),
+                select_rms_reference_with_stats(&specs, budget),
+                "case {case}"
+            );
         }
     }
 
