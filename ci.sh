@@ -21,12 +21,31 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "==> certification smoke (reproduce --check, fast subset)"
 cargo run --offline --release -p rtise-bench --bin reproduce -- --check fig3_2 tab5_1 fig4_1
 
-echo "==> full reproduce --check on 4 workers (cold cache)"
+echo "==> full reproduce --check on 4 workers (cold cache, virtual-clock trace)"
 CACHE_DIR=target/ci-curve-cache
 rm -rf "$CACHE_DIR"
 mkdir -p target/artifacts
 cargo run --offline --release -p rtise-bench --bin reproduce -- \
-  --check --jobs 4 --cache-dir "$CACHE_DIR" --json target/artifacts/reproduce-cold.json
+  --check --jobs 4 --cache-dir "$CACHE_DIR" --json target/artifacts/reproduce-cold.json \
+  --trace-out target/artifacts/reproduce.trace.json --trace-clock virtual
+# reproduce schema-checks the trace before writing it; here we additionally
+# prove the artifact parses back, that every experiment got its own track
+# (a cold run adds curve/problem generation tracks on top of the 22), and
+# that every branch-and-bound solver left prune-reason events.
+cargo run --offline --release -p rtise-trace --bin trace -- \
+  summary target/artifacts/reproduce.trace.json > /dev/null
+TRACKS=$(grep -c 'thread_name' target/artifacts/reproduce.trace.json)
+if [ "$TRACKS" -lt 22 ]; then
+  echo "FAIL: trace has $TRACKS tracks, expected at least the 22 experiments"
+  exit 1
+fi
+for EV in ilp.prune ise.bnb.prune select.rms.prune; do
+  if ! grep -q "$EV" target/artifacts/reproduce.trace.json; then
+    echo "FAIL: no $EV events in the trace"
+    exit 1
+  fi
+done
+echo "    trace parses; $TRACKS tracks; all B&B solvers left prune events"
 
 echo "==> warm-cache second pass (must hit the curve cache)"
 cargo run --offline --release -p rtise-bench --bin reproduce -- \
@@ -43,9 +62,30 @@ echo "    warm pass served every curve from $CACHE_DIR"
 # target/artifacts/ is the CI artifact directory: both JSON reports are
 # uploaded by the pipeline for offline inspection.
 
+echo "==> --json determinism: tracing on vs off must not change the report"
+# The cold pass traced, the warm pass did not; canonicalization strips the
+# wall-clock and cache-traffic fields, so this cmp also covers cold vs warm
+# cache replay. The five running-time-table experiments print measured
+# milliseconds into their captured stdout — wall-clock data, stripped like
+# wall_ms; their counters/hists/ok fields stay in the comparison.
+TIMING_TABLES=tab4_2,fig5_4,fig5_5,tab6_1,tab7_2
+cargo run --offline --release -p rtise-trace --bin trace -- \
+  canon target/artifacts/reproduce-cold.json --drop-output "$TIMING_TABLES" \
+  > target/artifacts/canon-cold.json
+cargo run --offline --release -p rtise-trace --bin trace -- \
+  canon target/artifacts/reproduce-warm.json --drop-output "$TIMING_TABLES" \
+  > target/artifacts/canon-warm.json
+if ! cmp -s target/artifacts/canon-cold.json target/artifacts/canon-warm.json; then
+  echo "FAIL: canonical reports differ between traced and untraced runs"
+  diff target/artifacts/canon-cold.json target/artifacts/canon-warm.json | head -40
+  exit 1
+fi
+echo "    canonical reports are byte-identical"
+
 echo "==> fuzz smoke (fixed seed, all families, 4 workers; fails on any diagnostic)"
 cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
-  --seed 7 --iters 200 --family all --jobs 4 --json target/fuzz-smoke.json
+  --seed 7 --iters 200 --family all --jobs 4 --json target/fuzz-smoke.json \
+  --trace-out target/artifacts/fuzz-smoke.trace.json
 
 echo "==> bench smoke (same sweep as the committed baseline, fewer samples)"
 cargo run --offline --release -p rtise-perf --bin bench -- \

@@ -9,6 +9,8 @@
 //! reproduce --jobs 4                 # run experiments on 4 workers
 //! reproduce --json out.json fig3_2   # also write a machine-readable report
 //! reproduce --trace fig4_1           # print per-experiment span/counter trees
+//! reproduce --trace-out t.json       # export a chrome://tracing span trace
+//! reproduce --trace-clock virtual    # deterministic trace timestamps
 //! reproduce --check tab6_1           # also certify each experiment's artifacts
 //! reproduce --cache-dir .cache       # persist curves somewhere specific
 //! reproduce --no-cache               # disable the on-disk curve cache
@@ -33,7 +35,8 @@ use rtise_obs::Report;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-const USAGE: &str = "supported: --list, --jobs <n>, --json <path>, --trace, --check, \
+const USAGE: &str = "supported: --list, --jobs <n>, --json <path>, --trace, \
+                     --trace-out <path>, --trace-clock <real|virtual>, --check, \
                      --cache-dir <dir>, --no-cache";
 
 fn usage_error(msg: &str) -> ! {
@@ -44,6 +47,8 @@ fn usage_error(msg: &str) -> ! {
 fn main() {
     let mut json_path: Option<String> = None;
     let mut trace = false;
+    let mut trace_out: Option<String> = None;
+    let mut trace_clock = rtise_trace::Clock::Real;
     let mut check = false;
     let mut jobs: Option<usize> = None;
     let mut cache_dir: Option<PathBuf> = Some(PathBuf::from("target/curve-cache"));
@@ -71,6 +76,15 @@ fn main() {
             },
             "--no-cache" => cache_dir = None,
             "--trace" => trace = true,
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => usage_error("--trace-out requires a path argument"),
+            },
+            "--trace-clock" => match args.next().as_deref() {
+                Some("real") => trace_clock = rtise_trace::Clock::Real,
+                Some("virtual") => trace_clock = rtise_trace::Clock::Virtual,
+                _ => usage_error("--trace-clock requires `real` or `virtual`"),
+            },
             "--check" => check = true,
             other if other.starts_with('-') => {
                 usage_error(&format!("unknown flag {other:?}"));
@@ -147,9 +161,51 @@ fn main() {
         }
     };
 
-    let outcomes = run_pool(&ids, jobs, check, &on_ready);
+    let clock = trace_out.as_ref().map(|_| trace_clock);
+    rtise_bench::set_generation_trace_clock(clock);
+    let outcomes = run_pool(&ids, jobs, check, clock, &on_ready);
     let mut failed = failed.into_inner().expect("failure counter poisoned");
-    let reports: Vec<_> = outcomes.into_iter().map(|o| o.report).collect();
+    let mut scopes: Vec<(String, rtise_trace::TraceScope)> = Vec::new();
+    let mut reports = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        if let Some(scope) = outcome.trace {
+            scopes.push((outcome.report.id.clone(), scope));
+        }
+        reports.push(outcome.report);
+    }
+    // Memoized curve/problem generation traces into tracks of its own
+    // (`curve/<kernel>`, `problem/jpeg`), appended after the experiments
+    // in name order: which worker generated an artifact varies run to
+    // run, but the track identity and its content do not. Cache hits
+    // generate nothing, so a warm run simply has no generation tracks.
+    scopes.extend(rtise_bench::take_generation_traces());
+
+    if let Some(path) = trace_out {
+        // Merge per-experiment scopes in paper order — one track each, so
+        // the exported document is independent of the worker count.
+        let doc = rtise_trace::chrome::chrome_trace(&scopes);
+        let diags = rtise::check::trace::check_chrome_trace(&doc);
+        if !diags.is_clean() {
+            eprintln!("trace artifact failed the chrome-trace schema check:");
+            for line in diags.render().lines() {
+                eprintln!("    {line}");
+            }
+            failed += 1;
+        }
+        match std::fs::write(&path, doc.render_pretty()) {
+            Ok(()) => {
+                let events = doc
+                    .get("traceEvents")
+                    .and_then(rtise_obs::json::Value::as_arr)
+                    .map_or(0, <[rtise_obs::json::Value]>::len);
+                println!("wrote trace to {path} ({events} events)");
+            }
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                failed += 1;
+            }
+        }
+    }
 
     if let Some(path) = json_path {
         let doc = rtise_bench::report_json(&reports, total.elapsed_ms());

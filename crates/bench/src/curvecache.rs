@@ -5,10 +5,15 @@
 //! fully determined by the kernel name and the [`CurveOptions`]. Each
 //! cache entry is therefore keyed by kernel + a hash of the canonical
 //! option rendering, versioned with [`FORMAT_VERSION`], and stores the
-//! curve's points together with the solver counters its generation
-//! recorded — so a cache hit can *attribute* the identical work to its
-//! consumer and `reproduce --json` stays byte-deterministic across cold
-//! and warm runs.
+//! curve's points together with the solver counters *and histograms* its
+//! generation recorded — so a cache hit can *attribute* the identical
+//! work to its consumer and `reproduce --json` stays byte-deterministic
+//! across cold and warm runs.
+//!
+//! Cache traffic is itself telemetered: hits, misses, stores, and
+//! evictions (rejected entries are deleted) bump `cache.curve.*`
+//! counters, and the age of every entry touched on disk feeds the
+//! `cache.curve.entry_age_ms` histogram.
 //!
 //! Trust model: a cache entry is never taken at face value. [`load`]
 //! re-checks the key string (guards hash collisions and option drift), an
@@ -21,12 +26,14 @@
 use rtise::ise::configs::{ConfigCurve, ConfigPoint};
 use rtise::workbench::CurveOptions;
 use rtise_obs::json::{parse, Value};
+use rtise_obs::Hist;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the entry layout or the curve pipeline changes shape;
 /// part of the key hash, so stale-format entries simply miss.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the generation histograms.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a: tiny, dependency-free, and plenty for content
 /// addressing a handful of cache entries (shared with the problem cache).
@@ -75,9 +82,40 @@ fn points_json(points: &[ConfigPoint]) -> Value {
 }
 
 /// The checksum covers everything [`load`] reconstructs: base cycles, the
-/// point staircase (selections included), and the attribution counters.
-fn checksum(base_cycles: u64, points: &Value, counters: &Value) -> u64 {
-    fnv1a(format!("{base_cycles}|{}|{}", points.render(), counters.render()).as_bytes())
+/// point staircase (selections included), and the attribution counters
+/// and histograms.
+fn checksum(base_cycles: u64, points: &Value, counters: &Value, hists: &Value) -> u64 {
+    fnv1a(
+        format!(
+            "{base_cycles}|{}|{}|{}",
+            points.render(),
+            counters.render(),
+            hists.render()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Histograms as a JSON object of full bucket encodings
+/// ([`Hist::to_json`]) — replay must be exact, so summaries are not
+/// enough (shared with the problem cache).
+pub(crate) fn hists_json(hists: &BTreeMap<String, Hist>) -> Value {
+    Value::Obj(
+        hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect(),
+    )
+}
+
+/// Decodes a [`hists_json`] object; `None` on any malformed histogram.
+pub(crate) fn hists_from_json(v: &Value) -> Option<BTreeMap<String, Hist>> {
+    let Value::Obj(pairs) = v else { return None };
+    let mut hists = BTreeMap::new();
+    for (k, h) in pairs {
+        hists.insert(k.clone(), Hist::from_json(h)?);
+    }
+    Some(hists)
 }
 
 /// Writes the entry for `(kernel, opts)` under `dir`, creating the
@@ -95,11 +133,13 @@ pub fn store(
     opts: &CurveOptions,
     curve: &ConfigCurve,
     counters: &BTreeMap<String, u64>,
+    hists: &BTreeMap<String, Hist>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let points = points_json(curve.points());
     let counters_json = Value::from(counters);
-    let sum = checksum(curve.base_cycles, &points, &counters_json);
+    let hists_value = hists_json(hists);
+    let sum = checksum(curve.base_cycles, &points, &counters_json, &hists_value);
     let doc = Value::obj(vec![
         ("format", u64::from(FORMAT_VERSION).into()),
         ("key", options_key(kernel, opts).into()),
@@ -107,8 +147,10 @@ pub fn store(
         ("base_cycles", curve.base_cycles.into()),
         ("points", points),
         ("counters", counters_json),
+        ("hists", hists_value),
         ("checksum", format!("{sum:016x}").into()),
     ]);
+    rtise_obs::record("cache.curve.store", 1);
     let path = entry_path(dir, kernel, opts);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     std::fs::write(&tmp, doc.render_pretty())?;
@@ -162,12 +204,16 @@ fn decode(text: &str, kernel: &str, opts: &CurveOptions) -> Result<Entry, Reject
         .get("counters")
         .cloned()
         .ok_or(Reject::Malformed("counters"))?;
+    let hists_value = doc
+        .get("hists")
+        .cloned()
+        .ok_or(Reject::Malformed("hists"))?;
     let claimed = doc
         .get("checksum")
         .and_then(Value::as_str)
         .and_then(|s| u64::from_str_radix(s, 16).ok())
         .ok_or(Reject::Malformed("checksum"))?;
-    if claimed != checksum(base_cycles, &points_json, &counters_json) {
+    if claimed != checksum(base_cycles, &points_json, &counters_json, &hists_value) {
         return Err(Reject::ChecksumMismatch);
     }
 
@@ -218,41 +264,71 @@ fn decode(text: &str, kernel: &str, opts: &CurveOptions) -> Result<Entry, Reject
     } else {
         return Err(Reject::Malformed("counters"));
     }
-    Ok((curve, counters))
+    let hists = hists_from_json(&hists_value).ok_or(Reject::Malformed("hists"))?;
+    Ok((curve, counters, hists))
 }
 
-type Entry = (ConfigCurve, BTreeMap<String, u64>);
+type Entry = (ConfigCurve, BTreeMap<String, u64>, BTreeMap<String, Hist>);
+
+/// Age of the on-disk entry in milliseconds, when the filesystem can
+/// tell us (shared with the problem cache).
+pub(crate) fn entry_age_ms(path: &Path) -> Option<u64> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    let age = modified.elapsed().ok()?;
+    Some(u64::try_from(age.as_millis()).unwrap_or(u64::MAX))
+}
 
 /// Loads the entry for `(kernel, opts)` from `dir`. Returns `None` on a
 /// plain miss (no entry) and also on any rejected entry — truncated or
 /// bit-flipped files, key/version mismatches, and curves that fail
 /// independent re-certification all warn on stderr and fall back to
-/// recomputation instead of panicking.
+/// recomputation instead of panicking. Hits, misses, and evictions feed
+/// the global `cache.curve.*` telemetry.
 pub fn load(dir: &Path, kernel: &str, opts: &CurveOptions) -> Option<Entry> {
     let path = entry_path(dir, kernel, opts);
+    let age_ms = entry_age_ms(&path);
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            rtise_obs::record("cache.curve.miss", 1);
+            return None;
+        }
         Err(e) => {
             eprintln!(
                 "warning: curve cache entry {} is unreadable ({e}); recomputing",
                 path.display()
             );
-            let _ = std::fs::remove_file(&path);
+            evict(&path, "cache.curve", age_ms);
             return None;
         }
     };
     match decode(&text, kernel, opts) {
-        Ok(entry) => Some(entry),
+        Ok(entry) => {
+            rtise_obs::record("cache.curve.hit", 1);
+            if let Some(age) = age_ms {
+                rtise_obs::observe("cache.curve.entry_age_ms", age);
+            }
+            Some(entry)
+        }
         Err(reject) => {
             eprintln!(
                 "warning: discarding curve cache entry {} ({reject}); recomputing",
                 path.display()
             );
             // Remove the bad entry so the recomputed curve replaces it.
-            let _ = std::fs::remove_file(&path);
+            evict(&path, "cache.curve", age_ms);
             None
         }
+    }
+}
+
+/// Deletes a rejected entry and records it as an eviction, with the age
+/// of the evicted entry when known (shared with the problem cache).
+pub(crate) fn evict(path: &Path, prefix: &str, age_ms: Option<u64>) {
+    let _ = std::fs::remove_file(path);
+    rtise_obs::record(&format!("{prefix}.evict"), 1);
+    if let Some(age) = age_ms {
+        rtise_obs::observe(&format!("{prefix}.evict_age_ms"), age);
     }
 }
 
@@ -302,14 +378,23 @@ mod tests {
         ])
     }
 
+    fn hists() -> BTreeMap<String, Hist> {
+        let mut h = Hist::new();
+        for v in [0, 1, 2, 3, 700] {
+            h.observe(v);
+        }
+        BTreeMap::from([("ise.bnb.depth".to_string(), h)])
+    }
+
     #[test]
-    fn round_trips_curve_and_counters() {
+    fn round_trips_curve_counters_and_hists() {
         let dir = tmp_dir("roundtrip");
         let opts = CurveOptions::fast();
-        store(&dir, "toy", &opts, &curve(), &counters()).expect("store");
-        let (loaded, attrib) = load(&dir, "toy", &opts).expect("hit");
+        store(&dir, "toy", &opts, &curve(), &counters(), &hists()).expect("store");
+        let (loaded, attrib, attrib_hists) = load(&dir, "toy", &opts).expect("hit");
         assert_eq!(loaded, curve());
         assert_eq!(attrib, counters());
+        assert_eq!(attrib_hists, hists());
         // Different options miss (content-addressed key).
         assert!(load(&dir, "toy", &CurveOptions::thorough()).is_none());
         let _ = std::fs::remove_dir_all(&dir);
@@ -331,7 +416,7 @@ mod tests {
         let path = entry_path(&dir, "toy", &opts);
         let mut rng = Rng::new(0x5eed_cafe);
         for case in 0..64u32 {
-            store(&dir, "toy", &opts, &curve(), &counters()).expect("store");
+            store(&dir, "toy", &opts, &curve(), &counters(), &hists()).expect("store");
             let pristine = std::fs::read(&path).expect("read");
             let mut bytes = pristine.clone();
             if case % 2 == 0 {
@@ -364,7 +449,7 @@ mod tests {
         let dir = tmp_dir("doctored");
         let opts = CurveOptions::fast();
         let path = entry_path(&dir, "toy", &opts);
-        store(&dir, "toy", &opts, &curve(), &counters()).expect("store");
+        store(&dir, "toy", &opts, &curve(), &counters(), &hists()).expect("store");
         // A value edit that keeps the JSON valid still trips the checksum.
         let text = std::fs::read_to_string(&path).expect("read");
         std::fs::write(&path, text.replace("\"cycles\": 70", "\"cycles\": 69")).expect("write");

@@ -24,7 +24,7 @@ mod util;
 
 pub use util::{
     cache_stats, cached_curve, cached_jpeg_problem, clear_curve_memo, reset_cache_stats,
-    set_cache_dir, set_curve_options_override,
+    set_cache_dir, set_curve_options_override, set_generation_trace_clock, take_generation_traces,
 };
 
 /// All experiment ids in paper order.
@@ -78,28 +78,45 @@ pub struct RunReport {
     pub output: Vec<String>,
     /// Solver counters incremented during the run.
     pub counters: std::collections::BTreeMap<String, u64>,
+    /// Solver histograms observed during the run (search depths, DP
+    /// sizes). Deterministic: the search trees they describe are.
+    pub hists: std::collections::BTreeMap<String, rtise_obs::Hist>,
 }
 
 impl RunReport {
     /// The report as a JSON value (`id`, `ok`, `wall_ms`, `counters`,
-    /// `output`).
+    /// `hists` when any were observed, `output`). Histograms are
+    /// embedded as their percentile summaries
+    /// ([`rtise_obs::Hist::summary_json`]), not raw buckets.
     pub fn to_json(&self) -> rtise_obs::json::Value {
         use rtise_obs::json::Value;
-        Value::Obj(vec![
+        let mut fields = vec![
             ("id".into(), Value::from(self.id.as_str())),
             ("ok".into(), Value::Bool(self.ok)),
             ("wall_ms".into(), Value::Num(self.wall_ms)),
             ("counters".into(), Value::from(&self.counters)),
-            (
-                "output".into(),
-                Value::Arr(
-                    self.output
+        ];
+        if !self.hists.is_empty() {
+            fields.push((
+                "hists".into(),
+                Value::Obj(
+                    self.hists
                         .iter()
-                        .map(|l| Value::from(l.as_str()))
+                        .map(|(k, h)| (k.clone(), h.summary_json()))
                         .collect(),
                 ),
+            ));
+        }
+        fields.push((
+            "output".into(),
+            Value::Arr(
+                self.output
+                    .iter()
+                    .map(|l| Value::from(l.as_str()))
+                    .collect(),
             ),
-        ])
+        ));
+        Value::Obj(fields)
     }
 }
 
@@ -133,6 +150,23 @@ pub fn run_observed(id: &str) -> Result<RunReport, String> {
 ///
 /// Returns the unknown id back to the caller.
 pub fn run_observed_with(id: &str, quiet: bool) -> Result<RunReport, String> {
+    run_observed_traced(id, quiet, None).map(|(report, _)| report)
+}
+
+/// Like [`run_observed_with`], but optionally tracing: when `trace_clock`
+/// is `Some`, the experiment runs inside a fresh
+/// [`rtise_trace::TraceScope`] on that clock, wrapped in a root span named
+/// after the experiment, and the populated scope is returned alongside the
+/// report so the caller can merge scopes into a Chrome Trace document.
+///
+/// # Errors
+///
+/// Returns the unknown id back to the caller.
+pub fn run_observed_traced(
+    id: &str,
+    quiet: bool,
+    trace_clock: Option<rtise_trace::Clock>,
+) -> Result<(RunReport, Option<rtise_trace::TraceScope>), String> {
     let Some((_, f)) = ALL.iter().find(|(name, _)| *name == id) else {
         return Err(format!("unknown experiment {id:?}"));
     };
@@ -142,21 +176,31 @@ pub fn run_observed_with(id: &str, quiet: bool) -> Result<RunReport, String> {
         capture::begin();
     }
     let scope = rtise_obs::CounterScope::new();
+    let trace_scope = trace_clock.map(rtise_trace::TraceScope::new);
     let timer = rtise_obs::Timer::start();
     let ok = {
         let _guard = scope.enter();
+        let _trace_guard = trace_scope.as_ref().map(rtise_trace::TraceScope::enter);
+        let _span = trace_scope
+            .as_ref()
+            .map(|_| rtise_trace::span(id.to_string()));
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok()
     };
     let wall_ms = timer.elapsed_ms();
     let counters = scope.counters();
+    let hists = scope.hists();
     let output = capture::take();
-    Ok(RunReport {
-        id: id.into(),
-        ok,
-        wall_ms,
-        output,
-        counters,
-    })
+    Ok((
+        RunReport {
+            id: id.into(),
+            ok,
+            wall_ms,
+            output,
+            counters,
+            hists,
+        },
+        trace_scope,
+    ))
 }
 
 /// The closest known experiment id to `input` by edit distance — the

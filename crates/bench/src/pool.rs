@@ -12,7 +12,7 @@
 //! immediately after each one.
 
 use crate::certify;
-use crate::{run_observed_with, RunReport};
+use crate::{run_observed_traced, RunReport};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -39,6 +39,10 @@ pub struct ExperimentOutcome {
     pub report: RunReport,
     /// Certification verdict, when requested and the run succeeded.
     pub certification: Option<CertOutcome>,
+    /// The experiment's trace scope, when tracing was requested: a root
+    /// span named after the experiment wrapping every solver span and
+    /// search-tree event it recorded.
+    pub trace: Option<rtise_trace::TraceScope>,
 }
 
 impl ExperimentOutcome {
@@ -61,18 +65,23 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-fn run_one(id: &str, quiet: bool, check: bool) -> ExperimentOutcome {
-    let report = if quiet {
-        run_observed_with(id, true)
-    } else {
+fn run_one(
+    id: &str,
+    quiet: bool,
+    check: bool,
+    trace_clock: Option<rtise_trace::Clock>,
+) -> ExperimentOutcome {
+    if !quiet {
         // Historical serial behavior: `=== id ===` header, live echo.
-        crate::run_observed(id)
+        println!("\n=== {id} ===");
     }
-    .expect("ids validated by caller");
+    let (report, trace) =
+        run_observed_traced(id, quiet, trace_clock).expect("ids validated by caller");
     let certification = (check && report.ok).then(|| certify_outcome(id));
     ExperimentOutcome {
         report,
         certification,
+        trace,
     }
 }
 
@@ -94,10 +103,17 @@ fn certify_outcome(id: &str) -> CertOutcome {
 /// format and print. Every id must name a real experiment — the harness
 /// validates ids up front (unknown ids are a usage error with a
 /// suggestion, not a pool concern).
+///
+/// When `trace_clock` is `Some`, every experiment runs inside its own
+/// [`rtise_trace::TraceScope`] on that clock (surfaced as
+/// [`ExperimentOutcome::trace`]); per-experiment scopes keep concurrent
+/// workers' events apart, and the caller merges them in paper order so
+/// the exported document is independent of `jobs`.
 pub fn run_pool(
     ids: &[String],
     jobs: usize,
     check: bool,
+    trace_clock: Option<rtise_trace::Clock>,
     on_ready: &(dyn Fn(usize, &ExperimentOutcome) + Sync),
 ) -> Vec<ExperimentOutcome> {
     if jobs <= 1 || ids.len() <= 1 {
@@ -108,7 +124,7 @@ pub fn run_pool(
             .iter()
             .enumerate()
             .map(|(i, id)| {
-                let outcome = run_one(id, false, check);
+                let outcome = run_one(id, false, check, trace_clock);
                 on_ready(i, &outcome);
                 outcome
             })
@@ -130,7 +146,7 @@ pub fn run_pool(
             s.spawn(|| loop {
                 let i = next_claim.fetch_add(1, Ordering::Relaxed);
                 let Some(id) = ids.get(i) else { break };
-                let outcome = run_one(id, true, check);
+                let outcome = run_one(id, true, check, trace_clock);
                 let mut guard = emission.lock().expect("emission lock poisoned");
                 let em = &mut *guard;
                 em.slots[i] = Some(outcome);
@@ -171,7 +187,7 @@ mod tests {
             .map(ToString::to_string)
             .collect();
         let seen = AtomicUsize::new(0);
-        let outcomes = run_pool(&ids, 4, false, &|i, outcome| {
+        let outcomes = run_pool(&ids, 4, false, None, &|i, outcome| {
             assert_eq!(
                 i,
                 seen.fetch_add(1, Ordering::Relaxed),

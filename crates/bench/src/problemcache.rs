@@ -12,16 +12,18 @@
 //! degrades to a recompute with a warning on stderr — a corrupted cache
 //! can slow the harness down but can never feed it a malformed problem.
 
-use crate::curvecache::fnv1a;
+use crate::curvecache::{entry_age_ms, evict, fnv1a, hists_from_json, hists_json};
 use rtise::reconfig::{CisVersion, HotLoop, ReconfigProblem};
 use rtise::workbench::CurveOptions;
 use rtise_obs::json::{parse, Value};
+use rtise_obs::Hist;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the entry layout or the problem pipeline changes
 /// shape; part of the key, so stale-format entries simply miss.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the generation histograms.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Every input that determines a generated base problem (the
 /// `workbench::reconfig_problem` argument list).
@@ -87,20 +89,22 @@ fn trace_json(trace: &[usize]) -> Value {
 
 /// The checksum covers everything [`load`] reconstructs: the version
 /// tables, the trace, the scalar problem fields, and the attribution
-/// counters.
+/// counters and histograms.
 fn checksum(
     max_area: u64,
     reconfig_cost: u64,
     loops: &Value,
     trace: &Value,
     counters: &Value,
+    hists: &Value,
 ) -> u64 {
     fnv1a(
         format!(
-            "{max_area}|{reconfig_cost}|{}|{}|{}",
+            "{max_area}|{reconfig_cost}|{}|{}|{}|{}",
             loops.render(),
             trace.render(),
-            counters.render()
+            counters.render(),
+            hists.render()
         )
         .as_bytes(),
     )
@@ -119,17 +123,20 @@ pub fn store(
     key: &ProblemKey<'_>,
     problem: &ReconfigProblem,
     counters: &BTreeMap<String, u64>,
+    hists: &BTreeMap<String, Hist>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let loops = loops_json(&problem.loops);
     let trace = trace_json(&problem.trace);
     let counters_json = Value::from(counters);
+    let hists_value = hists_json(hists);
     let sum = checksum(
         problem.max_area,
         problem.reconfig_cost,
         &loops,
         &trace,
         &counters_json,
+        &hists_value,
     );
     let doc = Value::obj(vec![
         ("format", u64::from(FORMAT_VERSION).into()),
@@ -140,8 +147,10 @@ pub fn store(
         ("max_area", problem.max_area.into()),
         ("reconfig_cost", problem.reconfig_cost.into()),
         ("counters", counters_json),
+        ("hists", hists_value),
         ("checksum", format!("{sum:016x}").into()),
     ]);
+    rtise_obs::record("cache.problem.store", 1);
     let path = entry_path(dir, key);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     std::fs::write(&tmp, doc.render_pretty())?;
@@ -200,6 +209,10 @@ fn decode(text: &str, key: &ProblemKey<'_>) -> Result<Entry, Reject> {
         .get("counters")
         .cloned()
         .ok_or(Reject::Malformed("counters"))?;
+    let hists_value = doc
+        .get("hists")
+        .cloned()
+        .ok_or(Reject::Malformed("hists"))?;
     let claimed = doc
         .get("checksum")
         .and_then(Value::as_str)
@@ -212,6 +225,7 @@ fn decode(text: &str, key: &ProblemKey<'_>) -> Result<Entry, Reject> {
             &loops_json,
             &trace_json,
             &counters_json,
+            &hists_value,
         )
     {
         return Err(Reject::ChecksumMismatch);
@@ -277,39 +291,55 @@ fn decode(text: &str, key: &ProblemKey<'_>) -> Result<Entry, Reject> {
     } else {
         return Err(Reject::Malformed("counters"));
     }
-    Ok((problem, counters))
+    let hists = hists_from_json(&hists_value).ok_or(Reject::Malformed("hists"))?;
+    Ok((problem, counters, hists))
 }
 
-type Entry = (ReconfigProblem, BTreeMap<String, u64>);
+type Entry = (
+    ReconfigProblem,
+    BTreeMap<String, u64>,
+    BTreeMap<String, Hist>,
+);
 
 /// Loads the entry for `key` from `dir`. Returns `None` on a plain miss
 /// (no entry) and also on any rejected entry — truncated or bit-flipped
 /// files, key/version mismatches, and problems that fail re-validation
 /// all warn on stderr and fall back to recomputation instead of
-/// panicking.
+/// panicking. Hits, misses, and evictions feed the global
+/// `cache.problem.*` telemetry.
 pub fn load(dir: &Path, key: &ProblemKey<'_>) -> Option<Entry> {
     let path = entry_path(dir, key);
+    let age_ms = entry_age_ms(&path);
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            rtise_obs::record("cache.problem.miss", 1);
+            return None;
+        }
         Err(e) => {
             eprintln!(
                 "warning: problem cache entry {} is unreadable ({e}); recomputing",
                 path.display()
             );
-            let _ = std::fs::remove_file(&path);
+            evict(&path, "cache.problem", age_ms);
             return None;
         }
     };
     match decode(&text, key) {
-        Ok(entry) => Some(entry),
+        Ok(entry) => {
+            rtise_obs::record("cache.problem.hit", 1);
+            if let Some(age) = age_ms {
+                rtise_obs::observe("cache.problem.entry_age_ms", age);
+            }
+            Some(entry)
+        }
         Err(reject) => {
             eprintln!(
                 "warning: discarding problem cache entry {} ({reject}); recomputing",
                 path.display()
             );
             // Remove the bad entry so the recomputed problem replaces it.
-            let _ = std::fs::remove_file(&path);
+            evict(&path, "cache.problem", age_ms);
             None
         }
     }
@@ -355,6 +385,14 @@ mod tests {
         ])
     }
 
+    fn hists() -> BTreeMap<String, Hist> {
+        let mut h = Hist::new();
+        for v in [1, 2, 4, 8] {
+            h.observe(v);
+        }
+        BTreeMap::from([("ilp.depth".to_string(), h)])
+    }
+
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("rtise-problemcache-{tag}-{}", std::process::id()));
@@ -370,12 +408,13 @@ mod tests {
     }
 
     #[test]
-    fn round_trips_problem_and_counters() {
+    fn round_trips_problem_counters_and_hists() {
         let dir = tmp_dir("roundtrip");
-        store(&dir, &key("toy"), &problem(), &counters()).expect("store");
-        let (loaded, attrib) = load(&dir, &key("toy")).expect("hit");
+        store(&dir, &key("toy"), &problem(), &counters(), &hists()).expect("store");
+        let (loaded, attrib, attrib_hists) = load(&dir, &key("toy")).expect("hit");
         assert_problems_equal(&loaded, &problem());
         assert_eq!(attrib, counters());
+        assert_eq!(attrib_hists, hists());
         // Different generation inputs miss (the key covers them all).
         let mut thorough = key("toy");
         thorough.opts = CurveOptions::thorough();
@@ -402,7 +441,7 @@ mod tests {
         let path = entry_path(&dir, &key);
         let mut rng = Rng::new(0x9b1e_cafe);
         for case in 0..64u32 {
-            store(&dir, &key, &problem(), &counters()).expect("store");
+            store(&dir, &key, &problem(), &counters(), &hists()).expect("store");
             let pristine = std::fs::read(&path).expect("read");
             let mut bytes = pristine.clone();
             if case % 2 == 0 {
@@ -435,7 +474,7 @@ mod tests {
         let dir = tmp_dir("doctored");
         let key = key("toy");
         let path = entry_path(&dir, &key);
-        store(&dir, &key, &problem(), &counters()).expect("store");
+        store(&dir, &key, &problem(), &counters(), &hists()).expect("store");
         // A value edit that keeps the JSON valid still trips the checksum.
         let text = std::fs::read_to_string(&path).expect("read");
         std::fs::write(&path, text.replace("\"gain\": 120", "\"gain\": 121")).expect("write");
@@ -467,12 +506,14 @@ mod tests {
         doctored.trace = vec![0];
         let trace = trace_json(&doctored.trace);
         let counters_json = Value::from(&counters());
+        let hists_value = hists_json(&hists());
         let sum = checksum(
             doctored.max_area,
             doctored.reconfig_cost,
             &denormalized,
             &trace,
             &counters_json,
+            &hists_value,
         );
         let doc = Value::obj(vec![
             ("format", u64::from(FORMAT_VERSION).into()),
@@ -483,6 +524,7 @@ mod tests {
             ("max_area", doctored.max_area.into()),
             ("reconfig_cost", doctored.reconfig_cost.into()),
             ("counters", counters_json),
+            ("hists", hists_value),
             ("checksum", format!("{sum:016x}").into()),
         ]);
         std::fs::create_dir_all(&dir).expect("dir");
@@ -493,7 +535,7 @@ mod tests {
         // `ReconfigProblem::validate`.
         let mut bad_trace = problem();
         bad_trace.trace = vec![0, 7];
-        store(&dir, &key, &bad_trace, &counters()).expect("store");
+        store(&dir, &key, &bad_trace, &counters(), &hists()).expect("store");
         assert!(load(&dir, &key).is_none(), "bad trace index must miss");
 
         let _ = std::fs::remove_dir_all(&dir);

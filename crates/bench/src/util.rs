@@ -22,19 +22,26 @@ use rtise::ise::configs::ConfigCurve;
 use rtise::reconfig::ReconfigProblem;
 use rtise::select::task::{periods_for_utilization, TaskSpec};
 use rtise::workbench::{reconfig_problem, task_curve, CurveOptions};
-use rtise_obs::CounterScope;
+use rtise_obs::{CounterScope, Hist};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// A memoized artifact plus the counters its generation recorded.
-type Memo<T> = Arc<OnceLock<(T, BTreeMap<String, u64>)>>;
+/// A memoized artifact plus the counters and histograms its generation
+/// recorded.
+type Memo<T> = Arc<OnceLock<(T, BTreeMap<String, u64>, BTreeMap<String, Hist>)>>;
 
 static CURVES: OnceLock<Mutex<HashMap<String, Memo<ConfigCurve>>>> = OnceLock::new();
 /// The JPEG base-problem memo, keyed like [`CURVES`] so an options
 /// override never aliases with the default-options problem.
 static JPEG_PROBLEM: Mutex<Option<(String, Memo<ReconfigProblem>)>> = Mutex::new(None);
+
+/// When set, each fresh curve/problem generation records into its own
+/// [`rtise_trace::TraceScope`] with this clock, collected in
+/// [`GEN_TRACES`] keyed by artifact (`curve/<kernel>`, `problem/jpeg`).
+static GEN_TRACE_CLOCK: Mutex<Option<rtise_trace::Clock>> = Mutex::new(None);
+static GEN_TRACES: Mutex<Vec<(String, rtise_trace::TraceScope)>> = Mutex::new(Vec::new());
 
 static CACHE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
@@ -86,6 +93,34 @@ pub fn clear_curve_memo() {
     *JPEG_PROBLEM.lock().expect("jpeg memo poisoned") = None;
 }
 
+/// Arms (or, with `None`, disarms) tracing of memoized curve/problem
+/// generation. Generation always runs detached from the requesting
+/// experiment's trace scope (per-experiment
+/// traces must not depend on who wins the memo race); with a clock set
+/// here each fresh generation instead records into a scope of its own,
+/// retrievable via [`take_generation_traces`] as one extra track per
+/// artifact. Clears any previously collected scopes.
+pub fn set_generation_trace_clock(clock: Option<rtise_trace::Clock>) {
+    *GEN_TRACE_CLOCK.lock().expect("gen trace clock poisoned") = clock;
+    GEN_TRACES.lock().expect("gen traces poisoned").clear();
+}
+
+/// Drains the generation scopes collected since
+/// [`set_generation_trace_clock`], sorted by track name so the export
+/// order never depends on which worker happened to generate what.
+pub fn take_generation_traces() -> Vec<(String, rtise_trace::TraceScope)> {
+    let mut scopes = std::mem::take(&mut *GEN_TRACES.lock().expect("gen traces poisoned"));
+    scopes.sort_by(|a, b| a.0.cmp(&b.0));
+    scopes
+}
+
+fn generation_scope() -> Option<rtise_trace::TraceScope> {
+    GEN_TRACE_CLOCK
+        .lock()
+        .expect("gen trace clock poisoned")
+        .map(rtise_trace::TraceScope::new)
+}
+
 fn curve_options() -> CurveOptions {
     OPTS_OVERRIDE
         .lock()
@@ -113,15 +148,22 @@ pub fn cached_curve(name: &str) -> ConfigCurve {
         Arc::clone(map.entry(curvecache::options_key(name, &opts)).or_default())
     };
     // Compute outside the map lock: only requesters of *this* curve wait.
-    let (curve, counters) = slot.get_or_init(|| produce_curve(name, &opts));
+    let (curve, counters, hists) = slot.get_or_init(|| produce_curve(name, &opts));
     rtise_obs::registry::attribute(counters);
+    rtise_obs::registry::attribute_hists(hists);
     curve.clone()
 }
 
-fn produce_curve(name: &str, opts: &CurveOptions) -> (ConfigCurve, BTreeMap<String, u64>) {
+type Produced<T> = (T, BTreeMap<String, u64>, BTreeMap<String, Hist>);
+
+fn produce_curve(name: &str, opts: &CurveOptions) -> Produced<ConfigCurve> {
     // Detach from the requester's scopes: generation work is attributed
-    // uniformly to every consumer, not specially to whoever got here first.
+    // uniformly to every consumer, not specially to whoever got here
+    // first. The trace scopes detach too — generation spans would pin the
+    // work to the racing winner and make per-experiment traces depend on
+    // scheduling; attribution happens through counters and histograms.
     let _iso = rtise_obs::registry::isolate();
+    let _trace_iso = rtise_trace::isolate();
     if let Some(dir) = cache_dir() {
         if let Some(entry) = curvecache::load(&dir, name, opts) {
             CACHE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -130,20 +172,32 @@ fn produce_curve(name: &str, opts: &CurveOptions) -> (ConfigCurve, BTreeMap<Stri
         CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     }
     let scope = CounterScope::new();
+    let trace_scope = generation_scope();
     let curve = {
         let _guard = scope.enter();
+        let _trace_guard = trace_scope.as_ref().map(rtise_trace::TraceScope::enter);
+        let _span = trace_scope
+            .as_ref()
+            .map(|_| rtise_trace::span(format!("curve/{name}")));
         task_curve(name, *opts).unwrap_or_else(|e| panic!("curve for {name}: {e}"))
     };
+    if let Some(s) = trace_scope {
+        GEN_TRACES
+            .lock()
+            .expect("gen traces poisoned")
+            .push((format!("curve/{name}"), s));
+    }
     let counters = scope.counters();
+    let hists = scope.hists();
     if let Some(dir) = cache_dir() {
-        match curvecache::store(&dir, name, opts, &curve, &counters) {
+        match curvecache::store(&dir, name, opts, &curve, &counters, &hists) {
             Ok(()) => {
                 CACHE_STORES.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => eprintln!("warning: could not write curve cache entry for {name}: {e}"),
         }
     }
-    (curve, counters)
+    (curve, counters, hists)
 }
 
 fn jpeg_problem_key(opts: &CurveOptions) -> ProblemKey<'static> {
@@ -182,14 +236,16 @@ pub fn cached_jpeg_problem() -> ReconfigProblem {
         }
     };
     // Compute outside the memo lock, as for curves.
-    let (problem, counters) = slot.get_or_init(|| produce_jpeg_problem(&key));
+    let (problem, counters, hists) = slot.get_or_init(|| produce_jpeg_problem(&key));
     rtise_obs::registry::attribute(counters);
+    rtise_obs::registry::attribute_hists(hists);
     problem.clone()
 }
 
-fn produce_jpeg_problem(key: &ProblemKey<'_>) -> (ReconfigProblem, BTreeMap<String, u64>) {
+fn produce_jpeg_problem(key: &ProblemKey<'_>) -> Produced<ReconfigProblem> {
     // Detach from the requester's scopes, exactly as in `produce_curve`.
     let _iso = rtise_obs::registry::isolate();
+    let _trace_iso = rtise_trace::isolate();
     if let Some(dir) = cache_dir() {
         if let Some(entry) = problemcache::load(&dir, key) {
             CACHE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -198,8 +254,13 @@ fn produce_jpeg_problem(key: &ProblemKey<'_>) -> (ReconfigProblem, BTreeMap<Stri
         CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     }
     let scope = CounterScope::new();
+    let trace_scope = generation_scope();
     let problem = {
         let _guard = scope.enter();
+        let _trace_guard = trace_scope.as_ref().map(rtise_trace::TraceScope::enter);
+        let _span = trace_scope
+            .as_ref()
+            .map(|_| rtise_trace::span(format!("problem/{}", key.kernel)));
         reconfig_problem(
             key.kernel,
             key.n_versions,
@@ -209,9 +270,16 @@ fn produce_jpeg_problem(key: &ProblemKey<'_>) -> (ReconfigProblem, BTreeMap<Stri
         )
         .expect("jpeg problem")
     };
+    if let Some(s) = trace_scope {
+        GEN_TRACES
+            .lock()
+            .expect("gen traces poisoned")
+            .push((format!("problem/{}", key.kernel), s));
+    }
     let counters = scope.counters();
+    let hists = scope.hists();
     if let Some(dir) = cache_dir() {
-        match problemcache::store(&dir, key, &problem, &counters) {
+        match problemcache::store(&dir, key, &problem, &counters, &hists) {
             Ok(()) => {
                 CACHE_STORES.fetch_add(1, Ordering::Relaxed);
             }
@@ -221,7 +289,7 @@ fn produce_jpeg_problem(key: &ProblemKey<'_>) -> (ReconfigProblem, BTreeMap<Stri
             ),
         }
     }
-    (problem, counters)
+    (problem, counters, hists)
 }
 
 /// Task specs for a named set at initial utilization `u0`, using cached

@@ -41,7 +41,7 @@ fn concurrent_counter_deltas_match_serial() {
         .iter()
         .map(ToString::to_string)
         .collect();
-    let outcomes = run_pool(&ids, 4, false, &|_, _| {});
+    let outcomes = run_pool(&ids, 4, false, None, &|_, _| {});
     for (id, outcome) in ids.iter().zip(&outcomes) {
         let serial = if id == "fig3_2" {
             &serial_fig3_2
@@ -151,6 +151,7 @@ fn disk_cache_is_transparent_and_corruption_safe() {
     assert_eq!(rtise_bench::cache_stats(), (1, 1, 1), "warm: disk hit");
     assert_eq!(warm.output, cold.output, "warm output diverges");
     assert_eq!(warm.counters, cold.counters, "warm counters diverge");
+    assert_eq!(warm.hists, cold.hists, "warm histogram replay diverges");
 
     // Corrupt the entry on disk: the next cold read must warn, recompute,
     // and still produce the identical report.
@@ -192,6 +193,7 @@ fn jpeg_problem_disk_cache_is_transparent() {
         rtise_bench::cached_jpeg_problem()
     };
     let cold_counters = scope.counters();
+    let cold_hists = scope.hists();
     assert_eq!(rtise_bench::cache_stats(), (0, 1, 1), "cold: miss + store");
 
     rtise_bench::clear_curve_memo();
@@ -209,6 +211,11 @@ fn jpeg_problem_disk_cache_is_transparent() {
         scope.counters(),
         cold_counters,
         "warm counter attribution diverges"
+    );
+    assert_eq!(
+        scope.hists(),
+        cold_hists,
+        "warm histogram attribution diverges"
     );
 
     rtise_bench::set_curve_options_override(None);

@@ -12,9 +12,10 @@ use std::fmt;
 /// Stable diagnostic codes.
 ///
 /// Codes are grouped by layer: `IRxxx` for IR well-formedness, `CANDxxx`
-/// for custom-instruction candidate legality, and `CERTxxx` for solution
-/// certificates. Codes are append-only — a published code never changes
-/// meaning (tests and CI tooling match on them).
+/// for custom-instruction candidate legality, `CERTxxx` for solution
+/// certificates, and `TRACExxx` for trace-artifact conformance. Codes
+/// are append-only — a published code never changes meaning (tests and
+/// CI tooling match on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(clippy::upper_case_acronyms)]
 pub enum Code {
@@ -82,11 +83,24 @@ pub enum Code {
     /// A task assignment is inconsistent: configuration index out of range
     /// or a misreported utilization.
     CERT012,
+    /// A trace document has no `traceEvents` array.
+    TRACE001,
+    /// A trace event is not an object or lacks a required `name`/`ph`
+    /// field.
+    TRACE002,
+    /// A trace event carries an unknown `ph` phase.
+    TRACE003,
+    /// A trace event's `ts`, `pid`, or `tid` is missing, non-numeric, or
+    /// negative.
+    TRACE004,
+    /// Duration events are unbalanced: an `E` without a matching `B`, or
+    /// a `B` never closed, on some `(pid, tid)` track.
+    TRACE005,
 }
 
 impl Code {
     /// All codes, for documentation tables and exhaustiveness tests.
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 32] = [
         Code::IR001,
         Code::IR002,
         Code::IR003,
@@ -114,6 +128,11 @@ impl Code {
         Code::CERT010,
         Code::CERT011,
         Code::CERT012,
+        Code::TRACE001,
+        Code::TRACE002,
+        Code::TRACE003,
+        Code::TRACE004,
+        Code::TRACE005,
     ];
 
     /// The stable textual form, e.g. `"IR003"`.
@@ -146,6 +165,11 @@ impl Code {
             Code::CERT010 => "CERT010",
             Code::CERT011 => "CERT011",
             Code::CERT012 => "CERT012",
+            Code::TRACE001 => "TRACE001",
+            Code::TRACE002 => "TRACE002",
+            Code::TRACE003 => "TRACE003",
+            Code::TRACE004 => "TRACE004",
+            Code::TRACE005 => "TRACE005",
         }
     }
 
@@ -179,6 +203,11 @@ impl Code {
             Code::CERT010 => "per-configuration fabric area exceeded",
             Code::CERT011 => "reconfiguration gain/count/schedulability wrong",
             Code::CERT012 => "task assignment inconsistent",
+            Code::TRACE001 => "trace document lacks a traceEvents array",
+            Code::TRACE002 => "trace event malformed or missing name/ph",
+            Code::TRACE003 => "trace event phase unknown",
+            Code::TRACE004 => "trace event ts/pid/tid missing or invalid",
+            Code::TRACE005 => "trace begin/end events unbalanced",
         }
     }
 }
@@ -410,7 +439,7 @@ mod tests {
     fn codes_render_stably() {
         assert_eq!(Code::IR003.as_str(), "IR003");
         assert_eq!(Code::CAND003.to_string(), "CAND003");
-        assert_eq!(Code::ALL.len(), 27);
+        assert_eq!(Code::ALL.len(), 32);
         for c in Code::ALL {
             assert!(!c.summary().is_empty());
         }

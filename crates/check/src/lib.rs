@@ -14,8 +14,13 @@
 //!    reconfiguration schedules) *without reusing solver code*: every
 //!    quantity is recomputed from the problem data.
 //! 3. **Diagnostics** ([`diag`]) — stable machine-readable codes
-//!    (`IR001`…, `CAND001`…, `CERT001`…) with severities, locations, and
-//!    human plus `rtise-obs` JSON renderings.
+//!    (`IR001`…, `CAND001`…, `CERT001`…, `TRACE001`…) with severities,
+//!    locations, and human plus `rtise-obs` JSON renderings.
+//!
+//! A fourth, smaller layer ([`trace`]) validates exported Chrome Trace
+//! Event artifacts (`reproduce --trace-out` and friends) against the
+//! subset of the format `chrome://tracing` requires; CI runs it over
+//! every trace smoke artifact.
 //!
 //! The crate is wired into the Workbench pipeline as debug-build
 //! assertions and into `rtise-bench reproduce --check`, which certifies
@@ -24,5 +29,6 @@
 pub mod cert;
 pub mod diag;
 pub mod ir;
+pub mod trace;
 
 pub use diag::{Code, Diagnostic, Diagnostics, Location, Severity};

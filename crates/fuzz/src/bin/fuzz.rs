@@ -1,7 +1,8 @@
 //! Certificate-driven fuzzing campaign driver.
 //!
 //! ```text
-//! fuzz [--seed N] [--iters N] [--family NAME|all] [--jobs N] [--json PATH] [--list]
+//! fuzz [--seed N] [--iters N] [--family NAME|all] [--jobs N] [--json PATH]
+//!      [--trace-out PATH] [--list]
 //! ```
 //!
 //! Runs `--iters` seeded cases per family, solves each instance with the
@@ -15,7 +16,8 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--seed N] [--iters N] [--family NAME|all] [--jobs N] [--json PATH] [--list]\n\
+        "usage: fuzz [--seed N] [--iters N] [--family NAME|all] [--jobs N] [--json PATH] \
+         [--trace-out PATH] [--list]\n\
          families: {} (default: all)",
         Family::ALL
             .iter()
@@ -29,6 +31,7 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut cfg = FuzzConfig::default();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,6 +62,10 @@ fn main() -> ExitCode {
                 }
             }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => {
+                trace_path = Some(args.next().unwrap_or_else(|| usage()));
+                cfg.trace = Some(rtise_trace::Clock::Real);
+            }
             "--list" => {
                 for f in Family::ALL {
                     println!("{}", f.name());
@@ -113,6 +120,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("obs-JSON report written to {path}");
+    }
+
+    if let Some(path) = trace_path {
+        let doc = rtise_trace::chrome::chrome_trace(&outcome.trace);
+        let diags = rtise_check::trace::check_chrome_trace(&doc);
+        if !diags.is_clean() {
+            eprintln!("trace artifact failed the chrome-trace schema check:\n{diags}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("chrome trace written to {path}");
     }
 
     if outcome.is_clean() {

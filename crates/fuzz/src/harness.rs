@@ -26,6 +26,11 @@ pub struct FuzzConfig {
     /// case *index*, so any worker count runs the identical case set and
     /// reports failures in the identical (family, case-index) order.
     pub jobs: usize,
+    /// When `Some`, every sweep lane records solver spans and search-tree
+    /// events into its own [`rtise_trace::TraceScope`] on this clock,
+    /// surfaced as [`FuzzOutcome::trace`]. Tracing never feeds the
+    /// deterministic obs report — `--json` is identical with it on or off.
+    pub trace: Option<rtise_trace::Clock>,
 }
 
 impl Default for FuzzConfig {
@@ -35,6 +40,7 @@ impl Default for FuzzConfig {
             iters: 100,
             families: Family::ALL.to_vec(),
             jobs: 1,
+            trace: None,
         }
     }
 }
@@ -86,6 +92,10 @@ pub struct FuzzOutcome {
     pub report: Report,
     /// Campaign wall time in milliseconds.
     pub elapsed_ms: f64,
+    /// Per-lane trace scopes (`family/wN`), present when
+    /// [`FuzzConfig::trace`] asked for them — one Chrome Trace track per
+    /// sweep lane, so concurrent workers' spans never interleave.
+    pub trace: Vec<(String, rtise_trace::TraceScope)>,
 }
 
 impl FuzzOutcome {
@@ -144,7 +154,8 @@ const MAX_SHRINK_ATTEMPTS: u64 = 4_000;
 type RawFailure = (u64, u64, Instance, u64, String);
 
 /// Sweeps one family's cases over `jobs` workers, returning the failing
-/// cases sorted by case index. Each case derives its seed from its index
+/// cases sorted by case index plus one populated trace lane per worker
+/// (empty when tracing is off). Each case derives its seed from its index
 /// alone, and every worker enters a clone of the campaign counter scope —
 /// so the case set, the failure order, and the counter totals are all
 /// independent of the worker count (only per-case wall times vary).
@@ -152,7 +163,7 @@ fn sweep_family(
     family: Family,
     cfg: &FuzzConfig,
     scope: &rtise_obs::CounterScope,
-) -> Vec<RawFailure> {
+) -> (Vec<RawFailure>, Vec<(String, rtise_trace::TraceScope)>) {
     let run_case = |i: u64| -> Option<RawFailure> {
         let cs = case_seed(cfg.seed, i);
         let mut rng = Rng::new(cs);
@@ -162,36 +173,64 @@ fn sweep_family(
             .first()
             .map(|f| (i, cs, instance, findings.len() as u64, f.code.clone()))
     };
+    let lane = |w: usize| -> Option<(String, rtise_trace::TraceScope)> {
+        cfg.trace.map(|clock| {
+            (
+                format!("{}/w{w}", family.name()),
+                rtise_trace::TraceScope::new(clock),
+            )
+        })
+    };
     let jobs = cfg.jobs.max(1).min(cfg.iters.max(1) as usize);
     if jobs == 1 {
-        return (0..cfg.iters).filter_map(run_case).collect();
+        let lane = lane(0);
+        let found = {
+            let _trace_guard = lane.as_ref().map(|(_, s)| s.enter());
+            let _span = cfg
+                .trace
+                .map(|_| rtise_trace::span(family.name().to_string()));
+            (0..cfg.iters).filter_map(run_case).collect()
+        };
+        return (found, lane.into_iter().collect());
     }
     let next = std::sync::atomic::AtomicU64::new(0);
-    let mut found = std::thread::scope(|s| {
+    let (mut found, lanes) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
+            .map(|w| {
                 let (run_case, next) = (&run_case, &next);
                 let scope = scope.clone();
+                let lane = lane(w);
                 s.spawn(move || {
                     let _guard = scope.enter();
-                    let mut found = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cfg.iters {
-                            return found;
+                    let found = {
+                        let _trace_guard = lane.as_ref().map(|(_, s)| s.enter());
+                        let _span = lane
+                            .as_ref()
+                            .map(|_| rtise_trace::span(family.name().to_string()));
+                        let mut found = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= cfg.iters {
+                                break found;
+                            }
+                            found.extend(run_case(i));
                         }
-                        found.extend(run_case(i));
-                    }
+                    };
+                    (found, lane)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("fuzz worker panicked"))
-            .collect::<Vec<_>>()
+        let mut found = Vec::new();
+        let mut lanes = Vec::new();
+        for h in handles {
+            let (f, lane) = h.join().expect("fuzz worker panicked");
+            found.extend(f);
+            lanes.extend(lane);
+        }
+        (found, lanes)
     });
     found.sort_by_key(|f| f.0);
-    found
+    (found, lanes)
 }
 
 /// Runs a fuzzing campaign.
@@ -205,15 +244,18 @@ pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
     let mut col = Collector::enabled("fuzz");
     let mut stats = Vec::new();
     let mut failures = Vec::new();
+    let mut trace = Vec::new();
     let mut cases = 0u64;
     for &family in &cfg.families {
         let fam_timer = Timer::start();
         col.enter(family.name());
         let mut fam_failures = 0u64;
         cases += cfg.iters;
+        let (found, lanes) = sweep_family(family, cfg, &scope);
+        trace.extend(lanes);
         // Minimization stays on this thread, in case-index order: failure
         // reports are byte-identical for every `--jobs` value.
-        for (_, cs, instance, n_findings, code) in sweep_family(family, cfg, &scope) {
+        for (_, cs, instance, n_findings, code) in found {
             fam_failures += 1;
             col.add("findings", n_findings);
             failures.push(minimize_failure(family, cs, instance, code));
@@ -248,6 +290,7 @@ pub fn run(cfg: &FuzzConfig) -> FuzzOutcome {
         failures,
         report: col.finish(),
         elapsed_ms,
+        trace,
     }
 }
 
@@ -301,6 +344,7 @@ mod tests {
             iters: 8,
             families: Family::ALL.to_vec(),
             jobs: 1,
+            trace: None,
         };
         let a = run(&cfg);
         let b = run(&cfg);
@@ -325,6 +369,7 @@ mod tests {
             iters: 12,
             families: Family::ALL.to_vec(),
             jobs: 1,
+            trace: None,
         };
         let serial = run(&cfg);
         cfg.jobs = 4;

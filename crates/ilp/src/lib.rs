@@ -34,6 +34,7 @@
 //! # Ok::<(), rtise_ilp::SolveError>(())
 //! ```
 
+use rtise_trace::codes;
 use std::fmt;
 
 /// Optimization direction.
@@ -242,12 +243,24 @@ impl Model {
     ///
     /// Same as [`Model::solve`].
     pub fn solve_with_stats(&self) -> Result<(Solution, IlpStats), SolveError> {
-        let (result, stats) = self.solve_inner();
+        let span = rtise_trace::span(codes::ILP_SOLVE);
+        let (result, stats, depth_hist) = self.solve_inner();
         rtise_obs::record("ilp.solves", 1);
         rtise_obs::record("ilp.nodes_explored", stats.nodes_explored);
         rtise_obs::record("ilp.pruned_infeasible", stats.pruned_infeasible);
         rtise_obs::record("ilp.pruned_bound", stats.pruned_bound);
         rtise_obs::record("ilp.incumbent_updates", stats.incumbent_updates);
+        rtise_obs::observe_hist("ilp.depth", &depth_hist);
+        rtise_trace::summary(
+            codes::ILP_SUMMARY,
+            &[
+                ("nodes", stats.nodes_explored),
+                ("pruned_infeasible", stats.pruned_infeasible),
+                ("pruned_bound", stats.pruned_bound),
+                ("incumbents", stats.incumbent_updates),
+            ],
+        );
+        drop(span);
         result.map(|s| (s, stats))
     }
 
@@ -282,10 +295,10 @@ impl Model {
             .map(|sol| (sol, stats))
     }
 
-    fn solve_inner(&self) -> (Result<Solution, SolveError>, IlpStats) {
+    fn solve_inner(&self) -> (Result<Solution, SolveError>, IlpStats, rtise_obs::Hist) {
         let prep = match self.prepare() {
             Ok(p) => p,
-            Err(e) => return (Err(e), IlpStats::default()),
+            Err(e) => return (Err(e), IlpStats::default(), rtise_obs::Hist::new()),
         };
         let m = prep.rhs.len();
         // Sparse columns: the rows each ordered variable actually touches.
@@ -315,12 +328,17 @@ impl Model {
             best: None,
             stats: IlpStats::default(),
             node_limit: self.node_limit,
+            depth_hist: rtise_obs::Hist::new(),
         };
         if let Err(e) = search.dfs(0, 0) {
-            return (Err(e), search.stats);
+            return (Err(e), search.stats, search.depth_hist);
         }
         let stats = search.stats;
-        (self.extract(&prep, search.best, stats), stats)
+        (
+            self.extract(&prep, search.best, stats),
+            stats,
+            search.depth_hist,
+        )
     }
 
     /// Normalizes the model (minimize, all rows `<=`), orders variables by
@@ -447,11 +465,17 @@ struct Search<'a> {
     best: Option<(i64, Vec<bool>)>,
     stats: IlpStats,
     node_limit: u64,
+    /// Depth of every expanded node, published as the `ilp.depth`
+    /// histogram after the solve. Kept outside [`IlpStats`] so the
+    /// differential test against [`SearchReference`] stays a plain
+    /// tuple comparison.
+    depth_hist: rtise_obs::Hist,
 }
 
 impl Search<'_> {
     fn dfs(&mut self, depth: usize, cur_obj: i64) -> Result<(), SolveError> {
         self.stats.nodes_explored += 1;
+        self.depth_hist.observe(depth as u64);
         if self.stats.nodes_explored > self.node_limit {
             return Err(SolveError::NodeLimit {
                 limit: self.node_limit,
@@ -470,12 +494,18 @@ impl Search<'_> {
         // Feasibility pruning.
         if self.violated > 0 {
             self.stats.pruned_infeasible += 1;
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(codes::ILP_PRUNE_INFEASIBLE, &[("depth", depth as u64)]);
+            }
             return Ok(());
         }
         // Objective bound.
         if let Some((best, _)) = &self.best {
             if cur_obj + self.obj_min_rem[depth] >= *best {
                 self.stats.pruned_bound += 1;
+                if rtise_trace::enabled() {
+                    rtise_trace::instant_with(codes::ILP_PRUNE_BOUND, &[("depth", depth as u64)]);
+                }
                 return Ok(());
             }
         }
@@ -483,6 +513,9 @@ impl Search<'_> {
             if self.best.as_ref().is_none_or(|(b, _)| cur_obj < *b) {
                 self.best = Some((cur_obj, self.assign.clone()));
                 self.stats.incumbent_updates += 1;
+                if rtise_trace::enabled() {
+                    rtise_trace::instant_with(codes::ILP_INCUMBENT, &[("depth", depth as u64)]);
+                }
             }
             return Ok(());
         }

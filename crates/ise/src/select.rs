@@ -99,6 +99,7 @@ pub fn greedy_by_ratio(cands: &[CiCandidate], budget: u64) -> Selection {
 /// [`branch_and_bound_reference`] exactly (debug builds assert this at
 /// every prune decision).
 pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
+    let _span = rtise_trace::span(rtise_trace::codes::ISE_BNB_SOLVE);
     // Order by ratio so the fractional bound is tight.
     let mut order: Vec<usize> = (0..cands.len()).collect();
     order.sort_by(|&a, &b| {
@@ -148,6 +149,12 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
         free_gain: Vec<u64>,
         best: Selection,
         stack: Vec<usize>,
+        // Search-tree telemetry, outside `Selection` so the result
+        // equality against `branch_and_bound_reference` is untouched.
+        nodes: u64,
+        pruned_bound: u64,
+        incumbents: u64,
+        depth_hist: rtise_obs::Hist,
     }
 
     /// The fractional-knapsack bound from the prefix tables; bit-identical
@@ -182,6 +189,8 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
     }
 
     fn dfs(ctx: &mut Ctx<'_>, depth: usize, area: u64, gain: u64) {
+        ctx.nodes += 1;
+        ctx.depth_hist.observe(depth as u64);
         if gain > ctx.best.total_gain || (gain == ctx.best.total_gain && area < ctx.best.total_area)
         {
             let mut chosen = ctx.stack.clone();
@@ -191,6 +200,13 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
                 total_gain: gain,
                 total_area: area,
             };
+            ctx.incumbents += 1;
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(
+                    rtise_trace::codes::ISE_BNB_INCUMBENT,
+                    &[("depth", depth as u64), ("gain", gain)],
+                );
+            }
         }
         if depth == ctx.order.len() {
             return;
@@ -202,6 +218,13 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
             "prefix-sum bound diverged from the reference scan at depth {depth}"
         );
         if b <= ctx.best.total_gain as f64 {
+            ctx.pruned_bound += 1;
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(
+                    rtise_trace::codes::ISE_BNB_PRUNE_BOUND,
+                    &[("depth", depth as u64)],
+                );
+            }
             return;
         }
         let i = ctx.order[depth];
@@ -242,8 +265,25 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
         free_gain,
         best: Selection::default(),
         stack: Vec::new(),
+        nodes: 0,
+        pruned_bound: 0,
+        incumbents: 0,
+        depth_hist: rtise_obs::Hist::new(),
     };
     dfs(&mut ctx, 0, 0, 0);
+    rtise_obs::record("ise.bnb.solves", 1);
+    rtise_obs::record("ise.bnb.nodes", ctx.nodes);
+    rtise_obs::record("ise.bnb.pruned_bound", ctx.pruned_bound);
+    rtise_obs::record("ise.bnb.incumbent_updates", ctx.incumbents);
+    rtise_obs::observe_hist("ise.bnb.depth", &ctx.depth_hist);
+    rtise_trace::summary(
+        rtise_trace::codes::ISE_BNB_SUMMARY,
+        &[
+            ("nodes", ctx.nodes),
+            ("pruned_bound", ctx.pruned_bound),
+            ("incumbents", ctx.incumbents),
+        ],
+    );
     ctx.best
 }
 

@@ -1,0 +1,467 @@
+//! Fixed-bucket log2 histograms with exact small-sample percentiles.
+//!
+//! A [`Hist`] is the third first-class metric of the registry, next to
+//! counters and timers: solvers observe per-event magnitudes (search
+//! depth at a prune, DP cells per solve, cache entry age) and harnesses
+//! read p50/p90/p99 out of the merged result. Two design constraints
+//! drive the shape:
+//!
+//! * **Deterministic mergeability.** Histograms recorded on different
+//!   worker threads, or replayed out of an on-disk cache entry, must
+//!   merge into the same value regardless of order. Fixed log2 buckets
+//!   merge bucket-wise; the capped exact-value store is kept sorted on
+//!   serialization so a round-trip is canonical.
+//! * **Exact percentiles where it matters.** Up to
+//!   [`EXACT_CAP`] observations the raw values are retained and
+//!   percentiles are exact (nearest-rank). Beyond that the store is
+//!   dropped and percentiles interpolate linearly inside the owning
+//!   log2 bucket — bounded relative error, bounded memory.
+//!
+//! Bucket layout: bucket `0` holds the value `0`; bucket `i` for
+//! `i in 1..=64` holds values in `[2^(i-1), 2^i - 1]` (bucket 64's upper
+//! bound saturates at `u64::MAX`).
+
+use crate::json::Value;
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// Maximum number of raw observations retained for exact percentiles.
+pub const EXACT_CAP: usize = 512;
+
+/// A mergeable log2 histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// Raw values while `count <= EXACT_CAP`; emptied (and `exact_dropped`
+    /// set) once the cap is crossed so memory stays bounded.
+    exact: Vec<u64>,
+    exact_dropped: bool,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            exact: Vec::new(),
+            exact_dropped: false,
+        }
+    }
+}
+
+/// The bucket index owning `v`: 0 for 0, else `64 - leading_zeros` (the
+/// position of the highest set bit, 1-based).
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive value range `[lo, hi]` of bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] = self.buckets[bucket_of(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if !self.exact_dropped {
+            if self.exact.len() < EXACT_CAP {
+                self.exact.push(v);
+            } else {
+                self.exact = Vec::new();
+                self.exact_dropped = true;
+            }
+        }
+    }
+
+    /// Merges `other` into `self` bucket-wise. Exact stores concatenate
+    /// while the combined count fits [`EXACT_CAP`]; otherwise both are
+    /// dropped and percentiles fall back to bucket interpolation.
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        for (slot, add) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot = slot.saturating_add(*add);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.exact_dropped
+            || other.exact_dropped
+            || self.exact.len() + other.exact.len() > EXACT_CAP
+        {
+            self.exact = Vec::new();
+            self.exact_dropped = true;
+        } else {
+            self.exact.extend_from_slice(&other.exact);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether percentiles are exact (raw values retained) rather than
+    /// bucket-interpolated.
+    pub fn is_exact(&self) -> bool {
+        !self.exact_dropped
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) by nearest-rank over the
+    /// exact store, or by linear interpolation inside the owning log2
+    /// bucket once the store has been dropped. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank: the smallest value such that at least
+        // ceil(p/100 * count) observations are <= it.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        if !self.exact_dropped {
+            let mut sorted = self.exact.clone();
+            sorted.sort_unstable();
+            return sorted[(rank - 1) as usize];
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = bucket_range(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max).max(lo);
+                // Position of the target rank inside this bucket, in
+                // (0, 1]; interpolate the inclusive [lo, hi] range.
+                let within = (rank - seen) as f64 / c as f64;
+                let span = (hi - lo) as f64;
+                return lo + (span * within).round() as u64;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Exact-or-interpolated p50.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Exact-or-interpolated p90.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// Exact-or-interpolated p99.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Full serialization: buckets (sparse `[index, count]` pairs), the
+    /// scalar moments, and — while exact — the sorted raw values. The
+    /// sort makes the rendering canonical: two histograms equal under
+    /// [`Hist::merge`]-order permutation serialize identically.
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Arr(vec![Value::Num(i as f64), Value::Num(c as f64)]))
+            .collect();
+        let mut fields = vec![
+            ("count", Value::Num(self.count as f64)),
+            ("sum", Value::Num(self.sum as f64)),
+            ("min", Value::Num(self.min() as f64)),
+            ("max", Value::Num(self.max as f64)),
+            ("buckets", Value::Arr(buckets)),
+        ];
+        if !self.exact_dropped {
+            let mut sorted = self.exact.clone();
+            sorted.sort_unstable();
+            fields.push((
+                "exact",
+                Value::Arr(sorted.into_iter().map(|v| Value::Num(v as f64)).collect()),
+            ));
+        }
+        Value::obj(fields)
+    }
+
+    /// Parses a [`Hist::to_json`] document. Returns `None` on any
+    /// structural mismatch (missing field, bad bucket index, counts that
+    /// do not add up).
+    pub fn from_json(v: &Value) -> Option<Hist> {
+        let count = v.get("count")?.as_f64()? as u64;
+        let sum = v.get("sum")?.as_f64()? as u64;
+        let min = v.get("min")?.as_f64()? as u64;
+        let max = v.get("max")?.as_f64()? as u64;
+        let mut h = Hist::new();
+        let mut bucket_total = 0u64;
+        for pair in v.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let i = pair[0].as_f64()? as usize;
+            let c = pair[1].as_f64()? as u64;
+            if i >= BUCKETS || c == 0 {
+                return None;
+            }
+            h.buckets[i] = c;
+            bucket_total = bucket_total.saturating_add(c);
+        }
+        if bucket_total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        match v.get("exact") {
+            Some(arr) => {
+                let vals = arr.as_arr()?;
+                if vals.len() as u64 != count || vals.len() > EXACT_CAP {
+                    return None;
+                }
+                h.exact = vals
+                    .iter()
+                    .map(|x| x.as_f64().map(|f| f as u64))
+                    .collect::<Option<Vec<u64>>>()?;
+                h.exact_dropped = false;
+            }
+            None => {
+                h.exact = Vec::new();
+                h.exact_dropped = true;
+            }
+        }
+        Some(h)
+    }
+
+    /// Compact summary for run reports: count, min, max, mean and the
+    /// three headline percentiles. Deterministic because every input is.
+    pub fn summary_json(&self) -> Value {
+        Value::obj(vec![
+            ("count", Value::Num(self.count as f64)),
+            ("min", Value::Num(self.min() as f64)),
+            ("max", Value::Num(self.max as f64)),
+            ("mean", Value::Num(self.mean())),
+            ("p50", Value::Num(self.p50() as f64)),
+            ("p90", Value::Num(self.p90() as f64)),
+            ("p99", Value::Num(self.p99() as f64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_of(lo), i);
+            assert_eq!(bucket_of(hi), i);
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_for_small_samples() {
+        let mut h = Hist::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.observe(v);
+        }
+        assert!(h.is_exact());
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 550);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p90(), 90);
+        assert_eq!(h.p99(), 100);
+    }
+
+    #[test]
+    fn empty_hist_is_all_zeros() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn overflow_drops_exact_store_but_keeps_moments() {
+        let mut h = Hist::new();
+        for v in 0..(EXACT_CAP as u64 + 10) {
+            h.observe(v);
+        }
+        assert!(!h.is_exact());
+        assert_eq!(h.count(), EXACT_CAP as u64 + 10);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), EXACT_CAP as u64 + 9);
+        // Interpolated percentiles stay within the right log2 bucket.
+        let p50 = h.p50();
+        let (lo, hi) = bucket_range(bucket_of(261));
+        assert!(
+            p50 >= lo && p50 <= hi,
+            "p50 {p50} outside bucket [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_and_canonical() {
+        let vals = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), vals.len() as u64);
+        assert_eq!(ab.to_json().render(), ba.to_json().render());
+        assert_eq!(ab.p50(), ba.p50());
+    }
+
+    #[test]
+    fn merge_overflow_falls_back_to_buckets() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in 0..400u64 {
+            a.observe(v);
+            b.observe(v + 400);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(!m.is_exact());
+        assert_eq!(m.count(), 800);
+        assert_eq!(m.min(), 0);
+        assert_eq!(m.max(), 799);
+    }
+
+    #[test]
+    fn json_round_trip_exact_and_bucketed() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 7, 8, 1000, 65_536] {
+            h.observe(v);
+        }
+        let back = Hist::from_json(&h.to_json()).expect("round trip");
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.p50(), h.p50());
+        assert_eq!(back.to_json().render(), h.to_json().render());
+
+        let mut big = Hist::new();
+        for v in 0..700u64 {
+            big.observe(v * 3);
+        }
+        let back = Hist::from_json(&big.to_json()).expect("round trip");
+        assert!(!back.is_exact());
+        assert_eq!(back.count(), big.count());
+        assert_eq!(back.p99(), big.p99());
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_documents() {
+        let mut h = Hist::new();
+        h.observe(5);
+        let mut doc = h.to_json();
+        // Corrupt the count so buckets no longer add up.
+        if let Value::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "count" {
+                    *v = Value::Num(9.0);
+                }
+            }
+        }
+        assert!(Hist::from_json(&doc).is_none());
+        assert!(Hist::from_json(&Value::Null).is_none());
+    }
+
+    #[test]
+    fn summary_json_has_headline_percentiles() {
+        let mut h = Hist::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.summary_json();
+        assert_eq!(s.get("count").and_then(Value::as_f64), Some(100.0));
+        assert_eq!(s.get("p50").and_then(Value::as_f64), Some(50.0));
+        assert_eq!(s.get("p99").and_then(Value::as_f64), Some(99.0));
+    }
+}

@@ -26,6 +26,11 @@
 //!   spans with wall times, counters, and gauges, built imperatively with
 //!   [`Collector`] (which has a disabled "null" mode so
 //!   instrumented code paths cost nothing when nobody is listening).
+//! * [`hist`] — fixed-bucket log2 histograms with exact small-sample
+//!   p50/p90/p99, the third first-class metric next to counters and
+//!   timers. Observations flow through [`observe`]/[`observe_hist`] into
+//!   the global registry and every entered [`CounterScope`], and caches
+//!   replay them with [`attribute_hists`] just like counters.
 //! * [`json`] — a tiny JSON document model with a writer and a
 //!   recursive-descent parser, enough to serialize reports and to verify
 //!   them in tests.
@@ -47,11 +52,16 @@
 //! assert!(json.contains("\"candidates\":42"));
 //! ```
 
+pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod rng;
 
-pub use registry::{global_add, record, snapshot, snapshot_diff, CounterScope};
+pub use hist::Hist;
+pub use registry::{
+    attribute_hists, global_add, hist_snapshot, observe, observe_hist, record, snapshot,
+    snapshot_diff, CounterScope,
+};
 pub use report::{Collector, Report, Timer};
 pub use rng::Rng;

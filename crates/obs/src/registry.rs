@@ -24,6 +24,7 @@
 //!
 //! Counters are monotone `u64` sums that saturate instead of wrapping.
 
+use crate::hist::Hist;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
@@ -31,6 +32,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 fn registry() -> &'static Mutex<BTreeMap<String, u64>> {
     static REGISTRY: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn hist_registry() -> &'static Mutex<BTreeMap<String, Hist>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Hist>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
@@ -95,9 +101,85 @@ pub fn attribute(counters: &BTreeMap<String, u64>) {
     });
 }
 
+/// Records one observation into the global histogram `key` and into every
+/// [`CounterScope`] entered on the current thread. The histogram analogue
+/// of [`record`].
+pub fn observe(key: &str, value: u64) {
+    hist_registry()
+        .lock()
+        .expect("obs hist registry poisoned")
+        .entry(key.to_string())
+        .or_default()
+        .observe(value);
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            scope
+                .hists
+                .lock()
+                .expect("scope poisoned")
+                .entry(key.to_string())
+                .or_default()
+                .observe(value);
+        }
+    });
+}
+
+/// Merges a whole histogram into the global histogram `key` and into
+/// every [`CounterScope`] entered on the current thread. Solvers that
+/// accumulate a local histogram per solve (cheap array bumps, no locks)
+/// publish it once through this.
+pub fn observe_hist(key: &str, h: &Hist) {
+    if h.count() == 0 {
+        return;
+    }
+    hist_registry()
+        .lock()
+        .expect("obs hist registry poisoned")
+        .entry(key.to_string())
+        .or_default()
+        .merge(h);
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            scope
+                .hists
+                .lock()
+                .expect("scope poisoned")
+                .entry(key.to_string())
+                .or_default()
+                .merge(h);
+        }
+    });
+}
+
+/// The histogram analogue of [`attribute`]: merges `hists` into every
+/// [`CounterScope`] entered on the current thread, but **not** into the
+/// global registry. Caches replay the histograms captured when an
+/// artifact was first computed, so cold and warm runs report identical
+/// per-consumer distributions.
+pub fn attribute_hists(hists: &BTreeMap<String, Hist>) {
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            let mut map = scope.hists.lock().expect("scope poisoned");
+            for (key, h) in hists {
+                if h.count() > 0 {
+                    map.entry(key.clone()).or_default().merge(h);
+                }
+            }
+        }
+    });
+}
+
 /// Returns a copy of every counter currently in the global registry.
 pub fn snapshot() -> BTreeMap<String, u64> {
     registry().lock().expect("obs registry poisoned").clone()
+}
+
+/// Returns a copy of every histogram currently in the global registry.
+pub fn hist_snapshot() -> BTreeMap<String, Hist> {
+    hist_registry()
+        .lock()
+        .expect("obs hist registry poisoned")
+        .clone()
 }
 
 /// The per-key difference `after - before`, dropping keys whose value did
@@ -118,6 +200,7 @@ pub fn snapshot_diff(
 #[derive(Debug, Default)]
 struct ScopeInner {
     counters: Mutex<BTreeMap<String, u64>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
 }
 
 /// A concurrency-exact counter collector; see the [module docs](self).
@@ -170,6 +253,11 @@ impl CounterScope {
     /// A copy of everything recorded into the scope so far.
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.inner.counters.lock().expect("scope poisoned").clone()
+    }
+
+    /// A copy of every histogram observed into the scope so far.
+    pub fn hists(&self) -> BTreeMap<String, Hist> {
+        self.inner.hists.lock().expect("scope poisoned").clone()
     }
 }
 
@@ -382,6 +470,61 @@ mod tests {
         assert_eq!(before, after, "attribute must not touch the registry");
         assert_eq!(scope.counters()["test.scope.attr"], 11);
         assert!(!scope.counters().contains_key("test.scope.attr.zero"));
+    }
+
+    #[test]
+    fn observe_feeds_global_and_scope_histograms() {
+        let scope = CounterScope::new();
+        {
+            let _g = scope.enter();
+            observe("test.hist.basic", 4);
+            observe("test.hist.basic", 16);
+        }
+        observe("test.hist.basic", 99); // after exit: global only
+        let scoped = scope.hists();
+        assert_eq!(scoped["test.hist.basic"].count(), 2);
+        assert_eq!(scoped["test.hist.basic"].max(), 16);
+        assert!(hist_snapshot()["test.hist.basic"].count() >= 3);
+    }
+
+    #[test]
+    fn observe_hist_merges_and_skips_empty() {
+        let scope = CounterScope::new();
+        let mut h = Hist::new();
+        h.observe(7);
+        h.observe(9);
+        {
+            let _g = scope.enter();
+            observe_hist("test.hist.merge", &h);
+            observe_hist("test.hist.merge.empty", &Hist::new());
+        }
+        assert_eq!(scope.hists()["test.hist.merge"].count(), 2);
+        assert!(!scope.hists().contains_key("test.hist.merge.empty"));
+    }
+
+    #[test]
+    fn attribute_hists_charges_scopes_but_not_global() {
+        let scope = CounterScope::new();
+        let mut cached = BTreeMap::new();
+        let mut h = Hist::new();
+        h.observe(5);
+        cached.insert("test.hist.attr".to_string(), h);
+        cached.insert("test.hist.attr.empty".to_string(), Hist::new());
+        let before = hist_snapshot()
+            .get("test.hist.attr")
+            .map(Hist::count)
+            .unwrap_or(0);
+        {
+            let _g = scope.enter();
+            attribute_hists(&cached);
+        }
+        let after = hist_snapshot()
+            .get("test.hist.attr")
+            .map(Hist::count)
+            .unwrap_or(0);
+        assert_eq!(before, after, "attribute_hists must not touch the registry");
+        assert_eq!(scope.hists()["test.hist.attr"].count(), 1);
+        assert!(!scope.hists().contains_key("test.hist.attr.empty"));
     }
 
     #[test]

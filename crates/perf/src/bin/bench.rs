@@ -1,7 +1,8 @@
 //! Solver-kernel benchmark driver.
 //!
 //! ```text
-//! bench [--smoke] [--seed N] [--out PATH] [--baseline PATH] [--factor X] [--list]
+//! bench [--smoke] [--seed N] [--out PATH] [--baseline PATH] [--factor X]
+//!       [--trace-out PATH] [--list]
 //! ```
 //!
 //! Sweeps every kernel pair over its input sizes, prints a summary table,
@@ -10,7 +11,9 @@
 //! `BENCH_N.json` and exits non-zero when any (kernel, size) point is more
 //! than `--factor` (default 2.5) times slower. `--smoke` keeps the same
 //! sweep but takes fewer samples, so CI can gate cheaply against a
-//! full-mode baseline.
+//! full-mode baseline. `--trace-out` records a real-clock Chrome Trace of
+//! the whole sweep — one track per kernel, solver search-tree events
+//! included — schema-checked before it is written.
 
 use std::process::ExitCode;
 
@@ -20,7 +23,8 @@ use rtise_perf::report;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench [--smoke] [--seed N] [--out PATH] [--baseline PATH] [--factor X] [--list]\n\
+        "usage: bench [--smoke] [--seed N] [--out PATH] [--baseline PATH] [--factor X] \
+         [--trace-out PATH] [--list]\n\
          kernels: {}",
         KERNELS.join(", ")
     );
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
     let mut seed = 5u64;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut factor = 2.5f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
             }
             "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--baseline" => baseline_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_path = Some(args.next().unwrap_or_else(|| usage())),
             "--factor" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 factor = v.parse().unwrap_or_else(|_| usage());
@@ -71,15 +77,29 @@ fn main() -> ExitCode {
     );
 
     let mut results = Vec::new();
+    let mut trace_scopes: Vec<(String, rtise_trace::TraceScope)> = Vec::new();
     for &kernel in KERNELS {
-        let points = run_kernel(kernel, seed, &m);
+        let scope = trace_path
+            .as_ref()
+            .map(|_| rtise_trace::TraceScope::new(rtise_trace::Clock::Real));
+        let points = {
+            let _guard = scope.as_ref().map(rtise_trace::TraceScope::enter);
+            let _span = scope
+                .as_ref()
+                .map(|_| rtise_trace::span(kernel.to_string()));
+            run_kernel(kernel, seed, &m)
+        };
         for p in &points {
             println!(
-                "  {kernel:<9} size {:>3}  ref {:>12.1} ns/op  opt {:>12.1} ns/op  speedup {:>6.2}x",
-                p.size, p.ref_ns_op, p.opt_ns_op, p.speedup
+                "  {kernel:<9} size {:>3}  ref {:>12.1} ns/op  opt {:>12.1} ns/op  \
+                 p99 {:>12.1} ns/op  speedup {:>6.2}x",
+                p.size, p.ref_ns_op, p.opt_ns_op, p.p99_ns_op, p.speedup
             );
         }
         results.push((kernel.to_string(), points));
+        if let Some(s) = scope {
+            trace_scopes.push((kernel.to_string(), s));
+        }
     }
 
     let doc = report::build(mode, seed, &m, &results);
@@ -97,6 +117,20 @@ fn main() -> ExitCode {
             println!("BENCH report written to {path}");
         }
         None => print!("{rendered}"),
+    }
+
+    if let Some(path) = trace_path {
+        let trace_doc = rtise_trace::chrome::chrome_trace(&trace_scopes);
+        let diags = rtise_check::trace::check_chrome_trace(&trace_doc);
+        if !diags.is_clean() {
+            eprintln!("trace artifact failed the chrome-trace schema check:\n{diags}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, trace_doc.render_pretty()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("chrome trace written to {path}");
     }
 
     if let Some(path) = baseline_path {

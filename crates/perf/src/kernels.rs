@@ -58,6 +58,11 @@ pub struct SizePoint {
     pub ref_ns_op: f64,
     /// Median optimized-path nanoseconds per instance.
     pub opt_ns_op: f64,
+    /// Exact p50 of the optimized-path samples (ns per instance), from a
+    /// [`rtise_obs::Hist`] over the raw sample vector.
+    pub p50_ns_op: f64,
+    /// Exact p99 of the optimized-path samples (ns per instance).
+    pub p99_ns_op: f64,
     /// `ref_ns_op / opt_ns_op`.
     pub speedup: f64,
     /// Solver counter deltas from one optimized batch execution, captured
@@ -232,7 +237,10 @@ fn candidate_pool(rng: &mut Rng, n: usize) -> (Vec<CiCandidate>, u64) {
 
 /// Times the reference and optimized closures (median over batch samples)
 /// and captures the optimized path's counters from one extra execution
-/// inside an isolated scope.
+/// inside an isolated scope. The optimized samples also feed a
+/// [`rtise_obs::Hist`], whose exact p50/p99 land in the point: sample
+/// counts are far below the histogram's exact-storage cap, so the
+/// percentiles are order statistics, not bucket midpoints.
 fn measure_cell(
     size: usize,
     reference: &mut dyn FnMut(),
@@ -240,7 +248,14 @@ fn measure_cell(
     m: &MeasureOptions,
 ) -> SizePoint {
     let ref_ns_op = median_ns(&sample_ns(reference, m)) / BATCH as f64;
-    let opt_ns_op = median_ns(&sample_ns(optimized, m)) / BATCH as f64;
+    let opt_samples = sample_ns(optimized, m);
+    let opt_ns_op = median_ns(&opt_samples) / BATCH as f64;
+    let mut opt_hist = rtise_obs::Hist::new();
+    for &s in &opt_samples {
+        // Per-instance ns, clamped to 1 so percentiles stay positive even
+        // on a degenerate sub-batch-granularity sample.
+        opt_hist.observe((s / BATCH as u64).max(1));
+    }
     let counters = {
         let _iso = rtise_obs::registry::isolate();
         let scope = rtise_obs::CounterScope::new();
@@ -254,6 +269,8 @@ fn measure_cell(
         batch: BATCH,
         ref_ns_op,
         opt_ns_op,
+        p50_ns_op: opt_hist.p50() as f64,
+        p99_ns_op: opt_hist.p99() as f64,
         speedup: ref_ns_op / opt_ns_op.max(f64::MIN_POSITIVE),
         counters,
     }
@@ -443,6 +460,11 @@ mod tests {
             assert_eq!(point.batch, BATCH, "{kernel}");
             assert!(point.ref_ns_op > 0.0, "{kernel}");
             assert!(point.opt_ns_op > 0.0, "{kernel}");
+            assert!(point.p50_ns_op > 0.0, "{kernel}");
+            assert!(
+                point.p99_ns_op >= point.p50_ns_op,
+                "{kernel}: p99 below p50"
+            );
             assert!(point.speedup > 0.0, "{kernel}");
         }
     }

@@ -12,9 +12,15 @@ use rtise_obs::json::Value;
 use crate::kernels::SizePoint;
 use crate::measure::MeasureOptions;
 
-/// Bump on any incompatible schema change; [`compare`] refuses mismatched
-/// formats instead of guessing.
-pub const FORMAT_VERSION: u64 = 1;
+/// The format this crate writes. [`validate`] also accepts older
+/// still-readable formats (v1, which lacks the per-point `p50_ns_op` /
+/// `p99_ns_op` percentiles), so committed v1 baselines keep comparing
+/// against fresh v2 runs — [`compare`] only consults `opt_ns_op`, present
+/// in both.
+pub const FORMAT_VERSION: u64 = 2;
+
+/// Oldest format [`validate`] still accepts.
+pub const MIN_FORMAT_VERSION: u64 = 1;
 
 /// Rounds to 0.1 ns so committed baselines do not churn in meaningless
 /// decimals.
@@ -28,6 +34,8 @@ fn point_json(p: &SizePoint) -> Value {
         ("batch", Value::from(p.batch as u64)),
         ("ref_ns_op", Value::Num(round1(p.ref_ns_op))),
         ("opt_ns_op", Value::Num(round1(p.opt_ns_op))),
+        ("p50_ns_op", Value::Num(round1(p.p50_ns_op))),
+        ("p99_ns_op", Value::Num(round1(p.p99_ns_op))),
         ("speedup", Value::Num((p.speedup * 100.0).round() / 100.0)),
         ("counters", Value::from(&p.counters)),
     ])
@@ -74,9 +82,10 @@ fn field_f64(obj: &Value, key: &str, ctx: &str) -> Result<f64, String> {
 /// drift, and nonsense values (non-positive timings, duplicate or
 /// unsorted sweep points).
 pub fn validate(doc: &Value) -> Result<(), String> {
-    if field_f64(doc, "format", "report")? != FORMAT_VERSION as f64 {
+    let format = field_f64(doc, "format", "report")? as u64;
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&format) {
         return Err(format!(
-            "report: unsupported format (want {FORMAT_VERSION})"
+            "report: unsupported format (want {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
         ));
     }
     if doc.get("suite").and_then(Value::as_str) != Some("rtise-perf") {
@@ -116,7 +125,12 @@ pub fn validate(doc: &Value) -> Result<(), String> {
                 return Err(format!("kernel {name}: sizes not strictly increasing"));
             }
             last_size = size;
-            for key in ["batch", "ref_ns_op", "opt_ns_op", "speedup"] {
+            // v1 predates the per-point percentiles; require them from v2 on.
+            let mut keys = vec!["batch", "ref_ns_op", "opt_ns_op", "speedup"];
+            if format >= 2 {
+                keys.extend(["p50_ns_op", "p99_ns_op"]);
+            }
+            for key in keys {
                 if field_f64(point, key, &ctx)? <= 0.0 {
                     return Err(format!("kernel {name} size {size}: non-positive {key:?}"));
                 }
@@ -224,6 +238,8 @@ mod tests {
             batch: 8,
             ref_ns_op: opt_ns * 3.0,
             opt_ns_op: opt_ns,
+            p50_ns_op: opt_ns,
+            p99_ns_op: opt_ns * 1.5,
             speedup: 3.0,
             counters,
         };
@@ -233,6 +249,67 @@ mod tests {
             &MeasureOptions::full(),
             &[("edf_dp".to_string(), vec![point])],
         )
+    }
+
+    /// Recursively drops the v2 per-point percentile fields, yielding the
+    /// point shape v1 documents carry.
+    fn strip_percentiles(v: &Value) -> Value {
+        match v {
+            Value::Obj(pairs) => Value::Obj(
+                pairs
+                    .iter()
+                    .filter(|(k, _)| k != "p50_ns_op" && k != "p99_ns_op")
+                    .map(|(k, v)| (k.clone(), strip_percentiles(v)))
+                    .collect(),
+            ),
+            Value::Arr(items) => Value::Arr(items.iter().map(strip_percentiles).collect()),
+            other => other.clone(),
+        }
+    }
+
+    fn set_format(doc: Value, format: u64) -> Value {
+        let Value::Obj(pairs) = doc else {
+            panic!("report is not an object")
+        };
+        Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "format" {
+                        (k, Value::from(format))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Committed v1 baselines (no per-point percentiles) must keep
+    /// validating and comparing against fresh v2 runs; a v2 document
+    /// missing its percentiles is damage, not a downgrade.
+    #[test]
+    fn v1_baselines_still_validate_and_compare() {
+        let stripped = strip_percentiles(&sample_report(100_000.0));
+        assert!(
+            validate(&stripped).is_err(),
+            "v2 without percentiles passed validation"
+        );
+        let baseline = set_format(stripped, 1);
+        validate(&baseline).expect("v1 document must validate");
+        assert!(
+            compare(&sample_report(200_000.0), &baseline, 2.5)
+                .expect("cross-format comparison")
+                .is_empty(),
+            "2x inside a 2.5x budget is not a regression"
+        );
+        let regressions =
+            compare(&sample_report(300_000.0), &baseline, 2.5).expect("cross-format comparison");
+        assert_eq!(regressions.len(), 1);
+        assert!(
+            validate(&set_format(sample_report(100.0), 3)).is_err(),
+            "future formats must be rejected"
+        );
     }
 
     #[test]
@@ -303,6 +380,8 @@ mod tests {
                     batch: 8,
                     ref_ns_op: 3.0,
                     opt_ns_op: 1.0,
+                    p50_ns_op: 1.0,
+                    p99_ns_op: 1.0,
                     speedup: 3.0,
                     counters: BTreeMap::from([("k".to_string(), 1u64)]),
                 }],

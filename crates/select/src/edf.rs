@@ -88,12 +88,14 @@ pub fn select_edf_with_stats(
     if specs.is_empty() {
         return Err(SelectEdfError::NoTasks);
     }
+    let span = rtise_trace::span(rtise_trace::codes::SELECT_EDF_SOLVE);
     let prep = Prep::new(specs, area_budget);
     let mut stats = prep.blank_stats();
     let (config, min_demand) = match solve_sparse(specs, area_budget, &prep, &mut stats) {
         Some(solved) => solved,
         None => {
             rtise_obs::record("select.edf.dense_fallbacks", 1);
+            rtise_trace::instant(rtise_trace::codes::SELECT_EDF_DENSE_FALLBACK);
             solve_dense(specs, &prep, &mut stats)
         }
     };
@@ -101,6 +103,17 @@ pub fn select_edf_with_stats(
     rtise_obs::record("select.edf.solves", 1);
     rtise_obs::record("select.edf.dp_cells", stats.dp_cells);
     rtise_obs::record("select.edf.transitions", stats.transitions);
+    rtise_obs::observe("select.edf.dp_cells_per_solve", stats.dp_cells);
+    rtise_trace::summary(
+        rtise_trace::codes::SELECT_EDF_SUMMARY,
+        &[
+            ("grid_step", stats.grid_step),
+            ("grid_slots", stats.grid_slots),
+            ("dp_cells", stats.dp_cells),
+            ("transitions", stats.transitions),
+        ],
+    );
+    drop(span);
     Ok((selection, stats))
 }
 

@@ -133,14 +133,24 @@ pub fn select_rms_with_stats(
         config: Vec<usize>,
         best: Option<(f64, Vec<usize>)>,
         stats: RmsBnbStats,
+        // Depth histogram outside `RmsBnbStats`, which the differential
+        // test against the reference search compares by tuple equality.
+        depth_hist: rtise_obs::Hist,
     }
 
     fn search(ctx: &mut Ctx<'_>, depth: usize, area: u64, util: f64) {
         ctx.stats.nodes += 1;
+        ctx.depth_hist.observe(depth as u64);
         if depth == ctx.order.len() {
             if ctx.best.as_ref().is_none_or(|(b, _)| util < *b) {
                 ctx.best = Some((util, ctx.config.clone()));
                 ctx.stats.incumbent_updates += 1;
+                if rtise_trace::enabled() {
+                    rtise_trace::instant_with(
+                        rtise_trace::codes::SELECT_RMS_INCUMBENT,
+                        &[("depth", depth as u64)],
+                    );
+                }
             }
             return;
         }
@@ -149,6 +159,12 @@ pub fn select_rms_with_stats(
         if let Some((b, _)) = &ctx.best {
             if util + ctx.suffix_bound[depth] >= *b - 1e-15 {
                 ctx.stats.pruned_bound += 1;
+                if rtise_trace::enabled() {
+                    rtise_trace::instant_with(
+                        rtise_trace::codes::SELECT_RMS_PRUNE_BOUND,
+                        &[("depth", depth as u64)],
+                    );
+                }
                 return;
             }
         }
@@ -172,6 +188,12 @@ pub fn select_rms_with_stats(
             let p = &spec.curve.points()[j];
             if area + p.area > ctx.budget {
                 ctx.stats.pruned_area += 1;
+                if rtise_trace::enabled() {
+                    rtise_trace::instant_with(
+                        rtise_trace::codes::SELECT_RMS_PRUNE_AREA,
+                        &[("depth", depth as u64)],
+                    );
+                }
                 continue;
             }
             ctx.stats.sched_tests += 1;
@@ -207,6 +229,12 @@ pub fn select_rms_with_stats(
                 );
             } else {
                 ctx.stats.pruned_unschedulable += 1;
+                if rtise_trace::enabled() {
+                    rtise_trace::instant_with(
+                        rtise_trace::codes::SELECT_RMS_PRUNE_UNSCHED,
+                        &[("depth", depth as u64)],
+                    );
+                }
             }
         }
     }
@@ -224,9 +252,24 @@ pub fn select_rms_with_stats(
         config: vec![0; specs.len()],
         best: None,
         stats: RmsBnbStats::default(),
+        depth_hist: rtise_obs::Hist::new(),
     };
+    let span = rtise_trace::span(rtise_trace::codes::SELECT_RMS_SOLVE);
     search(&mut ctx, 0, 0, 0.0);
     let stats = ctx.stats;
+    rtise_obs::observe_hist("select.rms.depth", &ctx.depth_hist);
+    rtise_trace::summary(
+        rtise_trace::codes::SELECT_RMS_SUMMARY,
+        &[
+            ("nodes", stats.nodes),
+            ("pruned_bound", stats.pruned_bound),
+            ("pruned_area", stats.pruned_area),
+            ("pruned_unschedulable", stats.pruned_unschedulable),
+            ("sched_tests", stats.sched_tests),
+            ("incumbents", stats.incumbent_updates),
+        ],
+    );
+    drop(span);
     rtise_obs::record("select.rms.solves", 1);
     rtise_obs::record("select.rms.nodes", stats.nodes);
     rtise_obs::record("select.rms.pruned_bound", stats.pruned_bound);

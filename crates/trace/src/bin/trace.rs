@@ -1,0 +1,72 @@
+//! Text tooling over trace and report artifacts.
+//!
+//! ```text
+//! trace summary FILE   per-event-name roll-up of a chrome-trace file
+//! trace flame FILE     indented text flamegraph of a chrome-trace file
+//! trace canon FILE [--drop-output id,id,...]
+//!                      canonicalize a `reproduce --json` report
+//!                      (strip wall-clock fields) and print it
+//! ```
+//!
+//! `summary`/`flame` read the Chrome Trace Event Format JSON written by
+//! `reproduce --trace-out`, `fuzz --trace-out`, or `bench --trace-out`.
+//! `canon` is the CI determinism gate: two canonicalized reports must
+//! be byte-identical regardless of `--jobs`, cache state, or tracing.
+//! `--drop-output` additionally strips the captured stdout of the named
+//! experiments — the running-time tables print measured milliseconds,
+//! which is wall-clock data like `wall_ms` itself.
+
+use rtise_obs::json::parse;
+use rtise_trace::view;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: trace <summary|flame> FILE | trace canon FILE [--drop-output id,id,...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path, drop_output) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str(), String::new()),
+        [cmd, path, flag, ids] if cmd == "canon" && flag == "--drop-output" => {
+            (cmd.as_str(), path.as_str(), ids.clone())
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let drop_output: Vec<&str> = drop_output.split(',').filter(|s| !s.is_empty()).collect();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("trace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = match cmd {
+        "summary" => view::summary_lines(&doc).map(|lines| lines.join("\n") + "\n"),
+        "flame" => view::flame_lines(&doc).map(|lines| lines.join("\n") + "\n"),
+        "canon" => Ok(view::canon_report(&doc, &drop_output).render_pretty()),
+        other => {
+            eprintln!("trace: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match rendered {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

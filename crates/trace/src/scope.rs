@@ -1,0 +1,454 @@
+//! Thread-inherited trace scopes with ring-buffered event storage.
+//!
+//! The activation model is deliberately identical to
+//! [`rtise_obs::registry::CounterScope`]: a [`TraceScope`] is a cheap
+//! `Arc` handle, [`TraceScope::enter`] pushes it onto a thread-local
+//! stack until the guard drops, clones entered on worker threads extend
+//! the scope across a pool, and [`isolate`] detaches the current thread
+//! so memoizing caches do not leak their one-off computation into
+//! whichever consumer happened to trigger it. Instrumented code calls
+//! the free functions [`span`]/[`instant`]/[`summary`]; they fan out to
+//! every scope entered on the calling thread and no-op (after one
+//! thread-local check) when none is.
+//!
+//! Storage is bounded: *bulk* instants — the per-node search-tree
+//! events that can number in the millions for a hard branch-and-bound
+//! instance — are capped at [`RING_CAP`] per scope with a keep-first
+//! policy, and the number of dropped events is surfaced through
+//! [`TraceScope::dropped`] and the export rather than lost silently.
+//! Structural begin/end pairs and pinned [`summary`] events are always
+//! stored, so the span tree and the per-solve totals survive overflow.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum number of bulk [`instant`] events stored per scope; further
+/// bulk instants increment the scope's drop counter instead.
+pub const RING_CAP: usize = 4096;
+
+/// What a scope stamps its events with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Clock {
+    /// Nanoseconds since a process-wide epoch. Real timings, not
+    /// reproducible across runs.
+    #[default]
+    Real,
+    /// A per-scope sequence number. Timings are meaningless but the
+    /// trace structure is bit-deterministic, which is what the
+    /// jobs-1-vs-jobs-4 equivalence tests compare.
+    Virtual,
+}
+
+/// Event kinds, mirroring the Chrome Trace Event phases they export to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span open (`ph: "B"`).
+    Begin,
+    /// Span close (`ph: "E"`).
+    End,
+    /// Point event (`ph: "i"`), bulk or pinned.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Clock stamp: nanoseconds ([`Clock::Real`]) or sequence number
+    /// ([`Clock::Virtual`]).
+    pub ts: u64,
+    /// Begin / End / Instant.
+    pub kind: EventKind,
+    /// Stable event name; prune reasons use the [`crate::codes`]
+    /// vocabulary.
+    pub name: Cow<'static, str>,
+    /// Numeric payload (depth, node counts, …).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Number of currently-entered scope guards across all threads.
+static ENTERED: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether any [`TraceScope`] is entered anywhere in the process. One
+/// relaxed atomic load — the cheap gate solver hot loops check before
+/// assembling event payloads.
+pub fn enabled() -> bool {
+    ENTERED.load(Ordering::Relaxed) > 0
+}
+
+#[derive(Debug, Default)]
+struct EventBuf {
+    events: Vec<Event>,
+    /// How many of `events` are bulk instants (ring-cap accounting).
+    bulk: usize,
+}
+
+#[derive(Debug)]
+struct ScopeInner {
+    clock: Clock,
+    buf: Mutex<EventBuf>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+thread_local! {
+    /// Scopes entered on this thread, outermost first.
+    static ACTIVE: RefCell<Vec<Arc<ScopeInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl ScopeInner {
+    /// Stamps and stores one event; `bulk` events respect [`RING_CAP`].
+    /// The stamp is taken under the buffer lock so timestamps are
+    /// monotone within a scope even when clones feed it from several
+    /// threads.
+    fn push(
+        &self,
+        kind: EventKind,
+        name: Cow<'static, str>,
+        args: &[(&'static str, u64)],
+        bulk: bool,
+    ) {
+        let mut buf = self.buf.lock().expect("trace scope poisoned");
+        if bulk && buf.bulk >= RING_CAP {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if bulk {
+            buf.bulk += 1;
+        }
+        let ts = match self.clock {
+            Clock::Real => epoch().elapsed().as_nanos() as u64,
+            Clock::Virtual => self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        buf.events.push(Event {
+            ts,
+            kind,
+            name,
+            args: args.to_vec(),
+        });
+    }
+}
+
+/// A cloneable, thread-inherited event sink; see the [module
+/// docs](self).
+#[derive(Debug, Clone)]
+pub struct TraceScope {
+    inner: Arc<ScopeInner>,
+}
+
+impl TraceScope {
+    /// A new, empty scope stamping with `clock` (not yet entered on any
+    /// thread).
+    pub fn new(clock: Clock) -> Self {
+        TraceScope {
+            inner: Arc::new(ScopeInner {
+                clock,
+                buf: Mutex::new(EventBuf::default()),
+                seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The scope's clock.
+    pub fn clock(&self) -> Clock {
+        self.inner.clock
+    }
+
+    /// Activates the scope on the current thread until the returned
+    /// guard drops. Scopes nest and extend across threads exactly like
+    /// [`rtise_obs::registry::CounterScope::enter`].
+    pub fn enter(&self) -> TraceGuard {
+        ACTIVE.with(|stack| stack.borrow_mut().push(Arc::clone(&self.inner)));
+        ENTERED.fetch_add(1, Ordering::Relaxed);
+        TraceGuard {
+            inner: Arc::clone(&self.inner),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// A copy of every stored event, in record order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .buf
+            .lock()
+            .expect("trace scope poisoned")
+            .events
+            .clone()
+    }
+
+    /// Number of bulk instants dropped by the ring cap.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Keeps a [`TraceScope`] active on the thread that created it. Not
+/// `Send`: the guard must drop on the thread that entered the scope.
+#[derive(Debug)]
+pub struct TraceGuard {
+    inner: Arc<ScopeInner>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        ENTERED.fetch_sub(1, Ordering::Relaxed);
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let top = stack.pop();
+            debug_assert!(
+                top.is_some_and(|t| Arc::ptr_eq(&t, &self.inner)),
+                "trace guards must drop in reverse entry order"
+            );
+        });
+    }
+}
+
+/// Opens a span named `name` in every scope entered on the current
+/// thread; the span closes when the returned guard drops. With no scope
+/// entered this is a cheap no-op. Spans are never ring-capped.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    let targets: Vec<Arc<ScopeInner>> = ACTIVE.with(|stack| stack.borrow().clone());
+    if targets.is_empty() {
+        return SpanGuard {
+            targets,
+            name: Cow::Borrowed(""),
+            _not_send: PhantomData,
+        };
+    }
+    let name = name.into();
+    for t in &targets {
+        t.push(EventKind::Begin, name.clone(), &[], false);
+    }
+    SpanGuard {
+        targets,
+        name,
+        _not_send: PhantomData,
+    }
+}
+
+/// Closes its span on drop; see [`span`]. Not `Send`.
+#[derive(Debug)]
+pub struct SpanGuard {
+    targets: Vec<Arc<ScopeInner>>,
+    name: Cow<'static, str>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        for t in &self.targets {
+            t.push(EventKind::End, self.name.clone(), &[], false);
+        }
+    }
+}
+
+/// Records a bulk instant (ring-capped per scope) with no payload.
+pub fn instant(name: &'static str) {
+    instant_with(name, &[]);
+}
+
+/// Records a bulk instant (ring-capped per scope) with a numeric
+/// payload. The per-node search-tree events use this; callers in hot
+/// loops should gate on [`enabled`] before assembling `args`.
+pub fn instant_with(name: &'static str, args: &[(&'static str, u64)]) {
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            scope.push(EventKind::Instant, Cow::Borrowed(name), args, true);
+        }
+    });
+}
+
+/// Records a pinned instant that is **never** ring-capped: per-solve
+/// roll-ups (total nodes, prune counts, incumbent count) that must
+/// survive even when the per-node stream overflowed.
+pub fn summary(name: impl Into<Cow<'static, str>>, args: &[(&'static str, u64)]) {
+    let name = name.into();
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            scope.push(EventKind::Instant, name.clone(), args, false);
+        }
+    });
+}
+
+/// Detaches the current thread from every entered [`TraceScope`] until
+/// the returned guard drops — the tracing mirror of
+/// [`rtise_obs::registry::isolate`], used around memoized cache fills
+/// so a one-off computation's events do not leak into whichever
+/// consumer happened to trigger it.
+pub fn isolate() -> TraceIsolationGuard {
+    TraceIsolationGuard {
+        saved: ACTIVE.with(|stack| std::mem::take(&mut *stack.borrow_mut())),
+        _not_send: PhantomData,
+    }
+}
+
+/// Restores the scopes suspended by [`isolate`] on drop.
+#[derive(Debug)]
+pub struct TraceIsolationGuard {
+    saved: Vec<Arc<ScopeInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceIsolationGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert!(
+                stack.is_empty(),
+                "trace scopes entered under isolation must exit before it ends"
+            );
+            *stack = std::mem::take(&mut self.saved);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(events: &[Event]) -> Vec<(EventKind, String)> {
+        events
+            .iter()
+            .map(|e| (e.kind, e.name.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let scope = TraceScope::new(Clock::Virtual);
+        {
+            let _g = scope.enter();
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                instant("tick");
+            }
+        }
+        let got = names(&scope.events());
+        assert_eq!(
+            got,
+            vec![
+                (EventKind::Begin, "outer".to_string()),
+                (EventKind::Begin, "inner".to_string()),
+                (EventKind::Instant, "tick".to_string()),
+                (EventKind::End, "inner".to_string()),
+                (EventKind::End, "outer".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn virtual_clock_is_a_dense_sequence() {
+        let scope = TraceScope::new(Clock::Virtual);
+        {
+            let _g = scope.enter();
+            let _s = span("s");
+            instant("a");
+            instant("b");
+        }
+        let ts: Vec<u64> = scope.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn no_scope_means_no_events_and_disabled() {
+        // Note: other tests may have scopes entered concurrently, so
+        // only assert the local no-op behaviour here.
+        let probe = TraceScope::new(Clock::Virtual);
+        instant("free.floating");
+        let _s = span("free.span");
+        drop(_s);
+        assert!(probe.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracks_entered_guards() {
+        let scope = TraceScope::new(Clock::Virtual);
+        let g = scope.enter();
+        assert!(enabled());
+        drop(g);
+    }
+
+    #[test]
+    fn nested_scopes_both_record() {
+        let outer = TraceScope::new(Clock::Virtual);
+        let inner = TraceScope::new(Clock::Virtual);
+        let _og = outer.enter();
+        {
+            let _ig = inner.enter();
+            instant("both");
+        }
+        instant("outer.only");
+        assert_eq!(inner.events().len(), 1);
+        assert_eq!(outer.events().len(), 2);
+    }
+
+    #[test]
+    fn scope_extends_across_threads_via_clone() {
+        let scope = TraceScope::new(Clock::Real);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let scope = scope.clone();
+                std::thread::spawn(move || {
+                    let _g = scope.enter();
+                    let _s = span("worker");
+                    instant("work");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let events = scope.events();
+        assert_eq!(events.len(), 12); // 4 × (B + i + E)
+        let ts: Vec<u64> = events.iter().map(|e| e.ts).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "per-scope monotone");
+    }
+
+    #[test]
+    fn ring_cap_drops_bulk_instants_but_surfaces_the_count() {
+        let scope = TraceScope::new(Clock::Virtual);
+        {
+            let _g = scope.enter();
+            let _s = span("flood");
+            for _ in 0..(RING_CAP + 100) {
+                instant_with("node", &[("depth", 1)]);
+            }
+            summary("flood.summary", &[("nodes", (RING_CAP + 100) as u64)]);
+        }
+        assert_eq!(scope.dropped(), 100);
+        let events = scope.events();
+        // B + RING_CAP bulk + pinned summary + E.
+        assert_eq!(events.len(), RING_CAP + 3);
+        assert!(events.iter().any(
+            |e| e.name == "flood.summary" && e.args == vec![("nodes", (RING_CAP + 100) as u64)]
+        ));
+        let (first, last) = (&events[1], &events[RING_CAP]);
+        assert_eq!(first.name, "node");
+        assert_eq!(last.name, "node"); // keep-first: earliest survive
+    }
+
+    #[test]
+    fn isolation_detaches_then_restores() {
+        let scope = TraceScope::new(Clock::Virtual);
+        let _g = scope.enter();
+        instant("before");
+        {
+            let _iso = isolate();
+            instant("hidden");
+        }
+        instant("after");
+        let got: Vec<String> = scope.events().iter().map(|e| e.name.to_string()).collect();
+        assert_eq!(got, vec!["before", "after"]);
+    }
+}
