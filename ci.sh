@@ -47,6 +47,18 @@ for EV in ilp.prune ise.bnb.prune select.rms.prune; do
 done
 echo "    trace parses; $TRACKS tracks; all B&B solvers left prune events"
 
+# Certificate gate: the certified run must have replayed branch-and-bound
+# optimality certificates for all three solver families. The counters
+# appear in the JSON only when a certifier replayed a log, and any replay
+# failure already failed the run above — so presence == proven optimal.
+for KEY in check.certb.ilp check.certb.ise check.certb.rms; do
+  if ! grep -q "\"$KEY\"" target/artifacts/reproduce-cold.json; then
+    echo "FAIL: no $KEY certificate replays in the certified reproduce run"
+    exit 1
+  fi
+done
+echo "    ILP/ISE/RMS searches certified optimal by certificate replay"
+
 echo "==> warm-cache second pass (must hit the curve cache)"
 cargo run --offline --release -p rtise-bench --bin reproduce -- \
   --check --jobs 4 --cache-dir "$CACHE_DIR" --json target/artifacts/reproduce-warm.json
@@ -86,6 +98,13 @@ echo "==> fuzz smoke (fixed seed, all families, 4 workers; fails on any diagnost
 cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
   --seed 7 --iters 200 --family all --jobs 4 --json target/fuzz-smoke.json \
   --trace-out target/artifacts/fuzz-smoke.trace.json
+# The ILP differential oracle must have certified at least one instance
+# past the 12-variable exhaustive-search cap purely by certificate replay.
+if ! grep -Eq '"solver\.fuzz\.ilp\.cert_replay_large": *[1-9]' target/fuzz-smoke.json; then
+  echo "FAIL: fuzz campaign never took the >12-variable certificate-replay ILP path"
+  exit 1
+fi
+echo "    fuzz certified >12-variable ILP instances by certificate replay"
 
 echo "==> bench smoke (same sweep as the committed baseline, fewer samples)"
 cargo run --offline --release -p rtise-perf --bin bench -- \

@@ -144,7 +144,17 @@ fn main() {
         }
         match &outcome.certification {
             None => {}
-            Some(CertOutcome::Clean) => println!("--- {id}: certified clean"),
+            Some(CertOutcome::Clean { replays }) => {
+                let replayed: u64 = replays.values().sum();
+                if replayed > 0 {
+                    println!(
+                        "--- {id}: certified clean, {replayed} search(es) proven optimal \
+                         by certificate replay"
+                    );
+                } else {
+                    println!("--- {id}: certified clean");
+                }
+            }
             Some(CertOutcome::Dirty(rendered)) => {
                 println!("--- {id}: CERTIFICATION FAILED");
                 for line in rendered.lines() {

@@ -11,7 +11,7 @@
 
 use crate::util::{cached_curve, set_max_area, specs_for};
 use crate::{ch3, ch4, ch7};
-use rtise::check::{cert, ir as irchk, Code, Diagnostics, Location};
+use rtise::check::{bnb as bnbchk, cert, ir as irchk, Code, Diagnostics, Location};
 use rtise::fixtures::{EPSILONS_TABLE_4_2, TABLE_3_1, TABLE_4_1, TABLE_5_2};
 use rtise::ir::hw::HwModel;
 use rtise::ir::region::regions;
@@ -72,7 +72,8 @@ pub fn certify(id: &str) -> Result<Diagnostics, String> {
 
 /// Fig. 3.1: the g721 configuration curve must be a strict staircase, and
 /// a fast candidate harvest must produce only legal, honestly-costed
-/// candidates.
+/// candidates whose branch-and-bound selection replays to proven
+/// optimality.
 fn certify_fig3_1() -> Diagnostics {
     let mut d = cert::check_curve(&cached_curve("g721_decode"));
     let kernel = by_name("crc32").expect("kernel");
@@ -90,12 +91,25 @@ fn certify_fig3_1() -> Diagnostics {
             i,
         ));
     }
+    d.merge(certify_ise_selection(&cands));
+    d
+}
+
+/// Runs the intra-task selection search at a binding budget and replays
+/// its optimality certificate (`certb.ise`).
+fn certify_ise_selection(cands: &[rtise::ise::CiCandidate]) -> Diagnostics {
+    let budget: u64 = cands.iter().map(|c| c.area).sum::<u64>() / 3;
+    let (sel, cert) = rtise::ise::branch_and_bound_with_cert(cands, budget);
+    let mut d = cert::check_selection(cands, &sel, budget);
+    d.merge(bnbchk::check_ise_certificate(cands, budget, &sel, &cert));
+    rtise::obs::record("certb.ise", 1);
     d
 }
 
 /// Fig. 3.2: the toy instance's EDF and RMS optima re-pass the exact
-/// schedulability tests, and the ILP cross-check solution satisfies every
-/// row of its model.
+/// schedulability tests, the ILP cross-check solution satisfies every
+/// row of its model, and both branch-and-bound searches replay to proven
+/// optimality from their certificates.
 fn certify_fig3_2() -> Diagnostics {
     let specs = ch3::fig3_2_specs();
     let budget = 10;
@@ -111,15 +125,32 @@ fn certify_fig3_2() -> Diagnostics {
     if let Ok(sel) = select_rms(&specs, budget) {
         d.merge(cert::check_rms_selection(&specs, &sel, budget));
     }
+    d.merge(certify_rms_optimality(&specs, budget));
     let m = ch3::fig3_2_ilp_model(&specs, budget);
-    match m.solve() {
-        Ok(sol) => d.merge(cert::check_ilp_solution(&m, &sol)),
+    let (res, ilp_cert) = m.solve_with_cert();
+    match &res {
+        Ok(sol) => {
+            d.merge(cert::check_ilp_solution(&m, sol));
+            d.merge(bnbchk::check_ilp_certificate(&m, Some(sol), &ilp_cert));
+        }
         Err(e) => d.error(
             Code::CERT004,
             Location::Global,
             format!("ILP solve failed: {e}"),
         ),
     }
+    rtise::obs::record("certb.ilp", 1);
+    d
+}
+
+/// Replays the RMS search's optimality certificate (`certb.rms`): an
+/// `Unschedulable` verdict is certified as a genuine infeasibility proof,
+/// a selection as the true optimum.
+fn certify_rms_optimality(specs: &[rtise::select::TaskSpec], budget: u64) -> Diagnostics {
+    let (res, cert) = rtise::select::rms::select_rms_with_cert(specs, budget);
+    let sel = res.as_ref().ok().map(|(sel, _)| sel);
+    let d = bnbchk::check_rms_certificate(specs, budget, sel, &cert);
+    rtise::obs::record("certb.rms", 1);
     d
 }
 
@@ -142,6 +173,7 @@ fn certify_task_sets(names: &[&str], u0: f64) -> Diagnostics {
         if let Ok(sel) = select_rms(&specs, budget) {
             d.merge(cert::check_rms_selection(&specs, &sel, budget));
         }
+        d.merge(certify_rms_optimality(&specs, budget));
     }
     d
 }
@@ -376,7 +408,10 @@ fn certify_rt(pcts: &[u64], with_solvers: bool) -> Diagnostics {
 }
 
 /// Fig. 8.4: the bio-monitoring customization's selected instructions are
-/// legal and the programs they accelerate are well-formed.
+/// legal, the programs they accelerate are well-formed, and the simulated
+/// speedups re-pass an independent per-block gain-accounting walk — the
+/// customized cycle counts are recomputed from block profiles and CI
+/// latencies, never trusted from the simulator.
 fn certify_fig8_4() -> Diagnostics {
     let hw = HwModel::default();
     let mut d = Diagnostics::new();
@@ -392,20 +427,44 @@ fn certify_fig8_4() -> Diagnostics {
         }];
         let res =
             customize_task_set(&tasks, 0.01, &hw, IterativeOptions::default()).expect("customize");
+        let mut accounting = Vec::new();
+        let mut cis = rtise::sim::CiMap::new();
         for (i, ci) in res.selected.iter().enumerate() {
             let dfg = &kernel.program.block(ci.block).dfg;
             d.merge(cert::check_candidate_set(
                 dfg, &ci.nodes, MAX_IN, MAX_OUT, i,
             ));
+            let cycles = hw.ci_cycles(dfg, &ci.nodes);
+            accounting.push((ci.block.0, ci.nodes.clone(), cycles));
+            cis.add(
+                ci.block,
+                rtise::sim::SelectedCi {
+                    nodes: ci.nodes.clone(),
+                    cycles,
+                },
+            );
         }
+        let sw = kernel.validate().expect("reference run");
+        let acc = rtise::sim::Simulator::new(&kernel.program)
+            .expect("sim")
+            .run_with_cis(&kernel.init_vars, &kernel.init_mem, &cis)
+            .expect("accelerated run");
+        d.merge(cert::check_sim_accounting(
+            &kernel.program,
+            &accounting,
+            &sw.block_counts,
+            sw.cycles,
+            acc.cycles,
+        ));
+        rtise::obs::record("cert.sim_gain_walk", 1);
     }
     d
 }
 
-/// The architecture-taxonomy extension: every architecture's schedule is
-/// structurally valid; net-gain claims are re-walked where the standard
-/// cost model applies (the temporal-only and partial variants price
-/// reconfigurations differently, so only their structure is certified).
+/// The architecture-taxonomy extension: every architecture variant's
+/// schedule is structurally valid AND its net-gain claim is re-walked
+/// under its own cost model — full-reload pricing for the temporal-only
+/// variant, per-area pricing for partial reconfiguration.
 fn certify_ext_arch() -> Diagnostics {
     let base = jpeg_problem_fast();
     let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
@@ -435,7 +494,27 @@ fn certify_ext_arch() -> Diagnostics {
         ));
         let temporal =
             rtise::reconfig::temporal_only_partition(&p, rtise::reconfig::CostModel::FullReload);
-        d.merge(cert::check_reconfig_solution(&p, &temporal, None));
+        d.merge(cert::check_reconfig_solution_with_cost(
+            &p,
+            &temporal,
+            rtise::reconfig::CostModel::FullReload,
+            Some(rtise::reconfig::net_gain_with(
+                &p,
+                &temporal,
+                rtise::reconfig::CostModel::FullReload,
+            )),
+        ));
+        // Partial reconfiguration: the experiment prices each switch by
+        // the incoming configuration's area (see `ext::ext_arch`).
+        let partial = rtise::reconfig::CostModel::Partial {
+            per_area_unit: (rho / p.max_area.max(1)).max(1),
+        };
+        d.merge(cert::check_reconfig_solution_with_cost(
+            &p,
+            &it,
+            partial,
+            Some(rtise::reconfig::net_gain_with(&p, &it, partial)),
+        ));
     }
     d
 }
@@ -489,5 +568,13 @@ fn certify_ext_ablation() -> Diagnostics {
         &rtise::ise::genetic_select(&cands, budget, rtise::ise::GaOptions::default()),
         budget,
     ));
+    // The exact rung of the ladder, with its optimality certificate
+    // replayed: the heuristics above may only ever trail this optimum.
+    let (exact, ise_cert) = rtise::ise::branch_and_bound_with_cert(&cands, budget);
+    d.merge(cert::check_selection(&cands, &exact, budget));
+    d.merge(bnbchk::check_ise_certificate(
+        &cands, budget, &exact, &ise_cert,
+    ));
+    rtise::obs::record("certb.ise", 1);
     d
 }

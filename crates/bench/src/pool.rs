@@ -20,8 +20,15 @@ use std::sync::Mutex;
 /// Result of certifying one experiment's artifacts.
 #[derive(Debug, Clone)]
 pub enum CertOutcome {
-    /// The certifier found nothing.
-    Clean,
+    /// The certifier found nothing. `replays` counts the branch-and-bound
+    /// optimality certificates replayed along the way, keyed by the
+    /// `check.certb.*` counter names — a clean outcome with a non-zero
+    /// count means the experiment's searches are *proven optimal*, not
+    /// just structurally honest.
+    Clean {
+        /// `check.certb.*` counter deltas from the certification pass.
+        replays: std::collections::BTreeMap<String, u64>,
+    },
     /// Diagnostics were raised; the rendered report follows.
     Dirty(String),
     /// No certifier exists for this experiment id.
@@ -75,9 +82,18 @@ fn run_one(
         // Historical serial behavior: `=== id ===` header, live echo.
         println!("\n=== {id} ===");
     }
-    let (report, trace) =
+    let (mut report, trace) =
         run_observed_traced(id, quiet, trace_clock).expect("ids validated by caller");
-    let certification = (check && report.ok).then(|| certify_outcome(id));
+    let certification = (check && report.ok).then(|| {
+        let (outcome, counters) = certify_outcome(id);
+        // Certification work lands in the experiment's counter map under
+        // a `check.` prefix, so `--json` reports carry the replay counts
+        // (`check.certb.ilp`, …) without disturbing the run's own keys.
+        for (key, delta) in counters {
+            *report.counters.entry(format!("check.{key}")).or_insert(0) += delta;
+        }
+        outcome
+    });
     ExperimentOutcome {
         report,
         certification,
@@ -85,13 +101,28 @@ fn run_one(
     }
 }
 
-fn certify_outcome(id: &str) -> CertOutcome {
-    match catch_unwind(AssertUnwindSafe(|| certify::certify(id))) {
-        Ok(Ok(d)) if d.is_clean() => CertOutcome::Clean,
+/// Certifies one experiment inside its own counter scope, returning the
+/// verdict plus every counter the certification pass incremented.
+fn certify_outcome(id: &str) -> (CertOutcome, std::collections::BTreeMap<String, u64>) {
+    let scope = rtise_obs::CounterScope::new();
+    let result = {
+        let _guard = scope.enter();
+        catch_unwind(AssertUnwindSafe(|| certify::certify(id)))
+    };
+    let counters = scope.counters();
+    let outcome = match result {
+        Ok(Ok(d)) if d.is_clean() => CertOutcome::Clean {
+            replays: counters
+                .iter()
+                .filter(|(k, _)| k.starts_with("certb."))
+                .map(|(k, v)| (format!("check.{k}"), *v))
+                .collect(),
+        },
         Ok(Ok(d)) => CertOutcome::Dirty(d.render()),
         Ok(Err(id)) => CertOutcome::Unavailable(id),
         Err(_) => CertOutcome::Panicked("certifier panicked".to_string()),
-    }
+    };
+    (outcome, counters)
 }
 
 /// Runs `ids` on `jobs` workers, streaming outcomes to `on_ready` in

@@ -224,6 +224,104 @@ fn jpeg_problem_disk_cache_is_transparent() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite: certificate emission is deterministic across worker counts
+/// — a certified `--check` run merges its `check.certb.*` replay counters
+/// into the report, and the canonical report (minus wall times) is
+/// byte-identical for `--jobs 1` and `--jobs 4`.
+#[test]
+fn certified_report_is_deterministic_across_worker_counts() {
+    let dir = std::env::temp_dir().join(format!("rtise-cert-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let mut canonical = Vec::new();
+    for jobs in ["1", "4"] {
+        let path = dir.join(format!("certified-jobs{jobs}.json"));
+        let out = reproduce(&[
+            "--check",
+            "--no-cache",
+            "--jobs",
+            jobs,
+            "--json",
+            path.to_str().expect("utf-8 path"),
+            "fig3_2",
+            "fig4_1",
+        ]);
+        assert!(out.status.success(), "jobs={jobs}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("proven optimal by certificate replay"),
+            "jobs={jobs}: no replay summary in stdout:\n{stdout}"
+        );
+        canonical.push(canonical_report(&path));
+    }
+    assert_eq!(
+        canonical[0], canonical[1],
+        "--jobs 1 and --jobs 4 certified reports differ beyond wall times"
+    );
+    // fig3_2's certifier replays both its ILP and RMS search certificates;
+    // the counters must survive into the canonical (deterministic) report.
+    for key in ["\"check.certb.ilp\"", "\"check.certb.rms\""] {
+        assert!(
+            canonical[0].contains(key),
+            "certified report is missing {key}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: artifacts served from a warm disk cache re-certify — the
+/// reconfiguration solution built on a cache-loaded problem passes the
+/// cost-model-aware net-gain re-walk for both `FullReload` and `Partial`.
+#[test]
+fn warm_cached_problem_recertifies_reconfig_net_gain() {
+    let _config = lock_config();
+    let dir = std::env::temp_dir().join(format!("rtise-warm-cert-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    rtise_bench::set_curve_options_override(Some(rtise::workbench::CurveOptions::fast()));
+    rtise_bench::set_cache_dir(Some(dir.clone()));
+    rtise_bench::clear_curve_memo();
+    rtise_bench::reset_cache_stats();
+
+    let _cold = rtise_bench::cached_jpeg_problem();
+    assert_eq!(rtise_bench::cache_stats(), (0, 1, 1), "cold: miss + store");
+    rtise_bench::clear_curve_memo();
+    let mut p = rtise_bench::cached_jpeg_problem();
+    assert_eq!(rtise_bench::cache_stats(), (1, 1, 1), "warm: disk hit");
+
+    // Same shaping as the ext_arch experiment: a 35% fabric with a
+    // full-reload penalty of 200 cycles.
+    let full: u64 = p.loops.iter().map(|l| l.best().area).sum();
+    let rho = 200u64;
+    p.max_area = (full * 35 / 100).max(1);
+    p.reconfig_cost = rho;
+
+    use rtise::check::cert;
+    use rtise::reconfig::{iterative_partition, net_gain_with, CostModel};
+    let sol = iterative_partition(&p, 5);
+    for cost in [
+        CostModel::FullReload,
+        CostModel::Partial {
+            per_area_unit: (rho / p.max_area.max(1)).max(1),
+        },
+    ] {
+        let d = cert::check_reconfig_solution_with_cost(
+            &p,
+            &sol,
+            cost,
+            Some(net_gain_with(&p, &sol, cost)),
+        );
+        assert!(
+            d.is_clean(),
+            "warm-cached problem failed {cost:?} re-certification: {}",
+            d.render()
+        );
+    }
+
+    rtise_bench::set_curve_options_override(None);
+    rtise_bench::set_cache_dir(None);
+    rtise_bench::clear_curve_memo();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Satellite: unknown experiment ids exit 2 with a nearest-id suggestion
 /// instead of silently shrinking the run.
 #[test]

@@ -1,0 +1,975 @@
+//! The `cert_bnb` analyzer: independent replay of branch-and-bound
+//! optimality certificates.
+//!
+//! Each solver's search ([`rtise_ilp::Model::solve_with_cert`],
+//! [`rtise_ise::branch_and_bound_with_cert`],
+//! [`rtise_select::select_rms_with_cert`]) emits a compact preorder event
+//! log. The replayers here walk that log while *re-deriving every
+//! justification from the problem data* — relaxation bounds, feasibility
+//! witnesses, schedulability tests, and the incumbent discipline — never
+//! trusting the solver's arithmetic:
+//!
+//! * the replayer generates the children of every branch itself, so
+//!   branching coverage of the full space is structural, not claimed;
+//! * every prune event must be justified against the replayer's *own*
+//!   incumbent and its *own* bound computation (exact integer arithmetic
+//!   where the solver used floats);
+//! * leaves update the replayer's incumbent under the solver's documented
+//!   deterministic rule, and the returned solution must equal the final
+//!   replayed incumbent.
+//!
+//! A clean replay therefore proves the returned solution optimal (or the
+//! instance infeasible) assuming only that the event log reflects the
+//! search that produced the answer — which is exactly what certifying a
+//! search can establish. Replay does *not* need to show that explored
+//! nodes were "correctly not pruned": exploring more than necessary never
+//! loses optimality.
+//!
+//! Failures are reported as `CERTB001`–`CERTB006` diagnostics; a
+//! truncated log (`dropped > 0`) yields `CERTB006` and no optimality
+//! claim.
+
+use crate::diag::{Code, Diagnostics, Location};
+use rtise_ilp::{Cmp, IlpCertEvent, IlpCertificate, Model, Sense, Solution as IlpSolution};
+use rtise_ise::{CiCandidate, IseCertEvent, IseCertificate, Selection};
+use rtise_select::rms::{RmsCertEvent, RmsCertificate, RmsSelection};
+use rtise_select::TaskSpec;
+
+/// Tolerance for the RMS utilization-bound justification; deliberately
+/// looser than the solver's own `1e-15` so every float prune the solver
+/// makes on honestly-computed utilizations is accepted, while a bound
+/// inflated enough to hide a better solution is still rejected.
+const RMS_BOUND_EPS: f64 = 1e-9;
+
+/// Stops a replay at the first broken justification: later events are
+/// relative to solver state the replayer can no longer trust.
+struct ReplayErr;
+
+type ReplayResult = Result<(), ReplayErr>;
+
+// ---------------------------------------------------------------------------
+// ILP replay
+// ---------------------------------------------------------------------------
+
+struct IlpReplay<'a> {
+    events: &'a [IlpCertEvent],
+    idx: usize,
+    n: usize,
+    /// Dense normalized coefficients per row, variables in `order`.
+    coeff: Vec<Vec<i64>>,
+    rhs: Vec<i64>,
+    /// Suffix-minimum achievable contribution per `(row, depth)`.
+    min_rem: Vec<Vec<i64>>,
+    obj: Vec<i64>,
+    obj_min_rem: Vec<i64>,
+    lhs: Vec<i64>,
+    assign: Vec<bool>,
+    best: Option<(i64, Vec<bool>)>,
+    d: Diagnostics,
+}
+
+impl IlpReplay<'_> {
+    fn next(&mut self, depth: usize) -> Result<IlpCertEvent, ReplayErr> {
+        match self.events.get(self.idx) {
+            Some(&e) => {
+                self.idx += 1;
+                Ok(e)
+            }
+            None => {
+                self.d.error(
+                    Code::CERTB001,
+                    Location::Global,
+                    format!(
+                        "event log exhausted at depth {depth}: the recorded tree is \
+                         smaller than the branching it declares"
+                    ),
+                );
+                Err(ReplayErr)
+            }
+        }
+    }
+
+    fn walk(&mut self, depth: usize, cur_obj: i64) -> ReplayResult {
+        let ev = self.next(depth)?;
+        match ev {
+            IlpCertEvent::PruneInfeasible { row } => {
+                let ri = row as usize;
+                if ri >= self.rhs.len() {
+                    self.d.error(
+                        Code::CERTB003,
+                        Location::Row(ri),
+                        format!(
+                            "infeasibility witness row {ri} is outside the {}-row \
+                             normalized system",
+                            self.rhs.len()
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                if self.lhs[ri] + self.min_rem[ri][depth] <= self.rhs[ri] {
+                    self.d.error(
+                        Code::CERTB003,
+                        Location::Row(ri),
+                        format!(
+                            "prune at depth {depth} cites row {ri}, but its best-case \
+                             completion {} <= rhs {} is still satisfiable",
+                            self.lhs[ri] + self.min_rem[ri][depth],
+                            self.rhs[ri]
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                Ok(())
+            }
+            IlpCertEvent::PruneBound => {
+                let Some((best, _)) = &self.best else {
+                    self.d.error(
+                        Code::CERTB002,
+                        Location::Global,
+                        format!("bound prune at depth {depth} with no incumbent to prune against"),
+                    );
+                    return Err(ReplayErr);
+                };
+                if cur_obj + self.obj_min_rem[depth] < *best {
+                    self.d.error(
+                        Code::CERTB002,
+                        Location::Global,
+                        format!(
+                            "bound prune at depth {depth} unjustified: completion bound {} \
+                             still beats incumbent {best}",
+                            cur_obj + self.obj_min_rem[depth]
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                Ok(())
+            }
+            IlpCertEvent::Leaf => {
+                if depth != self.n {
+                    self.d.error(
+                        Code::CERTB001,
+                        Location::Global,
+                        format!(
+                            "leaf event at depth {depth}, but the model has {} variable(s)",
+                            self.n
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                if let Some(ri) = (0..self.rhs.len()).find(|&ri| self.lhs[ri] > self.rhs[ri]) {
+                    self.d.error(
+                        Code::CERTB004,
+                        Location::Row(ri),
+                        format!(
+                            "leaf assignment violates normalized row {ri}: {} > {}",
+                            self.lhs[ri], self.rhs[ri]
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                if self.best.as_ref().is_none_or(|(b, _)| cur_obj < *b) {
+                    self.best = Some((cur_obj, self.assign.clone()));
+                }
+                Ok(())
+            }
+            IlpCertEvent::Branch { first } => {
+                if depth >= self.n {
+                    self.d.error(
+                        Code::CERTB001,
+                        Location::Global,
+                        format!(
+                            "branch event at depth {depth}, but the model has only {} \
+                             variable(s)",
+                            self.n
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                // Both children are generated by the replayer itself, in
+                // the recorded order — coverage of the subspace is
+                // structural, whatever value was tried first.
+                for val in [first, !first] {
+                    self.assign[depth] = val;
+                    if val {
+                        for ri in 0..self.rhs.len() {
+                            self.lhs[ri] += self.coeff[ri][depth];
+                        }
+                    }
+                    let next_obj = cur_obj + if val { self.obj[depth] } else { 0 };
+                    let r = self.walk(depth + 1, next_obj);
+                    if val {
+                        for ri in 0..self.rhs.len() {
+                            self.lhs[ri] -= self.coeff[ri][depth];
+                        }
+                    }
+                    r?;
+                }
+                self.assign[depth] = false;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Replays an ILP branch-and-bound certificate against its model and the
+/// claimed outcome (`Some(solution)` or `None` for an infeasibility
+/// verdict), independently confirming optimality.
+///
+/// The normalization (minimize sense, `Ge` rows negated, `Eq` rows split
+/// in declaration order, variables in stable descending-`|objective|`
+/// order) is re-derived from the model per the documented
+/// [`IlpCertificate`] convention; every bound and feasibility witness is
+/// then recomputed in exact `i64` arithmetic.
+pub fn check_ilp_certificate(
+    model: &Model,
+    solution: Option<&IlpSolution>,
+    cert: &IlpCertificate,
+) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    if cert.dropped > 0 {
+        d.error(
+            Code::CERTB006,
+            Location::Global,
+            format!(
+                "certificate truncated: {} event(s) dropped past the recording cap; \
+                 optimality is NOT proven",
+                cert.dropped
+            ),
+        );
+        return d;
+    }
+    let n = model.num_vars();
+
+    // Re-derive the normalization the certificate is expressed in.
+    let obj: Vec<i64> = match model.sense() {
+        Sense::Minimize => model.objective().to_vec(),
+        Sense::Maximize => model.objective().iter().map(|c| -c).collect(),
+    };
+    let mut le_rows: Vec<(Vec<(usize, i64)>, i64)> = Vec::new();
+    for i in 0..model.num_rows() {
+        let (terms, cmp, rhs) = model.row(i);
+        for &(v, _) in terms {
+            if v >= n {
+                d.error(
+                    Code::CERTB001,
+                    Location::Row(i),
+                    format!("model row {i} references variable {v} of {n}"),
+                );
+                return d;
+            }
+        }
+        match cmp {
+            Cmp::Le => le_rows.push((terms.to_vec(), rhs)),
+            Cmp::Ge => le_rows.push((terms.iter().map(|&(v, c)| (v, -c)).collect(), -rhs)),
+            Cmp::Eq => {
+                le_rows.push((terms.to_vec(), rhs));
+                le_rows.push((terms.iter().map(|&(v, c)| (v, -c)).collect(), -rhs));
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(obj[v].abs()));
+    if cert.order != order {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            "certificate variable order differs from the declared stable \
+             descending-|objective| permutation",
+        );
+        return d;
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+    let m = le_rows.len();
+    let mut coeff = vec![vec![0i64; n]; m];
+    for (ri, (terms, _)) in le_rows.iter().enumerate() {
+        for &(v, c) in terms {
+            coeff[ri][pos[v]] += c;
+        }
+    }
+    let mut min_rem = vec![vec![0i64; n + 1]; m];
+    for (ri, row) in coeff.iter().enumerate() {
+        for depth in (0..n).rev() {
+            min_rem[ri][depth] = min_rem[ri][depth + 1] + row[depth].min(0);
+        }
+    }
+    let obj_ordered: Vec<i64> = order.iter().map(|&v| obj[v]).collect();
+    let mut obj_min_rem = vec![0i64; n + 1];
+    for depth in (0..n).rev() {
+        obj_min_rem[depth] = obj_min_rem[depth + 1] + obj_ordered[depth].min(0);
+    }
+    let rhs: Vec<i64> = le_rows.iter().map(|&(_, r)| r).collect();
+
+    let mut replay = IlpReplay {
+        events: &cert.events,
+        idx: 0,
+        n,
+        coeff,
+        rhs,
+        min_rem,
+        obj: obj_ordered,
+        obj_min_rem,
+        lhs: vec![0; m],
+        assign: vec![false; n],
+        best: None,
+        d,
+    };
+    if replay.walk(0, 0).is_err() {
+        return replay.d;
+    }
+    let mut d = replay.d;
+    if replay.idx != cert.events.len() {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            format!(
+                "{} event(s) left over after the root subtree was fully replayed",
+                cert.events.len() - replay.idx
+            ),
+        );
+        return d;
+    }
+
+    // The replay covered the whole space with every prune justified, so
+    // the final replayed incumbent IS the optimum; compare the claim.
+    match (solution, replay.best) {
+        (Some(sol), Some((best_obj, assign))) => {
+            let mut values = vec![false; n];
+            for (depth, &v) in order.iter().enumerate() {
+                values[v] = assign[depth];
+            }
+            let objective = match model.sense() {
+                Sense::Minimize => best_obj,
+                Sense::Maximize => -best_obj,
+            };
+            if sol.objective != objective || sol.values != values {
+                d.error(
+                    Code::CERTB005,
+                    Location::Global,
+                    format!(
+                        "returned solution (objective {}) differs from the replayed \
+                         optimum (objective {objective})",
+                        sol.objective
+                    ),
+                );
+            }
+        }
+        (Some(_), None) => {
+            d.error(
+                Code::CERTB005,
+                Location::Global,
+                "a solution was returned, but the replayed search reached no feasible leaf",
+            );
+        }
+        (None, Some((best_obj, _))) => {
+            d.error(
+                Code::CERTB005,
+                Location::Global,
+                format!(
+                    "claimed infeasible, but the replayed search found a feasible leaf \
+                     with normalized objective {best_obj}"
+                ),
+            );
+        }
+        // Every prune justified and no feasible leaf: infeasibility proven.
+        (None, None) => {}
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// ISE replay
+// ---------------------------------------------------------------------------
+
+struct IseReplay<'a> {
+    events: &'a [IseCertEvent],
+    idx: usize,
+    cands: &'a [CiCandidate],
+    order: &'a [usize],
+    budget: u64,
+    stack: Vec<usize>,
+    best_gain: u64,
+    best_area: u64,
+    best_chosen: Vec<usize>,
+    d: Diagnostics,
+}
+
+impl IseReplay<'_> {
+    /// Floor of the exact fractional-knapsack relaxation over the
+    /// candidates at order positions `depth..`, in `u128` integer
+    /// arithmetic — the independent counterpart of the solver's float
+    /// bound. Any integral completion's gain is at most this floor, so a
+    /// prune is justified iff the floor cannot beat the incumbent.
+    fn bound_floor(&self, depth: usize, area: u64, gain: u64) -> u128 {
+        let mut int_total = gain as u128;
+        let mut room = self.budget - area;
+        let mut frac: Option<(u64, u64, u64)> = None;
+        for &i in &self.order[depth..] {
+            let c = &self.cands[i];
+            if c.area == 0 {
+                int_total += c.total_gain() as u128;
+            } else if frac.is_none() {
+                if c.area <= room {
+                    room -= c.area;
+                    int_total += c.total_gain() as u128;
+                } else {
+                    frac = Some((c.total_gain(), room, c.area));
+                }
+            }
+        }
+        int_total
+            + frac
+                .map(|(g, r, a)| g as u128 * r as u128 / a as u128)
+                .unwrap_or(0)
+    }
+
+    fn walk(&mut self, depth: usize, area: u64, gain: u64) -> ReplayResult {
+        // The solver's deterministic incumbent rule, applied at every node
+        // entry: better gain, or equal gain at strictly smaller area.
+        if gain > self.best_gain || (gain == self.best_gain && area < self.best_area) {
+            self.best_gain = gain;
+            self.best_area = area;
+            self.best_chosen = self.stack.clone();
+            self.best_chosen.sort_unstable();
+        }
+        if depth == self.order.len() {
+            return Ok(());
+        }
+        let ev = match self.events.get(self.idx) {
+            Some(&e) => {
+                self.idx += 1;
+                e
+            }
+            None => {
+                self.d.error(
+                    Code::CERTB001,
+                    Location::Global,
+                    format!(
+                        "event log exhausted at depth {depth}: the recorded tree is \
+                         smaller than the branching it declares"
+                    ),
+                );
+                return Err(ReplayErr);
+            }
+        };
+        match ev {
+            IseCertEvent::PruneBound => {
+                let floor = self.bound_floor(depth, area, gain);
+                if floor > self.best_gain as u128 {
+                    self.d.error(
+                        Code::CERTB002,
+                        Location::Global,
+                        format!(
+                            "bound prune at depth {depth} unjustified: exact relaxation \
+                             floor {floor} still beats incumbent gain {}",
+                            self.best_gain
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                Ok(())
+            }
+            IseCertEvent::Expand { include } => {
+                let i = self.order[depth];
+                let c = &self.cands[i];
+                let fits = area + c.area <= self.budget;
+                let conflict = self.stack.iter().any(|&j| self.cands[j].conflicts_with(c));
+                let should_include = fits && !conflict && c.total_gain() > 0;
+                if include != should_include {
+                    self.d.error(
+                        Code::CERTB003,
+                        Location::Candidate(i),
+                        format!(
+                            "expansion at depth {depth} records include = {include}, but \
+                             candidate {i} (fits = {fits}, conflict = {conflict}, gain = {}) \
+                             requires include = {should_include}",
+                            c.total_gain()
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                if include {
+                    self.stack.push(i);
+                    let r = self.walk(depth + 1, area + c.area, gain + c.total_gain());
+                    self.stack.pop();
+                    r?;
+                }
+                self.walk(depth + 1, area, gain)
+            }
+        }
+    }
+}
+
+/// Replays an intra-task selection branch-and-bound certificate against
+/// the candidate library and budget, independently confirming that the
+/// returned [`Selection`] is gain-optimal (ties by area).
+///
+/// The solver bounds with floats; the replay uses the floor of the exact
+/// rational fractional-knapsack relaxation in `u128` arithmetic, which
+/// accepts every honestly-computed float prune and rejects any prune that
+/// would hide an integral improvement.
+pub fn check_ise_certificate(
+    cands: &[CiCandidate],
+    budget: u64,
+    sel: &Selection,
+    cert: &IseCertificate,
+) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    if cert.dropped > 0 {
+        d.error(
+            Code::CERTB006,
+            Location::Global,
+            format!(
+                "certificate truncated: {} event(s) dropped past the recording cap; \
+                 optimality is NOT proven",
+                cert.dropped
+            ),
+        );
+        return d;
+    }
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ga = cands[a].total_gain() as u128 * cands[b].area.max(1) as u128;
+        let gb = cands[b].total_gain() as u128 * cands[a].area.max(1) as u128;
+        gb.cmp(&ga)
+    });
+    if cert.order != order {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            "certificate candidate order differs from the declared stable \
+             descending gain/area permutation",
+        );
+        return d;
+    }
+    let mut replay = IseReplay {
+        events: &cert.events,
+        idx: 0,
+        cands,
+        order: &order,
+        budget,
+        stack: Vec::new(),
+        best_gain: 0,
+        best_area: 0,
+        best_chosen: Vec::new(),
+        d,
+    };
+    if replay.walk(0, 0, 0).is_err() {
+        return replay.d;
+    }
+    let mut d = replay.d;
+    if replay.idx != cert.events.len() {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            format!(
+                "{} event(s) left over after the root subtree was fully replayed",
+                cert.events.len() - replay.idx
+            ),
+        );
+        return d;
+    }
+    if sel.total_gain != replay.best_gain
+        || sel.total_area != replay.best_area
+        || sel.chosen != replay.best_chosen
+    {
+        d.error(
+            Code::CERTB005,
+            Location::Global,
+            format!(
+                "returned selection (gain {}, area {}) differs from the replayed \
+                 optimum (gain {}, area {})",
+                sel.total_gain, sel.total_area, replay.best_gain, replay.best_area
+            ),
+        );
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// RMS replay
+// ---------------------------------------------------------------------------
+
+struct RmsReplay<'a> {
+    events: &'a [RmsCertEvent],
+    idx: usize,
+    specs: &'a [TaskSpec],
+    order: &'a [usize],
+    budget: u64,
+    periods: &'a [u64],
+    /// Full-multiples scheduling points per depth: every `j·P_k ≤ P_i`
+    /// with `k ≤ i` — the checker's own Theorem 1 formulation, a superset
+    /// of the solver's reduced recursive set with an equivalent
+    /// exists-a-point verdict.
+    points: &'a [Vec<u64>],
+    suffix_bound: &'a [f64],
+    cycles: Vec<u64>,
+    config: Vec<usize>,
+    best: Option<(f64, Vec<usize>)>,
+    d: Diagnostics,
+}
+
+impl RmsReplay<'_> {
+    fn next(&mut self, depth: usize) -> Result<RmsCertEvent, ReplayErr> {
+        match self.events.get(self.idx) {
+            Some(&e) => {
+                self.idx += 1;
+                Ok(e)
+            }
+            None => {
+                self.d.error(
+                    Code::CERTB001,
+                    Location::Global,
+                    format!(
+                        "event log exhausted at depth {depth}: the recorded tree is \
+                         smaller than the branching it declares"
+                    ),
+                );
+                Err(ReplayErr)
+            }
+        }
+    }
+
+    /// The exact per-task RMS test for the task at `depth` running
+    /// `cand_cycles`, with the higher-priority tasks fixed along the
+    /// current replay path.
+    fn schedulable(&self, depth: usize, cand_cycles: u64) -> bool {
+        self.points[depth].iter().any(|&t| {
+            let mut load = (t as u128).div_ceil(self.periods[depth] as u128) * cand_cycles as u128;
+            for k in 0..depth {
+                load += (t as u128).div_ceil(self.periods[k] as u128) * self.cycles[k] as u128;
+            }
+            load <= t as u128
+        })
+    }
+
+    fn walk(&mut self, depth: usize, area: u64, util: f64) -> ReplayResult {
+        if depth == self.order.len() {
+            if self.best.as_ref().is_none_or(|(b, _)| util < *b) {
+                self.best = Some((util, self.config.clone()));
+            }
+            return Ok(());
+        }
+        let first = self.next(depth)?;
+        if first == RmsCertEvent::PruneBound {
+            let Some((b, _)) = &self.best else {
+                self.d.error(
+                    Code::CERTB002,
+                    Location::Global,
+                    format!("bound prune at depth {depth} with no incumbent to prune against"),
+                );
+                return Err(ReplayErr);
+            };
+            if util + self.suffix_bound[depth] < *b - RMS_BOUND_EPS {
+                self.d.error(
+                    Code::CERTB002,
+                    Location::Global,
+                    format!(
+                        "bound prune at depth {depth} unjustified: utilization bound {} \
+                         still beats incumbent {b}",
+                        util + self.suffix_bound[depth]
+                    ),
+                );
+                return Err(ReplayErr);
+            }
+            return Ok(());
+        }
+        let ti = self.order[depth];
+        let spec = &self.specs[ti];
+        // One event per configuration, fastest first, the first of which
+        // was already consumed above.
+        for (cfg_pos, j) in (0..spec.curve.len()).rev().enumerate() {
+            let ev = if cfg_pos == 0 {
+                first
+            } else {
+                self.next(depth)?
+            };
+            let p = &spec.curve.points()[j];
+            match ev {
+                RmsCertEvent::PruneBound => {
+                    self.d.error(
+                        Code::CERTB001,
+                        Location::Task(ti),
+                        format!(
+                            "bound-prune event in the middle of depth {depth}'s \
+                             configuration sweep"
+                        ),
+                    );
+                    return Err(ReplayErr);
+                }
+                RmsCertEvent::CfgArea => {
+                    if area + p.area <= self.budget {
+                        self.d.error(
+                            Code::CERTB003,
+                            Location::Task(ti),
+                            format!(
+                                "area prune of configuration {j} unjustified: {} + {} \
+                                 fits budget {}",
+                                area, p.area, self.budget
+                            ),
+                        );
+                        return Err(ReplayErr);
+                    }
+                }
+                RmsCertEvent::CfgUnsched => {
+                    if area + p.area > self.budget {
+                        self.d.error(
+                            Code::CERTB001,
+                            Location::Task(ti),
+                            format!(
+                                "configuration {j} recorded as unschedulable but it \
+                                 exceeds the budget; events are out of order"
+                            ),
+                        );
+                        return Err(ReplayErr);
+                    }
+                    if self.schedulable(depth, p.cycles) {
+                        self.d.error(
+                            Code::CERTB003,
+                            Location::Task(ti),
+                            format!(
+                                "schedulability prune of configuration {j} unjustified: \
+                                 the exact scheduling-points test passes"
+                            ),
+                        );
+                        return Err(ReplayErr);
+                    }
+                }
+                RmsCertEvent::CfgRecurse => {
+                    if area + p.area > self.budget || !self.schedulable(depth, p.cycles) {
+                        self.d.error(
+                            Code::CERTB004,
+                            Location::Task(ti),
+                            format!(
+                                "configuration {j} was recursed into, but the replay \
+                                 finds it over budget or unschedulable"
+                            ),
+                        );
+                        return Err(ReplayErr);
+                    }
+                    self.config[ti] = j;
+                    self.cycles[depth] = p.cycles;
+                    self.walk(
+                        depth + 1,
+                        area + p.area,
+                        util + p.cycles as f64 / spec.period as f64,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replays an RMS configuration-selection branch-and-bound certificate
+/// against the task specs and budget, independently confirming that the
+/// claimed outcome — `Some(selection)` or `None` for an unschedulability
+/// verdict — is utilization-optimal.
+///
+/// Schedulability prunes are justified with the checker's own
+/// full-multiples scheduling-points test (as in
+/// [`crate::cert::rms_exact_schedulable`]); the utilization bound is
+/// recomputed from the curves and accepted at a tolerance looser than the
+/// solver's, so honest float prunes always pass.
+pub fn check_rms_certificate(
+    specs: &[TaskSpec],
+    budget: u64,
+    selection: Option<&RmsSelection>,
+    cert: &RmsCertificate,
+) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    if cert.dropped > 0 {
+        d.error(
+            Code::CERTB006,
+            Location::Global,
+            format!(
+                "certificate truncated: {} event(s) dropped past the recording cap; \
+                 optimality is NOT proven",
+                cert.dropped
+            ),
+        );
+        return d;
+    }
+    if specs.is_empty() {
+        if !cert.events.is_empty() || selection.is_some() {
+            d.error(
+                Code::CERTB001,
+                Location::Global,
+                "empty task set admits no search tree",
+            );
+        }
+        return d;
+    }
+    if specs.iter().any(|s| s.period == 0) {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            "a task has a zero period; the search space is undefined",
+        );
+        return d;
+    }
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].period);
+    if cert.order != order {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            "certificate task order differs from the declared stable \
+             non-decreasing-period permutation",
+        );
+        return d;
+    }
+    let periods: Vec<u64> = order.iter().map(|&i| specs[i].period).collect();
+    let points: Vec<Vec<u64>> = (0..order.len())
+        .map(|depth| {
+            let pi = periods[depth];
+            let mut pts: Vec<u64> = Vec::new();
+            for &pk in &periods[..=depth] {
+                let mut t = pk;
+                while t <= pi {
+                    pts.push(t);
+                    t += pk;
+                }
+            }
+            pts.sort_unstable();
+            pts.dedup();
+            pts
+        })
+        .collect();
+    // The per-depth utilization still achievable, area ignored — the same
+    // lower bound the solver prunes with, recomputed from the curves.
+    let best_u: Vec<f64> = specs
+        .iter()
+        .map(|s| {
+            s.curve
+                .points()
+                .iter()
+                .map(|p| p.cycles as f64 / s.period as f64)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mut suffix_bound = vec![0.0; specs.len() + 1];
+    for depth in (0..specs.len()).rev() {
+        suffix_bound[depth] = suffix_bound[depth + 1] + best_u[order[depth]];
+    }
+
+    let mut replay = RmsReplay {
+        events: &cert.events,
+        idx: 0,
+        specs,
+        order: &order,
+        budget,
+        periods: &periods,
+        points: &points,
+        suffix_bound: &suffix_bound,
+        cycles: vec![0; specs.len()],
+        config: vec![0; specs.len()],
+        best: None,
+        d,
+    };
+    if replay.walk(0, 0, 0.0).is_err() {
+        return replay.d;
+    }
+    let mut d = replay.d;
+    if replay.idx != cert.events.len() {
+        d.error(
+            Code::CERTB001,
+            Location::Global,
+            format!(
+                "{} event(s) left over after the root subtree was fully replayed",
+                cert.events.len() - replay.idx
+            ),
+        );
+        return d;
+    }
+    match (selection, replay.best) {
+        (Some(sel), Some((util, config))) => {
+            if sel.assignment.config != config
+                || (sel.utilization - util).abs() > RMS_BOUND_EPS * util.max(1.0)
+            {
+                d.error(
+                    Code::CERTB005,
+                    Location::Global,
+                    format!(
+                        "returned selection (utilization {}) differs from the replayed \
+                         optimum (utilization {util})",
+                        sel.utilization
+                    ),
+                );
+            }
+        }
+        (Some(_), None) => {
+            d.error(
+                Code::CERTB005,
+                Location::Global,
+                "a selection was returned, but the replayed search reached no \
+                 schedulable leaf",
+            );
+        }
+        (None, Some((util, _))) => {
+            d.error(
+                Code::CERTB005,
+                Location::Global,
+                format!(
+                    "claimed unschedulable, but the replayed search found a feasible \
+                     leaf with utilization {util}"
+                ),
+            );
+        }
+        // Full refutation: every configuration everywhere was pruned with
+        // justification and no leaf was reached.
+        (None, None) => {}
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_ilp::SolveError;
+
+    #[test]
+    fn ilp_feasible_and_infeasible_certificates_replay_clean() {
+        let mut m = Model::new(4);
+        m.set_objective(Sense::Maximize, &[10, 40, 30, 50]);
+        m.add_le(&[(0, 5), (1, 4), (2, 6), (3, 3)], 10);
+        let (res, cert) = m.solve_with_cert();
+        let sol = res.expect("feasible");
+        assert!(cert.dropped == 0 && !cert.events.is_empty());
+        let d = check_ilp_certificate(&m, Some(&sol), &cert);
+        assert!(d.is_clean(), "{d}");
+
+        let mut inf = Model::new(2);
+        inf.add_ge(&[(0, 1), (1, 1)], 3);
+        let (res, cert) = inf.solve_with_cert();
+        assert_eq!(res, Err(SolveError::Infeasible));
+        let d = check_ilp_certificate(&inf, None, &cert);
+        assert!(d.is_clean(), "{d}");
+    }
+
+    #[test]
+    fn ilp_forged_solution_is_rejected_against_replay() {
+        let mut m = Model::new(3);
+        m.set_objective(Sense::Maximize, &[60, 100, 120]);
+        m.add_le(&[(0, 10), (1, 20), (2, 30)], 50);
+        let (res, cert) = m.solve_with_cert();
+        let mut sol = res.expect("feasible");
+        sol.objective += 1;
+        let d = check_ilp_certificate(&m, Some(&sol), &cert);
+        assert!(d.has(Code::CERTB005), "{d}");
+    }
+
+    #[test]
+    fn ilp_truncated_certificate_reports_incomplete() {
+        let mut m = Model::new(6);
+        m.set_objective(Sense::Maximize, &[3, 1, 4, 1, 5, 9]);
+        m.add_le(&[(0, 2), (1, 3), (2, 1), (3, 4), (4, 2), (5, 3)], 7);
+        let (res, cert) = m.solve_with_cert_capped(4);
+        let sol = res.expect("feasible: the cap only limits recording");
+        assert!(cert.dropped > 0);
+        let d = check_ilp_certificate(&m, Some(&sol), &cert);
+        assert!(d.has(Code::CERTB006), "{d}");
+    }
+}

@@ -20,7 +20,7 @@ use rtise_ir::NodeId;
 use rtise_ise::configs::ConfigCurve;
 use rtise_ise::{CiCandidate, Selection};
 use rtise_reconfig::rt::{RtProblem, RtSolution};
-use rtise_reconfig::{ReconfigProblem, Solution as ReconfigSolution};
+use rtise_reconfig::{CostModel, ReconfigProblem, Solution as ReconfigSolution};
 use rtise_select::edf::EdfSelection;
 use rtise_select::pareto::ParetoPoint;
 use rtise_select::rms::RmsSelection;
@@ -832,13 +832,26 @@ pub fn check_partitioning(g: &Graph, p: &Partitioning, claimed_cut: Option<u64>)
 // Reconfiguration certificates (Chapters 6 and 7)
 // ---------------------------------------------------------------------------
 
-/// Certifies a Chapter 6 reconfiguration solution: index sanity
-/// (`CERT011`), per-configuration fabric area from an independent sum
-/// (`CERT010`), and — when the caller reports one — the claimed net gain
-/// against an independent trace walk (`CERT011`).
+/// Certifies a Chapter 6 reconfiguration solution under the default
+/// full-reload cost model; see [`check_reconfig_solution_with_cost`].
 pub fn check_reconfig_solution(
     problem: &ReconfigProblem,
     sol: &ReconfigSolution,
+    claimed_net_gain: Option<i64>,
+) -> Diagnostics {
+    check_reconfig_solution_with_cost(problem, sol, CostModel::FullReload, claimed_net_gain)
+}
+
+/// Certifies a Chapter 6 reconfiguration solution: index sanity
+/// (`CERT011`), per-configuration fabric area from an independent sum
+/// (`CERT010`), and — when the caller reports one — the claimed net gain
+/// against an independent trace walk (`CERT011`) under the given
+/// [`CostModel`]: each switch charged at the flat reload cost, or, for
+/// partial reconfiguration, per area cell of the *incoming* configuration.
+pub fn check_reconfig_solution_with_cost(
+    problem: &ReconfigProblem,
+    sol: &ReconfigSolution,
+    cost_model: CostModel,
     claimed_net_gain: Option<i64>,
 ) -> Diagnostics {
     let mut d = Diagnostics::new();
@@ -897,8 +910,9 @@ pub fn check_reconfig_solution(
         }
     }
 
-    // Independent trace walk: count configuration switches (initial load
-    // free, software loops transparent) and rebuild the net gain.
+    // Independent trace walk: find every configuration switch (initial
+    // load free, software loops transparent), charge it under the cost
+    // model, and rebuild the net gain.
     if let Some(claimed) = claimed_net_gain {
         let raw: u64 = sol
             .version
@@ -908,6 +922,7 @@ pub fn check_reconfig_solution(
             .sum();
         let mut loaded: Option<usize> = None;
         let mut switches = 0u64;
+        let mut reconfig_cycles = 0u64;
         for &l in &problem.trace {
             if sol.version[l] == 0 {
                 continue;
@@ -915,18 +930,24 @@ pub fn check_reconfig_solution(
             let cfg = sol.config[l];
             if loaded.is_some_and(|cur| cur != cfg) {
                 switches += 1;
+                reconfig_cycles += match cost_model {
+                    CostModel::FullReload => problem.reconfig_cost,
+                    CostModel::Partial { per_area_unit } => {
+                        per_area_unit * per_cfg.get(&cfg).copied().unwrap_or(0)
+                    }
+                };
             }
             loaded = Some(cfg);
         }
-        let net = raw as i64 - (switches * problem.reconfig_cost) as i64;
+        let net = raw as i64 - reconfig_cycles as i64;
         if net != claimed {
             d.error(
                 Code::CERT011,
                 Location::Global,
                 format!(
-                    "claimed net gain {claimed}, trace walk gives {net} \
-                     (raw {raw}, {switches} reconfiguration(s) at {})",
-                    problem.reconfig_cost
+                    "claimed net gain {claimed}, trace walk gives {net} under \
+                     {cost_model:?} (raw {raw}, {switches} reconfiguration(s) \
+                     costing {reconfig_cycles})"
                 ),
             );
         }
@@ -1057,6 +1078,118 @@ pub fn check_rt_solution(problem: &RtProblem, sol: &RtSolution) -> Diagnostics {
             format!(
                 "reported utilization {} but job-walk recomputation gives {utilization}",
                 sol.utilization
+            ),
+        );
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Simulation gain accounting (Chapter 8 cross-check)
+// ---------------------------------------------------------------------------
+
+/// Certifies a pair of simulation cycle counts — a software run and a
+/// customized run over the same input — against an independent per-block
+/// gain-accounting walk (`CERT013`).
+///
+/// `cis` lists the deployed custom instructions as plain
+/// `(block index, covered nodes, hardware cycles)` tuples;
+/// `block_counts` is the execution profile (identical for both runs:
+/// custom instructions re-time blocks, never re-route control flow). The
+/// walk recomputes each block's cost from first principles — terminator
+/// cost plus per-operation software latencies, with covered operations
+/// replaced by their instruction's hardware cycles — and requires both
+/// reported totals to equal `Σ cost(b) · counts(b)` exactly. Overlapping
+/// instructions in one block make the accounting ill-defined and are
+/// reported as `CERT001`.
+pub fn check_sim_accounting(
+    program: &Program,
+    cis: &[(usize, NodeSet, u64)],
+    block_counts: &[u64],
+    sw_cycles: u64,
+    customized_cycles: u64,
+) -> Diagnostics {
+    let mut d = Diagnostics::new();
+    let nb = program.blocks.len();
+    if block_counts.len() != nb {
+        d.error(
+            Code::CERT013,
+            Location::Global,
+            format!(
+                "profile covers {} block(s), program has {nb}",
+                block_counts.len()
+            ),
+        );
+        return d;
+    }
+    let mut covered: Vec<NodeSet> = (0..nb).map(|b| program.blocks[b].dfg.empty_set()).collect();
+    let mut hw_cost = vec![0u64; nb];
+    for (which, &(b, ref nodes, cycles)) in cis.iter().enumerate() {
+        if b >= nb {
+            d.error(
+                Code::CERT013,
+                Location::Candidate(which),
+                format!("custom instruction targets block {b} of {nb}"),
+            );
+            return d;
+        }
+        let dfg = &program.blocks[b].dfg;
+        if nodes.iter().any(|id| id.0 >= dfg.len()) {
+            d.error(
+                Code::CERT013,
+                Location::Candidate(which),
+                format!(
+                    "covered nodes fall outside block {b}'s {}-node DFG",
+                    dfg.len()
+                ),
+            );
+            return d;
+        }
+        if covered[b].intersects(nodes) {
+            d.error(
+                Code::CERT001,
+                Location::Block(b),
+                format!("custom instruction {which} overlaps an earlier one in block {b}"),
+            );
+            return d;
+        }
+        covered[b].union_with(nodes);
+        hw_cost[b] += cycles;
+    }
+    let mut sw_total = 0u64;
+    let mut cust_total = 0u64;
+    for b in 0..nb {
+        let bb = &program.blocks[b];
+        let term = bb.terminator.cost();
+        let mut sw_cost = term;
+        let mut cust_cost = term + hw_cost[b];
+        for id in bb.dfg.ids() {
+            let lat = bb.dfg.kind(id).sw_latency();
+            sw_cost += lat;
+            if !covered[b].contains(id) {
+                cust_cost += lat;
+            }
+        }
+        sw_total += sw_cost * block_counts[b];
+        cust_total += cust_cost * block_counts[b];
+    }
+    if sw_total != sw_cycles {
+        d.error(
+            Code::CERT013,
+            Location::Global,
+            format!(
+                "software run reports {sw_cycles} cycle(s), gain-accounting walk \
+                 gives {sw_total}"
+            ),
+        );
+    }
+    if cust_total != customized_cycles {
+        d.error(
+            Code::CERT013,
+            Location::Global,
+            format!(
+                "customized run reports {customized_cycles} cycle(s), gain-accounting \
+                 walk gives {cust_total}"
             ),
         );
     }

@@ -13,7 +13,8 @@ use std::fmt;
 ///
 /// Codes are grouped by layer: `IRxxx` for IR well-formedness, `CANDxxx`
 /// for custom-instruction candidate legality, `CERTxxx` for solution
-/// certificates, and `TRACExxx` for trace-artifact conformance. Codes
+/// certificates, `CERTBxxx` for branch-and-bound optimality-certificate
+/// replay, and `TRACExxx` for trace-artifact conformance. Codes
 /// are append-only — a published code never changes meaning (tests and
 /// CI tooling match on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,6 +84,26 @@ pub enum Code {
     /// A task assignment is inconsistent: configuration index out of range
     /// or a misreported utilization.
     CERT012,
+    /// A customized simulation's cycle count disagrees with the
+    /// independent per-block gain-accounting walk.
+    CERT013,
+    /// A branch-and-bound certificate is structurally invalid: events
+    /// missing, left over, or inconsistent with the declared search order.
+    CERTB001,
+    /// A bound prune is unjustified: the re-derived relaxation bound
+    /// could still beat the replayed incumbent.
+    CERTB002,
+    /// An infeasibility/legality prune is unjustified: the cited witness
+    /// does not actually rule the subtree out.
+    CERTB003,
+    /// A leaf event is inconsistent: the replayed assignment is infeasible
+    /// where the log claims a feasible leaf.
+    CERTB004,
+    /// The returned solution disagrees with the replayed incumbent.
+    CERTB005,
+    /// The certificate was truncated at its recording cap — the replay is
+    /// sound as far as it goes, but optimality is NOT proven.
+    CERTB006,
     /// A trace document has no `traceEvents` array.
     TRACE001,
     /// A trace event is not an object or lacks a required `name`/`ph`
@@ -100,7 +121,7 @@ pub enum Code {
 
 impl Code {
     /// All codes, for documentation tables and exhaustiveness tests.
-    pub const ALL: [Code; 32] = [
+    pub const ALL: [Code; 39] = [
         Code::IR001,
         Code::IR002,
         Code::IR003,
@@ -128,6 +149,13 @@ impl Code {
         Code::CERT010,
         Code::CERT011,
         Code::CERT012,
+        Code::CERT013,
+        Code::CERTB001,
+        Code::CERTB002,
+        Code::CERTB003,
+        Code::CERTB004,
+        Code::CERTB005,
+        Code::CERTB006,
         Code::TRACE001,
         Code::TRACE002,
         Code::TRACE003,
@@ -165,6 +193,13 @@ impl Code {
             Code::CERT010 => "CERT010",
             Code::CERT011 => "CERT011",
             Code::CERT012 => "CERT012",
+            Code::CERT013 => "CERT013",
+            Code::CERTB001 => "CERTB001",
+            Code::CERTB002 => "CERTB002",
+            Code::CERTB003 => "CERTB003",
+            Code::CERTB004 => "CERTB004",
+            Code::CERTB005 => "CERTB005",
+            Code::CERTB006 => "CERTB006",
             Code::TRACE001 => "TRACE001",
             Code::TRACE002 => "TRACE002",
             Code::TRACE003 => "TRACE003",
@@ -203,6 +238,13 @@ impl Code {
             Code::CERT010 => "per-configuration fabric area exceeded",
             Code::CERT011 => "reconfiguration gain/count/schedulability wrong",
             Code::CERT012 => "task assignment inconsistent",
+            Code::CERT013 => "simulated cycles disagree with gain accounting",
+            Code::CERTB001 => "B&B certificate structurally invalid",
+            Code::CERTB002 => "B&B bound prune unjustified",
+            Code::CERTB003 => "B&B infeasibility prune unjustified",
+            Code::CERTB004 => "B&B leaf infeasible or inconsistent",
+            Code::CERTB005 => "solution disagrees with replayed incumbent",
+            Code::CERTB006 => "B&B certificate truncated; optimality unproven",
             Code::TRACE001 => "trace document lacks a traceEvents array",
             Code::TRACE002 => "trace event malformed or missing name/ph",
             Code::TRACE003 => "trace event phase unknown",
@@ -439,7 +481,7 @@ mod tests {
     fn codes_render_stably() {
         assert_eq!(Code::IR003.as_str(), "IR003");
         assert_eq!(Code::CAND003.to_string(), "CAND003");
-        assert_eq!(Code::ALL.len(), 32);
+        assert_eq!(Code::ALL.len(), 39);
         for c in Code::ALL {
             assert!(!c.summary().is_empty());
         }

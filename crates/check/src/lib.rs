@@ -12,7 +12,10 @@
 //!    of solver outputs (candidate legality, selections, ILP solutions,
 //!    EDF/RMS schedulability, Pareto fronts, graph partitions,
 //!    reconfiguration schedules) *without reusing solver code*: every
-//!    quantity is recomputed from the problem data.
+//!    quantity is recomputed from the problem data. Its branch-and-bound
+//!    arm ([`bnb`]) replays the optimality certificates the ILP, ISE and
+//!    RMS searches emit, upgrading "feasible and honest" to "proven
+//!    optimal" (`CERTB001`–`CERTB006`).
 //! 3. **Diagnostics** ([`diag`]) — stable machine-readable codes
 //!    (`IR001`…, `CAND001`…, `CERT001`…, `TRACE001`…) with severities,
 //!    locations, and human plus `rtise-obs` JSON renderings.
@@ -26,6 +29,7 @@
 //! assertions and into `rtise-bench reproduce --check`, which certifies
 //! every experiment's artifacts before they are trusted.
 
+pub mod bnb;
 pub mod cert;
 pub mod diag;
 pub mod ir;

@@ -1,0 +1,202 @@
+//! Seeded mutation tests for the branch-and-bound certificate replayers:
+//! corrupt verified-clean optimality certificates in eight distinct ways
+//! and assert the documented `CERTB` code for each corruption class.
+//! Instances are generated with the deterministic [`rtise_obs::Rng`], so
+//! failures reproduce exactly.
+
+use rtise_check::bnb::{check_ilp_certificate, check_ise_certificate, check_rms_certificate};
+use rtise_check::Code;
+use rtise_ilp::{IlpCertEvent, Model, Sense};
+use rtise_ir::cfg::BlockId;
+use rtise_ir::nodeset::NodeSet;
+use rtise_ise::configs::ConfigCurve;
+use rtise_ise::select::{branch_and_bound_with_cert, branch_and_bound_with_cert_capped};
+use rtise_ise::{CiCandidate, IseCertEvent};
+use rtise_obs::Rng;
+use rtise_select::rms::{select_rms_with_cert, RmsCertEvent};
+use rtise_select::TaskSpec;
+
+/// A feasible knapsack whose root node always branches: distinct positive
+/// gains (so the variable order is unambiguous), non-negative weights and
+/// a non-negative budget (so row 0 is satisfiable at the root).
+fn knapsack(rng: &mut Rng) -> Model {
+    let n = rng.gen_range(5..=8usize);
+    let mut m = Model::new(n);
+    let gains: Vec<i64> = (0..n)
+        .map(|i| rng.gen_range(1..=9i64) + 10 * i as i64)
+        .collect();
+    m.set_objective(Sense::Maximize, &gains);
+    let terms: Vec<(usize, i64)> = (0..n).map(|v| (v, rng.gen_range(1..=6i64))).collect();
+    m.add_le(&terms, rng.gen_range(4..=10i64));
+    m
+}
+
+/// A synthetic candidate covering `nodes` of `block` in a 64-node DFG.
+fn cand(block: usize, nodes: &[usize], area: u64, gain: u64) -> CiCandidate {
+    let mut set = NodeSet::with_capacity(64);
+    for &n in nodes {
+        set.insert(rtise_ir::dfg::NodeId(n));
+    }
+    CiCandidate {
+        block: BlockId(block),
+        nodes: set,
+        area,
+        hw_cycles: 1,
+        sw_cycles: 1 + gain,
+        exec_count: 1,
+    }
+}
+
+fn ise_library(rng: &mut Rng) -> (Vec<CiCandidate>, u64) {
+    let n = rng.gen_range(6..=10usize);
+    let cands: Vec<CiCandidate> = (0..n)
+        .map(|i| {
+            let lo = rng.gen_range(0..10usize);
+            let hi = lo + rng.gen_range(1..=3usize);
+            let nodes: Vec<usize> = (lo..hi).collect();
+            cand(
+                i % 3,
+                &nodes,
+                rng.gen_range(1..8u64),
+                rng.gen_range(1..15u64),
+            )
+        })
+        .collect();
+    let budget = rng.gen_range(5..20u64);
+    (cands, budget)
+}
+
+fn spec(name: &str, base: u64, period: u64, pts: &[(u64, u64)]) -> TaskSpec {
+    TaskSpec::new(ConfigCurve::from_points(name, base, pts), period)
+}
+
+/// Schedulable in software at generous periods, with hardware points a
+/// tight budget must reject — guaranteeing `CfgArea` events in the log.
+fn rms_instance(rng: &mut Rng) -> (Vec<TaskSpec>, u64) {
+    let specs = vec![
+        spec("a", rng.gen_range(2..5u64), 50, &[(6, 1), (9, 1)]),
+        spec("b", rng.gen_range(2..5u64), 60, &[(7, 1)]),
+        spec("c", rng.gen_range(2..5u64), 70, &[(8, 2)]),
+    ];
+    (specs, 5)
+}
+
+/// Class 1 (`CERTB001`): drop the final recorded node — the replayed
+/// branching declares a larger tree than the log contains.
+#[test]
+fn dropped_node_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1001);
+    let m = knapsack(&mut rng);
+    let (res, mut cert) = m.solve_with_cert();
+    let sol = res.expect("feasible");
+    assert!(check_ilp_certificate(&m, Some(&sol), &cert).is_clean());
+    cert.events.pop().expect("non-empty log");
+    let d = check_ilp_certificate(&m, Some(&sol), &cert);
+    assert!(d.has(Code::CERTB001), "expected CERTB001, got: {d}");
+}
+
+/// Class 2 (`CERTB001`): permute the declared variable order — the
+/// events no longer describe the model's canonical search space.
+#[test]
+fn forged_variable_order_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1002);
+    let m = knapsack(&mut rng);
+    let (res, mut cert) = m.solve_with_cert();
+    let sol = res.expect("feasible");
+    assert!(check_ilp_certificate(&m, Some(&sol), &cert).is_clean());
+    cert.order.swap(0, 1);
+    let d = check_ilp_certificate(&m, Some(&sol), &cert);
+    assert!(d.has(Code::CERTB001), "expected CERTB001, got: {d}");
+}
+
+/// Class 3 (`CERTB002`): claim a bound prune at the root, where no
+/// incumbent exists and the whole space is still open.
+#[test]
+fn inflated_bound_prune_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1003);
+    let m = knapsack(&mut rng);
+    let (res, mut cert) = m.solve_with_cert();
+    let sol = res.expect("feasible");
+    assert!(matches!(cert.events[0], IlpCertEvent::Branch { .. }));
+    cert.events[0] = IlpCertEvent::PruneBound;
+    let d = check_ilp_certificate(&m, Some(&sol), &cert);
+    assert!(d.has(Code::CERTB002), "expected CERTB002, got: {d}");
+}
+
+/// Class 4 (`CERTB003`): claim an infeasibility prune citing a witness
+/// row that is still satisfiable.
+#[test]
+fn forged_infeasibility_witness_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1004);
+    let m = knapsack(&mut rng);
+    let (res, mut cert) = m.solve_with_cert();
+    let sol = res.expect("feasible");
+    cert.events[0] = IlpCertEvent::PruneInfeasible { row: 0 };
+    let d = check_ilp_certificate(&m, Some(&sol), &cert);
+    assert!(d.has(Code::CERTB003), "expected CERTB003, got: {d}");
+}
+
+/// Class 5 (`CERTB003`): flip an `include` flag so the recorded branching
+/// silently skips the include child of a viable candidate.
+#[test]
+fn skipped_branch_child_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1005);
+    let (cands, budget) = ise_library(&mut rng);
+    let (sel, mut cert) = branch_and_bound_with_cert(&cands, budget);
+    assert!(check_ise_certificate(&cands, budget, &sel, &cert).is_clean());
+    let pos = cert
+        .events
+        .iter()
+        .position(|e| matches!(e, IseCertEvent::Expand { include: true }))
+        .expect("some include child in a positive-gain library");
+    cert.events[pos] = IseCertEvent::Expand { include: false };
+    let d = check_ise_certificate(&cands, budget, &sel, &cert);
+    assert!(d.has(Code::CERTB003), "expected CERTB003, got: {d}");
+}
+
+/// Class 6 (`CERTB004`): rewrite a justified configuration prune as a
+/// recursion — the certified path now claims an infeasible assignment
+/// was explored as feasible.
+#[test]
+fn infeasible_recursion_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1006);
+    let (specs, budget) = rms_instance(&mut rng);
+    let (res, mut cert) = select_rms_with_cert(&specs, budget);
+    let (sel, _) = res.expect("software configurations are schedulable");
+    assert!(check_rms_certificate(&specs, budget, Some(&sel), &cert).is_clean());
+    let pos = cert
+        .events
+        .iter()
+        .position(|e| matches!(e, RmsCertEvent::CfgArea | RmsCertEvent::CfgUnsched))
+        .expect("the tight budget forces at least one configuration prune");
+    cert.events[pos] = RmsCertEvent::CfgRecurse;
+    let d = check_rms_certificate(&specs, budget, Some(&sel), &cert);
+    assert!(d.has(Code::CERTB004), "expected CERTB004, got: {d}");
+}
+
+/// Class 7 (`CERTB005`): return a stale incumbent — a solution other
+/// than the one the replayed search proves optimal.
+#[test]
+fn stale_incumbent_is_caught() {
+    let mut rng = Rng::new(0xC0DE_1007);
+    let (specs, budget) = rms_instance(&mut rng);
+    let (res, cert) = select_rms_with_cert(&specs, budget);
+    let (mut sel, _) = res.expect("software configurations are schedulable");
+    assert!(check_rms_certificate(&specs, budget, Some(&sel), &cert).is_clean());
+    sel.utilization += 0.25;
+    let d = check_rms_certificate(&specs, budget, Some(&sel), &cert);
+    assert!(d.has(Code::CERTB005), "expected CERTB005, got: {d}");
+}
+
+/// Class 8 (`CERTB006`): cap the log below the tree size — the honest
+/// verdict is "truncated, optimality NOT proven", never a clean pass.
+#[test]
+fn truncated_certificate_is_incomplete_not_clean() {
+    let mut rng = Rng::new(0xC0DE_1008);
+    let (cands, budget) = ise_library(&mut rng);
+    let (sel, cert) = branch_and_bound_with_cert_capped(&cands, budget, 2);
+    assert!(cert.dropped > 0, "a 2-event cap must truncate this search");
+    let d = check_ise_certificate(&cands, budget, &sel, &cert);
+    assert!(d.has(Code::CERTB006), "expected CERTB006, got: {d}");
+    assert!(!d.is_clean());
+}

@@ -206,18 +206,41 @@ pub fn harvest_options(rng: &mut Rng) -> HarvestOptions {
 /// Tuning knobs for [`ilp_model`].
 #[derive(Debug, Clone, Copy)]
 pub struct IlpOptions {
+    /// Minimum number of binary variables.
+    pub min_vars: usize,
     /// Maximum number of binary variables.
     pub max_vars: usize,
     /// Maximum number of constraint rows (0 rows — pure objective — is a
     /// legal draw).
     pub max_rows: usize,
+    /// Restrict draws to knapsack-shaped `≤` rows with non-negative
+    /// weights. Large instances use this: signed `≥`/`=` rows (parity-like
+    /// constraints) defeat the objective-suffix relaxation bound and blow
+    /// the search up exponentially, while knapsack rows stay tractable.
+    pub le_rows_only: bool,
 }
 
 impl Default for IlpOptions {
     fn default() -> Self {
         IlpOptions {
+            min_vars: 1,
             max_vars: 10,
             max_rows: 6,
+            le_rows_only: false,
+        }
+    }
+}
+
+impl IlpOptions {
+    /// Instances past the fuzz oracle's exhaustive-search cap (12
+    /// variables): optimality on these is certified exclusively by
+    /// branch-and-bound certificate replay.
+    pub fn large() -> Self {
+        IlpOptions {
+            min_vars: 20,
+            max_vars: 40,
+            max_rows: 6,
+            le_rows_only: true,
         }
     }
 }
@@ -228,7 +251,8 @@ impl Default for IlpOptions {
 /// with signed coefficients. Infeasible draws are legal — the oracle
 /// cross-checks infeasibility claims against exhaustive search.
 pub fn ilp_model(rng: &mut Rng, opts: &IlpOptions) -> Model {
-    let n = rng.gen_range(1..=opts.max_vars.max(1));
+    let lo = opts.min_vars.max(1);
+    let n = rng.gen_range(lo..=opts.max_vars.max(lo));
     let mut m = Model::new(n);
     let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-9..=9i64)).collect();
     let sense = if rng.gen_bool(0.5) {
@@ -239,7 +263,7 @@ pub fn ilp_model(rng: &mut Rng, opts: &IlpOptions) -> Model {
     m.set_objective(sense, &obj);
     let n_rows = rng.gen_range(0..=opts.max_rows);
     for _ in 0..n_rows {
-        if rng.gen_bool(0.75) {
+        if opts.le_rows_only || rng.gen_bool(0.75) {
             let terms: Vec<(usize, i64)> = (0..n)
                 .filter_map(|v| {
                     if rng.gen_bool(0.6) {

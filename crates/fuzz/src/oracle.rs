@@ -48,6 +48,10 @@ pub const DIFF_ILP_EXHAUSTIVE: &str = "DIFF006";
 /// generic growth, incremental-bound vs recomputed-bound B&B, memoized vs
 /// plain RMS search, sparse vs dense ILP search).
 pub const DIFF_FAST_PATH: &str = "DIFF007";
+/// Independent certificate replay refutes the solver's claimed optimum
+/// (or infeasibility verdict). This is the sole optimality oracle above
+/// `MAX_BRUTE_VARS` (12) variables, where exhaustive search is off the table.
+pub const DIFF_CERT_REPLAY: &str = "DIFF008";
 /// A solver returned an error on an instance it must accept.
 pub const SOLVE_ERROR: &str = "SOLVE001";
 
@@ -212,9 +216,19 @@ impl Instance {
                 let budget = gen::area_budget(rng, &specs);
                 Instance::Rms { specs, budget }
             }
-            Family::Ilp => Instance::Ilp {
-                model: gen::ilp_model(rng, &gen::IlpOptions::default()),
-            },
+            Family::Ilp => {
+                // A third of the draws exceed the exhaustive-search cap
+                // (20–40 variables), so every campaign exercises the
+                // certificate-replay-only optimality path.
+                let opts = if rng.gen_bool(1.0 / 3.0) {
+                    gen::IlpOptions::large()
+                } else {
+                    gen::IlpOptions::default()
+                };
+                Instance::Ilp {
+                    model: gen::ilp_model(rng, &opts),
+                }
+            }
             Family::Pareto => {
                 let (base, items) = gen::pareto_items(rng, 10);
                 let eps = [0.25, 0.5, 1.0, 2.0][rng.gen_range(0..4usize)];
@@ -695,6 +709,25 @@ pub fn rms_findings(specs: &[TaskSpec], budget: u64) -> Vec<Finding> {
             }
         }
     }
+    // Optimality-certificate replay: an independent walk of the recorded
+    // search tree, re-deriving every bound and schedulability verdict.
+    let (cert_res, rms_cert) = rtise_select::rms::select_rms_with_cert(specs, budget);
+    rtise_obs::record("fuzz.rms.cert_replay", 1);
+    let claimed = match &cert_res {
+        Ok((sel, _)) => Some(Some(sel)),
+        Err(SelectRmsError::Unschedulable) => Some(None),
+        Err(_) => None,
+    };
+    if let Some(outcome) = claimed {
+        let replay = rtise_check::bnb::check_rms_certificate(specs, budget, outcome, &rms_cert);
+        if !replay.is_clean() {
+            out.push(Finding::new(
+                DIFF_CERT_REPLAY,
+                format!("RMS certificate replay refutes the solver: {replay}"),
+            ));
+            push_diags(&mut out, replay);
+        }
+    }
     // Memoized search vs the plain reference search: identical results
     // *and* identical node/prune statistics (same search tree).
     let memo = rtise_select::rms::select_rms_with_stats(specs, budget);
@@ -745,14 +778,39 @@ fn exhaustive_rms_optimum(specs: &[TaskSpec], budget: u64) -> Option<f64> {
 }
 
 /// Largest ILP the exhaustive differential enumerates (2¹² assignments).
+/// Above this, optimality is certified by replaying the solver's
+/// branch-and-bound certificate instead of brute force.
 const MAX_BRUTE_VARS: usize = 12;
 
 /// ILP family: branch-and-bound → certificate → exhaustive 0-1 search
-/// differential (including infeasibility claims).
+/// differential (including infeasibility claims). Every instance also
+/// replays the search's optimality certificate; past `MAX_BRUTE_VARS`
+/// variables the replay is the *only* optimality check, so the generator
+/// deliberately draws instances on both sides of the cap.
 pub fn ilp_findings(model: &Model) -> Vec<Finding> {
     let mut out = Vec::new();
     let brute = (model.num_vars() <= MAX_BRUTE_VARS).then(|| brute_force_ilp(model));
-    match model.solve() {
+    let (result, bnb_cert) = model.solve_with_cert();
+    rtise_obs::record("fuzz.ilp.cert_replay", 1);
+    if model.num_vars() > MAX_BRUTE_VARS {
+        rtise_obs::record("fuzz.ilp.cert_replay_large", 1);
+    }
+    let claimed = match &result {
+        Ok(sol) => Some(Some(sol)),
+        Err(SolveError::Infeasible) => Some(None),
+        Err(_) => None, // reported as SOLVE001 below; no optimality claim made
+    };
+    if let Some(outcome) = claimed {
+        let replay = rtise_check::bnb::check_ilp_certificate(model, outcome, &bnb_cert);
+        if !replay.is_clean() {
+            out.push(Finding::new(
+                DIFF_CERT_REPLAY,
+                format!("certificate replay refutes the solver: {replay}"),
+            ));
+            push_diags(&mut out, replay);
+        }
+    }
+    match result {
         Ok(sol) => {
             push_diags(&mut out, cert::check_ilp_solution(model, &sol));
             match brute {
@@ -936,6 +994,17 @@ pub fn cand_findings(
     push_diags(&mut out, cert::check_selection(&cands, &greedy, budget));
     let bnb = branch_and_bound(&cands, budget);
     push_diags(&mut out, cert::check_selection(&cands, &bnb, budget));
+    // Optimality-certificate replay of the intra-task selection search.
+    let (bnb_cert_sel, ise_cert) = rtise_ise::select::branch_and_bound_with_cert(&cands, budget);
+    rtise_obs::record("fuzz.ise.cert_replay", 1);
+    let replay = rtise_check::bnb::check_ise_certificate(&cands, budget, &bnb_cert_sel, &ise_cert);
+    if !replay.is_clean() {
+        out.push(Finding::new(
+            DIFF_CERT_REPLAY,
+            format!("ISE certificate replay refutes the solver: {replay}"),
+        ));
+        push_diags(&mut out, replay);
+    }
     // Incremental prefix-sum bound vs the recomputed-bound reference: the
     // search trees are proven identical, so the selections must be too.
     let bnb_reference = rtise_ise::select::branch_and_bound_reference(&cands, budget);

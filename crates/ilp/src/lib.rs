@@ -95,6 +95,60 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Default cap on certificate events per solve. Experiment-scale solves
+/// explore well under a million nodes; anything past the cap is counted
+/// in [`IlpCertificate::dropped`] instead of growing without bound.
+pub const DEFAULT_CERT_CAP: usize = 1 << 22;
+
+/// One branch-and-bound node of the search, in preorder.
+///
+/// The events reference the *normalized* problem: minimize sense, every
+/// row rewritten as `<=` (a `Ge` row negated, an `Eq` row split into its
+/// original and negated halves, in declaration order), variables permuted
+/// by [`IlpCertificate::order`]. A replayer re-deriving the same
+/// normalization from the model can verify every decision without
+/// trusting this solver's arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IlpCertEvent {
+    /// The node was abandoned because normalized row `row` cannot be
+    /// satisfied by any completion (the row is the infeasibility witness).
+    PruneInfeasible {
+        /// Index into the normalized `<=` row system.
+        row: u32,
+    },
+    /// The node was abandoned because no completion can beat the
+    /// incumbent objective.
+    PruneBound,
+    /// A full assignment was reached (depth = number of variables); the
+    /// replayer updates its own incumbent if the leaf improves on it.
+    Leaf,
+    /// The node branched on the next variable, trying `first` before
+    /// `!first` — together the two children cover the whole subspace.
+    Branch {
+        /// The assignment explored first.
+        first: bool,
+    },
+}
+
+/// A replayable optimality certificate of one [`Model::solve_with_cert`]
+/// call: the variable order plus one event per explored node, preorder.
+///
+/// `rtise-check`'s `bnb` analyzer replays the log against the model and
+/// independently confirms that every prune was justified, that branching
+/// covered the full space, and hence that the returned solution (or the
+/// infeasibility verdict) is optimal. A truncated log (`dropped > 0`)
+/// proves nothing beyond its prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlpCertificate {
+    /// `order[d]` is the original index of the variable branched at depth
+    /// `d` — a permutation of `0..num_vars`.
+    pub order: Vec<usize>,
+    /// One event per explored node, in preorder.
+    pub events: Vec<IlpCertEvent>,
+    /// Events dropped past the recording cap (0 = complete log).
+    pub dropped: u64,
+}
+
 /// An optimal solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
@@ -243,8 +297,46 @@ impl Model {
     ///
     /// Same as [`Model::solve`].
     pub fn solve_with_stats(&self) -> Result<(Solution, IlpStats), SolveError> {
+        self.solve_observed(None)
+    }
+
+    /// Like [`Model::solve`], additionally emitting a replayable
+    /// [`IlpCertificate`] of the branch-and-bound tree (capped at
+    /// [`DEFAULT_CERT_CAP`] events). The certificate is returned even on
+    /// [`SolveError::Infeasible`] — a complete log whose every prune is
+    /// justified *is* the infeasibility proof.
+    pub fn solve_with_cert(&self) -> (Result<Solution, SolveError>, IlpCertificate) {
+        self.solve_with_cert_capped(DEFAULT_CERT_CAP)
+    }
+
+    /// [`Model::solve_with_cert`] with an explicit event cap; events past
+    /// the cap are dropped and counted in [`IlpCertificate::dropped`].
+    pub fn solve_with_cert_capped(
+        &self,
+        cap: usize,
+    ) -> (Result<Solution, SolveError>, IlpCertificate) {
+        let mut rec = CertRec {
+            order: Vec::new(),
+            log: rtise_obs::BoundedLog::new(cap),
+        };
+        let result = self.solve_observed(Some(&mut rec)).map(|(s, _)| s);
+        let (events, dropped) = rec.log.into_parts();
+        (
+            result,
+            IlpCertificate {
+                order: rec.order,
+                events,
+                dropped,
+            },
+        )
+    }
+
+    fn solve_observed(
+        &self,
+        cert: Option<&mut CertRec>,
+    ) -> Result<(Solution, IlpStats), SolveError> {
         let span = rtise_trace::span(codes::ILP_SOLVE);
-        let (result, stats, depth_hist) = self.solve_inner();
+        let (result, stats, depth_hist) = self.solve_inner(cert);
         rtise_obs::record("ilp.solves", 1);
         rtise_obs::record("ilp.nodes_explored", stats.nodes_explored);
         rtise_obs::record("ilp.pruned_infeasible", stats.pruned_infeasible);
@@ -295,11 +387,18 @@ impl Model {
             .map(|sol| (sol, stats))
     }
 
-    fn solve_inner(&self) -> (Result<Solution, SolveError>, IlpStats, rtise_obs::Hist) {
+    fn solve_inner(
+        &self,
+        cert: Option<&mut CertRec>,
+    ) -> (Result<Solution, SolveError>, IlpStats, rtise_obs::Hist) {
         let prep = match self.prepare() {
             Ok(p) => p,
             Err(e) => return (Err(e), IlpStats::default(), rtise_obs::Hist::new()),
         };
+        let cert = cert.map(|rec| {
+            rec.order = prep.order.clone();
+            &mut rec.log
+        });
         let m = prep.rhs.len();
         // Sparse columns: the rows each ordered variable actually touches.
         // Branching and the violated-row count only walk these.
@@ -329,6 +428,7 @@ impl Model {
             stats: IlpStats::default(),
             node_limit: self.node_limit,
             depth_hist: rtise_obs::Hist::new(),
+            cert,
         };
         if let Err(e) = search.dfs(0, 0) {
             return (Err(e), search.stats, search.depth_hist);
@@ -434,6 +534,12 @@ impl Model {
     }
 }
 
+/// In-flight certificate state while a recording solve runs.
+struct CertRec {
+    order: Vec<usize>,
+    log: rtise_obs::BoundedLog<IlpCertEvent>,
+}
+
 /// Output of [`Model::prepare`]: the normalized, variable-ordered problem.
 struct Prepared {
     order: Vec<usize>,
@@ -470,6 +576,10 @@ struct Search<'a> {
     /// differential test against [`SearchReference`] stays a plain
     /// tuple comparison.
     depth_hist: rtise_obs::Hist,
+    /// Certificate event log, when the caller asked for one. Recording
+    /// never changes prune decisions — the witness-row scan on an
+    /// infeasible prune is the only extra work.
+    cert: Option<&'a mut rtise_obs::BoundedLog<IlpCertEvent>>,
 }
 
 impl Search<'_> {
@@ -494,6 +604,12 @@ impl Search<'_> {
         // Feasibility pruning.
         if self.violated > 0 {
             self.stats.pruned_infeasible += 1;
+            if let Some(cert) = &mut self.cert {
+                let row = (0..self.min_rem.len())
+                    .find(|&ri| self.lhs[ri] + self.min_rem[ri][depth] > self.rhs[ri])
+                    .expect("positive violated count implies a violated row");
+                cert.push(IlpCertEvent::PruneInfeasible { row: row as u32 });
+            }
             if rtise_trace::enabled() {
                 rtise_trace::instant_with(codes::ILP_PRUNE_INFEASIBLE, &[("depth", depth as u64)]);
             }
@@ -503,6 +619,9 @@ impl Search<'_> {
         if let Some((best, _)) = &self.best {
             if cur_obj + self.obj_min_rem[depth] >= *best {
                 self.stats.pruned_bound += 1;
+                if let Some(cert) = &mut self.cert {
+                    cert.push(IlpCertEvent::PruneBound);
+                }
                 if rtise_trace::enabled() {
                     rtise_trace::instant_with(codes::ILP_PRUNE_BOUND, &[("depth", depth as u64)]);
                 }
@@ -510,6 +629,9 @@ impl Search<'_> {
             }
         }
         if depth == self.n {
+            if let Some(cert) = &mut self.cert {
+                cert.push(IlpCertEvent::Leaf);
+            }
             if self.best.as_ref().is_none_or(|(b, _)| cur_obj < *b) {
                 self.best = Some((cur_obj, self.assign.clone()));
                 self.stats.incumbent_updates += 1;
@@ -525,6 +647,11 @@ impl Search<'_> {
         } else {
             [false, true]
         };
+        if let Some(cert) = &mut self.cert {
+            cert.push(IlpCertEvent::Branch {
+                first: branch_order[0],
+            });
+        }
         for val in branch_order {
             self.assign[depth] = val;
             self.cross(depth, val, true);

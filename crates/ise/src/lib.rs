@@ -27,4 +27,7 @@ pub use candidate::{harvest, CiCandidate, HarvestOptions};
 pub use configs::{ConfigCurve, ConfigPoint};
 pub use enumerate::{enumerate_connected, enumerate_disconnected, maximal_miso, EnumerateOptions};
 pub use metaheuristics::{genetic_select, simulated_annealing_select, GaOptions, SaOptions};
-pub use select::{branch_and_bound, greedy_by_ratio, iterative_selection, Selection};
+pub use select::{
+    branch_and_bound, branch_and_bound_with_cert, greedy_by_ratio, iterative_selection,
+    IseCertEvent, IseCertificate, Selection,
+};

@@ -14,6 +14,51 @@
 
 use crate::candidate::CiCandidate;
 
+/// Default cap on certificate events per [`branch_and_bound_with_cert`]
+/// call; overflow is counted in [`IseCertificate::dropped`].
+pub const DEFAULT_CERT_CAP: usize = 1 << 22;
+
+/// One branch-and-bound decision node, in preorder.
+///
+/// Leaves (depth = library size) record no event — the replayer detects
+/// them from its own depth counter; and incumbent updates record no event
+/// either, because the incumbent rule is deterministic (better gain, or
+/// equal gain at smaller area, at every node entry) and the replayer
+/// reproduces it independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IseCertEvent {
+    /// The node was abandoned: the fractional-knapsack relaxation over the
+    /// remaining candidates cannot beat the incumbent gain.
+    PruneBound,
+    /// The node branched on the next candidate in ratio order. `include`
+    /// states whether the include child was explored — which the search
+    /// does exactly when the candidate fits the remaining budget, conflicts
+    /// with nothing on the stack, and has positive gain. The exclude child
+    /// is always explored, so the two children cover the space.
+    Expand {
+        /// Whether the include child exists.
+        include: bool,
+    },
+}
+
+/// A replayable optimality certificate of one
+/// [`branch_and_bound_with_cert`] call.
+///
+/// `rtise-check`'s `bnb` analyzer replays it with an exact-integer bound
+/// (no floating point) and confirms the returned [`Selection`] is
+/// gain-optimal under the budget. A truncated log (`dropped > 0`) proves
+/// nothing beyond its prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IseCertificate {
+    /// `order[d]` is the candidate index branched at depth `d` — a
+    /// permutation of `0..cands.len()` in descending gain/area order.
+    pub order: Vec<usize>,
+    /// One event per decision node, in preorder.
+    pub events: Vec<IseCertEvent>,
+    /// Events dropped past the recording cap (0 = complete log).
+    pub dropped: u64,
+}
+
 /// A selection outcome: indices into the candidate slice plus totals.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Selection {
@@ -99,6 +144,50 @@ pub fn greedy_by_ratio(cands: &[CiCandidate], budget: u64) -> Selection {
 /// [`branch_and_bound_reference`] exactly (debug builds assert this at
 /// every prune decision).
 pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
+    bnb_inner(cands, budget, None)
+}
+
+/// Like [`branch_and_bound`], additionally emitting a replayable
+/// [`IseCertificate`] of the search tree (capped at [`DEFAULT_CERT_CAP`]
+/// events).
+pub fn branch_and_bound_with_cert(
+    cands: &[CiCandidate],
+    budget: u64,
+) -> (Selection, IseCertificate) {
+    branch_and_bound_with_cert_capped(cands, budget, DEFAULT_CERT_CAP)
+}
+
+/// [`branch_and_bound_with_cert`] with an explicit event cap; events past
+/// the cap are dropped and counted in [`IseCertificate::dropped`].
+pub fn branch_and_bound_with_cert_capped(
+    cands: &[CiCandidate],
+    budget: u64,
+    cap: usize,
+) -> (Selection, IseCertificate) {
+    let mut log = rtise_obs::BoundedLog::new(cap);
+    let sel = bnb_inner(cands, budget, Some(&mut log));
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ga = cands[a].total_gain() as u128 * cands[b].area.max(1) as u128;
+        let gb = cands[b].total_gain() as u128 * cands[a].area.max(1) as u128;
+        gb.cmp(&ga)
+    });
+    let (events, dropped) = log.into_parts();
+    (
+        sel,
+        IseCertificate {
+            order,
+            events,
+            dropped,
+        },
+    )
+}
+
+fn bnb_inner(
+    cands: &[CiCandidate],
+    budget: u64,
+    cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
+) -> Selection {
     let _span = rtise_trace::span(rtise_trace::codes::ISE_BNB_SOLVE);
     // Order by ratio so the fractional bound is tight.
     let mut order: Vec<usize> = (0..cands.len()).collect();
@@ -155,6 +244,7 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
         pruned_bound: u64,
         incumbents: u64,
         depth_hist: rtise_obs::Hist,
+        cert: Option<&'a mut rtise_obs::BoundedLog<IseCertEvent>>,
     }
 
     /// The fractional-knapsack bound from the prefix tables; bit-identical
@@ -219,6 +309,9 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
         );
         if b <= ctx.best.total_gain as f64 {
             ctx.pruned_bound += 1;
+            if let Some(cert) = &mut ctx.cert {
+                cert.push(IseCertEvent::PruneBound);
+            }
             if rtise_trace::enabled() {
                 rtise_trace::instant_with(
                     rtise_trace::codes::ISE_BNB_PRUNE_BOUND,
@@ -233,7 +326,11 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
             .stack
             .iter()
             .any(|&j| ctx.cands[j].conflicts_with(&ctx.cands[i]));
-        if fits && !conflict && ctx.cands[i].total_gain() > 0 {
+        let include = fits && !conflict && ctx.cands[i].total_gain() > 0;
+        if let Some(cert) = &mut ctx.cert {
+            cert.push(IseCertEvent::Expand { include });
+        }
+        if include {
             ctx.stack.push(i);
             dfs(
                 ctx,
@@ -269,6 +366,7 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
         pruned_bound: 0,
         incumbents: 0,
         depth_hist: rtise_obs::Hist::new(),
+        cert,
     };
     dfs(&mut ctx, 0, 0, 0);
     rtise_obs::record("ise.bnb.solves", 1);

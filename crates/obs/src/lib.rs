@@ -31,6 +31,9 @@
 //!   timers. Observations flow through [`observe`]/[`observe_hist`] into
 //!   the global registry and every entered [`CounterScope`], and caches
 //!   replay them with [`attribute_hists`] just like counters.
+//! * [`certlog`] — [`BoundedLog`], the capped drop-with-marker event log
+//!   the branch-and-bound solvers record their replayable optimality
+//!   certificates into.
 //! * [`json`] — a tiny JSON document model with a writer and a
 //!   recursive-descent parser, enough to serialize reports and to verify
 //!   them in tests.
@@ -52,12 +55,14 @@
 //! assert!(json.contains("\"candidates\":42"));
 //! ```
 
+pub mod certlog;
 pub mod hist;
 pub mod json;
 pub mod registry;
 pub mod report;
 pub mod rng;
 
+pub use certlog::BoundedLog;
 pub use hist::Hist;
 pub use registry::{
     attribute_hists, global_add, hist_snapshot, observe, observe_hist, record, snapshot,

@@ -165,6 +165,7 @@ fn ilp_model_exact(rng: &mut Rng, vars: usize) -> Model {
     let opts = gen::IlpOptions {
         max_vars: vars,
         max_rows: vars,
+        ..gen::IlpOptions::default()
     };
     loop {
         let m = gen::ilp_model(rng, &opts);

@@ -35,6 +35,50 @@ impl fmt::Display for SelectRmsError {
 
 impl std::error::Error for SelectRmsError {}
 
+/// Default cap on certificate events per [`select_rms_with_cert`] call;
+/// overflow is counted in [`RmsCertificate::dropped`].
+pub const DEFAULT_CERT_CAP: usize = 1 << 22;
+
+/// One branch-and-bound event, in preorder.
+///
+/// A non-leaf node that is not bound-pruned records exactly one `Cfg*`
+/// event per configuration of the task at its depth, fastest (highest
+/// curve index) first — together the events enumerate every child, so a
+/// replayer can confirm the branching covered the whole space. Leaves
+/// (depth = task count) record nothing: the incumbent rule (strictly
+/// smaller utilization) is deterministic and replayed independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmsCertEvent {
+    /// The node was abandoned: even the best remaining configurations
+    /// cannot beat the incumbent utilization.
+    PruneBound,
+    /// The configuration exceeded the remaining area budget.
+    CfgArea,
+    /// The configuration failed the exact per-task RMS test (Theorem 1).
+    CfgUnsched,
+    /// The configuration was feasible so far; the search recursed into it.
+    CfgRecurse,
+}
+
+/// A replayable optimality certificate of one [`select_rms_with_cert`]
+/// call.
+///
+/// `rtise-check`'s `bnb` analyzer replays it, re-deriving the utilization
+/// bound and the scheduling-point test from the task specs, and confirms
+/// the returned [`RmsSelection`] is utilization-optimal within the budget
+/// (or, when the search failed, that the whole space was refuted). A
+/// truncated log (`dropped > 0`) proves nothing beyond its prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmsCertificate {
+    /// `order[d]` is the spec index assigned at depth `d` — a permutation
+    /// of `0..specs.len()` in non-decreasing period (priority) order.
+    pub order: Vec<usize>,
+    /// Events in preorder (see [`RmsCertEvent`]).
+    pub events: Vec<RmsCertEvent>,
+    /// Events dropped past the recording cap (0 = complete log).
+    pub dropped: u64,
+}
+
 /// Result of the RMS selection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RmsSelection {
@@ -91,6 +135,52 @@ pub fn select_rms_with_stats(
     specs: &[TaskSpec],
     area_budget: u64,
 ) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
+    select_rms_inner(specs, area_budget, None)
+}
+
+/// Like [`select_rms_with_stats`], additionally recording a replayable
+/// [`RmsCertificate`] of the search (capped at [`DEFAULT_CERT_CAP`]
+/// events). The certificate is returned even when the search fails — a
+/// complete log with no surviving leaf is an unschedulability proof.
+pub fn select_rms_with_cert(
+    specs: &[TaskSpec],
+    area_budget: u64,
+) -> (
+    Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
+    RmsCertificate,
+) {
+    select_rms_with_cert_capped(specs, area_budget, DEFAULT_CERT_CAP)
+}
+
+/// [`select_rms_with_cert`] with an explicit event cap.
+pub fn select_rms_with_cert_capped(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    cap: usize,
+) -> (
+    Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
+    RmsCertificate,
+) {
+    let mut log = rtise_obs::BoundedLog::new(cap);
+    let result = select_rms_inner(specs, area_budget, Some(&mut log));
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].period);
+    let (events, dropped) = log.into_parts();
+    (
+        result,
+        RmsCertificate {
+            order,
+            events,
+            dropped,
+        },
+    )
+}
+
+fn select_rms_inner(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
+) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
     if specs.is_empty() {
         return Err(SelectRmsError::NoTasks);
     }
@@ -136,6 +226,7 @@ pub fn select_rms_with_stats(
         // Depth histogram outside `RmsBnbStats`, which the differential
         // test against the reference search compares by tuple equality.
         depth_hist: rtise_obs::Hist,
+        cert: Option<&'a mut rtise_obs::BoundedLog<RmsCertEvent>>,
     }
 
     fn search(ctx: &mut Ctx<'_>, depth: usize, area: u64, util: f64) {
@@ -159,6 +250,9 @@ pub fn select_rms_with_stats(
         if let Some((b, _)) = &ctx.best {
             if util + ctx.suffix_bound[depth] >= *b - 1e-15 {
                 ctx.stats.pruned_bound += 1;
+                if let Some(log) = ctx.cert.as_deref_mut() {
+                    log.push(RmsCertEvent::PruneBound);
+                }
                 if rtise_trace::enabled() {
                     rtise_trace::instant_with(
                         rtise_trace::codes::SELECT_RMS_PRUNE_BOUND,
@@ -188,6 +282,9 @@ pub fn select_rms_with_stats(
             let p = &spec.curve.points()[j];
             if area + p.area > ctx.budget {
                 ctx.stats.pruned_area += 1;
+                if let Some(log) = ctx.cert.as_deref_mut() {
+                    log.push(RmsCertEvent::CfgArea);
+                }
                 if rtise_trace::enabled() {
                     rtise_trace::instant_with(
                         rtise_trace::codes::SELECT_RMS_PRUNE_AREA,
@@ -219,6 +316,9 @@ pub fn select_rms_with_stats(
                 );
             }
             if ok {
+                if let Some(log) = ctx.cert.as_deref_mut() {
+                    log.push(RmsCertEvent::CfgRecurse);
+                }
                 ctx.config[ti] = j;
                 ctx.cycles[depth] = p.cycles;
                 search(
@@ -229,6 +329,9 @@ pub fn select_rms_with_stats(
                 );
             } else {
                 ctx.stats.pruned_unschedulable += 1;
+                if let Some(log) = ctx.cert.as_deref_mut() {
+                    log.push(RmsCertEvent::CfgUnsched);
+                }
                 if rtise_trace::enabled() {
                     rtise_trace::instant_with(
                         rtise_trace::codes::SELECT_RMS_PRUNE_UNSCHED,
@@ -253,6 +356,7 @@ pub fn select_rms_with_stats(
         best: None,
         stats: RmsBnbStats::default(),
         depth_hist: rtise_obs::Hist::new(),
+        cert,
     };
     let span = rtise_trace::span(rtise_trace::codes::SELECT_RMS_SOLVE);
     search(&mut ctx, 0, 0, 0.0);
