@@ -112,4 +112,39 @@ cargo run --offline --release -p rtise-perf --bin bench -- \
 # --baseline validates both documents' schemas and fails on any (kernel,
 # size) point regressing past 2.5x the committed BENCH_5.json figure.
 
+echo "==> serve smoke (seeded 1000-request loadtest, 4 workers, cold then warm store)"
+# The serve binary certifies every response via rtise-check internally and
+# schema-checks the Chrome Trace export before writing it; a nonzero exit
+# already fails CI. On top of that we grep the certification line and prove
+# the warm pass hits the sharded response store strictly more often.
+SERVE_STORE=target/ci-serve-store
+rm -rf "$SERVE_STORE"
+cargo run --offline --release -p rtise-serve --bin serve -- \
+  loadtest --seed 42 --requests 1000 --jobs 4 --clock virtual \
+  --cache-dir "$SERVE_STORE" --json target/artifacts/serve-cold.json \
+  --trace-out target/artifacts/serve-loadtest.trace.json \
+  | tee target/serve-cold.log
+if ! grep -q "all 1000 responses certified clean" target/serve-cold.log; then
+  echo "FAIL: cold loadtest did not certify every response"
+  exit 1
+fi
+cargo run --offline --release -p rtise-trace --bin trace -- \
+  summary target/artifacts/serve-loadtest.trace.json > /dev/null
+cargo run --offline --release -p rtise-serve --bin serve -- \
+  loadtest --seed 42 --requests 1000 --jobs 4 --clock virtual \
+  --cache-dir "$SERVE_STORE" --json target/artifacts/serve-warm.json \
+  --min-hit-rate 90 \
+  | tee target/serve-warm.log
+if ! grep -q "all 1000 responses certified clean" target/serve-warm.log; then
+  echo "FAIL: warm loadtest did not certify every response"
+  exit 1
+fi
+COLD_HITS=$(grep -o '"hit_rate_pct": [0-9.]*' target/artifacts/serve-cold.json | head -1 | grep -o '[0-9.]*$')
+WARM_HITS=$(grep -o '"hit_rate_pct": [0-9.]*' target/artifacts/serve-warm.json | head -1 | grep -o '[0-9.]*$')
+if ! awk -v w="$WARM_HITS" -v c="$COLD_HITS" 'BEGIN { exit !(w > c) }'; then
+  echo "FAIL: warm hit rate $WARM_HITS% not strictly above cold $COLD_HITS%"
+  exit 1
+fi
+echo "    warm pass hit rate $WARM_HITS% > cold $COLD_HITS%; store at $SERVE_STORE"
+
 echo "CI OK"

@@ -67,7 +67,11 @@ fn main() {
                 None => usage_error("--json requires a path argument"),
             },
             "--jobs" => match args.next().map(|n| n.parse::<usize>()) {
-                Some(Ok(n)) if n >= 1 => jobs = Some(n),
+                Some(Ok(0)) => usage_error(
+                    "--jobs 0 is not a worker count — did you mean --jobs 1 for the serial \
+                     harness? (omit --jobs to use every core)",
+                ),
+                Some(Ok(n)) => jobs = Some(n),
                 _ => usage_error("--jobs requires a worker count >= 1"),
             },
             "--cache-dir" => match args.next() {

@@ -1,127 +1,124 @@
-//! Content-addressed on-disk cache for configuration curves.
+//! Configuration-curve artifact family of the sharded
+//! [`store`](mod@crate::store).
 //!
 //! Curve harvests dominate the harness's runtime (`tab4_2`/`tab6_1` and
-//! friends re-sweep thorough candidate enumerations), yet their inputs are
-//! fully determined by the kernel name and the [`CurveOptions`]. Each
-//! cache entry is therefore keyed by kernel + a hash of the canonical
-//! option rendering, versioned with [`FORMAT_VERSION`], and stores the
-//! curve's points together with the solver counters *and histograms* its
-//! generation recorded — so a cache hit can *attribute* the identical
-//! work to its consumer and `reproduce --json` stays byte-deterministic
-//! across cold and warm runs.
-//!
-//! Cache traffic is itself telemetered: hits, misses, stores, and
-//! evictions (rejected entries are deleted) bump `cache.curve.*`
-//! counters, and the age of every entry touched on disk feeds the
-//! `cache.curve.entry_age_ms` histogram.
-//!
-//! Trust model: a cache entry is never taken at face value. [`load`]
-//! re-checks the key string (guards hash collisions and option drift), an
-//! FNV-1a content checksum (guards truncation and bit rot), and finally
-//! re-certifies the reconstructed curve with `rtise-check`'s independent
-//! staircase checker. Anything suspicious degrades to a recompute with a
-//! warning on stderr — a corrupted cache can slow the harness down but
-//! can never feed it an uncertified curve.
+//! friends re-sweep thorough candidate enumerations), yet their inputs
+//! are fully determined by the kernel name and the [`CurveOptions`]. This
+//! module contributes the family-specific pieces — the logical key (the
+//! derived `Debug` rendering of the options covers every harvest knob),
+//! the point-staircase payload encoding, and a decoder that re-certifies
+//! the reconstructed curve with `rtise-check`'s independent staircase
+//! checker — and delegates sharding, checksums, atomic writes, eviction,
+//! and the `cache.curve.*` telemetry to the shared store core.
 
+use crate::store::{self, Artifact};
 use rtise::ise::configs::{ConfigCurve, ConfigPoint};
 use rtise::workbench::CurveOptions;
-use rtise_obs::json::{parse, Value};
+use rtise_obs::json::Value;
 use rtise_obs::Hist;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-/// Bumped whenever the entry layout or the curve pipeline changes shape;
-/// part of the key hash, so stale-format entries simply miss.
-/// Version 2 added the generation histograms.
-pub const FORMAT_VERSION: u32 = 2;
-
-/// 64-bit FNV-1a: tiny, dependency-free, and plenty for content
-/// addressing a handful of cache entries (shared with the problem cache).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// The canonical key of an entry: format version, kernel, and the full
-/// option set (the derived `Debug` rendering covers every harvest knob).
+/// The logical key of a curve: kernel plus the full option set. The
+/// store prefixes the format version and family.
 pub fn options_key(kernel: &str, opts: &CurveOptions) -> String {
-    format!("v{FORMAT_VERSION}|{kernel}|{opts:?}")
-}
-
-/// Content-address of an entry (hash of [`options_key`]).
-pub fn key_hash(kernel: &str, opts: &CurveOptions) -> u64 {
-    fnv1a(options_key(kernel, opts).as_bytes())
+    format!("{kernel}|{opts:?}")
 }
 
 /// Path of the entry for `kernel` under `dir`.
 pub fn entry_path(dir: &Path, kernel: &str, opts: &CurveOptions) -> PathBuf {
-    dir.join(format!("{kernel}-{:016x}.json", key_hash(kernel, opts)))
+    store::entry_path::<ConfigCurve>(dir, kernel, &options_key(kernel, opts))
 }
 
-fn points_json(points: &[ConfigPoint]) -> Value {
-    Value::Arr(
-        points
-            .iter()
-            .map(|p| {
-                Value::obj(vec![
-                    ("area", p.area.into()),
-                    ("cycles", p.cycles.into()),
-                    ("gain", p.gain.into()),
-                    (
-                        "selection",
-                        Value::Arr(p.selection.iter().map(|&i| (i as u64).into()).collect()),
-                    ),
-                ])
-            })
-            .collect(),
-    )
+fn field_u64(doc: &Value, key: &'static str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("malformed {key}"))
 }
 
-/// The checksum covers everything [`load`] reconstructs: base cycles, the
-/// point staircase (selections included), and the attribution counters
-/// and histograms.
-fn checksum(base_cycles: u64, points: &Value, counters: &Value, hists: &Value) -> u64 {
-    fnv1a(
-        format!(
-            "{base_cycles}|{}|{}|{}",
-            points.render(),
-            counters.render(),
-            hists.render()
-        )
-        .as_bytes(),
-    )
-}
+impl Artifact for ConfigCurve {
+    const FAMILY: &'static str = "curve";
 
-/// Histograms as a JSON object of full bucket encodings
-/// ([`Hist::to_json`]) — replay must be exact, so summaries are not
-/// enough (shared with the problem cache).
-pub(crate) fn hists_json(hists: &BTreeMap<String, Hist>) -> Value {
-    Value::Obj(
-        hists
-            .iter()
-            .map(|(k, h)| (k.clone(), h.to_json()))
-            .collect(),
-    )
-}
-
-/// Decodes a [`hists_json`] object; `None` on any malformed histogram.
-pub(crate) fn hists_from_json(v: &Value) -> Option<BTreeMap<String, Hist>> {
-    let Value::Obj(pairs) = v else { return None };
-    let mut hists = BTreeMap::new();
-    for (k, h) in pairs {
-        hists.insert(k.clone(), Hist::from_json(h)?);
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            ("kernel", self.name.as_str().into()),
+            ("base_cycles", self.base_cycles.into()),
+            (
+                "points",
+                Value::Arr(
+                    self.points()
+                        .iter()
+                        .map(|p| {
+                            Value::obj(vec![
+                                ("area", p.area.into()),
+                                ("cycles", p.cycles.into()),
+                                ("gain", p.gain.into()),
+                                (
+                                    "selection",
+                                    Value::Arr(
+                                        p.selection.iter().map(|&i| (i as u64).into()).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
-    Some(hists)
+
+    fn decode(payload: &Value) -> Result<Self, String> {
+        let kernel = payload
+            .get("kernel")
+            .and_then(Value::as_str)
+            .ok_or("malformed kernel")?;
+        let base_cycles = field_u64(payload, "base_cycles")?;
+        let mut points = Vec::new();
+        for p in payload
+            .get("points")
+            .and_then(Value::as_arr)
+            .ok_or("malformed points")?
+        {
+            let selection = p
+                .get("selection")
+                .and_then(Value::as_arr)
+                .ok_or("malformed selection")?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| "malformed selection".to_string())
+                })
+                .collect::<Result<Vec<usize>, String>>()?;
+            points.push(ConfigPoint {
+                area: field_u64(p, "area")?,
+                cycles: field_u64(p, "cycles")?,
+                gain: field_u64(p, "gain")?,
+                selection,
+            });
+        }
+        let n_stored = points.len();
+        let curve = ConfigCurve::from_saved(kernel, base_cycles, points);
+        if curve.len() != n_stored {
+            // from_saved dropped or added points: the stored staircase was
+            // not the normalized one the generator produces.
+            return Err("stored staircase is not normalized".into());
+        }
+        // Independent re-certification: the staircase invariant is
+        // re-derived by rtise-check, not trusted from this parser.
+        let diag = rtise::check::cert::check_curve(&curve);
+        if !diag.is_clean() {
+            return Err(diag.render().trim_end().to_string());
+        }
+        Ok(curve)
+    }
 }
 
-/// Writes the entry for `(kernel, opts)` under `dir`, creating the
-/// directory if needed. The write goes through a per-process temp file
-/// and an atomic rename, so concurrent harnesses never observe a torn
-/// entry.
+/// Writes the entry for `(kernel, opts)` under `dir` through the sharded
+/// store (single-writer shard lock, atomic tmp+rename).
 ///
 /// # Errors
 ///
@@ -135,201 +132,34 @@ pub fn store(
     counters: &BTreeMap<String, u64>,
     hists: &BTreeMap<String, Hist>,
 ) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let points = points_json(curve.points());
-    let counters_json = Value::from(counters);
-    let hists_value = hists_json(hists);
-    let sum = checksum(curve.base_cycles, &points, &counters_json, &hists_value);
-    let doc = Value::obj(vec![
-        ("format", u64::from(FORMAT_VERSION).into()),
-        ("key", options_key(kernel, opts).into()),
-        ("kernel", kernel.into()),
-        ("base_cycles", curve.base_cycles.into()),
-        ("points", points),
-        ("counters", counters_json),
-        ("hists", hists_value),
-        ("checksum", format!("{sum:016x}").into()),
-    ]);
-    rtise_obs::record("cache.curve.store", 1);
-    let path = entry_path(dir, kernel, opts);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, doc.render_pretty())?;
-    std::fs::rename(&tmp, &path)
-}
-
-/// Why a present entry was rejected (absent entries are plain misses).
-#[derive(Debug, PartialEq, Eq)]
-enum Reject {
-    Unreadable(String),
-    Malformed(&'static str),
-    KeyMismatch,
-    ChecksumMismatch,
-    Uncertified(String),
-}
-
-impl std::fmt::Display for Reject {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Reject::Unreadable(e) => write!(f, "unreadable: {e}"),
-            Reject::Malformed(what) => write!(f, "malformed: {what}"),
-            Reject::KeyMismatch => write!(f, "key does not match the requested options"),
-            Reject::ChecksumMismatch => write!(f, "content checksum mismatch"),
-            Reject::Uncertified(d) => write!(f, "failed re-certification: {d}"),
-        }
-    }
-}
-
-fn field_u64(doc: &Value, key: &'static str) -> Result<u64, Reject> {
-    doc.get(key)
-        .and_then(Value::as_f64)
-        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
-        .map(|n| n as u64)
-        .ok_or(Reject::Malformed(key))
-}
-
-fn decode(text: &str, kernel: &str, opts: &CurveOptions) -> Result<Entry, Reject> {
-    let doc = parse(text).map_err(|e| Reject::Unreadable(e.to_string()))?;
-    if field_u64(&doc, "format")? != u64::from(FORMAT_VERSION) {
-        return Err(Reject::Malformed("format"));
-    }
-    if doc.get("key").and_then(Value::as_str) != Some(options_key(kernel, opts).as_str()) {
-        return Err(Reject::KeyMismatch);
-    }
-    let base_cycles = field_u64(&doc, "base_cycles")?;
-    let points_json = doc
-        .get("points")
-        .cloned()
-        .ok_or(Reject::Malformed("points"))?;
-    let counters_json = doc
-        .get("counters")
-        .cloned()
-        .ok_or(Reject::Malformed("counters"))?;
-    let hists_value = doc
-        .get("hists")
-        .cloned()
-        .ok_or(Reject::Malformed("hists"))?;
-    let claimed = doc
-        .get("checksum")
-        .and_then(Value::as_str)
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .ok_or(Reject::Malformed("checksum"))?;
-    if claimed != checksum(base_cycles, &points_json, &counters_json, &hists_value) {
-        return Err(Reject::ChecksumMismatch);
-    }
-
-    let mut points = Vec::new();
-    for p in points_json.as_arr().ok_or(Reject::Malformed("points"))? {
-        let selection = p
-            .get("selection")
-            .and_then(Value::as_arr)
-            .ok_or(Reject::Malformed("selection"))?
-            .iter()
-            .map(|v| {
-                v.as_f64()
-                    .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
-                    .map(|n| n as usize)
-                    .ok_or(Reject::Malformed("selection"))
-            })
-            .collect::<Result<Vec<usize>, Reject>>()?;
-        points.push(ConfigPoint {
-            area: field_u64(p, "area")?,
-            cycles: field_u64(p, "cycles")?,
-            gain: field_u64(p, "gain")?,
-            selection,
-        });
-    }
-    let n_stored = points.len();
-    let curve = ConfigCurve::from_saved(kernel, base_cycles, points);
-    if curve.len() != n_stored {
-        // from_saved dropped or added points: the stored staircase was
-        // not the normalized one the generator produces.
-        return Err(Reject::Malformed("staircase"));
-    }
-    // Independent re-certification: the staircase invariant is re-derived
-    // by rtise-check, not trusted from this parser.
-    let diag = rtise::check::cert::check_curve(&curve);
-    if !diag.is_clean() {
-        return Err(Reject::Uncertified(diag.render().trim_end().to_string()));
-    }
-
-    let mut counters = BTreeMap::new();
-    if let Value::Obj(pairs) = &counters_json {
-        for (k, v) in pairs {
-            let n = v
-                .as_f64()
-                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
-                .ok_or(Reject::Malformed("counters"))?;
-            counters.insert(k.clone(), n as u64);
-        }
-    } else {
-        return Err(Reject::Malformed("counters"));
-    }
-    let hists = hists_from_json(&hists_value).ok_or(Reject::Malformed("hists"))?;
-    Ok((curve, counters, hists))
-}
-
-type Entry = (ConfigCurve, BTreeMap<String, u64>, BTreeMap<String, Hist>);
-
-/// Age of the on-disk entry in milliseconds, when the filesystem can
-/// tell us (shared with the problem cache).
-pub(crate) fn entry_age_ms(path: &Path) -> Option<u64> {
-    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
-    let age = modified.elapsed().ok()?;
-    Some(u64::try_from(age.as_millis()).unwrap_or(u64::MAX))
+    store::store(
+        dir,
+        kernel,
+        &options_key(kernel, opts),
+        curve,
+        counters,
+        hists,
+    )
 }
 
 /// Loads the entry for `(kernel, opts)` from `dir`. Returns `None` on a
-/// plain miss (no entry) and also on any rejected entry — truncated or
-/// bit-flipped files, key/version mismatches, and curves that fail
-/// independent re-certification all warn on stderr and fall back to
-/// recomputation instead of panicking. Hits, misses, and evictions feed
-/// the global `cache.curve.*` telemetry.
-pub fn load(dir: &Path, kernel: &str, opts: &CurveOptions) -> Option<Entry> {
-    let path = entry_path(dir, kernel, opts);
-    let age_ms = entry_age_ms(&path);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            rtise_obs::record("cache.curve.miss", 1);
-            return None;
-        }
-        Err(e) => {
-            eprintln!(
-                "warning: curve cache entry {} is unreadable ({e}); recomputing",
-                path.display()
-            );
-            evict(&path, "cache.curve", age_ms);
-            return None;
-        }
-    };
-    match decode(&text, kernel, opts) {
-        Ok(entry) => {
-            rtise_obs::record("cache.curve.hit", 1);
-            if let Some(age) = age_ms {
-                rtise_obs::observe("cache.curve.entry_age_ms", age);
-            }
-            Some(entry)
-        }
-        Err(reject) => {
-            eprintln!(
-                "warning: discarding curve cache entry {} ({reject}); recomputing",
-                path.display()
-            );
-            // Remove the bad entry so the recomputed curve replaces it.
-            evict(&path, "cache.curve", age_ms);
-            None
-        }
+/// plain miss and on any rejected entry (see [`store::load`]); a loaded
+/// curve whose recorded kernel disagrees with the request is rejected
+/// too. Traffic feeds the global `cache.curve.*` telemetry.
+pub fn load(dir: &Path, kernel: &str, opts: &CurveOptions) -> Option<store::Entry<ConfigCurve>> {
+    let entry = store::load::<ConfigCurve>(dir, kernel, &options_key(kernel, opts))?;
+    if entry.0.name != kernel {
+        // The key covers the kernel, so this means a forged payload: the
+        // envelope was consistent but names a different task.
+        eprintln!(
+            "warning: curve store entry for {kernel} contains curve {:?}; recomputing",
+            entry.0.name
+        );
+        let path = entry_path(dir, kernel, opts);
+        store::evict(&path, "cache.curve", store::entry_age_ms(&path));
+        return None;
     }
-}
-
-/// Deletes a rejected entry and records it as an eviction, with the age
-/// of the evicted entry when known (shared with the problem cache).
-pub(crate) fn evict(path: &Path, prefix: &str, age_ms: Option<u64>) {
-    let _ = std::fs::remove_file(path);
-    rtise_obs::record(&format!("{prefix}.evict"), 1);
-    if let Some(age) = age_ms {
-        rtise_obs::observe(&format!("{prefix}.evict_age_ms"), age);
-    }
+    Some(entry)
 }
 
 #[cfg(test)]
@@ -454,6 +284,29 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read");
         std::fs::write(&path, text.replace("\"cycles\": 70", "\"cycles\": 69")).expect("write");
         assert!(load(&dir, "toy", &opts).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A checksum-consistent envelope whose payload names a different
+    /// kernel than the key is rejected (and evicted) rather than served
+    /// under the wrong name.
+    #[test]
+    fn forged_kernel_names_are_rejected() {
+        let dir = tmp_dir("forged");
+        let opts = CurveOptions::fast();
+        let mut other = curve();
+        other.name = "other".into();
+        let doc = crate::store::encode_envelope::<ConfigCurve>(
+            &options_key("toy", &opts),
+            other.encode(),
+            &counters(),
+            &hists(),
+        );
+        let path = entry_path(&dir, "toy", &opts);
+        std::fs::create_dir_all(path.parent().expect("shard dir")).expect("dir");
+        std::fs::write(&path, doc.render_pretty()).expect("write");
+        assert!(load(&dir, "toy", &opts).is_none());
+        assert!(!path.exists(), "forged entry must be evicted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,29 +1,24 @@
-//! Content-addressed on-disk cache for reconfiguration base problems.
+//! Reconfiguration-base-problem artifact family of the sharded
+//! [`store`](mod@crate::store).
 //!
 //! Building the Ch. 6 base problem (`workbench::reconfig_problem`)
 //! re-runs the traced kernel and harvests a CIS version table for every
-//! hot loop — the same expensive front-end the curve cache already
-//! amortizes for configuration curves. Entries reuse the
-//! [`curvecache`](crate::curvecache) trust model: a versioned key that
-//! covers every generation input, an FNV-1a content checksum, atomic
-//! tmp+rename stores, and re-validation of the reconstructed problem on
-//! load (version tables must round-trip through [`HotLoop::new`]'s
-//! normalization, trace indices must be in range). Anything suspicious
-//! degrades to a recompute with a warning on stderr — a corrupted cache
-//! can slow the harness down but can never feed it a malformed problem.
+//! hot loop — the same expensive front-end the curve cache amortizes for
+//! configuration curves. This module contributes the family-specific
+//! pieces — a logical key covering every generation input, the
+//! loop-table + trace payload encoding, and a decoder that re-validates
+//! the reconstructed problem (version tables must round-trip through
+//! [`HotLoop::new`]'s normalization, trace indices must be in range) —
+//! and delegates sharding, checksums, atomic writes, eviction, and the
+//! `cache.problem.*` telemetry to the shared store core.
 
-use crate::curvecache::{entry_age_ms, evict, fnv1a, hists_from_json, hists_json};
+use crate::store::{self, Artifact};
 use rtise::reconfig::{CisVersion, HotLoop, ReconfigProblem};
 use rtise::workbench::CurveOptions;
-use rtise_obs::json::{parse, Value};
+use rtise_obs::json::Value;
 use rtise_obs::Hist;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-
-/// Bumped whenever the entry layout or the problem pipeline changes
-/// shape; part of the key, so stale-format entries simply miss.
-/// Version 2 added the generation histograms.
-pub const FORMAT_VERSION: u32 = 2;
 
 /// Every input that determines a generated base problem (the
 /// `workbench::reconfig_problem` argument list).
@@ -41,78 +36,129 @@ pub struct ProblemKey<'a> {
     pub opts: CurveOptions,
 }
 
-/// The canonical key of an entry: format version plus the full
-/// generation-input set.
+/// The logical key of an entry: the full generation-input set. The store
+/// prefixes the format version and family.
 pub fn options_key(key: &ProblemKey<'_>) -> String {
     format!(
-        "v{FORMAT_VERSION}|problem|{}|nv{}|a{}|r{}|{:?}",
+        "{}|nv{}|a{}|r{}|{:?}",
         key.kernel, key.n_versions, key.max_area, key.reconfig_cost, key.opts
     )
 }
 
 /// Path of the entry for `key` under `dir`.
 pub fn entry_path(dir: &Path, key: &ProblemKey<'_>) -> PathBuf {
-    let hash = fnv1a(options_key(key).as_bytes());
-    dir.join(format!("{}-problem-{hash:016x}.json", key.kernel))
+    store::entry_path::<ReconfigProblem>(dir, key.kernel, &options_key(key))
 }
 
-fn loops_json(loops: &[HotLoop]) -> Value {
-    Value::Arr(
-        loops
-            .iter()
-            .map(|l| {
-                Value::obj(vec![
-                    ("name", l.name.as_str().into()),
-                    (
-                        "versions",
-                        Value::Arr(
-                            l.versions()
-                                .iter()
-                                .map(|v| {
-                                    Value::obj(vec![
-                                        ("area", v.area.into()),
-                                        ("gain", v.gain.into()),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
-                ])
-            })
-            .collect(),
-    )
+fn field_u64(doc: &Value, key: &'static str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or_else(|| format!("malformed {key}"))
 }
 
-fn trace_json(trace: &[usize]) -> Value {
-    Value::Arr(trace.iter().map(|&t| (t as u64).into()).collect())
+impl Artifact for ReconfigProblem {
+    const FAMILY: &'static str = "problem";
+
+    fn encode(&self) -> Value {
+        Value::obj(vec![
+            (
+                "loops",
+                Value::Arr(
+                    self.loops
+                        .iter()
+                        .map(|l| {
+                            Value::obj(vec![
+                                ("name", l.name.as_str().into()),
+                                (
+                                    "versions",
+                                    Value::Arr(
+                                        l.versions()
+                                            .iter()
+                                            .map(|v| {
+                                                Value::obj(vec![
+                                                    ("area", v.area.into()),
+                                                    ("gain", v.gain.into()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "trace",
+                Value::Arr(self.trace.iter().map(|&t| (t as u64).into()).collect()),
+            ),
+            ("max_area", self.max_area.into()),
+            ("reconfig_cost", self.reconfig_cost.into()),
+        ])
+    }
+
+    fn decode(payload: &Value) -> Result<Self, String> {
+        let mut loops = Vec::new();
+        for l in payload
+            .get("loops")
+            .and_then(Value::as_arr)
+            .ok_or("malformed loops")?
+        {
+            let name = l
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("malformed loop name")?;
+            let mut versions = Vec::new();
+            for v in l
+                .get("versions")
+                .and_then(Value::as_arr)
+                .ok_or("malformed versions")?
+            {
+                versions.push(CisVersion {
+                    area: field_u64(v, "area")?,
+                    gain: field_u64(v, "gain")?,
+                });
+            }
+            // Re-validation: a stored table must round-trip through the
+            // constructor's normalization (software version present,
+            // sorted by area, deduplicated) — anything the constructor
+            // would reorder was not produced by the generator.
+            let rebuilt = HotLoop::new(name, &versions);
+            if rebuilt.versions() != versions.as_slice() {
+                return Err(format!(
+                    "loop {name:?} stores a non-normalized version table"
+                ));
+            }
+            loops.push(rebuilt);
+        }
+        let mut trace = Vec::new();
+        for t in payload
+            .get("trace")
+            .and_then(Value::as_arr)
+            .ok_or("malformed trace")?
+        {
+            let n = t
+                .as_f64()
+                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                .ok_or("malformed trace")?;
+            trace.push(n as usize);
+        }
+        let problem = ReconfigProblem {
+            loops,
+            trace,
+            max_area: field_u64(payload, "max_area")?,
+            reconfig_cost: field_u64(payload, "reconfig_cost")?,
+        };
+        // Independent re-validation of trace index ranges.
+        problem.validate().map_err(|e| e.to_string())?;
+        Ok(problem)
+    }
 }
 
-/// The checksum covers everything [`load`] reconstructs: the version
-/// tables, the trace, the scalar problem fields, and the attribution
-/// counters and histograms.
-fn checksum(
-    max_area: u64,
-    reconfig_cost: u64,
-    loops: &Value,
-    trace: &Value,
-    counters: &Value,
-    hists: &Value,
-) -> u64 {
-    fnv1a(
-        format!(
-            "{max_area}|{reconfig_cost}|{}|{}|{}|{}",
-            loops.render(),
-            trace.render(),
-            counters.render(),
-            hists.render()
-        )
-        .as_bytes(),
-    )
-}
-
-/// Writes the entry for `key` under `dir`, creating the directory if
-/// needed. The write goes through a per-process temp file and an atomic
-/// rename, so concurrent harnesses never observe a torn entry.
+/// Writes the entry for `key` under `dir` through the sharded store
+/// (single-writer shard lock, atomic tmp+rename).
 ///
 /// # Errors
 ///
@@ -125,224 +171,14 @@ pub fn store(
     counters: &BTreeMap<String, u64>,
     hists: &BTreeMap<String, Hist>,
 ) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let loops = loops_json(&problem.loops);
-    let trace = trace_json(&problem.trace);
-    let counters_json = Value::from(counters);
-    let hists_value = hists_json(hists);
-    let sum = checksum(
-        problem.max_area,
-        problem.reconfig_cost,
-        &loops,
-        &trace,
-        &counters_json,
-        &hists_value,
-    );
-    let doc = Value::obj(vec![
-        ("format", u64::from(FORMAT_VERSION).into()),
-        ("key", options_key(key).into()),
-        ("kernel", key.kernel.into()),
-        ("loops", loops),
-        ("trace", trace),
-        ("max_area", problem.max_area.into()),
-        ("reconfig_cost", problem.reconfig_cost.into()),
-        ("counters", counters_json),
-        ("hists", hists_value),
-        ("checksum", format!("{sum:016x}").into()),
-    ]);
-    rtise_obs::record("cache.problem.store", 1);
-    let path = entry_path(dir, key);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, doc.render_pretty())?;
-    std::fs::rename(&tmp, &path)
+    store::store(dir, key.kernel, &options_key(key), problem, counters, hists)
 }
-
-/// Why a present entry was rejected (absent entries are plain misses).
-#[derive(Debug, PartialEq, Eq)]
-enum Reject {
-    Unreadable(String),
-    Malformed(&'static str),
-    KeyMismatch,
-    ChecksumMismatch,
-    Invalid(String),
-}
-
-impl std::fmt::Display for Reject {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Reject::Unreadable(e) => write!(f, "unreadable: {e}"),
-            Reject::Malformed(what) => write!(f, "malformed: {what}"),
-            Reject::KeyMismatch => write!(f, "key does not match the requested inputs"),
-            Reject::ChecksumMismatch => write!(f, "content checksum mismatch"),
-            Reject::Invalid(d) => write!(f, "failed re-validation: {d}"),
-        }
-    }
-}
-
-fn field_u64(doc: &Value, key: &'static str) -> Result<u64, Reject> {
-    doc.get(key)
-        .and_then(Value::as_f64)
-        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
-        .map(|n| n as u64)
-        .ok_or(Reject::Malformed(key))
-}
-
-fn decode(text: &str, key: &ProblemKey<'_>) -> Result<Entry, Reject> {
-    let doc = parse(text).map_err(|e| Reject::Unreadable(e.to_string()))?;
-    if field_u64(&doc, "format")? != u64::from(FORMAT_VERSION) {
-        return Err(Reject::Malformed("format"));
-    }
-    if doc.get("key").and_then(Value::as_str) != Some(options_key(key).as_str()) {
-        return Err(Reject::KeyMismatch);
-    }
-    let max_area = field_u64(&doc, "max_area")?;
-    let reconfig_cost = field_u64(&doc, "reconfig_cost")?;
-    let loops_json = doc
-        .get("loops")
-        .cloned()
-        .ok_or(Reject::Malformed("loops"))?;
-    let trace_json = doc
-        .get("trace")
-        .cloned()
-        .ok_or(Reject::Malformed("trace"))?;
-    let counters_json = doc
-        .get("counters")
-        .cloned()
-        .ok_or(Reject::Malformed("counters"))?;
-    let hists_value = doc
-        .get("hists")
-        .cloned()
-        .ok_or(Reject::Malformed("hists"))?;
-    let claimed = doc
-        .get("checksum")
-        .and_then(Value::as_str)
-        .and_then(|s| u64::from_str_radix(s, 16).ok())
-        .ok_or(Reject::Malformed("checksum"))?;
-    if claimed
-        != checksum(
-            max_area,
-            reconfig_cost,
-            &loops_json,
-            &trace_json,
-            &counters_json,
-            &hists_value,
-        )
-    {
-        return Err(Reject::ChecksumMismatch);
-    }
-
-    let mut loops = Vec::new();
-    for l in loops_json.as_arr().ok_or(Reject::Malformed("loops"))? {
-        let name = l
-            .get("name")
-            .and_then(Value::as_str)
-            .ok_or(Reject::Malformed("name"))?;
-        let mut versions = Vec::new();
-        for v in l
-            .get("versions")
-            .and_then(Value::as_arr)
-            .ok_or(Reject::Malformed("versions"))?
-        {
-            versions.push(CisVersion {
-                area: field_u64(v, "area")?,
-                gain: field_u64(v, "gain")?,
-            });
-        }
-        // Re-validation: a stored table must round-trip through the
-        // constructor's normalization (software version present, sorted
-        // by area, deduplicated) — anything the constructor would reorder
-        // was not produced by the generator.
-        let rebuilt = HotLoop::new(name, &versions);
-        if rebuilt.versions() != versions.as_slice() {
-            return Err(Reject::Invalid(format!(
-                "loop {name:?} stores a non-normalized version table"
-            )));
-        }
-        loops.push(rebuilt);
-    }
-    let mut trace = Vec::new();
-    for t in trace_json.as_arr().ok_or(Reject::Malformed("trace"))? {
-        let n = t
-            .as_f64()
-            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
-            .ok_or(Reject::Malformed("trace"))?;
-        trace.push(n as usize);
-    }
-    let problem = ReconfigProblem {
-        loops,
-        trace,
-        max_area,
-        reconfig_cost,
-    };
-    // Independent re-validation of trace index ranges.
-    if let Err(e) = problem.validate() {
-        return Err(Reject::Invalid(e.to_string()));
-    }
-
-    let mut counters = BTreeMap::new();
-    if let Value::Obj(pairs) = &counters_json {
-        for (k, v) in pairs {
-            let n = v
-                .as_f64()
-                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
-                .ok_or(Reject::Malformed("counters"))?;
-            counters.insert(k.clone(), n as u64);
-        }
-    } else {
-        return Err(Reject::Malformed("counters"));
-    }
-    let hists = hists_from_json(&hists_value).ok_or(Reject::Malformed("hists"))?;
-    Ok((problem, counters, hists))
-}
-
-type Entry = (
-    ReconfigProblem,
-    BTreeMap<String, u64>,
-    BTreeMap<String, Hist>,
-);
 
 /// Loads the entry for `key` from `dir`. Returns `None` on a plain miss
-/// (no entry) and also on any rejected entry — truncated or bit-flipped
-/// files, key/version mismatches, and problems that fail re-validation
-/// all warn on stderr and fall back to recomputation instead of
-/// panicking. Hits, misses, and evictions feed the global
-/// `cache.problem.*` telemetry.
-pub fn load(dir: &Path, key: &ProblemKey<'_>) -> Option<Entry> {
-    let path = entry_path(dir, key);
-    let age_ms = entry_age_ms(&path);
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            rtise_obs::record("cache.problem.miss", 1);
-            return None;
-        }
-        Err(e) => {
-            eprintln!(
-                "warning: problem cache entry {} is unreadable ({e}); recomputing",
-                path.display()
-            );
-            evict(&path, "cache.problem", age_ms);
-            return None;
-        }
-    };
-    match decode(&text, key) {
-        Ok(entry) => {
-            rtise_obs::record("cache.problem.hit", 1);
-            if let Some(age) = age_ms {
-                rtise_obs::observe("cache.problem.entry_age_ms", age);
-            }
-            Some(entry)
-        }
-        Err(reject) => {
-            eprintln!(
-                "warning: discarding problem cache entry {} ({reject}); recomputing",
-                path.display()
-            );
-            // Remove the bad entry so the recomputed problem replaces it.
-            evict(&path, "cache.problem", age_ms);
-            None
-        }
-    }
+/// and on any rejected entry (see [`store::load`]). Traffic feeds the
+/// global `cache.problem.*` telemetry.
+pub fn load(dir: &Path, key: &ProblemKey<'_>) -> Option<store::Entry<ReconfigProblem>> {
+    store::load::<ReconfigProblem>(dir, key.kernel, &options_key(key))
 }
 
 #[cfg(test)]
@@ -492,43 +328,34 @@ mod tests {
 
         // A version table missing the software (0, 0) version: the
         // constructor would insert it, so the table cannot round-trip.
-        let mut doctored = problem();
-        let denormalized = Value::Arr(vec![Value::obj(vec![
-            ("name", "dct".into()),
+        // Forge a checksum-consistent envelope around it.
+        let payload = Value::obj(vec![
             (
-                "versions",
+                "loops",
                 Value::Arr(vec![Value::obj(vec![
-                    ("area", 4u64.into()),
-                    ("gain", 120u64.into()),
+                    ("name", "dct".into()),
+                    (
+                        "versions",
+                        Value::Arr(vec![Value::obj(vec![
+                            ("area", 4u64.into()),
+                            ("gain", 120u64.into()),
+                        ])]),
+                    ),
                 ])]),
             ),
-        ])]);
-        doctored.trace = vec![0];
-        let trace = trace_json(&doctored.trace);
-        let counters_json = Value::from(&counters());
-        let hists_value = hists_json(&hists());
-        let sum = checksum(
-            doctored.max_area,
-            doctored.reconfig_cost,
-            &denormalized,
-            &trace,
-            &counters_json,
-            &hists_value,
-        );
-        let doc = Value::obj(vec![
-            ("format", u64::from(FORMAT_VERSION).into()),
-            ("key", options_key(&key).into()),
-            ("kernel", key.kernel.into()),
-            ("loops", denormalized),
-            ("trace", trace),
-            ("max_area", doctored.max_area.into()),
-            ("reconfig_cost", doctored.reconfig_cost.into()),
-            ("counters", counters_json),
-            ("hists", hists_value),
-            ("checksum", format!("{sum:016x}").into()),
+            ("trace", Value::Arr(vec![0u64.into()])),
+            ("max_area", 9u64.into()),
+            ("reconfig_cost", 1000u64.into()),
         ]);
-        std::fs::create_dir_all(&dir).expect("dir");
-        std::fs::write(entry_path(&dir, &key), doc.render_pretty()).expect("write");
+        let doc = crate::store::encode_envelope::<ReconfigProblem>(
+            &options_key(&key),
+            payload,
+            &counters(),
+            &hists(),
+        );
+        let path = entry_path(&dir, &key);
+        std::fs::create_dir_all(path.parent().expect("shard dir")).expect("dir");
+        std::fs::write(&path, doc.render_pretty()).expect("write");
         assert!(load(&dir, &key).is_none(), "denormalized table must miss");
 
         // An out-of-range trace index survives the checksum but not

@@ -1,0 +1,596 @@
+//! Sharded, content-addressed on-disk artifact store.
+//!
+//! This is the common core behind every persistent cache in the
+//! workspace: configuration curves ([`curvecache`](crate::curvecache)),
+//! reconfiguration base problems ([`problemcache`](crate::problemcache)),
+//! and `rtise-serve`'s memoized responses all store through it. An
+//! artifact family plugs in by implementing [`Artifact`]: a family name,
+//! a JSON payload encoding, and a decoder that *independently
+//! re-certifies* what it reconstructs (the store never trusts bytes it
+//! read back).
+//!
+//! Layout: entries live in `N_SHARDS` shard directories
+//! (`shard-00/ … shard-07/`) under the store root, assigned by the FNV-1a
+//! hash of the entry's full key. Each shard is **single-writer** — a
+//! process-wide per-shard mutex serializes stores, and every write goes
+//! through a per-process temp file plus an atomic rename — while readers
+//! stay lock-free: a rename either installs a complete entry or leaves
+//! the old one, so a concurrent reader never observes a torn document.
+//!
+//! Envelope: every entry is one JSON document
+//! `{format, family, key, payload, counters, hists, checksum}` — the
+//! counters and histograms recorded while the artifact was generated
+//! ride along so a later hit can [`attribute`](rtise_obs::registry::attribute)
+//! identical work to its consumers, and the checksum (FNV-1a over all
+//! content fields) guards truncation and bit rot.
+//!
+//! Trust model: [`load`] re-checks the format version, family, and full
+//! key string, the content checksum, and finally the family's own
+//! semantic re-certification, reporting failures as stable
+//! `STORE001`–`STORE005` diagnostics. Anything suspicious degrades to a
+//! recompute with a warning on stderr and an eviction — a corrupted
+//! store can slow a consumer down but can never feed it an uncertified
+//! artifact. Hit/miss/store/evict traffic and entry ages feed the
+//! `cache.<family>.*` counters and histograms.
+
+use rtise::check::diag::{Code, Diagnostics, Location};
+use rtise_obs::fnv1a;
+use rtise_obs::json::{parse, Value};
+use rtise_obs::Hist;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Bumped whenever the envelope layout changes shape; part of every key,
+/// so stale-format entries simply miss. Version 3 introduced the sharded
+/// envelope layout shared by all artifact families.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Number of single-writer shards.
+pub const N_SHARDS: u64 = 8;
+
+/// Process-wide single-writer locks, one per shard.
+static SHARD_LOCKS: [Mutex<()>; N_SHARDS as usize] = [
+    Mutex::new(()),
+    Mutex::new(()),
+    Mutex::new(()),
+    Mutex::new(()),
+    Mutex::new(()),
+    Mutex::new(()),
+    Mutex::new(()),
+    Mutex::new(()),
+];
+
+/// One persistable artifact family.
+pub trait Artifact: Sized {
+    /// Family name; part of every key and of the `cache.<family>.*`
+    /// counter names.
+    const FAMILY: &'static str;
+
+    /// Encodes the payload portion of the envelope. Must be
+    /// deterministic: the checksum covers the rendered bytes.
+    fn encode(&self) -> Value;
+
+    /// Decodes a payload and independently re-certifies it; the returned
+    /// error string names what failed (reported as `STORE004`).
+    ///
+    /// # Errors
+    ///
+    /// Any structural or semantic problem with the payload.
+    fn decode(payload: &Value) -> Result<Self, String>;
+}
+
+/// The full key of an entry: format version, family, and the caller's
+/// logical key (which must cover every generation input).
+#[must_use]
+pub fn full_key<A: Artifact>(key: &str) -> String {
+    format!("v{FORMAT_VERSION}|{}|{key}", A::FAMILY)
+}
+
+/// Shard index of a key.
+#[must_use]
+pub fn shard_of<A: Artifact>(key: &str) -> u64 {
+    fnv1a(full_key::<A>(key).as_bytes()) % N_SHARDS
+}
+
+/// Path of the entry for `key` under `dir`. `tag` is a human-readable
+/// filename prefix (e.g. the kernel name); the content address is the
+/// hash suffix.
+#[must_use]
+pub fn entry_path<A: Artifact>(dir: &Path, tag: &str, key: &str) -> PathBuf {
+    let hash = fnv1a(full_key::<A>(key).as_bytes());
+    dir.join(format!("shard-{:02}", hash % N_SHARDS))
+        .join(format!("{tag}-{hash:016x}.json"))
+}
+
+fn checksum(family: &str, key: &str, payload: &Value, counters: &Value, hists: &Value) -> u64 {
+    fnv1a(
+        format!(
+            "{family}|{FORMAT_VERSION}|{key}|{}|{}|{}",
+            payload.render(),
+            counters.render(),
+            hists.render()
+        )
+        .as_bytes(),
+    )
+}
+
+/// Histograms as a JSON object of full bucket encodings
+/// ([`Hist::to_json`]) — replay must be exact, so summaries are not
+/// enough.
+#[must_use]
+pub fn hists_json(hists: &BTreeMap<String, Hist>) -> Value {
+    Value::Obj(
+        hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect(),
+    )
+}
+
+/// Decodes a [`hists_json`] object; `None` on any malformed histogram.
+#[must_use]
+pub fn hists_from_json(v: &Value) -> Option<BTreeMap<String, Hist>> {
+    let Value::Obj(pairs) = v else { return None };
+    let mut hists = BTreeMap::new();
+    for (k, h) in pairs {
+        hists.insert(k.clone(), Hist::from_json(h)?);
+    }
+    Some(hists)
+}
+
+/// Builds the complete envelope document for an entry, checksum
+/// included. Public so negative tests can forge checksum-consistent
+/// entries and assert the store still rejects them semantically.
+#[must_use]
+pub fn encode_envelope<A: Artifact>(
+    key: &str,
+    payload: Value,
+    counters: &BTreeMap<String, u64>,
+    hists: &BTreeMap<String, Hist>,
+) -> Value {
+    let full = full_key::<A>(key);
+    let counters_json = Value::from(counters);
+    let hists_value = hists_json(hists);
+    let sum = checksum(A::FAMILY, &full, &payload, &counters_json, &hists_value);
+    Value::obj(vec![
+        ("format", u64::from(FORMAT_VERSION).into()),
+        ("family", A::FAMILY.into()),
+        ("key", full.into()),
+        ("payload", payload),
+        ("counters", counters_json),
+        ("hists", hists_value),
+        ("checksum", format!("{sum:016x}").into()),
+    ])
+}
+
+/// Writes the entry for `(tag, key)` under `dir`, creating the shard
+/// directory if needed. The shard's single-writer lock is held for the
+/// duration of the write; the write itself goes through a per-process
+/// temp file and an atomic rename, so concurrent *processes* never
+/// observe a torn entry either.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the store is an optimization, so
+/// callers downgrade them to warnings.
+///
+/// # Panics
+///
+/// Panics if the shard lock is poisoned (a writer panicked mid-store).
+pub fn store<A: Artifact>(
+    dir: &Path,
+    tag: &str,
+    key: &str,
+    artifact: &A,
+    counters: &BTreeMap<String, u64>,
+    hists: &BTreeMap<String, Hist>,
+) -> std::io::Result<()> {
+    let doc = encode_envelope::<A>(key, artifact.encode(), counters, hists);
+    let path = entry_path::<A>(dir, tag, key);
+    let shard = shard_of::<A>(key);
+    rtise_obs::record(&format!("cache.{}.store", A::FAMILY), 1);
+    let _writer = SHARD_LOCKS[shard as usize]
+        .lock()
+        .expect("shard writer lock poisoned");
+    std::fs::create_dir_all(path.parent().expect("entry path has a shard dir"))?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, doc.render_pretty())?;
+    std::fs::rename(&tmp, &path)
+}
+
+fn malformed(d: &mut Diagnostics, what: &str) {
+    d.error(
+        Code::STORE001,
+        Location::Global,
+        format!("entry envelope is malformed: {what}"),
+    );
+}
+
+/// Validates one entry document against the expected key and decodes the
+/// artifact. Returns the decoded entry (when clean) plus the diagnostics
+/// — every reject maps to a stable `STORE…` code, which the seeded
+/// mutation tests assert on.
+pub fn validate<A: Artifact>(text: &str, key: &str) -> (Option<Entry<A>>, Diagnostics) {
+    let mut d = Diagnostics::new();
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            d.error(
+                Code::STORE001,
+                Location::Global,
+                format!("entry is not valid JSON: {e}"),
+            );
+            return (None, d);
+        }
+    };
+    let format = doc
+        .get("format")
+        .and_then(Value::as_f64)
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64);
+    match format {
+        None => {
+            malformed(&mut d, "format");
+            return (None, d);
+        }
+        Some(v) if v != u64::from(FORMAT_VERSION) => {
+            d.error(
+                Code::STORE005,
+                Location::Global,
+                format!("entry format v{v}, this build writes v{FORMAT_VERSION}"),
+            );
+            return (None, d);
+        }
+        Some(_) => {}
+    }
+    let full = full_key::<A>(key);
+    if doc.get("family").and_then(Value::as_str) != Some(A::FAMILY) {
+        d.error(
+            Code::STORE002,
+            Location::Global,
+            format!("entry family is not {:?}", A::FAMILY),
+        );
+        return (None, d);
+    }
+    if doc.get("key").and_then(Value::as_str) != Some(full.as_str()) {
+        d.error(
+            Code::STORE002,
+            Location::Global,
+            "entry key does not match the requested artifact",
+        );
+        return (None, d);
+    }
+    let Some(payload) = doc.get("payload") else {
+        malformed(&mut d, "payload");
+        return (None, d);
+    };
+    let Some(counters_json) = doc.get("counters") else {
+        malformed(&mut d, "counters");
+        return (None, d);
+    };
+    let Some(hists_value) = doc.get("hists") else {
+        malformed(&mut d, "hists");
+        return (None, d);
+    };
+    let claimed = doc
+        .get("checksum")
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok());
+    let Some(claimed) = claimed else {
+        malformed(&mut d, "checksum");
+        return (None, d);
+    };
+    if claimed != checksum(A::FAMILY, &full, payload, counters_json, hists_value) {
+        d.error(
+            Code::STORE003,
+            Location::Global,
+            "content checksum disagrees with the entry body",
+        );
+        return (None, d);
+    }
+
+    let artifact = match A::decode(payload) {
+        Ok(a) => a,
+        Err(e) => {
+            d.error(
+                Code::STORE004,
+                Location::Global,
+                format!("payload failed re-certification: {e}"),
+            );
+            return (None, d);
+        }
+    };
+    let mut counters = BTreeMap::new();
+    let Value::Obj(pairs) = counters_json else {
+        malformed(&mut d, "counters");
+        return (None, d);
+    };
+    for (k, v) in pairs {
+        let Some(n) = v
+            .as_f64()
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        else {
+            malformed(&mut d, "counters");
+            return (None, d);
+        };
+        counters.insert(k.clone(), n as u64);
+    }
+    let Some(hists) = hists_from_json(hists_value) else {
+        malformed(&mut d, "hists");
+        return (None, d);
+    };
+    (Some((artifact, counters, hists)), d)
+}
+
+/// A decoded artifact plus the counters and histograms its generation
+/// recorded.
+pub type Entry<A> = (A, BTreeMap<String, u64>, BTreeMap<String, Hist>);
+
+/// Age of the on-disk entry in milliseconds, when the filesystem can
+/// tell us.
+#[must_use]
+pub fn entry_age_ms(path: &Path) -> Option<u64> {
+    let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+    let age = modified.elapsed().ok()?;
+    Some(u64::try_from(age.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// Whether an entry file for `(tag, key)` exists under `dir`. A pure
+/// presence probe — the entry may still be rejected on [`load`].
+#[must_use]
+pub fn contains<A: Artifact>(dir: &Path, tag: &str, key: &str) -> bool {
+    entry_path::<A>(dir, tag, key).exists()
+}
+
+/// Loads the entry for `(tag, key)` from `dir`. Returns `None` on a
+/// plain miss (no entry) and also on any rejected entry — truncated or
+/// bit-flipped files, key/family/version mismatches, and payloads that
+/// fail the family's re-certification all warn on stderr (with their
+/// `STORE…` code) and fall back to recomputation instead of panicking.
+/// Hits, misses, and evictions feed the global `cache.<family>.*`
+/// telemetry. Readers take no lock: the atomic-rename write protocol
+/// guarantees they see complete documents.
+pub fn load<A: Artifact>(dir: &Path, tag: &str, key: &str) -> Option<Entry<A>> {
+    let path = entry_path::<A>(dir, tag, key);
+    let prefix = format!("cache.{}", A::FAMILY);
+    let age_ms = entry_age_ms(&path);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            rtise_obs::record(&format!("{prefix}.miss"), 1);
+            return None;
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: {} store entry {} is unreadable ({e}); recomputing",
+                A::FAMILY,
+                path.display()
+            );
+            evict(&path, &prefix, age_ms);
+            return None;
+        }
+    };
+    let (entry, diags) = validate::<A>(&text, key);
+    match entry {
+        Some(entry) => {
+            rtise_obs::record(&format!("{prefix}.hit"), 1);
+            if let Some(age) = age_ms {
+                rtise_obs::observe(&format!("{prefix}.entry_age_ms"), age);
+            }
+            Some(entry)
+        }
+        None => {
+            eprintln!(
+                "warning: discarding {} store entry {} ({}); recomputing",
+                A::FAMILY,
+                path.display(),
+                diags.render().trim_end()
+            );
+            // Remove the bad entry so the recomputed artifact replaces it.
+            evict(&path, &prefix, age_ms);
+            None
+        }
+    }
+}
+
+/// Deletes a rejected entry and records it as an eviction, with the age
+/// of the evicted entry when known.
+pub fn evict(path: &Path, prefix: &str, age_ms: Option<u64>) {
+    let _ = std::fs::remove_file(path);
+    rtise_obs::record(&format!("{prefix}.evict"), 1);
+    if let Some(age) = age_ms {
+        rtise_obs::observe(&format!("{prefix}.evict_age_ms"), age);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtise_obs::Rng;
+
+    /// A toy artifact whose decoder enforces one semantic invariant
+    /// (values strictly increasing), so tests can build
+    /// checksum-consistent entries that still fail re-certification.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Staircase(Vec<u64>);
+
+    impl Artifact for Staircase {
+        const FAMILY: &'static str = "stair";
+
+        fn encode(&self) -> Value {
+            Value::obj(vec![(
+                "values",
+                Value::Arr(self.0.iter().map(|&v| v.into()).collect()),
+            )])
+        }
+
+        fn decode(payload: &Value) -> Result<Self, String> {
+            let arr = payload
+                .get("values")
+                .and_then(Value::as_arr)
+                .ok_or("values missing")?;
+            let mut values = Vec::new();
+            for v in arr {
+                let n = v
+                    .as_f64()
+                    .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                    .ok_or("non-integer value")?;
+                values.push(n as u64);
+            }
+            if values.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("values are not strictly increasing".into());
+            }
+            Ok(Staircase(values))
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtise-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn counters() -> BTreeMap<String, u64> {
+        BTreeMap::from([("toy.work".to_string(), 7u64)])
+    }
+
+    fn hists() -> BTreeMap<String, Hist> {
+        let mut h = Hist::new();
+        for v in [1, 2, 400] {
+            h.observe(v);
+        }
+        BTreeMap::from([("toy.depth".to_string(), h)])
+    }
+
+    #[test]
+    fn round_trips_artifact_counters_and_hists() {
+        let dir = tmp_dir("roundtrip");
+        let art = Staircase(vec![1, 5, 9]);
+        store(&dir, "toy", "k1", &art, &counters(), &hists()).expect("store");
+        let (loaded, attrib, attrib_hists) = load::<Staircase>(&dir, "toy", "k1").expect("hit");
+        assert_eq!(loaded, art);
+        assert_eq!(attrib, counters());
+        assert_eq!(attrib_hists, hists());
+        // A different key misses even with the same tag.
+        assert!(load::<Staircase>(&dir, "toy", "k2").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_spread_over_shards_and_survive_concurrent_writers() {
+        let dir = tmp_dir("shards");
+        // Enough keys to populate several shard directories.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dir = &dir;
+                s.spawn(move || {
+                    for i in 0..16u64 {
+                        let key = format!("k{t}-{i}");
+                        let art = Staircase(vec![i, i + 1 + t]);
+                        store(dir, "toy", &key, &art, &counters(), &hists()).expect("store");
+                    }
+                });
+            }
+        });
+        let mut shards_used = 0;
+        for s in 0..N_SHARDS {
+            let shard = dir.join(format!("shard-{s:02}"));
+            if shard.is_dir() && shard.read_dir().expect("read shard").next().is_some() {
+                shards_used += 1;
+            }
+        }
+        assert!(
+            shards_used >= 4,
+            "64 keys should land in several shards, got {shards_used}"
+        );
+        for t in 0..4u64 {
+            for i in 0..16u64 {
+                let key = format!("k{t}-{i}");
+                let (got, _, _) = load::<Staircase>(&dir, "toy", &key).expect("hit");
+                assert_eq!(got, Staircase(vec![i, i + 1 + t]));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_map_to_stable_store_codes() {
+        let art = Staircase(vec![2, 4]);
+        let envelope = encode_envelope::<Staircase>("k", art.encode(), &counters(), &hists());
+        let text = envelope.render_pretty();
+
+        // Clean entry validates clean.
+        let (entry, d) = validate::<Staircase>(&text, "k");
+        assert!(entry.is_some() && d.is_clean(), "{}", d.render());
+
+        // Garbage → STORE001.
+        let (e, d) = validate::<Staircase>("{not json", "k");
+        assert!(e.is_none() && d.has(Code::STORE001));
+
+        // Wrong key → STORE002.
+        let (e, d) = validate::<Staircase>(&text, "other");
+        assert!(e.is_none() && d.has(Code::STORE002));
+
+        // Doctored-but-parseable body → STORE003.
+        let doctored = text.replace("\"toy.work\": 7", "\"toy.work\": 8");
+        assert_ne!(doctored, text, "doctoring must hit the counters");
+        let (e, d) = validate::<Staircase>(&doctored, "k");
+        assert!(e.is_none() && d.has(Code::STORE003));
+
+        // Wrong format version (checksum-consistent otherwise) → STORE005.
+        let stale = text.replace(
+            &format!("\"format\": {FORMAT_VERSION}"),
+            &format!("\"format\": {}", FORMAT_VERSION + 1),
+        );
+        let (e, d) = validate::<Staircase>(&stale, "k");
+        assert!(e.is_none() && d.has(Code::STORE005));
+
+        // Checksum-consistent but semantically invalid payload → STORE004:
+        // forge a fresh envelope around a non-increasing staircase.
+        let bad = encode_envelope::<Staircase>(
+            "k",
+            Value::obj(vec![("values", Value::Arr(vec![5u64.into(), 3u64.into()]))]),
+            &counters(),
+            &hists(),
+        );
+        let (e, d) = validate::<Staircase>(&bad.render_pretty(), "k");
+        assert!(e.is_none() && d.has(Code::STORE004), "{}", d.render());
+    }
+
+    /// Seeded truncations and bit flips of a valid entry must always fall
+    /// back to a miss (recompute), never panic in the JSON parser, and
+    /// must delete the bad entry.
+    #[test]
+    fn corrupted_entries_fall_back_to_recompute_and_evict() {
+        let dir = tmp_dir("corrupt");
+        let art = Staircase(vec![3, 8, 20]);
+        let path = entry_path::<Staircase>(&dir, "toy", "kc");
+        let mut rng = Rng::new(0x57ee_d5eed);
+        for case in 0..48u32 {
+            store(&dir, "toy", "kc", &art, &counters(), &hists()).expect("store");
+            let pristine = std::fs::read(&path).expect("read");
+            let mut bytes = pristine.clone();
+            if case % 2 == 0 {
+                let cut = 1 + rng.gen_range(0..bytes.len() as u64 - 1) as usize;
+                bytes.truncate(cut);
+            } else {
+                let at = rng.gen_range(0..bytes.len() as u64) as usize;
+                bytes[at] ^= 1u8 << rng.gen_range(0..8u32);
+                if bytes == pristine {
+                    continue;
+                }
+            }
+            std::fs::write(&path, &bytes).expect("corrupt");
+            assert!(
+                load::<Staircase>(&dir, "toy", "kc").is_none(),
+                "case {case}: corrupted entry must miss"
+            );
+            assert!(
+                !path.exists(),
+                "case {case}: rejected entry must be removed"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

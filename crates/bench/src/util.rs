@@ -141,7 +141,19 @@ fn curve_options() -> CurveOptions {
 /// Panics if the kernel is unknown or fails validation — experiment inputs
 /// are fixed, so this indicates a build problem, not a runtime condition.
 pub fn cached_curve(name: &str) -> ConfigCurve {
-    let opts = curve_options();
+    cached_curve_with(name, &curve_options())
+}
+
+/// [`cached_curve`] with explicit options instead of the process-global
+/// override — `rtise-serve` resolves per-request option levels through
+/// this, so concurrent requests at different levels never alias.
+///
+/// # Panics
+///
+/// Panics if the kernel is unknown or fails validation, as for
+/// [`cached_curve`]; callers with untrusted kernel names validate first.
+pub fn cached_curve_with(name: &str, opts: &CurveOptions) -> ConfigCurve {
+    let opts = *opts;
     let slot = {
         let map = CURVES.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = map.lock().expect("curve memo poisoned");
@@ -221,8 +233,18 @@ fn jpeg_problem_key(opts: &CurveOptions) -> ProblemKey<'static> {
 ///
 /// Panics if the JPEG kernel fails to build — a build problem, as above.
 pub fn cached_jpeg_problem() -> ReconfigProblem {
-    let opts = curve_options();
-    let key = jpeg_problem_key(&opts);
+    cached_jpeg_problem_with(&curve_options())
+}
+
+/// [`cached_jpeg_problem`] with explicit options instead of the
+/// process-global override (the `rtise-serve` entry point, as for
+/// [`cached_curve_with`]).
+///
+/// # Panics
+///
+/// Panics if the JPEG kernel fails to build — a build problem, as above.
+pub fn cached_jpeg_problem_with(opts: &CurveOptions) -> ReconfigProblem {
+    let key = jpeg_problem_key(opts);
     let memo_key = problemcache::options_key(&key);
     let slot = {
         let mut memo = JPEG_PROBLEM.lock().expect("jpeg memo poisoned");

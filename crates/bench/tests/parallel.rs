@@ -342,6 +342,23 @@ fn unknown_ids_are_rejected_with_a_suggestion() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// Satellite: `--jobs 0` is a usage error with an explicit hint, not a
+/// silent fallback — exit 2, matching the unknown-id error style.
+#[test]
+fn jobs_zero_is_an_explicit_usage_error() {
+    let out = reproduce(&["--jobs", "0", "fig3_2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--jobs 0") && stderr.contains("--jobs 1"),
+        "stderr should explain the mistake and hint at --jobs 1: {stderr}"
+    );
+
+    // Non-numeric worker counts stay rejected too.
+    let out = reproduce(&["--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
 /// The suggestion helper itself, on the exact typo from the issue.
 #[test]
 fn nearest_id_matches_expected_neighbors() {

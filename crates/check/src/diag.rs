@@ -14,9 +14,10 @@ use std::fmt;
 /// Codes are grouped by layer: `IRxxx` for IR well-formedness, `CANDxxx`
 /// for custom-instruction candidate legality, `CERTxxx` for solution
 /// certificates, `CERTBxxx` for branch-and-bound optimality-certificate
-/// replay, and `TRACExxx` for trace-artifact conformance. Codes
-/// are append-only — a published code never changes meaning (tests and
-/// CI tooling match on them).
+/// replay, `TRACExxx` for trace-artifact conformance, `STORExxx` for
+/// artifact-store entry validation, and `SRVxxx` for serve-protocol
+/// response certification. Codes are append-only — a published code
+/// never changes meaning (tests and CI tooling match on them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(clippy::upper_case_acronyms)]
 pub enum Code {
@@ -117,11 +118,40 @@ pub enum Code {
     /// Duration events are unbalanced: an `E` without a matching `B`, or
     /// a `B` never closed, on some `(pid, tid)` track.
     TRACE005,
+    /// An artifact-store entry is unreadable or structurally malformed
+    /// (bad JSON, missing envelope field, ill-typed value).
+    STORE001,
+    /// An artifact-store entry's key or family does not match the
+    /// requested artifact (hash collision, option drift, or misfiling).
+    STORE002,
+    /// An artifact-store entry's content checksum disagrees with its
+    /// payload (truncation, bit rot, or a torn write).
+    STORE003,
+    /// An artifact-store payload fails independent re-certification or
+    /// re-validation after decoding.
+    STORE004,
+    /// An artifact-store entry carries a different format version than
+    /// this build writes.
+    STORE005,
+    /// A serve response is missing a required field or carries an
+    /// ill-typed value.
+    SRV001,
+    /// A serve response declares an unknown request kind.
+    SRV002,
+    /// A serve response's content checksum disagrees with its result
+    /// payload.
+    SRV003,
+    /// A serve response's embedded result fails independent
+    /// re-certification by the solver-family checkers.
+    SRV004,
+    /// A serve error response is malformed (missing or empty error
+    /// message, or contradictory success fields).
+    SRV005,
 }
 
 impl Code {
     /// All codes, for documentation tables and exhaustiveness tests.
-    pub const ALL: [Code; 39] = [
+    pub const ALL: [Code; 49] = [
         Code::IR001,
         Code::IR002,
         Code::IR003,
@@ -161,6 +191,16 @@ impl Code {
         Code::TRACE003,
         Code::TRACE004,
         Code::TRACE005,
+        Code::STORE001,
+        Code::STORE002,
+        Code::STORE003,
+        Code::STORE004,
+        Code::STORE005,
+        Code::SRV001,
+        Code::SRV002,
+        Code::SRV003,
+        Code::SRV004,
+        Code::SRV005,
     ];
 
     /// The stable textual form, e.g. `"IR003"`.
@@ -205,6 +245,16 @@ impl Code {
             Code::TRACE003 => "TRACE003",
             Code::TRACE004 => "TRACE004",
             Code::TRACE005 => "TRACE005",
+            Code::STORE001 => "STORE001",
+            Code::STORE002 => "STORE002",
+            Code::STORE003 => "STORE003",
+            Code::STORE004 => "STORE004",
+            Code::STORE005 => "STORE005",
+            Code::SRV001 => "SRV001",
+            Code::SRV002 => "SRV002",
+            Code::SRV003 => "SRV003",
+            Code::SRV004 => "SRV004",
+            Code::SRV005 => "SRV005",
         }
     }
 
@@ -250,6 +300,16 @@ impl Code {
             Code::TRACE003 => "trace event phase unknown",
             Code::TRACE004 => "trace event ts/pid/tid missing or invalid",
             Code::TRACE005 => "trace begin/end events unbalanced",
+            Code::STORE001 => "store entry unreadable or malformed",
+            Code::STORE002 => "store entry key or family mismatch",
+            Code::STORE003 => "store entry checksum mismatch",
+            Code::STORE004 => "store payload fails re-certification",
+            Code::STORE005 => "store entry format version mismatch",
+            Code::SRV001 => "response missing or ill-typed field",
+            Code::SRV002 => "response declares an unknown request kind",
+            Code::SRV003 => "response checksum mismatch",
+            Code::SRV004 => "response result fails re-certification",
+            Code::SRV005 => "error response malformed",
         }
     }
 }
@@ -481,7 +541,9 @@ mod tests {
     fn codes_render_stably() {
         assert_eq!(Code::IR003.as_str(), "IR003");
         assert_eq!(Code::CAND003.to_string(), "CAND003");
-        assert_eq!(Code::ALL.len(), 39);
+        assert_eq!(Code::ALL.len(), 49);
+        assert_eq!(Code::STORE003.as_str(), "STORE003");
+        assert_eq!(Code::SRV004.to_string(), "SRV004");
         for c in Code::ALL {
             assert!(!c.summary().is_empty());
         }

@@ -33,6 +33,7 @@ pub mod bnb;
 pub mod cert;
 pub mod diag;
 pub mod ir;
+pub mod serve;
 pub mod trace;
 
 pub use diag::{Code, Diagnostic, Diagnostics, Location, Severity};

@@ -1,0 +1,43 @@
+//! Tiny dependency-free content hashing.
+//!
+//! 64-bit FNV-1a is the workspace's content-addressing primitive: the
+//! artifact store keys entries with it, cache envelopes checksum their
+//! payloads with it, and the serve protocol checksums responses with it.
+//! It guards against corruption (truncation, bit rot, torn writes), not
+//! against adversaries — every consumer that loads a hashed artifact
+//! still re-certifies it semantically through `rtise-check`.
+
+/// 64-bit FNV-1a over `bytes`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        let base = fnv1a(b"the quick brown fox");
+        let mut bytes = b"the quick brown fox".to_vec();
+        for i in 0..bytes.len() * 8 {
+            bytes[i / 8] ^= 1 << (i % 8);
+            assert_ne!(fnv1a(&bytes), base, "flip {i} collided");
+            bytes[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

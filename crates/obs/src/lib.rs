@@ -56,6 +56,7 @@
 //! ```
 
 pub mod certlog;
+pub mod hash;
 pub mod hist;
 pub mod json;
 pub mod registry;
@@ -63,6 +64,7 @@ pub mod report;
 pub mod rng;
 
 pub use certlog::BoundedLog;
+pub use hash::fnv1a;
 pub use hist::Hist;
 pub use registry::{
     attribute_hists, global_add, hist_snapshot, observe, observe_hist, record, snapshot,

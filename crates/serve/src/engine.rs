@@ -1,0 +1,422 @@
+//! Request execution: turns a parsed [`Request`] into a self-contained,
+//! checksummed response document.
+//!
+//! Every computation runs inside an isolated [`CounterScope`], so the
+//! response's `work` field is exactly the solver work the request caused
+//! — including the [attributed](rtise_obs::registry::attribute) share of
+//! memoized curve/problem generation, which makes `work` deterministic
+//! whether the artifact came from a memo, the disk store, or a fresh
+//! computation. The response checksum covers `kind`, `work`, and the
+//! rendered result (not the request id), so deduplicated and cached
+//! servings share one certified document.
+
+use crate::proto::{ReconfigReq, ReqKind, Request};
+use rtise::check::serve::{check_response, response_checksum};
+use rtise_bench::store::Artifact;
+use rtise_obs::json::Value;
+use rtise_obs::CounterScope;
+
+/// Replaces (or appends) a top-level field of a JSON object.
+pub fn set_field(doc: &mut Value, key: &str, val: Value) {
+    if let Value::Obj(pairs) = doc {
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = val;
+        } else {
+            pairs.push((key.to_string(), val));
+        }
+    }
+}
+
+fn push_field(doc: &mut Value, key: &str, val: Value) {
+    if let Value::Obj(pairs) = doc {
+        pairs.push((key.to_string(), val));
+    }
+}
+
+/// Encodes a configuration curve with a caller-chosen name key
+/// (`"kernel"` for curve results, `"name"` for embedded task curves) —
+/// the same shape the artifact store persists and
+/// [`rtise::check::serve`] re-certifies.
+fn curve_json(curve: &rtise::ise::configs::ConfigCurve, name_key: &str) -> Value {
+    Value::obj(vec![
+        (name_key, curve.name.as_str().into()),
+        ("base_cycles", curve.base_cycles.into()),
+        (
+            "points",
+            Value::Arr(
+                curve
+                    .points()
+                    .iter()
+                    .map(|p| {
+                        Value::obj(vec![
+                            ("area", p.area.into()),
+                            ("cycles", p.cycles.into()),
+                            ("gain", p.gain.into()),
+                            (
+                                "selection",
+                                Value::Arr(
+                                    p.selection.iter().map(|&i| (i as u64).into()).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn u64_arr(vals: impl IntoIterator<Item = u64>) -> Value {
+    Value::Arr(vals.into_iter().map(Value::from).collect())
+}
+
+fn validate_kernels(kernels: &[String]) -> Result<(), String> {
+    for k in kernels {
+        if rtise::kernels::by_name(k).is_none() {
+            return Err(format!(
+                "unknown kernel {k:?} — use a suite kernel name (e.g. \"fir\")"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the task-set specs a selection request names: one memoized
+/// curve per kernel, periods sized so the *software* utilization hits
+/// `u0_pct` percent.
+fn selection_specs(
+    kernels: &[String],
+    u0_pct: u64,
+    level: crate::proto::Level,
+) -> Result<Vec<rtise::select::TaskSpec>, String> {
+    validate_kernels(kernels)?;
+    if u0_pct == 0 {
+        return Err("u0_pct must be positive".into());
+    }
+    let curves: Vec<_> = kernels
+        .iter()
+        .map(|k| rtise_bench::cached_curve_with(k, &level.options()))
+        .collect();
+    let bases: Vec<u64> = curves.iter().map(|c| c.base_cycles).collect();
+    let periods = rtise::select::task::periods_for_utilization(&bases, u0_pct as f64 / 100.0);
+    Ok(curves
+        .into_iter()
+        .zip(periods)
+        .map(|(c, p)| rtise::select::TaskSpec::new(c, p))
+        .collect())
+}
+
+fn specs_json(specs: &[rtise::select::TaskSpec]) -> Value {
+    Value::Arr(
+        specs
+            .iter()
+            .map(|s| {
+                let mut t = curve_json(&s.curve, "name");
+                push_field(&mut t, "period", s.period.into());
+                t
+            })
+            .collect(),
+    )
+}
+
+fn ppm(u: f64) -> u64 {
+    (u * 1.0e6).round() as u64
+}
+
+fn compute(kind: &ReqKind) -> Result<Value, String> {
+    match kind {
+        ReqKind::Curve { kernel, level } => {
+            validate_kernels(std::slice::from_ref(kernel))?;
+            let curve = rtise_bench::cached_curve_with(kernel, &level.options());
+            Ok(curve_json(&curve, "kernel"))
+        }
+        ReqKind::SelectEdf {
+            kernels,
+            u0_pct,
+            budget,
+            level,
+        } => {
+            let specs = selection_specs(kernels, *u0_pct, *level)?;
+            let sel = rtise::select::select_edf(&specs, *budget).map_err(|e| e.to_string())?;
+            Ok(Value::obj(vec![
+                ("budget", (*budget).into()),
+                ("tasks", specs_json(&specs)),
+                (
+                    "assignment",
+                    u64_arr(sel.assignment.config.iter().map(|&c| c as u64)),
+                ),
+                ("utilization_ppm", ppm(sel.utilization).into()),
+                ("schedulable", Value::Bool(sel.schedulable)),
+            ]))
+        }
+        ReqKind::SelectRms {
+            kernels,
+            u0_pct,
+            budget,
+            level,
+        } => {
+            let specs = selection_specs(kernels, *u0_pct, *level)?;
+            let sel = rtise::select::rms::select_rms(&specs, *budget).map_err(|e| e.to_string())?;
+            Ok(Value::obj(vec![
+                ("budget", (*budget).into()),
+                ("tasks", specs_json(&specs)),
+                (
+                    "assignment",
+                    u64_arr(sel.assignment.config.iter().map(|&c| c as u64)),
+                ),
+                ("utilization_ppm", ppm(sel.utilization).into()),
+            ]))
+        }
+        ReqKind::Ilp { seed } => {
+            let mut rng = rtise_obs::Rng::new(*seed);
+            let model = rtise_fuzz::gen::ilp_model(
+                &mut rng,
+                &rtise_fuzz::gen::IlpOptions {
+                    min_vars: 4,
+                    max_vars: 10,
+                    max_rows: 6,
+                    le_rows_only: true,
+                },
+            );
+            let sol = model
+                .solve()
+                .map_err(|e| format!("ilp solve failed: {e}"))?;
+            let rows: Vec<Value> = (0..model.num_rows())
+                .map(|i| {
+                    let (terms, cmp, rhs) = model.row(i);
+                    Value::obj(vec![
+                        (
+                            "cmp",
+                            match cmp {
+                                rtise::ilp::Cmp::Le => "le",
+                                rtise::ilp::Cmp::Ge => "ge",
+                                rtise::ilp::Cmp::Eq => "eq",
+                            }
+                            .into(),
+                        ),
+                        ("rhs", Value::Num(rhs as f64)),
+                        (
+                            "terms",
+                            Value::Arr(
+                                terms
+                                    .iter()
+                                    .map(|&(v, c)| {
+                                        Value::Arr(vec![(v as u64).into(), Value::Num(c as f64)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            let model_json = Value::obj(vec![
+                ("vars", (model.num_vars() as u64).into()),
+                (
+                    "sense",
+                    match model.sense() {
+                        rtise::ilp::Sense::Minimize => "min",
+                        rtise::ilp::Sense::Maximize => "max",
+                    }
+                    .into(),
+                ),
+                (
+                    "objective",
+                    Value::Arr(
+                        model
+                            .objective()
+                            .iter()
+                            .map(|&c| Value::Num(c as f64))
+                            .collect(),
+                    ),
+                ),
+                ("rows", Value::Arr(rows)),
+            ]);
+            Ok(Value::obj(vec![
+                ("seed", (*seed).into()),
+                ("model", model_json),
+                ("objective", Value::Num(sol.objective as f64)),
+                ("values", u64_arr(sol.values.iter().map(|&b| u64::from(b)))),
+            ]))
+        }
+        ReqKind::Reconfig(req) => {
+            let (problem, partition_seed) = match req {
+                ReconfigReq::Jpeg {
+                    fabric_pct,
+                    reconfig_cost,
+                    level,
+                } => {
+                    if *fabric_pct == 0 || *fabric_pct > 100 {
+                        return Err("fabric_pct must be in 1..=100".into());
+                    }
+                    let base = rtise_bench::cached_jpeg_problem_with(&level.options());
+                    let full: u64 = base.loops.iter().map(|l| l.best().area).sum();
+                    let mut p = base;
+                    p.max_area = (full * fabric_pct / 100).max(1);
+                    p.reconfig_cost = *reconfig_cost;
+                    (p, 9)
+                }
+                ReconfigReq::Synthetic { n, seed } => {
+                    if *n == 0 || *n > 12 {
+                        return Err("synthetic n must be in 1..=12".into());
+                    }
+                    (
+                        rtise::reconfig::partition::synthetic_problem(*n as usize, *seed),
+                        *seed,
+                    )
+                }
+            };
+            let sol = rtise::reconfig::iterative_partition(&problem, partition_seed);
+            let net_gain = sol.net_gain(&problem);
+            Ok(Value::obj(vec![
+                ("problem", Artifact::encode(&problem)),
+                ("version", u64_arr(sol.version.iter().map(|&v| v as u64))),
+                ("config", u64_arr(sol.config.iter().map(|&c| c as u64))),
+                ("net_gain", Value::Num(net_gain as f64)),
+            ]))
+        }
+    }
+}
+
+/// An `ok: false` response.
+#[must_use]
+pub fn error_response(id: u64, msg: &str) -> Value {
+    Value::obj(vec![
+        ("id", id.into()),
+        ("ok", Value::Bool(false)),
+        ("error", msg.into()),
+    ])
+}
+
+/// Executes one request to a complete response document.
+///
+/// Never panics outward: a panicking computation becomes an `ok: false`
+/// response, so one poisoned request cannot take a worker down.
+#[must_use]
+pub fn execute(req: &Request) -> Value {
+    let scope = CounterScope::new();
+    let outcome = {
+        // Detach from the worker's ambient scopes: the request's work
+        // charges only its own scope (the global registry still sees it).
+        let _iso = rtise_obs::registry::isolate();
+        let _guard = scope.enter();
+        let _span = rtise_trace::enabled().then(|| rtise_trace::span(req.kind.name()));
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compute(&req.kind)))
+    };
+    match outcome {
+        Ok(Ok(result)) => {
+            let work: u64 = scope.counters().values().sum();
+            let kind = req.kind.name();
+            let sum = response_checksum(kind, work, &result);
+            Value::obj(vec![
+                ("id", req.id.into()),
+                ("ok", Value::Bool(true)),
+                ("kind", kind.into()),
+                ("work", work.into()),
+                ("result", result),
+                ("checksum", format!("{sum:016x}").into()),
+            ])
+        }
+        Ok(Err(msg)) => error_response(req.id, &msg),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "computation panicked".into());
+            error_response(req.id, &format!("internal error: {msg}"))
+        }
+    }
+}
+
+/// A complete response document as an artifact-store entry (family
+/// `response`), keyed by the request's [dedup key](crate::proto::dedup_key)
+/// with the id normalized to 0. Decoding re-runs the full
+/// [`check_response`] certification, so a corrupted or forged store entry
+/// is evicted and recomputed instead of served.
+pub struct ResponseArtifact(pub Value);
+
+impl Artifact for ResponseArtifact {
+    const FAMILY: &'static str = "response";
+
+    fn encode(&self) -> Value {
+        self.0.clone()
+    }
+
+    fn decode(payload: &Value) -> Result<Self, String> {
+        let d = check_response(payload);
+        if d.is_clean() {
+            Ok(ResponseArtifact(payload.clone()))
+        } else {
+            Err(format!(
+                "stored response fails re-certification: {}",
+                d.render().lines().next().unwrap_or("(no detail)")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{parse, Level};
+
+    fn run(line: &str) -> Value {
+        execute(&parse(line).expect("request parses"))
+    }
+
+    #[test]
+    fn curve_response_certifies_clean() {
+        let resp = run(r#"{"id": 1, "kind": "curve", "kernel": "fir"}"#);
+        let d = check_response(&resp);
+        assert!(d.is_clean(), "{}", d.render());
+        assert_eq!(resp.get("id").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_clean_error_response() {
+        let resp = run(r#"{"id": 2, "kind": "curve", "kernel": "nope"}"#);
+        assert!(check_response(&resp).is_clean());
+        assert!(resp
+            .get("error")
+            .and_then(Value::as_str)
+            .expect("error message")
+            .contains("unknown kernel"));
+    }
+
+    #[test]
+    fn every_kind_certifies_clean() {
+        for line in [
+            r#"{"id": 1, "kind": "select_edf", "kernels": ["fir", "crc32"], "u0_pct": 100, "budget": 128}"#,
+            r#"{"id": 2, "kind": "select_rms", "kernels": ["fir"], "u0_pct": 60, "budget": 128}"#,
+            r#"{"id": 3, "kind": "ilp", "seed": 5}"#,
+            r#"{"id": 4, "kind": "reconfig", "problem": "synthetic", "n": 6, "seed": 3}"#,
+        ] {
+            let resp = run(line);
+            let d = check_response(&resp);
+            assert!(d.is_clean(), "{line}: {}", d.render());
+        }
+    }
+
+    #[test]
+    fn work_is_deterministic_and_id_independent() {
+        let a = run(r#"{"id": 1, "kind": "ilp", "seed": 2}"#);
+        let b = run(r#"{"id": 99, "kind": "ilp", "seed": 2}"#);
+        assert_eq!(
+            a.get("work").and_then(Value::as_f64),
+            b.get("work").and_then(Value::as_f64)
+        );
+        assert_eq!(
+            a.get("checksum").and_then(Value::as_str),
+            b.get("checksum").and_then(Value::as_str),
+            "checksum excludes the id"
+        );
+        assert!(a.get("work").and_then(Value::as_f64).unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn level_reaches_the_curve_pipeline() {
+        let fast = Level::Fast.options();
+        let thorough = Level::Thorough.options();
+        assert_ne!(format!("{fast:?}"), format!("{thorough:?}"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The concurrent exploration server: a bounded worker pool over one
+//! request queue, with in-flight dedup and an optional disk-backed
+//! response store.
+//!
+//! Identical concurrent requests (same [dedup key](crate::proto::dedup_key))
+//! share one slot: the first submission enqueues a job, later ones attach
+//! to the in-flight slot (`serve.dedup.hit`) or to its finished result
+//! (`serve.memo.hit`) without enqueuing anything. Workers consult the
+//! sharded artifact store before computing (`cache.response.*` counters)
+//! and persist fresh successful responses back, so a warm store answers
+//! most of a repeated workload without touching a solver.
+//!
+//! A server starts paused — [`Server::start`] spawns the workers — so
+//! tests (and the load-test harness) can submit a whole workload first
+//! and get deterministic dedup/queue accounting, independent of worker
+//! timing. [`Server::shutdown`] is graceful: workers drain every queued
+//! job before exiting.
+
+use crate::engine::{self, ResponseArtifact};
+use crate::proto::{dedup_key, Request};
+use rtise_bench::store;
+use rtise_obs::json::Value;
+use rtise_obs::CounterScope;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Store tag (filename prefix) for response entries.
+pub const STORE_TAG: &str = "resp";
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker count (>= 1).
+    pub jobs: usize,
+    /// Artifact-store directory; `None` disables disk persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// When set, each worker records its spans into a `worker-<i>` trace
+    /// scope on this clock, exported by [`Server::shutdown`].
+    pub trace_clock: Option<rtise_trace::Clock>,
+}
+
+impl ServerConfig {
+    /// `jobs` workers, no disk store, no tracing.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        ServerConfig {
+            jobs: jobs.max(1),
+            cache_dir: None,
+            trace_clock: None,
+        }
+    }
+}
+
+/// One shared result slot: the response template (id normalized to 0)
+/// once ready.
+struct Slot {
+    ready: Mutex<Option<Value>>,
+    cond: Condvar,
+}
+
+struct Queue {
+    jobs: VecDeque<(String, Request, Arc<Slot>)>,
+    closed: bool,
+}
+
+struct Inner {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+    results: Mutex<HashMap<String, Arc<Slot>>>,
+    cache_dir: Option<PathBuf>,
+    scope: CounterScope,
+    traces: Mutex<Vec<(String, rtise_trace::TraceScope)>>,
+}
+
+/// A submitted request's future response.
+pub struct Handle {
+    slot: Arc<Slot>,
+    id: u64,
+}
+
+impl Handle {
+    /// Blocks until the response is ready and returns it with this
+    /// request's id.
+    #[must_use]
+    pub fn wait(&self) -> Value {
+        let mut ready = self.slot.ready.lock().expect("slot poisoned");
+        while ready.is_none() {
+            ready = self.slot.cond.wait(ready).expect("slot poisoned");
+        }
+        let mut resp = ready.clone().expect("checked above");
+        engine::set_field(&mut resp, "id", self.id.into());
+        resp
+    }
+}
+
+/// The exploration server. Created paused; call [`Server::start`].
+pub struct Server {
+    inner: Arc<Inner>,
+    config: ServerConfig,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Creates a paused server: requests can be submitted and queue up,
+    /// but nothing executes until [`Server::start`].
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(Queue {
+                    jobs: VecDeque::new(),
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+                results: Mutex::new(HashMap::new()),
+                cache_dir: config.cache_dir.clone(),
+                scope: CounterScope::new(),
+                traces: Mutex::new(Vec::new()),
+            }),
+            config,
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates and immediately starts a server.
+    #[must_use]
+    pub fn start_new(config: ServerConfig) -> Self {
+        let server = Server::new(config);
+        server.start();
+        server
+    }
+
+    /// Spawns the worker pool. Idempotent per server (second call is a
+    /// no-op).
+    pub fn start(&self) {
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        if !workers.is_empty() {
+            return;
+        }
+        for i in 0..self.config.jobs {
+            let inner = Arc::clone(&self.inner);
+            let clock = self.config.trace_clock;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, i, clock))
+                    .expect("spawn worker"),
+            );
+        }
+    }
+
+    /// Submits one request. Identical in-flight or finished requests
+    /// share their slot; only the first submission of a key enqueues
+    /// work.
+    pub fn submit(&self, req: &Request) -> Handle {
+        let key = dedup_key(&req.kind);
+        let _obs = self.inner.scope.enter();
+        let mut results = self.inner.results.lock().expect("results poisoned");
+        if let Some(slot) = results.get(&key) {
+            let done = slot.ready.lock().expect("slot poisoned").is_some();
+            rtise_obs::record(
+                if done {
+                    "serve.memo.hit"
+                } else {
+                    "serve.dedup.hit"
+                },
+                1,
+            );
+            return Handle {
+                slot: Arc::clone(slot),
+                id: req.id,
+            };
+        }
+        let slot = Arc::new(Slot {
+            ready: Mutex::new(None),
+            cond: Condvar::new(),
+        });
+        results.insert(key.clone(), Arc::clone(&slot));
+        drop(results);
+        rtise_obs::record("serve.queue.enqueued", 1);
+        {
+            let mut queue = self.inner.queue.lock().expect("queue poisoned");
+            queue.jobs.push_back((key, req.clone(), Arc::clone(&slot)));
+            rtise_obs::observe("serve.queue.depth", queue.jobs.len() as u64);
+        }
+        self.inner.cond.notify_one();
+        Handle { slot, id: req.id }
+    }
+
+    /// The server's own counters: `serve.*` plus the response store's
+    /// `cache.response.*` traffic.
+    #[must_use]
+    pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        self.inner.scope.counters()
+    }
+
+    /// Graceful shutdown: workers drain every queued job, then exit.
+    /// Returns the final counters and the per-worker trace scopes (empty
+    /// unless [`ServerConfig::trace_clock`] was set).
+    pub fn shutdown(
+        self,
+    ) -> (
+        std::collections::BTreeMap<String, u64>,
+        Vec<(String, rtise_trace::TraceScope)>,
+    ) {
+        {
+            let mut queue = self.inner.queue.lock().expect("queue poisoned");
+            queue.closed = true;
+        }
+        self.inner.cond.notify_all();
+        for handle in self.workers.lock().expect("worker list poisoned").drain(..) {
+            handle.join().expect("worker panicked");
+        }
+        let mut traces = self.inner.traces.lock().expect("traces poisoned");
+        let mut traces = std::mem::take(&mut *traces);
+        traces.sort_by(|a, b| a.0.cmp(&b.0));
+        (self.inner.scope.counters(), traces)
+    }
+}
+
+fn worker_loop(inner: &Inner, index: usize, trace_clock: Option<rtise_trace::Clock>) {
+    let trace_scope = trace_clock.map(rtise_trace::TraceScope::new);
+    {
+        let _trace_guard = trace_scope.as_ref().map(rtise_trace::TraceScope::enter);
+        loop {
+            let job = {
+                let mut queue = inner.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = queue.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if queue.closed {
+                        break None;
+                    }
+                    queue = inner.cond.wait(queue).expect("queue poisoned");
+                }
+            };
+            let Some((key, req, slot)) = job else {
+                break;
+            };
+            let _obs = inner.scope.enter();
+            let response = serve_one(inner, &key, &req);
+            let mut ready = slot.ready.lock().expect("slot poisoned");
+            *ready = Some(response);
+            drop(ready);
+            slot.cond.notify_all();
+        }
+    }
+    if let Some(scope) = trace_scope {
+        inner
+            .traces
+            .lock()
+            .expect("traces poisoned")
+            .push((format!("worker-{index}"), scope));
+    }
+}
+
+/// Resolves one distinct request: disk store first, then execution, then
+/// persist. The stored/served template always carries id 0; waiters
+/// stamp their own id.
+fn serve_one(inner: &Inner, key: &str, req: &Request) -> Value {
+    if let Some(dir) = &inner.cache_dir {
+        // A loaded entry already passed the full response re-certification
+        // (see `ResponseArtifact::decode`); corrupt entries were evicted
+        // and fall through to recomputation.
+        if let Some((artifact, _, _)) = store::load::<ResponseArtifact>(dir, STORE_TAG, key) {
+            return artifact.0;
+        }
+    }
+    rtise_obs::record("serve.exec", 1);
+    let mut response = engine::execute(&Request {
+        id: 0,
+        kind: req.kind.clone(),
+    });
+    engine::set_field(&mut response, "id", 0u64.into());
+    let ok = matches!(response.get("ok"), Some(Value::Bool(true)));
+    if ok {
+        if let Some(dir) = &inner.cache_dir {
+            let artifact = ResponseArtifact(response.clone());
+            let empty_counters = std::collections::BTreeMap::new();
+            let empty_hists = std::collections::BTreeMap::new();
+            if let Err(e) = store::store(
+                dir,
+                STORE_TAG,
+                key,
+                &artifact,
+                &empty_counters,
+                &empty_hists,
+            ) {
+                eprintln!("serve: failed to persist response for {key:?}: {e}");
+            }
+        }
+    }
+    response
+}
+
+/// Serves line-delimited JSON requests from `reader`, writing one
+/// response line per request to `writer` in request order. Used by both
+/// `serve --stdin` and each TCP connection.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader or writer.
+pub fn serve_lines(
+    server: &Server,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match crate::proto::parse(&line) {
+            Ok(req) => server.submit(&req).wait(),
+            Err(msg) => engine::error_response(line_request_id(&line), &msg),
+        };
+        writeln!(writer, "{}", response.render())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Best-effort id extraction from a malformed request line, so the error
+/// response still correlates when possible.
+fn line_request_id(line: &str) -> u64 {
+    rtise_obs::json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").and_then(Value::as_f64))
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map_or(0, |n| n as u64)
+}
+
+/// Binds `addr` and serves each connection on its own thread. Blocks
+/// forever (terminate the process to stop).
+///
+/// # Errors
+///
+/// Propagates the bind failure; per-connection errors are logged and
+/// drop only that connection.
+pub fn run_tcp(addr: &str, server: &Arc<Server>) -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    eprintln!("serve: listening on {}", listener.local_addr()?);
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let server = Arc::clone(server);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(s) => std::io::BufReader::new(s),
+                        Err(e) => {
+                            eprintln!("serve: connection clone failed: {e}");
+                            return;
+                        }
+                    };
+                    if let Err(e) = serve_lines(&server, reader, &stream) {
+                        eprintln!("serve: connection dropped: {e}");
+                    }
+                });
+            }
+            Err(e) => eprintln!("serve: accept failed: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! End-to-end service tests: report determinism across worker counts,
+//! in-flight dedup, corrupt-store recovery, and graceful shutdown.
+
+use rtise_obs::json::Value;
+use rtise_serve::engine::ResponseArtifact;
+use rtise_serve::loadtest::{self, LoadtestConfig};
+use rtise_serve::proto::{self, dedup_key};
+use rtise_serve::server::{Server, ServerConfig, STORE_TAG};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtise-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn req(line: &str) -> proto::Request {
+    proto::parse(line).expect("request parses")
+}
+
+fn loadtest_cfg(jobs: usize, cache_dir: Option<PathBuf>) -> LoadtestConfig {
+    LoadtestConfig {
+        seed: 0x10ad,
+        requests: 150,
+        jobs,
+        cache_dir,
+        trace_out: None,
+        trace_clock: rtise_trace::Clock::Virtual,
+    }
+}
+
+#[test]
+fn loadtest_report_is_byte_identical_across_worker_counts() {
+    let serial = loadtest::run(&loadtest_cfg(1, Some(tmp_dir("det-1"))));
+    let parallel = loadtest::run(&loadtest_cfg(4, Some(tmp_dir("det-4"))));
+    assert!(serial.certification_failures.is_empty());
+    assert!(parallel.certification_failures.is_empty());
+    assert_eq!(
+        serial.report.render_pretty(),
+        parallel.report.render_pretty(),
+        "report must not depend on the worker count"
+    );
+}
+
+#[test]
+fn identical_inflight_requests_share_one_computation() {
+    // Paused server: both submissions land before any worker runs, so
+    // the second is deterministically an in-flight dedup hit.
+    let server = Server::new(ServerConfig::new(2));
+    let a = server.submit(&req(r#"{"id": 1, "kind": "ilp", "seed": 3}"#));
+    let b = server.submit(&req(r#"{"id": 2, "kind": "ilp", "seed": 3}"#));
+    let counters = server.counters();
+    assert_eq!(counters.get("serve.dedup.hit"), Some(&1));
+    assert_eq!(counters.get("serve.queue.enqueued"), Some(&1));
+
+    server.start();
+    let ra = a.wait();
+    let rb = b.wait();
+    let (counters, _) = server.shutdown();
+    assert_eq!(
+        counters.get("serve.exec"),
+        Some(&1),
+        "one solve, two responses"
+    );
+
+    assert_eq!(ra.get("id").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(rb.get("id").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(
+        ra.get("checksum").and_then(Value::as_str),
+        rb.get("checksum").and_then(Value::as_str),
+        "both callers got the same certified result"
+    );
+    assert!(rtise::check::serve::check_response(&ra).is_clean());
+}
+
+#[test]
+fn finished_results_are_served_from_the_memo() {
+    let server = Server::start_new(ServerConfig::new(1));
+    let line = r#"{"id": 1, "kind": "reconfig", "problem": "synthetic", "n": 6, "seed": 1}"#;
+    let first = server.submit(&req(line)).wait();
+    let second = server.submit(&req(line)).wait();
+    let (counters, _) = server.shutdown();
+    assert_eq!(counters.get("serve.exec"), Some(&1));
+    assert_eq!(counters.get("serve.memo.hit"), Some(&1));
+    assert_eq!(
+        first.get("checksum").and_then(Value::as_str),
+        second.get("checksum").and_then(Value::as_str)
+    );
+}
+
+#[test]
+fn corrupt_store_entries_are_evicted_and_recomputed() {
+    let dir = tmp_dir("corrupt");
+    let line = r#"{"id": 7, "kind": "ilp", "seed": 4}"#;
+    let request = req(line);
+    let key = dedup_key(&request.kind);
+
+    // Warm the store.
+    let server = Server::start_new(ServerConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        trace_clock: None,
+    });
+    let clean = server.submit(&request).wait();
+    server.shutdown();
+    let path = rtise_bench::store::entry_path::<ResponseArtifact>(&dir, STORE_TAG, &key);
+    assert!(path.exists(), "response persisted");
+
+    // Doctor the entry on disk: checksum mismatch (STORE003 on load).
+    let text = std::fs::read_to_string(&path).expect("entry readable");
+    let doctored = text.replace("\"work\": ", "\"work\": 1");
+    assert_ne!(text, doctored, "mutation applied");
+    std::fs::write(&path, doctored).expect("write doctored entry");
+
+    // A fresh server must reject the entry, evict it, and recompute.
+    let server = Server::start_new(ServerConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        trace_clock: None,
+    });
+    let recomputed = server.submit(&request).wait();
+    let (counters, _) = server.shutdown();
+    assert_eq!(
+        counters.get("cache.response.hit"),
+        None,
+        "no hit on corrupt entry"
+    );
+    assert_eq!(counters.get("cache.response.evict"), Some(&1));
+    assert_eq!(counters.get("serve.exec"), Some(&1));
+    assert_eq!(
+        clean.get("checksum").and_then(Value::as_str),
+        recomputed.get("checksum").and_then(Value::as_str),
+        "recomputation reproduces the certified result"
+    );
+
+    // The recomputed entry is stored again and now serves warm.
+    let server = Server::start_new(ServerConfig {
+        jobs: 1,
+        cache_dir: Some(dir),
+        trace_clock: None,
+    });
+    let warm = server.submit(&request).wait();
+    let (counters, _) = server.shutdown();
+    assert_eq!(counters.get("cache.response.hit"), Some(&1));
+    assert_eq!(counters.get("serve.exec"), None, "no solve on a warm hit");
+    assert!(rtise::check::serve::check_response(&warm).is_clean());
+}
+
+#[test]
+fn shutdown_drains_every_queued_job() {
+    // Queue a batch while paused, start, and immediately shut down: the
+    // graceful drain must answer everything before the workers exit.
+    let server = Server::new(ServerConfig::new(3));
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            server.submit(&req(&format!(
+                r#"{{"id": {}, "kind": "ilp", "seed": {}}}"#,
+                i + 1,
+                i % 6
+            )))
+        })
+        .collect();
+    server.start();
+    let (counters, _) = server.shutdown();
+    assert_eq!(
+        counters.get("serve.exec"),
+        Some(&6),
+        "six distinct seeds solved"
+    );
+    for (i, h) in handles.iter().enumerate() {
+        let resp = h.wait();
+        assert_eq!(resp.get("id").and_then(Value::as_f64), Some(i as f64 + 1.0));
+        assert!(
+            rtise::check::serve::check_response(&resp).is_clean(),
+            "response {i} certified after drain"
+        );
+    }
+}
+
+#[test]
+fn warm_rerun_has_strictly_higher_hit_rate() {
+    let dir = tmp_dir("warm");
+    let cold = loadtest::run(&loadtest_cfg(2, Some(dir.clone())));
+    let warm = loadtest::run(&loadtest_cfg(2, Some(dir)));
+    assert!(cold.certification_failures.is_empty());
+    assert!(warm.certification_failures.is_empty());
+    assert!(
+        warm.hit_rate_pct > cold.hit_rate_pct,
+        "warm {} <= cold {}",
+        warm.hit_rate_pct,
+        cold.hit_rate_pct
+    );
+    assert_eq!(warm.hit_rate_pct, 100.0, "every request warm-served");
+}
