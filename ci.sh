@@ -94,6 +94,50 @@ if ! cmp -s target/artifacts/canon-cold.json target/artifacts/canon-warm.json; t
 fi
 echo "    canonical reports are byte-identical"
 
+echo "==> parallel-solver determinism: --par-threads 1 vs 4 must be byte-identical"
+# Both passes reuse the warm curve cache, so this gate measures only the
+# solvers. Canonicalization keeps every counter — including the
+# check.certb.* certificate-replay counters — so byte-identity here proves
+# the parallel search visits the same tree, emits the same trace events,
+# and produces replayable certificates identical to the serial search.
+cargo run --offline --release -p rtise-bench --bin reproduce -- \
+  --check --jobs 4 --par-threads 1 --cache-dir "$CACHE_DIR" \
+  --json target/artifacts/reproduce-par1.json
+cargo run --offline --release -p rtise-bench --bin reproduce -- \
+  --check --jobs 4 --par-threads 4 --cache-dir "$CACHE_DIR" \
+  --json target/artifacts/reproduce-par4.json
+cargo run --offline --release -p rtise-trace --bin trace -- \
+  canon target/artifacts/reproduce-par1.json --drop-output "$TIMING_TABLES" \
+  > target/artifacts/canon-par1.json
+cargo run --offline --release -p rtise-trace --bin trace -- \
+  canon target/artifacts/reproduce-par4.json --drop-output "$TIMING_TABLES" \
+  > target/artifacts/canon-par4.json
+if ! cmp -s target/artifacts/canon-par1.json target/artifacts/canon-par4.json; then
+  echo "FAIL: certified reports differ between --par-threads 1 and 4"
+  diff target/artifacts/canon-par1.json target/artifacts/canon-par4.json | head -40
+  exit 1
+fi
+for KEY in check.certb.ilp check.certb.ise check.certb.rms; do
+  if ! grep -q "\"$KEY\"" target/artifacts/reproduce-par4.json; then
+    echo "FAIL: no $KEY certificate replays in the --par-threads 4 run"
+    exit 1
+  fi
+done
+echo "    parallel search is byte-identical to serial and certified optimal"
+
+echo "==> panic-safety regression gates (pool callback, serve worker death)"
+# cargo test above already runs these; naming them here keeps the gates
+# from silently disappearing if the suites are reorganised. The grep on
+# the pass count makes a renamed (and therefore unmatched) test a failure.
+cargo test --offline --release -q -p rtise-bench --lib -- --exact \
+  pool::tests::panicking_callback_does_not_poison_the_pool \
+  | grep -q "1 passed"
+cargo test --offline --release -q -p rtise-serve --test service -- --exact \
+  panicked_worker_does_not_crash_shutdown_or_hang_waiters \
+  queue_drains_past_a_panicked_worker \
+  | grep -q "2 passed"
+echo "    pool survives panicking callbacks; serve survives dead workers"
+
 echo "==> fuzz smoke (fixed seed, all families, 4 workers; fails on any diagnostic)"
 cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
   --seed 7 --iters 200 --family all --jobs 4 --json target/fuzz-smoke.json \
@@ -108,9 +152,9 @@ echo "    fuzz certified >12-variable ILP instances by certificate replay"
 
 echo "==> bench smoke (same sweep as the committed baseline, fewer samples)"
 cargo run --offline --release -p rtise-perf --bin bench -- \
-  --smoke --out target/artifacts/bench-smoke.json --baseline BENCH_5.json
+  --smoke --out target/artifacts/bench-smoke.json --baseline BENCH_6.json
 # --baseline validates both documents' schemas and fails on any (kernel,
-# size) point regressing past 2.5x the committed BENCH_5.json figure.
+# size) point regressing past 2.5x the committed BENCH_6.json figure.
 
 echo "==> serve smoke (seeded 1000-request loadtest, 4 workers, cold then warm store)"
 # The serve binary certifies every response via rtise-check internally and

@@ -14,6 +14,7 @@
 //! reproduce --check tab6_1           # also certify each experiment's artifacts
 //! reproduce --cache-dir .cache       # persist curves somewhere specific
 //! reproduce --no-cache               # disable the on-disk curve cache
+//! reproduce --par-threads 4          # parallel solver cores (same output)
 //! ```
 //!
 //! Experiments run on a worker pool (`--jobs N`, defaulting to every
@@ -35,8 +36,8 @@ use rtise_obs::Report;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-const USAGE: &str = "supported: --list, --jobs <n>, --json <path>, --trace, \
-                     --trace-out <path>, --trace-clock <real|virtual>, --check, \
+const USAGE: &str = "supported: --list, --jobs <n>, --par-threads <n>, --json <path>, \
+                     --trace, --trace-out <path>, --trace-clock <real|virtual>, --check, \
                      --cache-dir <dir>, --no-cache";
 
 fn usage_error(msg: &str) -> ! {
@@ -90,6 +91,14 @@ fn main() {
                 _ => usage_error("--trace-clock requires `real` or `virtual`"),
             },
             "--check" => check = true,
+            // Worker threads *inside* each solver (subtree parallelism),
+            // orthogonal to --jobs (experiments in parallel). The solvers
+            // decompose deterministically, so every report, trace, and
+            // certificate is byte-identical at any count.
+            "--par-threads" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => rtise_obs::par::set_threads(n),
+                _ => usage_error("--par-threads requires a thread count (0 = serial cores)"),
+            },
             other if other.starts_with('-') => {
                 usage_error(&format!("unknown flag {other:?}"));
             }

@@ -129,11 +129,13 @@ fn certify_outcome(id: &str) -> (CertOutcome, std::collections::BTreeMap<String,
 /// paper (input) order, and returns all outcomes in the same order.
 ///
 /// `on_ready(index, outcome)` fires exactly once per experiment, in
-/// index order, as soon as the outcome *and all earlier ones* exist; it
-/// runs under the pool's emission lock, so implementations should only
-/// format and print. Every id must name a real experiment — the harness
-/// validates ids up front (unknown ids are a usage error with a
-/// suggestion, not a pool concern).
+/// index order, as soon as the outcome *and all earlier ones* exist. It
+/// runs outside the pool's internal lock (one callback at a time), so a
+/// panicking callback cannot poison the pool: the remaining experiments
+/// still run, later outcomes still stream, and the first panic payload is
+/// re-raised to the caller once the pool drains. Every id must name a
+/// real experiment — the harness validates ids up front (unknown ids are
+/// a usage error with a suggestion, not a pool concern).
 ///
 /// When `trace_clock` is `Some`, every experiment runs inside its own
 /// [`rtise_trace::TraceScope`] on that clock (surfaced as
@@ -165,12 +167,26 @@ pub fn run_pool(
     struct Emission {
         slots: Vec<Option<ExperimentOutcome>>,
         next_emit: usize,
+        // Exactly one worker drains the ready prefix at a time; the flag
+        // (not the mutex) serializes emission so `on_ready` itself runs
+        // *outside* the lock — a panicking callback must not poison it
+        // and take the other workers down with a lock-recovery abort.
+        emitting: bool,
     }
     let emission = Mutex::new(Emission {
         slots: (0..ids.len()).map(|_| None).collect(),
         next_emit: 0,
+        emitting: false,
     });
     let next_claim = AtomicUsize::new(0);
+    // First `on_ready` panic, re-raised on the caller once every
+    // experiment has run and every outcome has been offered for emission.
+    let callback_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let lock_emission = || {
+        emission
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    };
 
     std::thread::scope(|s| {
         for _ in 0..jobs.min(ids.len()) {
@@ -178,21 +194,50 @@ pub fn run_pool(
                 let i = next_claim.fetch_add(1, Ordering::Relaxed);
                 let Some(id) = ids.get(i) else { break };
                 let outcome = run_one(id, true, check, trace_clock);
-                let mut guard = emission.lock().expect("emission lock poisoned");
-                let em = &mut *guard;
-                em.slots[i] = Some(outcome);
-                // Stream every now-contiguous finished prefix, in order.
-                while let Some(Some(ready)) = em.slots.get(em.next_emit) {
-                    on_ready(em.next_emit, ready);
-                    em.next_emit += 1;
+                lock_emission().slots[i] = Some(outcome);
+                // Stream the now-contiguous finished prefix, in order,
+                // taking each outcome out of its slot for the duration of
+                // the (unlocked) callback and restoring it afterwards.
+                loop {
+                    let mut em = lock_emission();
+                    if em.emitting {
+                        break; // the current emitter will pick it up
+                    }
+                    let idx = em.next_emit;
+                    let Some(ready) = em.slots.get_mut(idx).and_then(Option::take) else {
+                        break;
+                    };
+                    em.emitting = true;
+                    drop(em);
+                    let emitted = catch_unwind(AssertUnwindSafe(|| on_ready(idx, &ready)));
+                    let mut em = lock_emission();
+                    em.slots[idx] = Some(ready);
+                    // A panicking callback still counts as emitted —
+                    // retrying it would panic forever and stall every
+                    // later emission behind it.
+                    em.next_emit = idx + 1;
+                    em.emitting = false;
+                    drop(em);
+                    if let Err(payload) = emitted {
+                        let mut first = callback_panic
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        first.get_or_insert(payload);
+                    }
                 }
             });
         }
     });
 
+    if let Some(payload) = callback_panic
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        std::panic::resume_unwind(payload);
+    }
     emission
         .into_inner()
-        .expect("emission lock poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .slots
         .into_iter()
         .map(|slot| slot.expect("worker pool completed every claimed slot"))
@@ -230,5 +275,36 @@ mod tests {
         assert_eq!(seen.load(Ordering::Relaxed), ids.len());
         assert_eq!(outcomes.len(), ids.len());
         assert!(outcomes.iter().all(ExperimentOutcome::is_ok));
+    }
+
+    /// A panicking `on_ready` must not poison the pool: every other
+    /// experiment still runs and streams (in order), and the panic is
+    /// re-raised to the caller only after the pool drains.
+    #[test]
+    fn panicking_callback_does_not_poison_the_pool() {
+        let ids: Vec<String> = ["fig3_2", "fig3_2", "fig3_2", "fig3_2"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let emitted = Mutex::new(Vec::new());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_pool(&ids, 4, false, None, &|i, _| {
+                emitted.lock().expect("test mutex").push(i);
+                if i == 1 {
+                    panic!("callback exploded on purpose");
+                }
+            })
+        }));
+        let payload = result.expect_err("the callback panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a string");
+        assert!(msg.contains("callback exploded"), "unexpected panic: {msg}");
+        // The panic at index 1 must not have cost indices 2 and 3 their
+        // emission, nor broken the strict streaming order.
+        assert_eq!(*emitted.lock().expect("test mutex"), vec![0, 1, 2, 3]);
     }
 }

@@ -395,9 +395,28 @@ pub fn load<A: Artifact>(dir: &Path, tag: &str, key: &str) -> Option<Entry<A>> {
 }
 
 /// Deletes a rejected entry and records it as an eviction, with the age
-/// of the evicted entry when known.
+/// of the evicted entry when known. A failed deletion (other than the
+/// entry already being gone, e.g. a concurrent evictor won the race) is
+/// counted under `{prefix}.evict_failed` and warned about once per
+/// process — a rejected entry that cannot be removed would otherwise be
+/// re-validated and re-warned on every load, silently.
 pub fn evict(path: &Path, prefix: &str, age_ms: Option<u64>) {
-    let _ = std::fs::remove_file(path);
+    match std::fs::remove_file(path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            rtise_obs::record(&format!("{prefix}.evict_failed"), 1);
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: failed to evict store entry {} ({e}); rejected entries will be \
+                     re-validated on every load (further eviction failures counted under \
+                     *.evict_failed without this warning)",
+                    path.display()
+                );
+            });
+        }
+    }
     rtise_obs::record(&format!("{prefix}.evict"), 1);
     if let Some(age) = age_ms {
         rtise_obs::observe(&format!("{prefix}.evict_age_ms"), age);
@@ -556,6 +575,41 @@ mod tests {
         );
         let (e, d) = validate::<Staircase>(&bad.render_pretty(), "k");
         assert!(e.is_none() && d.has(Code::STORE004), "{}", d.render());
+    }
+
+    /// An eviction whose `remove_file` fails must say so — counted under
+    /// `{prefix}.evict_failed` — instead of silently leaving the rejected
+    /// entry behind. A directory at the entry path makes `remove_file`
+    /// fail deterministically (even for root, unlike permission bits).
+    #[test]
+    fn failed_eviction_is_counted_not_silent() {
+        let dir = tmp_dir("evict-failed");
+        let stuck = dir.join("stuck-entry");
+        std::fs::create_dir_all(&stuck).expect("create dir");
+        let scope = rtise_obs::CounterScope::new();
+        {
+            let _guard = scope.enter();
+            evict(&stuck, "cache.toy", Some(7));
+        }
+        let counters = scope.counters();
+        assert_eq!(counters.get("cache.toy.evict"), Some(&1));
+        assert_eq!(counters.get("cache.toy.evict_failed"), Some(&1));
+        assert!(stuck.exists(), "the undeletable entry is still there");
+
+        // A successful eviction — and one racing an already-gone entry —
+        // must not count as failed.
+        let gone = dir.join("plain-entry");
+        std::fs::write(&gone, b"x").expect("write");
+        let scope = rtise_obs::CounterScope::new();
+        {
+            let _guard = scope.enter();
+            evict(&gone, "cache.toy", None);
+            evict(&gone, "cache.toy", None);
+        }
+        let counters = scope.counters();
+        assert_eq!(counters.get("cache.toy.evict"), Some(&2));
+        assert_eq!(counters.get("cache.toy.evict_failed"), None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Seeded truncations and bit flips of a valid entry must always fall

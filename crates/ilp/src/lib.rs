@@ -100,6 +100,13 @@ impl std::error::Error for SolveError {}
 /// in [`IlpCertificate::dropped`] instead of growing without bound.
 pub const DEFAULT_CERT_CAP: usize = 1 << 22;
 
+/// Frontier depth of the decomposed parallel search: phase 1 walks the
+/// tree serially down to this depth and every surviving node becomes an
+/// independent subtree for the worker pool. Instance-derived and fixed,
+/// never thread-dependent — that is what keeps stats, certificates, and
+/// traces byte-identical at any thread count.
+const PAR_FRONTIER_DEPTH: usize = 6;
+
 /// One branch-and-bound node of the search, in preorder.
 ///
 /// The events reference the *normalized* problem: minimize sense, every
@@ -331,12 +338,81 @@ impl Model {
         )
     }
 
+    /// Like [`Model::solve_with_stats`], but forcing the decomposed
+    /// parallel search with `threads` workers regardless of the
+    /// process-wide [`rtise_obs::par::threads`] knob. Results, stats,
+    /// counters, traces, and certificates are byte-identical for every
+    /// `threads >= 1`; models the decomposition does not apply to (a
+    /// node limit is set, or too few variables to have a frontier) fall
+    /// back to the classic serial search.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`].
+    pub fn solve_par_with_stats(&self, threads: usize) -> Result<(Solution, IlpStats), SolveError> {
+        self.solve_observed_threads(threads.max(1), None)
+    }
+
+    /// Like [`Model::solve_with_cert`], but forcing the decomposed
+    /// parallel search with `threads` workers; see
+    /// [`Model::solve_par_with_stats`] for the determinism contract.
+    pub fn solve_par_with_cert(
+        &self,
+        threads: usize,
+    ) -> (Result<Solution, SolveError>, IlpCertificate) {
+        self.solve_par_with_cert_capped(threads, DEFAULT_CERT_CAP)
+    }
+
+    /// [`Model::solve_par_with_cert`] with an explicit event cap.
+    pub fn solve_par_with_cert_capped(
+        &self,
+        threads: usize,
+        cap: usize,
+    ) -> (Result<Solution, SolveError>, IlpCertificate) {
+        let mut rec = CertRec {
+            order: Vec::new(),
+            log: rtise_obs::BoundedLog::new(cap),
+        };
+        let result = self
+            .solve_observed_threads(threads.max(1), Some(&mut rec))
+            .map(|(s, _)| s);
+        let (events, dropped) = rec.log.into_parts();
+        (
+            result,
+            IlpCertificate {
+                order: rec.order,
+                events,
+                dropped,
+            },
+        )
+    }
+
+    /// Whether the decomposed parallel search applies: the tree must be
+    /// deeper than the frontier, and no node limit may be set (the limit
+    /// counts nodes in serial traversal order, a property the
+    /// decomposition cannot honor).
+    fn par_applicable(&self) -> bool {
+        self.node_limit == u64::MAX && self.n > PAR_FRONTIER_DEPTH
+    }
+
     fn solve_observed(
         &self,
         cert: Option<&mut CertRec>,
     ) -> Result<(Solution, IlpStats), SolveError> {
+        self.solve_observed_threads(rtise_obs::par::threads(), cert)
+    }
+
+    fn solve_observed_threads(
+        &self,
+        threads: usize,
+        cert: Option<&mut CertRec>,
+    ) -> Result<(Solution, IlpStats), SolveError> {
         let span = rtise_trace::span(codes::ILP_SOLVE);
-        let (result, stats, depth_hist) = self.solve_inner(cert);
+        let (result, stats, depth_hist) = if threads > 0 && self.par_applicable() {
+            self.solve_par_inner(threads, cert)
+        } else {
+            self.solve_inner(cert)
+        };
         rtise_obs::record("ilp.solves", 1);
         rtise_obs::record("ilp.nodes_explored", stats.nodes_explored);
         rtise_obs::record("ilp.pruned_infeasible", stats.pruned_infeasible);
@@ -429,6 +505,7 @@ impl Model {
             node_limit: self.node_limit,
             depth_hist: rtise_obs::Hist::new(),
             cert,
+            frontier: None,
         };
         if let Err(e) = search.dfs(0, 0) {
             return (Err(e), search.stats, search.depth_hist);
@@ -439,6 +516,207 @@ impl Model {
             stats,
             search.depth_hist,
         )
+    }
+
+    /// The decomposed parallel search. Phase 1 runs the classic search
+    /// serially but truncated at [`PAR_FRONTIER_DEPTH`]: internal nodes
+    /// record stats/certificate/trace events exactly as before, while
+    /// nodes *reaching* the frontier are captured (uncounted, eventless)
+    /// as independent subtree roots. Phase 2 farms the subtrees out via
+    /// [`rtise_obs::par::run_ordered`]; each is searched with its own
+    /// stats, histogram, certificate log, and virtual-clock trace scope,
+    /// seeded with the best incumbent among the subtree's deterministic
+    /// completed-prefix window. The merge is a fixed preorder stitch:
+    ///
+    /// * stats summed and histograms merged in subtree index order after
+    ///   phase 1's own;
+    /// * certificate events spliced at each subtree's recorded phase-1
+    ///   position, so the stitched log is the preorder walk of a valid
+    ///   (differently-pruned but still optimality-proving) search tree
+    ///   that `rtise_check::bnb` replays without modification — a prune
+    ///   justified against a subtree's *weaker* local incumbent is
+    ///   automatically justified against the replayer's stronger one;
+    /// * captured trace events replayed into the ambient scopes in
+    ///   subtree index order.
+    ///
+    /// Incumbents fold with the same strict-improvement rule as the
+    /// search itself, keeping the preorder-earliest attainer among ties,
+    /// so the merged solution equals the replayer's final incumbent.
+    fn solve_par_inner(
+        &self,
+        threads: usize,
+        cert: Option<&mut CertRec>,
+    ) -> (Result<Solution, SolveError>, IlpStats, rtise_obs::Hist) {
+        let prep = match self.prepare() {
+            Ok(p) => p,
+            Err(e) => return (Err(e), IlpStats::default(), rtise_obs::Hist::new()),
+        };
+        let m = prep.rhs.len();
+        let mut cols: Vec<Vec<(usize, i64)>> = vec![Vec::new(); self.n];
+        for (ri, row) in prep.coeff.iter().enumerate() {
+            for (d, &c) in row.iter().enumerate() {
+                if c != 0 {
+                    cols[d].push((ri, c));
+                }
+            }
+        }
+        let violated = (0..m)
+            .filter(|&ri| prep.min_rem[ri][0] > prep.rhs[ri])
+            .count();
+        let want_cert = cert.is_some();
+        let cap = cert.as_ref().map_or(0, |rec| rec.log.cap());
+
+        // Phase 1: serial walk truncated at the frontier. The log is
+        // physically bounded by the frontier size, so no cap is needed.
+        let mut frontier: Vec<FrontierNode> = Vec::new();
+        let mut ph_log = want_cert.then(|| rtise_obs::BoundedLog::new(usize::MAX));
+        let (ph_stats, ph_hist) = {
+            let mut search = Search {
+                n: self.n,
+                cols: &cols,
+                min_rem: &prep.min_rem,
+                obj: &prep.obj_ordered,
+                obj_min_rem: &prep.obj_min_rem,
+                rhs: &prep.rhs,
+                lhs: vec![0; m],
+                violated,
+                assign: vec![false; self.n],
+                best: None,
+                stats: IlpStats::default(),
+                node_limit: u64::MAX,
+                depth_hist: rtise_obs::Hist::new(),
+                cert: ph_log.as_mut(),
+                frontier: Some((PAR_FRONTIER_DEPTH, &mut frontier)),
+            };
+            search
+                .dfs(0, 0)
+                .expect("decomposed search never sets a node limit");
+            (search.stats, search.depth_hist)
+        };
+        let ph_events = ph_log.map_or(Vec::new(), |log| log.into_parts().0);
+
+        // Phase 2: independent subtree searches on the deterministic
+        // scheduler. Nothing in here touches the counter registry or the
+        // ambient trace scopes — everything is merged by the caller.
+        //
+        // Subtree 0 runs serially first (warm start): it is the preorder-
+        // earliest region of the tree, so its best leaf both seeds every
+        // later subtree — without it, the first `WINDOW` subtrees would
+        // search incumbent-less and can explosively overexpand — and is a
+        // valid justification for any later prune under the replayer's
+        // preorder incumbent.
+        let trace_on = rtise_trace::enabled();
+        let run_subtree = |node: &FrontierNode, seed: Option<(i64, Vec<bool>)>| {
+            let scope = trace_on.then(|| rtise_trace::TraceScope::new(rtise_trace::Clock::Virtual));
+            let mut log = want_cert.then(|| rtise_obs::BoundedLog::new(cap));
+            let mut search = Search {
+                n: self.n,
+                cols: &cols,
+                min_rem: &prep.min_rem,
+                obj: &prep.obj_ordered,
+                obj_min_rem: &prep.obj_min_rem,
+                rhs: &prep.rhs,
+                lhs: node.lhs.clone(),
+                violated: node.violated,
+                assign: node.assign.clone(),
+                best: seed,
+                stats: IlpStats::default(),
+                node_limit: u64::MAX,
+                depth_hist: rtise_obs::Hist::new(),
+                cert: log.as_mut(),
+                frontier: None,
+            };
+            {
+                // Detach from any ambient scope first (with one
+                // worker the closure runs on the caller's thread,
+                // which has the caller's scopes entered) so subtree
+                // events reach the ambient trace exactly once, via
+                // the deterministic replay below.
+                let _isolated = trace_on.then(rtise_trace::isolate);
+                let _active = scope.as_ref().map(rtise_trace::TraceScope::enter);
+                search
+                    .dfs(PAR_FRONTIER_DEPTH, node.cur_obj)
+                    .expect("decomposed search never sets a node limit");
+            }
+            let Search {
+                best,
+                stats,
+                depth_hist,
+                ..
+            } = search;
+            let (events, cert_dropped) =
+                log.map_or((Vec::new(), 0), rtise_obs::BoundedLog::into_parts);
+            SubResult {
+                best,
+                stats,
+                hist: depth_hist,
+                events,
+                cert_dropped,
+                trace: scope
+                    .as_ref()
+                    .map_or_else(Vec::new, rtise_trace::TraceScope::events),
+                trace_dropped: scope.as_ref().map_or(0, rtise_trace::TraceScope::dropped),
+            }
+        };
+        let first = frontier.first().map(|node| run_subtree(node, None));
+        let rest: Vec<SubResult> = rtise_obs::par::run_ordered(
+            frontier.get(1..).unwrap_or(&[]),
+            threads,
+            |_, node, prefix: rtise_obs::par::Completed<'_, SubResult>| {
+                let mut seed: Option<(i64, Vec<bool>)> = None;
+                for r in std::iter::once(first.as_ref().expect("frontier is non-empty"))
+                    .chain(prefix.iter())
+                {
+                    if let Some((v, a)) = &r.best {
+                        if seed.as_ref().is_none_or(|(s, _)| *v < *s) {
+                            seed = Some((*v, a.clone()));
+                        }
+                    }
+                }
+                run_subtree(node, seed)
+            },
+        );
+        let results: Vec<SubResult> = first.into_iter().chain(rest).collect();
+
+        // Merge, all in subtree index order.
+        let mut stats = ph_stats;
+        let mut hist = ph_hist;
+        let mut best: Option<(i64, Vec<bool>)> = None;
+        for r in &results {
+            stats.nodes_explored += r.stats.nodes_explored;
+            stats.pruned_infeasible += r.stats.pruned_infeasible;
+            stats.pruned_bound += r.stats.pruned_bound;
+            stats.incumbent_updates += r.stats.incumbent_updates;
+            hist.merge(&r.hist);
+            if let Some((v, a)) = &r.best {
+                if best.as_ref().is_none_or(|(b, _)| *v < *b) {
+                    best = Some((*v, a.clone()));
+                }
+            }
+        }
+        if trace_on {
+            for r in &results {
+                rtise_trace::replay(&r.trace, r.trace_dropped);
+            }
+        }
+        if let Some(rec) = cert {
+            rec.order = prep.order.clone();
+            let mut prev = 0;
+            for (node, r) in frontier.iter().zip(&results) {
+                for &e in &ph_events[prev..node.cert_pos] {
+                    rec.log.push(e);
+                }
+                prev = node.cert_pos;
+                for &e in &r.events {
+                    rec.log.push(e);
+                }
+                rec.log.add_dropped(r.cert_dropped);
+            }
+            for &e in &ph_events[prev..] {
+                rec.log.push(e);
+            }
+        }
+        (self.extract(&prep, best, stats), stats, hist)
     }
 
     /// Normalizes the model (minimize, all rows `<=`), orders variables by
@@ -580,10 +858,49 @@ struct Search<'a> {
     /// never changes prune decisions — the witness-row scan on an
     /// infeasible prune is the only extra work.
     cert: Option<&'a mut rtise_obs::BoundedLog<IlpCertEvent>>,
+    /// Phase-1 mode of the decomposed parallel search: nodes reaching
+    /// the given depth are captured (uncounted, eventless) instead of
+    /// expanded; their subtrees run on the worker pool.
+    frontier: Option<(usize, &'a mut Vec<FrontierNode>)>,
+}
+
+/// A phase-1 node captured at the parallel frontier: everything a worker
+/// needs to resume the search from that subtree root, plus where in the
+/// phase-1 certificate log its events must be spliced back in.
+struct FrontierNode {
+    cur_obj: i64,
+    violated: usize,
+    lhs: Vec<i64>,
+    assign: Vec<bool>,
+    cert_pos: usize,
+}
+
+/// Everything one subtree search produced, merged deterministically by
+/// the caller in subtree index order.
+struct SubResult {
+    best: Option<(i64, Vec<bool>)>,
+    stats: IlpStats,
+    hist: rtise_obs::Hist,
+    events: Vec<IlpCertEvent>,
+    cert_dropped: u64,
+    trace: Vec<rtise_trace::Event>,
+    trace_dropped: u64,
 }
 
 impl Search<'_> {
     fn dfs(&mut self, depth: usize, cur_obj: i64) -> Result<(), SolveError> {
+        if let Some((fd, nodes)) = &mut self.frontier {
+            if depth == *fd {
+                nodes.push(FrontierNode {
+                    cur_obj,
+                    violated: self.violated,
+                    lhs: self.lhs.clone(),
+                    assign: self.assign.clone(),
+                    cert_pos: self.cert.as_ref().map_or(0, |c| c.len()),
+                });
+                return Ok(());
+            }
+        }
         self.stats.nodes_explored += 1;
         self.depth_hist.observe(depth as u64);
         if self.stats.nodes_explored > self.node_limit {
@@ -1013,5 +1330,117 @@ mod tests {
             diff.get("ilp.nodes_explored").is_some_and(|&v| v >= 1),
             "{diff:?}"
         );
+    }
+
+    /// Random models deep enough (`n > PAR_FRONTIER_DEPTH`) that the
+    /// decomposed parallel search actually engages.
+    fn random_deep_model(rng: &mut Rng) -> Model {
+        let n = rng.gen_range(7..=12usize);
+        let mut m = Model::new(n);
+        let sense = if rng.gen_bool(0.5) {
+            Sense::Minimize
+        } else {
+            Sense::Maximize
+        };
+        let obj: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..=20i64)).collect();
+        m.set_objective(sense, &obj);
+        for _ in 0..rng.gen_range(0..4u32) {
+            let mut terms: Vec<(usize, i64)> = Vec::new();
+            for v in 0..n {
+                if rng.gen_bool(0.7) {
+                    terms.push((v, rng.gen_range(-10..=10i64)));
+                }
+            }
+            let rhs = rng.gen_range(-10..=15i64);
+            match rng.gen_range(0..3u32) {
+                0 => m.add_le(&terms, rhs),
+                1 => m.add_ge(&terms, rhs),
+                _ => m.add_eq(&terms, rhs),
+            }
+        }
+        m
+    }
+
+    /// The parallel search proves the same optimum as the serial one —
+    /// and because the decomposition preserves the serial preorder, the
+    /// first leaf attaining the optimum is the same leaf, so even the
+    /// argmin matches. Only node/prune counts may differ (the windowed
+    /// incumbent prunes less).
+    #[test]
+    fn parallel_search_matches_serial_optimum() {
+        let mut rng = Rng::new(0x9a11e1);
+        for case in 0..60 {
+            let m = random_deep_model(&mut rng);
+            match (m.solve_with_stats(), m.solve_par_with_stats(4)) {
+                (Ok((s, _)), Ok((p, _))) => {
+                    assert_eq!(s.objective, p.objective, "case {case}");
+                    assert_eq!(s.values, p.values, "case {case}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "case {case}"),
+                (s, p) => panic!("case {case}: serial {s:?}, par {p:?}"),
+            }
+        }
+    }
+
+    /// The whole observable output — solution, stats, and certificate —
+    /// is identical at every thread count.
+    #[test]
+    fn parallel_output_is_identical_at_any_thread_count() {
+        let mut rng = Rng::new(0x7a11);
+        for case in 0..30 {
+            let m = random_deep_model(&mut rng);
+            let base = m.solve_par_with_cert(1);
+            let base_stats = m.solve_par_with_stats(1);
+            for threads in [2, 4, 7] {
+                assert_eq!(base, m.solve_par_with_cert(threads), "case {case}");
+                assert_eq!(
+                    base_stats,
+                    m.solve_par_with_stats(threads),
+                    "case {case} threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// Models the decomposition does not apply to fall back to the
+    /// classic serial search, byte-for-byte — including the node-limit
+    /// abort point.
+    #[test]
+    fn parallel_falls_back_when_not_applicable() {
+        let mut m = Model::new(20);
+        let obj: Vec<i64> = (0..20).map(|i| -(i as i64)).collect();
+        m.set_objective(Sense::Minimize, &obj);
+        let terms: Vec<(usize, i64)> = (0..20).map(|i| (i, 1)).collect();
+        m.add_eq(&terms, 10);
+        m.set_node_limit(37);
+        assert_eq!(m.solve_par_with_stats(4), m.solve_with_stats());
+
+        let mut small = Model::new(3);
+        small.set_objective(Sense::Maximize, &[2, 3, 4]);
+        small.add_le(&[(0, 1), (1, 1), (2, 1)], 2);
+        assert_eq!(small.solve_par_with_stats(4), small.solve_with_stats());
+    }
+
+    /// Virtual-clock traces of a parallel solve are thread-count
+    /// independent: subtree events are captured in per-worker scopes and
+    /// replayed into the ambient scope in subtree index order.
+    #[test]
+    fn parallel_traces_are_thread_count_independent() {
+        let mut rng = Rng::new(0x7ace);
+        let m = random_deep_model(&mut rng);
+        let run = |threads: usize| {
+            let scope = rtise_trace::TraceScope::new(rtise_trace::Clock::Virtual);
+            {
+                let _active = scope.enter();
+                let _ = m.solve_par_with_stats(threads);
+            }
+            (scope.events(), scope.dropped())
+        };
+        let serial = run(1);
+        assert!(
+            serial.0.iter().any(|e| e.name == codes::ILP_SOLVE),
+            "trace should contain the solve span"
+        );
+        assert_eq!(serial, run(4));
     }
 }

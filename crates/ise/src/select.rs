@@ -18,6 +18,12 @@ use crate::candidate::CiCandidate;
 /// call; overflow is counted in [`IseCertificate::dropped`].
 pub const DEFAULT_CERT_CAP: usize = 1 << 22;
 
+/// Frontier depth of the decomposed parallel search: phase 1 walks the
+/// tree serially down to this depth, and every node reaching it becomes
+/// an independent subtree for the worker pool. Fixed and instance-only,
+/// so output is byte-identical at any thread count.
+const PAR_FRONTIER_DEPTH: usize = 6;
+
 /// One branch-and-bound decision node, in preorder.
 ///
 /// Leaves (depth = library size) record no event — the replayer detects
@@ -144,7 +150,16 @@ pub fn greedy_by_ratio(cands: &[CiCandidate], budget: u64) -> Selection {
 /// [`branch_and_bound_reference`] exactly (debug builds assert this at
 /// every prune decision).
 pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
-    bnb_inner(cands, budget, None)
+    bnb_observed(cands, budget, rtise_obs::par::threads(), None)
+}
+
+/// Like [`branch_and_bound`], but forcing the decomposed parallel search
+/// with `threads` workers regardless of the process-wide
+/// [`rtise_obs::par::threads`] knob. Selection, counters, traces, and
+/// certificates are byte-identical for every `threads >= 1`; libraries
+/// too small to have a frontier fall back to the serial search.
+pub fn branch_and_bound_par(cands: &[CiCandidate], budget: u64, threads: usize) -> Selection {
+    bnb_observed(cands, budget, threads.max(1), None)
 }
 
 /// Like [`branch_and_bound`], additionally emitting a replayable
@@ -164,14 +179,38 @@ pub fn branch_and_bound_with_cert_capped(
     budget: u64,
     cap: usize,
 ) -> (Selection, IseCertificate) {
+    bnb_cert_at(cands, budget, rtise_obs::par::threads(), cap)
+}
+
+/// [`branch_and_bound_with_cert`] on the decomposed parallel search; see
+/// [`branch_and_bound_par`] for the determinism contract.
+pub fn branch_and_bound_par_with_cert(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+) -> (Selection, IseCertificate) {
+    bnb_cert_at(cands, budget, threads.max(1), DEFAULT_CERT_CAP)
+}
+
+/// [`branch_and_bound_par_with_cert`] with an explicit event cap.
+pub fn branch_and_bound_par_with_cert_capped(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+    cap: usize,
+) -> (Selection, IseCertificate) {
+    bnb_cert_at(cands, budget, threads.max(1), cap)
+}
+
+fn bnb_cert_at(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+    cap: usize,
+) -> (Selection, IseCertificate) {
     let mut log = rtise_obs::BoundedLog::new(cap);
-    let sel = bnb_inner(cands, budget, Some(&mut log));
-    let mut order: Vec<usize> = (0..cands.len()).collect();
-    order.sort_by(|&a, &b| {
-        let ga = cands[a].total_gain() as u128 * cands[b].area.max(1) as u128;
-        let gb = cands[b].total_gain() as u128 * cands[a].area.max(1) as u128;
-        gb.cmp(&ga)
-    });
+    let sel = bnb_observed(cands, budget, threads, Some(&mut log));
+    let order = ratio_order(cands);
     let (events, dropped) = log.into_parts();
     (
         sel,
@@ -183,26 +222,38 @@ pub fn branch_and_bound_with_cert_capped(
     )
 }
 
-fn bnb_inner(
-    cands: &[CiCandidate],
-    budget: u64,
-    cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
-) -> Selection {
-    let _span = rtise_trace::span(rtise_trace::codes::ISE_BNB_SOLVE);
-    // Order by ratio so the fractional bound is tight.
+/// Candidate indices in descending gain/area order — the branching order
+/// of every search variant and the order a certificate declares.
+fn ratio_order(cands: &[CiCandidate]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..cands.len()).collect();
     order.sort_by(|&a, &b| {
+        // gain_a/area_a > gain_b/area_b  <=>  gain_a*area_b > gain_b*area_a
         let ga = cands[a].total_gain() as u128 * cands[b].area.max(1) as u128;
         let gb = cands[b].total_gain() as u128 * cands[a].area.max(1) as u128;
         gb.cmp(&ga)
     });
+    order
+}
 
-    // Prefix tables over the gain-density ordering. `nf_*` index the
-    // subsequence of non-free (area > 0) candidates: `nf_cum_area[k]` /
-    // `nf_cum_gain[k]` sum the first `k` of them; `nf_from[p]` counts the
-    // non-free candidates at order positions `< p`. `free_cum_gain[p]`
-    // sums zero-area gains at order positions `< p`, and `free_pos` /
-    // `free_gain` list them for the post-fractional tail.
+/// Prefix tables over the gain-density ordering. `nf_*` index the
+/// subsequence of non-free (area > 0) candidates: `nf_cum_area[k]` /
+/// `nf_cum_gain[k]` sum the first `k` of them; `nf_from[p]` counts the
+/// non-free candidates at order positions `< p`. `free_cum_gain[p]`
+/// sums zero-area gains at order positions `< p`, and `free_pos` /
+/// `free_gain` list them for the post-fractional tail.
+struct Tables {
+    order: Vec<usize>,
+    nf_from: Vec<usize>,
+    nf_pos: Vec<usize>,
+    nf_cum_area: Vec<u64>,
+    nf_cum_gain: Vec<u64>,
+    free_cum_gain: Vec<u64>,
+    free_pos: Vec<usize>,
+    free_gain: Vec<u64>,
+}
+
+fn build_tables(cands: &[CiCandidate]) -> Tables {
+    let order = ratio_order(cands);
     let n = order.len();
     let mut nf_from = vec![0usize; n + 1];
     let mut nf_cum_area = vec![0u64; 1];
@@ -224,135 +275,14 @@ fn bnb_inner(
             nf_cum_gain.push(nf_cum_gain.last().unwrap() + c.total_gain());
         }
     }
-
-    struct Ctx<'a> {
-        cands: &'a [CiCandidate],
-        order: &'a [usize],
-        budget: u64,
-        nf_from: Vec<usize>,
-        nf_pos: Vec<usize>,
-        nf_cum_area: Vec<u64>,
-        nf_cum_gain: Vec<u64>,
-        free_cum_gain: Vec<u64>,
-        free_pos: Vec<usize>,
-        free_gain: Vec<u64>,
-        best: Selection,
-        stack: Vec<usize>,
-        // Search-tree telemetry, outside `Selection` so the result
-        // equality against `branch_and_bound_reference` is untouched.
-        nodes: u64,
-        pruned_bound: u64,
-        incumbents: u64,
-        depth_hist: rtise_obs::Hist,
-        cert: Option<&'a mut rtise_obs::BoundedLog<IseCertEvent>>,
-    }
-
-    /// The fractional-knapsack bound from the prefix tables; bit-identical
-    /// to the reference linear scan (see [`branch_and_bound`] docs).
-    fn bound(ctx: &Ctx<'_>, depth: usize, area: u64, gain: u64) -> f64 {
-        let room = ctx.budget - area;
-        let s = ctx.nf_from[depth];
-        let m = ctx.nf_cum_area.len() - 1;
-        // Largest k such that the first k non-free candidates at or after
-        // `depth` fit in `room` together (the greedy fill stops at the
-        // first misfit and never resumes).
-        let base = ctx.nf_cum_area[s];
-        let k = ctx.nf_cum_area[s..=m].partition_point(|&ca| ca - base <= room) - 1;
-        let fit_gain = ctx.nf_cum_gain[s + k] - ctx.nf_cum_gain[s];
-        if s + k == m {
-            // Everything fits: the whole bound is an exact integer sum.
-            let total = gain + (ctx.free_cum_gain[ctx.order.len()] - ctx.free_cum_gain[depth]);
-            return (total + fit_gain) as f64;
-        }
-        let t_pos = ctx.nf_pos[s + k];
-        let int_part = gain + (ctx.free_cum_gain[t_pos] - ctx.free_cum_gain[depth]) + fit_gain;
-        let rem = room - (ctx.nf_cum_area[s + k] - base);
-        let c = &ctx.cands[ctx.order[t_pos]];
-        let mut b = int_part as f64 + c.total_gain() as f64 * rem as f64 / c.area as f64;
-        // Free candidates past the fractional position rounded one by one,
-        // in order, exactly as the reference scan adds them.
-        let f = ctx.free_pos.partition_point(|&p| p <= t_pos);
-        for &g in &ctx.free_gain[f..] {
-            b += g as f64;
-        }
-        b
-    }
-
-    fn dfs(ctx: &mut Ctx<'_>, depth: usize, area: u64, gain: u64) {
-        ctx.nodes += 1;
-        ctx.depth_hist.observe(depth as u64);
-        if gain > ctx.best.total_gain || (gain == ctx.best.total_gain && area < ctx.best.total_area)
-        {
-            let mut chosen = ctx.stack.clone();
-            chosen.sort_unstable();
-            ctx.best = Selection {
-                chosen,
-                total_gain: gain,
-                total_area: area,
-            };
-            ctx.incumbents += 1;
-            if rtise_trace::enabled() {
-                rtise_trace::instant_with(
-                    rtise_trace::codes::ISE_BNB_INCUMBENT,
-                    &[("depth", depth as u64), ("gain", gain)],
-                );
-            }
-        }
-        if depth == ctx.order.len() {
-            return;
-        }
-        let b = bound(ctx, depth, area, gain);
-        debug_assert_eq!(
-            b.to_bits(),
-            bound_by_scan(ctx.cands, ctx.order, ctx.budget, depth, area, gain).to_bits(),
-            "prefix-sum bound diverged from the reference scan at depth {depth}"
-        );
-        if b <= ctx.best.total_gain as f64 {
-            ctx.pruned_bound += 1;
-            if let Some(cert) = &mut ctx.cert {
-                cert.push(IseCertEvent::PruneBound);
-            }
-            if rtise_trace::enabled() {
-                rtise_trace::instant_with(
-                    rtise_trace::codes::ISE_BNB_PRUNE_BOUND,
-                    &[("depth", depth as u64)],
-                );
-            }
-            return;
-        }
-        let i = ctx.order[depth];
-        let fits = area + ctx.cands[i].area <= ctx.budget;
-        let conflict = ctx
-            .stack
-            .iter()
-            .any(|&j| ctx.cands[j].conflicts_with(&ctx.cands[i]));
-        let include = fits && !conflict && ctx.cands[i].total_gain() > 0;
-        if let Some(cert) = &mut ctx.cert {
-            cert.push(IseCertEvent::Expand { include });
-        }
-        if include {
-            ctx.stack.push(i);
-            dfs(
-                ctx,
-                depth + 1,
-                area + ctx.cands[i].area,
-                gain + ctx.cands[i].total_gain(),
-            );
-            ctx.stack.pop();
-        }
-        dfs(ctx, depth + 1, area, gain);
-    }
-
     let nf_pos: Vec<usize> = order
         .iter()
         .enumerate()
         .filter(|&(_, &i)| cands[i].area > 0)
         .map(|(p, _)| p)
         .collect();
-    let mut ctx = Ctx {
-        cands,
-        order: &order,
-        budget,
+    Tables {
+        order,
         nf_from,
         nf_pos,
         nf_cum_area,
@@ -360,29 +290,360 @@ fn bnb_inner(
         free_cum_gain,
         free_pos,
         free_gain,
-        best: Selection::default(),
-        stack: Vec::new(),
-        nodes: 0,
-        pruned_bound: 0,
-        incumbents: 0,
-        depth_hist: rtise_obs::Hist::new(),
-        cert,
+    }
+}
+
+/// Search-tree telemetry, outside `Selection` so the result equality
+/// against `branch_and_bound_reference` is untouched.
+#[derive(Default)]
+struct BnbTelemetry {
+    nodes: u64,
+    pruned_bound: u64,
+    incumbents: u64,
+    depth_hist: rtise_obs::Hist,
+}
+
+/// A phase-1 node captured at the parallel frontier: the subtree root
+/// state, the phase-1 incumbent at capture time (the cumulative fold of
+/// all earlier phase-1 node entries, which seeds the subtree and anchors
+/// the deterministic merge), and where in the phase-1 certificate log the
+/// subtree's events splice in.
+struct IseFrontierNode {
+    area: u64,
+    gain: u64,
+    stack: Vec<usize>,
+    pre_best: Selection,
+    cert_pos: usize,
+}
+
+/// Everything one subtree search produced, merged by the caller in
+/// subtree index order.
+struct IseSubResult {
+    best: Selection,
+    tel: BnbTelemetry,
+    events: Vec<IseCertEvent>,
+    cert_dropped: u64,
+    trace: Vec<rtise_trace::Event>,
+    trace_dropped: u64,
+}
+
+/// The incumbent rule shared by search, merge, and replayer: better gain,
+/// or equal gain at strictly smaller area.
+fn improves(cur: &Selection, cand: &Selection) -> bool {
+    cand.total_gain > cur.total_gain
+        || (cand.total_gain == cur.total_gain && cand.total_area < cur.total_area)
+}
+
+struct Ctx<'a> {
+    cands: &'a [CiCandidate],
+    budget: u64,
+    t: &'a Tables,
+    best: Selection,
+    stack: Vec<usize>,
+    tel: BnbTelemetry,
+    cert: Option<&'a mut rtise_obs::BoundedLog<IseCertEvent>>,
+    /// Phase-1 mode of the decomposed parallel search: nodes reaching
+    /// the given depth are captured (uncounted, eventless, no incumbent
+    /// update — the subtree root replays the node entry itself) instead
+    /// of expanded.
+    frontier: Option<(usize, &'a mut Vec<IseFrontierNode>)>,
+}
+
+/// The fractional-knapsack bound from the prefix tables; bit-identical
+/// to the reference linear scan (see [`branch_and_bound`] docs).
+fn bound(ctx: &Ctx<'_>, depth: usize, area: u64, gain: u64) -> f64 {
+    let room = ctx.budget - area;
+    let s = ctx.t.nf_from[depth];
+    let m = ctx.t.nf_cum_area.len() - 1;
+    // Largest k such that the first k non-free candidates at or after
+    // `depth` fit in `room` together (the greedy fill stops at the
+    // first misfit and never resumes).
+    let base = ctx.t.nf_cum_area[s];
+    let k = ctx.t.nf_cum_area[s..=m].partition_point(|&ca| ca - base <= room) - 1;
+    let fit_gain = ctx.t.nf_cum_gain[s + k] - ctx.t.nf_cum_gain[s];
+    if s + k == m {
+        // Everything fits: the whole bound is an exact integer sum.
+        let total = gain + (ctx.t.free_cum_gain[ctx.t.order.len()] - ctx.t.free_cum_gain[depth]);
+        return (total + fit_gain) as f64;
+    }
+    let t_pos = ctx.t.nf_pos[s + k];
+    let int_part = gain + (ctx.t.free_cum_gain[t_pos] - ctx.t.free_cum_gain[depth]) + fit_gain;
+    let rem = room - (ctx.t.nf_cum_area[s + k] - base);
+    let c = &ctx.cands[ctx.t.order[t_pos]];
+    let mut b = int_part as f64 + c.total_gain() as f64 * rem as f64 / c.area as f64;
+    // Free candidates past the fractional position rounded one by one,
+    // in order, exactly as the reference scan adds them.
+    let f = ctx.t.free_pos.partition_point(|&p| p <= t_pos);
+    for &g in &ctx.t.free_gain[f..] {
+        b += g as f64;
+    }
+    b
+}
+
+fn dfs(ctx: &mut Ctx<'_>, depth: usize, area: u64, gain: u64) {
+    if let Some((fd, nodes)) = &mut ctx.frontier {
+        if depth == *fd {
+            let cert_pos = ctx.cert.as_ref().map_or(0, |c| c.len());
+            nodes.push(IseFrontierNode {
+                area,
+                gain,
+                stack: ctx.stack.clone(),
+                pre_best: ctx.best.clone(),
+                cert_pos,
+            });
+            return;
+        }
+    }
+    ctx.tel.nodes += 1;
+    ctx.tel.depth_hist.observe(depth as u64);
+    if gain > ctx.best.total_gain || (gain == ctx.best.total_gain && area < ctx.best.total_area) {
+        let mut chosen = ctx.stack.clone();
+        chosen.sort_unstable();
+        ctx.best = Selection {
+            chosen,
+            total_gain: gain,
+            total_area: area,
+        };
+        ctx.tel.incumbents += 1;
+        if rtise_trace::enabled() {
+            rtise_trace::instant_with(
+                rtise_trace::codes::ISE_BNB_INCUMBENT,
+                &[("depth", depth as u64), ("gain", gain)],
+            );
+        }
+    }
+    if depth == ctx.t.order.len() {
+        return;
+    }
+    let b = bound(ctx, depth, area, gain);
+    debug_assert_eq!(
+        b.to_bits(),
+        bound_by_scan(ctx.cands, &ctx.t.order, ctx.budget, depth, area, gain).to_bits(),
+        "prefix-sum bound diverged from the reference scan at depth {depth}"
+    );
+    if b <= ctx.best.total_gain as f64 {
+        ctx.tel.pruned_bound += 1;
+        if let Some(cert) = &mut ctx.cert {
+            cert.push(IseCertEvent::PruneBound);
+        }
+        if rtise_trace::enabled() {
+            rtise_trace::instant_with(
+                rtise_trace::codes::ISE_BNB_PRUNE_BOUND,
+                &[("depth", depth as u64)],
+            );
+        }
+        return;
+    }
+    let i = ctx.t.order[depth];
+    let fits = area + ctx.cands[i].area <= ctx.budget;
+    let conflict = ctx
+        .stack
+        .iter()
+        .any(|&j| ctx.cands[j].conflicts_with(&ctx.cands[i]));
+    let include = fits && !conflict && ctx.cands[i].total_gain() > 0;
+    if let Some(cert) = &mut ctx.cert {
+        cert.push(IseCertEvent::Expand { include });
+    }
+    if include {
+        ctx.stack.push(i);
+        dfs(
+            ctx,
+            depth + 1,
+            area + ctx.cands[i].area,
+            gain + ctx.cands[i].total_gain(),
+        );
+        ctx.stack.pop();
+    }
+    dfs(ctx, depth + 1, area, gain);
+}
+
+fn bnb_observed(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+    cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
+) -> Selection {
+    let _span = rtise_trace::span(rtise_trace::codes::ISE_BNB_SOLVE);
+    let (best, tel) = if threads > 0 && cands.len() > PAR_FRONTIER_DEPTH {
+        bnb_par(cands, budget, threads, cert)
+    } else {
+        bnb_serial(cands, budget, cert)
     };
-    dfs(&mut ctx, 0, 0, 0);
     rtise_obs::record("ise.bnb.solves", 1);
-    rtise_obs::record("ise.bnb.nodes", ctx.nodes);
-    rtise_obs::record("ise.bnb.pruned_bound", ctx.pruned_bound);
-    rtise_obs::record("ise.bnb.incumbent_updates", ctx.incumbents);
-    rtise_obs::observe_hist("ise.bnb.depth", &ctx.depth_hist);
+    rtise_obs::record("ise.bnb.nodes", tel.nodes);
+    rtise_obs::record("ise.bnb.pruned_bound", tel.pruned_bound);
+    rtise_obs::record("ise.bnb.incumbent_updates", tel.incumbents);
+    rtise_obs::observe_hist("ise.bnb.depth", &tel.depth_hist);
     rtise_trace::summary(
         rtise_trace::codes::ISE_BNB_SUMMARY,
         &[
-            ("nodes", ctx.nodes),
-            ("pruned_bound", ctx.pruned_bound),
-            ("incumbents", ctx.incumbents),
+            ("nodes", tel.nodes),
+            ("pruned_bound", tel.pruned_bound),
+            ("incumbents", tel.incumbents),
         ],
     );
-    ctx.best
+    best
+}
+
+fn bnb_serial(
+    cands: &[CiCandidate],
+    budget: u64,
+    cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
+) -> (Selection, BnbTelemetry) {
+    let t = build_tables(cands);
+    let mut ctx = Ctx {
+        cands,
+        budget,
+        t: &t,
+        best: Selection::default(),
+        stack: Vec::new(),
+        tel: BnbTelemetry::default(),
+        cert,
+        frontier: None,
+    };
+    dfs(&mut ctx, 0, 0, 0);
+    (ctx.best, ctx.tel)
+}
+
+/// The decomposed parallel search; same two-phase structure as
+/// `rtise_ilp`'s (see its `solve_par_inner` docs), with one twist: this
+/// search updates its incumbent at *every* node entry, so phase-1
+/// entries interleave with subtree entries in preorder. Each frontier
+/// node therefore snapshots the cumulative phase-1 incumbent at its
+/// capture point (`pre_best`), and the merge folds
+/// `pre_best_0, result_0, pre_best_1, result_1, …, final phase-1 best`
+/// in that order — reproducing the replayer's preorder-first incumbent
+/// exactly, ties included.
+fn bnb_par(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+    cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
+) -> (Selection, BnbTelemetry) {
+    let t = build_tables(cands);
+    let want_cert = cert.is_some();
+    let cap = cert.as_ref().map_or(0, |log| log.cap());
+
+    // Phase 1: serial walk truncated at the frontier.
+    let mut frontier: Vec<IseFrontierNode> = Vec::new();
+    let mut ph_log = want_cert.then(|| rtise_obs::BoundedLog::new(usize::MAX));
+    let (ph_best, ph_tel) = {
+        let mut ctx = Ctx {
+            cands,
+            budget,
+            t: &t,
+            best: Selection::default(),
+            stack: Vec::new(),
+            tel: BnbTelemetry::default(),
+            cert: ph_log.as_mut(),
+            frontier: Some((PAR_FRONTIER_DEPTH, &mut frontier)),
+        };
+        dfs(&mut ctx, 0, 0, 0);
+        (ctx.best, ctx.tel)
+    };
+    let ph_events = ph_log.map_or(Vec::new(), |log| log.into_parts().0);
+
+    // Phase 2: independent subtree searches on the deterministic
+    // scheduler, each seeded with the strongest incumbent among its
+    // phase-1 snapshot, subtree 0's warm-start result, and its
+    // completed-prefix window. Subtree 0 runs serially first: it is the
+    // preorder-earliest region, so its best seeds every later subtree —
+    // without it the first `WINDOW` subtrees would search with only
+    // their phase-1 snapshots and can explosively overexpand — and
+    // remains a valid prune justification under the replayer's preorder
+    // incumbent.
+    let trace_on = rtise_trace::enabled();
+    let run_subtree = |node: &IseFrontierNode, seed: Selection| {
+        let scope = trace_on.then(|| rtise_trace::TraceScope::new(rtise_trace::Clock::Virtual));
+        let mut log = want_cert.then(|| rtise_obs::BoundedLog::new(cap));
+        let mut ctx = Ctx {
+            cands,
+            budget,
+            t: &t,
+            best: seed,
+            stack: node.stack.clone(),
+            tel: BnbTelemetry::default(),
+            cert: log.as_mut(),
+            frontier: None,
+        };
+        {
+            let _isolated = trace_on.then(rtise_trace::isolate);
+            let _active = scope.as_ref().map(rtise_trace::TraceScope::enter);
+            dfs(&mut ctx, PAR_FRONTIER_DEPTH, node.area, node.gain);
+        }
+        let Ctx { best, tel, .. } = ctx;
+        let (events, cert_dropped) = log.map_or((Vec::new(), 0), rtise_obs::BoundedLog::into_parts);
+        IseSubResult {
+            best,
+            tel,
+            events,
+            cert_dropped,
+            trace: scope
+                .as_ref()
+                .map_or_else(Vec::new, rtise_trace::TraceScope::events),
+            trace_dropped: scope.as_ref().map_or(0, rtise_trace::TraceScope::dropped),
+        }
+    };
+    let first = frontier
+        .first()
+        .map(|node| run_subtree(node, node.pre_best.clone()));
+    let rest: Vec<IseSubResult> = rtise_obs::par::run_ordered(
+        frontier.get(1..).unwrap_or(&[]),
+        threads,
+        |_, node, prefix: rtise_obs::par::Completed<'_, IseSubResult>| {
+            let mut seed = node.pre_best.clone();
+            for r in
+                std::iter::once(first.as_ref().expect("frontier is non-empty")).chain(prefix.iter())
+            {
+                if improves(&seed, &r.best) {
+                    seed = r.best.clone();
+                }
+            }
+            run_subtree(node, seed)
+        },
+    );
+    let results: Vec<IseSubResult> = first.into_iter().chain(rest).collect();
+
+    // Merge, all in subtree index order.
+    let mut tel = ph_tel;
+    let mut best = Selection::default();
+    for (node, r) in frontier.iter().zip(&results) {
+        if improves(&best, &node.pre_best) {
+            best = node.pre_best.clone();
+        }
+        if improves(&best, &r.best) {
+            best = r.best.clone();
+        }
+        tel.nodes += r.tel.nodes;
+        tel.pruned_bound += r.tel.pruned_bound;
+        tel.incumbents += r.tel.incumbents;
+        tel.depth_hist.merge(&r.tel.depth_hist);
+    }
+    if improves(&best, &ph_best) {
+        best = ph_best;
+    }
+    if trace_on {
+        for r in &results {
+            rtise_trace::replay(&r.trace, r.trace_dropped);
+        }
+    }
+    if let Some(log) = cert {
+        let mut prev = 0;
+        for (node, r) in frontier.iter().zip(&results) {
+            for &e in &ph_events[prev..node.cert_pos] {
+                log.push(e);
+            }
+            prev = node.cert_pos;
+            for &e in &r.events {
+                log.push(e);
+            }
+            log.add_dropped(r.cert_dropped);
+        }
+        for &e in &ph_events[prev..] {
+            log.push(e);
+        }
+    }
+    (best, tel)
 }
 
 /// The reference fractional bound: a linear scan over the remaining
@@ -697,5 +958,79 @@ mod tests {
             }
             assert_eq!(e.total_gain, best, "case {case}");
         }
+    }
+
+    /// Random libraries deep enough (`n > PAR_FRONTIER_DEPTH`) that the
+    /// decomposed parallel search actually engages.
+    fn random_deep_library(rng: &mut rtise_obs::Rng) -> (Vec<CiCandidate>, u64) {
+        let n = rng.gen_range(7..=12usize);
+        let cands: Vec<CiCandidate> = (0..n)
+            .map(|i| {
+                let lo = rng.gen_range(0..12usize);
+                let hi = lo + rng.gen_range(1..=4usize);
+                let nodes: Vec<usize> = (lo..hi).collect();
+                cand(
+                    i % 3,
+                    &nodes,
+                    rng.gen_range(0..9u64),
+                    rng.gen_range(0..20u64),
+                    rng.gen_range(1..4u64),
+                )
+            })
+            .collect();
+        (cands, rng.gen_range(0..30u64))
+    }
+
+    /// The parallel search proves the same optimal gain. Its area may be
+    /// *smaller* on gain ties: the serial prune rule only protects gain,
+    /// so the less-pruned parallel tree can visit an equal-gain
+    /// smaller-area node the serial search cut — never a worse one.
+    #[test]
+    fn parallel_selection_matches_serial_optimum() {
+        let mut rng = rtise_obs::Rng::new(0x15e_9a11);
+        for case in 0..60 {
+            let (cands, budget) = random_deep_library(&mut rng);
+            let s = branch_and_bound(&cands, budget);
+            let p = branch_and_bound_par(&cands, budget, 4);
+            assert_eq!(s.total_gain, p.total_gain, "case {case}");
+            assert!(p.total_area <= s.total_area, "case {case}");
+            assert!(p.is_valid(&cands, budget), "case {case}");
+        }
+    }
+
+    /// Selection and certificate are identical at every thread count.
+    #[test]
+    fn parallel_output_is_identical_at_any_thread_count() {
+        let mut rng = rtise_obs::Rng::new(0x15e_7a11);
+        for case in 0..30 {
+            let (cands, budget) = random_deep_library(&mut rng);
+            let base = branch_and_bound_par_with_cert(&cands, budget, 1);
+            for threads in [2, 4, 7] {
+                assert_eq!(
+                    base,
+                    branch_and_bound_par_with_cert(&cands, budget, threads),
+                    "case {case} threads {threads}"
+                );
+            }
+        }
+    }
+
+    /// Libraries with no frontier fall back to the serial search,
+    /// byte-for-byte.
+    #[test]
+    fn parallel_falls_back_on_small_libraries() {
+        let cands = vec![
+            cand(0, &[0], 6, 10, 1),
+            cand(0, &[1], 5, 8, 1),
+            cand(0, &[2], 5, 8, 1),
+        ];
+        assert_eq!(
+            branch_and_bound_par(&cands, 10, 4),
+            branch_and_bound(&cands, 10)
+        );
+        assert_eq!(
+            branch_and_bound_par_with_cert(&cands, 10, 4),
+            branch_and_bound_with_cert(&cands, 10)
+        );
     }
 }

@@ -414,6 +414,59 @@ mod tests {
         assert_eq!(m.max(), 799);
     }
 
+    /// The exact→bucket transition sits precisely at [`EXACT_CAP`]: a
+    /// merge landing exactly on the cap keeps exact percentiles, one
+    /// observation past it degrades to bucket interpolation — and the
+    /// degraded percentiles must agree with a serially-observed
+    /// histogram of the same values (same buckets → same answers), not
+    /// silently misreport.
+    #[test]
+    fn merge_at_exact_cap_boundary_keeps_then_degrades_percentiles() {
+        let half = EXACT_CAP / 2;
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for i in 0..half as u64 {
+            a.observe(1000 + i);
+            b.observe(1000 + half as u64 + i);
+        }
+
+        // 256 + 256 = 512 == EXACT_CAP: still exact, percentiles match a
+        // histogram that saw all 512 values itself.
+        let mut at_cap = a.clone();
+        at_cap.merge(&b);
+        assert_eq!(at_cap.count(), EXACT_CAP as u64);
+        assert!(at_cap.is_exact(), "merge landing on the cap stays exact");
+        let mut serial = Hist::new();
+        for v in 1000..1000 + EXACT_CAP as u64 {
+            serial.observe(v);
+        }
+        assert_eq!(at_cap.p50(), serial.p50());
+        assert_eq!(at_cap.p99(), serial.p99());
+        assert_eq!(at_cap.to_json().render(), serial.to_json().render());
+
+        // One more observation pushes the merge past the cap: the exact
+        // tier is dropped, and bucket-interpolated percentiles must equal
+        // the serially-observed (also bucket-tier) histogram's.
+        let mut c = b.clone();
+        c.observe(1000 + 2 * half as u64);
+        let mut past_cap = a.clone();
+        past_cap.merge(&c);
+        assert_eq!(past_cap.count(), EXACT_CAP as u64 + 1);
+        assert!(!past_cap.is_exact(), "one past the cap degrades");
+        let mut serial = Hist::new();
+        for v in 1000..=1000 + EXACT_CAP as u64 {
+            serial.observe(v);
+        }
+        assert!(!serial.is_exact());
+        assert_eq!(past_cap.p50(), serial.p50());
+        assert_eq!(past_cap.p90(), serial.p90());
+        assert_eq!(past_cap.p99(), serial.p99());
+        // Sanity on the interpolated values themselves: ordered, and
+        // inside the observed range rather than wildly off.
+        assert!(past_cap.p50() <= past_cap.p90() && past_cap.p90() <= past_cap.p99());
+        assert!(past_cap.p50() >= past_cap.min() && past_cap.p99() <= past_cap.max());
+    }
+
     #[test]
     fn json_round_trip_exact_and_bucketed() {
         let mut h = Hist::new();

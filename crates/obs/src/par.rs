@@ -1,0 +1,245 @@
+//! Deterministic work distribution for parallel solver cores.
+//!
+//! The branch-and-bound searches decompose an instance into a preorder
+//! frontier of independent subtrees and farm those out to a small worker
+//! pool. Two requirements shape the scheduler:
+//!
+//! * **Byte-identical output at any thread count.** Which subtrees exist,
+//!   what each one computes, and how results merge must not depend on
+//!   timing. Workers therefore claim subtree *indices in order* from a
+//!   shared counter (the work deque), and the incumbent a subtree starts
+//!   from is the fold of a **fixed window** of earlier results — never
+//!   "whatever happens to be best right now".
+//! * **Incumbent sharing.** Subtree `i` waits until every subtree
+//!   `j < i - window` has published its result, then seeds its search
+//!   from that completed prefix. Published slots are lock-free
+//!   [`std::sync::OnceLock`] cells, so the wait is bounded and reads are
+//!   cheap; the window (not a live atomic best) is what keeps the search
+//!   tree — and with it every counter, histogram, trace event, and
+//!   certificate — independent of the thread count.
+//!
+//! Deadlock freedom: claims are handed out in increasing order, so when a
+//! worker waits on the prefix of index `i`, every incomplete smaller
+//! index is owned by a worker that only waits on indices smaller still;
+//! the chain bottoms out at indices below the window, which wait on
+//! nothing.
+//!
+//! The process-wide [`set_threads`]/[`threads`] knob (0 = serial paths
+//! untouched) is how binaries opt whole runs into the decomposed
+//! searches; library callers that need explicit control use the solvers'
+//! `*_par_*` entry points instead and leave the global alone.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Process-wide parallel solver thread count; 0 disables the decomposed
+/// code paths entirely.
+static PAR_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide solver thread count. `0` (the default) keeps
+/// every solver on its historical serial code path; any `n >= 1` routes
+/// eligible solves through the decomposed parallel search with `n`
+/// workers. Output is byte-identical for every `n >= 1`.
+pub fn set_threads(n: usize) {
+    PAR_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide solver thread count; see [`set_threads`].
+#[must_use]
+pub fn threads() -> usize {
+    PAR_THREADS.load(Ordering::Relaxed)
+}
+
+/// The completed-result prefix visible to one work item: results of
+/// items `0..len`, all guaranteed published.
+pub struct Completed<'a, R> {
+    slots: &'a [OnceLock<R>],
+    len: usize,
+}
+
+impl<'a, R> Completed<'a, R> {
+    /// Number of visible results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no results are visible yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The visible results, in item order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a R> + '_ {
+        self.slots[..self.len]
+            .iter()
+            .map(|s| s.get().expect("prefix published before visibility"))
+    }
+}
+
+/// How far behind the newest claimed item the visible result prefix may
+/// lag: item `i` sees results `0..i.saturating_sub(WINDOW)`. Small
+/// enough that good incumbents propagate quickly, large enough that up
+/// to `WINDOW` workers run without waiting on each other.
+pub const WINDOW: usize = 8;
+
+/// Runs `f` over every item, on `threads` workers, each invocation
+/// seeing the deterministic completed prefix `0..i - WINDOW` of earlier
+/// results. Returns all results in item order. The result — including
+/// which prefix each invocation observed — is byte-identical for every
+/// `threads >= 1`; with `threads <= 1` no thread is spawned.
+///
+/// If `f` panics, every worker finishes or parks safely and the first
+/// panic is resumed on the caller.
+pub fn run_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T, Completed<'_, R>) -> R + Sync,
+{
+    let n = items.len();
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            let visible = i.saturating_sub(WINDOW);
+            let r = f(
+                i,
+                item,
+                Completed {
+                    slots: &slots,
+                    len: visible,
+                },
+            );
+            assert!(slots[i].set(r).is_ok(), "slot {i} published twice");
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        // Length of the contiguous published prefix, advanced under the
+        // lock so waiters observe it monotonically.
+        let published = Mutex::new(0usize);
+        let cond = Condvar::new();
+        let poisoned = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n || poisoned.load(Ordering::Relaxed) {
+                break;
+            }
+            let visible = i.saturating_sub(WINDOW);
+            if visible > 0 {
+                let mut done = published.lock().expect("publish lock");
+                while *done < visible && !poisoned.load(Ordering::Relaxed) {
+                    done = cond.wait(done).expect("publish lock");
+                }
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                f(
+                    i,
+                    &items[i],
+                    Completed {
+                        slots: &slots,
+                        len: visible,
+                    },
+                )
+            })) {
+                Ok(r) => {
+                    assert!(slots[i].set(r).is_ok(), "slot {i} published twice");
+                    let mut done = published.lock().expect("publish lock");
+                    while *done < n && slots[*done].get().is_some() {
+                        *done += 1;
+                    }
+                    cond.notify_all();
+                }
+                Err(payload) => {
+                    poisoned.store(true, Ordering::Relaxed);
+                    *panic_slot.lock().expect("panic slot") = Some(payload);
+                    cond.notify_all();
+                    break;
+                }
+            }
+        };
+        std::thread::scope(|s| {
+            for _ in 1..threads {
+                s.spawn(worker);
+            }
+            worker();
+        });
+        let payload = panic_slot.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot published"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_round_trips_and_defaults_off() {
+        // Other tests never touch the global knob, so observing the
+        // default here is safe; restore it immediately regardless.
+        assert_eq!(threads(), 0);
+        set_threads(4);
+        assert_eq!(threads(), 4);
+        set_threads(0);
+    }
+
+    /// The visible prefix each item observes is a pure function of its
+    /// index — identical at any worker count.
+    #[test]
+    fn visible_prefix_is_thread_count_independent() {
+        let items: Vec<u64> = (0..50).collect();
+        let run = |threads| {
+            run_ordered(&items, threads, |i, &item, prefix| {
+                let seen: u64 = prefix.iter().sum();
+                assert_eq!(prefix.len(), i.saturating_sub(WINDOW));
+                item + seen
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..200).collect();
+        let got = run_ordered(&items, 8, |i, &item, _| {
+            // Uneven work so completion order scrambles.
+            std::hint::black_box((0..(item % 7) * 100).sum::<usize>());
+            i * 3
+        });
+        assert_eq!(got, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_runs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run_ordered(&empty, 4, |_, _, _: Completed<'_, u8>| 0u8).is_empty());
+        assert_eq!(run_ordered(&[7u8], 4, |_, &x, _| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let items: Vec<usize> = (0..40).collect();
+        let hit = std::panic::catch_unwind(|| {
+            run_ordered(&items, 4, |i, _, _: Completed<'_, usize>| {
+                assert!(i != 13, "boom");
+                i
+            })
+        });
+        assert!(hit.is_err());
+    }
+}

@@ -19,15 +19,27 @@ use rtise_select::TaskSpec;
 
 use crate::measure::{median_ns, sample_ns, MeasureOptions};
 
-/// Stable benchmark identifiers, in report order.
+/// Stable benchmark identifiers, in report order. The `*_par` kernels
+/// time the decomposed parallel search (at [`PAR_BENCH_THREADS`]
+/// workers) against the *optimized serial* path on the same instances —
+/// their reference is the serial fast path, not the `*_reference`
+/// implementation — at sizes where one solve outweighs the worker-pool
+/// setup.
 pub const KERNELS: &[&str] = &[
     "edf_dp",
     "rms_bnb",
+    "rms_bnb_par",
     "ilp_bnb",
+    "ilp_bnb_par",
     "enumerate",
     "miso",
     "ise_bnb",
+    "ise_bnb_par",
 ];
+
+/// Worker count for the `*_par` kernels: enough to show real subtree
+/// parallelism without outsizing small CI runners.
+pub const PAR_BENCH_THREADS: usize = 4;
 
 /// Instances measured together per (kernel, size): one timed sample solves
 /// the whole batch, amortizing `Instant` overhead on microsecond kernels.
@@ -40,9 +52,13 @@ pub fn sizes(kernel: &str) -> &'static [usize] {
     match kernel {
         "edf_dp" => &[2, 4, 8, 16],
         "rms_bnb" => &[4, 6, 8],
+        "rms_bnb_par" => &[16, 20],
         "ilp_bnb" => &[8, 14, 20],
-        "enumerate" | "miso" => &[12, 24, 48],
-        "ise_bnb" => &[8, 14, 20],
+        "ilp_bnb_par" => &[36, 38],
+        "enumerate" => &[12, 24, 48],
+        "miso" => &[12, 24, 48, 96],
+        "ise_bnb" => &[8, 14, 20, 26],
+        "ise_bnb_par" => &[56, 64],
         _ => &[],
     }
 }
@@ -342,6 +358,36 @@ pub fn run_size(kernel: &str, size: usize, seed: u64, m: &MeasureOptions) -> Siz
                 m,
             )
         }
+        "rms_bnb_par" => {
+            let inputs: Vec<(Vec<TaskSpec>, u64)> = (0..BATCH)
+                .map(|_| {
+                    let specs = task_set_exact(&mut rng, size, 4);
+                    let budget = mid_budget(&specs);
+                    (specs, budget)
+                })
+                .collect();
+            measure_cell(
+                size,
+                &mut || {
+                    for (s, b) in &inputs {
+                        let _ = black_box(rtise_select::rms::select_rms_with_stats(
+                            black_box(s),
+                            black_box(*b),
+                        ));
+                    }
+                },
+                &mut || {
+                    for (s, b) in &inputs {
+                        let _ = black_box(rtise_select::rms::select_rms_par_with_stats(
+                            black_box(s),
+                            black_box(*b),
+                            PAR_BENCH_THREADS,
+                        ));
+                    }
+                },
+                m,
+            )
+        }
         "ilp_bnb" => {
             let models: Vec<Model> = (0..BATCH)
                 .map(|_| ilp_model_exact(&mut rng, size))
@@ -356,6 +402,25 @@ pub fn run_size(kernel: &str, size: usize, seed: u64, m: &MeasureOptions) -> Siz
                 &mut || {
                     for model in &models {
                         let _ = black_box(black_box(model).solve_with_stats());
+                    }
+                },
+                m,
+            )
+        }
+        "ilp_bnb_par" => {
+            let models: Vec<Model> = (0..BATCH)
+                .map(|_| ilp_model_exact(&mut rng, size))
+                .collect();
+            measure_cell(
+                size,
+                &mut || {
+                    for model in &models {
+                        let _ = black_box(black_box(model).solve_with_stats());
+                    }
+                },
+                &mut || {
+                    for model in &models {
+                        let _ = black_box(black_box(model).solve_par_with_stats(PAR_BENCH_THREADS));
                     }
                 },
                 m,
@@ -421,6 +486,31 @@ pub fn run_size(kernel: &str, size: usize, seed: u64, m: &MeasureOptions) -> Siz
                         let _ = black_box(rtise_ise::branch_and_bound(
                             black_box(cands),
                             black_box(*budget),
+                        ));
+                    }
+                },
+                m,
+            )
+        }
+        "ise_bnb_par" => {
+            let pools: Vec<(Vec<CiCandidate>, u64)> =
+                (0..BATCH).map(|_| candidate_pool(&mut rng, size)).collect();
+            measure_cell(
+                size,
+                &mut || {
+                    for (cands, budget) in &pools {
+                        let _ = black_box(rtise_ise::branch_and_bound(
+                            black_box(cands),
+                            black_box(*budget),
+                        ));
+                    }
+                },
+                &mut || {
+                    for (cands, budget) in &pools {
+                        let _ = black_box(rtise_ise::select::branch_and_bound_par(
+                            black_box(cands),
+                            black_box(*budget),
+                            PAR_BENCH_THREADS,
                         ));
                     }
                 },

@@ -39,6 +39,12 @@ impl std::error::Error for SelectRmsError {}
 /// overflow is counted in [`RmsCertificate::dropped`].
 pub const DEFAULT_CERT_CAP: usize = 1 << 22;
 
+/// Frontier depth of the decomposed parallel search. Shallower than the
+/// binary solvers' frontiers because this search branches multi-way (one
+/// child per feasible configuration). Fixed and instance-only, so output
+/// is byte-identical at any thread count.
+const PAR_FRONTIER_DEPTH: usize = 4;
+
 /// One branch-and-bound event, in preorder.
 ///
 /// A non-leaf node that is not bound-pruned records exactly one `Cfg*`
@@ -135,7 +141,24 @@ pub fn select_rms_with_stats(
     specs: &[TaskSpec],
     area_budget: u64,
 ) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
-    select_rms_inner(specs, area_budget, None)
+    select_rms_observed(specs, area_budget, rtise_obs::par::threads(), None)
+}
+
+/// Like [`select_rms_with_stats`] with an explicit worker-thread count,
+/// ignoring the global [`rtise_obs::par`] knob. The search decomposes at a
+/// fixed frontier depth and stitches per-subtree results in preorder, so
+/// stats and selection are byte-identical at any `threads` value; small
+/// instances fall back to the serial search.
+///
+/// # Errors
+///
+/// Same as [`select_rms`].
+pub fn select_rms_par_with_stats(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
+    select_rms_observed(specs, area_budget, threads.max(1), None)
 }
 
 /// Like [`select_rms_with_stats`], additionally recording a replayable
@@ -161,8 +184,48 @@ pub fn select_rms_with_cert_capped(
     Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
     RmsCertificate,
 ) {
+    rms_cert_at(specs, area_budget, rtise_obs::par::threads(), cap)
+}
+
+/// Like [`select_rms_with_cert`] with an explicit worker-thread count (see
+/// [`select_rms_par_with_stats`]); the stitched certificate is
+/// byte-identical at any `threads` value and replays through the same
+/// checker as the serial log.
+pub fn select_rms_par_with_cert(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+) -> (
+    Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
+    RmsCertificate,
+) {
+    rms_cert_at(specs, area_budget, threads.max(1), DEFAULT_CERT_CAP)
+}
+
+/// [`select_rms_par_with_cert`] with an explicit event cap.
+pub fn select_rms_par_with_cert_capped(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+    cap: usize,
+) -> (
+    Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
+    RmsCertificate,
+) {
+    rms_cert_at(specs, area_budget, threads.max(1), cap)
+}
+
+fn rms_cert_at(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+    cap: usize,
+) -> (
+    Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
+    RmsCertificate,
+) {
     let mut log = rtise_obs::BoundedLog::new(cap);
-    let result = select_rms_inner(specs, area_budget, Some(&mut log));
+    let result = select_rms_observed(specs, area_budget, threads, Some(&mut log));
     let mut order: Vec<usize> = (0..specs.len()).collect();
     order.sort_by_key(|&i| specs[i].period);
     let (events, dropped) = log.into_parts();
@@ -176,23 +239,25 @@ pub fn select_rms_with_cert_capped(
     )
 }
 
-fn select_rms_inner(
-    specs: &[TaskSpec],
-    area_budget: u64,
-    cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
-) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
-    if specs.is_empty() {
-        return Err(SelectRmsError::NoTasks);
-    }
+/// Per-instance tables shared by every search over the same spec list:
+/// the priority order, the utilization suffix bounds, and the Theorem 1
+/// scheduling-point sets `Sᵢ₋₁(Pᵢ)` with the tested task's own `⌈t/Pᵢ⌉`
+/// factors. Periods are fixed by the priority order — only the chosen
+/// cycles vary across the search — so all of it is computed once per
+/// solve instead of once per schedulability test.
+struct RmsTables {
+    order: Vec<usize>,
+    suffix_bound: Vec<f64>,
+    periods: Vec<u64>,
+    points: Vec<Vec<u64>>,
+    self_fac: Vec<Vec<u128>>,
+}
+
+fn rms_tables(specs: &[TaskSpec]) -> RmsTables {
     // Priority order: increasing period.
     let mut order: Vec<usize> = (0..specs.len()).collect();
     order.sort_by_key(|&i| specs[i].period);
     let suffix_bound = suffix_bounds(specs, &order);
-
-    // Periods are fixed by the priority order — only the chosen cycles
-    // vary across the search — so the Theorem 1 scheduling-point sets
-    // `Sᵢ₋₁(Pᵢ)` and the tested task's own `⌈t/Pᵢ⌉` factors can be
-    // computed once per depth instead of once per schedulability test.
     let periods: Vec<u64> = order.iter().map(|&i| specs[i].period).collect();
     let points: Vec<Vec<u64>> = (0..order.len())
         .map(|d| scheduling_points(&periods, d))
@@ -206,162 +271,208 @@ fn select_rms_inner(
                 .collect()
         })
         .collect();
-
-    struct Ctx<'a> {
-        specs: &'a [TaskSpec],
-        order: &'a [usize],
-        suffix_bound: &'a [f64],
-        budget: u64,
-        periods: &'a [u64],
-        points: &'a [Vec<u64>],
-        self_fac: &'a [Vec<u128>],
-        // Chosen cycles per depth (priority order) along the current path.
-        cycles: Vec<u64>,
-        // Per-depth scratch: higher-priority demand at each scheduling
-        // point, filled once per node and shared by all sibling configs.
-        prefix: Vec<Vec<u128>>,
-        config: Vec<usize>,
-        best: Option<(f64, Vec<usize>)>,
-        stats: RmsBnbStats,
-        // Depth histogram outside `RmsBnbStats`, which the differential
-        // test against the reference search compares by tuple equality.
-        depth_hist: rtise_obs::Hist,
-        cert: Option<&'a mut rtise_obs::BoundedLog<RmsCertEvent>>,
+    RmsTables {
+        order,
+        suffix_bound,
+        periods,
+        points,
+        self_fac,
     }
+}
 
-    fn search(ctx: &mut Ctx<'_>, depth: usize, area: u64, util: f64) {
-        ctx.stats.nodes += 1;
-        ctx.depth_hist.observe(depth as u64);
-        if depth == ctx.order.len() {
-            if ctx.best.as_ref().is_none_or(|(b, _)| util < *b) {
-                ctx.best = Some((util, ctx.config.clone()));
-                ctx.stats.incumbent_updates += 1;
-                if rtise_trace::enabled() {
-                    rtise_trace::instant_with(
-                        rtise_trace::codes::SELECT_RMS_INCUMBENT,
-                        &[("depth", depth as u64)],
-                    );
-                }
+/// A node captured at the parallel frontier: the full path state needed
+/// to resume the search from depth [`PAR_FRONTIER_DEPTH`], plus where in
+/// the phase-1 preorder log its subtree's events belong.
+struct RmsFrontierNode {
+    area: u64,
+    util: f64,
+    cycles: Vec<u64>,
+    config: Vec<usize>,
+    cert_pos: usize,
+}
+
+/// Everything a subtree search produces, merged by the caller in subtree
+/// index order.
+struct RmsSubResult {
+    best: Option<(f64, Vec<usize>)>,
+    stats: RmsBnbStats,
+    depth_hist: rtise_obs::Hist,
+    events: Vec<RmsCertEvent>,
+    cert_dropped: u64,
+    trace: Vec<rtise_trace::Event>,
+    trace_dropped: u64,
+}
+
+struct Ctx<'a> {
+    specs: &'a [TaskSpec],
+    t: &'a RmsTables,
+    budget: u64,
+    // Chosen cycles per depth (priority order) along the current path.
+    cycles: Vec<u64>,
+    // Per-depth scratch: higher-priority demand at each scheduling
+    // point, filled once per node and shared by all sibling configs.
+    prefix: Vec<Vec<u128>>,
+    config: Vec<usize>,
+    best: Option<(f64, Vec<usize>)>,
+    stats: RmsBnbStats,
+    // Depth histogram outside `RmsBnbStats`, which the differential
+    // test against the reference search compares by tuple equality.
+    depth_hist: rtise_obs::Hist,
+    cert: Option<&'a mut rtise_obs::BoundedLog<RmsCertEvent>>,
+    // `Some((depth, out))` truncates the walk at `depth`, capturing each
+    // reached node into `out` instead of searching it (phase 1 of the
+    // parallel decomposition). Captured nodes record nothing — the
+    // subtree search replays the node entry itself.
+    frontier: Option<(usize, &'a mut Vec<RmsFrontierNode>)>,
+}
+
+fn search(ctx: &mut Ctx<'_>, depth: usize, area: u64, util: f64) {
+    if let Some((fd, nodes)) = &mut ctx.frontier {
+        if depth == *fd {
+            let cert_pos = ctx.cert.as_ref().map_or(0, |c| c.len());
+            nodes.push(RmsFrontierNode {
+                area,
+                util,
+                cycles: ctx.cycles.clone(),
+                config: ctx.config.clone(),
+                cert_pos,
+            });
+            return;
+        }
+    }
+    ctx.stats.nodes += 1;
+    ctx.depth_hist.observe(depth as u64);
+    if depth == ctx.t.order.len() {
+        if ctx.best.as_ref().is_none_or(|(b, _)| util < *b) {
+            ctx.best = Some((util, ctx.config.clone()));
+            ctx.stats.incumbent_updates += 1;
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(
+                    rtise_trace::codes::SELECT_RMS_INCUMBENT,
+                    &[("depth", depth as u64)],
+                );
+            }
+        }
+        return;
+    }
+    // Bounding: even with the best remaining configurations we cannot
+    // beat the incumbent.
+    if let Some((b, _)) = &ctx.best {
+        if util + ctx.t.suffix_bound[depth] >= *b - 1e-15 {
+            ctx.stats.pruned_bound += 1;
+            if let Some(log) = ctx.cert.as_deref_mut() {
+                log.push(RmsCertEvent::PruneBound);
+            }
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(
+                    rtise_trace::codes::SELECT_RMS_PRUNE_BOUND,
+                    &[("depth", depth as u64)],
+                );
             }
             return;
         }
-        // Bounding: even with the best remaining configurations we cannot
-        // beat the incumbent.
-        if let Some((b, _)) = &ctx.best {
-            if util + ctx.suffix_bound[depth] >= *b - 1e-15 {
-                ctx.stats.pruned_bound += 1;
-                if let Some(log) = ctx.cert.as_deref_mut() {
-                    log.push(RmsCertEvent::PruneBound);
-                }
-                if rtise_trace::enabled() {
-                    rtise_trace::instant_with(
-                        rtise_trace::codes::SELECT_RMS_PRUNE_BOUND,
-                        &[("depth", depth as u64)],
-                    );
-                }
-                return;
-            }
+    }
+    let ti = ctx.t.order[depth];
+    let spec = &ctx.specs[ti];
+    // Memoize the response-time sum of the already-fixed
+    // higher-priority tasks at every scheduling point: each sibling
+    // configuration below only adds its own `⌈t/Pᵢ⌉·C` term.
+    for k in 0..ctx.t.points[depth].len() {
+        let t = ctx.t.points[depth][k] as u128;
+        let mut s = 0u128;
+        for j in 0..depth {
+            s += t.div_ceil(ctx.t.periods[j] as u128) * ctx.cycles[j] as u128;
         }
-        let ti = ctx.order[depth];
-        let spec = &ctx.specs[ti];
-        // Memoize the response-time sum of the already-fixed
-        // higher-priority tasks at every scheduling point: each sibling
-        // configuration below only adds its own `⌈t/Pᵢ⌉·C` term.
-        for k in 0..ctx.points[depth].len() {
-            let t = ctx.points[depth][k] as u128;
-            let mut s = 0u128;
-            for j in 0..depth {
-                s += t.div_ceil(ctx.periods[j] as u128) * ctx.cycles[j] as u128;
+        ctx.prefix[depth][k] = s;
+    }
+    // Fastest (minimum cycles) configuration first: better incumbents
+    // earlier (§3.1.4). Points are area-ascending = cycles-descending,
+    // so iterate in reverse.
+    for j in (0..spec.curve.len()).rev() {
+        let p = &spec.curve.points()[j];
+        if area + p.area > ctx.budget {
+            ctx.stats.pruned_area += 1;
+            if let Some(log) = ctx.cert.as_deref_mut() {
+                log.push(RmsCertEvent::CfgArea);
             }
-            ctx.prefix[depth][k] = s;
-        }
-        // Fastest (minimum cycles) configuration first: better incumbents
-        // earlier (§3.1.4). Points are area-ascending = cycles-descending,
-        // so iterate in reverse.
-        for j in (0..spec.curve.len()).rev() {
-            let p = &spec.curve.points()[j];
-            if area + p.area > ctx.budget {
-                ctx.stats.pruned_area += 1;
-                if let Some(log) = ctx.cert.as_deref_mut() {
-                    log.push(RmsCertEvent::CfgArea);
-                }
-                if rtise_trace::enabled() {
-                    rtise_trace::instant_with(
-                        rtise_trace::codes::SELECT_RMS_PRUNE_AREA,
-                        &[("depth", depth as u64)],
-                    );
-                }
-                continue;
-            }
-            ctx.stats.sched_tests += 1;
-            let c = p.cycles as u128;
-            let ok = ctx.points[depth]
-                .iter()
-                .enumerate()
-                .any(|(k, &t)| ctx.prefix[depth][k] + ctx.self_fac[depth][k] * c <= t as u128);
-            #[cfg(debug_assertions)]
-            {
-                let tasks: Vec<PeriodicTask> = (0..=depth)
-                    .map(|d| {
-                        let s = &ctx.specs[ctx.order[d]];
-                        let wcet = if d == depth { p.cycles } else { ctx.cycles[d] };
-                        PeriodicTask::new(s.curve.name.clone(), wcet, s.period)
-                    })
-                    .collect();
-                let sorted: Vec<&PeriodicTask> = tasks.iter().collect();
-                debug_assert_eq!(
-                    ok,
-                    rms_task_schedulable(&sorted, depth),
-                    "memoized Theorem 1 test diverged at depth {depth}"
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(
+                    rtise_trace::codes::SELECT_RMS_PRUNE_AREA,
+                    &[("depth", depth as u64)],
                 );
             }
-            if ok {
-                if let Some(log) = ctx.cert.as_deref_mut() {
-                    log.push(RmsCertEvent::CfgRecurse);
-                }
-                ctx.config[ti] = j;
-                ctx.cycles[depth] = p.cycles;
-                search(
-                    ctx,
-                    depth + 1,
-                    area + p.area,
-                    util + p.cycles as f64 / spec.period as f64,
+            continue;
+        }
+        ctx.stats.sched_tests += 1;
+        let c = p.cycles as u128;
+        let ok = ctx.t.points[depth]
+            .iter()
+            .enumerate()
+            .any(|(k, &t)| ctx.prefix[depth][k] + ctx.t.self_fac[depth][k] * c <= t as u128);
+        #[cfg(debug_assertions)]
+        {
+            let tasks: Vec<PeriodicTask> = (0..=depth)
+                .map(|d| {
+                    let s = &ctx.specs[ctx.t.order[d]];
+                    let wcet = if d == depth { p.cycles } else { ctx.cycles[d] };
+                    PeriodicTask::new(s.curve.name.clone(), wcet, s.period)
+                })
+                .collect();
+            let sorted: Vec<&PeriodicTask> = tasks.iter().collect();
+            debug_assert_eq!(
+                ok,
+                rms_task_schedulable(&sorted, depth),
+                "memoized Theorem 1 test diverged at depth {depth}"
+            );
+        }
+        if ok {
+            if let Some(log) = ctx.cert.as_deref_mut() {
+                log.push(RmsCertEvent::CfgRecurse);
+            }
+            ctx.config[ti] = j;
+            ctx.cycles[depth] = p.cycles;
+            search(
+                ctx,
+                depth + 1,
+                area + p.area,
+                util + p.cycles as f64 / spec.period as f64,
+            );
+        } else {
+            ctx.stats.pruned_unschedulable += 1;
+            if let Some(log) = ctx.cert.as_deref_mut() {
+                log.push(RmsCertEvent::CfgUnsched);
+            }
+            if rtise_trace::enabled() {
+                rtise_trace::instant_with(
+                    rtise_trace::codes::SELECT_RMS_PRUNE_UNSCHED,
+                    &[("depth", depth as u64)],
                 );
-            } else {
-                ctx.stats.pruned_unschedulable += 1;
-                if let Some(log) = ctx.cert.as_deref_mut() {
-                    log.push(RmsCertEvent::CfgUnsched);
-                }
-                if rtise_trace::enabled() {
-                    rtise_trace::instant_with(
-                        rtise_trace::codes::SELECT_RMS_PRUNE_UNSCHED,
-                        &[("depth", depth as u64)],
-                    );
-                }
             }
         }
     }
+}
 
-    let mut ctx = Ctx {
-        specs,
-        order: &order,
-        suffix_bound: &suffix_bound,
-        budget: area_budget,
-        periods: &periods,
-        points: &points,
-        self_fac: &self_fac,
-        cycles: vec![0; specs.len()],
-        prefix: points.iter().map(|pts| vec![0; pts.len()]).collect(),
-        config: vec![0; specs.len()],
-        best: None,
-        stats: RmsBnbStats::default(),
-        depth_hist: rtise_obs::Hist::new(),
-        cert,
-    };
+/// Span, routing (serial vs decomposed-parallel), and registry recording
+/// shared by every public entry point. `threads == 0` (the knob's
+/// default) keeps the legacy serial path untouched; any positive count
+/// routes deep-enough instances through [`rms_par`].
+fn select_rms_observed(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+    cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
+) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
+    if specs.is_empty() {
+        return Err(SelectRmsError::NoTasks);
+    }
+    let t = rms_tables(specs);
     let span = rtise_trace::span(rtise_trace::codes::SELECT_RMS_SOLVE);
-    search(&mut ctx, 0, 0, 0.0);
-    let stats = ctx.stats;
-    rtise_obs::observe_hist("select.rms.depth", &ctx.depth_hist);
+    let (best, stats, depth_hist) = if threads > 0 && specs.len() > PAR_FRONTIER_DEPTH {
+        rms_par(specs, area_budget, &t, threads, cert)
+    } else {
+        rms_serial(specs, area_budget, &t, cert)
+    };
+    rtise_obs::observe_hist("select.rms.depth", &depth_hist);
     rtise_trace::summary(
         rtise_trace::codes::SELECT_RMS_SUMMARY,
         &[
@@ -383,7 +494,7 @@ fn select_rms_inner(
         stats.pruned_unschedulable,
     );
     rtise_obs::record("select.rms.sched_tests", stats.sched_tests);
-    let (utilization, config) = ctx.best.ok_or(SelectRmsError::Unschedulable)?;
+    let (utilization, config) = best.ok_or(SelectRmsError::Unschedulable)?;
     Ok((
         RmsSelection {
             assignment: Assignment { config },
@@ -391,6 +502,191 @@ fn select_rms_inner(
         },
         stats,
     ))
+}
+
+type RmsBest = Option<(f64, Vec<usize>)>;
+
+fn rms_serial(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    t: &RmsTables,
+    cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
+) -> (RmsBest, RmsBnbStats, rtise_obs::Hist) {
+    let mut ctx = Ctx {
+        specs,
+        t,
+        budget: area_budget,
+        cycles: vec![0; specs.len()],
+        prefix: t.points.iter().map(|pts| vec![0; pts.len()]).collect(),
+        config: vec![0; specs.len()],
+        best: None,
+        stats: RmsBnbStats::default(),
+        depth_hist: rtise_obs::Hist::new(),
+        cert,
+        frontier: None,
+    };
+    search(&mut ctx, 0, 0, 0.0);
+    (ctx.best, ctx.stats, ctx.depth_hist)
+}
+
+/// The decomposed parallel search: a serial phase-1 walk truncated at
+/// [`PAR_FRONTIER_DEPTH`] captures the frontier, then independent subtree
+/// searches run on [`rtise_obs::par::run_ordered`] and are merged in
+/// subtree index order. Incumbents only exist at leaves — which phase 1
+/// never reaches — so the merge folds subtree results with the same
+/// strict `util <` rule the serial search applies, and the f64 path sums
+/// are bitwise identical at any thread count.
+fn rms_par(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    t: &RmsTables,
+    threads: usize,
+    cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
+) -> (RmsBest, RmsBnbStats, rtise_obs::Hist) {
+    let want_cert = cert.is_some();
+    let cap = cert.as_ref().map_or(0, |c| c.cap());
+
+    // Phase 1: serial walk truncated at the frontier. The log is
+    // physically bounded by the frontier size, so no cap is needed.
+    let mut frontier: Vec<RmsFrontierNode> = Vec::new();
+    let mut ph_log = want_cert.then(|| rtise_obs::BoundedLog::new(usize::MAX));
+    let mut ph = Ctx {
+        specs,
+        t,
+        budget: area_budget,
+        cycles: vec![0; specs.len()],
+        prefix: t.points.iter().map(|pts| vec![0; pts.len()]).collect(),
+        config: vec![0; specs.len()],
+        best: None,
+        stats: RmsBnbStats::default(),
+        depth_hist: rtise_obs::Hist::new(),
+        cert: ph_log.as_mut(),
+        frontier: Some((PAR_FRONTIER_DEPTH, &mut frontier)),
+    };
+    search(&mut ph, 0, 0, 0.0);
+    let Ctx {
+        stats: ph_stats,
+        depth_hist: ph_hist,
+        ..
+    } = ph;
+    let ph_events = ph_log.map_or(Vec::new(), |log| log.into_parts().0);
+
+    // Phase 2: independent subtree searches on the deterministic
+    // scheduler. Nothing in here touches the counter registry or the
+    // ambient trace scopes — everything is merged by the caller.
+    //
+    // Subtree 0 runs serially first (warm start): it is the preorder-
+    // earliest region of the tree, so its best leaf both seeds every
+    // later subtree — without it, the first `WINDOW` subtrees would
+    // search incumbent-less and can explosively overexpand — and is a
+    // valid justification for any later prune under the replayer's
+    // preorder incumbent.
+    let trace_on = rtise_trace::enabled();
+    let run_subtree = |node: &RmsFrontierNode, seed: RmsBest| {
+        let scope = trace_on.then(|| rtise_trace::TraceScope::new(rtise_trace::Clock::Virtual));
+        let mut log = want_cert.then(|| rtise_obs::BoundedLog::new(cap));
+        let mut ctx = Ctx {
+            specs,
+            t,
+            budget: area_budget,
+            cycles: node.cycles.clone(),
+            prefix: t.points.iter().map(|pts| vec![0; pts.len()]).collect(),
+            config: node.config.clone(),
+            best: seed,
+            stats: RmsBnbStats::default(),
+            depth_hist: rtise_obs::Hist::new(),
+            cert: log.as_mut(),
+            frontier: None,
+        };
+        {
+            // Detach from any ambient scope first (with one worker
+            // the closure runs on the caller's thread, which has the
+            // caller's scopes entered) so subtree events reach the
+            // ambient trace exactly once, via the deterministic
+            // replay below.
+            let _isolated = trace_on.then(rtise_trace::isolate);
+            let _active = scope.as_ref().map(rtise_trace::TraceScope::enter);
+            search(&mut ctx, PAR_FRONTIER_DEPTH, node.area, node.util);
+        }
+        let Ctx {
+            best,
+            stats,
+            depth_hist,
+            ..
+        } = ctx;
+        let (events, cert_dropped) = log.map_or((Vec::new(), 0), rtise_obs::BoundedLog::into_parts);
+        RmsSubResult {
+            best,
+            stats,
+            depth_hist,
+            events,
+            cert_dropped,
+            trace: scope
+                .as_ref()
+                .map_or_else(Vec::new, rtise_trace::TraceScope::events),
+            trace_dropped: scope.as_ref().map_or(0, rtise_trace::TraceScope::dropped),
+        }
+    };
+    let first = frontier.first().map(|node| run_subtree(node, None));
+    let rest: Vec<RmsSubResult> = rtise_obs::par::run_ordered(
+        frontier.get(1..).unwrap_or(&[]),
+        threads,
+        |_, node, prefix: rtise_obs::par::Completed<'_, RmsSubResult>| {
+            let mut seed: RmsBest = None;
+            for r in
+                std::iter::once(first.as_ref().expect("frontier is non-empty")).chain(prefix.iter())
+            {
+                if let Some((u, cfg)) = &r.best {
+                    if seed.as_ref().is_none_or(|(s, _)| *u < *s) {
+                        seed = Some((*u, cfg.clone()));
+                    }
+                }
+            }
+            run_subtree(node, seed)
+        },
+    );
+    let results: Vec<RmsSubResult> = first.into_iter().chain(rest).collect();
+
+    // Merge, all in subtree index order.
+    let mut stats = ph_stats;
+    let mut hist = ph_hist;
+    let mut best: RmsBest = None;
+    for r in &results {
+        stats.nodes += r.stats.nodes;
+        stats.pruned_bound += r.stats.pruned_bound;
+        stats.pruned_area += r.stats.pruned_area;
+        stats.pruned_unschedulable += r.stats.pruned_unschedulable;
+        stats.sched_tests += r.stats.sched_tests;
+        stats.incumbent_updates += r.stats.incumbent_updates;
+        hist.merge(&r.depth_hist);
+        if let Some((u, cfg)) = &r.best {
+            if best.as_ref().is_none_or(|(b, _)| *u < *b) {
+                best = Some((*u, cfg.clone()));
+            }
+        }
+    }
+    if trace_on {
+        for r in &results {
+            rtise_trace::replay(&r.trace, r.trace_dropped);
+        }
+    }
+    if let Some(out) = cert {
+        let mut prev = 0;
+        for (node, r) in frontier.iter().zip(&results) {
+            for &e in &ph_events[prev..node.cert_pos] {
+                out.push(e);
+            }
+            prev = node.cert_pos;
+            for &e in &r.events {
+                out.push(e);
+            }
+            out.add_dropped(r.cert_dropped);
+        }
+        for &e in &ph_events[prev..] {
+            out.push(e);
+        }
+    }
+    (best, stats, hist)
 }
 
 /// The original branch-and-bound that re-runs the full Theorem 1 test
@@ -696,6 +992,83 @@ mod tests {
                 select_rms_with_stats(&specs, budget),
                 select_rms_reference_with_stats(&specs, budget),
                 "case {case}"
+            );
+        }
+    }
+
+    /// Random task sets deep enough (> [`PAR_FRONTIER_DEPTH`] tasks) that
+    /// the parallel decomposition engages.
+    fn random_deep_specs(rng: &mut rtise_obs::Rng) -> (Vec<TaskSpec>, u64) {
+        let n = rng.gen_range(5..=8usize);
+        let specs: Vec<TaskSpec> = (0..n)
+            .map(|i| {
+                let base = rng.gen_range(2..8u64);
+                let pts: Vec<(u64, u64)> = (0..rng.gen_range(0..4usize))
+                    .map(|k| {
+                        (
+                            rng.gen_range(1..10u64) * (k as u64 + 1),
+                            rng.gen_range(1..=base),
+                        )
+                    })
+                    .collect();
+                spec(&format!("t{i}"), base, rng.gen_range(16..60u64), &pts)
+            })
+            .collect();
+        let budget = rng.gen_range(0..30u64);
+        (specs, budget)
+    }
+
+    #[test]
+    fn parallel_selection_matches_serial_optimum() {
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(0x4315);
+        let mut solved = 0;
+        for case in 0..60 {
+            let (specs, budget) = random_deep_specs(&mut rng);
+            let serial = select_rms_with_stats(&specs, budget);
+            let par = select_rms_par_with_stats(&specs, budget, 4);
+            match (&serial, &par) {
+                // Leaves are visited in the same preorder and the
+                // incumbent rule is strict, so the parallel search lands
+                // on the exact same leaf — utilization (bitwise: the f64
+                // path sums are order-identical) and assignment both.
+                (Ok((s, _)), Ok((p, _))) => {
+                    assert_eq!(s, p, "case {case}");
+                    solved += 1;
+                }
+                (Err(es), Err(ep)) => assert_eq!(es, ep, "case {case}"),
+                _ => panic!("case {case}: serial {serial:?} vs par {par:?}"),
+            }
+        }
+        assert!(solved >= 10, "want a healthy mix of schedulable cases");
+    }
+
+    #[test]
+    fn parallel_output_is_identical_at_any_thread_count() {
+        use rtise_obs::Rng;
+        let mut rng = Rng::new(0x4316);
+        for case in 0..30 {
+            let (specs, budget) = random_deep_specs(&mut rng);
+            let (res1, cert1) = select_rms_par_with_cert(&specs, budget, 1);
+            for threads in [2, 4, 7] {
+                let (rt, ct) = select_rms_par_with_cert(&specs, budget, threads);
+                assert_eq!(res1, rt, "case {case} threads {threads}");
+                assert_eq!(cert1, ct, "case {case} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_falls_back_on_small_task_sets() {
+        // At most PAR_FRONTIER_DEPTH tasks: the parallel entry points run
+        // the plain serial search, stats included.
+        let specs = fig_3_2_specs();
+        assert!(specs.len() <= PAR_FRONTIER_DEPTH);
+        for budget in [0u64, 17, 1000] {
+            assert_eq!(
+                select_rms_par_with_stats(&specs, budget, 4),
+                select_rms_with_stats(&specs, budget),
+                "budget {budget}"
             );
         }
     }

@@ -85,9 +85,20 @@ impl Handle {
     /// request's id.
     #[must_use]
     pub fn wait(&self) -> Value {
-        let mut ready = self.slot.ready.lock().expect("slot poisoned");
+        // Recover from poisoning: a worker that panicked while filling
+        // the slot must not take the waiter down too — shutdown fills the
+        // orphaned slot with an error response instead.
+        let mut ready = self
+            .slot
+            .ready
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         while ready.is_none() {
-            ready = self.slot.cond.wait(ready).expect("slot poisoned");
+            ready = self
+                .slot
+                .cond
+                .wait(ready)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         let mut resp = ready.clone().expect("checked above");
         engine::set_field(&mut resp, "id", self.id.into());
@@ -100,6 +111,7 @@ pub struct Server {
     inner: Arc<Inner>,
     config: ServerConfig,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    started: std::sync::atomic::AtomicBool,
 }
 
 impl Server {
@@ -121,6 +133,7 @@ impl Server {
             }),
             config,
             workers: Mutex::new(Vec::new()),
+            started: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -135,10 +148,10 @@ impl Server {
     /// Spawns the worker pool. Idempotent per server (second call is a
     /// no-op).
     pub fn start(&self) {
-        let mut workers = self.workers.lock().expect("worker list poisoned");
-        if !workers.is_empty() {
+        if self.started.swap(true, std::sync::atomic::Ordering::SeqCst) {
             return;
         }
+        let mut workers = self.workers.lock().expect("worker list poisoned");
         for i in 0..self.config.jobs {
             let inner = Arc::clone(&self.inner);
             let clock = self.config.trace_clock;
@@ -199,6 +212,11 @@ impl Server {
     /// Graceful shutdown: workers drain every queued job, then exit.
     /// Returns the final counters and the per-worker trace scopes (empty
     /// unless [`ServerConfig::trace_clock`] was set).
+    ///
+    /// A panicked worker does not crash the shutdown: its death is
+    /// counted (`serve.worker.panics`), the remaining workers still drain
+    /// the queue, and any slot the dead worker left unfilled is completed
+    /// with an error response so no [`Handle::wait`] hangs forever.
     pub fn shutdown(
         self,
     ) -> (
@@ -210,13 +228,62 @@ impl Server {
             queue.closed = true;
         }
         self.inner.cond.notify_all();
+        let mut panicked = 0u64;
         for handle in self.workers.lock().expect("worker list poisoned").drain(..) {
-            handle.join().expect("worker panicked");
+            let name = handle.thread().name().unwrap_or("serve-worker").to_string();
+            if handle.join().is_err() {
+                panicked += 1;
+                eprintln!("serve: {name} panicked; continuing shutdown");
+            }
+        }
+        if panicked > 0 {
+            let _obs = self.inner.scope.enter();
+            rtise_obs::record("serve.worker.panics", panicked);
+            let results = self.inner.results.lock().expect("results poisoned");
+            for slot in results.values() {
+                let mut ready = slot
+                    .ready
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if ready.is_none() {
+                    *ready = Some(engine::error_response(
+                        0,
+                        "worker panicked before completing this request",
+                    ));
+                    drop(ready);
+                    slot.cond.notify_all();
+                }
+            }
         }
         let mut traces = self.inner.traces.lock().expect("traces poisoned");
         let mut traces = std::mem::take(&mut *traces);
         traces.sort_by(|a, b| a.0.cmp(&b.0));
         (self.inner.scope.counters(), traces)
+    }
+
+    /// Test-only: synchronously claims the front queued job (so the
+    /// claim cannot race a real worker), then spawns a worker thread
+    /// that panics without ever filling the job's slot — the exact
+    /// failure mode [`Server::shutdown`] must recover from. Not part of
+    /// the public API.
+    #[doc(hidden)]
+    pub fn inject_worker_panic_for_tests(&self) {
+        let job = self
+            .inner
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .jobs
+            .pop_front();
+        self.workers.lock().expect("worker list poisoned").push(
+            std::thread::Builder::new()
+                .name("serve-worker-faulty".to_string())
+                .spawn(move || {
+                    let _claimed = job;
+                    panic!("worker panic injected by a test");
+                })
+                .expect("spawn worker"),
+        );
     }
 }
 

@@ -177,6 +177,60 @@ fn shutdown_drains_every_queued_job() {
     }
 }
 
+/// A worker that dies mid-job must not crash `shutdown` or strand its
+/// waiter: the panic is counted, the orphaned slot is completed with an
+/// error response, and `Handle::wait` returns instead of hanging.
+#[test]
+fn panicked_worker_does_not_crash_shutdown_or_hang_waiters() {
+    let server = Server::new(ServerConfig::new(1));
+    let handle = server.submit(&req(r#"{"id": 9, "kind": "ilp", "seed": 2}"#));
+    // Claim the queued job and die without filling its slot; real
+    // workers are never started, so only the faulty one ran.
+    server.inject_worker_panic_for_tests();
+    let (counters, _) = server.shutdown();
+    assert_eq!(counters.get("serve.worker.panics"), Some(&1));
+    assert_eq!(counters.get("serve.exec"), None, "job never executed");
+
+    let resp = handle.wait();
+    assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(resp.get("id").and_then(Value::as_f64), Some(9.0));
+    let error = resp.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        error.contains("worker panicked"),
+        "unexpected error: {error}"
+    );
+}
+
+/// Surviving workers keep draining the queue past a panicked one: only
+/// the job the dead worker claimed gets an error response.
+#[test]
+fn queue_drains_past_a_panicked_worker() {
+    let server = Server::new(ServerConfig::new(1));
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            server.submit(&req(&format!(
+                r#"{{"id": {}, "kind": "ilp", "seed": {i}}}"#,
+                i + 1
+            )))
+        })
+        .collect();
+    // The faulty worker deterministically claims the first job; the real
+    // worker started afterwards drains the remaining two.
+    server.inject_worker_panic_for_tests();
+    server.start();
+    let (counters, _) = server.shutdown();
+    assert_eq!(counters.get("serve.worker.panics"), Some(&1));
+    assert_eq!(counters.get("serve.exec"), Some(&2), "survivors drained");
+
+    let lost = handles[0].wait();
+    assert_eq!(lost.get("ok"), Some(&Value::Bool(false)));
+    for (i, h) in handles.iter().enumerate().skip(1) {
+        let resp = h.wait();
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "job {i} served");
+        assert!(rtise::check::serve::check_response(&resp).is_clean());
+    }
+}
+
 #[test]
 fn warm_rerun_has_strictly_higher_hit_rate() {
     let dir = tmp_dir("warm");

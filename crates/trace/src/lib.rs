@@ -55,6 +55,6 @@ pub mod scope;
 pub mod view;
 
 pub use scope::{
-    enabled, instant, instant_with, isolate, span, summary, Clock, Event, EventKind, SpanGuard,
-    TraceGuard, TraceIsolationGuard, TraceScope, RING_CAP,
+    enabled, instant, instant_with, isolate, replay, span, summary, Clock, Event, EventKind,
+    SpanGuard, TraceGuard, TraceIsolationGuard, TraceScope, RING_CAP,
 };

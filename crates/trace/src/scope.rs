@@ -280,6 +280,29 @@ pub fn summary(name: impl Into<Cow<'static, str>>, args: &[(&'static str, u64)])
     });
 }
 
+/// Replays events captured in a detached scope into every scope entered
+/// on the current thread, re-stamping each with the receiving scope's
+/// own clock. `dropped` carries the detached scope's ring-cap drop
+/// count into the receivers.
+///
+/// This is how the parallel solver cores merge traces: each subtree
+/// search records into a private scope on its worker thread, and the
+/// coordinating thread replays the captured events in a fixed preorder
+/// — so the merged stream is identical at any thread count. Instants
+/// replay as bulk (ring-capped) events; Begin/End pairs, if present,
+/// are never capped.
+pub fn replay(events: &[Event], dropped: u64) {
+    ACTIVE.with(|stack| {
+        for scope in stack.borrow().iter() {
+            for ev in events {
+                let bulk = ev.kind == EventKind::Instant;
+                scope.push(ev.kind, ev.name.clone(), &ev.args, bulk);
+            }
+            scope.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    });
+}
+
 /// Detaches the current thread from every entered [`TraceScope`] until
 /// the returned guard drops — the tracing mirror of
 /// [`rtise_obs::registry::isolate`], used around memoized cache fills
@@ -436,6 +459,43 @@ mod tests {
         let (first, last) = (&events[1], &events[RING_CAP]);
         assert_eq!(first.name, "node");
         assert_eq!(last.name, "node"); // keep-first: earliest survive
+    }
+
+    #[test]
+    fn replay_restamps_into_the_ambient_scope() {
+        let worker = TraceScope::new(Clock::Virtual);
+        {
+            let _g = worker.enter();
+            instant_with("sub.node", &[("depth", 3)]);
+            instant_with("sub.node", &[("depth", 4)]);
+        }
+        let captured = worker.events();
+
+        let ambient = TraceScope::new(Clock::Virtual);
+        {
+            let _g = ambient.enter();
+            instant("before");
+            replay(&captured, 5);
+            instant("after");
+        }
+        let got: Vec<(String, u64)> = ambient
+            .events()
+            .iter()
+            .map(|e| (e.name.to_string(), e.ts))
+            .collect();
+        // Re-stamped on the ambient clock: a dense local sequence, not
+        // the worker scope's stamps.
+        assert_eq!(
+            got,
+            vec![
+                ("before".to_string(), 0),
+                ("sub.node".to_string(), 1),
+                ("sub.node".to_string(), 2),
+                ("after".to_string(), 3),
+            ]
+        );
+        assert_eq!(ambient.events()[1].args, vec![("depth", 3)]);
+        assert_eq!(ambient.dropped(), 5);
     }
 
     #[test]
