@@ -94,36 +94,50 @@ if ! cmp -s target/artifacts/canon-cold.json target/artifacts/canon-warm.json; t
 fi
 echo "    canonical reports are byte-identical"
 
-echo "==> parallel-solver determinism: --par-threads 1 vs 4 must be byte-identical"
-# Both passes reuse the warm curve cache, so this gate measures only the
-# solvers. Canonicalization keeps every counter — including the
-# check.certb.* certificate-replay counters — so byte-identity here proves
-# the parallel search visits the same tree, emits the same trace events,
-# and produces replayable certificates identical to the serial search.
+echo "==> parallel-solver determinism: pinned frontier pairs must be byte-identical"
+# The frontier decomposition is sized from the engaged thread count, so
+# thread counts only compare byte-for-byte at a *pinned* sizing
+# (--par-frontier-for). Two pinned pairs cover both ends: 4 workers on
+# the depth sized for 1 must reproduce the serial run, and 1 worker on
+# the depth sized for 4 must reproduce the 4-worker run. All passes reuse
+# the warm curve cache, so this gate measures only the solvers;
+# canonicalization keeps every counter — including the check.certb.*
+# certificate-replay counters — so byte-identity proves the searches
+# visit the same tree, emit the same trace events, and produce identical
+# replayable certificates.
 cargo run --offline --release -p rtise-bench --bin reproduce -- \
   --check --jobs 4 --par-threads 1 --cache-dir "$CACHE_DIR" \
   --json target/artifacts/reproduce-par1.json
 cargo run --offline --release -p rtise-bench --bin reproduce -- \
+  --check --jobs 4 --par-threads 4 --par-frontier-for 1 --cache-dir "$CACHE_DIR" \
+  --json target/artifacts/reproduce-par4f1.json
+cargo run --offline --release -p rtise-bench --bin reproduce -- \
   --check --jobs 4 --par-threads 4 --cache-dir "$CACHE_DIR" \
   --json target/artifacts/reproduce-par4.json
-cargo run --offline --release -p rtise-trace --bin trace -- \
-  canon target/artifacts/reproduce-par1.json --drop-output "$TIMING_TABLES" \
-  > target/artifacts/canon-par1.json
-cargo run --offline --release -p rtise-trace --bin trace -- \
-  canon target/artifacts/reproduce-par4.json --drop-output "$TIMING_TABLES" \
-  > target/artifacts/canon-par4.json
-if ! cmp -s target/artifacts/canon-par1.json target/artifacts/canon-par4.json; then
-  echo "FAIL: certified reports differ between --par-threads 1 and 4"
-  diff target/artifacts/canon-par1.json target/artifacts/canon-par4.json | head -40
-  exit 1
-fi
+cargo run --offline --release -p rtise-bench --bin reproduce -- \
+  --check --jobs 4 --par-threads 1 --par-frontier-for 4 --cache-dir "$CACHE_DIR" \
+  --json target/artifacts/reproduce-par1f4.json
+for PAIR in "par1 par4f1" "par4 par1f4"; do
+  set -- $PAIR
+  cargo run --offline --release -p rtise-trace --bin trace -- \
+    canon "target/artifacts/reproduce-$1.json" --drop-output "$TIMING_TABLES" \
+    > "target/artifacts/canon-$1.json"
+  cargo run --offline --release -p rtise-trace --bin trace -- \
+    canon "target/artifacts/reproduce-$2.json" --drop-output "$TIMING_TABLES" \
+    > "target/artifacts/canon-$2.json"
+  if ! cmp -s "target/artifacts/canon-$1.json" "target/artifacts/canon-$2.json"; then
+    echo "FAIL: certified reports differ between $1 and $2 at the same frontier sizing"
+    diff "target/artifacts/canon-$1.json" "target/artifacts/canon-$2.json" | head -40
+    exit 1
+  fi
+done
 for KEY in check.certb.ilp check.certb.ise check.certb.rms; do
   if ! grep -q "\"$KEY\"" target/artifacts/reproduce-par4.json; then
     echo "FAIL: no $KEY certificate replays in the --par-threads 4 run"
     exit 1
   fi
 done
-echo "    parallel search is byte-identical to serial and certified optimal"
+echo "    parallel search is byte-identical at pinned sizing and certified optimal"
 
 echo "==> panic-safety regression gates (pool callback, serve worker death)"
 # cargo test above already runs these; naming them here keeps the gates
@@ -149,12 +163,32 @@ if ! grep -Eq '"solver\.fuzz\.ilp\.cert_replay_large": *[1-9]' target/fuzz-smoke
   exit 1
 fi
 echo "    fuzz certified >12-variable ILP instances by certificate replay"
+# The iterative differential oracle must have run: it regenerates each DFG
+# from (seed, ops), runs the KL improver twice (determinism), certifies
+# every emitted cut, and on <=128-node instances checks the iterative gain
+# never beats the certified exact optimum.
+if ! grep -Eq '"solver\.ise\.iterative\.calls": *[1-9]' target/fuzz-smoke.json; then
+  echo "FAIL: fuzz campaign never exercised the iterative ISE generator"
+  exit 1
+fi
+echo "    fuzz exercised the iterative generator under the exact-optimum oracle"
+
+echo "==> iterative smoke (dedicated iter campaign, every emitted cut certified)"
+cargo run --offline --release -p rtise-fuzz --bin fuzz -- \
+  --seed 11 --iters 12 --family iter --jobs 4 --json target/fuzz-iter.json
+if ! grep -Eq '"solver\.ise\.iterative\.accepted": *[1-9]' target/fuzz-iter.json; then
+  echo "FAIL: dedicated iterative campaign accepted no candidates"
+  exit 1
+fi
+echo "    iterative generator produced certified candidates past the 128-node wall"
 
 echo "==> bench smoke (same sweep as the committed baseline, fewer samples)"
 cargo run --offline --release -p rtise-perf --bin bench -- \
-  --smoke --out target/artifacts/bench-smoke.json --baseline BENCH_6.json
+  --smoke --out target/artifacts/bench-smoke.json --baseline BENCH_7.json
 # --baseline validates both documents' schemas and fails on any (kernel,
-# size) point regressing past 2.5x the committed BENCH_6.json figure.
+# size) point regressing past 2.5x the committed BENCH_7.json figure;
+# BENCH_7 extends BENCH_6 with the ise_iter_small/ise_iter_large kernels
+# (iterative generation at 500-2000 nodes, past the exact enumerator wall).
 
 echo "==> serve smoke (seeded 1000-request loadtest, 4 workers, cold then warm store)"
 # The serve binary certifies every response via rtise-check internally and

@@ -14,7 +14,9 @@
 //! reproduce --check tab6_1           # also certify each experiment's artifacts
 //! reproduce --cache-dir .cache       # persist curves somewhere specific
 //! reproduce --no-cache               # disable the on-disk curve cache
-//! reproduce --par-threads 4          # parallel solver cores (same output)
+//! reproduce --par-threads 4          # parallel solver cores (same optimum)
+//! reproduce --par-frontier-for 4     # pin solver frontier sizing (byte-identity
+//!                                    # across different --par-threads values)
 //! ```
 //!
 //! Experiments run on a worker pool (`--jobs N`, defaulting to every
@@ -36,7 +38,8 @@ use rtise_obs::Report;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-const USAGE: &str = "supported: --list, --jobs <n>, --par-threads <n>, --json <path>, \
+const USAGE: &str = "supported: --list, --jobs <n>, --par-threads <n>, \
+                     --par-frontier-for <n>, --json <path>, \
                      --trace, --trace-out <path>, --trace-clock <real|virtual>, --check, \
                      --cache-dir <dir>, --no-cache";
 
@@ -98,6 +101,12 @@ fn main() {
             "--par-threads" => match args.next().map(|n| n.parse::<usize>()) {
                 Some(Ok(n)) => rtise_obs::par::set_threads(n),
                 _ => usage_error("--par-threads requires a thread count (0 = serial cores)"),
+            },
+            "--par-frontier-for" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => rtise_obs::par::set_frontier_for(n),
+                _ => usage_error(
+                    "--par-frontier-for requires a thread count (0 = size from --par-threads)",
+                ),
             },
             other if other.starts_with('-') => {
                 usage_error(&format!("unknown flag {other:?}"));

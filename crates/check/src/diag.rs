@@ -147,11 +147,14 @@ pub enum Code {
     /// A serve error response is malformed (missing or empty error
     /// message, or contradictory success fields).
     SRV005,
+    /// A candidate batch contains the same cut twice (appended late;
+    /// lives with the other CANDxxx codes in reports).
+    CAND006,
 }
 
 impl Code {
     /// All codes, for documentation tables and exhaustiveness tests.
-    pub const ALL: [Code; 49] = [
+    pub const ALL: [Code; 50] = [
         Code::IR001,
         Code::IR002,
         Code::IR003,
@@ -201,6 +204,7 @@ impl Code {
         Code::SRV003,
         Code::SRV004,
         Code::SRV005,
+        Code::CAND006,
     ];
 
     /// The stable textual form, e.g. `"IR003"`.
@@ -255,6 +259,7 @@ impl Code {
             Code::SRV003 => "SRV003",
             Code::SRV004 => "SRV004",
             Code::SRV005 => "SRV005",
+            Code::CAND006 => "CAND006",
         }
     }
 
@@ -310,6 +315,7 @@ impl Code {
             Code::SRV003 => "response checksum mismatch",
             Code::SRV004 => "response result fails re-certification",
             Code::SRV005 => "error response malformed",
+            Code::CAND006 => "candidate batch contains a duplicate cut",
         }
     }
 }
@@ -541,7 +547,7 @@ mod tests {
     fn codes_render_stably() {
         assert_eq!(Code::IR003.as_str(), "IR003");
         assert_eq!(Code::CAND003.to_string(), "CAND003");
-        assert_eq!(Code::ALL.len(), 49);
+        assert_eq!(Code::ALL.len(), 50);
         assert_eq!(Code::STORE003.as_str(), "STORE003");
         assert_eq!(Code::SRV004.to_string(), "SRV004");
         for c in Code::ALL {

@@ -9,10 +9,10 @@ use rtise_ilp::{Model, Sense};
 use rtise_ir::cfg::BlockId;
 use rtise_ir::nodeset::NodeSet;
 use rtise_ise::configs::ConfigCurve;
-use rtise_ise::select::branch_and_bound_par_with_cert;
+use rtise_ise::select::branch_and_bound_par_with_cert_at_depth;
 use rtise_ise::CiCandidate;
 use rtise_obs::Rng;
-use rtise_select::rms::select_rms_par_with_cert;
+use rtise_select::rms::select_rms_par_with_cert_at_depth;
 use rtise_select::TaskSpec;
 
 /// Random models deep enough that the ILP frontier decomposition
@@ -44,19 +44,33 @@ fn deep_model(rng: &mut Rng) -> Model {
     m
 }
 
+/// The frontier depths the adaptive sizing actually picks for small
+/// pools, deduplicated (byte-identity across thread counts holds per
+/// *depth*, so each comparison pins one).
+fn sized_depths(max_depth: usize) -> Vec<usize> {
+    let mut depths: Vec<usize> = [1, 2, 4]
+        .iter()
+        .map(|&t| rtise_obs::par::frontier_depth(max_depth, t))
+        .collect();
+    depths.dedup();
+    depths
+}
+
 #[test]
 fn parallel_ilp_certificates_replay_clean_at_any_thread_count() {
     let mut rng = Rng::new(0x9a7_c3e7);
     for case in 0..40 {
         let m = deep_model(&mut rng);
-        let (res1, cert1) = m.solve_par_with_cert(1);
-        assert_eq!(cert1.dropped, 0, "case {case}: log must be complete");
-        let d = check_ilp_certificate(&m, res1.as_ref().ok(), &cert1);
-        assert!(d.is_clean(), "case {case}: {d}");
-        for threads in [2, 4] {
-            let (rt, ct) = m.solve_par_with_cert(threads);
-            assert_eq!(res1, rt, "case {case} threads {threads}");
-            assert_eq!(cert1, ct, "case {case} threads {threads}");
+        for depth in sized_depths(rtise_ilp::PAR_FRONTIER_DEPTH) {
+            let (res1, cert1) = m.solve_par_with_cert_at_depth(1, depth);
+            assert_eq!(cert1.dropped, 0, "case {case}: log must be complete");
+            let d = check_ilp_certificate(&m, res1.as_ref().ok(), &cert1);
+            assert!(d.is_clean(), "case {case} depth {depth}: {d}");
+            for threads in [2, 4] {
+                let (rt, ct) = m.solve_par_with_cert_at_depth(threads, depth);
+                assert_eq!(res1, rt, "case {case} depth {depth} threads {threads}");
+                assert_eq!(cert1, ct, "case {case} depth {depth} threads {threads}");
+            }
         }
     }
 }
@@ -102,14 +116,17 @@ fn parallel_ise_certificates_replay_clean_at_any_thread_count() {
     let mut rng = Rng::new(0x15e_c3e7);
     for case in 0..40 {
         let (cands, budget) = deep_library(&mut rng);
-        let (sel1, cert1) = branch_and_bound_par_with_cert(&cands, budget, 1);
-        assert_eq!(cert1.dropped, 0, "case {case}: log must be complete");
-        let d = check_ise_certificate(&cands, budget, &sel1, &cert1);
-        assert!(d.is_clean(), "case {case}: {d}");
-        for threads in [2, 4] {
-            let (st, ct) = branch_and_bound_par_with_cert(&cands, budget, threads);
-            assert_eq!(sel1, st, "case {case} threads {threads}");
-            assert_eq!(cert1, ct, "case {case} threads {threads}");
+        for depth in sized_depths(rtise_ise::select::PAR_FRONTIER_DEPTH) {
+            let (sel1, cert1) = branch_and_bound_par_with_cert_at_depth(&cands, budget, 1, depth);
+            assert_eq!(cert1.dropped, 0, "case {case}: log must be complete");
+            let d = check_ise_certificate(&cands, budget, &sel1, &cert1);
+            assert!(d.is_clean(), "case {case} depth {depth}: {d}");
+            for threads in [2, 4] {
+                let (st, ct) =
+                    branch_and_bound_par_with_cert_at_depth(&cands, budget, threads, depth);
+                assert_eq!(sel1, st, "case {case} depth {depth} threads {threads}");
+                assert_eq!(cert1, ct, "case {case} depth {depth} threads {threads}");
+            }
         }
     }
 }
@@ -142,15 +159,17 @@ fn parallel_rms_certificates_replay_clean_at_any_thread_count() {
     let mut rng = Rng::new(0x435_c3e7);
     for case in 0..40 {
         let (specs, budget) = deep_task_set(&mut rng);
-        let (res1, cert1) = select_rms_par_with_cert(&specs, budget, 1);
-        assert_eq!(cert1.dropped, 0, "case {case}: log must be complete");
-        let sel = res1.as_ref().ok().map(|(s, _)| s);
-        let d = check_rms_certificate(&specs, budget, sel, &cert1);
-        assert!(d.is_clean(), "case {case}: {d}");
-        for threads in [2, 4] {
-            let (rt, ct) = select_rms_par_with_cert(&specs, budget, threads);
-            assert_eq!(res1, rt, "case {case} threads {threads}");
-            assert_eq!(cert1, ct, "case {case} threads {threads}");
+        for depth in sized_depths(rtise_select::rms::PAR_FRONTIER_DEPTH) {
+            let (res1, cert1) = select_rms_par_with_cert_at_depth(&specs, budget, 1, depth);
+            assert_eq!(cert1.dropped, 0, "case {case}: log must be complete");
+            let sel = res1.as_ref().ok().map(|(s, _)| s);
+            let d = check_rms_certificate(&specs, budget, sel, &cert1);
+            assert!(d.is_clean(), "case {case} depth {depth}: {d}");
+            for threads in [2, 4] {
+                let (rt, ct) = select_rms_par_with_cert_at_depth(&specs, budget, threads, depth);
+                assert_eq!(res1, rt, "case {case} depth {depth} threads {threads}");
+                assert_eq!(cert1, ct, "case {case} depth {depth} threads {threads}");
+            }
         }
     }
 }

@@ -159,6 +159,119 @@ pub fn dfg(rng: &mut Rng, opts: &DfgOptions) -> Dfg {
     g
 }
 
+/// Generates a large layered DAG with roughly `ops` operation nodes —
+/// the 500–2000-node regime past the bitset enumerator's 128-node wall,
+/// where only the iterative generator applies. Nodes are appended in
+/// layers of 4–12; operands are drawn mostly from the previous few
+/// layers (deep critical paths, high locality) with occasional
+/// long-range edges, plus the same sprinkle of immediates and CI-illegal
+/// `Load`s as [`dfg`]. Always well-formed.
+pub fn large_dfg(rng: &mut Rng, ops: usize) -> Dfg {
+    let mut g = Dfg::new();
+    let n_in = rng.gen_range(4..=8usize);
+    let mut pool: Vec<NodeId> = (0..n_in).map(|s| g.input(s)).collect();
+    let mut built = 0usize;
+    while built < ops.max(1) {
+        let layer = rng.gen_range(4..=12usize).min(ops.max(1) - built);
+        // Operands come from a trailing window (the last ~3 layers) most
+        // of the time, anywhere otherwise.
+        let window = pool.len().saturating_sub(36);
+        let start = pool.len();
+        for _ in 0..layer {
+            let pick = |rng: &mut Rng, pool: &[NodeId]| {
+                if rng.gen_bool(0.85) {
+                    pool[rng.gen_range(window..start)]
+                } else {
+                    pool[rng.gen_range(0..start)]
+                }
+            };
+            let a = pick(rng, &pool);
+            let id = if rng.gen_bool(0.04) {
+                g.un(OpKind::Load, a)
+            } else if rng.gen_bool(0.1) {
+                g.un(
+                    if rng.gen_bool(0.5) {
+                        OpKind::Not
+                    } else {
+                        OpKind::Abs
+                    },
+                    a,
+                )
+            } else {
+                let kind = BIN_OPS[rng.gen_range(0..BIN_OPS.len())];
+                if rng.gen_bool(0.15) {
+                    g.bin_imm(kind, a, rng.gen_range(-7..=7i64))
+                } else {
+                    g.bin(kind, a, pick(rng, &pool))
+                }
+            };
+            pool.push(id);
+        }
+        built += layer;
+    }
+    for slot in 0..rng.gen_range(1..=3usize) {
+        let v = pool[rng.gen_range(pool.len().saturating_sub(16)..pool.len())];
+        g.output(slot, v);
+    }
+    g
+}
+
+/// Stitches the full benchmark-kernel suite into one composed
+/// [`Program`]: every kernel's blocks are appended with their block ids
+/// offset, `Return`s of all but the last kernel are rewired to jump to
+/// the next kernel's entry, and loop bounds carry over. The result is a
+/// realistic many-hundred-node whole-application workload (the shape the
+/// iterative generator exists for) plus a random per-block
+/// execution-count profile.
+pub fn composed_program(rng: &mut Rng) -> (Program, Vec<u64>) {
+    let suite = rtise_kernels::suite();
+    let n_vars = suite
+        .iter()
+        .map(|k| k.program.n_vars)
+        .max()
+        .expect("kernel suite is non-empty");
+    let mem_size = suite.iter().map(|k| k.program.mem_size).max().unwrap_or(0);
+    let mut p = Program::new("composed", n_vars, mem_size);
+    let total_blocks: usize = suite.iter().map(|k| k.program.blocks.len()).sum();
+    let mut offset = 0usize;
+    for (ki, k) in suite.iter().enumerate() {
+        let last_kernel = ki + 1 == suite.len();
+        let n = k.program.blocks.len();
+        for block in &k.program.blocks {
+            let remap = |b: BlockId| BlockId(b.0 + offset);
+            let terminator = match block.terminator {
+                Terminator::Jump(t) => Terminator::Jump(remap(t)),
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => Terminator::Branch {
+                    cond,
+                    then_block: remap(then_block),
+                    else_block: remap(else_block),
+                },
+                // All but the last kernel fall through to the next
+                // kernel's entry block.
+                Terminator::Return if !last_kernel => Terminator::Jump(BlockId(offset + n)),
+                Terminator::Return => Terminator::Return,
+            };
+            p.add_block(BasicBlock {
+                name: format!("{}_{}", k.name, block.name),
+                dfg: block.dfg.clone(),
+                terminator,
+            });
+        }
+        for (&header, &bound) in &k.program.loop_bounds {
+            p.loop_bounds.insert(BlockId(header.0 + offset), bound);
+        }
+        offset += n;
+    }
+    let exec: Vec<u64> = (0..total_blocks)
+        .map(|_| rng.gen_range(1..=1000u64))
+        .collect();
+    (p, exec)
+}
+
 /// Generates a well-formed multi-block [`Program`] (blocks chained by
 /// `Jump`, last block `Return`, every block reachable) plus a random
 /// per-block execution-count profile.
@@ -374,6 +487,38 @@ mod tests {
             let d = rtise_check::ir::check_program(&p);
             assert!(d.is_clean(), "{}", d.render());
         }
+    }
+
+    #[test]
+    fn large_dfgs_are_well_formed_and_past_the_wall() {
+        let mut rng = Rng::new(0x1a26e);
+        for ops in [500usize, 1000, 2000] {
+            let g = large_dfg(&mut rng, ops);
+            assert!(g.len() > ops, "{} nodes for {ops} ops", g.len());
+            let d = rtise_check::ir::check_dfg(&g);
+            assert!(d.is_clean(), "{}", d.render());
+        }
+        // Determinism: same seed, same graph.
+        let a = large_dfg(&mut Rng::new(9), 600);
+        let b = large_dfg(&mut Rng::new(9), 600);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            rtise_check::ir::check_dfg(&a).render(),
+            rtise_check::ir::check_dfg(&b).render()
+        );
+    }
+
+    #[test]
+    fn composed_kernel_program_is_well_formed() {
+        let mut rng = Rng::new(7);
+        let (p, exec) = composed_program(&mut rng);
+        assert_eq!(exec.len(), p.blocks.len());
+        assert!(p.validate().is_ok(), "{:?}", p.validate());
+        let d = rtise_check::ir::check_program(&p);
+        assert!(d.is_clean(), "{}", d.render());
+        // The whole-suite workload really is past the 128-node wall.
+        let total: usize = p.blocks.iter().map(|b| b.dfg.len()).sum();
+        assert!(total > 500, "composed suite only has {total} nodes");
     }
 
     #[test]

@@ -100,12 +100,15 @@ impl std::error::Error for SolveError {}
 /// in [`IlpCertificate::dropped`] instead of growing without bound.
 pub const DEFAULT_CERT_CAP: usize = 1 << 22;
 
-/// Frontier depth of the decomposed parallel search: phase 1 walks the
-/// tree serially down to this depth and every surviving node becomes an
-/// independent subtree for the worker pool. Instance-derived and fixed,
-/// never thread-dependent — that is what keeps stats, certificates, and
-/// traces byte-identical at any thread count.
-const PAR_FRONTIER_DEPTH: usize = 6;
+/// Maximum frontier depth of the decomposed parallel search: phase 1
+/// walks the tree serially down to the frontier and every surviving node
+/// becomes an independent subtree for the worker pool. The actual depth
+/// is sized from the engaged thread count
+/// ([`rtise_obs::par::sized_frontier_depth`]) so small pools skip the
+/// 64-subtree decomposition; stats, certificates, and traces are
+/// byte-identical at any thread count *for a fixed depth* (pin one with
+/// [`rtise_obs::par::set_frontier_for`] to compare across counts).
+pub const PAR_FRONTIER_DEPTH: usize = 6;
 
 /// One branch-and-bound node of the search, in preorder.
 ///
@@ -340,11 +343,14 @@ impl Model {
 
     /// Like [`Model::solve_with_stats`], but forcing the decomposed
     /// parallel search with `threads` workers regardless of the
-    /// process-wide [`rtise_obs::par::threads`] knob. Results, stats,
-    /// counters, traces, and certificates are byte-identical for every
-    /// `threads >= 1`; models the decomposition does not apply to (a
-    /// node limit is set, or too few variables to have a frontier) fall
-    /// back to the classic serial search.
+    /// process-wide [`rtise_obs::par::threads`] knob. The frontier depth
+    /// is sized from `threads`; results, stats, counters, traces, and
+    /// certificates are byte-identical for every worker count *at a
+    /// fixed depth* (pin one with [`rtise_obs::par::set_frontier_for`]
+    /// to compare runs at different thread counts). Models the
+    /// decomposition does not apply to (a node limit is set, or too few
+    /// variables to have a frontier) fall back to the classic serial
+    /// search.
     ///
     /// # Errors
     ///
@@ -387,12 +393,39 @@ impl Model {
         )
     }
 
+    /// [`Model::solve_par_with_cert`] at an explicit frontier depth,
+    /// bypassing the thread-count sizing — the determinism-contract test
+    /// hook (identity across thread counts holds per depth).
+    #[doc(hidden)]
+    pub fn solve_par_with_cert_at_depth(
+        &self,
+        threads: usize,
+        depth: usize,
+    ) -> (Result<Solution, SolveError>, IlpCertificate) {
+        let mut rec = CertRec {
+            order: Vec::new(),
+            log: rtise_obs::BoundedLog::new(DEFAULT_CERT_CAP),
+        };
+        let result = self
+            .solve_observed_at_depth(threads.max(1), depth, Some(&mut rec))
+            .map(|(s, _)| s);
+        let (events, dropped) = rec.log.into_parts();
+        (
+            result,
+            IlpCertificate {
+                order: rec.order,
+                events,
+                dropped,
+            },
+        )
+    }
+
     /// Whether the decomposed parallel search applies: the tree must be
     /// deeper than the frontier, and no node limit may be set (the limit
     /// counts nodes in serial traversal order, a property the
     /// decomposition cannot honor).
-    fn par_applicable(&self) -> bool {
-        self.node_limit == u64::MAX && self.n > PAR_FRONTIER_DEPTH
+    fn par_applicable(&self, depth: usize) -> bool {
+        self.node_limit == u64::MAX && self.n > depth
     }
 
     fn solve_observed(
@@ -407,9 +440,19 @@ impl Model {
         threads: usize,
         cert: Option<&mut CertRec>,
     ) -> Result<(Solution, IlpStats), SolveError> {
+        let depth = rtise_obs::par::sized_frontier_depth(PAR_FRONTIER_DEPTH, threads);
+        self.solve_observed_at_depth(threads, depth, cert)
+    }
+
+    fn solve_observed_at_depth(
+        &self,
+        threads: usize,
+        depth: usize,
+        cert: Option<&mut CertRec>,
+    ) -> Result<(Solution, IlpStats), SolveError> {
         let span = rtise_trace::span(codes::ILP_SOLVE);
-        let (result, stats, depth_hist) = if threads > 0 && self.par_applicable() {
-            self.solve_par_inner(threads, cert)
+        let (result, stats, depth_hist) = if threads > 0 && self.par_applicable(depth) {
+            self.solve_par_inner(threads, depth, cert)
         } else {
             self.solve_inner(cert)
         };
@@ -545,6 +588,7 @@ impl Model {
     fn solve_par_inner(
         &self,
         threads: usize,
+        depth: usize,
         cert: Option<&mut CertRec>,
     ) -> (Result<Solution, SolveError>, IlpStats, rtise_obs::Hist) {
         let prep = match self.prepare() {
@@ -586,7 +630,7 @@ impl Model {
                 node_limit: u64::MAX,
                 depth_hist: rtise_obs::Hist::new(),
                 cert: ph_log.as_mut(),
-                frontier: Some((PAR_FRONTIER_DEPTH, &mut frontier)),
+                frontier: Some((depth, &mut frontier)),
             };
             search
                 .dfs(0, 0)
@@ -635,7 +679,7 @@ impl Model {
                 let _isolated = trace_on.then(rtise_trace::isolate);
                 let _active = scope.as_ref().map(rtise_trace::TraceScope::enter);
                 search
-                    .dfs(PAR_FRONTIER_DEPTH, node.cur_obj)
+                    .dfs(depth, node.cur_obj)
                     .expect("decomposed search never sets a node limit");
             }
             let Search {
@@ -1382,22 +1426,26 @@ mod tests {
         }
     }
 
-    /// The whole observable output — solution, stats, and certificate —
-    /// is identical at every thread count.
+    /// The whole observable output — solution and certificate — is
+    /// identical at every thread count for a fixed frontier depth,
+    /// checked at each depth the adaptive sizing picks for 1, 2, and 4
+    /// workers. (Different depths cut the tree differently; the optimum
+    /// still matches, per `parallel_search_matches_serial_optimum`.)
     #[test]
     fn parallel_output_is_identical_at_any_thread_count() {
         let mut rng = Rng::new(0x7a11);
         for case in 0..30 {
             let m = random_deep_model(&mut rng);
-            let base = m.solve_par_with_cert(1);
-            let base_stats = m.solve_par_with_stats(1);
-            for threads in [2, 4, 7] {
-                assert_eq!(base, m.solve_par_with_cert(threads), "case {case}");
-                assert_eq!(
-                    base_stats,
-                    m.solve_par_with_stats(threads),
-                    "case {case} threads {threads}"
-                );
+            for sized_for in [1usize, 2, 4] {
+                let depth = rtise_obs::par::frontier_depth(PAR_FRONTIER_DEPTH, sized_for);
+                let base = m.solve_par_with_cert_at_depth(1, depth);
+                for threads in [2, 4, 7] {
+                    assert_eq!(
+                        base,
+                        m.solve_par_with_cert_at_depth(threads, depth),
+                        "case {case} depth {depth} threads {threads}"
+                    );
+                }
             }
         }
     }
@@ -1422,17 +1470,19 @@ mod tests {
     }
 
     /// Virtual-clock traces of a parallel solve are thread-count
-    /// independent: subtree events are captured in per-worker scopes and
-    /// replayed into the ambient scope in subtree index order.
+    /// independent at a fixed frontier depth: subtree events are
+    /// captured in per-worker scopes and replayed into the ambient scope
+    /// in subtree index order.
     #[test]
     fn parallel_traces_are_thread_count_independent() {
         let mut rng = Rng::new(0x7ace);
         let m = random_deep_model(&mut rng);
+        let depth = rtise_obs::par::frontier_depth(PAR_FRONTIER_DEPTH, 4);
         let run = |threads: usize| {
             let scope = rtise_trace::TraceScope::new(rtise_trace::Clock::Virtual);
             {
                 let _active = scope.enter();
-                let _ = m.solve_par_with_stats(threads);
+                let _ = m.solve_par_with_cert_at_depth(threads, depth);
             }
             (scope.events(), scope.dropped())
         };

@@ -41,6 +41,62 @@ impl Default for EnumerateOptions {
     }
 }
 
+/// Largest DFG the bitset fast path — and with it, practical exact
+/// enumeration — handles; the "enumeration wall". Larger DFGs either
+/// fall back to the generic exponential walk or switch to the
+/// [`crate::iterative`] backend.
+pub const MAX_FAST_NODES: usize = fast::MAX_FAST_NODES;
+
+/// Which candidate-identification engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnumerateBackend {
+    /// Exhaustive connected-convex enumeration: the bitset fast path up
+    /// to [`MAX_FAST_NODES`] nodes, the generic walk beyond.
+    Exact,
+    /// The generic any-size walk, unconditionally (differential testing
+    /// and benchmarking against the fast path).
+    Generic,
+    /// Kernighan–Lin iterative improvement ([`crate::iterative`]) with
+    /// default knobs; anytime, scales to thousands of nodes.
+    Iterative,
+    /// Policy switch: [`Exact`](EnumerateBackend::Exact) inside the
+    /// bitset wall, [`Iterative`](EnumerateBackend::Iterative) past it —
+    /// exhaustive where affordable, anytime where not.
+    #[default]
+    Auto,
+}
+
+/// Enumerates candidates with an explicitly chosen backend. The exact
+/// backends return complete libraries (up to the caps); the iterative
+/// backend returns the gain-ranked cuts its move budget reached.
+pub fn enumerate_with_backend(
+    dfg: &Dfg,
+    opts: EnumerateOptions,
+    backend: EnumerateBackend,
+) -> Vec<NodeSet> {
+    match backend {
+        EnumerateBackend::Exact => enumerate_connected(dfg, opts),
+        EnumerateBackend::Generic => {
+            let (results, _) = enumerate_generic(dfg, opts);
+            results
+        }
+        EnumerateBackend::Iterative => crate::iterative::iterative_candidates(
+            dfg,
+            crate::iterative::IterativeOptions {
+                enumerate: opts,
+                ..Default::default()
+            },
+        ),
+        EnumerateBackend::Auto => {
+            if dfg.len() <= MAX_FAST_NODES {
+                enumerate_connected(dfg, opts)
+            } else {
+                enumerate_with_backend(dfg, opts, EnumerateBackend::Iterative)
+            }
+        }
+    }
+}
+
 /// Enumerates the maximal MISO pattern rooted at every sink of `dfg`.
 ///
 /// Starting from each valid node, predecessors are absorbed as long as all
@@ -162,6 +218,14 @@ pub fn enumerate_connected_with_stats(
     let (results, stats) = if dfg.len() <= fast::MAX_FAST_NODES {
         fast::enumerate(dfg, opts)
     } else {
+        // The enumeration wall: count and trace every fall-through so
+        // reports show when runs leave the fast path instead of just
+        // getting slow.
+        rtise_obs::record("ise.enumerate.generic_path", 1);
+        rtise_trace::instant_with(
+            rtise_trace::codes::ISE_ENUM_GENERIC_PATH,
+            &[("nodes", dfg.len() as u64)],
+        );
         enumerate_generic(dfg, opts)
     };
     rtise_obs::record("ise.enumerate.calls", 1);
@@ -660,8 +724,8 @@ pub fn enumerate_disconnected(
 
 /// The convex closure of `set`: adds every valid node lying on a path
 /// between two members. Returns `None` if the closure needs an invalid node
-/// or exceeds `max_nodes`.
-fn convex_hull(dfg: &Dfg, set: &NodeSet, max_nodes: usize) -> Option<NodeSet> {
+/// or exceeds `max_nodes`. Shared with the iterative backend's repair step.
+pub(crate) fn convex_hull(dfg: &Dfg, set: &NodeSet, max_nodes: usize) -> Option<NodeSet> {
     let mut hull = set.clone();
     loop {
         // Nodes outside the hull reachable from it...
@@ -966,6 +1030,74 @@ mod tests {
         assert!(!cands.is_empty());
         assert_eq!(stats.generated, stats.accepted + stats.rejected_infeasible);
         assert!(!maximal_miso(&g).is_empty());
+    }
+
+    /// Satellite: crossing the enumeration wall is observable — the
+    /// `ise.enumerate.generic_path` counter fires exactly when a DFG is
+    /// too big for the bitset path, and never inside it.
+    #[test]
+    fn generic_path_fallback_is_counted() {
+        let _iso = rtise_obs::registry::isolate();
+        // Seeded construction: a 140-op chain (past the wall) and the
+        // 8-op diamond (inside it).
+        let mut big = Dfg::new();
+        let mut prev = big.input(0);
+        for _ in 0..140 {
+            prev = big.bin_imm(OpKind::Add, prev, 1);
+        }
+        big.output(0, prev);
+        assert!(big.len() > MAX_FAST_NODES);
+        let opts = EnumerateOptions {
+            max_candidates: 64,
+            ..EnumerateOptions::default()
+        };
+        let scope = rtise_obs::CounterScope::new();
+        let guard = scope.enter();
+        let _ = enumerate_connected_with_stats(&big, opts);
+        let _ = enumerate_connected_with_stats(&diamond(), opts);
+        drop(guard);
+        let counters = scope.counters();
+        assert_eq!(
+            counters.get("ise.enumerate.generic_path"),
+            Some(&1),
+            "one fallback for the 141-node chain, none for the diamond: {counters:?}"
+        );
+        assert_eq!(counters.get("ise.enumerate.calls"), Some(&2));
+    }
+
+    #[test]
+    fn backends_agree_where_they_overlap() {
+        let g = diamond();
+        let opts = EnumerateOptions::default();
+        let exact = enumerate_with_backend(&g, opts, EnumerateBackend::Exact);
+        let generic = enumerate_with_backend(&g, opts, EnumerateBackend::Generic);
+        let auto = enumerate_with_backend(&g, opts, EnumerateBackend::Auto);
+        assert_eq!(exact, generic, "fast path is bit-identical to generic");
+        assert_eq!(exact, auto, "auto picks exact inside the wall");
+        // The iterative backend returns a subset of the same feasible
+        // space (order differs: it ranks by gain).
+        let iter = enumerate_with_backend(&g, opts, EnumerateBackend::Iterative);
+        assert!(!iter.is_empty());
+        let exact_set: HashSet<NodeSet> = exact.into_iter().collect();
+        for c in &iter {
+            assert!(
+                exact_set.contains(c),
+                "iterative emitted {c:?} outside the exact space"
+            );
+        }
+        // Past the wall, auto switches to the iterative backend.
+        let mut big = Dfg::new();
+        let mut prev = big.input(0);
+        let other = big.input(1);
+        for i in 0..140 {
+            let k = if i % 2 == 0 { OpKind::Add } else { OpKind::Xor };
+            prev = big.bin(k, prev, other);
+        }
+        big.output(0, prev);
+        let auto_big = enumerate_with_backend(&big, opts, EnumerateBackend::Auto);
+        let iter_big = enumerate_with_backend(&big, opts, EnumerateBackend::Iterative);
+        assert_eq!(auto_big, iter_big);
+        assert!(!auto_big.is_empty());
     }
 
     #[test]

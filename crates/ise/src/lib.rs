@@ -20,12 +20,19 @@
 pub mod candidate;
 pub mod configs;
 pub mod enumerate;
+pub mod iterative;
 pub mod metaheuristics;
 pub mod select;
 
 pub use candidate::{harvest, CiCandidate, HarvestOptions};
 pub use configs::{ConfigCurve, ConfigPoint};
-pub use enumerate::{enumerate_connected, enumerate_disconnected, maximal_miso, EnumerateOptions};
+pub use enumerate::{
+    enumerate_connected, enumerate_disconnected, enumerate_with_backend, maximal_miso,
+    EnumerateBackend, EnumerateOptions, MAX_FAST_NODES,
+};
+pub use iterative::{
+    iterative_candidates, iterative_candidates_with_stats, IterStats, IterativeOptions,
+};
 pub use metaheuristics::{genetic_select, simulated_annealing_select, GaOptions, SaOptions};
 pub use select::{
     branch_and_bound, branch_and_bound_with_cert, greedy_by_ratio, iterative_selection,

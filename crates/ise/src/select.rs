@@ -18,11 +18,15 @@ use crate::candidate::CiCandidate;
 /// call; overflow is counted in [`IseCertificate::dropped`].
 pub const DEFAULT_CERT_CAP: usize = 1 << 22;
 
-/// Frontier depth of the decomposed parallel search: phase 1 walks the
-/// tree serially down to this depth, and every node reaching it becomes
-/// an independent subtree for the worker pool. Fixed and instance-only,
-/// so output is byte-identical at any thread count.
-const PAR_FRONTIER_DEPTH: usize = 6;
+/// Maximum frontier depth of the decomposed parallel search: phase 1
+/// walks the tree serially down to the frontier, and every node reaching
+/// it becomes an independent subtree for the worker pool. The actual
+/// depth is sized from the engaged thread count
+/// ([`rtise_obs::par::sized_frontier_depth`]) so a 2-worker run does not
+/// pay the 64-subtree decomposition built for wide pools; output is
+/// byte-identical for any thread count *at a fixed depth* (pin one with
+/// [`rtise_obs::par::set_frontier_for`] to compare across counts).
+pub const PAR_FRONTIER_DEPTH: usize = 6;
 
 /// One branch-and-bound decision node, in preorder.
 ///
@@ -155,11 +159,38 @@ pub fn branch_and_bound(cands: &[CiCandidate], budget: u64) -> Selection {
 
 /// Like [`branch_and_bound`], but forcing the decomposed parallel search
 /// with `threads` workers regardless of the process-wide
-/// [`rtise_obs::par::threads`] knob. Selection, counters, traces, and
-/// certificates are byte-identical for every `threads >= 1`; libraries
-/// too small to have a frontier fall back to the serial search.
+/// [`rtise_obs::par::threads`] knob. The frontier depth is sized from
+/// `threads`; selection, counters, traces, and certificates are
+/// byte-identical for every worker count *at a fixed depth* (pin one
+/// with [`rtise_obs::par::set_frontier_for`] to compare runs at
+/// different thread counts). Libraries too small to have a frontier
+/// fall back to the serial search.
 pub fn branch_and_bound_par(cands: &[CiCandidate], budget: u64, threads: usize) -> Selection {
     bnb_observed(cands, budget, threads.max(1), None)
+}
+
+/// [`branch_and_bound_par_with_cert`] at an explicit frontier depth,
+/// bypassing the thread-count sizing — the determinism-contract test
+/// hook (identity across thread counts holds per depth).
+#[doc(hidden)]
+pub fn branch_and_bound_par_with_cert_at_depth(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+    depth: usize,
+) -> (Selection, IseCertificate) {
+    let mut log = rtise_obs::BoundedLog::new(DEFAULT_CERT_CAP);
+    let sel = bnb_observed_at_depth(cands, budget, threads.max(1), depth, Some(&mut log));
+    let order = ratio_order(cands);
+    let (events, dropped) = log.into_parts();
+    (
+        sel,
+        IseCertificate {
+            order,
+            events,
+            dropped,
+        },
+    )
 }
 
 /// Like [`branch_and_bound`], additionally emitting a replayable
@@ -463,9 +494,20 @@ fn bnb_observed(
     threads: usize,
     cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
 ) -> Selection {
+    let depth = rtise_obs::par::sized_frontier_depth(PAR_FRONTIER_DEPTH, threads);
+    bnb_observed_at_depth(cands, budget, threads, depth, cert)
+}
+
+fn bnb_observed_at_depth(
+    cands: &[CiCandidate],
+    budget: u64,
+    threads: usize,
+    depth: usize,
+    cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
+) -> Selection {
     let _span = rtise_trace::span(rtise_trace::codes::ISE_BNB_SOLVE);
-    let (best, tel) = if threads > 0 && cands.len() > PAR_FRONTIER_DEPTH {
-        bnb_par(cands, budget, threads, cert)
+    let (best, tel) = if threads > 0 && cands.len() > depth {
+        bnb_par(cands, budget, threads, depth, cert)
     } else {
         bnb_serial(cands, budget, cert)
     };
@@ -518,6 +560,7 @@ fn bnb_par(
     cands: &[CiCandidate],
     budget: u64,
     threads: usize,
+    depth: usize,
     cert: Option<&mut rtise_obs::BoundedLog<IseCertEvent>>,
 ) -> (Selection, BnbTelemetry) {
     let t = build_tables(cands);
@@ -536,7 +579,7 @@ fn bnb_par(
             stack: Vec::new(),
             tel: BnbTelemetry::default(),
             cert: ph_log.as_mut(),
-            frontier: Some((PAR_FRONTIER_DEPTH, &mut frontier)),
+            frontier: Some((depth, &mut frontier)),
         };
         dfs(&mut ctx, 0, 0, 0);
         (ctx.best, ctx.tel)
@@ -569,7 +612,7 @@ fn bnb_par(
         {
             let _isolated = trace_on.then(rtise_trace::isolate);
             let _active = scope.as_ref().map(rtise_trace::TraceScope::enter);
-            dfs(&mut ctx, PAR_FRONTIER_DEPTH, node.area, node.gain);
+            dfs(&mut ctx, depth, node.area, node.gain);
         }
         let Ctx { best, tel, .. } = ctx;
         let (events, cert_dropped) = log.map_or((Vec::new(), 0), rtise_obs::BoundedLog::into_parts);
@@ -998,19 +1041,26 @@ mod tests {
         }
     }
 
-    /// Selection and certificate are identical at every thread count.
+    /// Selection and certificate are identical at every thread count for
+    /// a fixed frontier depth — checked at each depth the adaptive
+    /// sizing picks for 1, 2, and 4 workers. (At *different* depths the
+    /// search tree legitimately differs; the optimum still matches, per
+    /// `parallel_selection_matches_serial_optimum`.)
     #[test]
     fn parallel_output_is_identical_at_any_thread_count() {
         let mut rng = rtise_obs::Rng::new(0x15e_7a11);
         for case in 0..30 {
             let (cands, budget) = random_deep_library(&mut rng);
-            let base = branch_and_bound_par_with_cert(&cands, budget, 1);
-            for threads in [2, 4, 7] {
-                assert_eq!(
-                    base,
-                    branch_and_bound_par_with_cert(&cands, budget, threads),
-                    "case {case} threads {threads}"
-                );
+            for sized_for in [1usize, 2, 4] {
+                let depth = rtise_obs::par::frontier_depth(PAR_FRONTIER_DEPTH, sized_for);
+                let base = branch_and_bound_par_with_cert_at_depth(&cands, budget, 1, depth);
+                for threads in [2, 4, 7] {
+                    assert_eq!(
+                        base,
+                        branch_and_bound_par_with_cert_at_depth(&cands, budget, threads, depth),
+                        "case {case} depth {depth} threads {threads}"
+                    );
+                }
             }
         }
     }

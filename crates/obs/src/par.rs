@@ -51,6 +51,55 @@ pub fn threads() -> usize {
     PAR_THREADS.load(Ordering::Relaxed)
 }
 
+/// Process-wide pin for the thread count the solvers *size their
+/// decomposition frontier for*; 0 sizes it from the actual worker count.
+static FRONTIER_FOR: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the thread count the decomposed searches size their frontier
+/// depth for, independently of how many workers actually run. `0` (the
+/// default) sizes the frontier from the solve's own worker count.
+///
+/// The search tree — and with it every counter, trace event, and
+/// certificate — is a function of the frontier *depth*, not the worker
+/// count, so two runs at different `--par-threads` values are
+/// byte-identical exactly when they pin the same sizing. CI uses this to
+/// prove identity at the depths chosen for 1, 2, and 4 workers.
+pub fn set_frontier_for(n: usize) {
+    FRONTIER_FOR.store(n, Ordering::Relaxed);
+}
+
+/// The pinned frontier-sizing thread count; see [`set_frontier_for`].
+#[must_use]
+pub fn frontier_for() -> usize {
+    FRONTIER_FOR.load(Ordering::Relaxed)
+}
+
+/// Maps a worker count to a decomposition frontier depth: the shallowest
+/// depth whose subtree capacity (`2^depth`, for a binary branching
+/// search) covers `threads * WINDOW` subtrees — enough that every worker
+/// stays busy while the completed-prefix window lags — clamped to
+/// `[3, max_depth]`. Fewer workers get a shallower frontier, so
+/// `--par-threads 2` no longer pays the 64-subtree decomposition built
+/// for wide pools.
+#[must_use]
+pub fn frontier_depth(max_depth: usize, threads: usize) -> usize {
+    let want = threads.max(1).saturating_mul(WINDOW);
+    let mut d = 0usize;
+    while d < 63 && (1usize << d) < want {
+        d += 1;
+    }
+    d.clamp(3.min(max_depth), max_depth)
+}
+
+/// The frontier depth a solve engaging `threads` workers should use:
+/// [`frontier_depth`] of the pinned sizing count when one is set
+/// ([`set_frontier_for`]), of `threads` otherwise.
+#[must_use]
+pub fn sized_frontier_depth(max_depth: usize, threads: usize) -> usize {
+    let pinned = frontier_for();
+    frontier_depth(max_depth, if pinned > 0 { pinned } else { threads })
+}
+
 /// The completed-result prefix visible to one work item: results of
 /// items `0..len`, all guaranteed published.
 pub struct Completed<'a, R> {
@@ -193,6 +242,28 @@ mod tests {
         set_threads(4);
         assert_eq!(threads(), 4);
         set_threads(0);
+    }
+
+    /// The adaptive frontier is monotone in the worker count, bounded by
+    /// the solver's maximum, and genuinely shallower for small pools —
+    /// the whole point of sizing it.
+    #[test]
+    fn frontier_depth_scales_with_the_worker_count() {
+        assert_eq!(frontier_depth(6, 1), 3, "1 worker: 8 subtrees");
+        assert_eq!(frontier_depth(6, 2), 4, "2 workers: 16 subtrees");
+        assert_eq!(frontier_depth(6, 4), 5, "4 workers: 32 subtrees");
+        assert_eq!(frontier_depth(6, 8), 6, "8 workers hit the cap");
+        assert_eq!(frontier_depth(6, 1000), 6, "never past the cap");
+        // The multi-way RMS search caps at 4; small pools still win.
+        assert_eq!(frontier_depth(4, 1), 3);
+        assert_eq!(frontier_depth(4, 4), 4);
+        let mut last = 0;
+        for t in 1..64 {
+            let d = frontier_depth(6, t);
+            assert!(d >= last, "depth must be monotone in threads");
+            last = d;
+        }
+        assert_eq!(frontier_depth(2, 1), 2, "clamp floor respects max_depth");
     }
 
     /// The visible prefix each item observes is a pure function of its

@@ -35,6 +35,8 @@ pub const KERNELS: &[&str] = &[
     "miso",
     "ise_bnb",
     "ise_bnb_par",
+    "ise_iter_small",
+    "ise_iter_large",
 ];
 
 /// Worker count for the `*_par` kernels: enough to show real subtree
@@ -59,6 +61,8 @@ pub fn sizes(kernel: &str) -> &'static [usize] {
         "miso" => &[12, 24, 48, 96],
         "ise_bnb" => &[8, 14, 20, 26],
         "ise_bnb_par" => &[56, 64],
+        "ise_iter_small" => &[12, 24, 48],
+        "ise_iter_large" => &[500, 1000, 2000],
         _ => &[],
     }
 }
@@ -216,6 +220,20 @@ fn bench_enumerate_options() -> EnumerateOptions {
         max_out: 2,
         max_candidates: 4096,
         max_nodes: 12,
+    }
+}
+
+/// Iterative-generator envelope for the `ise_iter_*` pair: the same port
+/// budget as the exact enumeration benchmarks with a bounded anytime
+/// move budget, so the 2000-node sweep stays in milliseconds per
+/// instance.
+fn bench_iterative_options(enumerate: EnumerateOptions) -> rtise_ise::IterativeOptions {
+    rtise_ise::IterativeOptions {
+        enumerate,
+        seeds: 16,
+        max_passes: 3,
+        move_budget: 6_000,
+        seed: 0xB7,
     }
 }
 
@@ -517,6 +535,63 @@ pub fn run_size(kernel: &str, size: usize, seed: u64, m: &MeasureOptions) -> Siz
                 m,
             )
         }
+        // The anytime iterative generator against the exact bitset
+        // enumerator, inside the 128-node wall where both apply. The
+        // iterative path trades completeness for bounded work, so its
+        // win grows with the DFG.
+        "ise_iter_small" => {
+            let dfgs: Vec<Dfg> = (0..BATCH).map(|_| dfg_at_least(&mut rng, size)).collect();
+            let eopts = bench_enumerate_options();
+            let iopts = bench_iterative_options(eopts);
+            measure_cell(
+                size,
+                &mut || {
+                    for dfg in &dfgs {
+                        let _ = black_box(rtise_ise::enumerate::enumerate_connected_with_stats(
+                            black_box(dfg),
+                            eopts,
+                        ));
+                    }
+                },
+                &mut || {
+                    for dfg in &dfgs {
+                        let _ = black_box(rtise_ise::iterative_candidates(black_box(dfg), iopts));
+                    }
+                },
+                m,
+            )
+        }
+        // Past the wall (500-2000 nodes) only the generic growth path
+        // still applies as a reference; its candidate cap is lowered so
+        // the visited-shape bound keeps it finite, while the iterative
+        // path runs its normal anytime budget.
+        "ise_iter_large" => {
+            let dfgs: Vec<Dfg> = (0..BATCH).map(|_| gen::large_dfg(&mut rng, size)).collect();
+            let eopts = EnumerateOptions {
+                max_in: 4,
+                max_out: 2,
+                max_candidates: 256,
+                max_nodes: 8,
+            };
+            let iopts = bench_iterative_options(eopts);
+            measure_cell(
+                size,
+                &mut || {
+                    for dfg in &dfgs {
+                        let _ = black_box(rtise_ise::enumerate::enumerate_connected_reference(
+                            black_box(dfg),
+                            eopts,
+                        ));
+                    }
+                },
+                &mut || {
+                    for dfg in &dfgs {
+                        let _ = black_box(rtise_ise::iterative_candidates(black_box(dfg), iopts));
+                    }
+                },
+                m,
+            )
+        }
         other => panic!("unknown benchmark kernel {other:?}"),
     }
 }
@@ -564,7 +639,7 @@ mod tests {
     fn optimized_paths_publish_solver_counters() {
         // Kernels whose optimized entry points record observability
         // counters; the pure-selection paths (rms/ise B&B) may not.
-        for &kernel in &["edf_dp", "ilp_bnb", "enumerate", "miso"] {
+        for &kernel in &["edf_dp", "ilp_bnb", "enumerate", "miso", "ise_iter_small"] {
             let point = run_size(kernel, sizes(kernel)[0], 1, &tiny());
             assert!(
                 !point.counters.is_empty(),

@@ -39,11 +39,14 @@ impl std::error::Error for SelectRmsError {}
 /// overflow is counted in [`RmsCertificate::dropped`].
 pub const DEFAULT_CERT_CAP: usize = 1 << 22;
 
-/// Frontier depth of the decomposed parallel search. Shallower than the
-/// binary solvers' frontiers because this search branches multi-way (one
-/// child per feasible configuration). Fixed and instance-only, so output
-/// is byte-identical at any thread count.
-const PAR_FRONTIER_DEPTH: usize = 4;
+/// Maximum frontier depth of the decomposed parallel search. Shallower
+/// than the binary solvers' frontiers because this search branches
+/// multi-way (one child per feasible configuration). The actual depth is
+/// sized from the engaged thread count
+/// ([`rtise_obs::par::sized_frontier_depth`]); output is byte-identical
+/// at any thread count *for a fixed depth* (pin one with
+/// [`rtise_obs::par::set_frontier_for`] to compare across counts).
+pub const PAR_FRONTIER_DEPTH: usize = 4;
 
 /// One branch-and-bound event, in preorder.
 ///
@@ -145,10 +148,12 @@ pub fn select_rms_with_stats(
 }
 
 /// Like [`select_rms_with_stats`] with an explicit worker-thread count,
-/// ignoring the global [`rtise_obs::par`] knob. The search decomposes at a
-/// fixed frontier depth and stitches per-subtree results in preorder, so
-/// stats and selection are byte-identical at any `threads` value; small
-/// instances fall back to the serial search.
+/// ignoring the global [`rtise_obs::par`] knob. The search decomposes at
+/// a frontier depth sized from `threads` and stitches per-subtree
+/// results in preorder; stats and selection are byte-identical at any
+/// worker count *for a fixed depth* (pin one with
+/// [`rtise_obs::par::set_frontier_for`] to compare runs at different
+/// thread counts). Small instances fall back to the serial search.
 ///
 /// # Errors
 ///
@@ -213,6 +218,35 @@ pub fn select_rms_par_with_cert_capped(
     RmsCertificate,
 ) {
     rms_cert_at(specs, area_budget, threads.max(1), cap)
+}
+
+/// [`select_rms_par_with_cert`] at an explicit frontier depth, bypassing
+/// the thread-count sizing — the determinism-contract test hook
+/// (identity across thread counts holds per depth).
+#[doc(hidden)]
+pub fn select_rms_par_with_cert_at_depth(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+    depth: usize,
+) -> (
+    Result<(RmsSelection, RmsBnbStats), SelectRmsError>,
+    RmsCertificate,
+) {
+    let mut log = rtise_obs::BoundedLog::new(DEFAULT_CERT_CAP);
+    let result =
+        select_rms_observed_at_depth(specs, area_budget, threads.max(1), depth, Some(&mut log));
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| specs[i].period);
+    let (events, dropped) = log.into_parts();
+    (
+        result,
+        RmsCertificate {
+            order,
+            events,
+            dropped,
+        },
+    )
 }
 
 fn rms_cert_at(
@@ -462,13 +496,24 @@ fn select_rms_observed(
     threads: usize,
     cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
 ) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
+    let depth = rtise_obs::par::sized_frontier_depth(PAR_FRONTIER_DEPTH, threads);
+    select_rms_observed_at_depth(specs, area_budget, threads, depth, cert)
+}
+
+fn select_rms_observed_at_depth(
+    specs: &[TaskSpec],
+    area_budget: u64,
+    threads: usize,
+    depth: usize,
+    cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
+) -> Result<(RmsSelection, RmsBnbStats), SelectRmsError> {
     if specs.is_empty() {
         return Err(SelectRmsError::NoTasks);
     }
     let t = rms_tables(specs);
     let span = rtise_trace::span(rtise_trace::codes::SELECT_RMS_SOLVE);
-    let (best, stats, depth_hist) = if threads > 0 && specs.len() > PAR_FRONTIER_DEPTH {
-        rms_par(specs, area_budget, &t, threads, cert)
+    let (best, stats, depth_hist) = if threads > 0 && specs.len() > depth {
+        rms_par(specs, area_budget, &t, threads, depth, cert)
     } else {
         rms_serial(specs, area_budget, &t, cert)
     };
@@ -530,7 +575,7 @@ fn rms_serial(
 }
 
 /// The decomposed parallel search: a serial phase-1 walk truncated at
-/// [`PAR_FRONTIER_DEPTH`] captures the frontier, then independent subtree
+/// the sized frontier depth captures the frontier, then independent subtree
 /// searches run on [`rtise_obs::par::run_ordered`] and are merged in
 /// subtree index order. Incumbents only exist at leaves — which phase 1
 /// never reaches — so the merge folds subtree results with the same
@@ -541,6 +586,7 @@ fn rms_par(
     area_budget: u64,
     t: &RmsTables,
     threads: usize,
+    depth: usize,
     cert: Option<&mut rtise_obs::BoundedLog<RmsCertEvent>>,
 ) -> (RmsBest, RmsBnbStats, rtise_obs::Hist) {
     let want_cert = cert.is_some();
@@ -561,7 +607,7 @@ fn rms_par(
         stats: RmsBnbStats::default(),
         depth_hist: rtise_obs::Hist::new(),
         cert: ph_log.as_mut(),
-        frontier: Some((PAR_FRONTIER_DEPTH, &mut frontier)),
+        frontier: Some((depth, &mut frontier)),
     };
     search(&mut ph, 0, 0, 0.0);
     let Ctx {
@@ -606,7 +652,7 @@ fn rms_par(
             // replay below.
             let _isolated = trace_on.then(rtise_trace::isolate);
             let _active = scope.as_ref().map(rtise_trace::TraceScope::enter);
-            search(&mut ctx, PAR_FRONTIER_DEPTH, node.area, node.util);
+            search(&mut ctx, depth, node.area, node.util);
         }
         let Ctx {
             best,
@@ -1043,17 +1089,24 @@ mod tests {
         assert!(solved >= 10, "want a healthy mix of schedulable cases");
     }
 
+    /// Result and certificate are identical at every thread count for a
+    /// fixed frontier depth — checked at each depth the adaptive sizing
+    /// picks for 1, 2, and 4 workers.
     #[test]
     fn parallel_output_is_identical_at_any_thread_count() {
         use rtise_obs::Rng;
         let mut rng = Rng::new(0x4316);
         for case in 0..30 {
             let (specs, budget) = random_deep_specs(&mut rng);
-            let (res1, cert1) = select_rms_par_with_cert(&specs, budget, 1);
-            for threads in [2, 4, 7] {
-                let (rt, ct) = select_rms_par_with_cert(&specs, budget, threads);
-                assert_eq!(res1, rt, "case {case} threads {threads}");
-                assert_eq!(cert1, ct, "case {case} threads {threads}");
+            for sized_for in [1usize, 2, 4] {
+                let depth = rtise_obs::par::frontier_depth(PAR_FRONTIER_DEPTH, sized_for);
+                let (res1, cert1) = select_rms_par_with_cert_at_depth(&specs, budget, 1, depth);
+                for threads in [2, 4, 7] {
+                    let (rt, ct) =
+                        select_rms_par_with_cert_at_depth(&specs, budget, threads, depth);
+                    assert_eq!(res1, rt, "case {case} depth {depth} threads {threads}");
+                    assert_eq!(cert1, ct, "case {case} depth {depth} threads {threads}");
+                }
             }
         }
     }
